@@ -1,0 +1,210 @@
+(* The benchmark harness.
+
+   Two halves:
+   - the experiment suite: regenerates every table/figure of the paper's
+     evaluation (E1–E9 plus the ablations), printing paper-shaped rows;
+   - the Bechamel microbenchmark suite (E10): controller-scale timings —
+     allocator cycle time vs world size, plus the hot substrate paths
+     (decision process, trie LPM, codec).
+
+   `main.exe` runs both; `main.exe e4` (etc.) runs one experiment;
+   `main.exe micro` runs only the timing suite; `main.exe all fast` uses
+   coarser cycles for a quick pass. *)
+
+module Bgp = Ef_bgp
+module N = Ef_netsim
+module C = Ef_collector
+module Ef = Edge_fabric
+module E = Ef_sim.Experiments
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel microbenches (E10)                                         *)
+(* ------------------------------------------------------------------ *)
+
+open Bechamel
+open Toolkit
+
+(* worlds and snapshots prepared once, outside the timed region *)
+let snapshot_of scenario =
+  let world = N.Topo_gen.generate scenario.N.Scenario.topo in
+  let rates =
+    List.map
+      (fun p ->
+        (p, world.N.Topo_gen.prefix_weight p *. world.N.Topo_gen.total_peak_bps))
+      world.N.Topo_gen.all_prefixes
+  in
+  C.Snapshot.of_pop world.N.Topo_gen.pop ~prefix_rates:rates ~time_s:(20 * 3600)
+
+let tiny_snap = lazy (snapshot_of N.Scenario.tiny)
+let pop_a_snap = lazy (snapshot_of N.Scenario.pop_a)
+let stress_snap = lazy (snapshot_of N.Scenario.stress)
+
+let allocator_bench snap_lazy =
+  Staged.stage (fun () ->
+      let snap = Lazy.force snap_lazy in
+      ignore (Ef.Allocator.run ~config:Ef.Config.default snap))
+
+let projection_bench snap_lazy =
+  Staged.stage (fun () ->
+      let snap = Lazy.force snap_lazy in
+      ignore (Ef.Projection.project snap))
+
+let decision_routes =
+  lazy
+    (let snap = Lazy.force pop_a_snap in
+     List.filter_map
+       (fun (p, _) ->
+         match C.Snapshot.routes snap p with
+         | [] | [ _ ] -> None
+         | routes -> Some routes)
+       (C.Snapshot.prefix_rates snap))
+
+let decision_bench =
+  Staged.stage (fun () ->
+      List.iter
+        (fun routes -> ignore (Bgp.Decision.rank routes))
+        (Lazy.force decision_routes))
+
+let lpm_trie =
+  lazy
+    (let snap = Lazy.force pop_a_snap in
+     List.fold_left
+       (fun t (p, r) -> Bgp.Ptrie.add p r t)
+       Bgp.Ptrie.empty
+       (C.Snapshot.prefix_rates snap))
+
+let lpm_bench =
+  Staged.stage (fun () ->
+      let trie = Lazy.force lpm_trie in
+      for i = 0 to 999 do
+        let addr = Bgp.Ipv4.of_int32 (Int32.of_int (0x40000000 + (i * 77777))) in
+        ignore (Bgp.Ptrie.longest_match addr trie)
+      done)
+
+let update_msg =
+  lazy
+    (Bgp.Msg.make_update
+       ~attrs:
+         (Bgp.Attrs.make ~med:(Some 10) ~local_pref:(Some 400)
+            ~communities:[ Bgp.Community.make 65000 911 ]
+            ~as_path:(Bgp.As_path.of_list [ Bgp.Asn.of_int 64500; Bgp.Asn.of_int 7 ])
+            ~next_hop:(Bgp.Ipv4.of_string "10.0.0.1") ())
+       ~nlri:
+         (List.init 50 (fun i ->
+              Bgp.Prefix.make (Bgp.Ipv4.of_octets 10 (i land 0xFF) 0 0) 24))
+       ())
+
+let codec_bench =
+  Staged.stage (fun () ->
+      let msg = Lazy.force update_msg in
+      let wire = Bgp.Codec.encode msg in
+      match Bgp.Codec.decode wire with
+      | Ok _ -> ()
+      | Error _ -> assert false)
+
+let micro_tests =
+  [
+    Test.make ~name:"allocator/tiny(~40pfx)" (allocator_bench tiny_snap);
+    Test.make ~name:"allocator/pop-a(~1.5kpfx)" (allocator_bench pop_a_snap);
+    Test.make ~name:"allocator/stress(~5kpfx)" (allocator_bench stress_snap);
+    Test.make ~name:"projection/pop-a" (projection_bench pop_a_snap);
+    Test.make ~name:"projection/stress" (projection_bench stress_snap);
+    Test.make ~name:"decision-rank/pop-a-all-prefixes" decision_bench;
+    Test.make ~name:"ptrie-lpm/1k-lookups" lpm_bench;
+    Test.make ~name:"codec/update-50-nlri-roundtrip" codec_bench;
+  ]
+
+let run_micro () =
+  print_endline "== E10: controller scale microbenchmarks (Bechamel) ==";
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.5) ~kde:None () in
+  let instance = Instance.monotonic_clock in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  List.iter
+    (fun test ->
+      List.iter
+        (fun case ->
+          let raw = Benchmark.run cfg [ instance ] case in
+          let result = Analyze.one ols instance raw in
+          let ns =
+            match Analyze.OLS.estimates result with
+            | Some [ est ] -> est
+            | Some _ | None -> nan
+          in
+          let name = Test.Elt.name case in
+          if ns >= 1e9 then Printf.printf "  %-40s %10.3f s/run\n%!" name (ns /. 1e9)
+          else if ns >= 1e6 then
+            Printf.printf "  %-40s %10.3f ms/run\n%!" name (ns /. 1e6)
+          else if ns >= 1e3 then
+            Printf.printf "  %-40s %10.3f us/run\n%!" name (ns /. 1e3)
+          else Printf.printf "  %-40s %10.0f ns/run\n%!" name ns)
+        (Test.elements test))
+    micro_tests;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Experiment dispatch                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let experiments : (string * string * (E.run_params -> Ef_stats.Table.t)) list =
+  [
+    ("e1", "peering characterization (Table 1)", fun _ -> E.e1_peering ());
+    ("e2", "route diversity (Fig. 2)", fun _ -> E.e2_route_diversity ());
+    ("e3", "BGP preference mix (Fig. 3)", fun _ -> E.e3_preference_mix ());
+    ( "e4",
+      "projected overload under BGP alone (Fig. 4)",
+      fun p -> E.e4_bgp_only_overload ~params:p () );
+    ( "e5",
+      "detour volume with Edge Fabric (Fig. 7)",
+      fun p -> E.e5_detour_volume ~params:p () );
+    ( "e6",
+      "detour placement by preference level (Fig. 8)",
+      fun p -> E.e6_detour_levels ~params:p () );
+    ( "e7",
+      "override churn + hysteresis ablation (Fig. 9, A2)",
+      fun p -> E.e7_override_churn ~params:p () );
+    ( "e8",
+      "alternate-path RTT quality (Fig. 10)",
+      fun p -> E.e8_altpath_quality ~params:p () );
+    ( "e9",
+      "RTT impact of detours at peak (§6)",
+      fun p -> E.e9_detour_rtt_impact ~params:p () );
+    ( "e11",
+      "performance-aware routing extension (§7)",
+      fun p -> E.e11_perf_aware ~params:p () );
+    ("a1", "iterative vs single-pass allocator", fun p -> E.a1_single_pass ~params:p ());
+    ("a3", "overload threshold sweep", fun p -> E.a3_threshold_sweep ~params:p ());
+    ("a4", "detour granularity", fun p -> E.a4_granularity ~params:p ());
+  ]
+
+let run_one params (id, title, f) =
+  Printf.printf "== %s: %s ==\n%!" (String.uppercase_ascii id) title;
+  Ef_stats.Table.print (f params)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let fast = List.mem "fast" args in
+  let params =
+    if fast then { E.default_params with E.cycle_s = 600 } else E.default_params
+  in
+  let selected = List.filter (fun a -> a <> "fast") args in
+  match selected with
+  | [] | [ "all" ] ->
+      List.iter (run_one params) experiments;
+      run_micro ()
+  | [ "micro" ] -> run_micro ()
+  | ids ->
+      List.iter
+        (fun id ->
+          if id = "micro" then run_micro ()
+          else
+            match List.find_opt (fun (i, _, _) -> i = id) experiments with
+            | Some exp -> run_one params exp
+            | None ->
+                Printf.eprintf
+                  "unknown experiment %S (known: %s, micro, all; modifier: fast)\n"
+                  id
+                  (String.concat ", " (List.map (fun (i, _, _) -> i) experiments));
+                exit 1)
+        ids

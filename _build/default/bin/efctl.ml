@@ -1,0 +1,421 @@
+(* efctl: the Edge Fabric command-line driver.
+
+   Subcommands:
+     scenarios              list the built-in worlds
+     world       -s NAME    describe a generated world
+     cycle       -s NAME    run one controller cycle at a chosen hour and
+                            show its decisions (and the BGP updates)
+     run         -s NAME    simulate hours of a day, print the outcome
+     experiment  ID         regenerate one paper table/figure            *)
+
+module Bgp = Ef_bgp
+module N = Ef_netsim
+module C = Ef_collector
+module Ef = Edge_fabric
+module S = Ef_sim
+open Cmdliner
+
+(* --- shared args ------------------------------------------------------ *)
+
+let scenario_arg =
+  let parse name =
+    match N.Scenario.find name with
+    | Some s -> Ok s
+    | None ->
+        Error
+          (`Msg
+             (Printf.sprintf "unknown scenario %S (known: %s)" name
+                (String.concat ", " (N.Scenario.names ()))))
+  in
+  let print fmt s = Format.pp_print_string fmt s.N.Scenario.scenario_name in
+  Arg.conv (parse, print)
+
+let scenario_t =
+  Arg.(
+    value
+    & opt scenario_arg N.Scenario.pop_a
+    & info [ "s"; "scenario" ] ~docv:"NAME" ~doc:"World to use (see $(b,scenarios)).")
+
+let seed_t =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Simulation seed.")
+
+let hour_t =
+  Arg.(
+    value
+    & opt int 20
+    & info [ "at" ] ~docv:"HOUR" ~doc:"UTC hour of day for the snapshot (0-23).")
+
+(* --- scenarios --------------------------------------------------------- *)
+
+let scenarios_cmd =
+  let run () =
+    List.iter
+      (fun s ->
+        Printf.printf "%-10s %s\n" s.N.Scenario.scenario_name
+          s.N.Scenario.description)
+      N.Scenario.all
+  in
+  Cmd.v (Cmd.info "scenarios" ~doc:"List the built-in worlds.")
+    Term.(const run $ const ())
+
+(* --- world ------------------------------------------------------------- *)
+
+let world_cmd =
+  let run scenario =
+    let world = N.Topo_gen.generate scenario.N.Scenario.topo in
+    let pop = world.N.Topo_gen.pop in
+    Format.printf "%a@." N.Pop.pp pop;
+    Printf.printf "ASes: %d   prefixes: %d   routes: %d\n"
+      (List.length world.N.Topo_gen.ases)
+      (List.length world.N.Topo_gen.all_prefixes)
+      (Bgp.Rib.route_count (N.Pop.rib pop));
+    let table =
+      Ef_stats.Table.create [ "interface"; "capacity"; "peers"; "kind(s)" ]
+    in
+    List.iter
+      (fun iface ->
+        let peers = N.Pop.peers_on_iface pop ~iface_id:(N.Iface.id iface) in
+        let kinds =
+          List.sort_uniq compare
+            (List.map (fun p -> Bgp.Peer.kind_to_string (Bgp.Peer.kind p)) peers)
+        in
+        Ef_stats.Table.add_row table
+          [
+            N.Iface.name iface;
+            Ef_util.Units.rate_to_string (N.Iface.capacity_bps iface);
+            string_of_int (List.length peers);
+            String.concat "," kinds;
+          ])
+      (N.Pop.interfaces pop);
+    Ef_stats.Table.print table
+  in
+  Cmd.v (Cmd.info "world" ~doc:"Describe a generated world.")
+    Term.(const run $ scenario_t)
+
+(* --- cycle -------------------------------------------------------------- *)
+
+let cycle_cmd =
+  let run scenario seed hour verbose =
+    let config =
+      {
+        S.Engine.default_config with
+        S.Engine.start_s = hour * 3600;
+        controller_enabled = false;
+        use_sampling = false;
+        seed;
+      }
+    in
+    let engine = S.Engine.create ~config scenario in
+    ignore (S.Engine.step engine);
+    let snapshot = S.Engine.snapshot_now engine in
+    let ctrl = Ef.Controller.create ~name:scenario.N.Scenario.scenario_name () in
+    let stats = Ef.Controller.cycle ctrl snapshot in
+    Printf.printf "snapshot: %d prefixes, %s offered\n"
+      (C.Snapshot.prefix_count snapshot)
+      (Ef_util.Units.rate_to_string (C.Snapshot.total_rate_bps snapshot));
+    Printf.printf "overloaded before: %d   after: %d\n"
+      (List.length stats.Ef.Controller.overloaded_before)
+      (List.length stats.Ef.Controller.overloaded_after);
+    List.iter
+      (fun (iface, util) ->
+        Printf.printf "  %-16s %.2f -> %.2f\n" (N.Iface.name iface) util
+          (Ef.Projection.utilization stats.Ef.Controller.enforced iface))
+      stats.Ef.Controller.overloaded_before;
+    Printf.printf "overrides: %d (%s detoured, %s of traffic)\n"
+      (List.length stats.Ef.Controller.reconcile.Ef.Hysteresis.active)
+      (Ef_util.Units.rate_to_string stats.Ef.Controller.detoured_bps)
+      (Format.asprintf "%a" Ef_util.Units.pp_percent
+         (Ef.Controller.detour_fraction stats));
+    if verbose then begin
+      List.iter
+        (fun o -> Format.printf "  %a@." Ef.Override.pp o)
+        stats.Ef.Controller.reconcile.Ef.Hysteresis.active;
+      print_endline "BGP updates:";
+      List.iter
+        (fun u -> Format.printf "  %a@." Bgp.Msg.pp (Bgp.Msg.Update u))
+        (Ef.Controller.bgp_updates ctrl stats)
+    end
+  in
+  let verbose_t =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print each override and update.")
+  in
+  Cmd.v
+    (Cmd.info "cycle" ~doc:"Run one controller cycle on a peak snapshot.")
+    Term.(const run $ scenario_t $ seed_t $ hour_t $ verbose_t)
+
+(* --- run ----------------------------------------------------------------- *)
+
+let run_cmd =
+  let run scenario seed hours cycle_s no_controller no_sampling =
+    let config =
+      {
+        S.Engine.default_config with
+        S.Engine.cycle_s;
+        duration_s = hours * 3600;
+        controller_enabled = not no_controller;
+        use_sampling = not no_sampling;
+        seed;
+      }
+    in
+    let engine = S.Engine.create ~config scenario in
+    let metrics = S.Engine.run engine in
+    let rows = S.Metrics.rows metrics in
+    Printf.printf "%s: %d cycles over %dh (controller %s)\n"
+      scenario.N.Scenario.scenario_name (List.length rows) hours
+      (if no_controller then "off" else "on");
+    let peaks mode = S.Metrics.peak_utilization metrics mode in
+    let max_util mode =
+      List.fold_left (fun acc (_, u) -> Float.max acc u) 0.0 (peaks mode)
+    in
+    Printf.printf "peak interface utilization: %.2f (BGP-only would be %.2f)\n"
+      (max_util `Actual) (max_util `Preferred);
+    Printf.printf "interfaces over capacity: %s (BGP-only: %s)\n"
+      (Format.asprintf "%a" Ef_util.Units.pp_percent
+         (S.Metrics.overloaded_iface_fraction metrics `Actual ~threshold:1.0))
+      (Format.asprintf "%a" Ef_util.Units.pp_percent
+         (S.Metrics.overloaded_iface_fraction metrics `Preferred ~threshold:1.0));
+    Printf.printf "mean detoured: %s   drops: %s vs %s (BGP-only)\n"
+      (Format.asprintf "%a" Ef_util.Units.pp_percent
+         (S.Metrics.mean_detour_fraction metrics))
+      (Ef_util.Units.rate_to_string
+         (S.Metrics.total_dropped metrics `Actual
+         /. float_of_int (max 1 (List.length rows))))
+      (Ef_util.Units.rate_to_string
+         (S.Metrics.total_dropped metrics `Preferred
+         /. float_of_int (max 1 (List.length rows))));
+    match S.Metrics.lifetime_cdf metrics with
+    | None -> ()
+    | Some cdf ->
+        Printf.printf "override lifetimes: p50 %.0fs p90 %.0fs (%d releases)\n"
+          (Ef_stats.Cdf.quantile cdf 0.5)
+          (Ef_stats.Cdf.quantile cdf 0.9)
+          (Ef_stats.Cdf.count cdf)
+  in
+  let hours_t =
+    Arg.(value & opt int 24 & info [ "hours" ] ~docv:"H" ~doc:"Simulated duration.")
+  in
+  let cycle_t =
+    Arg.(value & opt int 120 & info [ "cycle" ] ~docv:"SEC" ~doc:"Controller period.")
+  in
+  let no_controller_t =
+    Arg.(value & flag & info [ "no-controller" ] ~doc:"BGP-only baseline.")
+  in
+  let no_sampling_t =
+    Arg.(value & flag & info [ "no-sampling" ] ~doc:"Give the controller true rates.")
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Simulate a day and summarise the outcome.")
+    Term.(
+      const run $ scenario_t $ seed_t $ hours_t $ cycle_t $ no_controller_t
+      $ no_sampling_t)
+
+(* --- experiment ----------------------------------------------------------- *)
+
+let experiment_cmd =
+  let run id cycle_s =
+    let params = { S.Experiments.default_params with S.Experiments.cycle_s } in
+    let table =
+      match id with
+      | "e1" -> Some (S.Experiments.e1_peering ())
+      | "e2" -> Some (S.Experiments.e2_route_diversity ())
+      | "e3" -> Some (S.Experiments.e3_preference_mix ())
+      | "e4" -> Some (S.Experiments.e4_bgp_only_overload ~params ())
+      | "e5" -> Some (S.Experiments.e5_detour_volume ~params ())
+      | "e6" -> Some (S.Experiments.e6_detour_levels ~params ())
+      | "e7" -> Some (S.Experiments.e7_override_churn ~params ())
+      | "e8" -> Some (S.Experiments.e8_altpath_quality ~params ())
+      | "e9" -> Some (S.Experiments.e9_detour_rtt_impact ~params ())
+      | "e11" -> Some (S.Experiments.e11_perf_aware ~params ())
+      | "a1" -> Some (S.Experiments.a1_single_pass ~params ())
+      | "a3" -> Some (S.Experiments.a3_threshold_sweep ~params ())
+      | "a4" -> Some (S.Experiments.a4_granularity ~params ())
+      | _ -> None
+    in
+    match table with
+    | Some t ->
+        Ef_stats.Table.print t;
+        `Ok ()
+    | None ->
+        `Error (false, Printf.sprintf "unknown experiment %S (e1-e9, a1, a3, a4)" id)
+  in
+  let id_t =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"ID" ~doc:"e1..e9, a1, a3, a4.")
+  in
+  let cycle_t =
+    Arg.(value & opt int 120 & info [ "cycle" ] ~docv:"SEC" ~doc:"Controller period.")
+  in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Regenerate one table/figure of the paper.")
+    Term.(ret (const run $ id_t $ cycle_t))
+
+(* --- topo (graphviz export) ----------------------------------------------- *)
+
+let topo_cmd =
+  let run scenario =
+    let world = N.Topo_gen.generate scenario.N.Scenario.topo in
+    let pop = world.N.Topo_gen.pop in
+    Printf.printf "graph %s {\n  rankdir=LR;\n  node [shape=box];\n"
+      (String.map (fun c -> if c = '-' then '_' else c) (N.Pop.name pop));
+    Printf.printf "  pop [label=\"%s\\n%s\", style=filled];\n" (N.Pop.name pop)
+      (Ef_util.Units.rate_to_string (N.Pop.total_capacity_bps pop));
+    List.iter
+      (fun iface ->
+        Printf.printf "  iface%d [label=\"%s\\n%s\"];\n  pop -- iface%d;\n"
+          (N.Iface.id iface) (N.Iface.name iface)
+          (Ef_util.Units.rate_to_string (N.Iface.capacity_bps iface))
+          (N.Iface.id iface);
+        List.iter
+          (fun peer ->
+            Printf.printf
+              "  peer%d [label=\"%s\", shape=ellipse];\n  iface%d -- peer%d;\n"
+              (Bgp.Peer.id peer) peer.Bgp.Peer.name (N.Iface.id iface)
+              (Bgp.Peer.id peer))
+          (N.Pop.peers_on_iface pop ~iface_id:(N.Iface.id iface)))
+      (N.Pop.interfaces pop);
+    print_endline "}"
+  in
+  Cmd.v
+    (Cmd.info "topo" ~doc:"Print the PoP topology as graphviz dot.")
+    Term.(const run $ scenario_t)
+
+(* --- dump (MRT export) --------------------------------------------------- *)
+
+let dump_cmd =
+  let run scenario out =
+    let world = N.Topo_gen.generate scenario.N.Scenario.topo in
+    let rib = N.Pop.rib world.N.Topo_gen.pop in
+    let mrt =
+      Bgp.Mrt.of_rib ~collector_id:(Bgp.Ipv4.of_string "10.0.0.1") rib
+    in
+    Bgp.Mrt.save out ~timestamp:0 mrt;
+    Printf.printf "wrote %d peers, %d prefixes (%d routes) to %s (MRT TABLE_DUMP_V2)\n"
+      (List.length mrt.Bgp.Mrt.peers)
+      (List.length mrt.Bgp.Mrt.records)
+      (Bgp.Rib.route_count rib) out
+  in
+  let out_t =
+    Arg.(
+      value & opt string "rib.mrt"
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"MRT file to write.")
+  in
+  Cmd.v
+    (Cmd.info "dump" ~doc:"Export a world's RIB as an MRT TABLE_DUMP_V2 file.")
+    Term.(const run $ scenario_t $ out_t)
+
+(* --- fleet ------------------------------------------------------------- *)
+
+let fleet_cmd =
+  let run seed hours cycle_s =
+    let config =
+      {
+        S.Engine.default_config with
+        S.Engine.cycle_s;
+        duration_s = hours * 3600;
+        seed;
+      }
+    in
+    let fleet = S.Fleet.of_paper_pops ~config () in
+    Printf.printf "running %d PoPs for %dh (this is %d controller cycles)...\n%!"
+      (List.length (S.Fleet.engines fleet))
+      hours
+      (List.length (S.Fleet.engines fleet) * hours * 3600 / cycle_s);
+    let results = S.Fleet.run fleet in
+    Ef_stats.Table.print (S.Fleet.summary_table results)
+  in
+  let hours_t =
+    Arg.(value & opt int 24 & info [ "hours" ] ~docv:"H" ~doc:"Simulated duration.")
+  in
+  let cycle_t =
+    Arg.(value & opt int 300 & info [ "cycle" ] ~docv:"SEC" ~doc:"Controller period.")
+  in
+  Cmd.v
+    (Cmd.info "fleet" ~doc:"Run every paper PoP and print the fleet dashboard.")
+    Term.(const run $ seed_t $ hours_t $ cycle_t)
+
+(* --- record / replay ------------------------------------------------------ *)
+
+let record_cmd =
+  let run scenario seed hour hours cycle_s out =
+    let config =
+      {
+        S.Engine.default_config with
+        S.Engine.cycle_s;
+        duration_s = hours * 3600;
+        start_s = hour * 3600;
+        controller_enabled = false;
+        seed;
+      }
+    in
+    let engine = S.Engine.create ~config scenario in
+    let snapshots = ref [] in
+    for _ = 1 to hours * 3600 / cycle_s do
+      ignore (S.Engine.step engine);
+      snapshots := S.Engine.snapshot_now engine :: !snapshots
+    done;
+    let snapshots = List.rev !snapshots in
+    C.Trace.save out snapshots;
+    Printf.printf "recorded %d snapshots to %s
+" (List.length snapshots) out
+  in
+  let hours_t =
+    Arg.(value & opt int 1 & info [ "hours" ] ~docv:"H" ~doc:"Window length.")
+  in
+  let cycle_t =
+    Arg.(value & opt int 300 & info [ "cycle" ] ~docv:"SEC" ~doc:"Snapshot period.")
+  in
+  let out_t =
+    Arg.(
+      value & opt string "trace.txt"
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Trace file to write.")
+  in
+  Cmd.v
+    (Cmd.info "record" ~doc:"Record controller-input snapshots to a trace file.")
+    Term.(const run $ scenario_t $ seed_t $ hour_t $ hours_t $ cycle_t $ out_t)
+
+let replay_cmd =
+  let run file threshold =
+    match C.Trace.load file with
+    | Error msg -> `Error (false, msg)
+    | Ok snapshots ->
+        let config =
+          { Ef.Config.default with Ef.Config.overload_threshold = threshold }
+        in
+        let ctrl = Ef.Controller.create ~config ~name:"replay" () in
+        Printf.printf "%-9s %-10s %-11s %-9s %-9s %s\n" "time" "prefixes"
+          "overloaded" "overrides" "detoured" "residual";
+        List.iter
+          (fun snapshot ->
+            let stats = Ef.Controller.cycle ctrl snapshot in
+            Printf.printf "%-9s %-10d %-11d %-9d %-9s %d\n"
+              (Format.asprintf "%a" Ef_util.Units.pp_time_of_day
+                 stats.Ef.Controller.time_s)
+              (C.Snapshot.prefix_count snapshot)
+              (List.length stats.Ef.Controller.overloaded_before)
+              (List.length stats.Ef.Controller.reconcile.Ef.Hysteresis.active)
+              (Format.asprintf "%a" Ef_util.Units.pp_percent
+                 (Ef.Controller.detour_fraction stats))
+              (List.length stats.Ef.Controller.allocator.Ef.Allocator.residual))
+          snapshots;
+        `Ok ()
+  in
+  let file_t =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Trace file.")
+  in
+  let threshold_t =
+    Arg.(
+      value & opt float 0.95
+      & info [ "threshold" ] ~docv:"T" ~doc:"Overload threshold to replay with.")
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:"Replay a recorded trace through a (possibly reconfigured) controller.")
+    Term.(ret (const run $ file_t $ threshold_t))
+
+let () =
+  let doc = "Edge Fabric: egress traffic engineering, reproduced in OCaml" in
+  let info = Cmd.info "efctl" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info [ scenarios_cmd; world_cmd; cycle_cmd; run_cmd; experiment_cmd; record_cmd; replay_cmd; fleet_cmd; dump_cmd; topo_cmd ]))

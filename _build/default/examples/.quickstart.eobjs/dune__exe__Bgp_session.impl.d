@@ -1,0 +1,1 @@
+examples/bgp_session.ml: Ef_bgp Format List Printf Queue String

@@ -1,0 +1,1 @@
+examples/flash_crowd.ml: Ef_bgp Ef_netsim Ef_sim Ef_traffic Ef_util Format List Printf

@@ -1,0 +1,1 @@
+examples/peak_crisis.ml: Ef_netsim Ef_sim Ef_stats Ef_util Float Format List Option Printf

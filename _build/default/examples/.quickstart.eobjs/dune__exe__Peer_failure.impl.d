@@ -1,0 +1,1 @@
+examples/peer_failure.ml: Ef_bgp Ef_netsim Ef_sim Ef_util Float Format List Printf

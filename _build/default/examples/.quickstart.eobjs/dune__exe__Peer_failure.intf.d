@@ -1,0 +1,1 @@
+examples/peer_failure.mli:

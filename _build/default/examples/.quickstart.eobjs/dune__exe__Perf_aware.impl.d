@@ -1,0 +1,1 @@
+examples/perf_aware.ml: Edge_fabric Ef_altpath Ef_bgp Ef_collector Ef_netsim Ef_sim Ef_util Float Format List Option Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Edge_fabric Ef_bgp Ef_collector Ef_netsim Format List String

@@ -1,0 +1,96 @@
+(* Flash crowd: watch the controller react, cycle by cycle.
+
+   Run with:  dune exec examples/flash_crowd.exe
+
+   At 19:10 the most popular prefix behind a private interconnect gets a
+   12x surge for half an hour (a live event starting). The timeline shows
+   the controller noticing the overload within a cycle or two (its view
+   is smoothed sFlow estimates, so it lags slightly), detouring the
+   excess, and releasing the overrides after demand subsides. *)
+
+module Bgp = Ef_bgp
+module N = Ef_netsim
+module S = Ef_sim
+module T = Ef_traffic
+module Units = Ef_util.Units
+
+let scenario = N.Scenario.pop_a
+
+let () =
+  (* find the biggest prefix whose best route is a private interconnect *)
+  let world = N.Topo_gen.generate scenario.N.Scenario.topo in
+  let rib = N.Pop.rib world.N.Topo_gen.pop in
+  let victim =
+    world.N.Topo_gen.all_prefixes
+    |> List.filter (fun p ->
+           match Bgp.Rib.best rib p with
+           | Some r -> Bgp.Route.peer_kind r = Bgp.Peer.Private_peer
+           | None -> false)
+    |> List.sort (fun a b ->
+           compare (world.N.Topo_gen.prefix_weight b) (world.N.Topo_gen.prefix_weight a))
+    |> List.hd
+  in
+  let victim_iface =
+    match Bgp.Rib.best rib victim with
+    | Some r ->
+        N.Pop.iface_of_peer world.N.Topo_gen.pop ~peer_id:(Bgp.Route.peer_id r)
+    | None -> assert false
+  in
+  Format.printf "Victim prefix: %a (normally on %s)@." Bgp.Prefix.pp victim
+    (N.Iface.name victim_iface);
+
+  let event =
+    {
+      T.Demand.event_prefix = victim;
+      start_s = (19 * 3600) + 600;
+      duration_s = 1800;
+      multiplier = 12.0;
+    }
+  in
+  let config =
+    {
+      S.Engine.default_config with
+      S.Engine.cycle_s = 60;
+      duration_s = 2 * 3600;
+      start_s = 19 * 3600;
+      seed = 7;
+      events = [ event ];
+    }
+  in
+  let engine = S.Engine.create ~config scenario in
+
+  Printf.printf "%-7s %-12s %-10s %-11s %-9s %s\n" "time" "victim-iface" "overrides"
+    "detoured" "dropped" "note";
+  for _ = 1 to 2 * 3600 / 60 do
+    let row = S.Engine.step engine in
+    let t = row.S.Metrics.row_time_s in
+    let util =
+      match
+        List.find_opt
+          (fun u -> u.S.Metrics.u_iface_id = N.Iface.id victim_iface)
+          row.S.Metrics.ifaces
+      with
+      | Some u -> u.S.Metrics.actual_bps /. u.S.Metrics.capacity_bps
+      | None -> 0.0
+    in
+    let in_event = t >= event.T.Demand.start_s && t < event.T.Demand.start_s + event.T.Demand.duration_s in
+    let note =
+      if t = event.T.Demand.start_s then "<- surge starts"
+      else if t = event.T.Demand.start_s + event.T.Demand.duration_s then "<- surge ends"
+      else if in_event && row.S.Metrics.overrides_added > 0 then "controller reacts"
+      else if (not in_event) && row.S.Metrics.overrides_removed > 0 then "releases"
+      else ""
+    in
+    (* print only the interesting window plus a sparse backdrop *)
+    if t mod 600 = 0 || in_event || note <> "" || row.S.Metrics.overrides_removed > 0
+    then
+      Printf.printf "%-7s %-12.2f %-10d %-11s %-9s %s\n"
+        (Format.asprintf "%a" Units.pp_time_of_day t)
+        util row.S.Metrics.overrides_active
+        (Format.asprintf "%a" Units.pp_percent
+           (if row.S.Metrics.offered_bps > 0.0 then
+              row.S.Metrics.detoured_bps /. row.S.Metrics.offered_bps
+            else 0.0))
+        (Units.rate_to_string row.S.Metrics.dropped_bps)
+        note
+  done

@@ -1,0 +1,1 @@
+lib/altpath/dscp.ml: Format Int Option

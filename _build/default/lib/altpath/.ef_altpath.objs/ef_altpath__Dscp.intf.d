@@ -1,0 +1,1 @@
+lib/altpath/dscp.mli: Format

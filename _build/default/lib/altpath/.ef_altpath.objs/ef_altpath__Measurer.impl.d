@@ -1,0 +1,1 @@
+lib/altpath/measurer.ml: Array Ef_bgp Ef_collector Ef_netsim Ef_util List Path_store Rng

@@ -1,0 +1,1 @@
+lib/altpath/measurer.mli: Ef_bgp Ef_collector Ef_netsim Path_store

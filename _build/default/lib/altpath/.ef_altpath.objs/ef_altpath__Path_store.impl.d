@@ -1,0 +1,1 @@
+lib/altpath/path_store.ml: Array Ef_bgp Hashtbl List Option Queue

@@ -1,0 +1,1 @@
+lib/altpath/path_store.mli: Ef_bgp

@@ -1,0 +1,1 @@
+lib/altpath/perf_policy.ml: Edge_fabric Ef_bgp Ef_collector Ef_netsim List Path_store

@@ -1,0 +1,1 @@
+lib/altpath/perf_policy.mli: Edge_fabric Ef_bgp Ef_collector Path_store

@@ -1,0 +1,28 @@
+type t = int
+
+(* AF31/AF32/AF33 class selectors, as production systems reuse existing
+   forwarding classes for measurement *)
+let default = 0
+let alt1 = 26
+let alt2 = 28
+let alt3 = 30
+
+let of_preference_level = function
+  | 0 -> Some default
+  | 1 -> Some alt1
+  | 2 -> Some alt2
+  | 3 -> Some alt3
+  | _ -> None
+
+let to_preference_level t =
+  if t = default then Some 0
+  else if t = alt1 then Some 1
+  else if t = alt2 then Some 2
+  else if t = alt3 then Some 3
+  else None
+
+let of_int i = if Option.is_some (to_preference_level i) then Some i else None
+let to_int t = t
+let all_alternates = [ alt1; alt2; alt3 ]
+let equal = Int.equal
+let pp fmt t = Format.fprintf fmt "dscp%d" t

@@ -1,0 +1,28 @@
+(** DSCP marking for alternate-path measurement.
+
+    Production Edge Fabric steers a sliver of flows onto alternate routes
+    by having front-end servers set a DSCP value and the peering routers
+    apply per-DSCP policy routing. Four code points are reserved: 0 keeps
+    the BGP/controller decision, and three measurement classes pin a flow
+    to the 2nd/3rd/4th-preference route. *)
+
+type t = private int
+
+val default : t
+(** 0 — follow normal routing. *)
+
+val alt1 : t
+val alt2 : t
+val alt3 : t
+
+val of_preference_level : int -> t option
+(** [of_preference_level 1] is [Some alt1] (the 2nd-choice route), …;
+    level 0 maps to [Some default]; levels above 3 are unmeasurable
+    ([None]). *)
+
+val to_preference_level : t -> int option
+val of_int : int -> t option
+val to_int : t -> int
+val all_alternates : t list
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

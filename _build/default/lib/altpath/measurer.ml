@@ -1,0 +1,98 @@
+module Bgp = Ef_bgp
+module Snapshot = Ef_collector.Snapshot
+open Ef_util
+
+type config = {
+  prefixes_per_cycle : int;
+  samples_per_path : int;
+  max_levels : int;
+  sliver_fraction : float;
+}
+
+let default_config =
+  {
+    prefixes_per_cycle = 200;
+    samples_per_path = 8;
+    max_levels = 3;
+    sliver_fraction = 0.005;
+  }
+
+type t = {
+  config : config;
+  rng : Rng.t;
+  store : Path_store.t;
+}
+
+let create ?(config = default_config) ~seed () =
+  if config.max_levels < 1 || config.max_levels > 3 then
+    invalid_arg "Measurer.create: max_levels must be in [1, 3]";
+  { config; rng = Rng.create seed; store = Path_store.create () }
+
+let config t = t.config
+let store t = t.store
+
+type cycle_report = {
+  measured_prefixes : Bgp.Prefix.t list;
+  samples_taken : int;
+  diverted_bps : float;
+}
+
+let measurable_routes t snapshot prefix =
+  (* primary + up to max_levels alternates, skipping levels DSCP cannot
+     express *)
+  let ranked = Snapshot.routes snapshot prefix in
+  List.filteri (fun level _ -> level <= t.config.max_levels) ranked
+
+let cycle t snapshot ~latency ~utilization =
+  let rated = Snapshot.prefix_rates snapshot in
+  let pool = Array.of_list rated in
+  let chosen =
+    if Array.length pool = 0 then [||]
+    else
+      Rng.sample_without_replacement t.rng t.config.prefixes_per_cycle pool
+  in
+  let samples = ref 0 in
+  let diverted = ref 0.0 in
+  let measured = ref [] in
+  Array.iter
+    (fun (prefix, rate) ->
+      let routes = measurable_routes t snapshot prefix in
+      match routes with
+      | [] | [ _ ] -> () (* nothing to compare *)
+      | _ ->
+          measured := prefix :: !measured;
+          diverted := !diverted +. (rate *. t.config.sliver_fraction);
+          List.iter
+            (fun route ->
+              let util =
+                match Snapshot.iface_of_route snapshot route with
+                | None -> 0.0
+                | Some iface -> utilization (Ef_netsim.Iface.id iface)
+              in
+              for _ = 1 to t.config.samples_per_path do
+                let rtt =
+                  Ef_netsim.Latency.sample_rtt_ms latency t.rng prefix route
+                    ~utilization:util
+                in
+                Path_store.observe t.store ~prefix
+                  ~peer_id:(Bgp.Route.peer_id route) ~rtt_ms:rtt;
+                incr samples
+              done)
+            routes)
+    chosen;
+  {
+    measured_prefixes = List.rev !measured;
+    samples_taken = !samples;
+    diverted_bps = !diverted;
+  }
+
+let comparisons t snapshot =
+  List.filter_map
+    (fun (prefix, _rate) ->
+      match Snapshot.routes snapshot prefix with
+      | [] | [ _ ] -> None
+      | primary :: alts ->
+          Path_store.compare_paths t.store ~prefix
+            ~primary:(Bgp.Route.peer_id primary)
+            ~alternates:(List.map Bgp.Route.peer_id alts))
+    (Snapshot.prefix_rates snapshot)

@@ -1,0 +1,45 @@
+(** The alternate-path measurement scheduler.
+
+    Each cycle it picks a random subset of rated prefixes, and for each
+    one routes a measurement sliver over the primary and up to three
+    alternate routes (the DSCP classes), collecting RTT samples into a
+    {!Path_store}. The sliver is small enough (default 0.5 %) that it
+    never meaningfully loads the alternates — matching the paper's
+    deployment, where measurement traffic is a rounding error. *)
+
+type config = {
+  prefixes_per_cycle : int;   (** random prefixes measured each cycle *)
+  samples_per_path : int;     (** RTT samples collected per path *)
+  max_levels : int;           (** alternates measured, <= 3 *)
+  sliver_fraction : float;    (** fraction of the prefix's traffic diverted *)
+}
+
+val default_config : config
+(** 200 prefixes/cycle, 8 samples/path, 3 alternates, 0.5 %. *)
+
+type t
+
+val create : ?config:config -> seed:int -> unit -> t
+val config : t -> config
+val store : t -> Path_store.t
+
+type cycle_report = {
+  measured_prefixes : Ef_bgp.Prefix.t list;
+  samples_taken : int;
+  diverted_bps : float;   (** total measurement sliver this cycle *)
+}
+
+val cycle :
+  t ->
+  Ef_collector.Snapshot.t ->
+  latency:Ef_netsim.Latency.t ->
+  utilization:(int -> float) ->
+  cycle_report
+(** [utilization] maps an interface id to its current utilization, so
+    congestion on a path shows up in its measured RTT — exactly how the
+    paper detects that a detour or an overloaded path hurts. *)
+
+val comparisons :
+  t -> Ef_collector.Snapshot.t -> Path_store.comparison list
+(** All prefixes whose primary and at least one alternate have samples,
+    compared (Figure-10 material). *)

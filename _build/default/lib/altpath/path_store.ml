@@ -1,0 +1,105 @@
+module Bgp = Ef_bgp
+
+type path_key = {
+  key_prefix : Bgp.Prefix.t;
+  key_peer : int;
+}
+
+type comparison = {
+  cmp_prefix : Bgp.Prefix.t;
+  primary_peer : int;
+  primary_median_ms : float;
+  best_alt_peer : int;
+  best_alt_median_ms : float;
+  delta_ms : float;
+}
+
+module Ktbl = Hashtbl.Make (struct
+  type t = path_key
+
+  let equal a b = a.key_peer = b.key_peer && Bgp.Prefix.equal a.key_prefix b.key_prefix
+  let hash k = (Bgp.Prefix.hash k.key_prefix * 31) + k.key_peer
+end)
+
+type t = {
+  window : int;
+  samples : float Queue.t Ktbl.t;
+}
+
+let create ?(window = 64) () =
+  if window < 1 then invalid_arg "Path_store.create: window must be >= 1";
+  { window; samples = Ktbl.create 256 }
+
+let observe t ~prefix ~peer_id ~rtt_ms =
+  let key = { key_prefix = prefix; key_peer = peer_id } in
+  let q =
+    match Ktbl.find_opt t.samples key with
+    | Some q -> q
+    | None ->
+        let q = Queue.create () in
+        Ktbl.replace t.samples key q;
+        q
+  in
+  Queue.push rtt_ms q;
+  if Queue.length q > t.window then ignore (Queue.pop q)
+
+let sample_count t ~prefix ~peer_id =
+  match Ktbl.find_opt t.samples { key_prefix = prefix; key_peer = peer_id } with
+  | None -> 0
+  | Some q -> Queue.length q
+
+let median_rtt_ms t ~prefix ~peer_id =
+  match Ktbl.find_opt t.samples { key_prefix = prefix; key_peer = peer_id } with
+  | None -> None
+  | Some q when Queue.is_empty q -> None
+  | Some q ->
+      let arr = Array.of_seq (Queue.to_seq q) in
+      Array.sort compare arr;
+      let n = Array.length arr in
+      Some
+        (if n mod 2 = 1 then arr.(n / 2)
+         else (arr.((n / 2) - 1) +. arr.(n / 2)) /. 2.0)
+
+let compare_paths t ~prefix ~primary ~alternates =
+  match median_rtt_ms t ~prefix ~peer_id:primary with
+  | None -> None
+  | Some primary_median ->
+      let alts =
+        List.filter_map
+          (fun peer ->
+            Option.map
+              (fun m -> (peer, m))
+              (median_rtt_ms t ~prefix ~peer_id:peer))
+          alternates
+      in
+      let best =
+        List.fold_left
+          (fun acc (peer, m) ->
+            match acc with
+            | None -> Some (peer, m)
+            | Some (_, best_m) when m < best_m -> Some (peer, m)
+            | Some _ -> acc)
+          None alts
+      in
+      Option.map
+        (fun (best_alt_peer, best_alt_median_ms) ->
+          {
+            cmp_prefix = prefix;
+            primary_peer = primary;
+            primary_median_ms = primary_median;
+            best_alt_peer;
+            best_alt_median_ms;
+            delta_ms = best_alt_median_ms -. primary_median;
+          })
+        best
+
+let paths_measured t = Ktbl.length t.samples
+
+let clear_prefix t prefix =
+  let keys =
+    Ktbl.fold
+      (fun k _ acc ->
+        if Bgp.Prefix.equal k.key_prefix prefix then k :: acc else acc)
+      t.samples []
+  in
+  List.iter (Ktbl.remove t.samples) keys

@@ -1,0 +1,38 @@
+(** Rolling per-(prefix, peer) RTT statistics.
+
+    The measurement pipeline produces RTT samples for a prefix over
+    several candidate routes; this store keeps a bounded window per path
+    and answers the question the paper's Figure-10 analysis asks: how
+    does each alternate's median compare with the primary's? *)
+
+type path_key = {
+  key_prefix : Ef_bgp.Prefix.t;
+  key_peer : int;   (** peer id identifying the egress route *)
+}
+
+type comparison = {
+  cmp_prefix : Ef_bgp.Prefix.t;
+  primary_peer : int;
+  primary_median_ms : float;
+  best_alt_peer : int;
+  best_alt_median_ms : float;
+  delta_ms : float;  (** alt − primary: negative = alternate is faster *)
+}
+
+type t
+
+val create : ?window:int -> unit -> t
+(** [window] samples retained per path (default 64, FIFO eviction). *)
+
+val observe : t -> prefix:Ef_bgp.Prefix.t -> peer_id:int -> rtt_ms:float -> unit
+val sample_count : t -> prefix:Ef_bgp.Prefix.t -> peer_id:int -> int
+val median_rtt_ms : t -> prefix:Ef_bgp.Prefix.t -> peer_id:int -> float option
+
+val compare_paths :
+  t -> prefix:Ef_bgp.Prefix.t -> primary:int -> alternates:int list ->
+  comparison option
+(** [None] until both the primary and at least one alternate have
+    samples. The best alternate is the lowest-median one. *)
+
+val paths_measured : t -> int
+val clear_prefix : t -> Ef_bgp.Prefix.t -> unit

@@ -1,0 +1,1 @@
+lib/bgp/attrs.ml: As_path Community Format Int Ipv4 List Option

@@ -1,0 +1,1 @@
+lib/bgp/attrs.mli: As_path Asn Community Format Ipv4

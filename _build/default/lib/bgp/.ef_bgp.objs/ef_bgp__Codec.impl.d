@@ -1,0 +1,1 @@
+lib/bgp/codec.ml: As_path Asn Attrs Buffer Char Community Format Int32 Ipv4 List Msg Prefix String

@@ -1,0 +1,1 @@
+lib/bgp/community.ml: Format Int32 Printf String

@@ -1,0 +1,1 @@
+lib/bgp/damping.ml: Float Hashtbl List Prefix

@@ -1,0 +1,1 @@
+lib/bgp/decision.ml: As_path Asn Attrs Hashtbl Int Int32 Ipv4 List Option Peer Route

@@ -1,0 +1,1 @@
+lib/bgp/fsm.ml: Asn Format Ipv4 List Msg

@@ -1,0 +1,1 @@
+lib/bgp/fsm.mli: Asn Format Ipv4 Msg

@@ -1,0 +1,1 @@
+lib/bgp/ipv4.ml: Format Int32 Printf String

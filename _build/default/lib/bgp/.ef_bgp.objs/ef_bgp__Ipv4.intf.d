@@ -1,0 +1,1 @@
+lib/bgp/ipv4.mli: Format

@@ -1,0 +1,1 @@
+lib/bgp/mrt.ml: Asn Attrs Buffer Char Codec Format Fun Hashtbl In_channel Int32 Ipv4 List Peer Prefix Rib Route String

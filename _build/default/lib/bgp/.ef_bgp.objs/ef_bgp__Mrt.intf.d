@@ -1,0 +1,1 @@
+lib/bgp/mrt.mli: Asn Attrs Format Ipv4 Prefix Rib

@@ -1,0 +1,1 @@
+lib/bgp/msg.ml: Asn Attrs Format Ipv4 List Option Prefix String

@@ -1,0 +1,1 @@
+lib/bgp/msg.mli: Asn Attrs Format Ipv4 Prefix

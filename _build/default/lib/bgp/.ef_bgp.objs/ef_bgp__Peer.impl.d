@@ -1,0 +1,1 @@
+lib/bgp/peer.ml: Asn Format Int Ipv4

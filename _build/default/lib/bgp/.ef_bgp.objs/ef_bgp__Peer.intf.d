@@ -1,0 +1,1 @@
+lib/bgp/peer.mli: Asn Format Ipv4

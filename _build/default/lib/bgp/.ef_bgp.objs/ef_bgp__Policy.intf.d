@@ -1,0 +1,1 @@
+lib/bgp/policy.mli: Asn Attrs Community Peer Prefix Route

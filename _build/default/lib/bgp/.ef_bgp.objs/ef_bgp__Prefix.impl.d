@@ -1,0 +1,1 @@
+lib/bgp/prefix.ml: Float Format Int Int32 Ipv4 List Printf String

@@ -1,0 +1,1 @@
+lib/bgp/prefix_set.ml: List Prefix Ptrie

@@ -1,0 +1,1 @@
+lib/bgp/prefix_set.mli: Ipv4 Prefix

@@ -1,0 +1,1 @@
+lib/bgp/ptrie.ml: Int32 Ipv4 List Option Prefix

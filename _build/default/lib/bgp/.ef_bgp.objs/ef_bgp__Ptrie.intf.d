@@ -1,0 +1,1 @@
+lib/bgp/ptrie.mli: Ipv4 Prefix

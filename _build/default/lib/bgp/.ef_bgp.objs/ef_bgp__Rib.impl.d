@@ -1,0 +1,1 @@
+lib/bgp/rib.ml: As_path Asn Attrs Decision Hashtbl List Msg Option Peer Policy Prefix Printf Ptrie Route

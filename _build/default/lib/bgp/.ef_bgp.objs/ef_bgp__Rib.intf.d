@@ -1,0 +1,1 @@
+lib/bgp/rib.mli: Asn Attrs Decision Ipv4 Msg Peer Policy Prefix Route

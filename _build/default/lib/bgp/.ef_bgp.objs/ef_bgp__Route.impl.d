@@ -1,0 +1,1 @@
+lib/bgp/route.ml: As_path Attrs Format Peer Prefix

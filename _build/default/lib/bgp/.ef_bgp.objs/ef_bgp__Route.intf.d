@@ -1,0 +1,1 @@
+lib/bgp/route.mli: Asn Attrs Community Format Ipv4 Peer Prefix

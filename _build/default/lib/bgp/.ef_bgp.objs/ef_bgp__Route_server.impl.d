@@ -1,0 +1,1 @@
+lib/bgp/route_server.ml: Asn Hashtbl Ipv4 List Msg Peer Policy Printf Rib Route

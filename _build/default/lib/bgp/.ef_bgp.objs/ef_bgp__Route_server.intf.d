@@ -1,0 +1,1 @@
+lib/bgp/route_server.mli: Asn Ipv4 Msg Peer Policy Prefix Route

@@ -1,0 +1,1 @@
+lib/bgp/speaker.ml: As_path Asn Attrs Codec Fsm Hashtbl Ipv4 List Msg Option Peer Policy Printf Ptrie Rib Route

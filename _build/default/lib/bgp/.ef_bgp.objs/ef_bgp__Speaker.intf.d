@@ -1,0 +1,1 @@
+lib/bgp/speaker.mli: Asn Decision Fsm Ipv4 Msg Peer Policy Prefix Rib

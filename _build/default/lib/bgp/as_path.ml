@@ -1,0 +1,92 @@
+type segment =
+  | Seq of Asn.t list
+  | Set of Asn.t list
+
+type t = segment list
+
+let empty = []
+
+let normalise segs =
+  List.filter
+    (function
+      | Seq [] | Set [] -> false
+      | Seq _ | Set _ -> true)
+    segs
+
+let of_segments segs = normalise segs
+let segments t = t
+
+let of_list = function
+  | [] -> []
+  | asns -> [ Seq asns ]
+
+let origin_of_list = of_list
+
+let length t =
+  List.fold_left
+    (fun acc seg ->
+      match seg with
+      | Seq asns -> acc + List.length asns
+      | Set _ -> acc + 1)
+    0 t
+
+let prepend asn t =
+  match t with
+  | Seq asns :: rest -> Seq (asn :: asns) :: rest
+  | ([] | Set _ :: _) as rest -> Seq [ asn ] :: rest
+
+let rec prepend_n asn n t = if n <= 0 then t else prepend_n asn (n - 1) (prepend asn t)
+
+let origin_as t =
+  let rec last_seq acc = function
+    | [] -> acc
+    | Seq asns :: rest -> last_seq (Some asns) rest
+    | Set _ :: rest -> last_seq acc rest
+  in
+  match last_seq None t with
+  | None -> None
+  | Some asns -> (
+      match List.rev asns with
+      | [] -> None
+      | origin :: _ -> Some origin)
+
+let first_as t =
+  match t with
+  | Seq (a :: _) :: _ -> Some a
+  | Set (a :: _) :: _ -> Some a
+  | _ -> None
+
+let to_list t =
+  List.concat_map
+    (function
+      | Seq asns -> asns
+      | Set asns -> asns)
+    t
+
+let mem asn t = List.exists (Asn.equal asn) (to_list t)
+
+let compare_segment a b =
+  match (a, b) with
+  | Seq x, Seq y -> List.compare Asn.compare x y
+  | Set x, Set y -> List.compare Asn.compare x y
+  | Seq _, Set _ -> -1
+  | Set _, Seq _ -> 1
+
+let compare = List.compare compare_segment
+let equal a b = compare a b = 0
+
+let pp fmt t =
+  let pp_asns fmt asns =
+    Format.pp_print_list
+      ~pp_sep:(fun fmt () -> Format.pp_print_string fmt " ")
+      Asn.pp fmt asns
+  in
+  Format.pp_print_list
+    ~pp_sep:(fun fmt () -> Format.pp_print_string fmt " ")
+    (fun fmt seg ->
+      match seg with
+      | Seq asns -> pp_asns fmt asns
+      | Set asns -> Format.fprintf fmt "{%a}" pp_asns asns)
+    fmt t
+
+let to_string t = Format.asprintf "%a" pp t

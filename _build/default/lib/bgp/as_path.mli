@@ -1,0 +1,52 @@
+(** AS_PATH attribute values.
+
+    A path is a list of segments; ordered [Seq] segments carry the actual
+    route, unordered [Set] segments result from aggregation. Path length
+    for the decision process counts a whole [Set] as one hop (RFC 4271
+    §9.1.2.2). *)
+
+type segment =
+  | Seq of Asn.t list
+  | Set of Asn.t list
+
+type t
+
+val empty : t
+val of_segments : segment list -> t
+val segments : t -> segment list
+
+val of_list : Asn.t list -> t
+(** A single [Seq] segment; [of_list \[\]] is {!empty}. *)
+
+val origin_of_list : Asn.t list -> t
+(** Alias of {!of_list}, reads better at call sites building a route whose
+    head is the neighbor and last element the origin. *)
+
+val length : t -> int
+(** Decision-process length: each [Seq] member counts 1, each [Set]
+    counts 1 in total. *)
+
+val prepend : Asn.t -> t -> t
+(** Push an ASN on the front (what a speaker does at eBGP export),
+    merging into a leading [Seq] segment when present. *)
+
+val prepend_n : Asn.t -> int -> t -> t
+(** [prepend_n asn n t] prepends [asn] [n] times (path prepending for
+    traffic engineering). *)
+
+val origin_as : t -> Asn.t option
+(** The last ASN of the last [Seq] segment: the route's originator. *)
+
+val first_as : t -> Asn.t option
+(** The neighbor AS the route was heard from. *)
+
+val mem : Asn.t -> t -> bool
+(** Loop detection: is the ASN anywhere in the path? *)
+
+val to_list : t -> Asn.t list
+(** All ASNs in order, flattening sets. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

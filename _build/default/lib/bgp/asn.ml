@@ -1,0 +1,20 @@
+type t = int
+
+let max_asn = 0xFFFFFFFF
+
+let of_int n =
+  if n < 0 || n > max_asn then invalid_arg "Asn.of_int: out of range";
+  n
+
+let to_int n = n
+let compare = Int.compare
+let equal = Int.equal
+let pp fmt n = Format.pp_print_int fmt n
+let to_string = string_of_int
+
+let is_private n =
+  (n >= 64512 && n <= 65534) || (n >= 4200000000 && n <= 4294967294)
+
+let is_reserved n = n = 0 || n = 65535 || n = max_asn
+let as_trans = 23456
+let fits_two_bytes n = n >= 0 && n <= 0xFFFF

@@ -1,0 +1,28 @@
+(** Autonomous-system numbers.
+
+    4-byte ASNs (RFC 6793) represented as plain ints, with the range
+    checks and reserved-value helpers the codec and generators need. *)
+
+type t = int
+
+val of_int : int -> t
+(** Raises [Invalid_argument] outside [0, 2^32-1]. *)
+
+val to_int : t -> int
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+(** Plain ("64496") or asdot ("1.10") not used: plain decimal only. *)
+
+val to_string : t -> string
+
+val is_private : t -> bool
+(** 64512–65534 and 4200000000–4294967294 (RFC 6996). *)
+
+val is_reserved : t -> bool
+(** 0 and 65535 and 4294967295. *)
+
+val as_trans : t
+(** 23456, the 2-byte stand-in for 4-byte ASNs (RFC 6793). *)
+
+val fits_two_bytes : t -> bool

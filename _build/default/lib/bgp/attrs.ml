@@ -1,0 +1,74 @@
+type origin = Igp | Egp | Incomplete
+
+let origin_rank = function
+  | Igp -> 0
+  | Egp -> 1
+  | Incomplete -> 2
+
+let origin_to_string = function
+  | Igp -> "IGP"
+  | Egp -> "EGP"
+  | Incomplete -> "INCOMPLETE"
+
+let pp_origin fmt o = Format.pp_print_string fmt (origin_to_string o)
+
+type t = {
+  origin : origin;
+  as_path : As_path.t;
+  next_hop : Ipv4.t;
+  med : int option;
+  local_pref : int option;
+  communities : Community.t list;
+}
+
+let norm_communities cs = List.sort_uniq Community.compare cs
+
+let make ?(origin = Igp) ?(med = None) ?(local_pref = None) ?(communities = [])
+    ~as_path ~next_hop () =
+  { origin; as_path; next_hop; med; local_pref;
+    communities = norm_communities communities }
+
+let with_local_pref lp t = { t with local_pref = Some lp }
+let with_med med t = { t with med }
+
+let add_community c t =
+  { t with communities = norm_communities (c :: t.communities) }
+
+let remove_community c t =
+  { t with communities = List.filter (fun c' -> not (Community.equal c c')) t.communities }
+
+let has_community c t = List.exists (Community.equal c) t.communities
+
+let prepend_path asn n t = { t with as_path = As_path.prepend_n asn n t.as_path }
+
+let effective_local_pref t = Option.value t.local_pref ~default:100
+
+let compare a b =
+  let cmp_opt = Option.compare Int.compare in
+  match origin_rank a.origin - origin_rank b.origin with
+  | 0 -> (
+      match As_path.compare a.as_path b.as_path with
+      | 0 -> (
+          match Ipv4.compare a.next_hop b.next_hop with
+          | 0 -> (
+              match cmp_opt a.med b.med with
+              | 0 -> (
+                  match cmp_opt a.local_pref b.local_pref with
+                  | 0 -> List.compare Community.compare a.communities b.communities
+                  | c -> c)
+              | c -> c)
+          | c -> c)
+      | c -> c)
+  | c -> if c < 0 then -1 else 1
+
+let equal a b = compare a b = 0
+
+let pp fmt t =
+  Format.fprintf fmt "@[origin=%a path=[%a] nh=%a med=%s lp=%s comms=[%a]@]"
+    pp_origin t.origin As_path.pp t.as_path Ipv4.pp t.next_hop
+    (match t.med with None -> "-" | Some m -> string_of_int m)
+    (match t.local_pref with None -> "-" | Some l -> string_of_int l)
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.pp_print_string fmt " ")
+       Community.pp)
+    t.communities

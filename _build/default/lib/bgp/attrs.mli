@@ -1,0 +1,46 @@
+(** BGP path attributes.
+
+    The subset that matters for egress engineering: ORIGIN, AS_PATH,
+    NEXT_HOP, MED, LOCAL_PREF and COMMUNITIES. Values are immutable;
+    modification goes through [with_*] so that policy actions compose. *)
+
+type origin = Igp | Egp | Incomplete
+
+val origin_rank : origin -> int
+(** Decision order: IGP (0) < EGP (1) < INCOMPLETE (2), lower wins. *)
+
+val origin_to_string : origin -> string
+val pp_origin : Format.formatter -> origin -> unit
+
+type t = {
+  origin : origin;
+  as_path : As_path.t;
+  next_hop : Ipv4.t;
+  med : int option;
+  local_pref : int option;  (** set on ingestion by policy; eBGP routes arrive without it *)
+  communities : Community.t list;  (** kept sorted and deduplicated *)
+}
+
+val make :
+  ?origin:origin ->
+  ?med:int option ->
+  ?local_pref:int option ->
+  ?communities:Community.t list ->
+  as_path:As_path.t ->
+  next_hop:Ipv4.t ->
+  unit ->
+  t
+
+val with_local_pref : int -> t -> t
+val with_med : int option -> t -> t
+val add_community : Community.t -> t -> t
+val remove_community : Community.t -> t -> t
+val has_community : Community.t -> t -> bool
+val prepend_path : Asn.t -> int -> t -> t
+
+val effective_local_pref : t -> int
+(** [local_pref] or the RFC default 100. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

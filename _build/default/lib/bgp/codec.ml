@@ -1,0 +1,526 @@
+type error =
+  | Truncated
+  | Bad_marker
+  | Bad_length of int
+  | Unknown_msg_type of int
+  | Malformed of string
+
+let pp_error fmt = function
+  | Truncated -> Format.pp_print_string fmt "truncated"
+  | Bad_marker -> Format.pp_print_string fmt "bad marker"
+  | Bad_length n -> Format.fprintf fmt "bad length %d" n
+  | Unknown_msg_type n -> Format.fprintf fmt "unknown message type %d" n
+  | Malformed s -> Format.fprintf fmt "malformed: %s" s
+
+let error_to_string e = Format.asprintf "%a" pp_error e
+
+let max_message = 4096
+let header_len = 19
+
+(* ------------------------------------------------------------------ *)
+(* Encoding                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let add_u8 buf v = Buffer.add_char buf (Char.chr (v land 0xFF))
+
+let add_u16 buf v =
+  add_u8 buf (v lsr 8);
+  add_u8 buf v
+
+let add_u32 buf (v : int32) =
+  let v = Int32.to_int v land 0xFFFFFFFF in
+  add_u8 buf (v lsr 24);
+  add_u8 buf (v lsr 16);
+  add_u8 buf (v lsr 8);
+  add_u8 buf v
+
+let add_prefix buf p =
+  let len = Prefix.length p in
+  add_u8 buf len;
+  let nbytes = (len + 7) / 8 in
+  let addr = Int32.to_int (Ipv4.to_int32 (Prefix.network p)) land 0xFFFFFFFF in
+  for i = 0 to nbytes - 1 do
+    add_u8 buf (addr lsr (24 - (8 * i)))
+  done
+
+let capability_body = function
+  | Msg.Multiprotocol { afi; safi } ->
+      let b = Buffer.create 4 in
+      add_u16 b afi;
+      add_u8 b 0;
+      add_u8 b safi;
+      (1, Buffer.contents b)
+  | Msg.Route_refresh -> (2, "")
+  | Msg.Four_octet_as asn ->
+      let b = Buffer.create 4 in
+      add_u32 b (Int32.of_int (Asn.to_int asn));
+      (65, Buffer.contents b)
+  | Msg.Unknown_capability { code; data } -> (code, data)
+
+let encode_open (o : Msg.open_msg) =
+  let buf = Buffer.create 64 in
+  add_u8 buf o.version;
+  let as16 =
+    if Asn.fits_two_bytes o.my_as then Asn.to_int o.my_as else Asn.as_trans
+  in
+  add_u16 buf as16;
+  add_u16 buf o.hold_time;
+  add_u32 buf (Ipv4.to_int32 o.bgp_id);
+  let caps = Buffer.create 32 in
+  List.iter
+    (fun cap ->
+      let code, body = capability_body cap in
+      add_u8 caps code;
+      add_u8 caps (String.length body);
+      Buffer.add_string caps body)
+    o.capabilities;
+  let caps = Buffer.contents caps in
+  if String.length caps = 0 then add_u8 buf 0
+  else begin
+    (* one optional parameter of type 2 (capabilities) *)
+    add_u8 buf (String.length caps + 2);
+    add_u8 buf 2;
+    add_u8 buf (String.length caps);
+    Buffer.add_string buf caps
+  end;
+  Buffer.contents buf
+
+(* attribute flags *)
+let flag_optional = 0x80
+let flag_transitive = 0x40
+let flag_extended = 0x10
+
+let add_attr buf ~flags ~typ body =
+  let len = String.length body in
+  let flags = if len > 0xFF then flags lor flag_extended else flags in
+  add_u8 buf flags;
+  add_u8 buf typ;
+  if len > 0xFF then add_u16 buf len else add_u8 buf len;
+  Buffer.add_string buf body
+
+let encode_as_path path =
+  let b = Buffer.create 32 in
+  List.iter
+    (fun seg ->
+      let typ, asns =
+        match seg with
+        | As_path.Set asns -> (1, asns)
+        | As_path.Seq asns -> (2, asns)
+      in
+      (* split long segments at 255 members *)
+      let rec chunks = function
+        | [] -> ()
+        | l ->
+            let n = min 255 (List.length l) in
+            let head = List.filteri (fun i _ -> i < n) l in
+            let tail = List.filteri (fun i _ -> i >= n) l in
+            add_u8 b typ;
+            add_u8 b n;
+            List.iter (fun a -> add_u32 b (Int32.of_int (Asn.to_int a))) head;
+            chunks tail
+      in
+      chunks asns)
+    (As_path.segments path);
+  Buffer.contents b
+
+let encode_attrs (a : Attrs.t) =
+  let buf = Buffer.create 64 in
+  (* ORIGIN, type 1 *)
+  let origin_byte =
+    match a.Attrs.origin with
+    | Attrs.Igp -> 0
+    | Attrs.Egp -> 1
+    | Attrs.Incomplete -> 2
+  in
+  add_attr buf ~flags:flag_transitive ~typ:1 (String.make 1 (Char.chr origin_byte));
+  (* AS_PATH, type 2 *)
+  add_attr buf ~flags:flag_transitive ~typ:2 (encode_as_path a.Attrs.as_path);
+  (* NEXT_HOP, type 3 *)
+  let nh = Buffer.create 4 in
+  add_u32 nh (Ipv4.to_int32 a.Attrs.next_hop);
+  add_attr buf ~flags:flag_transitive ~typ:3 (Buffer.contents nh);
+  (* MED, type 4 *)
+  (match a.Attrs.med with
+  | None -> ()
+  | Some med ->
+      let b = Buffer.create 4 in
+      add_u32 b (Int32.of_int med);
+      add_attr buf ~flags:flag_optional ~typ:4 (Buffer.contents b));
+  (* LOCAL_PREF, type 5 *)
+  (match a.Attrs.local_pref with
+  | None -> ()
+  | Some lp ->
+      let b = Buffer.create 4 in
+      add_u32 b (Int32.of_int lp);
+      add_attr buf ~flags:flag_transitive ~typ:5 (Buffer.contents b));
+  (* COMMUNITIES, type 8 *)
+  (match a.Attrs.communities with
+  | [] -> ()
+  | cs ->
+      let b = Buffer.create (4 * List.length cs) in
+      List.iter (fun c -> add_u32 b (Community.to_int32 c)) cs;
+      add_attr buf
+        ~flags:(flag_optional lor flag_transitive)
+        ~typ:8 (Buffer.contents b));
+  Buffer.contents buf
+
+let encode_update (u : Msg.update) =
+  let buf = Buffer.create 128 in
+  let withdrawn = Buffer.create 32 in
+  List.iter (add_prefix withdrawn) u.withdrawn;
+  add_u16 buf (Buffer.length withdrawn);
+  Buffer.add_buffer buf withdrawn;
+  let attrs =
+    match (u.attrs, u.nlri) with
+    | Some a, _ -> encode_attrs a
+    | None, [] -> ""
+    | None, _ :: _ ->
+        invalid_arg "Codec.encode: UPDATE with NLRI requires attributes"
+  in
+  add_u16 buf (String.length attrs);
+  Buffer.add_string buf attrs;
+  List.iter (add_prefix buf) u.nlri;
+  Buffer.contents buf
+
+let notif_code_bytes = function
+  | Msg.Message_header_error s -> (1, s)
+  | Msg.Open_message_error s -> (2, s)
+  | Msg.Update_message_error s -> (3, s)
+  | Msg.Hold_timer_expired -> (4, 0)
+  | Msg.Fsm_error -> (5, 0)
+  | Msg.Cease s -> (6, s)
+
+let encode_notification (n : Msg.notification) =
+  let buf = Buffer.create 16 in
+  let code, subcode = notif_code_bytes n.code in
+  add_u8 buf code;
+  add_u8 buf subcode;
+  Buffer.add_string buf n.data;
+  Buffer.contents buf
+
+let encode msg =
+  let typ, body =
+    match msg with
+    | Msg.Open o -> (1, encode_open o)
+    | Msg.Update u -> (2, encode_update u)
+    | Msg.Notification n -> (3, encode_notification n)
+    | Msg.Keepalive -> (4, "")
+    | Msg.Route_refresh { afi; safi } ->
+        let b = Buffer.create 4 in
+        add_u16 b afi;
+        add_u8 b 0;
+        add_u8 b safi;
+        (5, Buffer.contents b)
+  in
+  let total = header_len + String.length body in
+  if total > max_message then
+    invalid_arg "Codec.encode: message exceeds 4096 bytes";
+  let buf = Buffer.create total in
+  Buffer.add_string buf (String.make 16 '\xFF');
+  add_u16 buf total;
+  add_u8 buf typ;
+  Buffer.add_string buf body;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Decoding                                                            *)
+(* ------------------------------------------------------------------ *)
+
+exception Fail of error
+
+type reader = {
+  buf : string;
+  mutable pos : int;
+  limit : int;
+}
+
+let need r n = if r.pos + n > r.limit then raise (Fail Truncated)
+
+let u8 r =
+  need r 1;
+  let v = Char.code r.buf.[r.pos] in
+  r.pos <- r.pos + 1;
+  v
+
+let u16 r =
+  let hi = u8 r in
+  let lo = u8 r in
+  (hi lsl 8) lor lo
+
+let u32 r =
+  let a = u16 r in
+  let b = u16 r in
+  Int32.logor
+    (Int32.shift_left (Int32.of_int a) 16)
+    (Int32.of_int b)
+
+let take r n =
+  need r n;
+  let s = String.sub r.buf r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+let remaining r = r.limit - r.pos
+
+let read_prefix r =
+  let len = u8 r in
+  if len > 32 then raise (Fail (Malformed "prefix length > 32"));
+  let nbytes = (len + 7) / 8 in
+  need r nbytes;
+  let addr = ref 0l in
+  for i = 0 to nbytes - 1 do
+    let b = Char.code r.buf.[r.pos + i] in
+    addr := Int32.logor !addr (Int32.shift_left (Int32.of_int b) (24 - (8 * i)))
+  done;
+  r.pos <- r.pos + nbytes;
+  Prefix.make (Ipv4.of_int32 !addr) len
+
+let read_prefixes r =
+  let rec go acc =
+    if remaining r = 0 then List.rev acc else go (read_prefix r :: acc)
+  in
+  go []
+
+let sub_reader r n =
+  need r n;
+  let child = { buf = r.buf; pos = r.pos; limit = r.pos + n } in
+  r.pos <- r.pos + n;
+  child
+
+let decode_capabilities r =
+  let rec caps acc =
+    if remaining r = 0 then List.rev acc
+    else begin
+      let code = u8 r in
+      let len = u8 r in
+      let body = sub_reader r len in
+      let cap =
+        match code with
+        | 1 ->
+            let afi = u16 body in
+            let _reserved = u8 body in
+            let safi = u8 body in
+            Msg.Multiprotocol { afi; safi }
+        | 2 -> Msg.Route_refresh
+        | 65 ->
+            let asn = Int32.to_int (u32 body) land 0xFFFFFFFF in
+            Msg.Four_octet_as (Asn.of_int asn)
+        | code -> Msg.Unknown_capability { code; data = take body (remaining body) }
+      in
+      caps (cap :: acc)
+    end
+  in
+  caps []
+
+let decode_open r =
+  let version = u8 r in
+  if version <> 4 then raise (Fail (Malformed "unsupported BGP version"));
+  let as16 = u16 r in
+  let hold_time = u16 r in
+  if hold_time <> 0 && hold_time < 3 then
+    raise (Fail (Malformed "hold time must be 0 or >= 3"));
+  let bgp_id = Ipv4.of_int32 (u32 r) in
+  let opt_len = u8 r in
+  let opts = sub_reader r opt_len in
+  let capabilities = ref [] in
+  while remaining opts > 0 do
+    let ptype = u8 opts in
+    let plen = u8 opts in
+    let body = sub_reader opts plen in
+    if ptype = 2 then capabilities := !capabilities @ decode_capabilities body
+    (* other optional parameter types are deprecated; skip them *)
+  done;
+  let capabilities = !capabilities in
+  let my_as =
+    (* prefer the 4-octet capability over the (possibly AS_TRANS) field *)
+    let rec find = function
+      | [] -> Asn.of_int as16
+      | Msg.Four_octet_as a :: _ -> a
+      | _ :: rest -> find rest
+    in
+    find capabilities
+  in
+  Msg.Open { version; my_as; hold_time; bgp_id; capabilities }
+
+let decode_as_path r =
+  let rec segs acc =
+    if remaining r = 0 then List.rev acc
+    else begin
+      let typ = u8 r in
+      let count = u8 r in
+      let asns =
+        List.init count (fun _ ->
+            Asn.of_int (Int32.to_int (u32 r) land 0xFFFFFFFF))
+      in
+      let seg =
+        match typ with
+        | 1 -> As_path.Set asns
+        | 2 -> As_path.Seq asns
+        | _ -> raise (Fail (Malformed "unknown AS_PATH segment type"))
+      in
+      segs (seg :: acc)
+    end
+  in
+  As_path.of_segments (segs [])
+
+type partial_attrs = {
+  mutable p_origin : Attrs.origin option;
+  mutable p_as_path : As_path.t option;
+  mutable p_next_hop : Ipv4.t option;
+  mutable p_med : int option;
+  mutable p_local_pref : int option;
+  mutable p_communities : Community.t list;
+}
+
+let decode_attrs r ~has_nlri =
+  let p =
+    {
+      p_origin = None;
+      p_as_path = None;
+      p_next_hop = None;
+      p_med = None;
+      p_local_pref = None;
+      p_communities = [];
+    }
+  in
+  while remaining r > 0 do
+    let flags = u8 r in
+    let typ = u8 r in
+    let len = if flags land flag_extended <> 0 then u16 r else u8 r in
+    let body = sub_reader r len in
+    match typ with
+    | 1 ->
+        let o =
+          match u8 body with
+          | 0 -> Attrs.Igp
+          | 1 -> Attrs.Egp
+          | 2 -> Attrs.Incomplete
+          | _ -> raise (Fail (Malformed "bad ORIGIN value"))
+        in
+        p.p_origin <- Some o
+    | 2 -> p.p_as_path <- Some (decode_as_path body)
+    | 3 -> p.p_next_hop <- Some (Ipv4.of_int32 (u32 body))
+    | 4 -> p.p_med <- Some (Int32.to_int (u32 body) land 0xFFFFFFFF)
+    | 5 -> p.p_local_pref <- Some (Int32.to_int (u32 body) land 0xFFFFFFFF)
+    | 8 ->
+        let n = remaining body / 4 in
+        if remaining body mod 4 <> 0 then
+          raise (Fail (Malformed "COMMUNITIES length not a multiple of 4"));
+        p.p_communities <-
+          List.init n (fun _ -> Community.of_int32 (u32 body))
+    | _ ->
+        (* unknown attribute: skip; transitive unknowns would be carried
+           by a full router, which the simulator does not need *)
+        ignore (take body (remaining body))
+  done;
+  if not has_nlri then None
+  else
+    match (p.p_origin, p.p_as_path, p.p_next_hop) with
+    | Some origin, Some as_path, Some next_hop ->
+        Some
+          (Attrs.make ~origin ~med:p.p_med ~local_pref:p.p_local_pref
+             ~communities:p.p_communities ~as_path ~next_hop ())
+    | None, _, _ -> raise (Fail (Malformed "UPDATE missing ORIGIN"))
+    | _, None, _ -> raise (Fail (Malformed "UPDATE missing AS_PATH"))
+    | _, _, None -> raise (Fail (Malformed "UPDATE missing NEXT_HOP"))
+
+let decode_update r =
+  let withdrawn_len = u16 r in
+  let withdrawn = read_prefixes (sub_reader r withdrawn_len) in
+  let attrs_len = u16 r in
+  let attrs_r = sub_reader r attrs_len in
+  let nlri = read_prefixes r in
+  let attrs = decode_attrs attrs_r ~has_nlri:(nlri <> []) in
+  Msg.Update { withdrawn; attrs; nlri }
+
+let decode_notification r =
+  let code = u8 r in
+  let subcode = u8 r in
+  let data = take r (remaining r) in
+  let code =
+    match code with
+    | 1 -> Msg.Message_header_error subcode
+    | 2 -> Msg.Open_message_error subcode
+    | 3 -> Msg.Update_message_error subcode
+    | 4 -> Msg.Hold_timer_expired
+    | 5 -> Msg.Fsm_error
+    | 6 -> Msg.Cease subcode
+    | _ -> raise (Fail (Malformed "unknown NOTIFICATION code"))
+  in
+  Msg.Notification { code; data }
+
+let decode ?(pos = 0) buf =
+  try
+    let r = { buf; pos; limit = String.length buf } in
+    need r header_len;
+    for i = 0 to 15 do
+      if buf.[r.pos + i] <> '\xFF' then raise (Fail Bad_marker)
+    done;
+    r.pos <- r.pos + 16;
+    let total = u16 r in
+    if total < header_len || total > max_message then
+      raise (Fail (Bad_length total));
+    let typ = u8 r in
+    if pos + total > String.length buf then raise (Fail Truncated);
+    let body = sub_reader r (total - header_len) in
+    let msg =
+      match typ with
+      | 1 -> decode_open body
+      | 2 -> decode_update body
+      | 3 -> decode_notification body
+      | 4 ->
+          if remaining body <> 0 then
+            raise (Fail (Malformed "KEEPALIVE with a body"))
+          else Msg.Keepalive
+      | 5 ->
+          let afi = u16 body in
+          let _reserved = u8 body in
+          let safi = u8 body in
+          Msg.Route_refresh { afi; safi }
+      | t -> raise (Fail (Unknown_msg_type t))
+    in
+    if remaining body <> 0 then raise (Fail (Malformed "trailing bytes in body"));
+    Ok (msg, pos + total)
+  with Fail e -> Error e
+
+let decode_exn buf =
+  match decode buf with
+  | Ok (msg, consumed) when consumed = String.length buf -> msg
+  | Ok _ -> failwith "Codec.decode_exn: trailing bytes"
+  | Error e -> failwith ("Codec.decode_exn: " ^ error_to_string e)
+
+let encode_path_attributes = encode_attrs
+
+let decode_path_attributes buf =
+  try
+    let r = { buf; pos = 0; limit = String.length buf } in
+    match decode_attrs r ~has_nlri:true with
+    | Some attrs -> Ok attrs
+    | None -> Error (Malformed "missing mandatory attributes")
+  with Fail e -> Error e
+
+module Stream = struct
+  type t = {
+    mutable pending : string;
+    mutable failed : error option;
+  }
+
+  let create () = { pending = ""; failed = None }
+  let feed t s = t.pending <- t.pending ^ s
+
+  let next t =
+    match t.failed with
+    | Some e -> Error e
+    | None -> (
+        match decode t.pending with
+        | Ok (msg, consumed) ->
+            t.pending <-
+              String.sub t.pending consumed (String.length t.pending - consumed);
+            Ok (Some msg)
+        | Error Truncated -> Ok None
+        | Error e ->
+            t.failed <- Some e;
+            Error e)
+
+  let pending_bytes t = String.length t.pending
+end

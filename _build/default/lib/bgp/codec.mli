@@ -1,0 +1,52 @@
+(** BGP-4 wire codec (RFC 4271, with RFC 6793 4-octet ASNs).
+
+    Sans-IO: encoding produces a [string], decoding consumes one. The
+    codec always advertises/assumes the 4-octet-AS capability, so AS_PATH
+    segments carry 32-bit ASNs on the wire (what modern speakers exchange
+    once the capability is negotiated). *)
+
+type error =
+  | Truncated                      (** need more bytes than provided *)
+  | Bad_marker                     (** header marker is not all-ones *)
+  | Bad_length of int              (** header length outside [19, 4096] *)
+  | Unknown_msg_type of int
+  | Malformed of string            (** anything structurally invalid *)
+
+val pp_error : Format.formatter -> error -> unit
+val error_to_string : error -> string
+
+val encode : Msg.t -> string
+(** Serialise one message, header included. Raises [Invalid_argument] if
+    the message exceeds the 4096-byte BGP maximum. *)
+
+val decode : ?pos:int -> string -> (Msg.t * int, error) result
+(** [decode ~pos buf] parses one message starting at [pos]; on success
+    returns the message and the position just past it. [Truncated] means
+    feed more bytes and retry — any other error is fatal for the
+    session. *)
+
+val decode_exn : string -> Msg.t
+(** Decode a complete single-message buffer; raises [Failure] otherwise.
+    For tests. *)
+
+val encode_path_attributes : Attrs.t -> string
+(** The bare path-attribute block of an UPDATE (ORIGIN/AS_PATH/NEXT_HOP/
+    MED/LOCAL_PREF/COMMUNITIES) — the encoding MRT RIB entries embed. *)
+
+val decode_path_attributes : string -> (Attrs.t, error) result
+(** Inverse of {!encode_path_attributes}; requires the mandatory
+    attributes to be present. *)
+
+(** Incremental decoder for a TCP-like byte stream. *)
+module Stream : sig
+  type t
+
+  val create : unit -> t
+  val feed : t -> string -> unit
+  (** Append received bytes. *)
+
+  val next : t -> (Msg.t option, error) result
+  (** [Ok None] = no complete message buffered yet; errors are sticky. *)
+
+  val pending_bytes : t -> int
+end

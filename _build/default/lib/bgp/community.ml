@@ -1,0 +1,31 @@
+type t = int32
+
+let make asn value =
+  if asn < 0 || asn > 0xFFFF then invalid_arg "Community.make: asn out of range";
+  if value < 0 || value > 0xFFFF then
+    invalid_arg "Community.make: value out of range";
+  Int32.of_int ((asn lsl 16) lor value)
+
+let of_int32 x = x
+let to_int32 x = x
+let asn t = (Int32.to_int t lsr 16) land 0xFFFF
+let value t = Int32.to_int t land 0xFFFF
+let compare = Int32.unsigned_compare
+let equal = Int32.equal
+let pp fmt t = Format.fprintf fmt "%d:%d" (asn t) (value t)
+let to_string t = Printf.sprintf "%d:%d" (asn t) (value t)
+
+let of_string s =
+  match String.split_on_char ':' s with
+  | [ a; v ] -> (
+      match (int_of_string_opt a, int_of_string_opt v) with
+      | Some a, Some v -> make a v
+      | _ -> invalid_arg (Printf.sprintf "Community.of_string: %S" s))
+  | _ -> invalid_arg (Printf.sprintf "Community.of_string: %S" s)
+
+let no_export = 0xFFFFFF01l
+let no_advertise = 0xFFFFFF02l
+let no_export_subconfed = 0xFFFFFF03l
+
+let is_well_known t =
+  equal t no_export || equal t no_advertise || equal t no_export_subconfed

@@ -1,0 +1,28 @@
+(** BGP community values (RFC 1997).
+
+    A community is a 32-bit tag conventionally written [asn:value]. Edge
+    Fabric uses communities to mark injected override routes and to let
+    the policy engine classify routes by ingestion point. *)
+
+type t
+
+val make : int -> int -> t
+(** [make asn value] with both halves in [0, 65535]. *)
+
+val of_int32 : int32 -> t
+val to_int32 : t -> int32
+val asn : t -> int
+val value : t -> int
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+val of_string : string -> t
+(** Parse ["asn:value"]. Raises [Invalid_argument] on malformed input. *)
+
+(* Well-known communities, RFC 1997 §"Well-known Communities". *)
+
+val no_export : t
+val no_advertise : t
+val no_export_subconfed : t
+val is_well_known : t -> bool

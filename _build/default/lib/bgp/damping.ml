@@ -1,0 +1,125 @@
+type config = {
+  withdraw_penalty : float;
+  readvertise_penalty : float;
+  attr_change_penalty : float;
+  suppress_threshold : float;
+  reuse_threshold : float;
+  half_life_s : float;
+  max_penalty : float;
+}
+
+let default_config =
+  {
+    withdraw_penalty = 1000.0;
+    readvertise_penalty = 500.0;
+    attr_change_penalty = 500.0;
+    suppress_threshold = 2000.0;
+    reuse_threshold = 750.0;
+    half_life_s = 900.0;
+    max_penalty = 16000.0;
+  }
+
+type event =
+  | Withdrawal
+  | Readvertisement
+  | Attribute_change
+
+type entry = {
+  mutable penalty : float;
+  mutable updated_at : int;
+  mutable suppressed : bool;
+}
+
+module Key = struct
+  type t = Prefix.t * int
+
+  let equal (p1, i1) (p2, i2) = i1 = i2 && Prefix.equal p1 p2
+  let hash (p, i) = (Prefix.hash p * 31) + i
+end
+
+module Ktbl = Hashtbl.Make (Key)
+
+type t = {
+  config : config;
+  entries : entry Ktbl.t;
+}
+
+let create ?(config = default_config) () =
+  if config.reuse_threshold >= config.suppress_threshold then
+    invalid_arg "Damping.create: reuse must be below suppress";
+  if config.half_life_s <= 0.0 then
+    invalid_arg "Damping.create: half-life must be positive";
+  { config; entries = Ktbl.create 256 }
+
+let decayed config entry ~now_s =
+  let dt = float_of_int (now_s - entry.updated_at) in
+  if dt <= 0.0 then entry.penalty
+  else entry.penalty *. (0.5 ** (dt /. config.half_life_s))
+
+(* refresh the stored value and the suppression latch *)
+let refresh t entry ~now_s =
+  entry.penalty <- decayed t.config entry ~now_s;
+  entry.updated_at <- now_s;
+  if entry.suppressed && entry.penalty < t.config.reuse_threshold then
+    entry.suppressed <- false;
+  if (not entry.suppressed) && entry.penalty >= t.config.suppress_threshold then
+    entry.suppressed <- true
+
+let record t ~now_s ~prefix ~peer_id event =
+  let key = (prefix, peer_id) in
+  let entry =
+    match Ktbl.find_opt t.entries key with
+    | Some e -> e
+    | None ->
+        let e = { penalty = 0.0; updated_at = now_s; suppressed = false } in
+        Ktbl.replace t.entries key e;
+        e
+  in
+  refresh t entry ~now_s;
+  let add =
+    match event with
+    | Withdrawal -> t.config.withdraw_penalty
+    | Readvertisement -> t.config.readvertise_penalty
+    | Attribute_change -> t.config.attr_change_penalty
+  in
+  entry.penalty <- Float.min t.config.max_penalty (entry.penalty +. add);
+  if entry.penalty >= t.config.suppress_threshold then entry.suppressed <- true
+
+let penalty t ~now_s ~prefix ~peer_id =
+  match Ktbl.find_opt t.entries (prefix, peer_id) with
+  | None -> 0.0
+  | Some e -> decayed t.config e ~now_s
+
+let is_suppressed t ~now_s ~prefix ~peer_id =
+  match Ktbl.find_opt t.entries (prefix, peer_id) with
+  | None -> false
+  | Some e ->
+      refresh t e ~now_s;
+      e.suppressed
+
+let reuse_time t ~now_s ~prefix ~peer_id =
+  if not (is_suppressed t ~now_s ~prefix ~peer_id) then None
+  else
+    let p = penalty t ~now_s ~prefix ~peer_id in
+    (* p * 0.5^(dt/half_life) = reuse  =>  dt = half_life * log2(p / reuse) *)
+    let dt =
+      t.config.half_life_s
+      *. (Float.log (p /. t.config.reuse_threshold) /. Float.log 2.0)
+    in
+    Some (int_of_float (Float.ceil dt))
+
+let suppressed_count t ~now_s =
+  Ktbl.fold
+    (fun _ e acc ->
+      refresh t e ~now_s;
+      if e.suppressed then acc + 1 else acc)
+    t.entries 0
+
+let sweep t ~now_s =
+  let dead =
+    Ktbl.fold
+      (fun key e acc ->
+        if decayed t.config e ~now_s < 1.0 then key :: acc else acc)
+      t.entries []
+  in
+  List.iter (Ktbl.remove t.entries) dead

@@ -1,0 +1,55 @@
+(** Route-flap damping (RFC 2439).
+
+    A flapping route — announced and withdrawn in a tight loop by an
+    unstable neighbor — would make the controller chase a moving target
+    (and, in real deployments, melt CPU on every router that hears it).
+    Damping accumulates a penalty per (prefix, neighbor) on each flap,
+    decays it exponentially with a configurable half-life, suppresses the
+    route while the penalty exceeds the suppress threshold, and releases
+    it once decay brings the penalty under the reuse threshold.
+
+    Time is explicit (seconds in, no hidden clock), so behaviour is fully
+    deterministic and testable. *)
+
+type config = {
+  withdraw_penalty : float;      (** added per withdrawal (RFC: 1000) *)
+  readvertise_penalty : float;   (** added per re-announcement (RFC: 0-1000) *)
+  attr_change_penalty : float;   (** added per attribute change (RFC: 500) *)
+  suppress_threshold : float;    (** suppress above this (typ. 2000) *)
+  reuse_threshold : float;       (** release below this (typ. 750) *)
+  half_life_s : float;           (** penalty decay half-life (typ. 900 s) *)
+  max_penalty : float;           (** penalty ceiling (bounds suppression time) *)
+}
+
+val default_config : config
+(** 1000/500/500, suppress 2000, reuse 750, half-life 900 s, ceiling
+    16000 (≈ 66 min max suppression). *)
+
+type event =
+  | Withdrawal
+  | Readvertisement
+  | Attribute_change
+
+type t
+
+val create : ?config:config -> unit -> t
+
+val record : t -> now_s:int -> prefix:Prefix.t -> peer_id:int -> event -> unit
+(** Fold one flap event in (decaying the stored penalty first). *)
+
+val penalty : t -> now_s:int -> prefix:Prefix.t -> peer_id:int -> float
+(** Current (decayed) penalty; 0 for unknown routes. *)
+
+val is_suppressed : t -> now_s:int -> prefix:Prefix.t -> peer_id:int -> bool
+(** True while the decayed penalty sits above the reuse threshold {e and}
+    the route has crossed the suppress threshold since it last dropped
+    below reuse (standard damping hysteresis). *)
+
+val reuse_time : t -> now_s:int -> prefix:Prefix.t -> peer_id:int -> int option
+(** Seconds until a currently-suppressed route becomes reusable
+    ([None] when not suppressed). *)
+
+val suppressed_count : t -> now_s:int -> int
+val sweep : t -> now_s:int -> unit
+(** Forget entries whose penalty decayed to noise (< 1.0) — call
+    occasionally to bound memory on long runs. *)

@@ -1,0 +1,103 @@
+type med_mode =
+  | Same_neighbor_as
+  | Always
+
+type config = { med_mode : med_mode }
+
+let default_config = { med_mode = Same_neighbor_as }
+
+let med_value (r : Route.t) =
+  Option.value (Route.attrs r).Attrs.med ~default:0
+
+let neighbor_as r =
+  match As_path.first_as (Route.attrs r).Attrs.as_path with
+  | Some a -> a
+  | None -> Route.peer r |> Peer.asn
+
+(* Keep only the candidates minimising [key]. *)
+let keep_min key = function
+  | [] -> []
+  | routes ->
+      let best = List.fold_left (fun acc r -> min acc (key r)) max_int routes in
+      List.filter (fun r -> key r = best) routes
+
+let eliminate_med config routes =
+  match config.med_mode with
+  | Always -> keep_min med_value routes
+  | Same_neighbor_as ->
+      (* within each neighbor-AS group, keep only lowest-MED routes *)
+      let groups = Hashtbl.create 8 in
+      List.iter
+        (fun r ->
+          let k = neighbor_as r in
+          let current = Option.value (Hashtbl.find_opt groups k) ~default:max_int in
+          if med_value r < current then Hashtbl.replace groups k (med_value r))
+        routes;
+      List.filter
+        (fun r -> med_value r = Hashtbl.find groups (neighbor_as r))
+        routes
+
+let survivors ?(config = default_config) routes =
+  routes
+  |> keep_min (fun r -> -Route.local_pref r)
+  |> keep_min Route.as_path_length
+  |> keep_min (fun r -> Attrs.origin_rank (Route.attrs r).Attrs.origin)
+  |> eliminate_med config
+  |> keep_min (fun r ->
+         (* router-id as unsigned int *)
+         let rid = (Route.peer r).Peer.router_id in
+         Int32.to_int (Ipv4.to_int32 rid) land 0xFFFFFFFF)
+  |> keep_min Route.peer_id
+
+let best ?config routes =
+  match survivors ?config routes with
+  | [] -> None
+  | r :: _ -> Some r
+
+let rank ?config routes =
+  let rec go remaining acc =
+    match best ?config remaining with
+    | None -> List.rev acc
+    | Some r ->
+        let remaining =
+          List.filter (fun r' -> not (Route.equal r r')) remaining
+        in
+        go remaining (r :: acc)
+  in
+  go routes []
+
+let compare_routes ?(config = default_config) a b =
+  let tiers r =
+    ( -Route.local_pref r,
+      Route.as_path_length r,
+      Attrs.origin_rank (Route.attrs r).Attrs.origin )
+  in
+  match compare (tiers a) (tiers b) with
+  | 0 ->
+      let med_cmp =
+        match config.med_mode with
+        | Always -> Int.compare (med_value a) (med_value b)
+        | Same_neighbor_as ->
+            if Asn.equal (neighbor_as a) (neighbor_as b) then
+              Int.compare (med_value a) (med_value b)
+            else 0
+      in
+      if med_cmp <> 0 then med_cmp
+      else begin
+        let rid r =
+          Int32.to_int (Ipv4.to_int32 (Route.peer r).Peer.router_id)
+          land 0xFFFFFFFF
+        in
+        match Int.compare (rid a) (rid b) with
+        | 0 -> Int.compare (Route.peer_id a) (Route.peer_id b)
+        | c -> c
+      end
+  | c -> c
+
+let preference_level candidates r =
+  let ranked = rank candidates in
+  let rec index i = function
+    | [] -> None
+    | r' :: rest -> if Route.equal r r' then Some i else index (i + 1) rest
+  in
+  index 0 ranked

@@ -1,0 +1,46 @@
+(** The BGP decision process (RFC 4271 §9.1), over eBGP candidates.
+
+    Edge Fabric needs more than "the best route": when an interface
+    saturates, the allocator detours prefixes to their {e next-most
+    preferred} route, so {!rank} returns the complete preference order.
+
+    Steps applied, in order, by sequential elimination:
+    + highest LOCAL_PREF;
+    + shortest AS_PATH (sets count 1);
+    + lowest ORIGIN (IGP < EGP < INCOMPLETE);
+    + lowest MED — by default only among routes from the same neighbor
+      AS (missing MED treated as 0, RFC-style determinism caveats
+      handled by elimination rather than pairwise sort);
+    + lowest neighbor router-id;
+    + lowest peer id (the "lowest neighbor address" tiebreak).
+
+    All candidates are assumed eBGP (a PoP's peering routers hear external
+    routes only), so the eBGP-over-iBGP and IGP-metric steps do not
+    apply. *)
+
+type med_mode =
+  | Same_neighbor_as  (** standard behaviour *)
+  | Always            (** "always-compare-med" knob found on real routers *)
+
+type config = { med_mode : med_mode }
+
+val default_config : config
+
+val best : ?config:config -> Route.t list -> Route.t option
+(** The single best route, [None] on an empty candidate list. *)
+
+val rank : ?config:config -> Route.t list -> Route.t list
+(** All candidates in strictly decreasing preference; the head equals
+    [best]. Computed by repeated elimination, so MED grouping is honoured
+    at every level. *)
+
+val compare_routes : ?config:config -> Route.t -> Route.t -> int
+(** Pairwise comparison, negative when the first route is preferred.
+    With [Same_neighbor_as] this relation can be non-transitive in the
+    presence of MEDs (the well-known BGP wedgie); {!rank} is the
+    authoritative order. *)
+
+val preference_level : Route.t list -> Route.t -> int option
+(** [preference_level candidates r] is the 0-based position of [r] in
+    [rank candidates] — 0 for the best path, 1 for the first detour
+    choice, … [None] if [r] is not among the candidates. *)

@@ -1,0 +1,221 @@
+type state =
+  | Idle
+  | Connect
+  | Active
+  | Open_sent
+  | Open_confirm
+  | Established
+
+let state_to_string = function
+  | Idle -> "Idle"
+  | Connect -> "Connect"
+  | Active -> "Active"
+  | Open_sent -> "OpenSent"
+  | Open_confirm -> "OpenConfirm"
+  | Established -> "Established"
+
+let pp_state fmt s = Format.pp_print_string fmt (state_to_string s)
+
+type timer =
+  | Connect_retry_timer
+  | Hold_timer
+  | Keepalive_timer
+
+let timer_to_string = function
+  | Connect_retry_timer -> "connect-retry"
+  | Hold_timer -> "hold"
+  | Keepalive_timer -> "keepalive"
+
+type event =
+  | Manual_start
+  | Manual_stop
+  | Tcp_connected
+  | Tcp_failed
+  | Tcp_closed
+  | Timer_expired of timer
+  | Received of Msg.t
+
+type action =
+  | Connect_tcp
+  | Close_tcp
+  | Send of Msg.t
+  | Deliver_update of Msg.update
+  | Refresh_requested of { afi : int; safi : int }
+  | Start_timer of timer * int
+  | Stop_timer of timer
+  | Session_up
+  | Session_down of string
+
+type config = {
+  local_asn : Asn.t;
+  local_id : Ipv4.t;
+  hold_time : int;
+  connect_retry : int;
+  remote_asn : Asn.t option;
+}
+
+let default_config ~local_asn ~local_id =
+  { local_asn; local_id; hold_time = 90; connect_retry = 30; remote_asn = None }
+
+type t = {
+  config : config;
+  mutable state : state;
+  mutable peer_open : Msg.open_msg option;
+  mutable hold : int option;
+}
+
+let create config = { config; state = Idle; peer_open = None; hold = None }
+let state t = t.state
+let negotiated_hold_time t = t.hold
+let peer_open t = t.peer_open
+
+let local_open t =
+  Msg.make_open ~hold_time:t.config.hold_time ~asn:t.config.local_asn
+    ~bgp_id:t.config.local_id ()
+
+let all_timers = [ Connect_retry_timer; Hold_timer; Keepalive_timer ]
+
+let teardown t reason ~notify =
+  let was_established = t.state = Established in
+  t.state <- Idle;
+  t.peer_open <- None;
+  t.hold <- None;
+  List.concat
+    [
+      (match notify with
+      | None -> []
+      | Some msg -> [ Send msg ]);
+      [ Close_tcp ];
+      List.map (fun timer -> Stop_timer timer) all_timers;
+      (if was_established then [ Session_down reason ] else []);
+    ]
+
+(* Hold/keepalive arming after negotiation; hold 0 disables both. *)
+let arm_session_timers t =
+  match t.hold with
+  | Some hold when hold > 0 ->
+      [ Start_timer (Hold_timer, hold); Start_timer (Keepalive_timer, hold / 3) ]
+  | Some _ | None -> []
+
+let validate_open t (o : Msg.open_msg) =
+  if o.Msg.version <> 4 then Error "bad version"
+  else
+    match t.config.remote_asn with
+    | Some expected when not (Asn.equal expected o.Msg.my_as) ->
+        Error "unexpected peer ASN"
+    | Some _ | None -> Ok ()
+
+let process_open t (o : Msg.open_msg) =
+  match validate_open t o with
+  | Error reason ->
+      teardown t reason
+        ~notify:(Some (Msg.Notification { code = Msg.Open_message_error 2; data = "" }))
+  | Ok () ->
+      t.peer_open <- Some o;
+      t.hold <- Some (min t.config.hold_time o.Msg.hold_time);
+      t.state <- Open_confirm;
+      (Send Msg.Keepalive :: Stop_timer Connect_retry_timer :: arm_session_timers t)
+
+let handle t event =
+  match (t.state, event) with
+  (* --- Idle ------------------------------------------------------- *)
+  | Idle, Manual_start ->
+      t.state <- Connect;
+      [ Connect_tcp; Start_timer (Connect_retry_timer, t.config.connect_retry) ]
+  | Idle, _ -> []
+  (* --- Connect ---------------------------------------------------- *)
+  | Connect, Tcp_connected ->
+      t.state <- Open_sent;
+      (* RFC: a large hold timer while waiting for the peer's OPEN *)
+      [ Send (local_open t); Start_timer (Hold_timer, 240) ]
+  | Connect, Tcp_failed ->
+      t.state <- Active;
+      [ Start_timer (Connect_retry_timer, t.config.connect_retry) ]
+  | Connect, Timer_expired Connect_retry_timer ->
+      [ Connect_tcp; Start_timer (Connect_retry_timer, t.config.connect_retry) ]
+  | Connect, Manual_stop -> teardown t "manual stop" ~notify:None
+  | Connect, (Tcp_closed | Timer_expired _ | Received _ | Manual_start) -> []
+  (* --- Active ----------------------------------------------------- *)
+  | Active, Timer_expired Connect_retry_timer ->
+      t.state <- Connect;
+      [ Connect_tcp; Start_timer (Connect_retry_timer, t.config.connect_retry) ]
+  | Active, Tcp_connected ->
+      t.state <- Open_sent;
+      [ Send (local_open t); Start_timer (Hold_timer, 240) ]
+  | Active, Manual_stop -> teardown t "manual stop" ~notify:None
+  | Active, (Tcp_failed | Tcp_closed | Timer_expired _ | Received _ | Manual_start)
+    -> []
+  (* --- OpenSent --------------------------------------------------- *)
+  | Open_sent, Received (Msg.Open o) -> process_open t o
+  | Open_sent, Received (Msg.Notification n) ->
+      teardown t (Format.asprintf "%a" Msg.pp (Msg.Notification n)) ~notify:None
+  | Open_sent, Received (Msg.Keepalive | Msg.Update _ | Msg.Route_refresh _) ->
+      teardown t "message before OPEN"
+        ~notify:(Some (Msg.Notification { code = Msg.Fsm_error; data = "" }))
+  | Open_sent, (Tcp_closed | Tcp_failed) ->
+      t.state <- Active;
+      [ Start_timer (Connect_retry_timer, t.config.connect_retry) ]
+  | Open_sent, Timer_expired Hold_timer ->
+      teardown t "hold timer expired"
+        ~notify:(Some (Msg.Notification { code = Msg.Hold_timer_expired; data = "" }))
+  | Open_sent, Manual_stop ->
+      teardown t "manual stop" ~notify:(Some (Msg.cease ()))
+  | Open_sent, (Timer_expired _ | Manual_start | Tcp_connected) -> []
+  (* --- OpenConfirm ------------------------------------------------ *)
+  | Open_confirm, Received Msg.Keepalive ->
+      t.state <- Established;
+      Session_up
+      :: (match t.hold with
+         | Some hold when hold > 0 -> [ Start_timer (Hold_timer, hold) ]
+         | Some _ | None -> [])
+  | Open_confirm, Received (Msg.Notification _) ->
+      teardown t "notification in OpenConfirm" ~notify:None
+  | Open_confirm, Received (Msg.Open _ | Msg.Update _ | Msg.Route_refresh _) ->
+      teardown t "unexpected message in OpenConfirm"
+        ~notify:(Some (Msg.Notification { code = Msg.Fsm_error; data = "" }))
+  | Open_confirm, Timer_expired Hold_timer ->
+      teardown t "hold timer expired"
+        ~notify:(Some (Msg.Notification { code = Msg.Hold_timer_expired; data = "" }))
+  | Open_confirm, Timer_expired Keepalive_timer ->
+      Send Msg.Keepalive
+      :: (match t.hold with
+         | Some hold when hold > 0 -> [ Start_timer (Keepalive_timer, hold / 3) ]
+         | Some _ | None -> [])
+  | Open_confirm, (Tcp_closed | Tcp_failed) -> teardown t "transport closed" ~notify:None
+  | Open_confirm, Manual_stop ->
+      teardown t "manual stop" ~notify:(Some (Msg.cease ()))
+  | Open_confirm, (Timer_expired _ | Manual_start | Tcp_connected) -> []
+  (* --- Established ------------------------------------------------ *)
+  | Established, Received (Msg.Update u) ->
+      Deliver_update u
+      :: (match t.hold with
+         | Some hold when hold > 0 -> [ Start_timer (Hold_timer, hold) ]
+         | Some _ | None -> [])
+  | Established, Received Msg.Keepalive -> (
+      match t.hold with
+      | Some hold when hold > 0 -> [ Start_timer (Hold_timer, hold) ]
+      | Some _ | None -> [])
+  | Established, Received (Msg.Notification n) ->
+      teardown t (Format.asprintf "%a" Msg.pp (Msg.Notification n)) ~notify:None
+  | Established, Received (Msg.Route_refresh { afi; safi }) ->
+      Refresh_requested { afi; safi }
+      :: (match t.hold with
+         | Some hold when hold > 0 -> [ Start_timer (Hold_timer, hold) ]
+         | Some _ | None -> [])
+  | Established, Received (Msg.Open _) ->
+      teardown t "OPEN in Established"
+        ~notify:(Some (Msg.Notification { code = Msg.Fsm_error; data = "" }))
+  | Established, Timer_expired Hold_timer ->
+      teardown t "hold timer expired"
+        ~notify:(Some (Msg.Notification { code = Msg.Hold_timer_expired; data = "" }))
+  | Established, Timer_expired Keepalive_timer ->
+      Send Msg.Keepalive
+      :: (match t.hold with
+         | Some hold when hold > 0 -> [ Start_timer (Keepalive_timer, hold / 3) ]
+         | Some _ | None -> [])
+  | Established, (Tcp_closed | Tcp_failed) ->
+      teardown t "transport closed" ~notify:None
+  | Established, Manual_stop ->
+      teardown t "manual stop" ~notify:(Some (Msg.cease ()))
+  | Established, (Timer_expired Connect_retry_timer | Manual_start | Tcp_connected)
+    -> []

@@ -1,0 +1,78 @@
+(** BGP session finite-state machine (RFC 4271 §8), sans-IO.
+
+    The machine owns no sockets and no clocks: callers feed it {!event}s
+    (TCP status changes, decoded messages, timer expiries) and execute the
+    {!action}s it returns (connect, send a message, arm a timer, deliver an
+    UPDATE to the RIB). This keeps it deterministic and directly testable —
+    the same shape production BGP implementations use for their cores.
+
+    Simplifications relative to the full RFC: one connection per session
+    (no collision detection), no delay-open, no damping of restarts. The
+    state chart (Idle → Connect → Active → OpenSent → OpenConfirm →
+    Established) and hold/keepalive/connect-retry timer behaviour follow
+    the RFC. *)
+
+type state =
+  | Idle
+  | Connect
+  | Active
+  | Open_sent
+  | Open_confirm
+  | Established
+
+val state_to_string : state -> string
+val pp_state : Format.formatter -> state -> unit
+
+type timer =
+  | Connect_retry_timer
+  | Hold_timer
+  | Keepalive_timer
+
+val timer_to_string : timer -> string
+
+type event =
+  | Manual_start
+  | Manual_stop
+  | Tcp_connected           (** outbound connect completed (or inbound accepted) *)
+  | Tcp_failed              (** connect attempt failed *)
+  | Tcp_closed              (** established transport dropped *)
+  | Timer_expired of timer
+  | Received of Msg.t
+
+type action =
+  | Connect_tcp
+  | Close_tcp
+  | Send of Msg.t
+  | Deliver_update of Msg.update  (** give to the RIB layer *)
+  | Refresh_requested of { afi : int; safi : int }
+      (** the peer asked for our Adj-RIB-Out again (RFC 2918) *)
+  | Start_timer of timer * int    (** arm (or re-arm) with period seconds *)
+  | Stop_timer of timer
+  | Session_up
+  | Session_down of string        (** reason *)
+
+type config = {
+  local_asn : Asn.t;
+  local_id : Ipv4.t;
+  hold_time : int;          (** proposed; negotiated down to peer's offer *)
+  connect_retry : int;      (** seconds between connect attempts *)
+  remote_asn : Asn.t option; (** when set, OPENs from other ASNs are refused *)
+}
+
+val default_config : local_asn:Asn.t -> local_id:Ipv4.t -> config
+(** hold 90 s, connect-retry 30 s, any remote ASN. *)
+
+type t
+
+val create : config -> t
+val state : t -> state
+val negotiated_hold_time : t -> int option
+(** min(our offer, peer offer) once an OPEN has been processed. *)
+
+val peer_open : t -> Msg.open_msg option
+(** The OPEN received from the peer, once seen. *)
+
+val handle : t -> event -> action list
+(** Advance the machine. Unexpected events in a given state either are
+    ignored (returning []) or reset the session per the RFC (returning
+    the teardown actions). *)

@@ -1,0 +1,64 @@
+type t = int32
+
+let of_int32 x = x
+let to_int32 x = x
+
+let of_octets a b c d =
+  let check o = if o < 0 || o > 255 then invalid_arg "Ipv4.of_octets" in
+  check a;
+  check b;
+  check c;
+  check d;
+  Int32.logor
+    (Int32.shift_left (Int32.of_int a) 24)
+    (Int32.of_int ((b lsl 16) lor (c lsl 8) lor d))
+
+let of_string_opt s =
+  match String.split_on_char '.' s with
+  | [ a; b; c; d ] -> (
+      let octet x =
+        match int_of_string_opt x with
+        | Some v when v >= 0 && v <= 255 && String.length x <= 3 -> Some v
+        | _ -> None
+      in
+      match (octet a, octet b, octet c, octet d) with
+      | Some a, Some b, Some c, Some d -> Some (of_octets a b c d)
+      | _ -> None)
+  | _ -> None
+
+let of_string s =
+  match of_string_opt s with
+  | Some t -> t
+  | None -> invalid_arg (Printf.sprintf "Ipv4.of_string: %S" s)
+
+let to_string t =
+  let u = Int32.to_int t land 0xFFFFFFFF in
+  Printf.sprintf "%d.%d.%d.%d"
+    ((u lsr 24) land 0xFF)
+    ((u lsr 16) land 0xFF)
+    ((u lsr 8) land 0xFF)
+    (u land 0xFF)
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+let compare a b =
+  (* unsigned comparison via flipping the sign bit *)
+  Int32.compare (Int32.logxor a Int32.min_int) (Int32.logxor b Int32.min_int)
+
+let equal = Int32.equal
+let hash t = Int32.to_int t land max_int
+let succ t = Int32.add t 1l
+let add t n = Int32.add t (Int32.of_int n)
+
+let mask len =
+  if len < 0 || len > 32 then invalid_arg "Ipv4.mask";
+  if len = 0 then 0l else Int32.shift_left (-1l) (32 - len)
+
+let apply_mask t len = Int32.logand t (mask len)
+
+let bit t i =
+  if i < 0 || i > 31 then invalid_arg "Ipv4.bit";
+  Int32.logand (Int32.shift_right_logical t (31 - i)) 1l = 1l
+
+let broadcast = -1l
+let any = 0l

@@ -1,0 +1,46 @@
+(** IPv4 addresses as immutable 32-bit values.
+
+    Addresses are stored in host order inside an [int32]; all arithmetic
+    (masking, successor, ranges) treats them as unsigned. *)
+
+type t
+
+val of_int32 : int32 -> t
+val to_int32 : t -> int32
+
+val of_octets : int -> int -> int -> int -> t
+(** [of_octets a b c d] is [a.b.c.d]. Octets outside [0,255] raise
+    [Invalid_argument]. *)
+
+val of_string : string -> t
+(** Parse dotted-quad notation. Raises [Invalid_argument] on malformed
+    input. *)
+
+val of_string_opt : string -> t option
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val compare : t -> t -> int
+(** Unsigned order, so [255.0.0.0 > 1.0.0.0]. *)
+
+val equal : t -> t -> bool
+val hash : t -> int
+
+val succ : t -> t
+(** Next address, wrapping at [255.255.255.255]. *)
+
+val add : t -> int -> t
+(** [add t n] offsets by [n] addresses (unsigned wraparound). *)
+
+val mask : int -> int32
+(** [mask len] is the netmask for a prefix of length [len] (0–32). *)
+
+val apply_mask : t -> int -> t
+(** Zero the host bits beyond the given prefix length. *)
+
+val bit : t -> int -> bool
+(** [bit t i] is bit [i] counted from the most significant (bit 0 is the
+    top bit). Requires [0 <= i < 32]. *)
+
+val broadcast : t
+val any : t

@@ -1,0 +1,270 @@
+type peer_entry = {
+  peer_bgp_id : Ipv4.t;
+  peer_addr : Ipv4.t;
+  peer_asn : Asn.t;
+}
+
+type rib_entry = {
+  entry_peer_index : int;
+  originated_at : int;
+  attrs : Attrs.t;
+}
+
+type rib_record = {
+  sequence : int;
+  rib_prefix : Prefix.t;
+  entries : rib_entry list;
+}
+
+type t = {
+  collector_id : Ipv4.t;
+  view_name : string;
+  peers : peer_entry list;
+  records : rib_record list;
+}
+
+type error =
+  | Truncated
+  | Unsupported of string
+  | Malformed of string
+
+let pp_error fmt = function
+  | Truncated -> Format.pp_print_string fmt "truncated"
+  | Unsupported s -> Format.fprintf fmt "unsupported: %s" s
+  | Malformed s -> Format.fprintf fmt "malformed: %s" s
+
+let mrt_table_dump_v2 = 13
+let subtype_peer_index = 1
+let subtype_rib_ipv4_unicast = 2
+
+(* --- encoding ------------------------------------------------------- *)
+
+let add_u8 buf v = Buffer.add_char buf (Char.chr (v land 0xFF))
+
+let add_u16 buf v =
+  add_u8 buf (v lsr 8);
+  add_u8 buf v
+
+let add_u32 buf v =
+  add_u16 buf ((v lsr 16) land 0xFFFF);
+  add_u16 buf (v land 0xFFFF)
+
+let add_ip buf ip = add_u32 buf (Int32.to_int (Ipv4.to_int32 ip) land 0xFFFFFFFF)
+
+let add_record buf ~timestamp ~subtype body =
+  add_u32 buf timestamp;
+  add_u16 buf mrt_table_dump_v2;
+  add_u16 buf subtype;
+  add_u32 buf (String.length body);
+  Buffer.add_string buf body
+
+let encode_peer_index t =
+  let buf = Buffer.create 128 in
+  add_ip buf t.collector_id;
+  add_u16 buf (String.length t.view_name);
+  Buffer.add_string buf t.view_name;
+  add_u16 buf (List.length t.peers);
+  List.iter
+    (fun p ->
+      add_u8 buf 0x02 (* IPv4 peer, 4-byte ASN *);
+      add_ip buf p.peer_bgp_id;
+      add_ip buf p.peer_addr;
+      add_u32 buf (Asn.to_int p.peer_asn))
+    t.peers;
+  Buffer.contents buf
+
+let encode_rib_record r =
+  let buf = Buffer.create 256 in
+  add_u32 buf r.sequence;
+  let len = Prefix.length r.rib_prefix in
+  add_u8 buf len;
+  let nbytes = (len + 7) / 8 in
+  let addr =
+    Int32.to_int (Ipv4.to_int32 (Prefix.network r.rib_prefix)) land 0xFFFFFFFF
+  in
+  for i = 0 to nbytes - 1 do
+    add_u8 buf (addr lsr (24 - (8 * i)))
+  done;
+  add_u16 buf (List.length r.entries);
+  List.iter
+    (fun e ->
+      add_u16 buf e.entry_peer_index;
+      add_u32 buf e.originated_at;
+      let attrs = Codec.encode_path_attributes e.attrs in
+      add_u16 buf (String.length attrs);
+      Buffer.add_string buf attrs)
+    r.entries;
+  Buffer.contents buf
+
+let encode ~timestamp t =
+  let buf = Buffer.create 4096 in
+  add_record buf ~timestamp ~subtype:subtype_peer_index (encode_peer_index t);
+  List.iter
+    (fun r ->
+      add_record buf ~timestamp ~subtype:subtype_rib_ipv4_unicast
+        (encode_rib_record r))
+    t.records;
+  Buffer.contents buf
+
+(* --- decoding ------------------------------------------------------- *)
+
+exception Fail of error
+
+type reader = { buf : string; mutable pos : int; limit : int }
+
+let need r n = if r.pos + n > r.limit then raise (Fail Truncated)
+
+let u8 r =
+  need r 1;
+  let v = Char.code r.buf.[r.pos] in
+  r.pos <- r.pos + 1;
+  v
+
+let u16 r =
+  let a = u8 r in
+  (a lsl 8) lor u8 r
+
+let u32 r =
+  let a = u16 r in
+  (a lsl 16) lor u16 r
+
+let take r n =
+  need r n;
+  let s = String.sub r.buf r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+let remaining r = r.limit - r.pos
+
+let sub_reader r n =
+  need r n;
+  let child = { buf = r.buf; pos = r.pos; limit = r.pos + n } in
+  r.pos <- r.pos + n;
+  child
+
+let read_ip r = Ipv4.of_int32 (Int32.of_int (u32 r))
+
+let decode_peer_index r =
+  let collector_id = read_ip r in
+  let name_len = u16 r in
+  let view_name = take r name_len in
+  let count = u16 r in
+  let peers =
+    List.init count (fun _ ->
+        let typ = u8 r in
+        if typ land 0x01 <> 0 then raise (Fail (Unsupported "IPv6 peer entry"));
+        let peer_bgp_id = read_ip r in
+        let peer_addr = read_ip r in
+        let asn = if typ land 0x02 <> 0 then u32 r else u16 r in
+        { peer_bgp_id; peer_addr; peer_asn = Asn.of_int asn })
+  in
+  (collector_id, view_name, peers)
+
+let decode_rib_ipv4 r =
+  let sequence = u32 r in
+  let len = u8 r in
+  if len > 32 then raise (Fail (Malformed "prefix length > 32"));
+  let nbytes = (len + 7) / 8 in
+  need r nbytes;
+  let addr = ref 0l in
+  for i = 0 to nbytes - 1 do
+    addr :=
+      Int32.logor !addr
+        (Int32.shift_left (Int32.of_int (Char.code r.buf.[r.pos + i])) (24 - (8 * i)))
+  done;
+  r.pos <- r.pos + nbytes;
+  let rib_prefix = Prefix.make (Ipv4.of_int32 !addr) len in
+  let count = u16 r in
+  let entries =
+    List.init count (fun _ ->
+        let entry_peer_index = u16 r in
+        let originated_at = u32 r in
+        let attr_len = u16 r in
+        let attr_bytes = take r attr_len in
+        match Codec.decode_path_attributes attr_bytes with
+        | Ok attrs -> { entry_peer_index; originated_at; attrs }
+        | Error e ->
+            raise (Fail (Malformed ("bad attributes: " ^ Codec.error_to_string e))))
+  in
+  { sequence; rib_prefix; entries }
+
+let decode buf =
+  try
+    let r = { buf; pos = 0; limit = String.length buf } in
+    let header = ref None in
+    let records = ref [] in
+    while remaining r > 0 do
+      let _timestamp = u32 r in
+      let typ = u16 r in
+      let subtype = u16 r in
+      let len = u32 r in
+      let body = sub_reader r len in
+      if typ = mrt_table_dump_v2 then
+        if subtype = subtype_peer_index then header := Some (decode_peer_index body)
+        else if subtype = subtype_rib_ipv4_unicast then
+          records := decode_rib_ipv4 body :: !records
+        (* other TABLE_DUMP_V2 subtypes (IPv6, multicast) are skipped *)
+      (* non-TABLE_DUMP_V2 records are skipped *)
+    done;
+    match !header with
+    | None -> Error (Malformed "no PEER_INDEX_TABLE record")
+    | Some (collector_id, view_name, peers) ->
+        Ok { collector_id; view_name; peers; records = List.rev !records }
+  with Fail e -> Error e
+
+(* --- bridges ---------------------------------------------------------- *)
+
+let of_rib ?(timestamp = 0) ~collector_id rib =
+  let peer_ids = Rib.peer_ids rib in
+  let index_of = Hashtbl.create 16 in
+  let peers =
+    List.mapi
+      (fun i id ->
+        Hashtbl.replace index_of id i;
+        match Rib.peer rib id with
+        | Some p ->
+            {
+              peer_bgp_id = p.Peer.router_id;
+              peer_addr = p.Peer.session_addr;
+              peer_asn = Peer.asn p;
+            }
+        | None -> assert false)
+      peer_ids
+  in
+  let records =
+    Rib.fold
+      (fun prefix ranked acc ->
+        let entries =
+          List.filter_map
+            (fun route ->
+              match Hashtbl.find_opt index_of (Route.peer_id route) with
+              | None -> None
+              | Some idx ->
+                  Some
+                    {
+                      entry_peer_index = idx;
+                      originated_at = timestamp;
+                      attrs = Route.attrs route;
+                    })
+            ranked
+        in
+        { sequence = 0; rib_prefix = prefix; entries } :: acc)
+      rib []
+    |> List.rev
+    |> List.mapi (fun i r -> { r with sequence = i })
+  in
+  { collector_id; view_name = "edge-fabric"; peers; records }
+
+let save path ~timestamp t =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (encode ~timestamp t))
+
+let load path =
+  match open_in_bin path with
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> decode (In_channel.input_all ic))
+  | exception Sys_error msg -> Error (Malformed msg)

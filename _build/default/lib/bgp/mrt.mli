@@ -1,0 +1,57 @@
+(** MRT RIB dumps (RFC 6396, TABLE_DUMP_V2).
+
+    MRT is how the BGP world exchanges routing-table snapshots (RouteViews
+    and RIPE RIS archives are MRT). Exporting a {!Rib} in this format
+    means its contents can be inspected with standard tooling (bgpdump,
+    bgpkit, …), and importing lets recorded archives stand in for the
+    simulator's synthetic tables. Covered subset: PEER_INDEX_TABLE and
+    RIB_IPV4_UNICAST entries, with BGP path attributes re-encoded through
+    {!Codec}'s attribute encoder. *)
+
+type peer_entry = {
+  peer_bgp_id : Ipv4.t;
+  peer_addr : Ipv4.t;
+  peer_asn : Asn.t;
+}
+
+type rib_entry = {
+  entry_peer_index : int;   (** index into the peer table *)
+  originated_at : int;      (** unix seconds *)
+  attrs : Attrs.t;
+}
+
+type rib_record = {
+  sequence : int;
+  rib_prefix : Prefix.t;
+  entries : rib_entry list;
+}
+
+type t = {
+  collector_id : Ipv4.t;
+  view_name : string;
+  peers : peer_entry list;
+  records : rib_record list;
+}
+
+type error =
+  | Truncated
+  | Unsupported of string
+  | Malformed of string
+
+val pp_error : Format.formatter -> error -> unit
+
+val encode : timestamp:int -> t -> string
+(** Serialise as a PEER_INDEX_TABLE record followed by one
+    RIB_IPV4_UNICAST record per prefix. *)
+
+val decode : string -> (t, error) result
+(** Parse a TABLE_DUMP_V2 dump produced by {!encode} (or by a real
+    collector, for the record subtypes covered). Unknown MRT record types
+    are skipped. *)
+
+val of_rib : ?timestamp:int -> collector_id:Ipv4.t -> Rib.t -> t
+(** Snapshot a RIB: every registered neighbor becomes a peer-table entry
+    and every prefix's candidates become RIB entries (decision order). *)
+
+val save : string -> timestamp:int -> t -> unit
+val load : string -> (t, error) result

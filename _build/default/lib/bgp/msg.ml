@@ -1,0 +1,132 @@
+type capability =
+  | Multiprotocol of { afi : int; safi : int }
+  | Route_refresh
+  | Four_octet_as of Asn.t
+  | Unknown_capability of { code : int; data : string }
+
+type open_msg = {
+  version : int;
+  my_as : Asn.t;
+  hold_time : int;
+  bgp_id : Ipv4.t;
+  capabilities : capability list;
+}
+
+type update = {
+  withdrawn : Prefix.t list;
+  attrs : Attrs.t option;
+  nlri : Prefix.t list;
+}
+
+type notif_code =
+  | Message_header_error of int
+  | Open_message_error of int
+  | Update_message_error of int
+  | Hold_timer_expired
+  | Fsm_error
+  | Cease of int
+
+type notification = {
+  code : notif_code;
+  data : string;
+}
+
+type t =
+  | Open of open_msg
+  | Update of update
+  | Notification of notification
+  | Keepalive
+  | Route_refresh of { afi : int; safi : int }
+
+let make_open ?(version = 4) ?(hold_time = 90) ?capabilities ~asn ~bgp_id () =
+  let capabilities =
+    match capabilities with
+    | Some caps -> caps
+    | None -> [ Four_octet_as asn ]
+  in
+  Open { version; my_as = asn; hold_time; bgp_id; capabilities }
+
+let make_update ?(withdrawn = []) ?attrs ?(nlri = []) () =
+  Update { withdrawn; attrs; nlri }
+
+let keepalive = Keepalive
+
+let cease ?(subcode = 0) ?(data = "") () =
+  Notification { code = Cease subcode; data }
+
+let kind_to_string = function
+  | Open _ -> "OPEN"
+  | Update _ -> "UPDATE"
+  | Notification _ -> "NOTIFICATION"
+  | Keepalive -> "KEEPALIVE"
+  | Route_refresh _ -> "ROUTE-REFRESH"
+
+let pp_capability fmt = function
+  | Multiprotocol { afi; safi } -> Format.fprintf fmt "mp(%d,%d)" afi safi
+  | Route_refresh -> Format.pp_print_string fmt "route-refresh"
+  | Four_octet_as asn -> Format.fprintf fmt "as4(%a)" Asn.pp asn
+  | Unknown_capability { code; data } ->
+      Format.fprintf fmt "cap%d(%d bytes)" code (String.length data)
+
+let pp_notif_code fmt = function
+  | Message_header_error s -> Format.fprintf fmt "header-error/%d" s
+  | Open_message_error s -> Format.fprintf fmt "open-error/%d" s
+  | Update_message_error s -> Format.fprintf fmt "update-error/%d" s
+  | Hold_timer_expired -> Format.pp_print_string fmt "hold-timer-expired"
+  | Fsm_error -> Format.pp_print_string fmt "fsm-error"
+  | Cease s -> Format.fprintf fmt "cease/%d" s
+
+let pp fmt = function
+  | Open o ->
+      Format.fprintf fmt "OPEN{as%a hold=%d id=%a caps=[%a]}" Asn.pp o.my_as
+        o.hold_time Ipv4.pp o.bgp_id
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.pp_print_string fmt " ")
+           pp_capability)
+        o.capabilities
+  | Update u ->
+      Format.fprintf fmt "UPDATE{withdrawn=[%a] nlri=[%a]%a}"
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.pp_print_string fmt " ")
+           Prefix.pp)
+        u.withdrawn
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.pp_print_string fmt " ")
+           Prefix.pp)
+        u.nlri
+        (fun fmt -> function
+          | None -> ()
+          | Some a -> Format.fprintf fmt " %a" Attrs.pp a)
+        u.attrs
+  | Notification n -> Format.fprintf fmt "NOTIFICATION{%a}" pp_notif_code n.code
+  | Keepalive -> Format.pp_print_string fmt "KEEPALIVE"
+  | Route_refresh { afi; safi } ->
+      Format.fprintf fmt "ROUTE-REFRESH{afi=%d safi=%d}" afi safi
+
+let equal_capability a b =
+  match (a, b) with
+  | Multiprotocol x, Multiprotocol y -> x.afi = y.afi && x.safi = y.safi
+  | Route_refresh, Route_refresh -> true
+  | Four_octet_as x, Four_octet_as y -> Asn.equal x y
+  | Unknown_capability x, Unknown_capability y ->
+      x.code = y.code && String.equal x.data y.data
+  | (Multiprotocol _ | Route_refresh | Four_octet_as _ | Unknown_capability _), _
+    -> false
+
+let equal a b =
+  match (a, b) with
+  | Keepalive, Keepalive -> true
+  | Open x, Open y ->
+      x.version = y.version && Asn.equal x.my_as y.my_as
+      && x.hold_time = y.hold_time
+      && Ipv4.equal x.bgp_id y.bgp_id
+      && List.length x.capabilities = List.length y.capabilities
+      && List.for_all2 equal_capability x.capabilities y.capabilities
+  | Update x, Update y ->
+      List.compare Prefix.compare x.withdrawn y.withdrawn = 0
+      && List.compare Prefix.compare x.nlri y.nlri = 0
+      && Option.equal Attrs.equal x.attrs y.attrs
+  | Notification x, Notification y -> x.code = y.code && String.equal x.data y.data
+  | Route_refresh x, Route_refresh y -> x.afi = y.afi && x.safi = y.safi
+  | (Keepalive | Open _ | Update _ | Notification _ | Route_refresh _), _ ->
+      false

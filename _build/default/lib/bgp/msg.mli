@@ -1,0 +1,70 @@
+(** BGP message abstract syntax (RFC 4271 §4).
+
+    The controller injects overrides as genuine UPDATE messages and the
+    collector parses genuine UPDATEs out of BMP feeds, so the message
+    types are first-class values with a real wire codec ({!Codec}). *)
+
+type capability =
+  | Multiprotocol of { afi : int; safi : int }  (** code 1 *)
+  | Route_refresh                               (** code 2 *)
+  | Four_octet_as of Asn.t                      (** code 65 *)
+  | Unknown_capability of { code : int; data : string }
+
+type open_msg = {
+  version : int;            (** always 4 *)
+  my_as : Asn.t;            (** the real ASN; the codec emits AS_TRANS in
+                                the 2-byte field when it does not fit *)
+  hold_time : int;          (** seconds; 0 disables keepalives *)
+  bgp_id : Ipv4.t;
+  capabilities : capability list;
+}
+
+type update = {
+  withdrawn : Prefix.t list;
+  attrs : Attrs.t option;   (** required when [nlri] is non-empty *)
+  nlri : Prefix.t list;
+}
+
+(** Notification error codes (RFC 4271 §6). *)
+type notif_code =
+  | Message_header_error of int
+  | Open_message_error of int
+  | Update_message_error of int
+  | Hold_timer_expired
+  | Fsm_error
+  | Cease of int
+
+type notification = {
+  code : notif_code;
+  data : string;
+}
+
+type t =
+  | Open of open_msg
+  | Update of update
+  | Notification of notification
+  | Keepalive
+  | Route_refresh of { afi : int; safi : int }
+      (** RFC 2918: ask the peer to resend its Adj-RIB-Out — used after a
+          policy change instead of bouncing the session *)
+
+val make_open :
+  ?version:int ->
+  ?hold_time:int ->
+  ?capabilities:capability list ->
+  asn:Asn.t ->
+  bgp_id:Ipv4.t ->
+  unit ->
+  t
+(** Convenience constructor; defaults: version 4, hold 90 s, capabilities
+    [\[Four_octet_as asn\]]. *)
+
+val make_update :
+  ?withdrawn:Prefix.t list -> ?attrs:Attrs.t -> ?nlri:Prefix.t list -> unit -> t
+
+val keepalive : t
+val cease : ?subcode:int -> ?data:string -> unit -> t
+
+val kind_to_string : t -> string
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

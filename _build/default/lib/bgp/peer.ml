@@ -1,0 +1,41 @@
+type kind =
+  | Transit
+  | Private_peer
+  | Public_peer
+  | Route_server
+
+let kind_to_string = function
+  | Transit -> "transit"
+  | Private_peer -> "private"
+  | Public_peer -> "public"
+  | Route_server -> "route-server"
+
+let pp_kind fmt k = Format.pp_print_string fmt (kind_to_string k)
+let all_kinds = [ Transit; Private_peer; Public_peer; Route_server ]
+
+let kind_rank = function
+  | Private_peer -> 0
+  | Public_peer -> 1
+  | Route_server -> 2
+  | Transit -> 3
+
+type t = {
+  id : int;
+  name : string;
+  asn : Asn.t;
+  kind : kind;
+  router_id : Ipv4.t;
+  session_addr : Ipv4.t;
+}
+
+let make ~id ~name ~asn ~kind ~router_id ~session_addr =
+  { id; name; asn; kind; router_id; session_addr }
+
+let id t = t.id
+let asn t = t.asn
+let kind t = t.kind
+let compare a b = Int.compare a.id b.id
+let equal a b = a.id = b.id
+
+let pp fmt t =
+  Format.fprintf fmt "%s(as%a,%a)" t.name Asn.pp t.asn pp_kind t.kind

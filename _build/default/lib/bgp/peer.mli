@@ -1,0 +1,48 @@
+(** BGP neighbors as seen from one PoP's peering routers.
+
+    Edge Fabric distinguishes four neighbor kinds, because both routing
+    policy (peers preferred over transit) and capacity semantics (private
+    interconnects are dedicated, public peering shares the IXP port,
+    transit is effectively unconstrained upstream) depend on the kind. *)
+
+type kind =
+  | Transit        (** paid full-table provider *)
+  | Private_peer   (** dedicated private interconnect (PNI) *)
+  | Public_peer    (** bilateral session across an IXP fabric *)
+  | Route_server   (** multilateral routes via an IXP route server *)
+
+val kind_to_string : kind -> string
+val pp_kind : Format.formatter -> kind -> unit
+val all_kinds : kind list
+
+val kind_rank : kind -> int
+(** Facebook-style preference rank, lower is better: private/public/route
+    server routes preferred over transit. Used by the default policy to
+    derive LOCAL_PREF. *)
+
+type t = private {
+  id : int;            (** dense identifier, unique within a PoP *)
+  name : string;
+  asn : Asn.t;
+  kind : kind;
+  router_id : Ipv4.t;  (** BGP identifier, final decision tiebreak *)
+  session_addr : Ipv4.t; (** neighbor address = NEXT_HOP of its routes *)
+}
+
+val make :
+  id:int ->
+  name:string ->
+  asn:Asn.t ->
+  kind:kind ->
+  router_id:Ipv4.t ->
+  session_addr:Ipv4.t ->
+  t
+
+val id : t -> int
+val asn : t -> Asn.t
+val kind : t -> kind
+val compare : t -> t -> int
+(** By [id]. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,130 @@
+type matcher =
+  | Match_any
+  | Match_prefix of Prefix.t
+  | Match_prefix_exact of Prefix.t
+  | Match_prefix_len_at_least of int
+  | Match_community of Community.t
+  | Match_peer_kind of Peer.kind
+  | Match_peer_asn of Asn.t
+  | Match_path_contains of Asn.t
+  | Match_all of matcher list
+  | Match_or of matcher list
+  | Match_not of matcher
+
+type action =
+  | Set_local_pref of int
+  | Set_med of int option
+  | Add_community of Community.t
+  | Remove_community of Community.t
+  | Prepend of Asn.t * int
+
+type verdict = Accept | Reject
+
+type clause = {
+  clause_name : string;
+  guard : matcher;
+  actions : action list;
+  verdict : verdict;
+}
+
+type t = {
+  clauses : clause list;
+  default : verdict;
+}
+
+let make ?(default = Reject) clauses = { clauses; default }
+let clauses t = t.clauses
+
+let rec matches m (r : Route.t) =
+  match m with
+  | Match_any -> true
+  | Match_prefix p -> Prefix.subsumes p (Route.prefix r)
+  | Match_prefix_exact p -> Prefix.equal p (Route.prefix r)
+  | Match_prefix_len_at_least n -> Prefix.length (Route.prefix r) >= n
+  | Match_community c -> Route.has_community c r
+  | Match_peer_kind k -> Route.peer_kind r = k
+  | Match_peer_asn a -> Asn.equal (Peer.asn (Route.peer r)) a
+  | Match_path_contains a -> As_path.mem a (Route.attrs r).Attrs.as_path
+  | Match_all ms -> List.for_all (fun m -> matches m r) ms
+  | Match_or ms -> List.exists (fun m -> matches m r) ms
+  | Match_not m -> not (matches m r)
+
+let apply_action action attrs =
+  match action with
+  | Set_local_pref lp -> Attrs.with_local_pref lp attrs
+  | Set_med med -> Attrs.with_med med attrs
+  | Add_community c -> Attrs.add_community c attrs
+  | Remove_community c -> Attrs.remove_community c attrs
+  | Prepend (asn, n) -> Attrs.prepend_path asn n attrs
+
+let apply t route =
+  let rec go = function
+    | [] -> (
+        match t.default with
+        | Accept -> Some route
+        | Reject -> None)
+    | clause :: rest ->
+        if matches clause.guard route then
+          match clause.verdict with
+          | Reject -> None
+          | Accept ->
+              let attrs =
+                List.fold_left
+                  (fun attrs a -> apply_action a attrs)
+                  (Route.attrs route) clause.actions
+              in
+              Some (Route.with_attrs attrs route)
+        else go rest
+  in
+  go t.clauses
+
+let accept_all =
+  make ~default:Accept []
+
+let local_pref_for_kind = function
+  | Peer.Private_peer -> 400
+  | Peer.Public_peer -> 350
+  | Peer.Route_server -> 300
+  | Peer.Transit -> 200
+
+(* 65000:1x — ingestion-kind tags; 65000:911 is reserved for controller
+   overrides (see Edge_fabric.Override). *)
+let ingest_community = function
+  | Peer.Private_peer -> Community.make 65000 10
+  | Peer.Public_peer -> Community.make 65000 11
+  | Peer.Route_server -> Community.make 65000 12
+  | Peer.Transit -> Community.make 65000 13
+
+let default_ingest ~self_asn =
+  let kind_clause kind =
+    {
+      clause_name = "ingest-" ^ Peer.kind_to_string kind;
+      guard = Match_peer_kind kind;
+      actions =
+        [
+          Set_local_pref (local_pref_for_kind kind);
+          Add_community (ingest_community kind);
+        ];
+      verdict = Accept;
+    }
+  in
+  make ~default:Reject
+    ({
+       clause_name = "deny-own-asn";
+       guard = Match_path_contains self_asn;
+       actions = [];
+       verdict = Reject;
+     }
+     :: {
+          clause_name = "deny-too-specific";
+          guard = Match_prefix_len_at_least 25;
+          actions = [];
+          verdict = Reject;
+        }
+     :: {
+          clause_name = "deny-default-route";
+          guard = Match_prefix_exact Prefix.default;
+          actions = [];
+          verdict = Reject;
+        }
+     :: List.map kind_clause Peer.all_kinds)

@@ -1,0 +1,68 @@
+(** Routing policy: route-maps applied at route ingestion.
+
+    A policy is an ordered list of clauses; the first clause whose guard
+    matches decides the route's fate (reject, or accept after applying the
+    clause's actions). This mirrors vendor route-maps closely enough to
+    express the egress policy the paper describes: peer routes preferred
+    over transit via LOCAL_PREF tiers, ingestion-point tagging with
+    communities, and rejection of bogus routes. *)
+
+type matcher =
+  | Match_any                       (** always true *)
+  | Match_prefix of Prefix.t        (** route's prefix inside this block *)
+  | Match_prefix_exact of Prefix.t
+  | Match_prefix_len_at_least of int
+  | Match_community of Community.t
+  | Match_peer_kind of Peer.kind
+  | Match_peer_asn of Asn.t
+  | Match_path_contains of Asn.t
+  | Match_all of matcher list       (** conjunction *)
+  | Match_or of matcher list        (** disjunction *)
+  | Match_not of matcher
+
+type action =
+  | Set_local_pref of int
+  | Set_med of int option
+  | Add_community of Community.t
+  | Remove_community of Community.t
+  | Prepend of Asn.t * int
+
+type verdict = Accept | Reject
+
+type clause = {
+  clause_name : string;
+  guard : matcher;
+  actions : action list;
+  verdict : verdict;
+}
+
+type t
+
+val make : ?default:verdict -> clause list -> t
+(** [default] applies when no clause matches; vendors default to deny,
+    and so do we. *)
+
+val clauses : t -> clause list
+
+val matches : matcher -> Route.t -> bool
+val apply_action : action -> Attrs.t -> Attrs.t
+
+val apply : t -> Route.t -> Route.t option
+(** [None] when rejected. *)
+
+val accept_all : t
+
+val local_pref_for_kind : Peer.kind -> int
+(** The LOCAL_PREF tier assigned per neighbor kind by the default
+    policy: private 400 > public 350 > route server 300 > transit 200.
+    (Published Facebook policy prefers peer routes over transit; exact
+    values are ours, only the order matters.) *)
+
+val ingest_community : Peer.kind -> Community.t
+(** Community tagged onto routes at ingestion, recording the neighbor
+    kind — lets later stages classify routes without re-deriving it. *)
+
+val default_ingest : self_asn:Asn.t -> t
+(** The PoP's standard import policy: drop routes containing our own ASN
+    (loop prevention), drop martians (length > 24 or default routes from
+    peers), set kind-tier LOCAL_PREF, tag ingest community. *)

@@ -1,0 +1,41 @@
+let normalize prefixes =
+  let sorted = List.sort_uniq Prefix.compare prefixes in
+  (* ascending order puts covering prefixes before covered ones with the
+     same network address; a linear scan with a "last kept" accumulator is
+     not enough (coverage is not adjacent in this order), so filter
+     against a trie of all candidates *)
+  let trie = List.fold_left (fun t p -> Ptrie.add p () t) Ptrie.empty sorted in
+  List.filter
+    (fun p ->
+      (* keep p unless a strictly shorter prefix in the set covers it *)
+      not
+        (List.exists
+           (fun (q, ()) -> Prefix.length q < Prefix.length p)
+           (Ptrie.matches (Prefix.network p) trie)))
+    sorted
+
+let parent p = Prefix.make (Prefix.network p) (Prefix.length p - 1)
+
+let is_sibling_pair a b =
+  Prefix.length a = Prefix.length b
+  && Prefix.length a > 0
+  && Prefix.equal (parent a) (parent b)
+  && not (Prefix.equal a b)
+
+let rec merge_pass prefixes =
+  (* prefixes are normalized (sorted, disjoint); siblings are adjacent *)
+  let rec go merged_any acc = function
+    | a :: b :: rest when is_sibling_pair a b -> go true (parent a :: acc) rest
+    | a :: rest -> go merged_any (a :: acc) rest
+    | [] -> (merged_any, List.rev acc)
+  in
+  let merged_any, result = go false [] prefixes in
+  if merged_any then merge_pass (normalize result) else result
+
+let aggregate prefixes = merge_pass (normalize prefixes)
+
+let covers prefixes addr = List.exists (Prefix.mem addr) prefixes
+
+let same_space a b =
+  let ca = aggregate a and cb = aggregate b in
+  List.length ca = List.length cb && List.for_all2 Prefix.equal ca cb

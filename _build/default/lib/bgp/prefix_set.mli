@@ -1,0 +1,24 @@
+(** Prefix-set algebra: normalization and CIDR aggregation.
+
+    The /24-splitting allocator can move dozens of sibling children to
+    the same detour target; announcing each child separately bloats the
+    routers' tables and the BGP churn. Aggregation merges adjacent
+    siblings back into the largest exact-covering CIDR blocks — the same
+    operation route optimizers run before announcing. *)
+
+val normalize : Prefix.t list -> Prefix.t list
+(** Remove duplicates and any prefix already covered by a shorter prefix
+    in the set. Result is in ascending prefix order. *)
+
+val aggregate : Prefix.t list -> Prefix.t list
+(** {!normalize}, then repeatedly merge sibling pairs (two prefixes of
+    equal length that are the two halves of their parent) until no merge
+    applies. The result covers exactly the same address space with the
+    minimum number of CIDR blocks. *)
+
+val covers : Prefix.t list -> Ipv4.t -> bool
+(** Does any prefix in the set contain the address? *)
+
+val same_space : Prefix.t list -> Prefix.t list -> bool
+(** Do two sets cover exactly the same addresses? (Compares aggregated
+    canonical forms.) *)

@@ -1,0 +1,120 @@
+type 'a t =
+  | Leaf
+  | Node of { value : 'a option; left : 'a t; right : 'a t }
+
+let empty = Leaf
+
+let is_empty = function
+  | Leaf -> true
+  | Node _ -> false
+
+let node value left right =
+  match (value, left, right) with
+  | None, Leaf, Leaf -> Leaf
+  | _ -> Node { value; left; right }
+
+(* Navigation follows the prefix's bits from the most significant; a
+   binding lives at depth [Prefix.length]. *)
+
+let rec add_at depth p v t =
+  match t with
+  | Leaf ->
+      if depth = Prefix.length p then Node { value = Some v; left = Leaf; right = Leaf }
+      else if Ipv4.bit (Prefix.network p) depth then
+        Node { value = None; left = Leaf; right = add_at (depth + 1) p v Leaf }
+      else Node { value = None; left = add_at (depth + 1) p v Leaf; right = Leaf }
+  | Node { value; left; right } ->
+      if depth = Prefix.length p then Node { value = Some v; left; right }
+      else if Ipv4.bit (Prefix.network p) depth then
+        Node { value; left; right = add_at (depth + 1) p v right }
+      else Node { value; left = add_at (depth + 1) p v left; right }
+
+let add p v t = add_at 0 p v t
+
+let rec remove_at depth p t =
+  match t with
+  | Leaf -> Leaf
+  | Node { value; left; right } ->
+      if depth = Prefix.length p then node None left right
+      else if Ipv4.bit (Prefix.network p) depth then
+        node value left (remove_at (depth + 1) p right)
+      else node value (remove_at (depth + 1) p left) right
+
+let remove p t = remove_at 0 p t
+
+let rec find_at depth p t =
+  match t with
+  | Leaf -> None
+  | Node { value; left; right } ->
+      if depth = Prefix.length p then value
+      else if Ipv4.bit (Prefix.network p) depth then find_at (depth + 1) p right
+      else find_at (depth + 1) p left
+
+let find p t = find_at 0 p t
+let mem p t = Option.is_some (find p t)
+
+let update p f t =
+  match f (find p t) with
+  | None -> remove p t
+  | Some v -> add p v t
+
+let rec matches_at depth addr t acc =
+  match t with
+  | Leaf -> acc
+  | Node { value; left; right } ->
+      let acc =
+        match value with
+        | None -> acc
+        | Some v -> (Prefix.make addr depth, v) :: acc
+      in
+      if depth = 32 then acc
+      else if Ipv4.bit addr depth then matches_at (depth + 1) addr right acc
+      else matches_at (depth + 1) addr left acc
+
+let matches addr t = matches_at 0 addr t []
+
+let longest_match addr t =
+  match matches addr t with
+  | [] -> None
+  | best :: _ -> Some best
+
+let rec fold_at depth bits f t acc =
+  match t with
+  | Leaf -> acc
+  | Node { value; left; right } ->
+      let acc =
+        match value with
+        | None -> acc
+        | Some v -> f (Prefix.make (Ipv4.of_int32 bits) depth) v acc
+      in
+      let acc = fold_at (depth + 1) bits f left acc in
+      if depth = 32 then acc
+      else
+        let hi = Int32.logor bits (Int32.shift_left 1l (31 - depth)) in
+        fold_at (depth + 1) hi f right acc
+
+let fold f t acc = fold_at 0 0l f t acc
+let iter f t = fold (fun p v () -> f p v) t ()
+let cardinal t = fold (fun _ _ n -> n + 1) t 0
+
+let rec map f = function
+  | Leaf -> Leaf
+  | Node { value; left; right } ->
+      Node { value = Option.map f value; left = map f left; right = map f right }
+
+let filter pred t =
+  fold (fun p v acc -> if pred p v then acc else remove p acc) t t
+
+let to_list t = List.rev (fold (fun p v acc -> (p, v) :: acc) t [])
+let of_list l = List.fold_left (fun t (p, v) -> add p v t) empty l
+let keys t = List.map fst (to_list t)
+
+let covered p t =
+  fold
+    (fun q v acc -> if Prefix.subsumes p q then (q, v) :: acc else acc)
+    t []
+  |> List.rev
+
+let union f a b = fold (fun p v acc ->
+    update p (function None -> Some v | Some w -> Some (f w v)) acc)
+    b a

@@ -1,0 +1,49 @@
+(** Binary tries keyed by IPv4 prefix.
+
+    The routing tables (Adj-RIB-In, Loc-RIB, traffic maps) all need exact
+    prefix lookup plus longest-prefix match; this persistent trie provides
+    both in O(prefix length). Persistence keeps RIB snapshots for the
+    collector free: the controller can hold an old version while the
+    speaker keeps updating. *)
+
+type 'a t
+
+val empty : 'a t
+val is_empty : 'a t -> bool
+
+val add : Prefix.t -> 'a -> 'a t -> 'a t
+(** Insert or replace the binding for the exact prefix. *)
+
+val remove : Prefix.t -> 'a t -> 'a t
+(** Remove the exact binding; the trie is unchanged if absent. *)
+
+val find : Prefix.t -> 'a t -> 'a option
+(** Exact-prefix lookup. *)
+
+val mem : Prefix.t -> 'a t -> bool
+
+val update : Prefix.t -> ('a option -> 'a option) -> 'a t -> 'a t
+(** Insert/modify/delete through one function, as [Map.update]. *)
+
+val longest_match : Ipv4.t -> 'a t -> (Prefix.t * 'a) option
+(** The most-specific prefix containing the address, if any. *)
+
+val matches : Ipv4.t -> 'a t -> (Prefix.t * 'a) list
+(** All prefixes containing the address, most specific first. *)
+
+val covered : Prefix.t -> 'a t -> (Prefix.t * 'a) list
+(** All bindings whose prefix is equal to or more specific than the
+    argument, in ascending prefix order. *)
+
+val cardinal : 'a t -> int
+val fold : (Prefix.t -> 'a -> 'acc -> 'acc) -> 'a t -> 'acc -> 'acc
+(** Ascending prefix order. *)
+
+val iter : (Prefix.t -> 'a -> unit) -> 'a t -> unit
+val map : ('a -> 'b) -> 'a t -> 'b t
+val filter : (Prefix.t -> 'a -> bool) -> 'a t -> 'a t
+val to_list : 'a t -> (Prefix.t * 'a) list
+val of_list : (Prefix.t * 'a) list -> 'a t
+val keys : 'a t -> Prefix.t list
+val union : ('a -> 'a -> 'a) -> 'a t -> 'a t -> 'a t
+(** [union f a b] keeps all bindings, resolving duplicates with [f]. *)

@@ -1,0 +1,32 @@
+type t = {
+  prefix : Prefix.t;
+  attrs : Attrs.t;
+  peer : Peer.t;
+}
+
+let make ~prefix ~attrs ~peer = { prefix; attrs; peer }
+let prefix t = t.prefix
+let attrs t = t.attrs
+let peer t = t.peer
+let peer_id t = Peer.id t.peer
+let peer_kind t = Peer.kind t.peer
+let local_pref t = Attrs.effective_local_pref t.attrs
+let as_path_length t = As_path.length t.attrs.Attrs.as_path
+let next_hop t = t.attrs.Attrs.next_hop
+let origin_as t = As_path.origin_as t.attrs.Attrs.as_path
+let has_community c t = Attrs.has_community c t.attrs
+let with_attrs attrs t = { t with attrs }
+
+let compare a b =
+  match Prefix.compare a.prefix b.prefix with
+  | 0 -> (
+      match Attrs.compare a.attrs b.attrs with
+      | 0 -> Peer.compare a.peer b.peer
+      | c -> c)
+  | c -> c
+
+let equal a b = compare a b = 0
+
+let pp fmt t =
+  Format.fprintf fmt "@[%a via %a %a@]" Prefix.pp t.prefix Peer.pp t.peer
+    Attrs.pp t.attrs

@@ -1,0 +1,31 @@
+(** A candidate route: one prefix's path attributes as learned from one
+    peer. The Loc-RIB holds several of these per prefix; the decision
+    process ranks them; the allocator detours traffic between them. *)
+
+type t = {
+  prefix : Prefix.t;
+  attrs : Attrs.t;
+  peer : Peer.t;   (** the neighbor this route was learned from *)
+}
+
+val make : prefix:Prefix.t -> attrs:Attrs.t -> peer:Peer.t -> t
+
+val prefix : t -> Prefix.t
+val attrs : t -> Attrs.t
+val peer : t -> Peer.t
+val peer_id : t -> int
+val peer_kind : t -> Peer.kind
+val local_pref : t -> int
+val as_path_length : t -> int
+val next_hop : t -> Ipv4.t
+val origin_as : t -> Asn.t option
+val has_community : Community.t -> t -> bool
+
+val with_attrs : Attrs.t -> t -> t
+
+val compare : t -> t -> int
+(** Structural order (prefix, then attrs, then peer) — a total order for
+    use in sets/maps, {e not} the decision-process preference. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

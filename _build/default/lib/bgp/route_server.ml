@@ -1,0 +1,113 @@
+type export = {
+  to_member : int;
+  update : Msg.update;
+}
+
+type member = {
+  peer : Peer.t;
+  export_policy : Policy.t;
+}
+
+type t = {
+  rs_asn : Asn.t;
+  router_id : Ipv4.t;
+  rib : Rib.t;
+  members : (int, member) Hashtbl.t;
+}
+
+let create ~asn ~router_id =
+  { rs_asn = asn; router_id; rib = Rib.create (); members = Hashtbl.create 16 }
+
+let asn t = t.rs_asn
+
+let member_ids t =
+  Hashtbl.fold (fun id _ acc -> id :: acc) t.members [] |> List.sort compare
+
+(* Export [route] to [member]: transparent (path and next hop untouched),
+   but subject to the member's export policy and to sender-loop
+   suppression (never reflect a member's route back to itself — the
+   caller guarantees that via the change's provenance). *)
+let export_to member route =
+  match Policy.apply member.export_policy route with
+  | None -> None
+  | Some filtered ->
+      Some
+        {
+          to_member = Peer.id member.peer;
+          update =
+            {
+              Msg.withdrawn = [];
+              attrs = Some (Route.attrs filtered);
+              nlri = [ Route.prefix filtered ];
+            };
+        }
+
+let withdraw_to member prefix =
+  {
+    to_member = Peer.id member.peer;
+    update = { Msg.withdrawn = [ prefix ]; attrs = None; nlri = [] };
+  }
+
+(* turn a best-route change into exports for every member except the one
+   now carrying the best route *)
+let exports_for_change t (change : Rib.change) =
+  Hashtbl.fold
+    (fun member_id member acc ->
+      match change.Rib.new_best with
+      | Some best when Route.peer_id best = member_id ->
+          (* never reflect a route back at its announcer *)
+          acc
+      | Some best -> (
+          match export_to member best with
+          | Some e -> e :: acc
+          | None -> (
+              (* policy rejects the new best: if the member previously had
+                 a route for this prefix, withdraw it *)
+              match change.Rib.old_best with
+              | Some _ -> withdraw_to member change.Rib.prefix :: acc
+              | None -> acc))
+      | None -> (
+          match change.Rib.old_best with
+          | Some old when Route.peer_id old = member_id -> acc
+          | Some _ -> withdraw_to member change.Rib.prefix :: acc
+          | None -> acc))
+    t.members []
+
+let exports_for_changes t changes =
+  List.concat_map (exports_for_change t) changes
+
+let add_member ?(export_policy = Policy.accept_all) t peer =
+  let id = Peer.id peer in
+  if Hashtbl.mem t.members id then
+    invalid_arg (Printf.sprintf "Route_server.add_member: duplicate member %d" id);
+  let member = { peer; export_policy } in
+  Hashtbl.replace t.members id member;
+  (* members announce raw routes; the server imports everything valid *)
+  Rib.add_peer t.rib peer ~policy:Policy.accept_all;
+  (* catch the new member up with current best routes *)
+  Rib.fold
+    (fun _prefix ranked acc ->
+      match ranked with
+      | [] -> acc
+      | best :: _ when Route.peer_id best = id -> acc
+      | best :: _ -> (
+          match export_to member best with
+          | Some e -> e :: acc
+          | None -> acc))
+    t.rib []
+
+let member_update t ~member_id update =
+  if not (Hashtbl.mem t.members member_id) then
+    invalid_arg (Printf.sprintf "Route_server: unknown member %d" member_id);
+  let changes = Rib.apply_update t.rib ~peer_id:member_id update in
+  exports_for_changes t changes
+
+let drop_member t ~member_id =
+  if not (Hashtbl.mem t.members member_id) then
+    invalid_arg (Printf.sprintf "Route_server: unknown member %d" member_id);
+  let changes = Rib.drop_peer t.rib ~peer_id:member_id in
+  Hashtbl.remove t.members member_id;
+  exports_for_changes t changes
+
+let best t prefix = Rib.best t.rib prefix
+let prefix_count t = Rib.prefix_count t.rib

@@ -1,0 +1,42 @@
+(** An IXP route server.
+
+    Multilateral peering: members announce to the route server, which
+    re-exports the best route per prefix to every other member —
+    {e transparently}: the server does not put its own ASN on the path
+    and does not rewrite the next hop, so traffic flows member-to-member
+    across the fabric while the server only handles control plane. This
+    is the "route server" neighbor kind the PoP model peers with, built
+    out of the same RIB machinery as everything else.
+
+    Sans-IO, message-level: feed member UPDATEs in, get per-member export
+    UPDATEs out. *)
+
+type export = {
+  to_member : int;          (** member peer id to send to *)
+  update : Msg.update;
+}
+
+type t
+
+val create : asn:Asn.t -> router_id:Ipv4.t -> t
+val asn : t -> Asn.t
+
+val add_member : ?export_policy:Policy.t -> t -> Peer.t -> export list
+(** Register a member. The returned exports bring the new member up to
+    date with the server's current best routes. [export_policy] filters
+    and transforms what this member receives (default: everything,
+    unchanged). *)
+
+val member_ids : t -> int list
+
+val member_update : t -> member_id:int -> Msg.update -> export list
+(** Process one member's UPDATE; returns the exports (to every other
+    member whose policy accepts them) reflecting any best-route changes.
+    Withdrawn best routes export as withdrawals (or as implicit
+    replacement announcements when another member's route takes over). *)
+
+val drop_member : t -> member_id:int -> export list
+(** Member session lost: flush its routes, export the fallout. *)
+
+val best : t -> Prefix.t -> Route.t option
+val prefix_count : t -> int

@@ -1,0 +1,275 @@
+type effect_ =
+  | Write of { peer_id : int; data : string }
+  | Set_timer of { peer_id : int; timer : Fsm.timer; seconds : int }
+  | Clear_timer of { peer_id : int; timer : Fsm.timer }
+  | Request_connect of { peer_id : int }
+  | Drop_connection of { peer_id : int }
+  | Rib_changed of Rib.change list
+  | Peer_up of { peer_id : int }
+  | Peer_down of { peer_id : int; reason : string }
+
+type session = {
+  peer : Peer.t;
+  fsm : Fsm.t;
+  stream : Codec.Stream.t;
+  export_policy : Policy.t;
+}
+
+type t = {
+  asn : Asn.t;
+  router_id : Ipv4.t;
+  rib : Rib.t;
+  sessions : (int, session) Hashtbl.t;
+  mutable originated : unit Ptrie.t;
+}
+
+let create ?decision ~asn ~router_id () =
+  {
+    asn;
+    router_id;
+    rib = Rib.create ?decision ~self_asn:asn ();
+    sessions = Hashtbl.create 16;
+    originated = Ptrie.empty;
+  }
+
+let asn t = t.asn
+let router_id t = t.router_id
+let rib t = t.rib
+
+let add_session ?config ?(export_policy = Policy.accept_all) t peer ~policy =
+  let id = Peer.id peer in
+  if Hashtbl.mem t.sessions id then
+    invalid_arg (Printf.sprintf "Speaker.add_session: duplicate peer id %d" id);
+  let config =
+    match config with
+    | Some c -> c
+    | None ->
+        {
+          (Fsm.default_config ~local_asn:t.asn ~local_id:t.router_id) with
+          Fsm.remote_asn = Some (Peer.asn peer);
+        }
+  in
+  Rib.add_peer t.rib peer ~policy;
+  Hashtbl.replace t.sessions id
+    { peer; fsm = Fsm.create config; stream = Codec.Stream.create (); export_policy }
+
+(* --- export side (adj-RIB-out) -------------------------------------- *)
+
+(* eBGP export: strip the non-transitive attributes, prepend our ASN, and
+   rewrite the next hop to ourselves *)
+let exported_attrs t (attrs : Attrs.t) =
+  {
+    attrs with
+    Attrs.local_pref = None;
+    med = None;
+    as_path = As_path.prepend t.asn attrs.Attrs.as_path;
+    next_hop = t.router_id;
+  }
+
+(* base attributes of a locally-originated prefix: the export step
+   prepends our ASN, so the base path is empty *)
+let originated_attrs t =
+  Attrs.make ~origin:Attrs.Igp ~as_path:As_path.empty ~next_hop:t.router_id ()
+
+(* announcement (or None if the session's export policy filters it) of
+   [route] towards session [s] *)
+let export_announcement t s route =
+  match Policy.apply s.export_policy route with
+  | None -> None
+  | Some filtered ->
+      Some
+        (Write
+           {
+             peer_id = Peer.id s.peer;
+             data =
+               Codec.encode
+                 (Msg.Update
+                    {
+                      Msg.withdrawn = [];
+                      attrs = Some (exported_attrs t (Route.attrs filtered));
+                      nlri = [ Route.prefix filtered ];
+                    });
+           })
+
+let export_withdrawal s prefix =
+  Write
+    {
+      peer_id = Peer.id s.peer;
+      data =
+        Codec.encode
+          (Msg.Update { Msg.withdrawn = [ prefix ]; attrs = None; nlri = [] });
+    }
+
+(* best-path changes fan out to every established session except the one
+   they came from (split horizon) and the one carrying the new best *)
+let exports_for_changes t ~from_peer changes =
+  Hashtbl.fold
+    (fun id s acc ->
+      if id = from_peer || Fsm.state s.fsm <> Fsm.Established then acc
+      else
+        List.filter_map
+          (fun (change : Rib.change) ->
+            match change.Rib.new_best with
+            | Some best when Route.peer_id best = id -> None
+            | Some best -> export_announcement t s best
+            | None -> (
+                match change.Rib.old_best with
+                | Some old when Route.peer_id old = id -> None
+                | Some _ -> Some (export_withdrawal s change.Rib.prefix)
+                | None -> None))
+          changes
+        @ acc)
+    t.sessions []
+
+(* a freshly-Established session receives the full table: originated
+   prefixes plus every best path not learned from it *)
+let full_table_dump t s =
+  let peer_id = Peer.id s.peer in
+  let originated =
+    List.filter_map
+      (fun (prefix, ()) ->
+        let pseudo =
+          Route.make ~prefix ~attrs:(originated_attrs t) ~peer:s.peer
+        in
+        match Policy.apply s.export_policy pseudo with
+        | None -> None
+        | Some _ ->
+            Some
+              (Write
+                 {
+                   peer_id;
+                   data =
+                     Codec.encode
+                       (Msg.Update
+                          {
+                            Msg.withdrawn = [];
+                            attrs = Some (exported_attrs t (originated_attrs t));
+                            nlri = [ prefix ];
+                          });
+                 }))
+      (Ptrie.to_list t.originated)
+  in
+  let learned =
+    Rib.fold
+      (fun _prefix ranked acc ->
+        match ranked with
+        | [] -> acc
+        | best :: _ when Route.peer_id best = peer_id -> acc
+        | best :: _ -> (
+            match export_announcement t s best with
+            | Some w -> w :: acc
+            | None -> acc))
+      t.rib []
+  in
+  originated @ learned
+
+let originate t prefix =
+  t.originated <- Ptrie.add prefix () t.originated;
+  Hashtbl.fold
+    (fun _ s acc ->
+      if Fsm.state s.fsm <> Fsm.Established then acc
+      else
+        let pseudo = Route.make ~prefix ~attrs:(originated_attrs t) ~peer:s.peer in
+        match Policy.apply s.export_policy pseudo with
+        | None -> acc
+        | Some _ ->
+            Write
+              {
+                peer_id = Peer.id s.peer;
+                data =
+                  Codec.encode
+                    (Msg.Update
+                       {
+                         Msg.withdrawn = [];
+                         attrs = Some (exported_attrs t (originated_attrs t));
+                         nlri = [ prefix ];
+                       });
+              }
+            :: acc)
+    t.sessions []
+
+let originated_prefixes t = List.map fst (Ptrie.to_list t.originated)
+
+let session t id =
+  match Hashtbl.find_opt t.sessions id with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "Speaker: unknown peer id %d" id)
+
+let session_state t ~peer_id =
+  Option.map (fun s -> Fsm.state s.fsm) (Hashtbl.find_opt t.sessions peer_id)
+
+(* Translate FSM actions into speaker effects, applying UPDATEs to the
+   RIB and flushing learned routes on session loss. *)
+let run_actions t s actions =
+  let peer_id = Peer.id s.peer in
+  List.concat_map
+    (fun action ->
+      match action with
+      | Fsm.Connect_tcp -> [ Request_connect { peer_id } ]
+      | Fsm.Close_tcp -> [ Drop_connection { peer_id } ]
+      | Fsm.Send msg -> [ Write { peer_id; data = Codec.encode msg } ]
+      | Fsm.Start_timer (timer, seconds) -> [ Set_timer { peer_id; timer; seconds } ]
+      | Fsm.Stop_timer timer -> [ Clear_timer { peer_id; timer } ]
+      | Fsm.Session_up -> Peer_up { peer_id } :: full_table_dump t s
+      | Fsm.Session_down reason ->
+          let changes = Rib.drop_peer t.rib ~peer_id in
+          (Peer_down { peer_id; reason }
+           :: (if changes = [] then [] else [ Rib_changed changes ]))
+          @ exports_for_changes t ~from_peer:peer_id changes
+      | Fsm.Refresh_requested _ -> full_table_dump t s
+      | Fsm.Deliver_update u ->
+          let changes = Rib.apply_update t.rib ~peer_id u in
+          (if changes = [] then [] else [ Rib_changed changes ])
+          @ exports_for_changes t ~from_peer:peer_id changes)
+    actions
+
+let feed_event t ~peer_id event =
+  let s = session t peer_id in
+  run_actions t s (Fsm.handle s.fsm event)
+
+let start t ~peer_id = feed_event t ~peer_id Fsm.Manual_start
+let stop t ~peer_id = feed_event t ~peer_id Fsm.Manual_stop
+let tcp_connected t ~peer_id = feed_event t ~peer_id Fsm.Tcp_connected
+let tcp_failed t ~peer_id = feed_event t ~peer_id Fsm.Tcp_failed
+let tcp_closed t ~peer_id = feed_event t ~peer_id Fsm.Tcp_closed
+let timer_expired t ~peer_id timer = feed_event t ~peer_id (Fsm.Timer_expired timer)
+
+let receive_bytes t ~peer_id data =
+  let s = session t peer_id in
+  Codec.Stream.feed s.stream data;
+  let rec drain acc =
+    match Codec.Stream.next s.stream with
+    | Ok None -> acc
+    | Ok (Some msg) -> drain (acc @ feed_event t ~peer_id (Fsm.Received msg))
+    | Error e ->
+        (* a framing/parse error is fatal for the session *)
+        let notif =
+          Msg.Notification
+            { code = Msg.Message_header_error 0; data = Codec.error_to_string e }
+        in
+        acc
+        @ [ Write { peer_id; data = Codec.encode notif } ]
+        @ feed_event t ~peer_id Fsm.Tcp_closed
+  in
+  drain []
+
+let send_update t ~peer_id update =
+  let s = session t peer_id in
+  if Fsm.state s.fsm = Fsm.Established then
+    [ Write { peer_id; data = Codec.encode (Msg.Update update) } ]
+  else []
+
+let request_refresh t ~peer_id =
+  let s = session t peer_id in
+  if Fsm.state s.fsm = Fsm.Established then
+    [
+      Write
+        { peer_id; data = Codec.encode (Msg.Route_refresh { afi = 1; safi = 1 }) };
+    ]
+  else []
+
+let established_peers t =
+  Hashtbl.fold
+    (fun id s acc -> if Fsm.state s.fsm = Fsm.Established then id :: acc else acc)
+    t.sessions []
+  |> List.sort compare

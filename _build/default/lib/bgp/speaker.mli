@@ -1,0 +1,88 @@
+(** A complete sans-IO BGP speaker: one peering router.
+
+    Combines per-session {!Fsm} instances, the {!Codec} byte-stream
+    decoder, and a shared {!Rib}. The host environment (the simulator, or
+    real sockets in principle) pushes transport events and received bytes
+    in, and executes the returned {!effect_}s: bytes to write, timers to
+    arm, RIB changes to react to.
+
+    The speaker is a {e router}, not just a sink: it originates local
+    prefixes, keeps an implicit adj-RIB-out (best path per neighbor,
+    after that session's export policy), prepends its ASN and rewrites
+    the next hop on export, applies split-horizon (never re-advertising
+    a route to the neighbor it came from), drops looped paths, and dumps
+    the full table to sessions as they establish — so chains of speakers
+    propagate reachability like a real topology.
+
+    In the Edge Fabric deployment model every PoP peering router is one of
+    these; the controller itself holds a session to each peering router
+    and injects override routes as ordinary UPDATE messages that win the
+    decision process on LOCAL_PREF. *)
+
+type effect_ =
+  | Write of { peer_id : int; data : string }
+      (** bytes to put on the wire towards this neighbor *)
+  | Set_timer of { peer_id : int; timer : Fsm.timer; seconds : int }
+  | Clear_timer of { peer_id : int; timer : Fsm.timer }
+  | Request_connect of { peer_id : int }
+      (** the FSM wants an outbound TCP connection *)
+  | Drop_connection of { peer_id : int }
+  | Rib_changed of Rib.change list
+  | Peer_up of { peer_id : int }
+  | Peer_down of { peer_id : int; reason : string }
+
+type t
+
+val create :
+  ?decision:Decision.config -> asn:Asn.t -> router_id:Ipv4.t -> unit -> t
+
+val asn : t -> Asn.t
+val router_id : t -> Ipv4.t
+val rib : t -> Rib.t
+
+val add_session :
+  ?config:Fsm.config ->
+  ?export_policy:Policy.t ->
+  t ->
+  Peer.t ->
+  policy:Policy.t ->
+  unit
+(** Register a neighbor. The default FSM config uses the speaker's ASN
+    and id, expects the peer's ASN, 90 s hold. [export_policy] filters
+    what this neighbor is sent (default: everything). *)
+
+val session_state : t -> peer_id:int -> Fsm.state option
+
+val start : t -> peer_id:int -> effect_ list
+(** ManualStart: begin connecting. *)
+
+val stop : t -> peer_id:int -> effect_ list
+
+val tcp_connected : t -> peer_id:int -> effect_ list
+val tcp_failed : t -> peer_id:int -> effect_ list
+val tcp_closed : t -> peer_id:int -> effect_ list
+val timer_expired : t -> peer_id:int -> Fsm.timer -> effect_ list
+
+val receive_bytes : t -> peer_id:int -> string -> effect_ list
+(** Feed bytes read from the neighbor's transport; decodes as many
+    complete messages as are buffered and advances the FSM with each.
+    A codec error tears the session down with a NOTIFICATION. *)
+
+val send_update : t -> peer_id:int -> Msg.update -> effect_ list
+(** Originate an UPDATE towards an Established neighbor (returns [] and
+    does nothing otherwise). Used by the controller side of a session to
+    inject or withdraw override routes. *)
+
+val originate : t -> Prefix.t -> effect_ list
+(** Originate a locally-owned prefix: announced to every Established
+    neighbor now (path = our ASN, next hop = our router id) and included
+    in the full-table dump sent to sessions that come up later. *)
+
+val originated_prefixes : t -> Prefix.t list
+
+val request_refresh : t -> peer_id:int -> effect_ list
+(** Send a ROUTE-REFRESH (IPv4 unicast) to an Established neighbor; the
+    neighbor replies by resending its Adj-RIB-Out (this speaker answers
+    incoming refreshes the same way). *)
+
+val established_peers : t -> int list

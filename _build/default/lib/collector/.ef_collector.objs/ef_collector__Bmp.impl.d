@@ -1,0 +1,1 @@
+lib/collector/bmp.ml: Buffer Char Ef_bgp Format Int32 List Option String

@@ -1,0 +1,1 @@
+lib/collector/bmp.mli: Ef_bgp Format

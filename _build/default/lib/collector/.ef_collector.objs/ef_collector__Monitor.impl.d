@@ -1,0 +1,1 @@
+lib/collector/monitor.ml: Bmp Ef_bgp Ef_netsim List

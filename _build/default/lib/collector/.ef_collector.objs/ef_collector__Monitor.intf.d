@@ -1,0 +1,1 @@
+lib/collector/monitor.mli: Bmp Ef_bgp Ef_netsim

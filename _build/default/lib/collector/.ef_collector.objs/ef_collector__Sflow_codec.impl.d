@@ -1,0 +1,1 @@
+lib/collector/sflow_codec.ml: Buffer Char Ef_bgp Ef_traffic Ef_util Format Hashtbl Int32 List Option String

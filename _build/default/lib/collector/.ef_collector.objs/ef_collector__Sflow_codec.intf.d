@@ -1,0 +1,1 @@
+lib/collector/sflow_codec.mli: Ef_bgp Ef_traffic Ef_util Format

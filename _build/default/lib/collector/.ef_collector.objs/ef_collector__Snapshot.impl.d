@@ -1,0 +1,1 @@
+lib/collector/snapshot.ml: Ef_bgp Ef_netsim List Option

@@ -1,0 +1,1 @@
+lib/collector/snapshot.mli: Ef_bgp Ef_netsim

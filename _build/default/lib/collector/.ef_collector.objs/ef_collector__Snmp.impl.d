@@ -1,0 +1,1 @@
+lib/collector/snmp.ml: Ef_netsim Hashtbl Int List Printf

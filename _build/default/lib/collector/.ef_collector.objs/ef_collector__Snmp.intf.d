@@ -1,0 +1,1 @@
+lib/collector/snmp.mli: Ef_netsim

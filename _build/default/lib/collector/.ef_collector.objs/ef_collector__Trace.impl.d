@@ -1,0 +1,1 @@
+lib/collector/trace.ml: Buffer Ef_bgp Ef_netsim Fun Hashtbl In_channel List Option Printf Snapshot String

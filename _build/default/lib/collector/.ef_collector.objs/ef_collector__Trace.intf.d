@@ -1,0 +1,1 @@
+lib/collector/trace.mli: Snapshot

@@ -1,0 +1,301 @@
+module Bgp = Ef_bgp
+
+type peer_header = {
+  peer_id : int;
+  peer_addr : Bgp.Ipv4.t;
+  peer_asn : Bgp.Asn.t;
+  peer_bgp_id : Bgp.Ipv4.t;
+  timestamp_s : int;
+}
+
+type msg =
+  | Initiation of { sys_name : string; sys_descr : string }
+  | Termination of { reason : int }
+  | Peer_up of {
+      header : peer_header;
+      local_addr : Bgp.Ipv4.t;
+      local_port : int;
+      remote_port : int;
+    }
+  | Peer_down of { header : peer_header; reason : int }
+  | Route_monitoring of { header : peer_header; update : Bgp.Msg.update }
+  | Stats_report of { header : peer_header; routes_monitored : int }
+
+let pp_header fmt h =
+  Format.fprintf fmt "peer#%d as%a %a" h.peer_id Bgp.Asn.pp h.peer_asn
+    Bgp.Ipv4.pp h.peer_addr
+
+let pp fmt = function
+  | Initiation { sys_name; _ } -> Format.fprintf fmt "INITIATION(%s)" sys_name
+  | Termination { reason } -> Format.fprintf fmt "TERMINATION(%d)" reason
+  | Peer_up { header; _ } -> Format.fprintf fmt "PEER_UP(%a)" pp_header header
+  | Peer_down { header; reason } ->
+      Format.fprintf fmt "PEER_DOWN(%a, %d)" pp_header header reason
+  | Route_monitoring { header; update } ->
+      Format.fprintf fmt "ROUTE_MONITORING(%a, %a)" pp_header header Bgp.Msg.pp
+        (Bgp.Msg.Update update)
+  | Stats_report { header; routes_monitored } ->
+      Format.fprintf fmt "STATS(%a, %d)" pp_header header routes_monitored
+
+let equal_header a b =
+  a.peer_id = b.peer_id
+  && Bgp.Ipv4.equal a.peer_addr b.peer_addr
+  && Bgp.Asn.equal a.peer_asn b.peer_asn
+  && Bgp.Ipv4.equal a.peer_bgp_id b.peer_bgp_id
+  && a.timestamp_s = b.timestamp_s
+
+let equal a b =
+  match (a, b) with
+  | Initiation x, Initiation y ->
+      String.equal x.sys_name y.sys_name && String.equal x.sys_descr y.sys_descr
+  | Termination x, Termination y -> x.reason = y.reason
+  | Peer_up x, Peer_up y ->
+      equal_header x.header y.header
+      && Bgp.Ipv4.equal x.local_addr y.local_addr
+      && x.local_port = y.local_port
+      && x.remote_port = y.remote_port
+  | Peer_down x, Peer_down y ->
+      equal_header x.header y.header && x.reason = y.reason
+  | Route_monitoring x, Route_monitoring y ->
+      equal_header x.header y.header
+      && Bgp.Msg.equal (Bgp.Msg.Update x.update) (Bgp.Msg.Update y.update)
+  | Stats_report x, Stats_report y ->
+      equal_header x.header y.header && x.routes_monitored = y.routes_monitored
+  | ( ( Initiation _ | Termination _ | Peer_up _ | Peer_down _
+      | Route_monitoring _ | Stats_report _ ),
+      _ ) ->
+      false
+
+type error =
+  | Truncated
+  | Bad_version of int
+  | Unknown_bmp_type of int
+  | Bad_pdu of string
+
+let pp_error fmt = function
+  | Truncated -> Format.pp_print_string fmt "truncated"
+  | Bad_version v -> Format.fprintf fmt "bad BMP version %d" v
+  | Unknown_bmp_type t -> Format.fprintf fmt "unknown BMP type %d" t
+  | Bad_pdu s -> Format.fprintf fmt "bad PDU: %s" s
+
+(* --- encoding ------------------------------------------------------- *)
+
+let add_u8 buf v = Buffer.add_char buf (Char.chr (v land 0xFF))
+
+let add_u16 buf v =
+  add_u8 buf (v lsr 8);
+  add_u8 buf v
+
+let add_u32 buf v =
+  add_u16 buf ((v lsr 16) land 0xFFFF);
+  add_u16 buf (v land 0xFFFF)
+
+let add_u32_i32 buf (v : int32) = add_u32 buf (Int32.to_int v land 0xFFFFFFFF)
+
+let add_peer_header buf h =
+  add_u8 buf 0 (* peer type: global instance *);
+  add_u8 buf 0 (* flags: IPv4, pre-policy *);
+  (* distinguisher: upper 4 bytes zero, lower 4 carry the dense peer id *)
+  add_u32 buf 0;
+  add_u32 buf h.peer_id;
+  (* 16-byte address field, IPv4 in the last 4 bytes *)
+  add_u32 buf 0;
+  add_u32 buf 0;
+  add_u32 buf 0;
+  add_u32_i32 buf (Bgp.Ipv4.to_int32 h.peer_addr);
+  add_u32 buf (Bgp.Asn.to_int h.peer_asn);
+  add_u32_i32 buf (Bgp.Ipv4.to_int32 h.peer_bgp_id);
+  add_u32 buf h.timestamp_s;
+  add_u32 buf 0 (* microseconds *)
+
+let add_tlv buf typ value =
+  add_u16 buf typ;
+  add_u16 buf (String.length value);
+  Buffer.add_string buf value
+
+let body_of = function
+  | Initiation { sys_name; sys_descr } ->
+      let b = Buffer.create 64 in
+      add_tlv b 1 sys_descr;
+      add_tlv b 2 sys_name;
+      (4, Buffer.contents b)
+  | Termination { reason } ->
+      let b = Buffer.create 8 in
+      let v = Buffer.create 2 in
+      add_u16 v reason;
+      add_tlv b 1 (Buffer.contents v);
+      (5, Buffer.contents b)
+  | Peer_up { header; local_addr; local_port; remote_port } ->
+      let b = Buffer.create 64 in
+      add_peer_header b header;
+      add_u32 b 0;
+      add_u32 b 0;
+      add_u32 b 0;
+      add_u32_i32 b (Bgp.Ipv4.to_int32 local_addr);
+      add_u16 b local_port;
+      add_u16 b remote_port;
+      (* sent/received OPENs: minimal synthetic OPEN PDUs *)
+      let open_pdu asn id =
+        Bgp.Codec.encode (Bgp.Msg.make_open ~asn ~bgp_id:id ())
+      in
+      Buffer.add_string b (open_pdu (Bgp.Asn.of_int 64500) header.peer_bgp_id);
+      Buffer.add_string b (open_pdu header.peer_asn header.peer_bgp_id);
+      (3, Buffer.contents b)
+  | Peer_down { header; reason } ->
+      let b = Buffer.create 64 in
+      add_peer_header b header;
+      add_u8 b reason;
+      (2, Buffer.contents b)
+  | Route_monitoring { header; update } ->
+      let b = Buffer.create 128 in
+      add_peer_header b header;
+      Buffer.add_string b (Bgp.Codec.encode (Bgp.Msg.Update update));
+      (0, Buffer.contents b)
+  | Stats_report { header; routes_monitored } ->
+      let b = Buffer.create 64 in
+      add_peer_header b header;
+      add_u32 b 1 (* one stat *);
+      add_u16 b 7 (* stat type: routes in Adj-RIB-In (non-standard reuse) *);
+      add_u16 b 4;
+      add_u32 b routes_monitored;
+      (1, Buffer.contents b)
+
+let encode msg =
+  let typ, body = body_of msg in
+  let buf = Buffer.create (6 + String.length body) in
+  add_u8 buf 3 (* version *);
+  add_u32 buf (6 + String.length body);
+  add_u8 buf typ;
+  Buffer.add_string buf body;
+  Buffer.contents buf
+
+(* --- decoding ------------------------------------------------------- *)
+
+exception Fail of error
+
+type reader = { buf : string; mutable pos : int; limit : int }
+
+let need r n = if r.pos + n > r.limit then raise (Fail Truncated)
+
+let u8 r =
+  need r 1;
+  let v = Char.code r.buf.[r.pos] in
+  r.pos <- r.pos + 1;
+  v
+
+let u16 r =
+  let a = u8 r in
+  (a lsl 8) lor u8 r
+
+let u32 r =
+  let a = u16 r in
+  (a lsl 16) lor u16 r
+
+let u32_i32 r = Int32.of_int (u32 r)
+
+let take r n =
+  need r n;
+  let s = String.sub r.buf r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+let remaining r = r.limit - r.pos
+
+let read_peer_header r =
+  let _peer_type = u8 r in
+  let _flags = u8 r in
+  let _dist_hi = u32 r in
+  let peer_id = u32 r in
+  let _pad1 = u32 r in
+  let _pad2 = u32 r in
+  let _pad3 = u32 r in
+  let peer_addr = Bgp.Ipv4.of_int32 (u32_i32 r) in
+  let peer_asn = Bgp.Asn.of_int (u32 r) in
+  let peer_bgp_id = Bgp.Ipv4.of_int32 (u32_i32 r) in
+  let timestamp_s = u32 r in
+  let _usec = u32 r in
+  { peer_id; peer_addr; peer_asn; peer_bgp_id; timestamp_s }
+
+let read_tlvs r =
+  let rec go acc =
+    if remaining r < 4 then List.rev acc
+    else begin
+      let typ = u16 r in
+      let len = u16 r in
+      let v = take r len in
+      go ((typ, v) :: acc)
+    end
+  in
+  go []
+
+let decode ?(pos = 0) buf =
+  try
+    let r = { buf; pos; limit = String.length buf } in
+    let version = u8 r in
+    if version <> 3 then raise (Fail (Bad_version version));
+    let total = u32 r in
+    if total < 6 then raise (Fail (Bad_pdu "length too small"));
+    if pos + total > String.length buf then raise (Fail Truncated);
+    let typ = u8 r in
+    let body = { buf; pos = r.pos; limit = pos + total } in
+    let msg =
+      match typ with
+      | 0 ->
+          let header = read_peer_header body in
+          let pdu_start = body.pos in
+          (match Bgp.Codec.decode ~pos:pdu_start buf with
+          | Ok (Bgp.Msg.Update update, _) -> Route_monitoring { header; update }
+          | Ok (other, _) ->
+              raise (Fail (Bad_pdu ("expected UPDATE, got " ^ Bgp.Msg.kind_to_string other)))
+          | Error e -> raise (Fail (Bad_pdu (Bgp.Codec.error_to_string e))))
+      | 1 ->
+          let header = read_peer_header body in
+          let _count = u32 body in
+          let _styp = u16 body in
+          let _slen = u16 body in
+          let routes_monitored = u32 body in
+          Stats_report { header; routes_monitored }
+      | 2 ->
+          let header = read_peer_header body in
+          let reason = u8 body in
+          Peer_down { header; reason }
+      | 3 ->
+          let header = read_peer_header body in
+          let _pad1 = u32 body in
+          let _pad2 = u32 body in
+          let _pad3 = u32 body in
+          let local_addr = Bgp.Ipv4.of_int32 (u32_i32 body) in
+          let local_port = u16 body in
+          let remote_port = u16 body in
+          Peer_up { header; local_addr; local_port; remote_port }
+      | 4 ->
+          let tlvs = read_tlvs body in
+          let find typ =
+            Option.value
+              (Option.map snd (List.find_opt (fun (t, _) -> t = typ) tlvs))
+              ~default:""
+          in
+          Initiation { sys_descr = find 1; sys_name = find 2 }
+      | 5 ->
+          let tlvs = read_tlvs body in
+          let reason =
+            match List.find_opt (fun (t, _) -> t = 1) tlvs with
+            | Some (_, v) when String.length v >= 2 ->
+                (Char.code v.[0] lsl 8) lor Char.code v.[1]
+            | Some _ | None -> 0
+          in
+          Termination { reason }
+      | t -> raise (Fail (Unknown_bmp_type t))
+    in
+    Ok (msg, pos + total)
+  with Fail e -> Error e
+
+let decode_all buf =
+  let rec go pos acc =
+    if pos >= String.length buf then Ok (List.rev acc)
+    else
+      match decode ~pos buf with
+      | Ok (msg, next) -> go next (msg :: acc)
+      | Error e -> Error e
+  in
+  go 0 []

@@ -1,0 +1,53 @@
+(** BGP Monitoring Protocol (RFC 7854), the subset Edge Fabric uses.
+
+    The controller learns every peering router's Adj-RIB-Ins through BMP:
+    Peer Up messages announce sessions, Route Monitoring messages carry
+    each received UPDATE verbatim. This module provides a wire codec for
+    those message types (plus Initiation/Peer Down/Termination) and is
+    exercised end-to-end: PR RIB → BMP bytes → {!Monitor} → identical
+    candidate routes.
+
+    One liberty taken: the per-peer header's Peer Distinguisher (an opaque
+    8-byte field for non-global instances) carries the simulator's dense
+    peer id, which lets the monitor attach routes to the right neighbor
+    without guessing from addresses. *)
+
+type peer_header = {
+  peer_id : int;               (** carried in the distinguisher field *)
+  peer_addr : Ef_bgp.Ipv4.t;
+  peer_asn : Ef_bgp.Asn.t;
+  peer_bgp_id : Ef_bgp.Ipv4.t;
+  timestamp_s : int;
+}
+
+type msg =
+  | Initiation of { sys_name : string; sys_descr : string }
+  | Termination of { reason : int }
+  | Peer_up of {
+      header : peer_header;
+      local_addr : Ef_bgp.Ipv4.t;
+      local_port : int;
+      remote_port : int;
+    }
+  | Peer_down of { header : peer_header; reason : int }
+  | Route_monitoring of { header : peer_header; update : Ef_bgp.Msg.update }
+  | Stats_report of { header : peer_header; routes_monitored : int }
+
+val pp : Format.formatter -> msg -> unit
+val equal : msg -> msg -> bool
+
+type error =
+  | Truncated
+  | Bad_version of int
+  | Unknown_bmp_type of int
+  | Bad_pdu of string
+
+val pp_error : Format.formatter -> error -> unit
+
+val encode : msg -> string
+val decode : ?pos:int -> string -> (msg * int, error) result
+(** As {!Ef_bgp.Codec.decode}: message plus next position; [Truncated]
+    means feed more bytes. *)
+
+val decode_all : string -> (msg list, error) result
+(** Decode a complete buffer of concatenated messages. *)

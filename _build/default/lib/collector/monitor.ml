@@ -1,0 +1,93 @@
+module Bgp = Ef_bgp
+
+type t = {
+  rib : Bgp.Rib.t;
+  policy : Bgp.Policy.t;
+  peer_directory : int -> Bgp.Peer.t option;
+  mutable processed : int;
+  mutable ignored : int;
+  mutable seen : int list;
+}
+
+let create ?decision ~peer_directory ~policy () =
+  {
+    rib = Bgp.Rib.create ?decision ();
+    policy;
+    peer_directory;
+    processed = 0;
+    ignored = 0;
+    seen = [];
+  }
+
+let register_peer t peer_id =
+  if not (List.mem peer_id t.seen) then
+    match t.peer_directory peer_id with
+    | None -> false
+    | Some peer ->
+        Bgp.Rib.add_peer t.rib peer ~policy:t.policy;
+        t.seen <- peer_id :: t.seen;
+        true
+  else true
+
+let feed_msg t msg =
+  t.processed <- t.processed + 1;
+  match msg with
+  | Bmp.Initiation _ | Bmp.Termination _ | Bmp.Stats_report _ -> ()
+  | Bmp.Peer_up { header; _ } ->
+      if not (register_peer t header.Bmp.peer_id) then t.ignored <- t.ignored + 1
+  | Bmp.Peer_down { header; _ } ->
+      if List.mem header.Bmp.peer_id t.seen then
+        ignore (Bgp.Rib.drop_peer t.rib ~peer_id:header.Bmp.peer_id)
+      else t.ignored <- t.ignored + 1
+  | Bmp.Route_monitoring { header; update } ->
+      if register_peer t header.Bmp.peer_id then
+        ignore (Bgp.Rib.apply_update t.rib ~peer_id:header.Bmp.peer_id update)
+      else t.ignored <- t.ignored + 1
+
+let feed_bytes t buf =
+  match Bmp.decode_all buf with
+  | Error e -> Error e
+  | Ok msgs ->
+      List.iter (feed_msg t) msgs;
+      Ok ()
+
+let rib t = t.rib
+let peers_seen t = List.sort compare t.seen
+let msgs_processed t = t.processed
+let msgs_ignored t = t.ignored
+
+let mirror_of_pop pop ~time_s =
+  let rib = Ef_netsim.Pop.rib pop in
+  List.concat_map
+    (fun peer ->
+      let peer_id = Bgp.Peer.id peer in
+      let header =
+        {
+          Bmp.peer_id;
+          peer_addr = peer.Bgp.Peer.session_addr;
+          peer_asn = Bgp.Peer.asn peer;
+          peer_bgp_id = peer.Bgp.Peer.router_id;
+          timestamp_s = time_s;
+        }
+      in
+      let up =
+        Bmp.Peer_up
+          {
+            header;
+            local_addr = Bgp.Ipv4.of_octets 10 0 0 1;
+            local_port = 179;
+            remote_port = 40000 + peer_id;
+          }
+      in
+      let routes =
+        List.map
+          (fun (prefix, attrs) ->
+            Bmp.Route_monitoring
+              {
+                header;
+                update = { Bgp.Msg.withdrawn = []; attrs = Some attrs; nlri = [ prefix ] };
+              })
+          (Bgp.Rib.adj_rib_in rib ~peer_id)
+      in
+      up :: routes)
+    (Ef_netsim.Pop.peers pop)

@@ -1,0 +1,40 @@
+(** The controller-side BMP consumer.
+
+    Reconstructs every peer's Adj-RIB-In from a BMP byte stream, applying
+    the same import policy the peering router uses, so the controller's
+    view of candidate routes matches the router's Loc-RIB. Fed either
+    from raw bytes (the wire path, exercised in tests) or from decoded
+    messages (the fast path the simulator uses). *)
+
+type t
+
+val create :
+  ?decision:Ef_bgp.Decision.config ->
+  peer_directory:(int -> Ef_bgp.Peer.t option) ->
+  policy:Ef_bgp.Policy.t ->
+  unit ->
+  t
+(** [peer_directory] resolves the dense peer ids carried in BMP headers
+    to full peer records (the controller knows the PoP's configuration). *)
+
+val feed_msg : t -> Bmp.msg -> unit
+(** Peer Up registers a neighbor, Route Monitoring applies the UPDATE,
+    Peer Down flushes the neighbor's routes. Messages for unknown peer
+    ids are counted and otherwise ignored. *)
+
+val feed_bytes : t -> string -> (unit, Bmp.error) result
+(** Decode a buffer of concatenated BMP messages and feed each one. *)
+
+val rib : t -> Ef_bgp.Rib.t
+(** The reconstructed view: candidates/ranked per prefix, as
+    {!Ef_bgp.Rib}. *)
+
+val peers_seen : t -> int list
+val msgs_processed : t -> int
+val msgs_ignored : t -> int
+
+val mirror_of_pop : Ef_netsim.Pop.t -> time_s:int -> Bmp.msg list
+(** Serialise a PoP's current per-peer routes as the BMP message stream a
+    router would emit: one Peer Up plus one Route Monitoring per route.
+    Feeding the result into a fresh monitor reproduces the PoP's RIB —
+    the property the tests check. *)

@@ -1,0 +1,278 @@
+module Bgp = Ef_bgp
+
+type sampled_packet = {
+  dst : Bgp.Ipv4.t;
+  frame_length : int;
+}
+
+type flow_sample = {
+  sample_seq : int;
+  source_id : int;
+  sampling_rate : int;
+  sample_pool : int;
+  drops : int;
+  packet : sampled_packet;
+}
+
+type datagram = {
+  agent : Bgp.Ipv4.t;
+  sub_agent : int;
+  datagram_seq : int;
+  uptime_ms : int;
+  samples : flow_sample list;
+}
+
+type error =
+  | Truncated
+  | Bad_version of int
+  | Malformed of string
+
+let pp_error fmt = function
+  | Truncated -> Format.pp_print_string fmt "truncated"
+  | Bad_version v -> Format.fprintf fmt "bad sFlow version %d" v
+  | Malformed s -> Format.fprintf fmt "malformed: %s" s
+
+let max_samples_per_datagram = 10
+
+(* --- encoding ------------------------------------------------------- *)
+
+let add_u32 buf v =
+  Buffer.add_char buf (Char.chr ((v lsr 24) land 0xFF));
+  Buffer.add_char buf (Char.chr ((v lsr 16) land 0xFF));
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xFF));
+  Buffer.add_char buf (Char.chr (v land 0xFF))
+
+let add_u16 buf v =
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xFF));
+  Buffer.add_char buf (Char.chr (v land 0xFF))
+
+let add_ip buf ip = add_u32 buf (Int32.to_int (Bgp.Ipv4.to_int32 ip) land 0xFFFFFFFF)
+
+(* a minimal Ethernet + IPv4 header whose only live field is the
+   destination address; 34 bytes, padded to the 4-byte XDR boundary *)
+let sampled_header packet =
+  let buf = Buffer.create 36 in
+  (* ethernet: dst mac, src mac, ethertype 0x0800 *)
+  Buffer.add_string buf "\x02\x00\x00\x00\x00\x01";
+  Buffer.add_string buf "\x02\x00\x00\x00\x00\x02";
+  add_u16 buf 0x0800;
+  (* ipv4: version/ihl, tos, total length, id, flags, ttl, proto(6), csum *)
+  Buffer.add_char buf '\x45';
+  Buffer.add_char buf '\x00';
+  add_u16 buf (min 0xFFFF (max 20 (packet.frame_length - 14)));
+  add_u16 buf 0 (* id *);
+  add_u16 buf 0x4000 (* don't fragment *);
+  Buffer.add_char buf '\x40' (* ttl *);
+  Buffer.add_char buf '\x06' (* tcp *);
+  add_u16 buf 0 (* checksum: not validated by collectors for sampling *);
+  add_ip buf (Bgp.Ipv4.of_octets 10 0 0 1) (* src: the PoP *);
+  add_ip buf packet.dst;
+  Buffer.add_string buf "\x00\x00" (* pad to 4-byte boundary *);
+  Buffer.contents buf
+
+let encode_flow_sample fs =
+  let header = sampled_header fs.packet in
+  let record = Buffer.create 64 in
+  (* raw packet header record: type 1 *)
+  add_u32 record 1;
+  add_u32 record (16 + String.length header) (* record length *);
+  add_u32 record 1 (* protocol: ethernet *);
+  add_u32 record fs.packet.frame_length;
+  add_u32 record 4 (* stripped (fcs) *);
+  add_u32 record (String.length header);
+  Buffer.add_string record header;
+  let body = Buffer.create 128 in
+  add_u32 body fs.sample_seq;
+  add_u32 body fs.source_id (* source id: type 0 + ifIndex packed *);
+  add_u32 body fs.sampling_rate;
+  add_u32 body fs.sample_pool;
+  add_u32 body fs.drops;
+  add_u32 body fs.source_id (* input ifIndex *);
+  add_u32 body 0 (* output ifIndex: unknown *);
+  add_u32 body 1 (* one record *);
+  Buffer.add_buffer body record;
+  let out = Buffer.create 160 in
+  add_u32 out 1 (* sample type: flow sample *);
+  add_u32 out (Buffer.length body);
+  Buffer.add_buffer out body;
+  Buffer.contents out
+
+let encode d =
+  let buf = Buffer.create 512 in
+  add_u32 buf 5 (* version *);
+  add_u32 buf 1 (* agent address type: IPv4 *);
+  add_ip buf d.agent;
+  add_u32 buf d.sub_agent;
+  add_u32 buf d.datagram_seq;
+  add_u32 buf d.uptime_ms;
+  add_u32 buf (List.length d.samples);
+  List.iter (fun fs -> Buffer.add_string buf (encode_flow_sample fs)) d.samples;
+  Buffer.contents buf
+
+(* --- decoding ------------------------------------------------------- *)
+
+exception Fail of error
+
+type reader = { buf : string; mutable pos : int; limit : int }
+
+let need r n = if r.pos + n > r.limit then raise (Fail Truncated)
+
+let u32 r =
+  need r 4;
+  let b i = Char.code r.buf.[r.pos + i] in
+  let v = (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3 in
+  r.pos <- r.pos + 4;
+  v
+
+let skip r n = need r n; r.pos <- r.pos + n
+
+let sub_reader r n =
+  need r n;
+  let child = { buf = r.buf; pos = r.pos; limit = r.pos + n } in
+  r.pos <- r.pos + n;
+  child
+
+let decode_raw_packet_record r =
+  let _protocol = u32 r in
+  let frame_length = u32 r in
+  let _stripped = u32 r in
+  let header_len = u32 r in
+  need r header_len;
+  if header_len < 34 then raise (Fail (Malformed "sampled header too short"));
+  (* ethertype at offset 12 must be IPv4 *)
+  let at i = Char.code r.buf.[r.pos + i] in
+  if at 12 <> 0x08 || at 13 <> 0x00 then
+    raise (Fail (Malformed "not an IPv4 frame"));
+  let dst =
+    Bgp.Ipv4.of_octets (at 30) (at 31) (at 32) (at 33)
+  in
+  skip r header_len;
+  { dst; frame_length }
+
+let decode_flow_sample r =
+  let sample_seq = u32 r in
+  let source_id = u32 r in
+  let sampling_rate = u32 r in
+  let sample_pool = u32 r in
+  let drops = u32 r in
+  let _input = u32 r in
+  let _output = u32 r in
+  let n_records = u32 r in
+  let packet = ref None in
+  for _ = 1 to n_records do
+    let record_type = u32 r in
+    let record_len = u32 r in
+    let body = sub_reader r record_len in
+    if record_type = 1 then packet := Some (decode_raw_packet_record body)
+    (* other record types (extended switch/router data) are skipped *)
+  done;
+  match !packet with
+  | None -> raise (Fail (Malformed "flow sample without raw packet record"))
+  | Some packet -> { sample_seq; source_id; sampling_rate; sample_pool; drops; packet }
+
+let decode buf =
+  try
+    let r = { buf; pos = 0; limit = String.length buf } in
+    let version = u32 r in
+    if version <> 5 then raise (Fail (Bad_version version));
+    let addr_type = u32 r in
+    if addr_type <> 1 then raise (Fail (Malformed "non-IPv4 agent address"));
+    let agent = Bgp.Ipv4.of_int32 (Int32.of_int (u32 r)) in
+    let sub_agent = u32 r in
+    let datagram_seq = u32 r in
+    let uptime_ms = u32 r in
+    let n = u32 r in
+    let samples = ref [] in
+    for _ = 1 to n do
+      let sample_type = u32 r in
+      let sample_len = u32 r in
+      let body = sub_reader r sample_len in
+      if sample_type = 1 then samples := decode_flow_sample body :: !samples
+      (* counter samples etc. are skipped *)
+    done;
+    Ok { agent; sub_agent; datagram_seq; uptime_ms; samples = List.rev !samples }
+  with Fail e -> Error e
+
+(* --- the agent and collector ends ------------------------------------ *)
+
+let datagrams_of_flows rng ~agent ~source_id ~sampling_rate ~seq_start flows =
+  let p = 1.0 /. float_of_int sampling_rate in
+  let sample_seq = ref 0 in
+  let pool = ref 0 in
+  let hits = ref [] in
+  List.iter
+    (fun (f : Ef_traffic.Flow.t) ->
+      let avg = Ef_traffic.Flow.avg_packet_bytes in
+      let npkts = f.Ef_traffic.Flow.packets in
+      (* exact per-packet draw for small flows, Poisson approximation of
+         the binomial for big ones (same trick the in-process sampler
+         uses) — keeps huge flows O(hits), not O(packets) *)
+      let hit_count =
+        if npkts <= 256 then begin
+          let c = ref 0 in
+          for _ = 1 to npkts do
+            if Ef_util.Rng.chance rng p then incr c
+          done;
+          !c
+        end
+        else Ef_util.Rng.poisson rng ~lambda:(float_of_int npkts *. p)
+      in
+      for _ = 1 to hit_count do
+        incr sample_seq;
+        pool := !pool + sampling_rate;
+        hits :=
+          {
+            sample_seq = !sample_seq;
+            source_id;
+            sampling_rate;
+            sample_pool = !pool;
+            drops = 0;
+            packet = { dst = f.Ef_traffic.Flow.client; frame_length = avg + 14 };
+          }
+          :: !hits
+      done;
+      pool := !pool + max 0 (npkts - (hit_count * sampling_rate)))
+    flows;
+  let hits = List.rev !hits in
+  (* single pass: fill batches of max_samples_per_datagram *)
+  let flush seq batch acc =
+    if batch = [] then acc
+    else
+      {
+        agent;
+        sub_agent = 0;
+        datagram_seq = seq;
+        uptime_ms = seq * 1000;
+        samples = List.rev batch;
+      }
+      :: acc
+  in
+  let rec chunk seq batch n acc = function
+    | [] -> List.rev (flush seq batch acc)
+    | hit :: rest ->
+        if n >= max_samples_per_datagram then
+          chunk (seq + 1) [ hit ] 1 (flush seq batch acc) rest
+        else chunk seq (hit :: batch) (n + 1) acc rest
+  in
+  chunk seq_start [] 0 [] hits
+
+let aggregate datagrams ~lpm =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun d ->
+      List.iter
+        (fun fs ->
+          match lpm fs.packet.dst with
+          | None -> ()
+          | Some prefix ->
+              let prev = Option.value (Hashtbl.find_opt tbl prefix) ~default:0 in
+              Hashtbl.replace tbl prefix (prev + 1))
+        d.samples)
+    datagrams;
+  Hashtbl.fold
+    (fun prefix hits acc ->
+      { Ef_traffic.Sflow.sample_prefix = prefix; sampled_packets = hits } :: acc)
+    tbl []
+  |> List.sort (fun a b ->
+         Bgp.Prefix.compare a.Ef_traffic.Sflow.sample_prefix
+           b.Ef_traffic.Sflow.sample_prefix)

@@ -1,0 +1,57 @@
+module Bgp = Ef_bgp
+
+type t = {
+  time_s : int;
+  prefix_rates : (Bgp.Prefix.t * float) list;
+  rate_trie : float Bgp.Ptrie.t;
+  routes : Bgp.Prefix.t -> Bgp.Route.t list;
+  ifaces : Ef_netsim.Iface.t list;
+  iface_of_peer : int -> Ef_netsim.Iface.t option;
+}
+
+let assemble ~routes ~iface_of_peer ~ifaces ~prefix_rates ~time_s =
+  let prefix_rates =
+    prefix_rates
+    |> List.filter (fun (_, r) -> r > 0.0)
+    |> List.sort (fun (_, a) (_, b) -> compare b a)
+  in
+  let rate_trie =
+    List.fold_left
+      (fun trie (p, r) -> Bgp.Ptrie.add p r trie)
+      Bgp.Ptrie.empty prefix_rates
+  in
+  { time_s; prefix_rates; rate_trie; routes; ifaces; iface_of_peer }
+
+let of_pop pop ~prefix_rates ~time_s =
+  let rib = Ef_netsim.Pop.rib pop in
+  assemble
+    ~routes:(fun p -> Bgp.Rib.ranked rib p)
+    ~iface_of_peer:(fun peer_id ->
+      match Ef_netsim.Pop.peer pop peer_id with
+      | None -> None
+      | Some _ -> Some (Ef_netsim.Pop.iface_of_peer pop ~peer_id))
+    ~ifaces:(Ef_netsim.Pop.interfaces pop)
+    ~prefix_rates ~time_s
+
+let time_s t = t.time_s
+let prefix_rates t = t.prefix_rates
+
+let rate_of t prefix =
+  Option.value (Bgp.Ptrie.find prefix t.rate_trie) ~default:0.0
+
+let routes t prefix = t.routes prefix
+
+let preferred_route t prefix =
+  match t.routes prefix with
+  | [] -> None
+  | r :: _ -> Some r
+
+let ifaces t = t.ifaces
+let iface_of_peer t ~peer_id = t.iface_of_peer peer_id
+
+let iface_of_route t route = t.iface_of_peer (Bgp.Route.peer_id route)
+
+let total_rate_bps t =
+  List.fold_left (fun acc (_, r) -> acc +. r) 0.0 t.prefix_rates
+
+let prefix_count t = List.length t.prefix_rates

@@ -1,0 +1,41 @@
+(** The controller's input: one coherent view per cycle.
+
+    Every allocator run starts from a snapshot combining the three feeds —
+    candidate routes per prefix (BMP), estimated per-prefix rates (sFlow),
+    and interface capacities (SNMP/config). The allocator never touches
+    live router state; it recomputes from the snapshot alone, which is
+    what makes the controller stateless and restartable (§5 of the
+    paper). *)
+
+type t
+
+val assemble :
+  routes:(Ef_bgp.Prefix.t -> Ef_bgp.Route.t list) ->
+  iface_of_peer:(int -> Ef_netsim.Iface.t option) ->
+  ifaces:Ef_netsim.Iface.t list ->
+  prefix_rates:(Ef_bgp.Prefix.t * float) list ->
+  time_s:int ->
+  t
+(** [routes] must return candidates in decision-ranked order (head =
+    BGP-preferred). Rates at or below zero are dropped. *)
+
+val of_pop :
+  Ef_netsim.Pop.t ->
+  prefix_rates:(Ef_bgp.Prefix.t * float) list ->
+  time_s:int ->
+  t
+(** Assemble directly from a PoP (simulator fast path — identical content
+    to the BMP-reconstructed view, which tests verify). *)
+
+val time_s : t -> int
+val prefix_rates : t -> (Ef_bgp.Prefix.t * float) list
+(** Descending by rate — the order the allocator considers prefixes. *)
+
+val rate_of : t -> Ef_bgp.Prefix.t -> float
+val routes : t -> Ef_bgp.Prefix.t -> Ef_bgp.Route.t list
+val preferred_route : t -> Ef_bgp.Prefix.t -> Ef_bgp.Route.t option
+val ifaces : t -> Ef_netsim.Iface.t list
+val iface_of_peer : t -> peer_id:int -> Ef_netsim.Iface.t option
+val iface_of_route : t -> Ef_bgp.Route.t -> Ef_netsim.Iface.t option
+val total_rate_bps : t -> float
+val prefix_count : t -> int

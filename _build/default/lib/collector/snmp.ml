@@ -1,0 +1,62 @@
+type poll = {
+  iface_id : int;
+  out_bps : float;
+  utilization : float;
+}
+
+type entry = {
+  iface : Ef_netsim.Iface.t;
+  mutable octets : float;
+  mutable last_polled : float option; (* octets value at previous poll *)
+}
+
+type t = { entries : (int, entry) Hashtbl.t }
+
+let create ifaces =
+  let entries = Hashtbl.create 32 in
+  List.iter
+    (fun iface ->
+      Hashtbl.replace entries (Ef_netsim.Iface.id iface)
+        { iface; octets = 0.0; last_polled = None })
+    ifaces;
+  { entries }
+
+let entry t iface_id =
+  match Hashtbl.find_opt t.entries iface_id with
+  | Some e -> e
+  | None -> invalid_arg (Printf.sprintf "Snmp: unknown interface %d" iface_id)
+
+let account_bytes t ~iface_id ~bytes =
+  if bytes < 0.0 then invalid_arg "Snmp.account_bytes: negative bytes";
+  let e = entry t iface_id in
+  e.octets <- e.octets +. bytes
+
+let account_rate t ~iface_id ~rate_bps ~interval_s =
+  account_bytes t ~iface_id ~bytes:(rate_bps *. interval_s /. 8.0)
+
+let counter t ~iface_id = (entry t iface_id).octets
+
+let reset t ~iface_id =
+  let e = entry t iface_id in
+  e.octets <- 0.0;
+  e.last_polled <- None
+
+let poll t ~interval_s =
+  if interval_s <= 0.0 then invalid_arg "Snmp.poll: interval must be positive";
+  Hashtbl.fold
+    (fun iface_id e acc ->
+      let out_bps =
+        match e.last_polled with
+        | None -> 0.0
+        | Some prev when e.octets < prev -> 0.0 (* reset observed *)
+        | Some prev -> (e.octets -. prev) *. 8.0 /. interval_s
+      in
+      e.last_polled <- Some e.octets;
+      {
+        iface_id;
+        out_bps;
+        utilization = out_bps /. Ef_netsim.Iface.capacity_bps e.iface;
+      }
+      :: acc)
+    t.entries []
+  |> List.sort (fun a b -> Int.compare a.iface_id b.iface_id)

@@ -1,0 +1,34 @@
+(** Interface counters, SNMP-style.
+
+    Egress bytes are accumulated into monotonic per-interface counters;
+    polling computes rates from counter deltas — including correct
+    handling of the first poll (no previous sample → no rate) and counter
+    resets (a smaller value than last time reads as a reset, not a
+    negative rate). *)
+
+type poll = {
+  iface_id : int;
+  out_bps : float;
+  utilization : float;  (** out_bps / capacity *)
+}
+
+type t
+
+val create : Ef_netsim.Iface.t list -> t
+
+val account_bytes : t -> iface_id:int -> bytes:float -> unit
+(** Add egress bytes to an interface's counter. Unknown interface ids
+    raise [Invalid_argument]. *)
+
+val account_rate : t -> iface_id:int -> rate_bps:float -> interval_s:float -> unit
+(** Convenience: account [rate · interval / 8] bytes. *)
+
+val counter : t -> iface_id:int -> float
+(** Raw octet counter (monotonic since creation/reset). *)
+
+val reset : t -> iface_id:int -> unit
+(** Simulate a device counter reset (line-card reseat). *)
+
+val poll : t -> interval_s:float -> poll list
+(** Rates since the previous poll, ascending by interface id. The first
+    poll after creation or reset reports zero. *)

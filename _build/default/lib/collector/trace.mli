@@ -1,0 +1,37 @@
+(** Snapshot serialization: record controller inputs, replay them later.
+
+    The production controller is audited by replaying recorded inputs
+    through candidate configurations; this module gives the reproduction
+    the same workflow. A trace is a plain-text sequence of snapshot
+    blocks:
+
+    {v
+    SNAPSHOT time=72000
+    IFACE id=0 name=pni capacity=10000000000 shared=false
+    PEER id=0 name=pni asn=100 kind=private router-id=10.0.0.1 addr=172.16.0.1 iface=0
+    RATE 10.1.0.0/16 1250000.5
+    ROUTE 10.1.0.0/16 peer=0 origin=IGP path=100 nh=172.16.0.1 med=- lp=400 comms=65000:10
+    END
+    v}
+
+    ROUTE lines appear in decision-ranked order per prefix, so a replayed
+    snapshot reproduces the original preference order exactly (no
+    re-ranking is attempted — the trace is the ground truth). *)
+
+val record : Snapshot.t -> string
+(** Serialise one snapshot (requires every rated prefix's routes and the
+    peer↔interface mapping to be resolvable through the snapshot). *)
+
+val record_many : Snapshot.t list -> string
+
+val parse : string -> (Snapshot.t, string) result
+(** Parse exactly one snapshot block. *)
+
+val parse_many : string -> (Snapshot.t list, string) result
+(** Parse a whole trace; fails with a line-numbered message on the first
+    malformed line. *)
+
+val save : string -> Snapshot.t list -> unit
+(** [save path snapshots] writes a trace file. *)
+
+val load : string -> (Snapshot.t list, string) result

@@ -1,0 +1,1 @@
+lib/core/allocator.ml: Config Ef_bgp Ef_collector Ef_netsim Format Hashtbl List Option Override Projection String

@@ -1,0 +1,1 @@
+lib/core/allocator.mli: Config Ef_collector Ef_netsim Override Projection Stdlib

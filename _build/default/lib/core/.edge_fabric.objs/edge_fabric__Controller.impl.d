@@ -1,0 +1,1 @@
+lib/core/controller.ml: Allocator Config Ef_bgp Ef_collector Ef_netsim Guard Hysteresis List Logs Override Projection

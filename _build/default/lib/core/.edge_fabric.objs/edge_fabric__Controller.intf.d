@@ -1,0 +1,1 @@
+lib/core/controller.mli: Allocator Config Ef_bgp Ef_collector Ef_netsim Guard Hysteresis Override Projection

@@ -1,0 +1,1 @@
+lib/core/guard.ml: Ef_bgp Ef_collector Ef_netsim Format List Override Projection

@@ -1,0 +1,1 @@
+lib/core/guard.mli: Ef_bgp Ef_collector Format Override

@@ -1,0 +1,1 @@
+lib/core/hysteresis.ml: Config Ef_bgp Ef_netsim List Option Override Projection

@@ -1,0 +1,1 @@
+lib/core/hysteresis.mli: Config Ef_bgp Override Projection

@@ -1,0 +1,1 @@
+lib/core/override.ml: Ef_bgp Ef_util Format List

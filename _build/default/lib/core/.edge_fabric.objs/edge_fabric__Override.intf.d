@@ -1,0 +1,1 @@
+lib/core/override.mli: Ef_bgp Format

@@ -1,0 +1,1 @@
+lib/core/projection.ml: Array Ef_bgp Ef_collector Ef_netsim List

@@ -1,0 +1,1 @@
+lib/core/projection.mli: Ef_bgp Ef_collector Ef_netsim

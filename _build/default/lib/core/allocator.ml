@@ -1,0 +1,276 @@
+module Bgp = Ef_bgp
+module Snapshot = Ef_collector.Snapshot
+module Iface = Ef_netsim.Iface
+
+type result = {
+  overrides : Override.t list;
+  before : Projection.t;
+  final : Projection.t;
+  residual : (Iface.t * float) list;
+  moves_considered : int;
+  splits : int;
+}
+
+(* /24 children inherit the parent's candidate routes; this table lets a
+   child placement find them. *)
+type state = {
+  config : Config.t;
+  snapshot : Snapshot.t;
+  mutable proj : Projection.t;
+  decide_proj : Projection.t; (* stale view used when iterative = false *)
+  mutable overrides : Override.t list;
+  mutable moves : int;
+  mutable splits : int;
+  split_parent : (Bgp.Prefix.t, Bgp.Prefix.t) Hashtbl.t;
+  mutable gave_up : int list; (* iface ids we cannot relieve further *)
+}
+
+let candidates st prefix =
+  let key =
+    Option.value (Hashtbl.find_opt st.split_parent prefix) ~default:prefix
+  in
+  Snapshot.routes st.snapshot key
+
+let capacity_of st iface_id =
+  match List.find_opt (fun i -> Iface.id i = iface_id) (Snapshot.ifaces st.snapshot) with
+  | Some i -> Iface.capacity_bps i
+  | None -> invalid_arg "Allocator: unknown interface id"
+
+let headroom st iface_id =
+  (* room below the threshold on [iface_id], per the view the config says
+     to decide against *)
+  let view = if st.config.Config.iterative then st.proj else st.decide_proj in
+  (capacity_of st iface_id *. st.config.Config.overload_threshold)
+  -. Projection.load_bps view ~iface_id
+
+(* The best detour for one placement: the highest-ranked alternate route
+   on a different interface with room for the whole rate. *)
+let find_target st (pl : Projection.placement) =
+  let ranked = candidates st pl.Projection.placed_prefix in
+  let rec go level = function
+    | [] -> None
+    | route :: rest -> (
+        st.moves <- st.moves + 1;
+        match Snapshot.iface_of_route st.snapshot route with
+        | None -> go (level + 1) rest
+        | Some iface ->
+            let iface_id = Iface.id iface in
+            if iface_id = pl.Projection.iface_id then go (level + 1) rest
+            else if headroom st iface_id >= pl.Projection.rate_bps then
+              Some (route, iface_id, level)
+            else go (level + 1) rest)
+  in
+  go 0 ranked
+
+let budget_left st =
+  match st.config.Config.max_overrides_per_cycle with
+  | None -> true
+  | Some n -> List.length st.overrides < n
+
+let order_placements st pls =
+  match st.config.Config.order with
+  | Config.Largest_first -> pls (* placements_on is already descending *)
+  | Config.Smallest_first -> List.rev pls
+
+(* Split one placement into /24 children carrying equal shares. *)
+let split_placement st (pl : Projection.placement) =
+  let prefix = pl.Projection.placed_prefix in
+  let parent_key =
+    Option.value (Hashtbl.find_opt st.split_parent prefix) ~default:prefix
+  in
+  let children = Bgp.Prefix.subnets prefix 24 in
+  match children with
+  | [] | [ _ ] -> false
+  | _ ->
+      let share = pl.Projection.rate_bps /. float_of_int (List.length children) in
+      st.proj <- Projection.remove_placement st.proj prefix;
+      List.iter
+        (fun child ->
+          Hashtbl.replace st.split_parent child parent_key;
+          st.proj <-
+            Projection.add_placement st.proj ~prefix:child ~rate_bps:share
+              ~route:pl.Projection.route ~iface_id:pl.Projection.iface_id
+              ~overridden:false)
+        children;
+      st.splits <- st.splits + 1;
+      true
+
+(* One relief attempt on [iface_id]: move one placement (possibly after a
+   split) or declare the interface stuck. Returns true if progress. *)
+let relieve_once st iface_id =
+  let placements =
+    Projection.placements_on st.proj ~iface_id
+    |> List.filter (fun pl -> not pl.Projection.overridden)
+    |> order_placements st
+  in
+  let try_move pl =
+    match find_target st pl with
+    | None -> false
+    | Some (route, to_iface, level) ->
+        st.proj <-
+          Projection.move st.proj pl.Projection.placed_prefix ~to_route:route
+            ~to_iface;
+        st.overrides <-
+          Override.make ~prefix:pl.Projection.placed_prefix ~target:route
+            ~from_iface:iface_id ~to_iface ~preference_level:level
+            ~rate_bps:pl.Projection.rate_bps
+          :: st.overrides;
+        true
+  in
+  let rec first_movable = function
+    | [] -> None
+    | pl :: rest -> if try_move pl then Some pl else first_movable rest
+  in
+  match first_movable placements with
+  | Some _ -> true
+  | None -> (
+      match st.config.Config.granularity with
+      | Config.Bgp_prefix -> false
+      | Config.Split_24 -> (
+          (* split the largest splittable placement and retry next round *)
+          let splittable =
+            List.find_opt
+              (fun pl ->
+                Bgp.Prefix.length pl.Projection.placed_prefix < 24
+                && List.length (candidates st pl.Projection.placed_prefix) > 1)
+              placements
+          in
+          match splittable with
+          | None -> false
+          | Some pl -> split_placement st pl))
+
+let run ~config snapshot =
+  (match Config.validate config with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Allocator.run: bad config: " ^ msg));
+  let before = Projection.project snapshot in
+  let st =
+    {
+      config;
+      snapshot;
+      proj = before;
+      decide_proj = before;
+      overrides = [];
+      moves = 0;
+      splits = 0;
+      split_parent = Hashtbl.create 64;
+      gave_up = [];
+    }
+  in
+  (* single-pass (ablation A1) only ever relieves the interfaces that were
+     overloaded in the original projection: it does not react to overloads
+     its own detours create — that reaction is exactly what the iterative
+     re-projection adds *)
+  let initially_over =
+    List.map
+      (fun (i, _) -> Iface.id i)
+      (Projection.overloaded before ~threshold:config.Config.overload_threshold)
+  in
+  let progress = ref true in
+  while !progress && budget_left st do
+    progress := false;
+    let over =
+      Projection.overloaded st.proj ~threshold:config.Config.overload_threshold
+      |> List.filter (fun (i, _) ->
+             (not (List.mem (Iface.id i) st.gave_up))
+             && (config.Config.iterative || List.mem (Iface.id i) initially_over))
+    in
+    match over with
+    | [] -> ()
+    | (iface, _) :: _ ->
+        if relieve_once st (Iface.id iface) then progress := true
+        else st.gave_up <- Iface.id iface :: st.gave_up
+  done;
+  (* /24 splitting can move many sibling children to the same target;
+     re-aggregate them into covering CIDR blocks so enforcement announces
+     the minimum number of routes (aggregation only ever merges complete
+     sibling pairs, so children left behind block the merge — safe) *)
+  let aggregate_children overrides =
+    if Hashtbl.length st.split_parent = 0 then overrides
+    else begin
+      let is_child o = Hashtbl.mem st.split_parent o.Override.prefix in
+      let children, whole = List.partition is_child overrides in
+      let groups = Hashtbl.create 8 in
+      List.iter
+        (fun o ->
+          let key =
+            ( Override.target_peer_id o,
+              o.Override.from_iface,
+              o.Override.to_iface,
+              o.Override.preference_level )
+          in
+          Hashtbl.replace groups key
+            (o :: Option.value (Hashtbl.find_opt groups key) ~default:[]))
+        children;
+      let merged =
+        Hashtbl.fold
+          (fun _ group acc ->
+            let blocks =
+              Bgp.Prefix_set.aggregate
+                (List.map (fun o -> o.Override.prefix) group)
+            in
+            let sample = List.hd group in
+            List.map
+              (fun block ->
+                let rate =
+                  List.fold_left
+                    (fun r o ->
+                      if Bgp.Prefix.subsumes block o.Override.prefix then
+                        r +. o.Override.rate_bps
+                      else r)
+                    0.0 group
+                in
+                Override.make ~prefix:block ~target:sample.Override.target
+                  ~from_iface:sample.Override.from_iface
+                  ~to_iface:sample.Override.to_iface
+                  ~preference_level:sample.Override.preference_level
+                  ~rate_bps:rate)
+              blocks
+            @ acc)
+          groups []
+      in
+      whole @ merged
+    end
+  in
+  {
+    overrides = aggregate_children (List.rev st.overrides);
+    before;
+    final = st.proj;
+    residual =
+      Projection.overloaded st.proj ~threshold:config.Config.overload_threshold;
+    moves_considered = st.moves;
+    splits = st.splits;
+  }
+
+let relief_bps (r : result) =
+  List.fold_left (fun acc o -> acc +. o.Override.rate_bps) 0.0 r.overrides
+
+let check_invariants ~config result =
+  let threshold = config.Config.overload_threshold in
+  let errors = ref [] in
+  let err fmt = Format.kasprintf (fun s -> errors := s :: !errors) fmt in
+  (* 1. iterative mode never pushes a previously-fine interface over *)
+  if config.Config.iterative then
+    List.iter
+      (fun iface ->
+        let before_u = Projection.utilization result.before iface in
+        let after_u = Projection.utilization result.final iface in
+        if before_u <= threshold && after_u > threshold +. 1e-9 then
+          err "iface %d pushed over threshold (%.3f -> %.3f)" (Iface.id iface)
+            before_u after_u)
+      (Projection.ifaces result.final);
+  (* 2/3. structural override checks *)
+  List.iter
+    (fun o ->
+      if o.Override.from_iface = o.Override.to_iface then
+        err "override %a detours to its own interface" Override.pp o;
+      if o.Override.rate_bps < 0.0 then err "negative rate in %a" Override.pp o)
+    result.overrides;
+  (* 4. budget *)
+  (match config.Config.max_overrides_per_cycle with
+  | Some n when List.length result.overrides > n ->
+      err "override budget exceeded: %d > %d" (List.length result.overrides) n
+  | Some _ | None -> ());
+  match !errors with
+  | [] -> Ok ()
+  | es -> Error (String.concat "; " es)

@@ -1,0 +1,41 @@
+(** The Edge Fabric allocator (§5 of the paper).
+
+    Stateless: every cycle it starts from the BGP-preferred projection
+    and produces the complete set of overrides needed to bring every
+    interface below the overload threshold. Greedy and iterative: while
+    any interface is projected above threshold, pick a prefix placed on
+    the worst-loaded such interface and detour it to its most-preferred
+    alternate route whose interface has room for the whole prefix,
+    re-projecting after each move so a detour target never gets pushed
+    over the threshold itself.
+
+    Knobs ({!Config.t}): visit prefixes largest- or smallest-first;
+    disable re-projection ([iterative = false], the ablation baseline
+    that overloads detour targets); split prefixes into /24s when a whole
+    prefix fits nowhere. *)
+
+type result = {
+  overrides : Override.t list;
+  before : Projection.t;       (** BGP-preferred placement *)
+  final : Projection.t;        (** placement after all moves *)
+  residual : (Ef_netsim.Iface.t * float) list;
+      (** interfaces still over threshold — capacity genuinely exhausted
+          (or the override budget hit) *)
+  moves_considered : int;      (** candidate (prefix, target) pairs examined *)
+  splits : int;                (** /24 splits performed (Split_24 only) *)
+}
+
+val run : config:Config.t -> Ef_collector.Snapshot.t -> result
+
+val relief_bps : result -> float
+(** Total traffic detoured by the produced overrides. *)
+
+val check_invariants : config:Config.t -> result -> (unit, string) Stdlib.result
+(** Post-conditions the tests enforce:
+    - with [iterative = true], no interface that was under threshold
+      before is over threshold after;
+    - no override detours to the interface it is relieving;
+    - override rates are non-negative;
+    - override count respects [max_overrides_per_cycle].
+    (That every target route is a genuine candidate of its prefix is
+    checked separately in the test-suite against the snapshot.) *)

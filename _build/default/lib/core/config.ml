@@ -1,0 +1,66 @@
+type order =
+  | Largest_first
+  | Smallest_first
+
+type granularity =
+  | Bgp_prefix
+  | Split_24
+
+type t = {
+  overload_threshold : float;
+  release_margin : float;
+  min_hold_s : int;
+  order : order;
+  iterative : bool;
+  granularity : granularity;
+  max_overrides_per_cycle : int option;
+  override_local_pref : int;
+  guard : Guard.config;
+}
+
+let default =
+  {
+    overload_threshold = 0.95;
+    release_margin = 0.10;
+    min_hold_s = 60;
+    order = Largest_first;
+    iterative = true;
+    granularity = Bgp_prefix;
+    max_overrides_per_cycle = None;
+    override_local_pref = 1000;
+    guard = Guard.default;
+  }
+
+let release_threshold t = t.overload_threshold -. t.release_margin
+
+let validate t =
+  if t.overload_threshold <= 0.0 || t.overload_threshold > 1.0 then
+    Error "overload_threshold must be in (0, 1]"
+  else if t.release_margin < 0.0 || t.release_margin >= t.overload_threshold then
+    Error "release_margin must be in [0, overload_threshold)"
+  else if t.min_hold_s < 0 then Error "min_hold_s must be non-negative"
+  else if
+    t.override_local_pref
+    <= Ef_bgp.Policy.local_pref_for_kind Ef_bgp.Peer.Private_peer
+  then Error "override_local_pref must exceed every policy tier"
+  else
+    match t.max_overrides_per_cycle with
+    | Some n when n < 0 -> Error "max_overrides_per_cycle must be non-negative"
+    | Some _ | None -> Ok ()
+
+let order_to_string = function
+  | Largest_first -> "largest-first"
+  | Smallest_first -> "smallest-first"
+
+let granularity_to_string = function
+  | Bgp_prefix -> "bgp-prefix"
+  | Split_24 -> "split-24"
+
+let pp fmt t =
+  Format.fprintf fmt
+    "threshold=%.2f release=%.2f hold=%ds order=%s iterative=%b gran=%s lp=%d"
+    t.overload_threshold
+    (release_threshold t)
+    t.min_hold_s (order_to_string t.order) t.iterative
+    (granularity_to_string t.granularity)
+    t.override_local_pref

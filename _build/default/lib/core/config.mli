@@ -1,0 +1,41 @@
+(** Controller configuration.
+
+    The defaults mirror the published deployment: interfaces are
+    considered overloaded at ~95 % projected utilization, detours release
+    with a margin below that (so a prefix does not flap across the
+    threshold), and the allocator moves whole BGP prefixes unless /24
+    splitting is enabled. *)
+
+type order =
+  | Largest_first   (** move the biggest prefixes first: fewest overrides *)
+  | Smallest_first  (** move the smallest: finer control, more overrides *)
+
+type granularity =
+  | Bgp_prefix      (** detour exactly the announced prefix *)
+  | Split_24        (** split into /24s and move only as much as needed *)
+
+type t = {
+  overload_threshold : float;  (** fraction of capacity, e.g. 0.95 *)
+  release_margin : float;      (** release when preferred util < threshold − margin *)
+  min_hold_s : int;            (** an override persists at least this long *)
+  order : order;
+  iterative : bool;            (** re-project after every move (the paper's
+                                   design); [false] reproduces the naive
+                                   single-pass baseline for ablation A1 *)
+  granularity : granularity;
+  max_overrides_per_cycle : int option; (** safety valve; [None] = unbounded *)
+  override_local_pref : int;   (** LOCAL_PREF of injected routes; must beat
+                                   every policy tier *)
+  guard : Guard.config;        (** blast-radius budgets applied to the
+                                   allocator's output before enforcement *)
+}
+
+val default : t
+val release_threshold : t -> float
+(** [overload_threshold -. release_margin]. *)
+
+val validate : t -> (unit, string) result
+(** Sanity checks: thresholds in (0, 1], margin below threshold,
+    override LOCAL_PREF above the policy tiers. *)
+
+val pp : Format.formatter -> t -> unit

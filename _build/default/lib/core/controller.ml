@@ -1,0 +1,104 @@
+module Bgp = Ef_bgp
+module Snapshot = Ef_collector.Snapshot
+
+type cycle_stats = {
+  time_s : int;
+  total_bps : float;
+  detoured_bps : float;
+  preferred : Projection.t;
+  enforced : Projection.t;
+  allocator : Allocator.result;
+  reconcile : Hysteresis.step_result;
+  guard_dropped : Override.t list;
+  guard_violations : Guard.violation list;
+  overloaded_before : (Ef_netsim.Iface.t * float) list;
+  overloaded_after : (Ef_netsim.Iface.t * float) list;
+}
+
+let log_src = Logs.Src.create "edge_fabric.controller" ~doc:"Edge Fabric controller"
+
+module Log = (val Logs.src_log log_src)
+
+type t = {
+  name : string;
+  config : Config.t;
+  hysteresis : Hysteresis.t;
+  mutable cycles : int;
+}
+
+let create ?(config = Config.default) ~name () =
+  (match Config.validate config with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Controller.create: bad config: " ^ msg));
+  { name; config; hysteresis = Hysteresis.create config; cycles = 0 }
+
+let name t = t.name
+let config t = t.config
+let active_overrides t = Hysteresis.active t.hysteresis
+let cycles_run t = t.cycles
+
+let overrides_lookup overrides =
+  let trie =
+    List.fold_left
+      (fun m (o : Override.t) -> Bgp.Ptrie.add o.Override.prefix o.Override.target m)
+      Bgp.Ptrie.empty overrides
+  in
+  fun prefix -> Bgp.Ptrie.find prefix trie
+
+let cycle t snapshot =
+  t.cycles <- t.cycles + 1;
+  let alloc = Allocator.run ~config:t.config snapshot in
+  let desired, guard_dropped =
+    Guard.clamp t.config.Config.guard snapshot alloc.Allocator.overrides
+  in
+  if guard_dropped <> [] then
+    Log.warn (fun m ->
+        m "%s: guard dropped %d of %d proposed overrides" t.name
+          (List.length guard_dropped)
+          (List.length alloc.Allocator.overrides));
+  let reconcile =
+    Hysteresis.step t.hysteresis ~time_s:(Snapshot.time_s snapshot)
+      ~desired ~preferred:alloc.Allocator.before
+  in
+  let enforced =
+    Projection.project
+      ~overrides:(overrides_lookup reconcile.Hysteresis.active)
+      snapshot
+  in
+  let threshold = t.config.Config.overload_threshold in
+  let guard_violations =
+    Guard.audit t.config.Config.guard snapshot reconcile.Hysteresis.active
+  in
+  List.iter
+    (fun v -> Log.warn (fun m -> m "%s: %a" t.name Guard.pp_violation v))
+    guard_violations;
+  {
+    time_s = Snapshot.time_s snapshot;
+    total_bps = Projection.total_bps enforced;
+    detoured_bps = Projection.overridden_bps enforced;
+    preferred = alloc.Allocator.before;
+    enforced;
+    allocator = alloc;
+    reconcile;
+    guard_dropped;
+    guard_violations;
+    overloaded_before = Projection.overloaded alloc.Allocator.before ~threshold;
+    overloaded_after = Projection.overloaded enforced ~threshold;
+  }
+
+let bgp_updates t stats =
+  let lp = t.config.Config.override_local_pref in
+  let withdrawals =
+    List.map
+      (fun (o, _age) -> Override.to_withdrawal o)
+      stats.reconcile.Hysteresis.removed
+  in
+  let announcements =
+    List.map
+      (fun o -> Override.to_announcement o ~local_pref:lp)
+      (stats.reconcile.Hysteresis.added @ stats.reconcile.Hysteresis.retargeted)
+  in
+  withdrawals @ announcements
+
+let detour_fraction stats =
+  if stats.total_bps <= 0.0 then 0.0 else stats.detoured_bps /. stats.total_bps

@@ -1,0 +1,47 @@
+(** The per-PoP controller loop.
+
+    One call to {!cycle} is one 30-second controller round:
+
+    + project BGP-preferred placement from the snapshot;
+    + run the stateless {!Allocator} to get the desired override set;
+    + reconcile with the installed set through {!Hysteresis};
+    + report the enforced placement and the BGP messages (announcements
+      and withdrawals) that realize the delta on the peering routers.
+
+    The controller holds no routing state of its own beyond the installed
+    override set — restart it and the next cycle recomputes everything
+    from the feeds, as the paper's deployment does. *)
+
+type cycle_stats = {
+  time_s : int;
+  total_bps : float;
+  detoured_bps : float;            (** traffic on overridden placements *)
+  preferred : Projection.t;        (** BGP-only placement *)
+  enforced : Projection.t;         (** placement with active overrides *)
+  allocator : Allocator.result;
+  reconcile : Hysteresis.step_result;
+  guard_dropped : Override.t list;
+      (** proposals shed by the {!Guard} budgets this cycle *)
+  guard_violations : Guard.violation list;
+      (** audit findings on the enforced set (also logged) *)
+  overloaded_before : (Ef_netsim.Iface.t * float) list;
+  overloaded_after : (Ef_netsim.Iface.t * float) list;
+}
+
+type t
+
+val create : ?config:Config.t -> name:string -> unit -> t
+val name : t -> string
+val config : t -> Config.t
+val active_overrides : t -> Override.t list
+val cycles_run : t -> int
+
+val cycle : t -> Ef_collector.Snapshot.t -> cycle_stats
+
+val bgp_updates : t -> cycle_stats -> Ef_bgp.Msg.update list
+(** The wire-level enforcement of one cycle: withdrawals for removed
+    overrides, announcements for added and retargeted ones (a retarget
+    is a plain re-announcement — BGP implicit withdraw). *)
+
+val detour_fraction : cycle_stats -> float
+(** detoured_bps / total_bps (0 when idle). *)

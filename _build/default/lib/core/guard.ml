@@ -1,0 +1,136 @@
+module Bgp = Ef_bgp
+module Snapshot = Ef_collector.Snapshot
+
+type config = {
+  max_detour_fraction : float option;
+  max_overrides : int option;
+  check_targets : bool;
+  target_threshold : float;
+}
+
+let default =
+  {
+    max_detour_fraction = None;
+    max_overrides = None;
+    check_targets = true;
+    target_threshold = 1.0;
+  }
+
+let conservative =
+  {
+    max_detour_fraction = Some 0.25;
+    max_overrides = Some 500;
+    check_targets = true;
+    target_threshold = 1.0;
+  }
+
+type violation =
+  | Detour_fraction_exceeded of { limit : float; actual : float }
+  | Override_count_exceeded of { limit : int; actual : int }
+  | Stale_target of Bgp.Prefix.t
+  | Target_overloaded of { iface_id : int; utilization : float }
+
+let pp_violation fmt = function
+  | Detour_fraction_exceeded { limit; actual } ->
+      Format.fprintf fmt "detour fraction %.3f exceeds budget %.3f" actual limit
+  | Override_count_exceeded { limit; actual } ->
+      Format.fprintf fmt "%d overrides exceed budget %d" actual limit
+  | Stale_target p ->
+      Format.fprintf fmt "override for %a targets a vanished route" Bgp.Prefix.pp p
+  | Target_overloaded { iface_id; utilization } ->
+      Format.fprintf fmt "detour target iface %d projected at %.2f" iface_id
+        utilization
+
+(* a target is live when its peer still offers a route for the prefix (or
+   for the covering prefix, in the /24-split case) *)
+let target_is_live snapshot (o : Override.t) =
+  let candidates_of p = Snapshot.routes snapshot p in
+  let direct = candidates_of o.Override.prefix in
+  let candidates =
+    match direct with
+    | [] -> (
+        (* /24 child: look up the covering announced prefix *)
+        match
+          List.find_opt
+            (fun (p, _) -> Bgp.Prefix.subsumes p o.Override.prefix)
+            (Snapshot.prefix_rates snapshot)
+        with
+        | Some (p, _) -> candidates_of p
+        | None -> [])
+    | l -> l
+  in
+  List.exists
+    (fun r -> Bgp.Route.peer_id r = Override.target_peer_id o)
+    candidates
+
+let detoured_rate snapshot (o : Override.t) =
+  match Snapshot.rate_of snapshot o.Override.prefix with
+  | 0.0 -> o.Override.rate_bps (* /24 child: fall back to decision-time rate *)
+  | r -> r
+
+let detour_fraction snapshot overrides =
+  let total = Snapshot.total_rate_bps snapshot in
+  if total <= 0.0 then 0.0
+  else
+    List.fold_left (fun acc o -> acc +. detoured_rate snapshot o) 0.0 overrides
+    /. total
+
+let audit config snapshot overrides =
+  let violations = ref [] in
+  let add v = violations := v :: !violations in
+  (match config.max_detour_fraction with
+  | Some limit ->
+      let actual = detour_fraction snapshot overrides in
+      if actual > limit then add (Detour_fraction_exceeded { limit; actual })
+  | None -> ());
+  (match config.max_overrides with
+  | Some limit ->
+      let actual = List.length overrides in
+      if actual > limit then add (Override_count_exceeded { limit; actual })
+  | None -> ());
+  List.iter
+    (fun o ->
+      if not (target_is_live snapshot o) then add (Stale_target o.Override.prefix))
+    overrides;
+  if config.check_targets then begin
+    let enforced =
+      Projection.project ~overrides:(Override.lookup overrides) snapshot
+    in
+    (* only blame interfaces that actually receive detours *)
+    let targets =
+      List.sort_uniq compare (List.map (fun o -> o.Override.to_iface) overrides)
+    in
+    List.iter
+      (fun iface ->
+        let id = Ef_netsim.Iface.id iface in
+        if List.mem id targets then begin
+          let utilization = Projection.utilization enforced iface in
+          if utilization > config.target_threshold then
+            add (Target_overloaded { iface_id = id; utilization })
+        end)
+      (Snapshot.ifaces snapshot)
+  end;
+  List.rev !violations
+
+let clamp config snapshot overrides =
+  let live, stale = List.partition (target_is_live snapshot) overrides in
+  (* shed the least valuable first: ascending decision-time rate *)
+  let ascending =
+    List.sort (fun a b -> compare a.Override.rate_bps b.Override.rate_bps) live
+  in
+  let over_budget kept =
+    (match config.max_overrides with
+    | Some limit when List.length kept > limit -> true
+    | Some _ | None -> false)
+    ||
+    match config.max_detour_fraction with
+    | Some limit -> detour_fraction snapshot kept > limit
+    | None -> false
+  in
+  let rec shed kept dropped =
+    match kept with
+    | smallest :: rest when over_budget kept -> shed rest (smallest :: dropped)
+    | _ -> (kept, dropped)
+  in
+  let kept, shed_list = shed ascending [] in
+  (kept, stale @ shed_list)

@@ -1,0 +1,106 @@
+module Bgp = Ef_bgp
+
+type step_result = {
+  active : Override.t list;
+  added : Override.t list;
+  removed : (Override.t * int) list;
+  retargeted : Override.t list;
+  kept : Override.t list;
+  deferred_releases : int;
+}
+
+type entry = {
+  override : Override.t;
+  installed_at : int;
+}
+
+type t = {
+  config : Config.t;
+  mutable entries : entry Bgp.Ptrie.t;
+}
+
+let create config = { config; entries = Bgp.Ptrie.empty }
+
+let active t =
+  Bgp.Ptrie.fold (fun _ e acc -> e.override :: acc) t.entries []
+
+let installed_at t prefix =
+  Option.map (fun e -> e.installed_at) (Bgp.Ptrie.find prefix t.entries)
+
+let active_count t = Bgp.Ptrie.cardinal t.entries
+
+let iface_by_id proj iface_id =
+  List.find_opt
+    (fun i -> Ef_netsim.Iface.id i = iface_id)
+    (Projection.ifaces proj)
+
+let step t ~time_s ~desired ~preferred =
+  let desired_map =
+    List.fold_left
+      (fun m (o : Override.t) -> Bgp.Ptrie.add o.Override.prefix o m)
+      Bgp.Ptrie.empty desired
+  in
+  let added = ref [] in
+  let removed = ref [] in
+  let retargeted = ref [] in
+  let kept = ref [] in
+  let deferred = ref 0 in
+  let release_threshold = Config.release_threshold t.config in
+  let next = ref Bgp.Ptrie.empty in
+
+  (* pass 1: reconcile what is installed *)
+  Bgp.Ptrie.iter
+    (fun prefix e ->
+      let age = time_s - e.installed_at in
+      let matured = age >= t.config.Config.min_hold_s in
+      match Bgp.Ptrie.find prefix desired_map with
+      | Some want when Override.equal want e.override ->
+          (* same steering decision: keep the installed one untouched *)
+          kept := e.override :: !kept;
+          next := Bgp.Ptrie.add prefix e !next
+      | Some want ->
+          if matured then begin
+            retargeted := want :: !retargeted;
+            next :=
+              Bgp.Ptrie.add prefix { override = want; installed_at = time_s } !next
+          end
+          else begin
+            kept := e.override :: !kept;
+            next := Bgp.Ptrie.add prefix e !next
+          end
+      | None ->
+          (* allocator no longer needs it; release only when safe *)
+          let preferred_util =
+            match iface_by_id preferred e.override.Override.from_iface with
+            | None -> 0.0
+            | Some iface -> Projection.utilization preferred iface
+          in
+          if matured && preferred_util < release_threshold then
+            removed := (e.override, age) :: !removed
+          else begin
+            incr deferred;
+            kept := e.override :: !kept;
+            next := Bgp.Ptrie.add prefix e !next
+          end)
+    t.entries;
+
+  (* pass 2: install what is new *)
+  List.iter
+    (fun (o : Override.t) ->
+      if not (Bgp.Ptrie.mem o.Override.prefix t.entries) then begin
+        added := o :: !added;
+        next :=
+          Bgp.Ptrie.add o.Override.prefix { override = o; installed_at = time_s }
+            !next
+      end)
+    desired;
+
+  t.entries <- !next;
+  {
+    active = active t;
+    added = List.rev !added;
+    removed = List.rev !removed;
+    retargeted = List.rev !retargeted;
+    kept = List.rev !kept;
+    deferred_releases = !deferred;
+  }

@@ -1,0 +1,57 @@
+module Bgp = Ef_bgp
+
+type t = {
+  prefix : Bgp.Prefix.t;
+  target : Bgp.Route.t;
+  from_iface : int;
+  to_iface : int;
+  preference_level : int;
+  rate_bps : float;
+}
+
+let override_community = Bgp.Community.make 65000 911
+
+let make ~prefix ~target ~from_iface ~to_iface ~preference_level ~rate_bps =
+  { prefix; target; from_iface; to_iface; preference_level; rate_bps }
+
+let target_peer_id t = Bgp.Route.peer_id t.target
+
+let to_announcement t ~local_pref =
+  let target_attrs = Bgp.Route.attrs t.target in
+  let attrs =
+    Bgp.Attrs.make ~origin:target_attrs.Bgp.Attrs.origin
+      ~communities:(override_community :: target_attrs.Bgp.Attrs.communities)
+      ~local_pref:(Some local_pref)
+      ~as_path:target_attrs.Bgp.Attrs.as_path
+      ~next_hop:target_attrs.Bgp.Attrs.next_hop ()
+  in
+  { Bgp.Msg.withdrawn = []; attrs = Some attrs; nlri = [ t.prefix ] }
+
+let to_withdrawal t =
+  { Bgp.Msg.withdrawn = [ t.prefix ]; attrs = None; nlri = [] }
+
+let is_override_route route = Bgp.Route.has_community override_community route
+
+let lookup overrides =
+  let trie =
+    List.fold_left
+      (fun m o -> Bgp.Ptrie.add o.prefix o.target m)
+      Bgp.Ptrie.empty overrides
+  in
+  fun prefix -> Bgp.Ptrie.find prefix trie
+
+let level_of overrides =
+  let trie =
+    List.fold_left
+      (fun m o -> Bgp.Ptrie.add o.prefix o.preference_level m)
+      Bgp.Ptrie.empty overrides
+  in
+  fun prefix -> Bgp.Ptrie.find prefix trie
+
+let equal a b =
+  Bgp.Prefix.equal a.prefix b.prefix && target_peer_id a = target_peer_id b
+
+let pp fmt t =
+  Format.fprintf fmt "override{%a -> peer%d (iface %d -> %d, pref#%d, %a)}"
+    Bgp.Prefix.pp t.prefix (target_peer_id t) t.from_iface t.to_iface
+    t.preference_level Ef_util.Units.pp_rate t.rate_bps

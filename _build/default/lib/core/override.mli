@@ -1,0 +1,57 @@
+(** Egress overrides: the controller's output.
+
+    An override pins one prefix to a specific egress route. Enforcement
+    is plain BGP: the controller announces the prefix to the peering
+    router with a LOCAL_PREF above every policy tier and a marker
+    community; the router's ordinary decision process then selects it.
+    Removal is a BGP withdrawal — no custom protocol, which is the
+    paper's deployability argument. *)
+
+type t = {
+  prefix : Ef_bgp.Prefix.t;     (** possibly a /24 child of the BGP prefix *)
+  target : Ef_bgp.Route.t;      (** the detour route (identifies peer + next hop) *)
+  from_iface : int;             (** interface relieved *)
+  to_iface : int;               (** interface receiving the traffic *)
+  preference_level : int;       (** 0 = would be best anyway, 1 = 2nd choice… *)
+  rate_bps : float;             (** prefix rate when the decision was made *)
+}
+
+val override_community : Ef_bgp.Community.t
+(** 65000:911 — marks injected routes so that dashboards, policies and
+    the tests can recognize them. *)
+
+val make :
+  prefix:Ef_bgp.Prefix.t ->
+  target:Ef_bgp.Route.t ->
+  from_iface:int ->
+  to_iface:int ->
+  preference_level:int ->
+  rate_bps:float ->
+  t
+
+val target_peer_id : t -> int
+
+val to_announcement : t -> local_pref:int -> Ef_bgp.Msg.update
+(** The UPDATE injecting this override: NLRI = the override prefix,
+    next hop = the target route's next hop, LOCAL_PREF as given,
+    {!override_community} attached, and the target's AS path (so loop
+    detection and debugging stay meaningful). *)
+
+val to_withdrawal : t -> Ef_bgp.Msg.update
+
+val is_override_route : Ef_bgp.Route.t -> bool
+(** Does a route carry the override marker community? *)
+
+val lookup : t list -> Ef_bgp.Prefix.t -> Ef_bgp.Route.t option
+(** Build a prefix → target-route function from an override set (what
+    {!Edge_fabric.Projection.project} consumes). Later entries win on
+    duplicate prefixes. *)
+
+val level_of : t list -> Ef_bgp.Prefix.t -> int option
+(** The preference level an override steers a prefix to, if any. *)
+
+val equal : t -> t -> bool
+(** Same prefix steered to the same peer (rate and bookkeeping fields are
+    not compared — a re-decided override with fresh rate is "the same"). *)
+
+val pp : Format.formatter -> t -> unit

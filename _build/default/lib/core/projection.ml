@@ -1,0 +1,136 @@
+module Bgp = Ef_bgp
+module Snapshot = Ef_collector.Snapshot
+
+type placement = {
+  placed_prefix : Bgp.Prefix.t;
+  rate_bps : float;
+  route : Bgp.Route.t;
+  iface_id : int;
+  overridden : bool;
+}
+
+type t = {
+  ifaces : Ef_netsim.Iface.t list;
+  loads : float array; (* indexed by iface id *)
+  placements : placement Bgp.Ptrie.t;
+  total_bps : float;
+  unroutable_bps : float;
+  stale : Bgp.Prefix.t list;
+}
+
+let max_iface_id ifaces =
+  List.fold_left (fun acc i -> max acc (Ef_netsim.Iface.id i)) (-1) ifaces
+
+let project ?(overrides = fun _ -> None) snapshot =
+  let ifaces = Snapshot.ifaces snapshot in
+  let loads = Array.make (max_iface_id ifaces + 1) 0.0 in
+  let placements = ref Bgp.Ptrie.empty in
+  let total = ref 0.0 in
+  let unroutable = ref 0.0 in
+  let stale = ref [] in
+  List.iter
+    (fun (prefix, rate) ->
+      total := !total +. rate;
+      let candidates = Snapshot.routes snapshot prefix in
+      let route, overridden =
+        match overrides prefix with
+        | Some want -> (
+            (* honour only if the route is still offered by that neighbor *)
+            let still_valid =
+              List.find_opt
+                (fun r -> Bgp.Route.peer_id r = Bgp.Route.peer_id want)
+                candidates
+            in
+            match still_valid with
+            | Some r -> (Some r, true)
+            | None ->
+                stale := prefix :: !stale;
+                (match candidates with
+                | [] -> (None, false)
+                | r :: _ -> (Some r, false)))
+        | None -> (
+            match candidates with
+            | [] -> (None, false)
+            | r :: _ -> (Some r, false))
+      in
+      match route with
+      | None -> unroutable := !unroutable +. rate
+      | Some route -> (
+          match Snapshot.iface_of_route snapshot route with
+          | None -> unroutable := !unroutable +. rate
+          | Some iface ->
+              let iface_id = Ef_netsim.Iface.id iface in
+              loads.(iface_id) <- loads.(iface_id) +. rate;
+              placements :=
+                Bgp.Ptrie.add prefix
+                  { placed_prefix = prefix; rate_bps = rate; route; iface_id; overridden }
+                  !placements))
+    (Snapshot.prefix_rates snapshot);
+  {
+    ifaces;
+    loads;
+    placements = !placements;
+    total_bps = !total;
+    unroutable_bps = !unroutable;
+    stale = !stale;
+  }
+
+let load_bps t ~iface_id =
+  if iface_id < 0 || iface_id >= Array.length t.loads then 0.0
+  else t.loads.(iface_id)
+
+let utilization t iface =
+  load_bps t ~iface_id:(Ef_netsim.Iface.id iface)
+  /. Ef_netsim.Iface.capacity_bps iface
+
+let overloaded t ~threshold =
+  t.ifaces
+  |> List.filter_map (fun iface ->
+         let u = utilization t iface in
+         if u > threshold then Some (iface, u) else None)
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+let placements t =
+  Bgp.Ptrie.fold (fun _ pl acc -> pl :: acc) t.placements []
+
+let placements_on t ~iface_id =
+  placements t
+  |> List.filter (fun pl -> pl.iface_id = iface_id)
+  |> List.sort (fun a b -> compare b.rate_bps a.rate_bps)
+
+let placement_of t prefix = Bgp.Ptrie.find prefix t.placements
+
+let move t prefix ~to_route ~to_iface =
+  match Bgp.Ptrie.find prefix t.placements with
+  | None -> invalid_arg "Projection.move: prefix has no placement"
+  | Some pl ->
+      let loads = Array.copy t.loads in
+      loads.(pl.iface_id) <- loads.(pl.iface_id) -. pl.rate_bps;
+      loads.(to_iface) <- loads.(to_iface) +. pl.rate_bps;
+      let pl' = { pl with route = to_route; iface_id = to_iface; overridden = true } in
+      { t with loads; placements = Bgp.Ptrie.add prefix pl' t.placements }
+
+let add_placement t ~prefix ~rate_bps ~route ~iface_id ~overridden =
+  let loads = Array.copy t.loads in
+  loads.(iface_id) <- loads.(iface_id) +. rate_bps;
+  let pl = { placed_prefix = prefix; rate_bps; route; iface_id; overridden } in
+  { t with loads; placements = Bgp.Ptrie.add prefix pl t.placements }
+
+let remove_placement t prefix =
+  match Bgp.Ptrie.find prefix t.placements with
+  | None -> t
+  | Some pl ->
+      let loads = Array.copy t.loads in
+      loads.(pl.iface_id) <- loads.(pl.iface_id) -. pl.rate_bps;
+      { t with loads; placements = Bgp.Ptrie.remove prefix t.placements }
+
+let total_bps t = t.total_bps
+
+let overridden_bps t =
+  Bgp.Ptrie.fold
+    (fun _ pl acc -> if pl.overridden then acc +. pl.rate_bps else acc)
+    t.placements 0.0
+
+let unroutable_bps t = t.unroutable_bps
+let stale_overrides t = t.stale
+let ifaces t = t.ifaces

@@ -1,0 +1,64 @@
+(** Load projection: what every egress interface would carry.
+
+    The controller's first step each cycle: place every prefix's
+    estimated rate onto an egress route (BGP-preferred by default, or an
+    override where one applies) and sum per interface. The projection is
+    also the controller's simulator — the allocator replays candidate
+    moves against it before committing them. *)
+
+type placement = {
+  placed_prefix : Ef_bgp.Prefix.t;
+  rate_bps : float;
+  route : Ef_bgp.Route.t;
+  iface_id : int;
+  overridden : bool;
+}
+
+type t
+
+val project :
+  ?overrides:(Ef_bgp.Prefix.t -> Ef_bgp.Route.t option) ->
+  Ef_collector.Snapshot.t ->
+  t
+(** Place every rated prefix. An override route is honoured only when it
+    is still among the prefix's candidates (same neighbor) — a stale
+    override falls back to the preferred route and is reported via
+    {!stale_overrides}. Prefixes with no route at all are dropped and
+    counted in {!unroutable_bps}. *)
+
+val load_bps : t -> iface_id:int -> float
+val utilization : t -> Ef_netsim.Iface.t -> float
+
+val overloaded : t -> threshold:float -> (Ef_netsim.Iface.t * float) list
+(** Interfaces whose utilization exceeds [threshold], worst first, with
+    their utilization. *)
+
+val placements_on : t -> iface_id:int -> placement list
+(** Descending by rate. *)
+
+val placements : t -> placement list
+val placement_of : t -> Ef_bgp.Prefix.t -> placement option
+
+val move : t -> Ef_bgp.Prefix.t -> to_route:Ef_bgp.Route.t -> to_iface:int -> t
+(** Re-place one prefix onto a different route/interface (pure — returns
+    an updated projection; the original is unchanged). Raises
+    [Invalid_argument] if the prefix has no placement. *)
+
+val add_placement :
+  t ->
+  prefix:Ef_bgp.Prefix.t ->
+  rate_bps:float ->
+  route:Ef_bgp.Route.t ->
+  iface_id:int ->
+  overridden:bool ->
+  t
+(** Insert a synthetic placement (used by /24 splitting, which replaces
+    one parent placement with several children). *)
+
+val remove_placement : t -> Ef_bgp.Prefix.t -> t
+
+val total_bps : t -> float
+val overridden_bps : t -> float
+val unroutable_bps : t -> float
+val stale_overrides : t -> Ef_bgp.Prefix.t list
+val ifaces : t -> Ef_netsim.Iface.t list

@@ -1,0 +1,1 @@
+lib/netsim/iface.ml: Ef_util Format Int

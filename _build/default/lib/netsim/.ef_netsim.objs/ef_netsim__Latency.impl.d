@@ -1,0 +1,1 @@
+lib/netsim/latency.ml: Ef_bgp Ef_util Float Int64 Region

@@ -1,0 +1,1 @@
+lib/netsim/latency.mli: Ef_bgp Ef_util Region

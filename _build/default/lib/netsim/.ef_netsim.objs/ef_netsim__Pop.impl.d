@@ -1,0 +1,1 @@
+lib/netsim/pop.ml: Ef_bgp Format Hashtbl Iface List Printf Region

@@ -1,0 +1,1 @@
+lib/netsim/pop.mli: Ef_bgp Format Iface Region

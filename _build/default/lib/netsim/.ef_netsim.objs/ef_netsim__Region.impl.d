@@ -1,0 +1,1 @@
+lib/netsim/region.ml: Array Format List String

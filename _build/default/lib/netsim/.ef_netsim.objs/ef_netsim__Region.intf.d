@@ -1,0 +1,1 @@
+lib/netsim/region.mli: Format

@@ -1,0 +1,1 @@
+lib/netsim/scenario.ml: List Region String Topo_gen

@@ -1,0 +1,1 @@
+lib/netsim/scenario.mli: Topo_gen

@@ -1,0 +1,1 @@
+lib/netsim/topo_gen.ml: Array Ef_bgp Ef_util Float Hashtbl Int32 List Option Pop Printf Region Rng Units Zipf

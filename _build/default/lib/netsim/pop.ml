@@ -1,0 +1,77 @@
+type t = {
+  name : string;
+  region : Region.t;
+  asn : Ef_bgp.Asn.t;
+  rib : Ef_bgp.Rib.t;
+  mutable interfaces : Iface.t list; (* reversed creation order *)
+  peer_iface : (int, int) Hashtbl.t; (* peer id -> iface id *)
+  mutable peers : Ef_bgp.Peer.t list;
+}
+
+let create ?decision ~name ~region ~asn () =
+  {
+    name;
+    region;
+    asn;
+    rib = Ef_bgp.Rib.create ?decision ();
+    interfaces = [];
+    peer_iface = Hashtbl.create 32;
+    peers = [];
+  }
+
+let name t = t.name
+let region t = t.region
+let asn t = t.asn
+let rib t = t.rib
+
+let add_interface t ~name ~capacity_bps ~shared =
+  let id = List.length t.interfaces in
+  let iface = Iface.make ~id ~name ~capacity_bps ~shared in
+  t.interfaces <- iface :: t.interfaces;
+  iface
+
+let interfaces t = List.rev t.interfaces
+let interface t id = List.find_opt (fun i -> Iface.id i = id) t.interfaces
+let interface_count t = List.length t.interfaces
+let peers t = List.rev t.peers
+
+let peer t id =
+  List.find_opt (fun p -> Ef_bgp.Peer.id p = id) t.peers
+
+let add_peer t peer ~iface ~policy =
+  (match interface t (Iface.id iface) with
+  | Some existing when Iface.equal existing iface -> ()
+  | Some _ | None -> invalid_arg "Pop.add_peer: interface not part of this PoP");
+  Ef_bgp.Rib.add_peer t.rib peer ~policy;
+  Hashtbl.replace t.peer_iface (Ef_bgp.Peer.id peer) (Iface.id iface);
+  t.peers <- peer :: t.peers
+
+let iface_of_peer t ~peer_id =
+  match Hashtbl.find_opt t.peer_iface peer_id with
+  | None -> invalid_arg (Printf.sprintf "Pop.iface_of_peer: unknown peer %d" peer_id)
+  | Some iface_id -> (
+      match interface t iface_id with
+      | Some i -> i
+      | None -> assert false)
+
+let iface_of_route t route =
+  iface_of_peer t ~peer_id:(Ef_bgp.Route.peer_id route)
+
+let peers_on_iface t ~iface_id =
+  List.filter
+    (fun p -> Hashtbl.find_opt t.peer_iface (Ef_bgp.Peer.id p) = Some iface_id)
+    (peers t)
+
+let announce t ~peer_id prefix attrs =
+  Ef_bgp.Rib.announce t.rib ~peer_id prefix attrs
+
+let withdraw t ~peer_id prefix = Ef_bgp.Rib.withdraw t.rib ~peer_id prefix
+let drop_peer t ~peer_id = Ef_bgp.Rib.drop_peer t.rib ~peer_id
+
+let total_capacity_bps t =
+  List.fold_left (fun acc i -> acc +. Iface.capacity_bps i) 0.0 t.interfaces
+
+let pp fmt t =
+  Format.fprintf fmt "pop:%s(%a, %d ifaces, %d peers, %d prefixes)" t.name
+    Region.pp t.region (interface_count t) (List.length t.peers)
+    (Ef_bgp.Rib.prefix_count t.rib)

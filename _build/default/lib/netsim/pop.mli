@@ -1,0 +1,51 @@
+(** A Point of Presence: the unit Edge Fabric operates on.
+
+    One logical peering router (a {!Ef_bgp.Rib} — the paper's PoPs have
+    four PRs, but capacity and routing state are per-peering, so a single
+    logical RIB preserves the controller-visible behaviour), a set of
+    egress interfaces, and the peers attached to them. *)
+
+type t
+
+val create :
+  ?decision:Ef_bgp.Decision.config ->
+  name:string ->
+  region:Region.t ->
+  asn:Ef_bgp.Asn.t ->
+  unit ->
+  t
+
+val name : t -> string
+val region : t -> Region.t
+val asn : t -> Ef_bgp.Asn.t
+val rib : t -> Ef_bgp.Rib.t
+
+val add_interface :
+  t -> name:string -> capacity_bps:float -> shared:bool -> Iface.t
+(** Interfaces get dense ids in creation order. *)
+
+val add_peer : t -> Ef_bgp.Peer.t -> iface:Iface.t -> policy:Ef_bgp.Policy.t -> unit
+(** Attach a neighbor to an existing interface of this PoP. The peer is
+    registered in the RIB with the given import policy. *)
+
+val interfaces : t -> Iface.t list
+val interface : t -> int -> Iface.t option
+val interface_count : t -> int
+val peers : t -> Ef_bgp.Peer.t list
+val peer : t -> int -> Ef_bgp.Peer.t option
+
+val iface_of_peer : t -> peer_id:int -> Iface.t
+(** Raises [Invalid_argument] for unknown peers. *)
+
+val iface_of_route : t -> Ef_bgp.Route.t -> Iface.t
+val peers_on_iface : t -> iface_id:int -> Ef_bgp.Peer.t list
+
+val announce :
+  t -> peer_id:int -> Ef_bgp.Prefix.t -> Ef_bgp.Attrs.t -> Ef_bgp.Rib.change list
+(** Feed a route from a neighbor into the PoP's RIB (through policy). *)
+
+val withdraw : t -> peer_id:int -> Ef_bgp.Prefix.t -> Ef_bgp.Rib.change list
+val drop_peer : t -> peer_id:int -> Ef_bgp.Rib.change list
+
+val total_capacity_bps : t -> float
+val pp : Format.formatter -> t -> unit

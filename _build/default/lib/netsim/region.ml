@@ -1,0 +1,54 @@
+type t =
+  | Na_east
+  | Na_west
+  | Europe
+  | Asia
+  | South_america
+  | Oceania
+
+let all = [ Na_east; Na_west; Europe; Asia; South_america; Oceania ]
+
+let to_string = function
+  | Na_east -> "na-east"
+  | Na_west -> "na-west"
+  | Europe -> "europe"
+  | Asia -> "asia"
+  | South_america -> "south-america"
+  | Oceania -> "oceania"
+
+let of_string s =
+  List.find_opt (fun r -> String.equal (to_string r) s) all
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+let equal a b = a = b
+
+let index = function
+  | Na_east -> 0
+  | Na_west -> 1
+  | Europe -> 2
+  | Asia -> 3
+  | South_america -> 4
+  | Oceania -> 5
+
+(* Rough great-circle RTTs; what matters downstream is the ordering
+   (same-region < cross-continent) rather than exact values. *)
+let matrix =
+  [|
+    (*            naE    naW    eu     asia   sam    oce *)
+    (* naE *) [| 10.0; 65.0; 85.0; 180.0; 120.0; 200.0 |];
+    (* naW *) [| 65.0; 10.0; 140.0; 110.0; 170.0; 140.0 |];
+    (* eu  *) [| 85.0; 140.0; 10.0; 160.0; 190.0; 280.0 |];
+    (* asia*) [| 180.0; 110.0; 160.0; 15.0; 280.0; 120.0 |];
+    (* sam *) [| 120.0; 170.0; 190.0; 280.0; 15.0; 250.0 |];
+    (* oce *) [| 200.0; 140.0; 280.0; 120.0; 250.0; 15.0 |];
+  |]
+
+let base_rtt_ms a b = matrix.(index a).(index b)
+
+let utc_offset_hours = function
+  | Na_east -> -5
+  | Na_west -> -8
+  | Europe -> 1
+  | Asia -> 8
+  | South_america -> -3
+  | Oceania -> 10

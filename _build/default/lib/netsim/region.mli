@@ -1,0 +1,26 @@
+(** Coarse geographic regions.
+
+    PoPs and client ASes live in regions; the latency model derives base
+    RTTs from the region pair, and the diurnal traffic model derives each
+    region's local-time phase from its UTC offset. *)
+
+type t =
+  | Na_east
+  | Na_west
+  | Europe
+  | Asia
+  | South_america
+  | Oceania
+
+val all : t list
+val to_string : t -> string
+val of_string : string -> t option
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool
+
+val base_rtt_ms : t -> t -> float
+(** Typical propagation RTT between regions in milliseconds (symmetric;
+    same-region pairs are ~10 ms). *)
+
+val utc_offset_hours : t -> int
+(** Representative UTC offset used to phase the diurnal traffic curve. *)

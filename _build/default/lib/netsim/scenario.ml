@@ -1,0 +1,134 @@
+type t = {
+  scenario_name : string;
+  description : string;
+  topo : Topo_gen.config;
+}
+
+let base = Topo_gen.default_config
+
+let pop_a =
+  {
+    scenario_name = "pop-a";
+    description = "large NA-East PoP: dense private peering, busy eyeball market";
+    topo =
+      {
+        base with
+        Topo_gen.seed = 1001;
+        pop_name = "pop-a";
+        pop_region = Region.Na_east;
+        n_eyeball = 24;
+        n_regional = 48;
+        n_small = 160;
+        n_transits = 3;
+        n_private_peers = 16;
+        n_public_peers = 30;
+        total_peak_gbps = 1200.0;
+        transit_capacity_gbps = 1600.0;
+        public_port_gbps = 300.0;
+      };
+  }
+
+let pop_b =
+  {
+    scenario_name = "pop-b";
+    description = "large European PoP: strong IXP culture, many public peers";
+    topo =
+      {
+        base with
+        Topo_gen.seed = 1002;
+        pop_name = "pop-b";
+        pop_region = Region.Europe;
+        n_eyeball = 20;
+        n_regional = 60;
+        n_small = 180;
+        n_transits = 2;
+        n_private_peers = 12;
+        n_public_peers = 45;
+        total_peak_gbps = 1000.0;
+        transit_capacity_gbps = 1200.0;
+        public_port_gbps = 400.0;
+      };
+  }
+
+let pop_c =
+  {
+    scenario_name = "pop-c";
+    description = "mid-size Asian PoP: fewer peers, more traffic on transit";
+    topo =
+      {
+        base with
+        Topo_gen.seed = 1003;
+        pop_name = "pop-c";
+        pop_region = Region.Asia;
+        n_eyeball = 12;
+        n_regional = 30;
+        n_small = 120;
+        n_transits = 3;
+        n_private_peers = 6;
+        n_public_peers = 15;
+        rs_member_fraction = 0.3;
+        total_peak_gbps = 600.0;
+        transit_capacity_gbps = 800.0;
+        public_port_gbps = 100.0;
+      };
+  }
+
+let pop_d =
+  {
+    scenario_name = "pop-d";
+    description = "small South-American PoP: thin peering, tight capacities";
+    topo =
+      {
+        base with
+        Topo_gen.seed = 1004;
+        pop_name = "pop-d";
+        pop_region = Region.South_america;
+        n_eyeball = 8;
+        n_regional = 16;
+        n_small = 60;
+        n_transits = 2;
+        n_private_peers = 4;
+        n_public_peers = 10;
+        total_peak_gbps = 250.0;
+        transit_capacity_gbps = 400.0;
+        public_port_gbps = 60.0;
+        headroom_lo = 0.5;
+        headroom_hi = 1.3;
+      };
+  }
+
+let tiny =
+  {
+    scenario_name = "tiny";
+    description = "micro-world for unit and integration tests";
+    topo = Topo_gen.small_config;
+  }
+
+let stress =
+  {
+    scenario_name = "stress";
+    description = "scale bench input: thousands of prefixes";
+    topo =
+      {
+        base with
+        Topo_gen.seed = 9001;
+        pop_name = "pop-stress";
+        n_eyeball = 60;
+        n_regional = 150;
+        n_small = 600;
+        n_transits = 4;
+        n_private_peers = 40;
+        n_public_peers = 100;
+        total_peak_gbps = 4000.0;
+        transit_capacity_gbps = 3200.0;
+        public_port_gbps = 800.0;
+      };
+  }
+
+let paper_pops = [ pop_a; pop_b; pop_c; pop_d ]
+let all = paper_pops @ [ tiny; stress ]
+
+let find name =
+  List.find_opt (fun s -> String.equal s.scenario_name name) all
+
+let names () = List.map (fun s -> s.scenario_name) all

@@ -1,0 +1,36 @@
+(** Named scenarios: the worlds the experiments run in.
+
+    The paper evaluates four production PoPs in detail; here four
+    synthetic PoPs of different sizes and regions stand in for them,
+    plus a tiny world for tests and a stress world for scale benches. *)
+
+type t = {
+  scenario_name : string;
+  description : string;
+  topo : Topo_gen.config;
+}
+
+val pop_a : t
+(** Large NA-East PoP — the "busy eyeball market" case. *)
+
+val pop_b : t
+(** Large European PoP. *)
+
+val pop_c : t
+(** Mid-size Asian PoP with a bigger transit share. *)
+
+val pop_d : t
+(** Small South-American PoP, few private peers. *)
+
+val tiny : t
+(** Deterministic micro-world for unit/integration tests. *)
+
+val stress : t
+(** Thousands of prefixes — input for the scale benchmarks (E10). *)
+
+val all : t list
+val paper_pops : t list
+(** The four PoPs of the evaluation, A–D. *)
+
+val find : string -> t option
+val names : unit -> string list

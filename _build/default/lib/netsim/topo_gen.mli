@@ -1,0 +1,83 @@
+(** Synthetic Internet generation.
+
+    Builds the world one Edge Fabric instance sees: a PoP with transit
+    providers, private interconnects, public peers and an IXP route
+    server, plus the AS/prefix universe behind them with Zipf-skewed
+    traffic weights. The construction preserves the properties the paper's
+    phenomena rest on:
+
+    - most traffic is to prefixes with several usable egress routes
+      (transit always, peer routes for eyeball/regional networks);
+    - BGP policy prefers peer routes over transit, so without a
+      controller the preferred paths concentrate on peering interfaces;
+    - private/public interface capacities are drawn around each peer's
+      expected peak demand (quantized to standard port sizes), so a
+      realistic minority of interfaces cannot carry their peak preferred
+      load — the Figure-4 phenomenon Edge Fabric exists to fix. *)
+
+type as_kind =
+  | Eyeball   (** large access network, candidate private peer *)
+  | Regional  (** mid-size network, candidate public peer *)
+  | Small_stub (** long-tail origin: transit or route-server only *)
+
+val as_kind_to_string : as_kind -> string
+
+type as_info = {
+  asn : Ef_bgp.Asn.t;
+  kind : as_kind;
+  as_region : Region.t;
+  as_prefixes : Ef_bgp.Prefix.t list;
+  weight : float;           (** share of PoP traffic, sums to 1 across ASes *)
+  providers : Ef_bgp.Asn.t list; (** upstream ASNs for small stubs *)
+}
+
+type config = {
+  seed : int;
+  pop_name : string;
+  pop_region : Region.t;
+  self_asn : Ef_bgp.Asn.t;
+  n_eyeball : int;
+  n_regional : int;
+  n_small : int;
+  n_transits : int;
+  n_private_peers : int;     (** top-weight eyeballs get private interconnects *)
+  n_public_peers : int;      (** top regionals peer publicly *)
+  route_server : bool;
+  rs_member_fraction : float; (** fraction of small stubs present at the IXP *)
+  zipf_s : float;            (** skew of per-AS traffic weights *)
+  total_peak_gbps : float;   (** PoP egress at the diurnal peak *)
+  transit_capacity_gbps : float; (** per transit interface *)
+  public_port_gbps : float;  (** the shared IXP port *)
+  headroom_lo : float;       (** private-port sizing: capacity ≈ peak·U(lo,hi), *)
+  headroom_hi : float;       (** then rounded up to a standard port size *)
+}
+
+val default_config : config
+(** A mid-size PoP: 2 transits, 12 private peers, 25 public peers, route
+    server with half the small stubs, ~1.2k prefixes, 900 Gbps peak. *)
+
+val small_config : config
+(** A tiny deterministic world for unit tests (tens of prefixes). *)
+
+type world = {
+  pop : Pop.t;
+  ases : as_info list;
+  prefix_weight : Ef_bgp.Prefix.t -> float;
+  prefix_origin : Ef_bgp.Prefix.t -> Ef_bgp.Asn.t option;
+  origin_region : Ef_bgp.Prefix.t -> Region.t;
+  all_prefixes : Ef_bgp.Prefix.t list;
+  total_peak_bps : float;
+}
+
+val generate : config -> world
+(** Deterministic in [config.seed]: equal configs give equal worlds. The
+    returned PoP's RIB is fully populated (announcements already passed
+    through the default ingest policy). *)
+
+val standard_port_sizes_gbps : float list
+(** 10/20/40/100/200/400/800 — capacities are rounded up to one of
+    these, mirroring real port provisioning. *)
+
+val round_up_to_port : float -> float
+(** [round_up_to_port gbps] — smallest standard port bundle >= demand
+    (multiples of 800 Gbps above the largest single size). *)

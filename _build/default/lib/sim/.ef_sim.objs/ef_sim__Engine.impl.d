@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Edge_fabric Ef_altpath Ef_bgp Ef_collector Ef_netsim Ef_traffic Ef_util Float Hashtbl Int List Metrics Option Rng Units

@@ -1,0 +1,1 @@
+lib/sim/engine.mli: Edge_fabric Ef_altpath Ef_bgp Ef_collector Ef_netsim Ef_traffic Metrics

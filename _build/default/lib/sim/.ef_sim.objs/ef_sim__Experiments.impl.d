@@ -1,0 +1,1 @@
+lib/sim/experiments.ml: Array Edge_fabric Ef_altpath Ef_bgp Ef_collector Ef_netsim Ef_stats Ef_util Engine Float Format Hashtbl List Metrics Option Printf

@@ -1,0 +1,1 @@
+lib/sim/fleet.ml: Ef_netsim Ef_stats Ef_util Engine Float Format List Metrics

@@ -1,0 +1,1 @@
+lib/sim/fleet.mli: Ef_netsim Ef_stats Engine Metrics

@@ -1,0 +1,1 @@
+lib/sim/metrics.ml: Ef_bgp Ef_stats Hashtbl Int List Option

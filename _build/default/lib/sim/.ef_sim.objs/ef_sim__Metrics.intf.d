@@ -1,0 +1,1 @@
+lib/sim/metrics.mli: Ef_bgp Ef_stats

@@ -1,0 +1,357 @@
+module Bgp = Ef_bgp
+module Ef = Edge_fabric
+module Snapshot = Ef_collector.Snapshot
+open Ef_util
+
+type peer_event = {
+  event_peer_id : int;
+  down_at_s : int;
+  up_at_s : int;
+}
+
+type config = {
+  cycle_s : int;
+  duration_s : int;
+  start_s : int;
+  controller_enabled : bool;
+  controller_config : Ef.Config.t;
+  use_sampling : bool;
+  sflow : Ef_traffic.Sflow.config;
+  measure_altpaths : bool;
+  measurer_config : Ef_altpath.Measurer.config;
+  perf_aware : bool;
+  perf_config : Ef_altpath.Perf_policy.config;
+  seed : int;
+  events : Ef_traffic.Demand.event list;
+  peer_events : peer_event list;
+}
+
+let default_config =
+  {
+    cycle_s = 30;
+    duration_s = Units.seconds_per_day;
+    start_s = 0;
+    controller_enabled = true;
+    controller_config = Ef.Config.default;
+    use_sampling = true;
+    sflow = Ef_traffic.Sflow.default_config;
+    measure_altpaths = false;
+    measurer_config = Ef_altpath.Measurer.default_config;
+    perf_aware = false;
+    perf_config = Ef_altpath.Perf_policy.default_config;
+    seed = 1;
+    events = [];
+    peer_events = [];
+  }
+
+type placement_state = {
+  actual : Ef.Projection.t;
+  preferred : Ef.Projection.t;
+  active_overrides : Ef.Override.t list;
+}
+
+type t = {
+  config : config;
+  world : Ef_netsim.Topo_gen.world;
+  demand : Ef_traffic.Demand.t;
+  latency : Ef_netsim.Latency.t;
+  controller : Ef.Controller.t option;
+  estimator : Ef_traffic.Rate_est.t;
+  snmp : Ef_collector.Snmp.t;
+  measurer : Ef_altpath.Measurer.t option;
+  metrics : Metrics.t;
+  rng : Rng.t;
+  mutable now : int;
+  mutable last_state : placement_state option;
+  (* failure injection: the full pre-outage table per peer, and which
+     peers are currently down *)
+  saved_routes : (int, (Bgp.Prefix.t * Bgp.Attrs.t) list) Hashtbl.t;
+  mutable peers_down : int list;
+}
+
+let create ?(config = default_config) scenario =
+  let world = Ef_netsim.Topo_gen.generate scenario.Ef_netsim.Scenario.topo in
+  let demand =
+    Ef_traffic.Demand.create ~events:config.events
+      ~prefix_weight:world.Ef_netsim.Topo_gen.prefix_weight
+      ~origin_region:world.Ef_netsim.Topo_gen.origin_region
+      ~total_peak_bps:world.Ef_netsim.Topo_gen.total_peak_bps
+      ~seed:(config.seed * 7919) ()
+  in
+  let latency =
+    Ef_netsim.Latency.create
+      ~pop_region:(Ef_netsim.Pop.region world.Ef_netsim.Topo_gen.pop)
+      ~origin_region:world.Ef_netsim.Topo_gen.origin_region
+      ~seed:(config.seed * 104729)
+  in
+  {
+    config;
+    world;
+    demand;
+    latency;
+    controller =
+      (if config.controller_enabled then
+         Some
+           (Ef.Controller.create ~config:config.controller_config
+              ~name:(Ef_netsim.Pop.name world.Ef_netsim.Topo_gen.pop)
+              ())
+       else None);
+    estimator = Ef_traffic.Rate_est.create config.sflow;
+    snmp =
+      Ef_collector.Snmp.create
+        (Ef_netsim.Pop.interfaces world.Ef_netsim.Topo_gen.pop);
+    measurer =
+      (if config.measure_altpaths then
+         Some
+           (Ef_altpath.Measurer.create ~config:config.measurer_config
+              ~seed:(config.seed * 31) ())
+       else None);
+    metrics = Metrics.create ();
+    rng = Rng.create (config.seed * 131);
+    now = config.start_s;
+    last_state = None;
+    saved_routes = Hashtbl.create 8;
+    peers_down = [];
+  }
+
+let config t = t.config
+let world t = t.world
+let metrics t = t.metrics
+let demand t = t.demand
+let latency t = t.latency
+let measurer t = t.measurer
+let controller t = t.controller
+let now_s t = t.now
+let last_state t = t.last_state
+
+(* apply scheduled session outages/recoveries for the window ending now *)
+let apply_peer_events t ~time_s =
+  let pop = t.world.Ef_netsim.Topo_gen.pop in
+  List.iter
+    (fun ev ->
+      let pid = ev.event_peer_id in
+      let is_down = List.mem pid t.peers_down in
+      if (not is_down) && time_s >= ev.down_at_s && time_s < ev.up_at_s then begin
+        (* capture the table once, then flush like a session loss *)
+        if not (Hashtbl.mem t.saved_routes pid) then
+          Hashtbl.replace t.saved_routes pid
+            (Bgp.Rib.adj_rib_in (Ef_netsim.Pop.rib pop) ~peer_id:pid);
+        ignore (Ef_netsim.Pop.drop_peer pop ~peer_id:pid);
+        t.peers_down <- pid :: t.peers_down
+      end
+      else if is_down && time_s >= ev.up_at_s then begin
+        List.iter
+          (fun (prefix, attrs) ->
+            ignore (Ef_netsim.Pop.announce pop ~peer_id:pid prefix attrs))
+          (Option.value (Hashtbl.find_opt t.saved_routes pid) ~default:[]);
+        t.peers_down <- List.filter (fun id -> id <> pid) t.peers_down
+      end)
+    t.config.peer_events
+
+let rate_floor = 1_000.0 (* ignore demand under 1 kbps *)
+
+let true_rates t ~time_s =
+  List.filter_map
+    (fun prefix ->
+      let rate = Ef_traffic.Demand.rate_bps t.demand prefix ~time_s in
+      if rate > rate_floor then Some (prefix, rate) else None)
+    t.world.Ef_netsim.Topo_gen.all_prefixes
+
+let estimated_rates t ~truth =
+  if not t.config.use_sampling then truth
+  else begin
+    let samples =
+      List.map
+        (fun (prefix, rate) ->
+          Ef_traffic.Sflow.sample_rate t.config.sflow t.rng ~prefix
+            ~rate_bps:rate)
+        truth
+    in
+    Ef_traffic.Rate_est.observe t.estimator samples;
+    Ef_traffic.Rate_est.tick_absent t.estimator;
+    Ef_traffic.Rate_est.drop_below t.estimator (rate_floor /. 10.0);
+    Ef_traffic.Rate_est.snapshot t.estimator
+    |> List.filter (fun (_, r) -> r > rate_floor)
+  end
+
+let snapshot_of_rates t rates ~time_s =
+  Snapshot.of_pop t.world.Ef_netsim.Topo_gen.pop ~prefix_rates:rates ~time_s
+
+let snapshot_now t =
+  let truth = true_rates t ~time_s:t.now in
+  snapshot_of_rates t (estimated_rates t ~truth) ~time_s:t.now
+
+let iface_stats t ~actual ~preferred =
+  List.map
+    (fun iface ->
+      let id = Ef_netsim.Iface.id iface in
+      {
+        Metrics.u_iface_id = id;
+        capacity_bps = Ef_netsim.Iface.capacity_bps iface;
+        actual_bps = Ef.Projection.load_bps actual ~iface_id:id;
+        preferred_bps = Ef.Projection.load_bps preferred ~iface_id:id;
+      })
+    (Ef_netsim.Pop.interfaces t.world.Ef_netsim.Topo_gen.pop)
+
+let dropped_bps proj ifaces =
+  List.fold_left
+    (fun acc iface ->
+      let load =
+        Ef.Projection.load_bps proj ~iface_id:(Ef_netsim.Iface.id iface)
+      in
+      acc +. Float.max 0.0 (load -. Ef_netsim.Iface.capacity_bps iface))
+    0.0 ifaces
+
+(* traffic-weighted mean RTT of a placement, with congestion *)
+let weighted_rtt t proj =
+  let util_of iface_id =
+    match
+      List.find_opt
+        (fun i -> Ef_netsim.Iface.id i = iface_id)
+        (Ef_netsim.Pop.interfaces t.world.Ef_netsim.Topo_gen.pop)
+    with
+    | None -> 0.0
+    | Some iface -> Ef.Projection.utilization proj iface
+  in
+  let total, weighted =
+    List.fold_left
+      (fun (total, weighted) pl ->
+        let rtt =
+          Ef_netsim.Latency.rtt_ms t.latency pl.Ef.Projection.placed_prefix
+            pl.Ef.Projection.route
+            ~utilization:(util_of pl.Ef.Projection.iface_id)
+        in
+        ( total +. pl.Ef.Projection.rate_bps,
+          weighted +. (pl.Ef.Projection.rate_bps *. rtt) ))
+      (0.0, 0.0) (Ef.Projection.placements proj)
+  in
+  if total <= 0.0 then 0.0 else weighted /. total
+
+let detour_levels active_overrides actual =
+  let level_of = Ef.Override.level_of active_overrides in
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun pl ->
+      if pl.Ef.Projection.overridden then
+        match level_of pl.Ef.Projection.placed_prefix with
+        | None -> ()
+        | Some level ->
+            let prev = Option.value (Hashtbl.find_opt tbl level) ~default:0.0 in
+            Hashtbl.replace tbl level (prev +. pl.Ef.Projection.rate_bps))
+    (Ef.Projection.placements actual);
+  Hashtbl.fold (fun level bps acc -> (level, bps) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let step t =
+  let time_s = t.now in
+  apply_peer_events t ~time_s;
+  let truth = true_rates t ~time_s in
+  let est = estimated_rates t ~truth in
+  let ctl_snapshot = snapshot_of_rates t est ~time_s in
+
+  (* controller round *)
+  let active, added, removed, residual =
+    match t.controller with
+    | None -> ([], 0, 0, 0)
+    | Some ctrl ->
+        let stats = Ef.Controller.cycle ctrl ctl_snapshot in
+        Metrics.record_removals t.metrics
+          (List.map
+             (fun (o, age) ->
+               {
+                 Metrics.removed_prefix = o.Ef.Override.prefix;
+                 lifetime_s = age;
+               })
+             stats.Ef.Controller.reconcile.Ef.Hysteresis.removed);
+        ( stats.Ef.Controller.reconcile.Ef.Hysteresis.active,
+          List.length stats.Ef.Controller.reconcile.Ef.Hysteresis.added,
+          List.length stats.Ef.Controller.reconcile.Ef.Hysteresis.removed,
+          List.length stats.Ef.Controller.allocator.Ef.Allocator.residual )
+  in
+
+  (* performance-aware stage (§7): steer measured-faster prefixes, but
+     never fight a capacity override and never breach the capacity guard *)
+  let perf_overrides =
+    match (t.config.perf_aware, t.measurer) with
+    | true, Some m ->
+        let capacity_placement =
+          Ef.Projection.project ~overrides:(Ef.Override.lookup active)
+            ctl_snapshot
+        in
+        let capacity_prefixes =
+          List.fold_left
+            (fun acc (o : Ef.Override.t) ->
+              Bgp.Ptrie.add o.Ef.Override.prefix () acc)
+            Bgp.Ptrie.empty active
+        in
+        Ef_altpath.Perf_policy.suggest ~config:t.config.perf_config
+          (Ef_altpath.Measurer.store m) ctl_snapshot
+          ~projection:capacity_placement
+        |> List.filter (fun (s : Ef_altpath.Perf_policy.suggestion) ->
+               not (Bgp.Ptrie.mem s.Ef_altpath.Perf_policy.sug_prefix capacity_prefixes))
+        |> Ef_altpath.Perf_policy.to_overrides ~snapshot:ctl_snapshot
+             ~projection:capacity_placement
+    | _ -> []
+  in
+  let active = active @ perf_overrides in
+
+  (* ground truth placement under the enforced overrides *)
+  let true_snapshot = snapshot_of_rates t truth ~time_s in
+  let actual =
+    Ef.Projection.project ~overrides:(Ef.Override.lookup active) true_snapshot
+  in
+  let preferred = Ef.Projection.project true_snapshot in
+  let ifaces = Ef_netsim.Pop.interfaces t.world.Ef_netsim.Topo_gen.pop in
+
+  (* SNMP counters see the actual egress volumes *)
+  List.iter
+    (fun iface ->
+      let id = Ef_netsim.Iface.id iface in
+      Ef_collector.Snmp.account_rate t.snmp ~iface_id:id
+        ~rate_bps:(Ef.Projection.load_bps actual ~iface_id:id)
+        ~interval_s:(float_of_int t.config.cycle_s))
+    ifaces;
+  ignore (Ef_collector.Snmp.poll t.snmp ~interval_s:(float_of_int t.config.cycle_s));
+
+  (* alternate-path measurement sees post-placement congestion *)
+  (match t.measurer with
+  | None -> ()
+  | Some m ->
+      let util_of iface_id =
+        match List.find_opt (fun i -> Ef_netsim.Iface.id i = iface_id) ifaces with
+        | None -> 0.0
+        | Some iface -> Ef.Projection.utilization actual iface
+      in
+      ignore
+        (Ef_altpath.Measurer.cycle m true_snapshot ~latency:t.latency
+           ~utilization:util_of));
+
+  let row =
+    {
+      Metrics.row_time_s = time_s;
+      offered_bps = List.fold_left (fun acc (_, r) -> acc +. r) 0.0 truth;
+      detoured_bps = Ef.Projection.overridden_bps actual;
+      overrides_active = List.length active;
+      overrides_added = added;
+      overrides_removed = removed;
+      ifaces = iface_stats t ~actual ~preferred;
+      dropped_bps = dropped_bps actual ifaces;
+      dropped_preferred_bps = dropped_bps preferred ifaces;
+      weighted_rtt_ms = weighted_rtt t actual;
+      weighted_rtt_preferred_ms = weighted_rtt t preferred;
+      residual_overloads = residual;
+      detour_levels = detour_levels active actual;
+      perf_overrides_active = List.length perf_overrides;
+    }
+  in
+  Metrics.record t.metrics row;
+  t.last_state <- Some { actual; preferred; active_overrides = active };
+  t.now <- t.now + t.config.cycle_s;
+  row
+
+let run t =
+  let steps = t.config.duration_s / t.config.cycle_s in
+  for _ = 1 to steps do
+    ignore (step t)
+  done;
+  t.metrics

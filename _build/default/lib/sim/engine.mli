@@ -1,0 +1,83 @@
+(** The time-stepped simulation engine.
+
+    Advances a PoP through a simulated day in controller-cycle steps. Each
+    step: synthesize demand → (optionally) sample it through the sFlow
+    pipeline → assemble the controller snapshot → run the controller →
+    place the {e true} demand according to the enforced overrides → record
+    utilizations, drops, RTTs and churn into {!Metrics}.
+
+    The controller only ever sees estimated rates; ground truth is used
+    exclusively for the recorded outcomes — the same separation the real
+    deployment has between its feeds and reality. *)
+
+type peer_event = {
+  event_peer_id : int;
+  down_at_s : int;
+  up_at_s : int;   (** must be > [down_at_s]; the session re-announces its
+                       full table when it returns *)
+}
+(** A scheduled neighbor-session outage (failure injection): at
+    [down_at_s] the peer's routes are flushed exactly as a session loss
+    does; at [up_at_s] the session returns and re-announces. Overrides
+    targeting the dead peer become stale and fall back safely — the
+    machinery this exists to exercise. *)
+
+type config = {
+  cycle_s : int;               (** controller period (paper: 30 s) *)
+  duration_s : int;
+  start_s : int;               (** simulated time of day at the first cycle *)
+  controller_enabled : bool;
+  controller_config : Edge_fabric.Config.t;
+  use_sampling : bool;         (** false = controller sees true rates *)
+  sflow : Ef_traffic.Sflow.config;
+  measure_altpaths : bool;
+  measurer_config : Ef_altpath.Measurer.config;
+  perf_aware : bool;
+      (** use alternate-path measurements to steer prefixes to faster
+          routes (the paper's §7 extension); requires
+          [measure_altpaths]. Capacity overrides always win conflicts. *)
+  perf_config : Ef_altpath.Perf_policy.config;
+  seed : int;
+  events : Ef_traffic.Demand.event list;
+  peer_events : peer_event list;
+}
+
+val default_config : config
+(** One simulated day at 30 s cycles, controller on, sampling on,
+    alternate-path measurement off. *)
+
+type t
+
+val create : ?config:config -> Ef_netsim.Scenario.t -> t
+val config : t -> config
+val world : t -> Ef_netsim.Topo_gen.world
+val metrics : t -> Metrics.t
+val demand : t -> Ef_traffic.Demand.t
+val latency : t -> Ef_netsim.Latency.t
+val measurer : t -> Ef_altpath.Measurer.t option
+val controller : t -> Edge_fabric.Controller.t option
+val now_s : t -> int
+
+val step : t -> Metrics.cycle_row
+(** Run one cycle and advance time. *)
+
+val run : t -> Metrics.t
+(** Step until [duration_s] is exhausted; returns the metrics (also
+    available via {!metrics}). *)
+
+val true_rates : t -> time_s:int -> (Ef_bgp.Prefix.t * float) list
+(** Ground-truth demand at an instant (nonzero prefixes only). *)
+
+val snapshot_now : t -> Ef_collector.Snapshot.t
+(** The controller-view snapshot for the current time (estimated rates if
+    sampling is on). *)
+
+type placement_state = {
+  actual : Edge_fabric.Projection.t;     (** true demand, enforced overrides *)
+  preferred : Edge_fabric.Projection.t;  (** true demand, BGP-only *)
+  active_overrides : Edge_fabric.Override.t list;
+}
+
+val last_state : t -> placement_state option
+(** The ground-truth placements of the most recent {!step} — what the
+    per-prefix experiment drivers (detour RTT impact, E9) dissect. *)

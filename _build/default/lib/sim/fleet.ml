@@ -1,0 +1,112 @@
+module Scenario = Ef_netsim.Scenario
+
+type t = {
+  engines : (string * Engine.t) list;
+}
+
+let create ?(config = Engine.default_config) scenarios =
+  {
+    engines =
+      List.map
+        (fun s -> (s.Scenario.scenario_name, Engine.create ~config s))
+        scenarios;
+  }
+
+let of_paper_pops ?config () = create ?config Scenario.paper_pops
+let engines t = t.engines
+
+let run t =
+  List.map (fun (name, engine) -> (name, Engine.run engine)) t.engines
+
+let overloaded_count metrics mode =
+  List.length
+    (List.filter (fun (_, u) -> u > 1.0) (Metrics.peak_utilization metrics mode))
+
+type summary = {
+  pops : int;
+  offered_peak_bps : float;
+  mean_detour_fraction : float;
+  overloaded_ifaces : int;
+  overloaded_ifaces_bgp_only : int;
+  total_overrides_installed : int;
+}
+
+let peak_offered metrics =
+  List.fold_left
+    (fun acc row -> Float.max acc row.Metrics.offered_bps)
+    0.0 (Metrics.rows metrics)
+
+let mean_offered metrics =
+  match Metrics.rows metrics with
+  | [] -> 0.0
+  | rows ->
+      List.fold_left (fun acc r -> acc +. r.Metrics.offered_bps) 0.0 rows
+      /. float_of_int (List.length rows)
+
+let installed metrics =
+  List.fold_left
+    (fun acc r -> acc + r.Metrics.overrides_added)
+    0 (Metrics.rows metrics)
+
+let summarize results =
+  let total_mean_offered =
+    List.fold_left (fun acc (_, m) -> acc +. mean_offered m) 0.0 results
+  in
+  {
+    pops = List.length results;
+    offered_peak_bps =
+      List.fold_left (fun acc (_, m) -> acc +. peak_offered m) 0.0 results;
+    mean_detour_fraction =
+      (if total_mean_offered <= 0.0 then 0.0
+       else
+         List.fold_left
+           (fun acc (_, m) ->
+             acc +. (Metrics.mean_detour_fraction m *. mean_offered m))
+           0.0 results
+         /. total_mean_offered);
+    overloaded_ifaces =
+      List.fold_left (fun acc (_, m) -> acc + overloaded_count m `Actual) 0 results;
+    overloaded_ifaces_bgp_only =
+      List.fold_left
+        (fun acc (_, m) -> acc + overloaded_count m `Preferred)
+        0 results;
+    total_overrides_installed =
+      List.fold_left (fun acc (_, m) -> acc + installed m) 0 results;
+  }
+
+let summary_table results =
+  let table =
+    Ef_stats.Table.create
+      [
+        "pop";
+        "peak offered";
+        "mean detoured";
+        "ifaces>100%";
+        "ifaces>100% (BGP-only)";
+        "overrides installed";
+      ]
+  in
+  List.iter
+    (fun (name, m) ->
+      Ef_stats.Table.add_row table
+        [
+          name;
+          Ef_util.Units.rate_to_string (peak_offered m);
+          Format.asprintf "%a" Ef_util.Units.pp_percent
+            (Metrics.mean_detour_fraction m);
+          string_of_int (overloaded_count m `Actual);
+          string_of_int (overloaded_count m `Preferred);
+          string_of_int (installed m);
+        ])
+    results;
+  let s = summarize results in
+  Ef_stats.Table.add_row table
+    [
+      "FLEET";
+      Ef_util.Units.rate_to_string s.offered_peak_bps;
+      Format.asprintf "%a" Ef_util.Units.pp_percent s.mean_detour_fraction;
+      string_of_int s.overloaded_ifaces;
+      string_of_int s.overloaded_ifaces_bgp_only;
+      string_of_int s.total_overrides_installed;
+    ];
+  table

@@ -1,0 +1,33 @@
+(** Fleet view: every PoP's controller, side by side.
+
+    Edge Fabric runs one controller per PoP with no cross-PoP
+    coordination (that independence is a design point of the paper); the
+    fleet layer exists for what the operators' dashboards do — running
+    all the PoPs over the same simulated day and aggregating outcomes. *)
+
+type t
+
+val create : ?config:Engine.config -> Ef_netsim.Scenario.t list -> t
+(** One engine per scenario, sharing the engine configuration (each world
+    still derives from its own scenario seed). *)
+
+val of_paper_pops : ?config:Engine.config -> unit -> t
+
+val engines : t -> (string * Engine.t) list
+
+val run : t -> (string * Metrics.t) list
+(** Run every PoP to completion (a PoP's day is independent of the
+    others', so order does not matter). *)
+
+type summary = {
+  pops : int;
+  offered_peak_bps : float;    (** sum of per-PoP peak offered traffic *)
+  mean_detour_fraction : float; (** traffic-weighted across PoPs *)
+  overloaded_ifaces : int;     (** interfaces that ever exceeded capacity *)
+  overloaded_ifaces_bgp_only : int; (** same, had BGP alone decided *)
+  total_overrides_installed : int;
+}
+
+val summarize : (string * Metrics.t) list -> summary
+val summary_table : (string * Metrics.t) list -> Ef_stats.Table.t
+(** Per-PoP rows plus a fleet totals row. *)

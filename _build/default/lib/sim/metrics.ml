@@ -1,0 +1,108 @@
+type iface_util = {
+  u_iface_id : int;
+  capacity_bps : float;
+  actual_bps : float;
+  preferred_bps : float;
+}
+
+type cycle_row = {
+  row_time_s : int;
+  offered_bps : float;
+  detoured_bps : float;
+  overrides_active : int;
+  overrides_added : int;
+  overrides_removed : int;
+  ifaces : iface_util list;
+  dropped_bps : float;
+  dropped_preferred_bps : float;
+  weighted_rtt_ms : float;
+  weighted_rtt_preferred_ms : float;
+  residual_overloads : int;
+  detour_levels : (int * float) list;
+  perf_overrides_active : int;
+}
+
+type removal = { removed_prefix : Ef_bgp.Prefix.t; lifetime_s : int }
+
+type t = {
+  mutable rows : cycle_row list; (* reversed *)
+  mutable removals : removal list;
+}
+
+let create () = { rows = []; removals = [] }
+let record t row = t.rows <- row :: t.rows
+let record_removals t rs = t.removals <- rs @ t.removals
+let rows t = List.rev t.rows
+let removals t = List.rev t.removals
+let cycle_count t = List.length t.rows
+
+let pick_bps mode u =
+  match mode with
+  | `Actual -> u.actual_bps
+  | `Preferred -> u.preferred_bps
+
+let peak_utilization t mode =
+  let peaks = Hashtbl.create 32 in
+  List.iter
+    (fun row ->
+      List.iter
+        (fun u ->
+          let util = pick_bps mode u /. u.capacity_bps in
+          let prev = Option.value (Hashtbl.find_opt peaks u.u_iface_id) ~default:0.0 in
+          if util > prev then Hashtbl.replace peaks u.u_iface_id util)
+        row.ifaces)
+    t.rows;
+  Hashtbl.fold (fun id u acc -> (id, u) :: acc) peaks []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let overloaded_iface_fraction t mode ~threshold =
+  match peak_utilization t mode with
+  | [] -> 0.0
+  | peaks ->
+      let over = List.length (List.filter (fun (_, u) -> u > threshold) peaks) in
+      float_of_int over /. float_of_int (List.length peaks)
+
+let total_dropped t mode =
+  List.fold_left
+    (fun acc row ->
+      acc
+      +.
+      match mode with
+      | `Actual -> row.dropped_bps
+      | `Preferred -> row.dropped_preferred_bps)
+    0.0 t.rows
+
+let detour_fraction_series t =
+  List.map
+    (fun row ->
+      ( row.row_time_s,
+        if row.offered_bps <= 0.0 then 0.0 else row.detoured_bps /. row.offered_bps ))
+    (rows t)
+
+let mean_detour_fraction t =
+  match detour_fraction_series t with
+  | [] -> 0.0
+  | series ->
+      List.fold_left (fun acc (_, f) -> acc +. f) 0.0 series
+      /. float_of_int (List.length series)
+
+let detour_level_shares t =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun row ->
+      List.iter
+        (fun (level, bps) ->
+          let prev = Option.value (Hashtbl.find_opt tbl level) ~default:0.0 in
+          Hashtbl.replace tbl level (prev +. bps))
+        row.detour_levels)
+    t.rows;
+  let total = Hashtbl.fold (fun _ v acc -> acc +. v) tbl 0.0 in
+  if total <= 0.0 then []
+  else
+    Hashtbl.fold (fun level v acc -> (level, v /. total) :: acc) tbl []
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let lifetime_cdf t =
+  match t.removals with
+  | [] -> None
+  | rs -> Some (Ef_stats.Cdf.of_samples (List.map (fun r -> float_of_int r.lifetime_s) rs))

@@ -1,0 +1,68 @@
+(** Simulation metrics: one row per controller cycle, plus event logs.
+
+    Everything the experiment drivers need to regenerate the paper's
+    figures is recorded here — actual and would-be-BGP-only interface
+    utilizations, detour volumes, override churn events with lifetimes,
+    and traffic-weighted RTTs. *)
+
+type iface_util = {
+  u_iface_id : int;
+  capacity_bps : float;
+  actual_bps : float;      (** with the controller's placement *)
+  preferred_bps : float;   (** BGP-only placement of the same demand *)
+}
+
+type cycle_row = {
+  row_time_s : int;
+  offered_bps : float;
+  detoured_bps : float;
+  overrides_active : int;
+  overrides_added : int;
+  overrides_removed : int;
+  ifaces : iface_util list;
+  dropped_bps : float;           (** demand above capacity, actual placement *)
+  dropped_preferred_bps : float; (** same, had BGP alone decided *)
+  weighted_rtt_ms : float;       (** traffic-weighted RTT, actual placement *)
+  weighted_rtt_preferred_ms : float;
+  residual_overloads : int;      (** interfaces the allocator could not relieve *)
+  detour_levels : (int * float) list;
+      (** (preference level of detour target, bps steered there) *)
+  perf_overrides_active : int;
+      (** performance-motivated overrides enforced this cycle (§7) *)
+}
+
+type removal = { removed_prefix : Ef_bgp.Prefix.t; lifetime_s : int }
+
+type t
+
+val create : unit -> t
+val record : t -> cycle_row -> unit
+val record_removals : t -> removal list -> unit
+
+val rows : t -> cycle_row list
+(** Chronological. *)
+
+val removals : t -> removal list
+val cycle_count : t -> int
+
+val peak_utilization : t -> [ `Actual | `Preferred ] -> (int * float) list
+(** Per interface id: the day's maximum utilization under the chosen
+    placement. *)
+
+val overloaded_iface_fraction : t -> [ `Actual | `Preferred ] -> threshold:float -> float
+(** Fraction of interfaces whose peak exceeds [threshold]. *)
+
+val total_dropped : t -> [ `Actual | `Preferred ] -> float
+(** Sum over cycles of demand that exceeded capacity (bps·cycles). *)
+
+val detour_fraction_series : t -> (int * float) list
+(** (time, detoured/offered) per cycle. *)
+
+val mean_detour_fraction : t -> float
+
+val detour_level_shares : t -> (int * float) list
+(** Across the run: share of detoured volume landing on each preference
+    level (1 = 2nd choice, …). Sums to 1 when any detours happened. *)
+
+val lifetime_cdf : t -> Ef_stats.Cdf.t option
+(** CDF of override lifetimes (None if nothing was ever removed). *)

@@ -1,0 +1,1 @@
+lib/stats/cdf.ml: Array Float Format List Stdlib

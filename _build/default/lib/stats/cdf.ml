@@ -1,0 +1,59 @@
+type t = { sorted : float array }
+
+let of_array arr =
+  if Array.length arr = 0 then invalid_arg "Cdf.of_array: empty";
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  { sorted }
+
+let of_samples l = of_array (Array.of_list l)
+
+let count t = Array.length t.sorted
+let min t = t.sorted.(0)
+let max t = t.sorted.(Array.length t.sorted - 1)
+
+let quantile t q =
+  if q < 0.0 || q > 1.0 then invalid_arg "Cdf.quantile: q out of [0,1]";
+  let n = Array.length t.sorted in
+  if n = 1 then t.sorted.(0)
+  else begin
+    let pos = q *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor pos) in
+    let hi = Stdlib.min (lo + 1) (n - 1) in
+    let frac = pos -. float_of_int lo in
+    t.sorted.(lo) +. (frac *. (t.sorted.(hi) -. t.sorted.(lo)))
+  end
+
+let median t = quantile t 0.5
+
+let fraction_below t x =
+  (* count of samples <= x, via binary search for upper bound *)
+  let n = Array.length t.sorted in
+  let rec search lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if t.sorted.(mid) <= x then search (mid + 1) hi else search lo mid
+  in
+  float_of_int (search 0 n) /. float_of_int n
+
+let fraction_at_least t x =
+  let n = Array.length t.sorted in
+  let rec search lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if t.sorted.(mid) < x then search (mid + 1) hi else search lo mid
+  in
+  float_of_int (n - search 0 n) /. float_of_int n
+
+let series t ~points =
+  if points < 2 then invalid_arg "Cdf.series: need at least 2 points";
+  List.init points (fun i ->
+      let q = float_of_int i /. float_of_int (points - 1) in
+      (quantile t q, q))
+
+let pp_series ?(points = 20) fmt t =
+  List.iter
+    (fun (x, q) -> Format.fprintf fmt "%12.4f  %6.3f@." x q)
+    (series t ~points)

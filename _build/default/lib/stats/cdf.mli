@@ -1,0 +1,35 @@
+(** Empirical cumulative distribution functions.
+
+    Every "CDF over interfaces/prefixes/overrides" figure in the paper is
+    regenerated from one of these: collect samples, then query fractions or
+    print evenly-spaced series rows. *)
+
+type t
+
+val of_samples : float list -> t
+(** Build from raw samples. Raises [Invalid_argument] on the empty list. *)
+
+val of_array : float array -> t
+(** Build from raw samples (the array is copied before sorting). *)
+
+val count : t -> int
+val min : t -> float
+val max : t -> float
+
+val quantile : t -> float -> float
+(** [quantile t q] with [0 <= q <= 1]: linear interpolation between order
+    statistics (type-7, the common default). *)
+
+val median : t -> float
+
+val fraction_below : t -> float -> float
+(** [fraction_below t x] is the empirical P(sample <= x). *)
+
+val fraction_at_least : t -> float -> float
+
+val series : t -> points:int -> (float * float) list
+(** [series t ~points] returns [(x, P(sample <= x))] rows at [points]
+    evenly spaced quantiles — ready to print or plot. *)
+
+val pp_series : ?points:int -> Format.formatter -> t -> unit
+(** Print the series one row per line as ["x\tP"]. Default 20 points. *)

@@ -1,0 +1,71 @@
+type t = {
+  edges : float array; (* length n+1, strictly increasing *)
+  weights : float array; (* length n *)
+  mutable underflow : float;
+  mutable overflow : float;
+  mutable count : int;
+}
+
+let create_edges edges =
+  let n = Array.length edges - 1 in
+  if n < 1 then invalid_arg "Histogram.create_edges: need >= 2 edges";
+  for i = 0 to n - 1 do
+    if edges.(i) >= edges.(i + 1) then
+      invalid_arg "Histogram.create_edges: edges must increase strictly"
+  done;
+  {
+    edges = Array.copy edges;
+    weights = Array.make n 0.0;
+    underflow = 0.0;
+    overflow = 0.0;
+    count = 0;
+  }
+
+let create ~lo ~hi ~buckets =
+  if buckets < 1 then invalid_arg "Histogram.create: buckets must be >= 1";
+  if lo >= hi then invalid_arg "Histogram.create: lo must be < hi";
+  let width = (hi -. lo) /. float_of_int buckets in
+  create_edges
+    (Array.init (buckets + 1) (fun i -> lo +. (float_of_int i *. width)))
+
+let observe_weighted t x w =
+  t.count <- t.count + 1;
+  let n = Array.length t.weights in
+  if x < t.edges.(0) then t.underflow <- t.underflow +. w
+  else if x >= t.edges.(n) then t.overflow <- t.overflow +. w
+  else begin
+    (* binary search: last edge <= x *)
+    let rec search lo hi =
+      if lo >= hi then lo
+      else
+        let mid = (lo + hi + 1) / 2 in
+        if t.edges.(mid) <= x then search mid hi else search lo (mid - 1)
+    in
+    let i = search 0 (n - 1) in
+    t.weights.(i) <- t.weights.(i) +. w
+  end
+
+let observe t x = observe_weighted t x 1.0
+
+let count t = t.count
+
+let total_weight t =
+  Array.fold_left ( +. ) (t.underflow +. t.overflow) t.weights
+
+let underflow t = t.underflow
+let overflow t = t.overflow
+
+let buckets t =
+  List.init (Array.length t.weights) (fun i ->
+      (t.edges.(i), t.edges.(i + 1), t.weights.(i)))
+
+let fraction_in t i =
+  if i < 0 || i >= Array.length t.weights then
+    invalid_arg "Histogram.fraction_in: bucket index out of range";
+  let total = total_weight t in
+  if total = 0.0 then 0.0 else t.weights.(i) /. total
+
+let pp fmt t =
+  List.iter
+    (fun (lo, hi, w) -> Format.fprintf fmt "[%g, %g): %g@." lo hi w)
+    (buckets t)

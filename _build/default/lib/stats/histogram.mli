@@ -1,0 +1,33 @@
+(** Fixed-bucket histograms.
+
+    Used for "how long do overrides last" / "how many routes per prefix"
+    style counts where the bucket structure is known up front. *)
+
+type t
+
+val create : lo:float -> hi:float -> buckets:int -> t
+(** Evenly spaced buckets over [\[lo, hi)]; samples outside the range land
+    in saturating under/overflow buckets. *)
+
+val create_edges : float array -> t
+(** Custom (strictly increasing) bucket edges. [n+1] edges make [n]
+    buckets. *)
+
+val observe : t -> float -> unit
+val observe_weighted : t -> float -> float -> unit
+(** [observe_weighted t x w] adds weight [w] at value [x] (e.g. traffic
+    volume rather than a count). *)
+
+val count : t -> int
+val total_weight : t -> float
+val underflow : t -> float
+val overflow : t -> float
+
+val buckets : t -> (float * float * float) list
+(** [(lo, hi, weight)] per bucket, in order. *)
+
+val fraction_in : t -> int -> float
+(** Fraction of total weight in bucket [i] (0-based, in-range buckets
+    only). *)
+
+val pp : Format.formatter -> t -> unit

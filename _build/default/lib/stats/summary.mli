@@ -1,0 +1,28 @@
+(** Streaming numeric summaries (Welford's online algorithm).
+
+    Used by the metrics recorder: cheap to update every simulation cycle,
+    no sample retention needed for mean/stddev/min/max. *)
+
+type t
+
+val create : unit -> t
+val observe : t -> float -> unit
+val count : t -> int
+val mean : t -> float
+(** Mean of the observations; [nan] when empty. *)
+
+val variance : t -> float
+(** Unbiased sample variance; [0.] with fewer than two observations. *)
+
+val stddev : t -> float
+val min : t -> float
+(** Minimum; [nan] when empty. *)
+
+val max : t -> float
+(** Maximum; [nan] when empty. *)
+
+val total : t -> float
+val merge : t -> t -> t
+(** Combine two summaries as if all observations had gone to one. *)
+
+val pp : Format.formatter -> t -> unit

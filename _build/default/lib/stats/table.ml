@@ -1,0 +1,59 @@
+type t = {
+  headers : string list;
+  mutable rows : string list list; (* reversed *)
+}
+
+let create headers = { headers; rows = [] }
+
+let add_row t row =
+  let width = List.length t.headers in
+  let len = List.length row in
+  if len > width then invalid_arg "Table.add_row: more cells than headers";
+  let padded =
+    if len = width then row else row @ List.init (width - len) (fun _ -> "")
+  in
+  t.rows <- padded :: t.rows
+
+let add_rowf t fmt =
+  Format.kasprintf (fun s -> add_row t (String.split_on_char '\t' s)) fmt
+
+let row_count t = List.length t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let all = t.headers :: rows in
+  let ncols = List.length t.headers in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i cell ->
+          if i < ncols then widths.(i) <- max widths.(i) (String.length cell))
+        row)
+    all;
+  let buf = Buffer.create 256 in
+  let emit_row row =
+    List.iteri
+      (fun i cell ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf cell;
+        if i < ncols - 1 then
+          Buffer.add_string buf (String.make (widths.(i) - String.length cell) ' '))
+      row;
+    Buffer.add_char buf '\n'
+  in
+  emit_row t.headers;
+  let rule_width =
+    Array.fold_left ( + ) 0 widths + (2 * (ncols - 1))
+  in
+  Buffer.add_string buf (String.make rule_width '-');
+  Buffer.add_char buf '\n';
+  List.iter emit_row rows;
+  Buffer.contents buf
+
+let print ?title t =
+  (match title with
+  | None -> ()
+  | Some s -> print_endline s);
+  print_string (render t);
+  print_newline ()

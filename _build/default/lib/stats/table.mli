@@ -1,0 +1,27 @@
+(** Plain-text table rendering for the benchmark harness.
+
+    The bench binary prints each reproduced paper table/figure as an
+    aligned text table; this keeps that presentation logic out of the
+    experiment drivers. *)
+
+type t
+
+val create : string list -> t
+(** [create headers] starts a table with the given column headers. *)
+
+val add_row : t -> string list -> unit
+(** Append a row. Rows shorter than the header are padded with [""];
+    longer rows raise [Invalid_argument]. *)
+
+val add_rowf : t -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** [add_rowf t fmt ...] formats a single string and splits it on ['\t']
+    into cells — convenient for numeric rows. *)
+
+val row_count : t -> int
+
+val render : t -> string
+(** Render with a header rule and right-padded columns. *)
+
+val print : ?title:string -> t -> unit
+(** [print ~title t] writes the optional title, the table and a trailing
+    newline to stdout. *)

@@ -1,0 +1,1 @@
+lib/traffic/demand.ml: Ef_bgp Ef_netsim Float Int64 List

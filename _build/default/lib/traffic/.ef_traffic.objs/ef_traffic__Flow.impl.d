@@ -1,0 +1,1 @@
+lib/traffic/flow.ml: Array Ef_bgp Ef_util Float Format List Rng

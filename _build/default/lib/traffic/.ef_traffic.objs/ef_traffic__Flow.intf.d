@@ -1,0 +1,1 @@
+lib/traffic/flow.mli: Ef_bgp Ef_util Format

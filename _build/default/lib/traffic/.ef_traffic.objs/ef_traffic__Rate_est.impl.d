@@ -1,0 +1,1 @@
+lib/traffic/rate_est.ml: Ef_bgp Ef_util Ewma Hashtbl List Sflow

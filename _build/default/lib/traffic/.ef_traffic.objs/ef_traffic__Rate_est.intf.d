@@ -1,0 +1,1 @@
+lib/traffic/rate_est.mli: Ef_bgp Sflow

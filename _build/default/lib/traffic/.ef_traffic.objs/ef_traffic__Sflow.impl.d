@@ -1,0 +1,1 @@
+lib/traffic/sflow.ml: Ef_bgp Ef_util Flow Hashtbl List Option Rng

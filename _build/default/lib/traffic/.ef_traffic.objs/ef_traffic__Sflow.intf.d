@@ -1,0 +1,1 @@
+lib/traffic/sflow.mli: Ef_bgp Ef_util Flow

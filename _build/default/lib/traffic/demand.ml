@@ -1,0 +1,71 @@
+module Bgp = Ef_bgp
+
+type event = {
+  event_prefix : Bgp.Prefix.t;
+  start_s : int;
+  duration_s : int;
+  multiplier : float;
+}
+
+type t = {
+  events : event list;
+  jitter_amplitude : float;
+  prefix_weight : Bgp.Prefix.t -> float;
+  origin_region : Bgp.Prefix.t -> Ef_netsim.Region.t;
+  total_peak_bps : float;
+  seed : int;
+}
+
+let create ?(events = []) ?(jitter_amplitude = 0.1) ~prefix_weight ~origin_region
+    ~total_peak_bps ~seed () =
+  { events; jitter_amplitude; prefix_weight; origin_region; total_peak_bps; seed }
+
+let diurnal_factor region ~time_s =
+  let offset = Ef_netsim.Region.utc_offset_hours region in
+  let local_h =
+    Float.rem
+      (float_of_int time_s /. 3600.0 +. float_of_int offset +. 48.0)
+      24.0
+  in
+  (* peak 1.0 at 21:00 local, trough 0.35 at 09:00 local *)
+  0.675 +. (0.325 *. cos (2.0 *. Float.pi *. (local_h -. 21.0) /. 24.0))
+
+(* stable hash -> [0,1) for (prefix, block, seed) *)
+let stable_unit t prefix block =
+  let h = (Bgp.Prefix.hash prefix * 7_368_787) lxor (block * 104_729) lxor t.seed in
+  let z = Int64.of_int h in
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  let z = Int64.(logxor z (shift_right_logical z 31)) in
+  Int64.to_float (Int64.shift_right_logical z 11) /. 9007199254740992.0
+
+let jitter_block_s = 300
+
+let jitter t prefix ~time_s =
+  let block = time_s / jitter_block_s in
+  1.0 +. (t.jitter_amplitude *. ((2.0 *. stable_unit t prefix block) -. 1.0))
+
+let event_multiplier t prefix ~time_s =
+  List.fold_left
+    (fun acc e ->
+      if
+        Bgp.Prefix.equal e.event_prefix prefix
+        && time_s >= e.start_s
+        && time_s < e.start_s + e.duration_s
+      then acc *. e.multiplier
+      else acc)
+    1.0 t.events
+
+let rate_bps t prefix ~time_s =
+  let w = t.prefix_weight prefix in
+  if w <= 0.0 then 0.0
+  else
+    w *. t.total_peak_bps
+    *. diurnal_factor (t.origin_region prefix) ~time_s
+    *. jitter t prefix ~time_s
+    *. event_multiplier t prefix ~time_s
+
+let total_rate_bps t ~prefixes ~time_s =
+  List.fold_left (fun acc p -> acc +. rate_bps t p ~time_s) 0.0 prefixes
+
+let events t = t.events

@@ -1,0 +1,40 @@
+(** Offered traffic per prefix over a simulated day.
+
+    rate(p, t) = weight(p) · PoP peak · diurnal(t, region(p)) · jitter(p, t)
+    (+ any active flash-crowd events). The diurnal curve peaks at ~21:00
+    in the prefix's local time and bottoms out around 35 % of peak — the
+    standard eyeball-traffic shape; regional phase differences are what
+    make distant-origin prefixes off-peak while local ones peak. Jitter is
+    piecewise-constant over 5-minute blocks and deterministic, so a rerun
+    of the same scenario sees identical demand. *)
+
+type event = {
+  event_prefix : Ef_bgp.Prefix.t;
+  start_s : int;
+  duration_s : int;
+  multiplier : float;  (** e.g. 3.0 = a 3× flash crowd on that prefix *)
+}
+
+type t
+
+val create :
+  ?events:event list ->
+  ?jitter_amplitude:float ->
+  prefix_weight:(Ef_bgp.Prefix.t -> float) ->
+  origin_region:(Ef_bgp.Prefix.t -> Ef_netsim.Region.t) ->
+  total_peak_bps:float ->
+  seed:int ->
+  unit ->
+  t
+(** [jitter_amplitude] defaults to 0.1 (±10 %). *)
+
+val rate_bps : t -> Ef_bgp.Prefix.t -> time_s:int -> float
+(** Offered rate of one prefix at one instant. *)
+
+val total_rate_bps : t -> prefixes:Ef_bgp.Prefix.t list -> time_s:int -> float
+
+val diurnal_factor : Ef_netsim.Region.t -> time_s:int -> float
+(** The raw diurnal multiplier in [0.35, 1.0] (no jitter, no events);
+    exposed for tests and capacity planning. *)
+
+val events : t -> event list

@@ -1,0 +1,46 @@
+module Bgp = Ef_bgp
+open Ef_util
+
+type t = {
+  client : Bgp.Ipv4.t;
+  dst_prefix : Bgp.Prefix.t;
+  bytes : int;
+  packets : int;
+}
+
+let pp fmt f =
+  Format.fprintf fmt "flow{%a in %a, %dB/%dpkt}" Bgp.Ipv4.pp f.client
+    Bgp.Prefix.pp f.dst_prefix f.bytes f.packets
+
+let avg_packet_bytes = 1000
+
+let client_addr rng prefix =
+  let span = Bgp.Prefix.size prefix in
+  let offset =
+    if span <= 1.0 then 0 else Rng.int rng (min (int_of_float span) (1 lsl 20))
+  in
+  Bgp.Ipv4.add (Bgp.Prefix.network prefix) offset
+
+let generate rng ~prefix ~rate_bps ~interval_s ~max_flows =
+  let total_bytes = rate_bps *. interval_s /. 8.0 in
+  if total_bytes < 1.0 then []
+  else begin
+    (* target ~64 KB mean flow size, capped flow count *)
+    let target_flows =
+      int_of_float (Float.ceil (total_bytes /. 65536.0))
+      |> min max_flows |> max 1
+    in
+    (* Pareto weights, then scale so bytes sum exactly *)
+    let raw =
+      Array.init target_flows (fun _ -> Rng.pareto rng ~alpha:1.2 ~xmin:1.0)
+    in
+    let sum = Array.fold_left ( +. ) 0.0 raw in
+    Array.to_list raw
+    |> List.map (fun w ->
+           let bytes = int_of_float (total_bytes *. w /. sum) |> max 1 in
+           let packets = max 1 ((bytes + avg_packet_bytes - 1) / avg_packet_bytes) in
+           { client = client_addr rng prefix; dst_prefix = prefix; bytes; packets })
+  end
+
+let total_bytes flows = List.fold_left (fun acc f -> acc + f.bytes) 0 flows
+let total_packets flows = List.fold_left (fun acc f -> acc + f.packets) 0 flows

@@ -1,0 +1,34 @@
+(** Flow records: the unit the samplers observe.
+
+    The simulator mostly works with aggregate rates, but the sampling
+    pipeline is validated against an explicit flow level: a prefix's
+    offered rate is decomposed into flows with heavy-tailed sizes, packets
+    are drawn from flows, and the sFlow estimator is checked against the
+    ground truth it was generated from. *)
+
+type t = {
+  client : Ef_bgp.Ipv4.t;     (** an address inside the client prefix *)
+  dst_prefix : Ef_bgp.Prefix.t; (** the client prefix (egress aggregation key) *)
+  bytes : int;
+  packets : int;
+}
+
+val pp : Format.formatter -> t -> unit
+
+val avg_packet_bytes : int
+(** 1000 — the packet size the estimator assumes (mostly-MTU video). *)
+
+val generate :
+  Ef_util.Rng.t ->
+  prefix:Ef_bgp.Prefix.t ->
+  rate_bps:float ->
+  interval_s:float ->
+  max_flows:int ->
+  t list
+(** Decompose [rate_bps · interval_s] bytes of traffic to [prefix] into
+    at most [max_flows] flows with Pareto-distributed sizes. The byte
+    total is preserved exactly (up to rounding); flow count scales with
+    volume but is capped to keep big simulations tractable. *)
+
+val total_bytes : t list -> int
+val total_packets : t list -> int

@@ -1,0 +1,58 @@
+module Bgp = Ef_bgp
+open Ef_util
+
+type config = {
+  sampling_rate : int;
+  interval_s : float;
+}
+
+let default_config = { sampling_rate = 4096; interval_s = 30.0 }
+
+type sample = {
+  sample_prefix : Bgp.Prefix.t;
+  sampled_packets : int;
+}
+
+let sample_flows config rng flows =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun (f : Flow.t) ->
+      (* Binomial(n, 1/N) sampled as Poisson for large n, exact loop for
+         small n *)
+      let p = 1.0 /. float_of_int config.sampling_rate in
+      let hits =
+        if f.Flow.packets > 1000 then
+          Rng.poisson rng ~lambda:(float_of_int f.Flow.packets *. p)
+        else begin
+          let count = ref 0 in
+          for _ = 1 to f.Flow.packets do
+            if Rng.chance rng p then incr count
+          done;
+          !count
+        end
+      in
+      if hits > 0 then
+        let prev =
+          Option.value (Hashtbl.find_opt tbl f.Flow.dst_prefix) ~default:0
+        in
+        Hashtbl.replace tbl f.Flow.dst_prefix (prev + hits))
+    flows;
+  Hashtbl.fold
+    (fun prefix hits acc -> { sample_prefix = prefix; sampled_packets = hits } :: acc)
+    tbl []
+  |> List.sort (fun a b -> Bgp.Prefix.compare a.sample_prefix b.sample_prefix)
+
+let expected_samples config ~rate_bps =
+  rate_bps *. config.interval_s
+  /. (8.0 *. float_of_int Flow.avg_packet_bytes)
+  /. float_of_int config.sampling_rate
+
+let sample_rate config rng ~prefix ~rate_bps =
+  let lambda = expected_samples config ~rate_bps in
+  { sample_prefix = prefix; sampled_packets = Rng.poisson rng ~lambda }
+
+let estimate_rate_bps config sample =
+  float_of_int sample.sampled_packets
+  *. float_of_int config.sampling_rate
+  *. float_of_int Flow.avg_packet_bytes *. 8.0
+  /. config.interval_s

@@ -1,0 +1,37 @@
+(** sFlow-style packet sampling and rate estimation.
+
+    Peering routers sample 1 in N packets; the collector scales sampled
+    counts back up to estimate per-prefix rates. Sampling noise is real
+    and the paper's controller tolerates it (EWMA smoothing + utilization
+    thresholds below 100 %); both the faithful flow-level path and a
+    statistically equivalent fast path are provided. *)
+
+type config = {
+  sampling_rate : int;     (** 1/N packets observed, e.g. 4096 *)
+  interval_s : float;      (** collection interval *)
+}
+
+val default_config : config
+(** 1:4096 sampling over 30 s — production-ish values. *)
+
+type sample = {
+  sample_prefix : Ef_bgp.Prefix.t;
+  sampled_packets : int;
+}
+
+val sample_flows : config -> Ef_util.Rng.t -> Flow.t list -> sample list
+(** Faithful path: Binomial(packets, 1/N) per flow, aggregated per
+    prefix. Prefixes with zero sampled packets are omitted — exactly the
+    visibility loss a real collector has for thin prefixes. *)
+
+val sample_rate :
+  config -> Ef_util.Rng.t -> prefix:Ef_bgp.Prefix.t -> rate_bps:float -> sample
+(** Fast path: Poisson draw with the same mean as the flow-level
+    pipeline; statistically equivalent aggregate behaviour at a fraction
+    of the cost. *)
+
+val estimate_rate_bps : config -> sample -> float
+(** Scale a sampled count back to an estimated prefix rate. *)
+
+val expected_samples : config -> rate_bps:float -> float
+(** Mean sampled-packet count for a rate — for tests sizing noise. *)

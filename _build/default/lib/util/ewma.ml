@@ -1,0 +1,25 @@
+type t = {
+  alpha : float;
+  mutable value : float;
+  mutable count : int;
+}
+
+let create ~alpha =
+  if alpha <= 0.0 || alpha > 1.0 then invalid_arg "Ewma.create: alpha out of (0,1]";
+  { alpha; value = 0.0; count = 0 }
+
+let create_init ~alpha v =
+  let t = create ~alpha in
+  t.value <- v;
+  t.count <- 1;
+  t
+
+let observe t x =
+  if t.count = 0 then t.value <- x
+  else t.value <- (t.alpha *. x) +. ((1.0 -. t.alpha) *. t.value);
+  t.count <- t.count + 1
+
+let value t = t.value
+let initialized t = t.count > 0
+let count t = t.count
+let alpha t = t.alpha

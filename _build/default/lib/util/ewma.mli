@@ -1,0 +1,27 @@
+(** Exponentially-weighted moving averages.
+
+    The traffic collector smooths sampled per-prefix rates before handing
+    them to the allocator, exactly so that one noisy sampling interval
+    cannot trigger a burst of overrides. *)
+
+type t
+
+val create : alpha:float -> t
+(** [create ~alpha] with [0 < alpha <= 1]; larger alpha follows new
+    observations faster. *)
+
+val create_init : alpha:float -> float -> t
+(** Like {!create} but seeded with an initial value. *)
+
+val observe : t -> float -> unit
+(** Fold one observation in. The first observation initialises the
+    average. *)
+
+val value : t -> float
+(** Current smoothed value; [0.] before any observation. *)
+
+val initialized : t -> bool
+val count : t -> int
+(** Number of observations folded in so far. *)
+
+val alpha : t -> float

@@ -1,0 +1,105 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let create seed = { state = mix64 (Int64.of_int seed) }
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t =
+  let s = bits64 t in
+  { state = mix64 s }
+
+let copy t = { state = t.state }
+
+let int t bound =
+  assert (bound > 0);
+  (* land with max_int: Int64.to_int truncates to 63 bits and could leave
+     the OCaml sign bit set *)
+  let mask = Int64.to_int (Int64.shift_right_logical (bits64 t) 1) land max_int in
+  mask mod bound
+
+let int_in t lo hi =
+  assert (lo <= hi);
+  lo + int t (hi - lo + 1)
+
+let float t bound =
+  let u = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) in
+  bound *. (u /. 9007199254740992.0 (* 2^53 *))
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let chance t p =
+  if p <= 0.0 then false
+  else if p >= 1.0 then true
+  else float t 1.0 < p
+
+let uniform_positive t =
+  (* avoid exactly 0.0 for use under log *)
+  let rec go () =
+    let u = float t 1.0 in
+    if u > 0.0 then u else go ()
+  in
+  go ()
+
+let exponential t ~mean = -.mean *. log (uniform_positive t)
+
+let gaussian t ~mu ~sigma =
+  let u1 = uniform_positive t and u2 = float t 1.0 in
+  mu +. (sigma *. sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2))
+
+let pareto t ~alpha ~xmin = xmin /. (uniform_positive t ** (1.0 /. alpha))
+
+let lognormal t ~mu ~sigma = exp (gaussian t ~mu ~sigma)
+
+let poisson t ~lambda =
+  if lambda < 0.0 then invalid_arg "Rng.poisson: negative lambda";
+  if lambda = 0.0 then 0
+  else if lambda < 30.0 then begin
+    let limit = exp (-.lambda) in
+    let rec go k p =
+      let p = p *. float t 1.0 in
+      if p <= limit then k else go (k + 1) p
+    in
+    go 0 1.0
+  end
+  else
+    let x = gaussian t ~mu:lambda ~sigma:(sqrt lambda) in
+    max 0 (int_of_float (Float.round x))
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let pick t arr =
+  assert (Array.length arr > 0);
+  arr.(int t (Array.length arr))
+
+let pick_list t l =
+  match l with
+  | [] -> invalid_arg "Rng.pick_list: empty list"
+  | _ -> List.nth l (int t (List.length l))
+
+let sample_without_replacement t k arr =
+  let n = Array.length arr in
+  let k = min k n in
+  let copy = Array.copy arr in
+  (* partial Fisher–Yates: first [k] slots become the sample *)
+  for i = 0 to k - 1 do
+    let j = int_in t i (n - 1) in
+    let tmp = copy.(i) in
+    copy.(i) <- copy.(j);
+    copy.(j) <- tmp
+  done;
+  Array.sub copy 0 k

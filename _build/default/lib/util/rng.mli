@@ -1,0 +1,66 @@
+(** Deterministic pseudo-random number generation.
+
+    Every stochastic component of the simulator draws from an explicit
+    [Rng.t] so that whole experiments are reproducible from a single seed.
+    The generator is splitmix64: fast, splittable, and good enough for
+    workload synthesis (not for cryptography). *)
+
+type t
+
+val create : int -> t
+(** [create seed] makes a fresh generator. Equal seeds yield equal
+    streams. *)
+
+val split : t -> t
+(** [split t] derives an independent generator from [t], advancing [t].
+    Use one split per subsystem so adding draws to one subsystem does not
+    perturb the others. *)
+
+val copy : t -> t
+(** [copy t] duplicates the current state without advancing [t]. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. Requires [bound > 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] inclusive. Requires
+    [lo <= hi]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val chance : t -> float -> bool
+(** [chance t p] is [true] with probability [p] (clamped to [\[0,1\]]). *)
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed sample with the given mean. *)
+
+val gaussian : t -> mu:float -> sigma:float -> float
+(** Normally distributed sample (Box–Muller). *)
+
+val pareto : t -> alpha:float -> xmin:float -> float
+(** Pareto-distributed sample: heavy-tailed sizes. *)
+
+val lognormal : t -> mu:float -> sigma:float -> float
+
+val poisson : t -> lambda:float -> int
+(** Poisson-distributed count (Knuth's method below λ=30, a rounded
+    normal approximation above). Requires [lambda >= 0]. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val pick_list : t -> 'a list -> 'a
+(** Uniform element of a non-empty list. *)
+
+val sample_without_replacement : t -> int -> 'a array -> 'a array
+(** [sample_without_replacement t k arr] picks [min k (length arr)]
+    distinct elements, order unspecified. *)

@@ -1,0 +1,50 @@
+type t = {
+  n : int;
+  s : float;
+  cumulative : float array; (* cumulative.(i) = P(rank <= i+1) *)
+}
+
+let create ~n ~s =
+  if n <= 0 then invalid_arg "Zipf.create: n must be positive";
+  let raw = Array.init n (fun i -> 1.0 /. (float_of_int (i + 1) ** s)) in
+  let total = Array.fold_left ( +. ) 0.0 raw in
+  let cumulative = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    acc := !acc +. (raw.(i) /. total);
+    cumulative.(i) <- !acc
+  done;
+  cumulative.(n - 1) <- 1.0;
+  { n; s; cumulative }
+
+let n t = t.n
+let exponent t = t.s
+
+let check_rank t rank =
+  if rank < 1 || rank > t.n then invalid_arg "Zipf: rank out of range"
+
+let weight t rank =
+  check_rank t rank;
+  1.0 /. (float_of_int rank ** t.s)
+
+let probability t rank =
+  check_rank t rank;
+  if rank = 1 then t.cumulative.(0)
+  else t.cumulative.(rank - 1) -. t.cumulative.(rank - 2)
+
+let weights t = Array.init t.n (fun i -> probability t (i + 1))
+
+let sample t rng =
+  let u = Rng.float rng 1.0 in
+  (* first index with cumulative >= u *)
+  let rec search lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if t.cumulative.(mid) >= u then search lo mid else search (mid + 1) hi
+  in
+  search 0 (t.n - 1) + 1
+
+let top_share t k =
+  let k = min k t.n in
+  if k <= 0 then 0.0 else t.cumulative.(k - 1)

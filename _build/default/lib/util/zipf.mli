@@ -1,0 +1,33 @@
+(** Zipf-distributed sampling and weight generation.
+
+    Per-prefix traffic volumes on real CDNs are heavily skewed; the paper's
+    allocator behaviour depends on that skew (a handful of prefixes carry
+    most of an interface's load, so moving few prefixes moves much
+    traffic). This module provides the weights used by the demand model. *)
+
+type t
+
+val create : n:int -> s:float -> t
+(** [create ~n ~s] prepares a Zipf distribution over ranks [1..n] with
+    exponent [s] (typically 0.8–1.2 for CDN traffic). *)
+
+val n : t -> int
+val exponent : t -> float
+
+val weight : t -> int -> float
+(** [weight t rank] is the unnormalized weight [1 / rank^s]. Rank is
+    1-based; out-of-range ranks raise [Invalid_argument]. *)
+
+val probability : t -> int -> float
+(** Normalized probability of the given 1-based rank. *)
+
+val weights : t -> float array
+(** All normalized probabilities, index 0 = rank 1. *)
+
+val sample : t -> Rng.t -> int
+(** Draw a 1-based rank with the distribution's probabilities, in O(log n)
+    via binary search over the cumulative table. *)
+
+val top_share : t -> int -> float
+(** [top_share t k] is the fraction of total mass held by the top [k]
+    ranks — handy for asserting skew in tests. *)

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Ef_bgp List Printf String

@@ -1,0 +1,1 @@
+test/test_altpath.ml: Alcotest Edge_fabric Ef_altpath Ef_bgp Ef_collector Ef_netsim Helpers Lazy List Option Test_core

@@ -1,0 +1,1 @@
+test/test_bgp_types.ml: Alcotest Ef_bgp Helpers List Option

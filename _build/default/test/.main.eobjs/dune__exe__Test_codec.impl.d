@@ -1,0 +1,1 @@
+test/test_codec.ml: Alcotest Buffer Bytes Char Ef_bgp Format Gen Helpers Int32 List QCheck QCheck_alcotest String

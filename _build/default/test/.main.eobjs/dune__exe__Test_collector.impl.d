@@ -1,0 +1,1 @@
+test/test_collector.ml: Alcotest Bytes Ef_bgp Ef_collector Ef_netsim Format Helpers List String

@@ -1,0 +1,1 @@
+test/test_controller.ml: Alcotest Edge_fabric Ef_bgp Ef_collector Ef_netsim Helpers List Test_core

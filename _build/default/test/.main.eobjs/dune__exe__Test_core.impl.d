@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Edge_fabric Ef_bgp Ef_collector Ef_netsim Ef_util Gen Hashtbl Helpers List Option Printf QCheck QCheck_alcotest

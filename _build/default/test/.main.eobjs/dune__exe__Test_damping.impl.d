@@ -1,0 +1,1 @@
+test/test_damping.ml: Alcotest Ef_bgp Helpers

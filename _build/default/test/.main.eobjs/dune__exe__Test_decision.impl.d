@@ -1,0 +1,1 @@
+test/test_decision.ml: Alcotest Ef_bgp Helpers List Option QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Edge_fabric Ef_altpath Ef_bgp Ef_collector Ef_netsim Ef_sim Ef_stats Ef_traffic Float Helpers List Option

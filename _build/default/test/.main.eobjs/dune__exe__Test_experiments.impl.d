@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Ef_sim Ef_stats Helpers List

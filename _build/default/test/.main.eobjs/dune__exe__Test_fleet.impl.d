@@ -1,0 +1,1 @@
+test/test_fleet.ml: Alcotest Ef_netsim Ef_sim Ef_stats List

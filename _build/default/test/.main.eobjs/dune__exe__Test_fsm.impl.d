@@ -1,0 +1,1 @@
+test/test_fsm.ml: Alcotest Ef_bgp Helpers List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_golden.ml: Alcotest Char Ef_bgp Ef_collector Helpers List Printf String

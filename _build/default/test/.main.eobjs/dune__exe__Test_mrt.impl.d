@@ -1,0 +1,1 @@
+test/test_mrt.ml: Alcotest Char Ef_bgp Ef_netsim Filename Format Fun Helpers Lazy List String Sys

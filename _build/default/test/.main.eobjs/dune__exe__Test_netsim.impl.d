@@ -1,0 +1,1 @@
+test/test_netsim.ml: Alcotest Ef_bgp Ef_netsim Float Helpers List Option String

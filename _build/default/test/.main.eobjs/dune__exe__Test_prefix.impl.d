@@ -1,0 +1,1 @@
+test/test_prefix.ml: Alcotest Ef_bgp Gen Helpers Int32 List Option QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_prefix_set.ml: Alcotest Edge_fabric Ef_bgp Ef_netsim Fun Helpers List QCheck QCheck_alcotest String Test_core

@@ -1,0 +1,1 @@
+test/test_propagation.ml: Alcotest Ef_bgp Helpers List Option Printf Queue

@@ -1,0 +1,1 @@
+test/test_properties.ml: Array Edge_fabric Ef_bgp Ef_collector Ef_netsim Float Hashtbl Lazy List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_rib.ml: Alcotest Ef_bgp Helpers List Printf

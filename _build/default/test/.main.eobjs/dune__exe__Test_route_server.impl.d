@@ -1,0 +1,1 @@
+test/test_route_server.ml: Alcotest Ef_bgp Helpers List

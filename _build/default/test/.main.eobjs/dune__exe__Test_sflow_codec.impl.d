@@ -1,0 +1,1 @@
+test/test_sflow_codec.ml: Alcotest Bytes Char Ef_bgp Ef_collector Ef_traffic Ef_util Float Format Helpers List Option String

@@ -1,0 +1,1 @@
+test/test_speaker.ml: Alcotest Ef_bgp Helpers List Option Queue String

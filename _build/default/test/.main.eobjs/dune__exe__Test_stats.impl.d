@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Cdf Ef_stats Float Gen Helpers Histogram List QCheck QCheck_alcotest String Summary Table

@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Edge_fabric Ef_bgp Ef_collector Ef_netsim Filename Fun Helpers Lazy List Printf Sys

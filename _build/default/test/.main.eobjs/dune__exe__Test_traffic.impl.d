@@ -1,0 +1,1 @@
+test/test_traffic.ml: Alcotest Ef_bgp Ef_netsim Ef_traffic Ef_util Float Helpers Lazy List

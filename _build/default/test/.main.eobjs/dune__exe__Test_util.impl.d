@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Ef_util Ewma Float Format Fun Helpers Int64 List QCheck QCheck_alcotest Rng Units Zipf

@@ -1,0 +1,1 @@
+test/test_wire_pop.ml: Alcotest Ef_bgp Ef_netsim Helpers Lazy List Option

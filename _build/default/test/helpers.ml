@@ -1,0 +1,41 @@
+(* Shared fixtures for the test suites. *)
+
+module Bgp = Ef_bgp
+
+let prefix = Bgp.Prefix.v
+let ip = Bgp.Ipv4.of_string
+
+let peer ?(kind = Bgp.Peer.Transit) ?(asn = 65001) id =
+  Bgp.Peer.make ~id
+    ~name:(Printf.sprintf "peer%d" id)
+    ~asn:(Bgp.Asn.of_int asn) ~kind
+    ~router_id:(Bgp.Ipv4.of_octets 10 0 0 id)
+    ~session_addr:(Bgp.Ipv4.of_octets 172 16 0 id)
+
+let attrs ?(origin = Bgp.Attrs.Igp) ?(med = None) ?(local_pref = None)
+    ?(communities = []) ?(path = [ 65001; 65002 ]) ?(next_hop = "172.16.0.1") ()
+    =
+  Bgp.Attrs.make ~origin ~med ~local_pref ~communities
+    ~as_path:(Bgp.As_path.of_list (List.map Bgp.Asn.of_int path))
+    ~next_hop:(ip next_hop) ()
+
+let route ?(prefix_str = "10.0.0.0/24") ?kind ?asn ?(peer_id = 1) ?origin ?med
+    ?local_pref ?communities ?path ?next_hop () =
+  Bgp.Route.make
+    ~prefix:(prefix prefix_str)
+    ~attrs:(attrs ?origin ?med ?local_pref ?communities ?path ?next_hop ())
+    ~peer:(peer ?kind ?asn peer_id)
+
+(* Alcotest testables *)
+let prefix_t = Alcotest.testable Bgp.Prefix.pp Bgp.Prefix.equal
+let ipv4_t = Alcotest.testable Bgp.Ipv4.pp Bgp.Ipv4.equal
+let msg_t = Alcotest.testable Bgp.Msg.pp Bgp.Msg.equal
+let route_t = Alcotest.testable Bgp.Route.pp Bgp.Route.equal
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_float_eps eps = Alcotest.(check (float eps))
+
+let string_contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  nl = 0 || go 0

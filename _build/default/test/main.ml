@@ -1,0 +1,33 @@
+let () =
+  Alcotest.run "edge-fabric"
+    [
+      ("util", Test_util.suite);
+      ("stats", Test_stats.suite);
+      ("prefix+trie", Test_prefix.suite);
+      ("bgp-types", Test_bgp_types.suite);
+      ("decision+policy", Test_decision.suite);
+      ("codec", Test_codec.suite);
+      ("golden", Test_golden.suite);
+      ("fsm", Test_fsm.suite);
+      ("rib", Test_rib.suite);
+      ("speaker", Test_speaker.suite);
+      ("route-server", Test_route_server.suite);
+      ("propagation", Test_propagation.suite);
+      ("damping", Test_damping.suite);
+      ("mrt", Test_mrt.suite);
+      ("prefix-set", Test_prefix_set.suite);
+      ("netsim", Test_netsim.suite);
+      ("traffic", Test_traffic.suite);
+      ("collector", Test_collector.suite);
+      ("trace", Test_trace.suite);
+      ("sflow-codec", Test_sflow_codec.suite);
+      ("core", Test_core.suite);
+      ("controller", Test_controller.suite);
+      ("guard", Test_guard.suite);
+      ("altpath", Test_altpath.suite);
+      ("engine", Test_engine.suite);
+      ("wire-pop", Test_wire_pop.suite);
+      ("fleet", Test_fleet.suite);
+      ("properties", Test_properties.suite);
+      ("experiments", Test_experiments.suite);
+    ]

@@ -1,0 +1,158 @@
+(* ef_bgp: Asn, Community, As_path, Attrs, Peer, Route *)
+
+module Bgp = Ef_bgp
+open Helpers
+
+let test_asn_ranges () =
+  Alcotest.(check bool) "private 16-bit" true (Bgp.Asn.is_private 64512);
+  Alcotest.(check bool) "private 32-bit" true (Bgp.Asn.is_private 4200000000);
+  Alcotest.(check bool) "public" false (Bgp.Asn.is_private 15169);
+  Alcotest.(check bool) "reserved 0" true (Bgp.Asn.is_reserved 0);
+  Alcotest.(check bool) "reserved 65535" true (Bgp.Asn.is_reserved 65535);
+  Alcotest.(check bool) "fits two bytes" true (Bgp.Asn.fits_two_bytes 65535);
+  Alcotest.(check bool) "does not fit" false (Bgp.Asn.fits_two_bytes 65536);
+  Alcotest.check_raises "negative" (Invalid_argument "Asn.of_int: out of range")
+    (fun () -> ignore (Bgp.Asn.of_int (-1)))
+
+let test_community_roundtrip () =
+  let c = Bgp.Community.make 65000 911 in
+  Alcotest.(check int) "asn" 65000 (Bgp.Community.asn c);
+  Alcotest.(check int) "value" 911 (Bgp.Community.value c);
+  Alcotest.(check string) "to_string" "65000:911" (Bgp.Community.to_string c);
+  Alcotest.(check bool) "of_string" true
+    (Bgp.Community.equal c (Bgp.Community.of_string "65000:911"))
+
+let test_community_wire_roundtrip () =
+  let c = Bgp.Community.make 0xFFFF 0xFFFF in
+  Alcotest.(check bool) "int32 roundtrip" true
+    (Bgp.Community.equal c (Bgp.Community.of_int32 (Bgp.Community.to_int32 c)))
+
+let test_community_well_known () =
+  Alcotest.(check bool) "no-export" true
+    (Bgp.Community.is_well_known Bgp.Community.no_export);
+  Alcotest.(check bool) "ordinary" false
+    (Bgp.Community.is_well_known (Bgp.Community.make 65000 1))
+
+let test_community_validation () =
+  Alcotest.check_raises "asn too big"
+    (Invalid_argument "Community.make: asn out of range") (fun () ->
+      ignore (Bgp.Community.make 70000 1))
+
+let asn = Bgp.Asn.of_int
+
+let test_as_path_length () =
+  let open Bgp.As_path in
+  Alcotest.(check int) "empty" 0 (length empty);
+  Alcotest.(check int) "seq" 3 (length (of_list [ asn 1; asn 2; asn 3 ]));
+  Alcotest.(check int) "set counts one" 2
+    (length (of_segments [ Seq [ asn 1 ]; Set [ asn 2; asn 3; asn 4 ] ]))
+
+let test_as_path_prepend () =
+  let open Bgp.As_path in
+  let p = of_list [ asn 2; asn 3 ] in
+  let p = prepend (asn 1) p in
+  Alcotest.(check int) "length" 3 (length p);
+  Alcotest.(check (option int)) "first" (Some 1)
+    (Option.map Bgp.Asn.to_int (first_as p));
+  let p3 = prepend_n (asn 9) 3 empty in
+  Alcotest.(check int) "prepend_n" 3 (length p3)
+
+let test_as_path_prepend_onto_set () =
+  let open Bgp.As_path in
+  let p = of_segments [ Set [ asn 5; asn 6 ] ] in
+  let p = prepend (asn 1) p in
+  Alcotest.(check int) "seq then set" 2 (length p);
+  Alcotest.(check (option int)) "first" (Some 1)
+    (Option.map Bgp.Asn.to_int (first_as p))
+
+let test_as_path_origin () =
+  let open Bgp.As_path in
+  Alcotest.(check (option int)) "origin" (Some 3)
+    (Option.map Bgp.Asn.to_int (origin_as (of_list [ asn 1; asn 2; asn 3 ])));
+  Alcotest.(check (option int)) "empty" None
+    (Option.map Bgp.Asn.to_int (origin_as empty))
+
+let test_as_path_loop_detection () =
+  let open Bgp.As_path in
+  let p = of_segments [ Seq [ asn 1; asn 2 ]; Set [ asn 7 ] ] in
+  Alcotest.(check bool) "in seq" true (mem (asn 2) p);
+  Alcotest.(check bool) "in set" true (mem (asn 7) p);
+  Alcotest.(check bool) "absent" false (mem (asn 99) p)
+
+let test_as_path_normalise () =
+  let open Bgp.As_path in
+  Alcotest.(check bool) "empty segments dropped" true
+    (equal empty (of_segments [ Seq []; Set [] ]))
+
+let test_attrs_communities_sorted_dedup () =
+  let c1 = Bgp.Community.make 1 1 and c2 = Bgp.Community.make 1 2 in
+  let a = attrs ~communities:[ c2; c1; c2 ] () in
+  Alcotest.(check int) "deduped" 2 (List.length a.Bgp.Attrs.communities);
+  Alcotest.(check bool) "sorted" true
+    (Bgp.Community.equal (List.hd a.Bgp.Attrs.communities) c1)
+
+let test_attrs_add_remove_community () =
+  let c = Bgp.Community.make 65000 911 in
+  let a = attrs () in
+  let a = Bgp.Attrs.add_community c a in
+  Alcotest.(check bool) "has" true (Bgp.Attrs.has_community c a);
+  let a = Bgp.Attrs.remove_community c a in
+  Alcotest.(check bool) "removed" false (Bgp.Attrs.has_community c a)
+
+let test_attrs_effective_local_pref () =
+  Alcotest.(check int) "default 100" 100
+    (Bgp.Attrs.effective_local_pref (attrs ()));
+  Alcotest.(check int) "explicit" 400
+    (Bgp.Attrs.effective_local_pref (attrs ~local_pref:(Some 400) ()))
+
+let test_attrs_prepend () =
+  let a = Bgp.Attrs.prepend_path (asn 64500) 2 (attrs ~path:[ 1 ] ()) in
+  Alcotest.(check int) "length" 3 (Bgp.As_path.length a.Bgp.Attrs.as_path)
+
+let test_route_accessors () =
+  let r =
+    route ~prefix_str:"10.5.0.0/16" ~kind:Bgp.Peer.Private_peer ~asn:100
+      ~peer_id:3 ~local_pref:(Some 400) ~path:[ 100 ] ()
+  in
+  Alcotest.check prefix_t "prefix" (prefix "10.5.0.0/16") (Bgp.Route.prefix r);
+  Alcotest.(check int) "peer id" 3 (Bgp.Route.peer_id r);
+  Alcotest.(check bool) "kind" true (Bgp.Route.peer_kind r = Bgp.Peer.Private_peer);
+  Alcotest.(check int) "local pref" 400 (Bgp.Route.local_pref r);
+  Alcotest.(check int) "path length" 1 (Bgp.Route.as_path_length r);
+  Alcotest.(check (option int)) "origin as" (Some 100)
+    (Option.map Bgp.Asn.to_int (Bgp.Route.origin_as r))
+
+let test_peer_kind_ranks () =
+  let open Bgp.Peer in
+  Alcotest.(check bool) "private best" true
+    (kind_rank Private_peer < kind_rank Public_peer);
+  Alcotest.(check bool) "public over rs" true
+    (kind_rank Public_peer < kind_rank Route_server);
+  Alcotest.(check bool) "transit last" true
+    (kind_rank Route_server < kind_rank Transit)
+
+let suite =
+  [
+    Alcotest.test_case "asn ranges" `Quick test_asn_ranges;
+    Alcotest.test_case "community roundtrip" `Quick test_community_roundtrip;
+    Alcotest.test_case "community wire roundtrip" `Quick
+      test_community_wire_roundtrip;
+    Alcotest.test_case "community well-known" `Quick test_community_well_known;
+    Alcotest.test_case "community validation" `Quick test_community_validation;
+    Alcotest.test_case "as_path length" `Quick test_as_path_length;
+    Alcotest.test_case "as_path prepend" `Quick test_as_path_prepend;
+    Alcotest.test_case "as_path prepend onto set" `Quick
+      test_as_path_prepend_onto_set;
+    Alcotest.test_case "as_path origin" `Quick test_as_path_origin;
+    Alcotest.test_case "as_path loop detection" `Quick test_as_path_loop_detection;
+    Alcotest.test_case "as_path normalise" `Quick test_as_path_normalise;
+    Alcotest.test_case "attrs communities sorted/dedup" `Quick
+      test_attrs_communities_sorted_dedup;
+    Alcotest.test_case "attrs add/remove community" `Quick
+      test_attrs_add_remove_community;
+    Alcotest.test_case "attrs effective local pref" `Quick
+      test_attrs_effective_local_pref;
+    Alcotest.test_case "attrs prepend" `Quick test_attrs_prepend;
+    Alcotest.test_case "route accessors" `Quick test_route_accessors;
+    Alcotest.test_case "peer kind ranks" `Quick test_peer_kind_ranks;
+  ]

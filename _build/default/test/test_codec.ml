@@ -1,0 +1,285 @@
+(* ef_bgp: RFC 4271 wire codec *)
+
+module Bgp = Ef_bgp
+open Helpers
+
+let roundtrip msg =
+  let wire = Bgp.Codec.encode msg in
+  match Bgp.Codec.decode wire with
+  | Error e -> Alcotest.failf "decode failed: %s" (Bgp.Codec.error_to_string e)
+  | Ok (decoded, consumed) ->
+      Alcotest.(check int) "consumed all" (String.length wire) consumed;
+      decoded
+
+let test_keepalive_roundtrip () =
+  Alcotest.check msg_t "keepalive" Bgp.Msg.Keepalive (roundtrip Bgp.Msg.Keepalive)
+
+let test_keepalive_wire_format () =
+  let wire = Bgp.Codec.encode Bgp.Msg.Keepalive in
+  Alcotest.(check int) "19 bytes" 19 (String.length wire);
+  for i = 0 to 15 do
+    Alcotest.(check char) "marker" '\xFF' wire.[i]
+  done;
+  Alcotest.(check int) "type 4" 4 (Char.code wire.[18])
+
+let test_open_roundtrip () =
+  let msg = Bgp.Msg.make_open ~asn:(Bgp.Asn.of_int 64500) ~bgp_id:(ip "10.0.0.1") () in
+  Alcotest.check msg_t "open" msg (roundtrip msg)
+
+let test_open_4byte_asn () =
+  (* an ASN above 65535 goes through AS_TRANS + capability *)
+  let msg =
+    Bgp.Msg.make_open ~asn:(Bgp.Asn.of_int 4_200_000_000) ~bgp_id:(ip "1.2.3.4") ()
+  in
+  match roundtrip msg with
+  | Bgp.Msg.Open o ->
+      Alcotest.(check int) "asn recovered" 4_200_000_000 (Bgp.Asn.to_int o.Bgp.Msg.my_as)
+  | m -> Alcotest.failf "expected OPEN, got %s" (Bgp.Msg.kind_to_string m)
+
+let test_open_capabilities_roundtrip () =
+  let caps =
+    [
+      Bgp.Msg.Multiprotocol { afi = 1; safi = 1 };
+      Bgp.Msg.Route_refresh;
+      Bgp.Msg.Four_octet_as (Bgp.Asn.of_int 64500);
+      Bgp.Msg.Unknown_capability { code = 99; data = "ab" };
+    ]
+  in
+  let msg =
+    Bgp.Msg.make_open ~capabilities:caps ~asn:(Bgp.Asn.of_int 64500)
+      ~bgp_id:(ip "10.0.0.1") ()
+  in
+  Alcotest.check msg_t "caps survive" msg (roundtrip msg)
+
+let full_attrs =
+  attrs ~origin:Bgp.Attrs.Egp ~med:(Some 42) ~local_pref:(Some 400)
+    ~communities:[ Bgp.Community.make 65000 911; Bgp.Community.no_export ]
+    ~path:[ 64500; 4200000000; 7 ] ~next_hop:"192.0.2.1" ()
+
+let test_update_roundtrip () =
+  let msg =
+    Bgp.Msg.make_update
+      ~withdrawn:[ prefix "10.9.0.0/16"; prefix "10.10.0.0/24" ]
+      ~attrs:full_attrs
+      ~nlri:[ prefix "203.0.113.0/24"; prefix "198.51.100.0/25" ]
+      ()
+  in
+  Alcotest.check msg_t "update" msg (roundtrip msg)
+
+let test_update_withdraw_only () =
+  let msg = Bgp.Msg.make_update ~withdrawn:[ prefix "10.0.0.0/8" ] () in
+  Alcotest.check msg_t "withdraw" msg (roundtrip msg)
+
+let test_update_prefix_lengths () =
+  (* prefix encoding is length-dependent: exercise /0, /1, /8, /15, /24, /32 *)
+  let nlri =
+    [
+      prefix "0.0.0.0/0";
+      prefix "128.0.0.0/1";
+      prefix "10.0.0.0/8";
+      prefix "10.2.0.0/15";
+      prefix "10.1.2.0/24";
+      prefix "10.1.2.3/32";
+    ]
+  in
+  let msg = Bgp.Msg.make_update ~attrs:full_attrs ~nlri () in
+  Alcotest.check msg_t "all lengths" msg (roundtrip msg)
+
+let test_update_as_set_roundtrip () =
+  let attrs =
+    Bgp.Attrs.make
+      ~as_path:
+        (Bgp.As_path.of_segments
+           [
+             Bgp.As_path.Seq [ Bgp.Asn.of_int 1; Bgp.Asn.of_int 2 ];
+             Bgp.As_path.Set [ Bgp.Asn.of_int 3; Bgp.Asn.of_int 4 ];
+           ])
+      ~next_hop:(ip "10.0.0.9") ()
+  in
+  let msg = Bgp.Msg.make_update ~attrs ~nlri:[ prefix "10.0.0.0/8" ] () in
+  Alcotest.check msg_t "as-set" msg (roundtrip msg)
+
+let test_route_refresh_roundtrip () =
+  let msg = Bgp.Msg.Route_refresh { afi = 1; safi = 1 } in
+  Alcotest.check msg_t "route refresh" msg (roundtrip msg);
+  (* wire shape: 19-byte header + afi(2) + reserved(1) + safi(1) *)
+  Alcotest.(check int) "23 bytes" 23 (String.length (Bgp.Codec.encode msg))
+
+let test_notification_roundtrip () =
+  List.iter
+    (fun code ->
+      let msg = Bgp.Msg.Notification { code; data = "detail" } in
+      Alcotest.check msg_t "notification" msg (roundtrip msg))
+    [
+      Bgp.Msg.Message_header_error 2;
+      Bgp.Msg.Open_message_error 1;
+      Bgp.Msg.Update_message_error 3;
+      Bgp.Msg.Hold_timer_expired;
+      Bgp.Msg.Fsm_error;
+      Bgp.Msg.Cease 4;
+    ]
+
+let test_decode_truncated () =
+  let wire = Bgp.Codec.encode Bgp.Msg.Keepalive in
+  match Bgp.Codec.decode (String.sub wire 0 10) with
+  | Error Bgp.Codec.Truncated -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Bgp.Codec.error_to_string e)
+  | Ok _ -> Alcotest.fail "decoded truncated input"
+
+let test_decode_bad_marker () =
+  let wire = Bytes.of_string (Bgp.Codec.encode Bgp.Msg.Keepalive) in
+  Bytes.set wire 3 '\x00';
+  match Bgp.Codec.decode (Bytes.to_string wire) with
+  | Error Bgp.Codec.Bad_marker -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Bgp.Codec.error_to_string e)
+  | Ok _ -> Alcotest.fail "accepted bad marker"
+
+let test_decode_bad_length () =
+  let wire = Bytes.of_string (Bgp.Codec.encode Bgp.Msg.Keepalive) in
+  (* claim a length of 5 (below the 19-byte minimum) *)
+  Bytes.set wire 16 '\x00';
+  Bytes.set wire 17 '\x05';
+  match Bgp.Codec.decode (Bytes.to_string wire) with
+  | Error (Bgp.Codec.Bad_length 5) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Bgp.Codec.error_to_string e)
+  | Ok _ -> Alcotest.fail "accepted bad length"
+
+let test_decode_unknown_type () =
+  let wire = Bytes.of_string (Bgp.Codec.encode Bgp.Msg.Keepalive) in
+  Bytes.set wire 18 '\x09';
+  match Bgp.Codec.decode (Bytes.to_string wire) with
+  | Error (Bgp.Codec.Unknown_msg_type 9) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Bgp.Codec.error_to_string e)
+  | Ok _ -> Alcotest.fail "accepted unknown type"
+
+let test_decode_update_missing_mandatory_attr () =
+  (* hand-build an UPDATE with NLRI but no attributes: must be rejected *)
+  let body = Bytes.create 8 in
+  Bytes.set_uint16_be body 0 0 (* withdrawn len *);
+  Bytes.set_uint16_be body 2 0 (* attrs len *);
+  (* NLRI: 10.0.0.0/8 *)
+  Bytes.set body 4 '\x08';
+  Bytes.set body 5 '\x0A';
+  let body = Bytes.sub body 0 6 in
+  let total = 19 + Bytes.length body in
+  let wire = Buffer.create total in
+  Buffer.add_string wire (String.make 16 '\xFF');
+  Buffer.add_char wire (Char.chr (total lsr 8));
+  Buffer.add_char wire (Char.chr (total land 0xFF));
+  Buffer.add_char wire '\x02';
+  Buffer.add_bytes wire body;
+  match Bgp.Codec.decode (Buffer.contents wire) with
+  | Error (Bgp.Codec.Malformed _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Bgp.Codec.error_to_string e)
+  | Ok _ -> Alcotest.fail "accepted UPDATE without mandatory attributes"
+
+let test_stream_reassembly () =
+  let msgs =
+    [
+      Bgp.Msg.make_open ~asn:(Bgp.Asn.of_int 64500) ~bgp_id:(ip "10.0.0.1") ();
+      Bgp.Msg.Keepalive;
+      Bgp.Msg.make_update ~attrs:full_attrs ~nlri:[ prefix "10.0.0.0/8" ] ();
+    ]
+  in
+  let wire = String.concat "" (List.map Bgp.Codec.encode msgs) in
+  let stream = Bgp.Codec.Stream.create () in
+  (* feed byte by byte: the decoder must reassemble *)
+  let received = ref [] in
+  String.iter
+    (fun c ->
+      Bgp.Codec.Stream.feed stream (String.make 1 c);
+      match Bgp.Codec.Stream.next stream with
+      | Ok (Some m) -> received := m :: !received
+      | Ok None -> ()
+      | Error e -> Alcotest.failf "stream error: %s" (Bgp.Codec.error_to_string e))
+    wire;
+  Alcotest.(check (list msg_t)) "all messages" msgs (List.rev !received);
+  Alcotest.(check int) "no leftovers" 0 (Bgp.Codec.Stream.pending_bytes stream)
+
+let test_stream_error_sticky () =
+  let stream = Bgp.Codec.Stream.create () in
+  Bgp.Codec.Stream.feed stream (String.make 19 '\x00');
+  (match Bgp.Codec.Stream.next stream with
+  | Error Bgp.Codec.Bad_marker -> ()
+  | _ -> Alcotest.fail "expected marker error");
+  (* errors are sticky even if valid bytes arrive later *)
+  Bgp.Codec.Stream.feed stream (Bgp.Codec.encode Bgp.Msg.Keepalive);
+  match Bgp.Codec.Stream.next stream with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "stream recovered after fatal error"
+
+(* --- property: roundtrip over generated updates ---------------------- *)
+
+let gen_update =
+  QCheck.Gen.(
+    let gen_prefix =
+      map2
+        (fun addr len -> Bgp.Prefix.make (Bgp.Ipv4.of_int32 (Int32.of_int addr)) len)
+        (int_bound 0xFFFFFF) (int_range 0 32)
+    in
+    let gen_asn = map Bgp.Asn.of_int (int_range 1 100000) in
+    let gen_attrs =
+      map2
+        (fun (path, nh) (med, lp, comms) ->
+          Bgp.Attrs.make
+            ~origin:Bgp.Attrs.Igp
+            ~med:(if med mod 2 = 0 then Some (med * 7) else None)
+            ~local_pref:(if lp mod 2 = 0 then Some lp else None)
+            ~communities:
+              (List.map (fun c -> Bgp.Community.make (c mod 65536) (c mod 997)) comms)
+            ~as_path:(Bgp.As_path.of_list path)
+            ~next_hop:(Bgp.Ipv4.of_int32 (Int32.of_int nh))
+            ())
+        (pair (list_size (int_range 1 6) gen_asn) (int_bound 0xFFFFFF))
+        (triple small_nat small_nat (list_size (int_range 0 5) small_nat))
+    in
+    map3
+      (fun withdrawn attrs nlri ->
+        if nlri = [] then Bgp.Msg.make_update ~withdrawn ()
+        else Bgp.Msg.make_update ~withdrawn ~attrs ~nlri ())
+      (list_size (int_range 0 5) gen_prefix)
+      gen_attrs
+      (list_size (int_range 0 8) gen_prefix))
+
+let qcheck_update_roundtrip =
+  QCheck.Test.make ~name:"codec UPDATE roundtrip" ~count:500
+    (QCheck.make ~print:(Format.asprintf "%a" Bgp.Msg.pp) gen_update)
+    (fun msg ->
+      let wire = Bgp.Codec.encode msg in
+      match Bgp.Codec.decode wire with
+      | Ok (decoded, consumed) ->
+          consumed = String.length wire && Bgp.Msg.equal msg decoded
+      | Error _ -> false)
+
+let qcheck_decode_never_crashes =
+  QCheck.Test.make ~name:"codec decode total on garbage" ~count:1000
+    QCheck.(string_of_size Gen.(int_range 0 64))
+    (fun junk ->
+      match Bgp.Codec.decode junk with
+      | Ok _ | Error _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "keepalive roundtrip" `Quick test_keepalive_roundtrip;
+    Alcotest.test_case "keepalive wire format" `Quick test_keepalive_wire_format;
+    Alcotest.test_case "open roundtrip" `Quick test_open_roundtrip;
+    Alcotest.test_case "open 4-byte asn" `Quick test_open_4byte_asn;
+    Alcotest.test_case "open capabilities" `Quick test_open_capabilities_roundtrip;
+    Alcotest.test_case "update roundtrip" `Quick test_update_roundtrip;
+    Alcotest.test_case "update withdraw only" `Quick test_update_withdraw_only;
+    Alcotest.test_case "update prefix lengths" `Quick test_update_prefix_lengths;
+    Alcotest.test_case "update as-set" `Quick test_update_as_set_roundtrip;
+    Alcotest.test_case "route refresh roundtrip" `Quick
+      test_route_refresh_roundtrip;
+    Alcotest.test_case "notification roundtrip" `Quick test_notification_roundtrip;
+    Alcotest.test_case "decode truncated" `Quick test_decode_truncated;
+    Alcotest.test_case "decode bad marker" `Quick test_decode_bad_marker;
+    Alcotest.test_case "decode bad length" `Quick test_decode_bad_length;
+    Alcotest.test_case "decode unknown type" `Quick test_decode_unknown_type;
+    Alcotest.test_case "decode update missing attrs" `Quick
+      test_decode_update_missing_mandatory_attr;
+    Alcotest.test_case "stream reassembly" `Quick test_stream_reassembly;
+    Alcotest.test_case "stream error sticky" `Quick test_stream_error_sticky;
+    QCheck_alcotest.to_alcotest qcheck_update_roundtrip;
+    QCheck_alcotest.to_alcotest qcheck_decode_never_crashes;
+  ]

@@ -1,0 +1,242 @@
+(* edge_fabric: Hysteresis and Controller *)
+
+module Bgp = Ef_bgp
+module N = Ef_netsim
+module C = Ef_collector
+module Ef = Edge_fabric
+open Helpers
+
+(* reuse the hand-built fixture from Test_core *)
+let fixture = Test_core.fixture
+let snapshot = Test_core.snapshot
+let pfx_a = Test_core.pfx_a
+let pfx_b = Test_core.pfx_b
+let pfx_c = Test_core.pfx_c
+
+let transit_target fx p =
+  let snap = snapshot fx [ (p, 1e9) ] in
+  List.find
+    (fun r -> Bgp.Route.peer_kind r = Bgp.Peer.Transit)
+    (C.Snapshot.routes snap p)
+
+let override_for fx ?(rate = 1e9) p =
+  Ef.Override.make ~prefix:p ~target:(transit_target fx p)
+    ~from_iface:(N.Iface.id fx.Test_core.iface_private)
+    ~to_iface:(N.Iface.id fx.Test_core.iface_transit)
+    ~preference_level:1 ~rate_bps:rate
+
+(* a projection whose private-iface utilization we control *)
+let projection_with_private_load fx bps =
+  let snap = snapshot fx [ (pfx_a, bps) ] in
+  Ef.Projection.project snap
+
+let damped_config = Ef.Config.default (* hold 60s, release at 0.85 *)
+
+let test_hysteresis_installs_new () =
+  let fx = fixture () in
+  let h = Ef.Hysteresis.create damped_config in
+  let o = override_for fx pfx_a in
+  let r =
+    Ef.Hysteresis.step h ~time_s:0 ~desired:[ o ]
+      ~preferred:(projection_with_private_load fx 9.8e9)
+  in
+  Alcotest.(check int) "added" 1 (List.length r.Ef.Hysteresis.added);
+  Alcotest.(check int) "active" 1 (List.length r.Ef.Hysteresis.active);
+  Alcotest.(check (option int)) "installed at" (Some 0)
+    (Ef.Hysteresis.installed_at h pfx_a)
+
+let test_hysteresis_keeps_stable () =
+  let fx = fixture () in
+  let h = Ef.Hysteresis.create damped_config in
+  let o = override_for fx pfx_a in
+  let preferred = projection_with_private_load fx 9.8e9 in
+  ignore (Ef.Hysteresis.step h ~time_s:0 ~desired:[ o ] ~preferred);
+  let r = Ef.Hysteresis.step h ~time_s:30 ~desired:[ o ] ~preferred in
+  Alcotest.(check int) "kept" 1 (List.length r.Ef.Hysteresis.kept);
+  Alcotest.(check int) "no adds" 0 (List.length r.Ef.Hysteresis.added);
+  Alcotest.(check int) "no removals" 0 (List.length r.Ef.Hysteresis.removed);
+  (* installation time is preserved, not refreshed *)
+  Alcotest.(check (option int)) "age preserved" (Some 0)
+    (Ef.Hysteresis.installed_at h pfx_a)
+
+let test_hysteresis_min_hold_blocks_release () =
+  let fx = fixture () in
+  let h = Ef.Hysteresis.create damped_config in
+  let o = override_for fx pfx_a in
+  (* demand collapsed: preferred iface would be at 10% — releasable on
+     utilization, but the hold time has not matured *)
+  let low = projection_with_private_load fx 1e9 in
+  ignore (Ef.Hysteresis.step h ~time_s:0 ~desired:[ o ] ~preferred:low);
+  let r = Ef.Hysteresis.step h ~time_s:30 ~desired:[] ~preferred:low in
+  Alcotest.(check int) "not removed yet" 0 (List.length r.Ef.Hysteresis.removed);
+  Alcotest.(check int) "deferred" 1 r.Ef.Hysteresis.deferred_releases;
+  (* after maturity it releases, and the lifetime is reported *)
+  let r = Ef.Hysteresis.step h ~time_s:90 ~desired:[] ~preferred:low in
+  (match r.Ef.Hysteresis.removed with
+  | [ (removed, age) ] ->
+      Alcotest.check prefix_t "right prefix" pfx_a removed.Ef.Override.prefix;
+      Alcotest.(check int) "age" 90 age
+  | l -> Alcotest.failf "expected one removal, got %d" (List.length l));
+  Alcotest.(check int) "inactive" 0 (Ef.Hysteresis.active_count h)
+
+let test_hysteresis_release_needs_low_utilization () =
+  let fx = fixture () in
+  let h = Ef.Hysteresis.create damped_config in
+  let o = override_for fx pfx_a in
+  (* preferred iface still at 90% (> release threshold 85%): even after
+     min-hold the override must stay — this is the flap damping *)
+  let high = projection_with_private_load fx 9e9 in
+  ignore (Ef.Hysteresis.step h ~time_s:0 ~desired:[ o ] ~preferred:high);
+  let r = Ef.Hysteresis.step h ~time_s:300 ~desired:[] ~preferred:high in
+  Alcotest.(check int) "still held" 0 (List.length r.Ef.Hysteresis.removed);
+  Alcotest.(check int) "deferred" 1 r.Ef.Hysteresis.deferred_releases;
+  (* once projected demand drops below release threshold it goes *)
+  let low = projection_with_private_load fx 8e9 in
+  let r = Ef.Hysteresis.step h ~time_s:330 ~desired:[] ~preferred:low in
+  Alcotest.(check int) "released" 1 (List.length r.Ef.Hysteresis.removed)
+
+let test_hysteresis_retarget_after_hold () =
+  let fx = fixture () in
+  let h = Ef.Hysteresis.create damped_config in
+  let o = override_for fx pfx_a in
+  let preferred = projection_with_private_load fx 9.8e9 in
+  ignore (Ef.Hysteresis.step h ~time_s:0 ~desired:[ o ] ~preferred);
+  (* allocator now wants the same prefix on a different peer *)
+  let snap = snapshot fx [ (pfx_a, 1e9) ] in
+  let public_route =
+    List.find
+      (fun r -> Bgp.Route.peer_kind r = Bgp.Peer.Public_peer)
+      (C.Snapshot.routes snap pfx_a)
+  in
+  let o2 =
+    Ef.Override.make ~prefix:pfx_a ~target:public_route
+      ~from_iface:(N.Iface.id fx.Test_core.iface_private)
+      ~to_iface:(N.Iface.id fx.Test_core.iface_public)
+      ~preference_level:1 ~rate_bps:1e9
+  in
+  (* too early: damped *)
+  let r = Ef.Hysteresis.step h ~time_s:30 ~desired:[ o2 ] ~preferred in
+  Alcotest.(check int) "no retarget yet" 0 (List.length r.Ef.Hysteresis.retargeted);
+  (* matured: retargeted in place *)
+  let r = Ef.Hysteresis.step h ~time_s:90 ~desired:[ o2 ] ~preferred in
+  Alcotest.(check int) "retargeted" 1 (List.length r.Ef.Hysteresis.retargeted);
+  match Ef.Hysteresis.active h with
+  | [ active ] ->
+      Alcotest.(check int) "new target" (Bgp.Route.peer_id public_route)
+        (Ef.Override.target_peer_id active)
+  | l -> Alcotest.failf "expected one active, got %d" (List.length l)
+
+let test_hysteresis_disabled_tracks_exactly () =
+  let fx = fixture () in
+  let free =
+    { Ef.Config.default with Ef.Config.min_hold_s = 0; release_margin = 0.0 }
+  in
+  let h = Ef.Hysteresis.create free in
+  let o = override_for fx pfx_a in
+  let low = projection_with_private_load fx 1e9 in
+  ignore (Ef.Hysteresis.step h ~time_s:0 ~desired:[ o ] ~preferred:low);
+  let r = Ef.Hysteresis.step h ~time_s:30 ~desired:[] ~preferred:low in
+  Alcotest.(check int) "released immediately" 1 (List.length r.Ef.Hysteresis.removed)
+
+(* --- Controller -------------------------------------------------------- *)
+
+let test_controller_cycle_relieves () =
+  let fx = fixture () in
+  let ctrl = Ef.Controller.create ~name:"test" () in
+  let snap = snapshot fx [ (pfx_a, 8e9); (pfx_b, 4e9); (pfx_c, 1e9) ] in
+  let stats = Ef.Controller.cycle ctrl snap in
+  Alcotest.(check bool) "was overloaded" true (stats.Ef.Controller.overloaded_before <> []);
+  Alcotest.(check int) "fixed" 0 (List.length stats.Ef.Controller.overloaded_after);
+  Alcotest.(check bool) "detoured something" true
+    (Ef.Controller.detour_fraction stats > 0.0);
+  Alcotest.(check int) "active overrides" 1
+    (List.length (Ef.Controller.active_overrides ctrl));
+  Alcotest.(check int) "cycles" 1 (Ef.Controller.cycles_run ctrl)
+
+let test_controller_emits_bgp_updates () =
+  let fx = fixture () in
+  let ctrl = Ef.Controller.create ~name:"test" () in
+  let snap = snapshot fx [ (pfx_a, 8e9); (pfx_b, 4e9) ] in
+  let stats = Ef.Controller.cycle ctrl snap in
+  let updates = Ef.Controller.bgp_updates ctrl stats in
+  Alcotest.(check int) "one announcement" 1 (List.length updates);
+  (match updates with
+  | [ u ] -> (
+      Alcotest.(check int) "nlri" 1 (List.length u.Bgp.Msg.nlri);
+      match u.Bgp.Msg.attrs with
+      | Some a ->
+          Alcotest.(check (option int)) "controller local pref" (Some 1000)
+            a.Bgp.Attrs.local_pref
+      | None -> Alcotest.fail "no attrs")
+  | _ -> ());
+  (* steady state: same snapshot, no churn, no messages *)
+  let stats2 = Ef.Controller.cycle ctrl snap in
+  Alcotest.(check int) "no updates second cycle" 0
+    (List.length (Ef.Controller.bgp_updates ctrl stats2))
+
+let test_controller_releases_when_demand_drops () =
+  let fx = fixture () in
+  let config = { Ef.Config.default with Ef.Config.min_hold_s = 0 } in
+  let ctrl = Ef.Controller.create ~config ~name:"test" () in
+  ignore (Ef.Controller.cycle ctrl (snapshot fx [ (pfx_a, 8e9); (pfx_b, 4e9) ]));
+  Alcotest.(check int) "installed" 1
+    (List.length (Ef.Controller.active_overrides ctrl));
+  (* demand collapses far below the release threshold *)
+  let stats = Ef.Controller.cycle ctrl (snapshot fx [ (pfx_a, 1e9); (pfx_b, 1e9) ]) in
+  Alcotest.(check int) "released" 1
+    (List.length stats.Ef.Controller.reconcile.Ef.Hysteresis.removed);
+  Alcotest.(check int) "none active" 0
+    (List.length (Ef.Controller.active_overrides ctrl));
+  (* the release shows up as a withdrawal on the wire *)
+  Alcotest.(check bool) "withdrawal emitted" true
+    (List.exists
+       (fun u -> u.Bgp.Msg.withdrawn <> [])
+       (Ef.Controller.bgp_updates ctrl stats))
+
+let test_controller_stateless_across_restart () =
+  let fx = fixture () in
+  let snap = snapshot fx [ (pfx_a, 8e9); (pfx_b, 4e9) ] in
+  let ctrl1 = Ef.Controller.create ~name:"a" () in
+  let stats1 = Ef.Controller.cycle ctrl1 snap in
+  (* a fresh controller fed the same snapshot reaches the same decision *)
+  let ctrl2 = Ef.Controller.create ~name:"b" () in
+  let stats2 = Ef.Controller.cycle ctrl2 snap in
+  let sig_of s =
+    List.map
+      (fun (o : Ef.Override.t) ->
+        (Bgp.Prefix.to_string o.Ef.Override.prefix, Ef.Override.target_peer_id o))
+      s.Ef.Controller.reconcile.Ef.Hysteresis.active
+  in
+  Alcotest.(check (list (pair string int))) "same decisions" (sig_of stats1)
+    (sig_of stats2)
+
+let test_controller_bad_config_rejected () =
+  Alcotest.check_raises "invalid config"
+    (Invalid_argument
+       "Controller.create: bad config: override_local_pref must exceed every policy tier")
+    (fun () ->
+      ignore
+        (Ef.Controller.create
+           ~config:{ Ef.Config.default with Ef.Config.override_local_pref = 100 }
+           ~name:"bad" ()))
+
+let suite =
+  [
+    Alcotest.test_case "hysteresis installs new" `Quick test_hysteresis_installs_new;
+    Alcotest.test_case "hysteresis keeps stable" `Quick test_hysteresis_keeps_stable;
+    Alcotest.test_case "hysteresis min hold" `Quick
+      test_hysteresis_min_hold_blocks_release;
+    Alcotest.test_case "hysteresis release threshold" `Quick
+      test_hysteresis_release_needs_low_utilization;
+    Alcotest.test_case "hysteresis retarget" `Quick test_hysteresis_retarget_after_hold;
+    Alcotest.test_case "hysteresis disabled" `Quick
+      test_hysteresis_disabled_tracks_exactly;
+    Alcotest.test_case "controller relieves" `Quick test_controller_cycle_relieves;
+    Alcotest.test_case "controller emits updates" `Quick
+      test_controller_emits_bgp_updates;
+    Alcotest.test_case "controller releases" `Quick
+      test_controller_releases_when_demand_drops;
+    Alcotest.test_case "controller stateless restart" `Quick
+      test_controller_stateless_across_restart;
+    Alcotest.test_case "controller bad config" `Quick test_controller_bad_config_rejected;
+  ]

@@ -1,0 +1,122 @@
+(* ef_bgp: route-flap damping *)
+
+module Bgp = Ef_bgp
+open Helpers
+
+let p = prefix "10.0.0.0/16"
+let d ?config () = Bgp.Damping.create ?config ()
+
+let flap t ~now_s =
+  Bgp.Damping.record t ~now_s ~prefix:p ~peer_id:1 Bgp.Damping.Withdrawal;
+  Bgp.Damping.record t ~now_s ~prefix:p ~peer_id:1 Bgp.Damping.Readvertisement
+
+let test_single_flap_not_suppressed () =
+  let t = d () in
+  flap t ~now_s:0;
+  (* one withdraw + one re-announce = 1500 < 2000 *)
+  Alcotest.(check bool) "not suppressed" false
+    (Bgp.Damping.is_suppressed t ~now_s:0 ~prefix:p ~peer_id:1);
+  Helpers.check_float "penalty" 1500.0
+    (Bgp.Damping.penalty t ~now_s:0 ~prefix:p ~peer_id:1)
+
+let test_repeated_flaps_suppress () =
+  let t = d () in
+  flap t ~now_s:0;
+  flap t ~now_s:10;
+  Alcotest.(check bool) "suppressed" true
+    (Bgp.Damping.is_suppressed t ~now_s:10 ~prefix:p ~peer_id:1);
+  Alcotest.(check int) "counted" 1 (Bgp.Damping.suppressed_count t ~now_s:10)
+
+let test_decay_releases () =
+  let t = d () in
+  flap t ~now_s:0;
+  flap t ~now_s:10;
+  Alcotest.(check bool) "suppressed now" true
+    (Bgp.Damping.is_suppressed t ~now_s:10 ~prefix:p ~peer_id:1);
+  (* penalty ~3000; two half-lives (1800 s) bring it to ~750, a bit more
+     decays under reuse *)
+  Alcotest.(check bool) "still suppressed after one half-life" true
+    (Bgp.Damping.is_suppressed t ~now_s:(10 + 900) ~prefix:p ~peer_id:1);
+  Alcotest.(check bool) "released after enough decay" false
+    (Bgp.Damping.is_suppressed t ~now_s:(10 + 2000) ~prefix:p ~peer_id:1)
+
+let test_reuse_time_estimate () =
+  let t = d () in
+  flap t ~now_s:0;
+  flap t ~now_s:0;
+  match Bgp.Damping.reuse_time t ~now_s:0 ~prefix:p ~peer_id:1 with
+  | None -> Alcotest.fail "should be suppressed"
+  | Some dt ->
+      (* penalty 3000 -> reuse 750 takes exactly 2 half-lives = 1800 s *)
+      Alcotest.(check bool) "about two half-lives" true (abs (dt - 1800) <= 2);
+      (* and indeed it is released at that moment *)
+      Alcotest.(check bool) "released at reuse time" false
+        (Bgp.Damping.is_suppressed t ~now_s:(dt + 1) ~prefix:p ~peer_id:1)
+
+let test_hysteresis_between_thresholds () =
+  let t = d () in
+  flap t ~now_s:0;
+  flap t ~now_s:0;
+  (* decay to between reuse (750) and suppress (2000): one half-life
+     leaves 1500 — still suppressed because the latch holds *)
+  Alcotest.(check bool) "latched" true
+    (Bgp.Damping.is_suppressed t ~now_s:900 ~prefix:p ~peer_id:1);
+  (* a never-suppressed route with the same penalty is NOT suppressed *)
+  let q = prefix "10.99.0.0/16" in
+  Bgp.Damping.record t ~now_s:900 ~prefix:q ~peer_id:1 Bgp.Damping.Withdrawal;
+  Bgp.Damping.record t ~now_s:900 ~prefix:q ~peer_id:1 Bgp.Damping.Attribute_change;
+  Alcotest.(check bool) "same penalty, not latched" false
+    (Bgp.Damping.is_suppressed t ~now_s:900 ~prefix:q ~peer_id:1)
+
+let test_penalty_ceiling () =
+  let t = d () in
+  for i = 0 to 50 do
+    flap t ~now_s:i
+  done;
+  Alcotest.(check bool) "capped" true
+    (Bgp.Damping.penalty t ~now_s:50 ~prefix:p ~peer_id:1 <= 16000.0)
+
+let test_per_peer_isolation () =
+  let t = d () in
+  flap t ~now_s:0;
+  flap t ~now_s:0;
+  Alcotest.(check bool) "peer 1 suppressed" true
+    (Bgp.Damping.is_suppressed t ~now_s:0 ~prefix:p ~peer_id:1);
+  Alcotest.(check bool) "peer 2 unaffected" false
+    (Bgp.Damping.is_suppressed t ~now_s:0 ~prefix:p ~peer_id:2);
+  Helpers.check_float "peer 2 penalty" 0.0
+    (Bgp.Damping.penalty t ~now_s:0 ~prefix:p ~peer_id:2)
+
+let test_sweep () =
+  let t = d () in
+  flap t ~now_s:0;
+  Bgp.Damping.sweep t ~now_s:0;
+  Alcotest.(check bool) "recent entry kept" true
+    (Bgp.Damping.penalty t ~now_s:0 ~prefix:p ~peer_id:1 > 0.0);
+  (* after ~11 half-lives 1500 -> < 1 *)
+  Bgp.Damping.sweep t ~now_s:(11 * 900);
+  Helpers.check_float "swept" 0.0
+    (Bgp.Damping.penalty t ~now_s:(11 * 900) ~prefix:p ~peer_id:1)
+
+let test_config_validation () =
+  Alcotest.check_raises "reuse >= suppress"
+    (Invalid_argument "Damping.create: reuse must be below suppress") (fun () ->
+      ignore
+        (Bgp.Damping.create
+           ~config:
+             { Bgp.Damping.default_config with Bgp.Damping.reuse_threshold = 3000.0 }
+           ()))
+
+let suite =
+  [
+    Alcotest.test_case "single flap ok" `Quick test_single_flap_not_suppressed;
+    Alcotest.test_case "repeat flaps suppress" `Quick test_repeated_flaps_suppress;
+    Alcotest.test_case "decay releases" `Quick test_decay_releases;
+    Alcotest.test_case "reuse time" `Quick test_reuse_time_estimate;
+    Alcotest.test_case "threshold hysteresis" `Quick
+      test_hysteresis_between_thresholds;
+    Alcotest.test_case "penalty ceiling" `Quick test_penalty_ceiling;
+    Alcotest.test_case "per-peer isolation" `Quick test_per_peer_isolation;
+    Alcotest.test_case "sweep" `Quick test_sweep;
+    Alcotest.test_case "config validation" `Quick test_config_validation;
+  ]

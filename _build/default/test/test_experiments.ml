@@ -1,0 +1,42 @@
+(* ef_sim: experiment-driver smoke tests (static experiments only — the
+   dynamic ones simulate whole days and are exercised by the bench). *)
+
+module E = Ef_sim.Experiments
+module Table = Ef_stats.Table
+
+let test_e1_shape () =
+  let t = E.e1_peering () in
+  (* 4 PoPs x 4 neighbor kinds *)
+  Alcotest.(check int) "rows" 16 (Table.row_count t);
+  let rendered = Table.render t in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) needle true
+        (Helpers.string_contains ~needle rendered))
+    [ "pop-a"; "pop-d"; "transit"; "private"; "route-server" ]
+
+let test_e2_shape () =
+  let t = E.e2_route_diversity () in
+  Alcotest.(check int) "one row per pop" 4 (Table.row_count t);
+  (* every cell ends in % and >=1 coverage is 100% everywhere *)
+  let rendered = Table.render t in
+  Alcotest.(check bool) "full >=1 coverage" true
+    (Helpers.string_contains ~needle:"100.0%" rendered)
+
+let test_e3_shape () =
+  let t = E.e3_preference_mix () in
+  Alcotest.(check int) "one row per pop" 4 (Table.row_count t)
+
+let test_cache_stability () =
+  (* repeated calls reuse cached worlds: identical output *)
+  let a = Table.render (E.e3_preference_mix ()) in
+  let b = Table.render (E.e3_preference_mix ()) in
+  Alcotest.(check string) "deterministic" a b
+
+let suite =
+  [
+    Alcotest.test_case "e1 shape" `Quick test_e1_shape;
+    Alcotest.test_case "e2 shape" `Quick test_e2_shape;
+    Alcotest.test_case "e3 shape" `Quick test_e3_shape;
+    Alcotest.test_case "cache stability" `Quick test_cache_stability;
+  ]

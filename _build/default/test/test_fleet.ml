@@ -1,0 +1,44 @@
+(* ef_sim: Fleet aggregation *)
+
+module N = Ef_netsim
+module S = Ef_sim
+
+let quick_config =
+  {
+    S.Engine.default_config with
+    S.Engine.cycle_s = 300;
+    duration_s = 3600;
+    start_s = 19 * 3600;
+    seed = 5;
+  }
+
+let test_fleet_runs_all () =
+  let fleet = S.Fleet.create ~config:quick_config [ N.Scenario.tiny; N.Scenario.pop_d ] in
+  let results = S.Fleet.run fleet in
+  Alcotest.(check (list string)) "both pops" [ "tiny"; "pop-d" ]
+    (List.map fst results);
+  List.iter
+    (fun (_, m) -> Alcotest.(check int) "cycles" 12 (S.Metrics.cycle_count m))
+    results
+
+let test_fleet_summary () =
+  let fleet = S.Fleet.create ~config:quick_config [ N.Scenario.tiny; N.Scenario.pop_d ] in
+  let results = S.Fleet.run fleet in
+  let s = S.Fleet.summarize results in
+  Alcotest.(check int) "pops" 2 s.S.Fleet.pops;
+  Alcotest.(check bool) "offered positive" true (s.S.Fleet.offered_peak_bps > 0.0);
+  Alcotest.(check bool) "detour fraction sane" true
+    (s.S.Fleet.mean_detour_fraction >= 0.0 && s.S.Fleet.mean_detour_fraction < 1.0);
+  Alcotest.(check int) "no overloads with controller" 0 s.S.Fleet.overloaded_ifaces
+
+let test_fleet_table_has_totals_row () =
+  let fleet = S.Fleet.create ~config:quick_config [ N.Scenario.tiny ] in
+  let table = S.Fleet.summary_table (S.Fleet.run fleet) in
+  Alcotest.(check int) "pop + FLEET rows" 2 (Ef_stats.Table.row_count table)
+
+let suite =
+  [
+    Alcotest.test_case "fleet runs all" `Slow test_fleet_runs_all;
+    Alcotest.test_case "fleet summary" `Slow test_fleet_summary;
+    Alcotest.test_case "fleet table" `Slow test_fleet_table_has_totals_row;
+  ]

@@ -1,0 +1,208 @@
+(* ef_bgp: session FSM *)
+
+module Bgp = Ef_bgp
+open Helpers
+
+let config =
+  Bgp.Fsm.default_config ~local_asn:(Bgp.Asn.of_int 64500)
+    ~local_id:(ip "10.0.0.1")
+
+let peer_open ?(asn = 64501) ?(hold_time = 90) () =
+  match
+    Bgp.Msg.make_open ~hold_time ~asn:(Bgp.Asn.of_int asn) ~bgp_id:(ip "10.0.0.2") ()
+  with
+  | Bgp.Msg.Open o -> o
+  | _ -> assert false
+
+(* drive a fresh FSM to Established, returning it *)
+let established () =
+  let fsm = Bgp.Fsm.create config in
+  ignore (Bgp.Fsm.handle fsm Bgp.Fsm.Manual_start);
+  ignore (Bgp.Fsm.handle fsm Bgp.Fsm.Tcp_connected);
+  ignore (Bgp.Fsm.handle fsm (Bgp.Fsm.Received (Bgp.Msg.Open (peer_open ()))));
+  ignore (Bgp.Fsm.handle fsm (Bgp.Fsm.Received Bgp.Msg.Keepalive));
+  fsm
+
+let has_action pred actions = List.exists pred actions
+
+let is_send_open = function
+  | Bgp.Fsm.Send (Bgp.Msg.Open _) -> true
+  | _ -> false
+
+let is_send_keepalive = function
+  | Bgp.Fsm.Send Bgp.Msg.Keepalive -> true
+  | _ -> false
+
+let is_send_notification = function
+  | Bgp.Fsm.Send (Bgp.Msg.Notification _) -> true
+  | _ -> false
+
+let state_t = Alcotest.testable Bgp.Fsm.pp_state ( = )
+
+let test_happy_path () =
+  let fsm = Bgp.Fsm.create config in
+  Alcotest.check state_t "starts idle" Bgp.Fsm.Idle (Bgp.Fsm.state fsm);
+
+  let actions = Bgp.Fsm.handle fsm Bgp.Fsm.Manual_start in
+  Alcotest.check state_t "connect" Bgp.Fsm.Connect (Bgp.Fsm.state fsm);
+  Alcotest.(check bool) "wants tcp" true
+    (has_action (( = ) Bgp.Fsm.Connect_tcp) actions);
+
+  let actions = Bgp.Fsm.handle fsm Bgp.Fsm.Tcp_connected in
+  Alcotest.check state_t "open sent" Bgp.Fsm.Open_sent (Bgp.Fsm.state fsm);
+  Alcotest.(check bool) "sends OPEN" true (has_action is_send_open actions);
+
+  let actions = Bgp.Fsm.handle fsm (Bgp.Fsm.Received (Bgp.Msg.Open (peer_open ()))) in
+  Alcotest.check state_t "open confirm" Bgp.Fsm.Open_confirm (Bgp.Fsm.state fsm);
+  Alcotest.(check bool) "sends KEEPALIVE" true (has_action is_send_keepalive actions);
+
+  let actions = Bgp.Fsm.handle fsm (Bgp.Fsm.Received Bgp.Msg.Keepalive) in
+  Alcotest.check state_t "established" Bgp.Fsm.Established (Bgp.Fsm.state fsm);
+  Alcotest.(check bool) "session up" true
+    (has_action (( = ) Bgp.Fsm.Session_up) actions)
+
+let test_hold_time_negotiation () =
+  let fsm = Bgp.Fsm.create config in
+  ignore (Bgp.Fsm.handle fsm Bgp.Fsm.Manual_start);
+  ignore (Bgp.Fsm.handle fsm Bgp.Fsm.Tcp_connected);
+  ignore
+    (Bgp.Fsm.handle fsm
+       (Bgp.Fsm.Received (Bgp.Msg.Open (peer_open ~hold_time:30 ()))));
+  Alcotest.(check (option int)) "min of offers" (Some 30)
+    (Bgp.Fsm.negotiated_hold_time fsm)
+
+let test_update_delivery () =
+  let fsm = established () in
+  let update = { Bgp.Msg.withdrawn = [ prefix "10.0.0.0/8" ]; attrs = None; nlri = [] } in
+  let actions = Bgp.Fsm.handle fsm (Bgp.Fsm.Received (Bgp.Msg.Update update)) in
+  Alcotest.(check bool) "delivers" true
+    (has_action (function Bgp.Fsm.Deliver_update _ -> true | _ -> false) actions);
+  Alcotest.check state_t "still established" Bgp.Fsm.Established (Bgp.Fsm.state fsm)
+
+let test_hold_timer_expiry () =
+  let fsm = established () in
+  let actions = Bgp.Fsm.handle fsm (Bgp.Fsm.Timer_expired Bgp.Fsm.Hold_timer) in
+  Alcotest.check state_t "back to idle" Bgp.Fsm.Idle (Bgp.Fsm.state fsm);
+  Alcotest.(check bool) "notifies peer" true (has_action is_send_notification actions);
+  Alcotest.(check bool) "reports down" true
+    (has_action (function Bgp.Fsm.Session_down _ -> true | _ -> false) actions)
+
+let test_keepalive_timer () =
+  let fsm = established () in
+  let actions = Bgp.Fsm.handle fsm (Bgp.Fsm.Timer_expired Bgp.Fsm.Keepalive_timer) in
+  Alcotest.(check bool) "sends keepalive" true (has_action is_send_keepalive actions);
+  Alcotest.check state_t "stays established" Bgp.Fsm.Established (Bgp.Fsm.state fsm)
+
+let test_notification_teardown () =
+  let fsm = established () in
+  let actions =
+    Bgp.Fsm.handle fsm (Bgp.Fsm.Received (Bgp.Msg.cease ()))
+  in
+  Alcotest.check state_t "idle" Bgp.Fsm.Idle (Bgp.Fsm.state fsm);
+  (* peer sent the notification; we must not send one back *)
+  Alcotest.(check bool) "no notification reply" false
+    (has_action is_send_notification actions)
+
+let test_tcp_failure_retries () =
+  let fsm = Bgp.Fsm.create config in
+  ignore (Bgp.Fsm.handle fsm Bgp.Fsm.Manual_start);
+  ignore (Bgp.Fsm.handle fsm Bgp.Fsm.Tcp_failed);
+  Alcotest.check state_t "active" Bgp.Fsm.Active (Bgp.Fsm.state fsm);
+  let actions =
+    Bgp.Fsm.handle fsm (Bgp.Fsm.Timer_expired Bgp.Fsm.Connect_retry_timer)
+  in
+  Alcotest.check state_t "reconnecting" Bgp.Fsm.Connect (Bgp.Fsm.state fsm);
+  Alcotest.(check bool) "retries tcp" true
+    (has_action (( = ) Bgp.Fsm.Connect_tcp) actions)
+
+let test_wrong_asn_refused () =
+  let config = { config with Bgp.Fsm.remote_asn = Some (Bgp.Asn.of_int 64501) } in
+  let fsm = Bgp.Fsm.create config in
+  ignore (Bgp.Fsm.handle fsm Bgp.Fsm.Manual_start);
+  ignore (Bgp.Fsm.handle fsm Bgp.Fsm.Tcp_connected);
+  let actions =
+    Bgp.Fsm.handle fsm (Bgp.Fsm.Received (Bgp.Msg.Open (peer_open ~asn:666 ())))
+  in
+  Alcotest.check state_t "refused" Bgp.Fsm.Idle (Bgp.Fsm.state fsm);
+  Alcotest.(check bool) "notification sent" true
+    (has_action is_send_notification actions)
+
+let test_update_before_open_is_fsm_error () =
+  let fsm = Bgp.Fsm.create config in
+  ignore (Bgp.Fsm.handle fsm Bgp.Fsm.Manual_start);
+  ignore (Bgp.Fsm.handle fsm Bgp.Fsm.Tcp_connected);
+  let actions = Bgp.Fsm.handle fsm (Bgp.Fsm.Received Bgp.Msg.Keepalive) in
+  Alcotest.check state_t "torn down" Bgp.Fsm.Idle (Bgp.Fsm.state fsm);
+  Alcotest.(check bool) "fsm error" true (has_action is_send_notification actions)
+
+let test_manual_stop_sends_cease () =
+  let fsm = established () in
+  let actions = Bgp.Fsm.handle fsm Bgp.Fsm.Manual_stop in
+  Alcotest.check state_t "idle" Bgp.Fsm.Idle (Bgp.Fsm.state fsm);
+  Alcotest.(check bool) "cease" true
+    (has_action
+       (function
+         | Bgp.Fsm.Send (Bgp.Msg.Notification { code = Bgp.Msg.Cease _; _ }) -> true
+         | _ -> false)
+       actions)
+
+let test_events_in_idle_ignored () =
+  let fsm = Bgp.Fsm.create config in
+  Alcotest.(check int) "tcp events ignored" 0
+    (List.length (Bgp.Fsm.handle fsm Bgp.Fsm.Tcp_connected));
+  Alcotest.(check int) "messages ignored" 0
+    (List.length (Bgp.Fsm.handle fsm (Bgp.Fsm.Received Bgp.Msg.Keepalive)))
+
+let test_session_restart_after_teardown () =
+  let fsm = established () in
+  ignore (Bgp.Fsm.handle fsm Bgp.Fsm.Tcp_closed);
+  Alcotest.check state_t "idle after close" Bgp.Fsm.Idle (Bgp.Fsm.state fsm);
+  ignore (Bgp.Fsm.handle fsm Bgp.Fsm.Manual_start);
+  ignore (Bgp.Fsm.handle fsm Bgp.Fsm.Tcp_connected);
+  ignore (Bgp.Fsm.handle fsm (Bgp.Fsm.Received (Bgp.Msg.Open (peer_open ()))));
+  ignore (Bgp.Fsm.handle fsm (Bgp.Fsm.Received Bgp.Msg.Keepalive));
+  Alcotest.check state_t "re-established" Bgp.Fsm.Established (Bgp.Fsm.state fsm)
+
+(* random event sequences never raise and never reach Established without
+   the proper handshake *)
+let qcheck_fsm_total =
+  let gen_event =
+    QCheck.Gen.oneofl
+      [
+        Bgp.Fsm.Manual_start;
+        Bgp.Fsm.Manual_stop;
+        Bgp.Fsm.Tcp_connected;
+        Bgp.Fsm.Tcp_failed;
+        Bgp.Fsm.Tcp_closed;
+        Bgp.Fsm.Timer_expired Bgp.Fsm.Hold_timer;
+        Bgp.Fsm.Timer_expired Bgp.Fsm.Keepalive_timer;
+        Bgp.Fsm.Timer_expired Bgp.Fsm.Connect_retry_timer;
+        Bgp.Fsm.Received Bgp.Msg.Keepalive;
+        Bgp.Fsm.Received (Bgp.Msg.Open (peer_open ()));
+        Bgp.Fsm.Received (Bgp.Msg.cease ());
+      ]
+  in
+  QCheck.Test.make ~name:"fsm total on random event sequences" ~count:300
+    (QCheck.make QCheck.Gen.(list_size (int_range 0 50) gen_event))
+    (fun events ->
+      let fsm = Bgp.Fsm.create config in
+      List.iter (fun e -> ignore (Bgp.Fsm.handle fsm e)) events;
+      true)
+
+let suite =
+  [
+    Alcotest.test_case "happy path to established" `Quick test_happy_path;
+    Alcotest.test_case "hold time negotiation" `Quick test_hold_time_negotiation;
+    Alcotest.test_case "update delivery" `Quick test_update_delivery;
+    Alcotest.test_case "hold timer expiry" `Quick test_hold_timer_expiry;
+    Alcotest.test_case "keepalive timer" `Quick test_keepalive_timer;
+    Alcotest.test_case "notification teardown" `Quick test_notification_teardown;
+    Alcotest.test_case "tcp failure retries" `Quick test_tcp_failure_retries;
+    Alcotest.test_case "wrong asn refused" `Quick test_wrong_asn_refused;
+    Alcotest.test_case "message before open" `Quick
+      test_update_before_open_is_fsm_error;
+    Alcotest.test_case "manual stop sends cease" `Quick test_manual_stop_sends_cease;
+    Alcotest.test_case "events in idle ignored" `Quick test_events_in_idle_ignored;
+    Alcotest.test_case "session restart" `Quick test_session_restart_after_teardown;
+    QCheck_alcotest.to_alcotest qcheck_fsm_total;
+  ]

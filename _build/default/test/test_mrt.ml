@@ -1,0 +1,134 @@
+(* ef_bgp: MRT TABLE_DUMP_V2 export/import *)
+
+module Bgp = Ef_bgp
+module N = Ef_netsim
+open Helpers
+
+let world = lazy (N.Topo_gen.generate N.Topo_gen.small_config)
+
+let dump () =
+  let w = Lazy.force world in
+  let rib = N.Pop.rib w.N.Topo_gen.pop in
+  (w, rib, Bgp.Mrt.of_rib ~timestamp:1700000000 ~collector_id:(ip "10.0.0.1") rib)
+
+let test_of_rib_shape () =
+  let w, rib, mrt = dump () in
+  Alcotest.(check int) "one peer entry per neighbor"
+    (List.length (Bgp.Rib.peer_ids rib))
+    (List.length mrt.Bgp.Mrt.peers);
+  Alcotest.(check int) "one record per prefix" (Bgp.Rib.prefix_count rib)
+    (List.length mrt.Bgp.Mrt.records);
+  let total_entries =
+    List.fold_left
+      (fun acc r -> acc + List.length r.Bgp.Mrt.entries)
+      0 mrt.Bgp.Mrt.records
+  in
+  Alcotest.(check int) "one entry per candidate route" (Bgp.Rib.route_count rib)
+    total_entries;
+  ignore w
+
+let test_roundtrip () =
+  let _, _, mrt = dump () in
+  let wire = Bgp.Mrt.encode ~timestamp:1700000000 mrt in
+  match Bgp.Mrt.decode wire with
+  | Error e -> Alcotest.failf "decode: %s" (Format.asprintf "%a" Bgp.Mrt.pp_error e)
+  | Ok got ->
+      Alcotest.check ipv4_t "collector" mrt.Bgp.Mrt.collector_id
+        got.Bgp.Mrt.collector_id;
+      Alcotest.(check string) "view" "edge-fabric" got.Bgp.Mrt.view_name;
+      Alcotest.(check int) "peers" (List.length mrt.Bgp.Mrt.peers)
+        (List.length got.Bgp.Mrt.peers);
+      List.iter2
+        (fun (a : Bgp.Mrt.peer_entry) (b : Bgp.Mrt.peer_entry) ->
+          Alcotest.(check int) "asn" (Bgp.Asn.to_int a.Bgp.Mrt.peer_asn)
+            (Bgp.Asn.to_int b.Bgp.Mrt.peer_asn);
+          Alcotest.check ipv4_t "addr" a.Bgp.Mrt.peer_addr b.Bgp.Mrt.peer_addr)
+        mrt.Bgp.Mrt.peers got.Bgp.Mrt.peers;
+      Alcotest.(check int) "records" (List.length mrt.Bgp.Mrt.records)
+        (List.length got.Bgp.Mrt.records);
+      List.iter2
+        (fun (a : Bgp.Mrt.rib_record) (b : Bgp.Mrt.rib_record) ->
+          Alcotest.check prefix_t "prefix" a.Bgp.Mrt.rib_prefix b.Bgp.Mrt.rib_prefix;
+          Alcotest.(check int) "sequence" a.Bgp.Mrt.sequence b.Bgp.Mrt.sequence;
+          List.iter2
+            (fun (x : Bgp.Mrt.rib_entry) (y : Bgp.Mrt.rib_entry) ->
+              Alcotest.(check int) "peer index" x.Bgp.Mrt.entry_peer_index
+                y.Bgp.Mrt.entry_peer_index;
+              Alcotest.(check bool) "attrs equal" true
+                (Bgp.Attrs.equal x.Bgp.Mrt.attrs y.Bgp.Mrt.attrs))
+            a.Bgp.Mrt.entries b.Bgp.Mrt.entries)
+        mrt.Bgp.Mrt.records got.Bgp.Mrt.records
+
+let test_header_layout () =
+  (* MRT common header: timestamp u32, type 13, subtype 1 first *)
+  let _, _, mrt = dump () in
+  let wire = Bgp.Mrt.encode ~timestamp:0x64000000 mrt in
+  let b i = Char.code wire.[i] in
+  Alcotest.(check int) "timestamp hi" 0x64 (b 0);
+  Alcotest.(check int) "type" 13 ((b 4 lsl 8) lor b 5);
+  Alcotest.(check int) "subtype peer-index" 1 ((b 6 lsl 8) lor b 7)
+
+let test_truncation_detected () =
+  let _, _, mrt = dump () in
+  let wire = Bgp.Mrt.encode ~timestamp:0 mrt in
+  match Bgp.Mrt.decode (String.sub wire 0 (String.length wire - 7)) with
+  | Error Bgp.Mrt.Truncated -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Format.asprintf "%a" Bgp.Mrt.pp_error e)
+  | Ok _ -> Alcotest.fail "accepted truncated dump"
+
+let test_missing_peer_table () =
+  (* a dump starting directly with a RIB record has no peer table *)
+  let _, _, mrt = dump () in
+  let wire = Bgp.Mrt.encode ~timestamp:0 mrt in
+  (* skip the first record: parse its length from the header *)
+  let b i = Char.code wire.[i] in
+  let first_len = (b 8 lsl 24) lor (b 9 lsl 16) lor (b 10 lsl 8) lor b 11 in
+  let rest = String.sub wire (12 + first_len) (String.length wire - 12 - first_len) in
+  match Bgp.Mrt.decode rest with
+  | Error (Bgp.Mrt.Malformed _) -> ()
+  | _ -> Alcotest.fail "accepted dump without PEER_INDEX_TABLE"
+
+let test_save_load () =
+  let path = Filename.temp_file "ef_mrt" ".mrt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let _, rib, mrt = dump () in
+      Bgp.Mrt.save path ~timestamp:1700000000 mrt;
+      match Bgp.Mrt.load path with
+      | Error e -> Alcotest.failf "load: %s" (Format.asprintf "%a" Bgp.Mrt.pp_error e)
+      | Ok got ->
+          Alcotest.(check int) "records survive" (Bgp.Rib.prefix_count rib)
+            (List.length got.Bgp.Mrt.records))
+
+let test_best_paths_recoverable () =
+  (* the dump preserves decision order: entry 0 of each record is the
+     RIB's best path *)
+  let w, rib, mrt = dump () in
+  let wire = Bgp.Mrt.encode ~timestamp:0 mrt in
+  match Bgp.Mrt.decode wire with
+  | Error _ -> Alcotest.fail "decode failed"
+  | Ok got ->
+      List.iter
+        (fun (r : Bgp.Mrt.rib_record) ->
+          match (r.Bgp.Mrt.entries, Bgp.Rib.best rib r.Bgp.Mrt.rib_prefix) with
+          | first :: _, Some best ->
+              let peer = List.nth got.Bgp.Mrt.peers first.Bgp.Mrt.entry_peer_index in
+              Alcotest.(check int)
+                (Bgp.Prefix.to_string r.Bgp.Mrt.rib_prefix)
+                (Bgp.Asn.to_int (Bgp.Peer.asn (Bgp.Route.peer best)))
+                (Bgp.Asn.to_int peer.Bgp.Mrt.peer_asn)
+          | _ -> Alcotest.fail "empty record")
+        got.Bgp.Mrt.records;
+      ignore w
+
+let suite =
+  [
+    Alcotest.test_case "of_rib shape" `Quick test_of_rib_shape;
+    Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+    Alcotest.test_case "header layout" `Quick test_header_layout;
+    Alcotest.test_case "truncation detected" `Quick test_truncation_detected;
+    Alcotest.test_case "missing peer table" `Quick test_missing_peer_table;
+    Alcotest.test_case "save/load" `Quick test_save_load;
+    Alcotest.test_case "best paths recoverable" `Quick test_best_paths_recoverable;
+  ]

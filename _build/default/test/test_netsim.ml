@@ -1,0 +1,290 @@
+(* ef_netsim: Region, Iface, Pop, Topo_gen, Latency, Scenario *)
+
+module Bgp = Ef_bgp
+module N = Ef_netsim
+open Helpers
+
+let world () = N.Topo_gen.generate N.Topo_gen.small_config
+
+let test_region_symmetry () =
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          Helpers.check_float "symmetric" (N.Region.base_rtt_ms a b)
+            (N.Region.base_rtt_ms b a))
+        N.Region.all)
+    N.Region.all
+
+let test_region_local_smaller () =
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          if not (N.Region.equal a b) then
+            Alcotest.(check bool) "local < remote" true
+              (N.Region.base_rtt_ms a a < N.Region.base_rtt_ms a b))
+        N.Region.all)
+    N.Region.all
+
+let test_region_string_roundtrip () =
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "roundtrip" true
+        (N.Region.of_string (N.Region.to_string r) = Some r))
+    N.Region.all
+
+let test_iface_validation () =
+  Alcotest.check_raises "zero capacity"
+    (Invalid_argument "Iface.make: capacity must be positive") (fun () ->
+      ignore (N.Iface.make ~id:0 ~name:"x" ~capacity_bps:0.0 ~shared:false))
+
+let test_pop_construction () =
+  let pop =
+    N.Pop.create ~name:"test" ~region:N.Region.Europe ~asn:(Bgp.Asn.of_int 64500) ()
+  in
+  let i0 = N.Pop.add_interface pop ~name:"a" ~capacity_bps:1e9 ~shared:false in
+  let i1 = N.Pop.add_interface pop ~name:"b" ~capacity_bps:2e9 ~shared:true in
+  Alcotest.(check int) "dense ids" 0 (N.Iface.id i0);
+  Alcotest.(check int) "dense ids" 1 (N.Iface.id i1);
+  Alcotest.(check int) "count" 2 (N.Pop.interface_count pop);
+  Helpers.check_float "total capacity" 3e9 (N.Pop.total_capacity_bps pop);
+  let p = peer ~kind:Bgp.Peer.Public_peer 0 in
+  N.Pop.add_peer pop p ~iface:i1 ~policy:Bgp.Policy.accept_all;
+  Alcotest.(check int) "iface of peer" 1
+    (N.Iface.id (N.Pop.iface_of_peer pop ~peer_id:0));
+  Alcotest.(check int) "peers on iface" 1
+    (List.length (N.Pop.peers_on_iface pop ~iface_id:1));
+  Alcotest.(check int) "none on other" 0
+    (List.length (N.Pop.peers_on_iface pop ~iface_id:0))
+
+let test_pop_foreign_iface_rejected () =
+  let pop1 =
+    N.Pop.create ~name:"p1" ~region:N.Region.Europe ~asn:(Bgp.Asn.of_int 64500) ()
+  in
+  let pop2 =
+    N.Pop.create ~name:"p2" ~region:N.Region.Europe ~asn:(Bgp.Asn.of_int 64501) ()
+  in
+  let foreign = N.Pop.add_interface pop2 ~name:"x" ~capacity_bps:1e9 ~shared:false in
+  (* same dense id exists in pop1? no interfaces at all: must refuse *)
+  Alcotest.check_raises "foreign iface"
+    (Invalid_argument "Pop.add_peer: interface not part of this PoP") (fun () ->
+      N.Pop.add_peer pop1 (peer 0) ~iface:foreign ~policy:Bgp.Policy.accept_all)
+
+(* --- Topo_gen invariants --------------------------------------------- *)
+
+let test_world_deterministic () =
+  let w1 = world () and w2 = world () in
+  Alcotest.(check int) "same prefix count"
+    (List.length w1.N.Topo_gen.all_prefixes)
+    (List.length w2.N.Topo_gen.all_prefixes);
+  List.iter2
+    (fun p1 p2 -> Alcotest.check prefix_t "same prefixes" p1 p2)
+    w1.N.Topo_gen.all_prefixes w2.N.Topo_gen.all_prefixes;
+  let peers1 = N.Pop.peers w1.N.Topo_gen.pop
+  and peers2 = N.Pop.peers w2.N.Topo_gen.pop in
+  Alcotest.(check (list int)) "same peers"
+    (List.map Bgp.Peer.id peers1)
+    (List.map Bgp.Peer.id peers2)
+
+let test_world_weights_normalised () =
+  let w = world () in
+  let total =
+    List.fold_left
+      (fun acc p -> acc +. w.N.Topo_gen.prefix_weight p)
+      0.0 w.N.Topo_gen.all_prefixes
+  in
+  Helpers.check_float_eps 1e-6 "weights sum to 1" 1.0 total
+
+let test_world_prefixes_unique_and_owned () =
+  let w = world () in
+  let sorted = List.sort Bgp.Prefix.compare w.N.Topo_gen.all_prefixes in
+  let rec no_dup = function
+    | a :: (b :: _ as rest) ->
+        if Bgp.Prefix.equal a b then Alcotest.fail "duplicate prefix";
+        no_dup rest
+    | [ _ ] | [] -> ()
+  in
+  no_dup sorted;
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "has origin" true
+        (Option.is_some (w.N.Topo_gen.prefix_origin p)))
+    w.N.Topo_gen.all_prefixes
+
+let test_world_every_prefix_routable () =
+  let w = world () in
+  let rib = N.Pop.rib w.N.Topo_gen.pop in
+  List.iter
+    (fun p ->
+      let routes = Bgp.Rib.ranked rib p in
+      if routes = [] then
+        Alcotest.failf "%s has no routes" (Bgp.Prefix.to_string p);
+      (* transit provides a route for everything, so >= n_transits *)
+      if List.length routes < N.Topo_gen.small_config.N.Topo_gen.n_transits then
+        Alcotest.failf "%s has too few routes" (Bgp.Prefix.to_string p))
+    w.N.Topo_gen.all_prefixes
+
+let test_world_transit_routes_everywhere () =
+  let w = world () in
+  let rib = N.Pop.rib w.N.Topo_gen.pop in
+  List.iter
+    (fun p ->
+      let routes = Bgp.Rib.ranked rib p in
+      Alcotest.(check bool) "has transit candidate" true
+        (List.exists (fun r -> Bgp.Route.peer_kind r = Bgp.Peer.Transit) routes))
+    w.N.Topo_gen.all_prefixes
+
+let test_world_private_peers_preferred_for_own_prefixes () =
+  let w = world () in
+  let rib = N.Pop.rib w.N.Topo_gen.pop in
+  let private_asns =
+    List.filter_map
+      (fun p ->
+        if Bgp.Peer.kind p = Bgp.Peer.Private_peer then Some (Bgp.Peer.asn p)
+        else None)
+      (N.Pop.peers w.N.Topo_gen.pop)
+  in
+  Alcotest.(check bool) "has private peers" true (private_asns <> []);
+  List.iter
+    (fun a ->
+      match
+        List.find_opt
+          (fun ai -> Bgp.Asn.equal ai.N.Topo_gen.asn a)
+          w.N.Topo_gen.ases
+      with
+      | None -> ()
+      | Some ai ->
+          List.iter
+            (fun p ->
+              match Bgp.Rib.best rib p with
+              | None -> Alcotest.fail "no best"
+              | Some r ->
+                  Alcotest.(check bool) "best is private peer" true
+                    (Bgp.Route.peer_kind r = Bgp.Peer.Private_peer))
+            ai.N.Topo_gen.as_prefixes)
+    private_asns
+
+let test_world_port_sizes_standardish () =
+  let w = N.Topo_gen.generate N.Topo_gen.default_config in
+  List.iter
+    (fun iface ->
+      let gbps = N.Iface.capacity_bps iface /. 1e9 in
+      let ok =
+        if gbps <= 100.0 then Float.rem gbps 10.0 = 0.0
+        else Float.rem gbps 100.0 = 0.0
+        (* transit/IXP port capacities come straight from the config *)
+        || N.Iface.shared iface
+        || String.length (N.Iface.name iface) > 7
+           && String.sub (N.Iface.name iface) 0 7 = "transit"
+      in
+      if not ok then
+        Alcotest.failf "odd port size %s: %f" (N.Iface.name iface) gbps)
+    (N.Pop.interfaces w.N.Topo_gen.pop)
+
+let test_round_up_to_port () =
+  Helpers.check_float "small" 10.0 (N.Topo_gen.round_up_to_port 0.5);
+  Helpers.check_float "mid" 40.0 (N.Topo_gen.round_up_to_port 33.0);
+  Helpers.check_float "exact" 100.0 (N.Topo_gen.round_up_to_port 100.0);
+  Helpers.check_float "big" 300.0 (N.Topo_gen.round_up_to_port 233.0)
+
+(* --- Latency ---------------------------------------------------------- *)
+
+let latency_model w =
+  N.Latency.create
+    ~pop_region:(N.Pop.region w.N.Topo_gen.pop)
+    ~origin_region:w.N.Topo_gen.origin_region ~seed:99
+
+let test_latency_deterministic () =
+  let w = world () in
+  let l = latency_model w in
+  let rib = N.Pop.rib w.N.Topo_gen.pop in
+  let p = List.hd w.N.Topo_gen.all_prefixes in
+  match Bgp.Rib.best rib p with
+  | None -> Alcotest.fail "no route"
+  | Some r ->
+      Helpers.check_float "same twice" (N.Latency.base_rtt_ms l p r)
+        (N.Latency.base_rtt_ms l p r)
+
+let test_latency_positive () =
+  let w = world () in
+  let l = latency_model w in
+  let rib = N.Pop.rib w.N.Topo_gen.pop in
+  List.iter
+    (fun p ->
+      List.iter
+        (fun r ->
+          let rtt = N.Latency.base_rtt_ms l p r in
+          if rtt <= 0.0 then Alcotest.failf "non-positive rtt %f" rtt)
+        (Bgp.Rib.ranked rib p))
+    w.N.Topo_gen.all_prefixes
+
+let test_congestion_penalty_shape () =
+  Helpers.check_float "none below knee" 0.0
+    (N.Latency.congestion_penalty_ms ~utilization:0.5);
+  Helpers.check_float "none at knee" 0.0
+    (N.Latency.congestion_penalty_ms ~utilization:0.9);
+  let mid = N.Latency.congestion_penalty_ms ~utilization:1.0 in
+  let high = N.Latency.congestion_penalty_ms ~utilization:1.1 in
+  Alcotest.(check bool) "grows" true (0.0 < mid && mid < high);
+  Helpers.check_float "caps" 150.0
+    (N.Latency.congestion_penalty_ms ~utilization:2.0)
+
+let test_congested_rtt_higher () =
+  let w = world () in
+  let l = latency_model w in
+  let rib = N.Pop.rib w.N.Topo_gen.pop in
+  let p = List.hd w.N.Topo_gen.all_prefixes in
+  match Bgp.Rib.best rib p with
+  | None -> Alcotest.fail "no route"
+  | Some r ->
+      Alcotest.(check bool) "congestion inflates" true
+        (N.Latency.rtt_ms l p r ~utilization:1.1
+        > N.Latency.rtt_ms l p r ~utilization:0.3)
+
+let test_scenarios_generate () =
+  List.iter
+    (fun s ->
+      if s.N.Scenario.scenario_name <> "stress" then begin
+        let w = N.Topo_gen.generate s.N.Scenario.topo in
+        Alcotest.(check bool)
+          (s.N.Scenario.scenario_name ^ " nonempty")
+          true
+          (w.N.Topo_gen.all_prefixes <> [])
+      end)
+    N.Scenario.all
+
+let test_scenario_find () =
+  Alcotest.(check bool) "finds pop-a" true (Option.is_some (N.Scenario.find "pop-a"));
+  Alcotest.(check bool) "unknown" true (Option.is_none (N.Scenario.find "nope"));
+  Alcotest.(check int) "paper pops" 4 (List.length N.Scenario.paper_pops)
+
+let suite =
+  [
+    Alcotest.test_case "region symmetry" `Quick test_region_symmetry;
+    Alcotest.test_case "region local smaller" `Quick test_region_local_smaller;
+    Alcotest.test_case "region string roundtrip" `Quick test_region_string_roundtrip;
+    Alcotest.test_case "iface validation" `Quick test_iface_validation;
+    Alcotest.test_case "pop construction" `Quick test_pop_construction;
+    Alcotest.test_case "pop foreign iface" `Quick test_pop_foreign_iface_rejected;
+    Alcotest.test_case "world deterministic" `Quick test_world_deterministic;
+    Alcotest.test_case "world weights normalised" `Quick
+      test_world_weights_normalised;
+    Alcotest.test_case "world prefixes unique+owned" `Quick
+      test_world_prefixes_unique_and_owned;
+    Alcotest.test_case "world every prefix routable" `Quick
+      test_world_every_prefix_routable;
+    Alcotest.test_case "world transit everywhere" `Quick
+      test_world_transit_routes_everywhere;
+    Alcotest.test_case "world private preferred" `Quick
+      test_world_private_peers_preferred_for_own_prefixes;
+    Alcotest.test_case "world port sizes" `Quick test_world_port_sizes_standardish;
+    Alcotest.test_case "round up to port" `Quick test_round_up_to_port;
+    Alcotest.test_case "latency deterministic" `Quick test_latency_deterministic;
+    Alcotest.test_case "latency positive" `Quick test_latency_positive;
+    Alcotest.test_case "congestion penalty shape" `Quick
+      test_congestion_penalty_shape;
+    Alcotest.test_case "congested rtt higher" `Quick test_congested_rtt_higher;
+    Alcotest.test_case "scenarios generate" `Quick test_scenarios_generate;
+    Alcotest.test_case "scenario find" `Quick test_scenario_find;
+  ]

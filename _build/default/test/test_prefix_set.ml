@@ -1,0 +1,137 @@
+(* ef_bgp: prefix-set normalization and aggregation *)
+
+module Bgp = Ef_bgp
+open Helpers
+
+let ps l = List.map prefix l
+let check_set name expected actual =
+  Alcotest.(check (list prefix_t)) name (ps expected) actual
+
+let test_normalize_dedup () =
+  check_set "dedup" [ "10.0.0.0/24" ]
+    (Bgp.Prefix_set.normalize (ps [ "10.0.0.0/24"; "10.0.0.0/24" ]))
+
+let test_normalize_covered () =
+  check_set "covered dropped" [ "10.0.0.0/16" ]
+    (Bgp.Prefix_set.normalize
+       (ps [ "10.0.1.0/24"; "10.0.0.0/16"; "10.0.200.0/24" ]))
+
+let test_normalize_disjoint_kept () =
+  check_set "disjoint kept"
+    [ "10.0.0.0/24"; "10.0.1.0/24"; "11.0.0.0/8" ]
+    (Bgp.Prefix_set.normalize (ps [ "11.0.0.0/8"; "10.0.1.0/24"; "10.0.0.0/24" ]))
+
+let test_aggregate_siblings () =
+  check_set "pair merges" [ "10.0.0.0/23" ]
+    (Bgp.Prefix_set.aggregate (ps [ "10.0.0.0/24"; "10.0.1.0/24" ]))
+
+let test_aggregate_cascades () =
+  (* four consecutive /24s collapse all the way to a /22 *)
+  check_set "cascade" [ "10.0.0.0/22" ]
+    (Bgp.Prefix_set.aggregate
+       (ps [ "10.0.0.0/24"; "10.0.1.0/24"; "10.0.2.0/24"; "10.0.3.0/24" ]))
+
+let test_aggregate_non_siblings_kept () =
+  (* 10.0.1.0/24 and 10.0.2.0/24 are adjacent but NOT siblings: no merge *)
+  check_set "non-siblings" [ "10.0.1.0/24"; "10.0.2.0/24" ]
+    (Bgp.Prefix_set.aggregate (ps [ "10.0.1.0/24"; "10.0.2.0/24" ]))
+
+let test_aggregate_hole_blocks_merge () =
+  check_set "hole blocks"
+    [ "10.0.0.0/24"; "10.0.2.0/23" ]
+    (Bgp.Prefix_set.aggregate (ps [ "10.0.0.0/24"; "10.0.2.0/24"; "10.0.3.0/24" ]))
+
+let test_same_space () =
+  Alcotest.(check bool) "equivalent" true
+    (Bgp.Prefix_set.same_space
+       (ps [ "10.0.0.0/24"; "10.0.1.0/24" ])
+       (ps [ "10.0.0.0/23" ]));
+  Alcotest.(check bool) "different" false
+    (Bgp.Prefix_set.same_space (ps [ "10.0.0.0/24" ]) (ps [ "10.0.1.0/24" ]))
+
+(* property: aggregation preserves covered address space exactly *)
+let gen_24s =
+  QCheck.Gen.(
+    map
+      (fun idxs ->
+        List.map
+          (fun i -> Bgp.Prefix.make (Bgp.Ipv4.of_octets 10 0 (i land 0xFF) 0) 24)
+          idxs)
+      (list_size (int_range 1 30) (int_bound 40)))
+
+let qcheck_aggregate_preserves_space =
+  QCheck.Test.make ~name:"aggregate preserves space" ~count:300
+    (QCheck.make ~print:(fun l -> String.concat ";" (List.map Bgp.Prefix.to_string l)) gen_24s)
+    (fun prefixes ->
+      let agg = Bgp.Prefix_set.aggregate prefixes in
+      (* sample addresses across the universe and compare membership *)
+      List.for_all
+        (fun i ->
+          let addr = Bgp.Ipv4.of_octets 10 0 i 7 in
+          Bgp.Prefix_set.covers prefixes addr = Bgp.Prefix_set.covers agg addr)
+        (List.init 48 Fun.id)
+      && List.length agg <= List.length (List.sort_uniq Bgp.Prefix.compare prefixes))
+
+let qcheck_aggregate_no_remaining_siblings =
+  QCheck.Test.make ~name:"aggregate leaves no sibling pairs" ~count:300
+    (QCheck.make gen_24s)
+    (fun prefixes ->
+      let agg = Bgp.Prefix_set.aggregate prefixes in
+      let rec no_siblings = function
+        | a :: (b :: _ as rest) ->
+            let siblings =
+              Bgp.Prefix.length a = Bgp.Prefix.length b
+              && Bgp.Prefix.length a > 0
+              && Bgp.Prefix.equal
+                   (Bgp.Prefix.make (Bgp.Prefix.network a) (Bgp.Prefix.length a - 1))
+                   (Bgp.Prefix.make (Bgp.Prefix.network b) (Bgp.Prefix.length b - 1))
+            in
+            (not siblings) && no_siblings rest
+        | [ _ ] | [] -> true
+      in
+      no_siblings agg)
+
+(* the allocator's split-then-aggregate round trip *)
+let test_allocator_aggregates_children () =
+  let fx = Test_core.fixture () in
+  let rib = Ef_netsim.Pop.rib fx.Test_core.pop in
+  let bg = prefix "10.8.0.0/16" in
+  ignore
+    (Bgp.Rib.announce rib ~peer_id:2 bg
+       (attrs ~path:[ 10; 800 ] ~next_hop:"172.16.0.2" ()));
+  let snap =
+    Test_core.snapshot fx [ (Test_core.pfx_a, 11e9); (bg, 91e9) ]
+  in
+  let config =
+    { Edge_fabric.Config.default with Edge_fabric.Config.granularity = Edge_fabric.Config.Split_24 }
+  in
+  let result = Edge_fabric.Allocator.run ~config snap in
+  Alcotest.(check bool) "splits happened" true
+    (result.Edge_fabric.Allocator.splits > 0);
+  (* children were aggregated: far fewer overrides than the ~38 /24 moves
+     needed to shed 1.5G in ~43M slices *)
+  let n = List.length result.Edge_fabric.Allocator.overrides in
+  Alcotest.(check bool) "aggregated" true (n > 0 && n < 20);
+  (* every override prefix is still inside the parent *)
+  List.iter
+    (fun (o : Edge_fabric.Override.t) ->
+      Alcotest.(check bool) "inside parent" true
+        (Bgp.Prefix.subsumes Test_core.pfx_a o.Edge_fabric.Override.prefix))
+    result.Edge_fabric.Allocator.overrides
+
+let suite =
+  [
+    Alcotest.test_case "normalize dedup" `Quick test_normalize_dedup;
+    Alcotest.test_case "normalize covered" `Quick test_normalize_covered;
+    Alcotest.test_case "normalize disjoint" `Quick test_normalize_disjoint_kept;
+    Alcotest.test_case "aggregate siblings" `Quick test_aggregate_siblings;
+    Alcotest.test_case "aggregate cascades" `Quick test_aggregate_cascades;
+    Alcotest.test_case "aggregate non-siblings" `Quick
+      test_aggregate_non_siblings_kept;
+    Alcotest.test_case "aggregate hole blocks" `Quick test_aggregate_hole_blocks_merge;
+    Alcotest.test_case "same space" `Quick test_same_space;
+    Alcotest.test_case "allocator aggregates children" `Quick
+      test_allocator_aggregates_children;
+    QCheck_alcotest.to_alcotest qcheck_aggregate_preserves_space;
+    QCheck_alcotest.to_alcotest qcheck_aggregate_no_remaining_siblings;
+  ]

@@ -1,0 +1,219 @@
+(* Integration: routes propagating across a topology of full routers.
+
+   A tiny network harness connects several Speakers with in-memory
+   links and pumps effects until quiescent. Chains verify export
+   (prepending, next-hop rewrite, split horizon, full-table dump on
+   session-up); the triangle verifies that AS-path loop suppression
+   terminates propagation. *)
+
+module Bgp = Ef_bgp
+open Helpers
+
+(* ------------------------------------------------------------------ *)
+(* a tiny multi-router network                                         *)
+(* ------------------------------------------------------------------ *)
+
+type net = {
+  speakers : (string * Bgp.Speaker.t) list;
+  (* (speaker, session peer id) <-> (speaker, session peer id) *)
+  links : ((string * int) * (string * int)) list;
+  queue : (string * Bgp.Speaker.effect_) Queue.t;
+  mutable connected : (string * int) list; (* link endpoints already up *)
+}
+
+let speaker net name = List.assoc name net.speakers
+
+let far_end net (name, peer_id) =
+  let rec go = function
+    | [] -> None
+    | (a, b) :: rest ->
+        if a = (name, peer_id) then Some b
+        else if b = (name, peer_id) then Some a
+        else go rest
+  in
+  go net.links
+
+let push net name effects =
+  List.iter (fun e -> Queue.push (name, e) net.queue) effects
+
+let pump net =
+  while not (Queue.is_empty net.queue) do
+    let name, effect_ = Queue.pop net.queue in
+    match effect_ with
+    | Bgp.Speaker.Write { peer_id; data } -> (
+        match far_end net (name, peer_id) with
+        | None -> ()
+        | Some (other, other_peer) ->
+            push net other
+              (Bgp.Speaker.receive_bytes (speaker net other) ~peer_id:other_peer
+                 data))
+    | Bgp.Speaker.Request_connect { peer_id } -> (
+        match far_end net (name, peer_id) with
+        | None -> ()
+        | Some (other, other_peer) ->
+            if not (List.mem (name, peer_id) net.connected) then begin
+              net.connected <-
+                (name, peer_id) :: (other, other_peer) :: net.connected;
+              push net name
+                (Bgp.Speaker.tcp_connected (speaker net name) ~peer_id);
+              push net other
+                (Bgp.Speaker.tcp_connected (speaker net other) ~peer_id:other_peer)
+            end)
+    | Bgp.Speaker.Drop_connection _ | Bgp.Speaker.Set_timer _
+    | Bgp.Speaker.Clear_timer _ | Bgp.Speaker.Rib_changed _
+    | Bgp.Speaker.Peer_up _ | Bgp.Speaker.Peer_down _ ->
+        ()
+  done
+
+let mk_speaker asn octet =
+  Bgp.Speaker.create ~asn:(Bgp.Asn.of_int asn)
+    ~router_id:(Bgp.Ipv4.of_octets 10 0 0 octet)
+    ()
+
+let neighbor ~session_id ~asn ~octet =
+  Bgp.Peer.make ~id:session_id
+    ~name:(Printf.sprintf "as%d" asn)
+    ~asn:(Bgp.Asn.of_int asn) ~kind:Bgp.Peer.Transit
+    ~router_id:(Bgp.Ipv4.of_octets 10 0 0 octet)
+    ~session_addr:(Bgp.Ipv4.of_octets 172 16 0 octet)
+
+(* chain a - b - c: asn 65001, 65002, 65003 *)
+let make_chain () =
+  let a = mk_speaker 65001 1 and b = mk_speaker 65002 2 and c = mk_speaker 65003 3 in
+  (* session ids are local to each speaker: 1 = left neighbor, 2 = right *)
+  Bgp.Speaker.add_session a (neighbor ~session_id:2 ~asn:65002 ~octet:2)
+    ~policy:Bgp.Policy.accept_all;
+  Bgp.Speaker.add_session b (neighbor ~session_id:1 ~asn:65001 ~octet:1)
+    ~policy:Bgp.Policy.accept_all;
+  Bgp.Speaker.add_session b (neighbor ~session_id:2 ~asn:65003 ~octet:3)
+    ~policy:Bgp.Policy.accept_all;
+  Bgp.Speaker.add_session c (neighbor ~session_id:1 ~asn:65002 ~octet:2)
+    ~policy:Bgp.Policy.accept_all;
+  let net =
+    {
+      speakers = [ ("a", a); ("b", b); ("c", c) ];
+      links = [ (("a", 2), ("b", 1)); (("b", 2), ("c", 1)) ];
+      queue = Queue.create ();
+      connected = [];
+    }
+  in
+  (net, a, b, c)
+
+let establish_all net =
+  List.iter
+    (fun ((name, peer_id), _) ->
+      push net name (Bgp.Speaker.start (speaker net name) ~peer_id))
+    net.links;
+  (* the passive ends also start (active-active, as in the pair test) *)
+  List.iter
+    (fun (_, (name, peer_id)) ->
+      push net name (Bgp.Speaker.start (speaker net name) ~peer_id))
+    net.links;
+  pump net
+
+let p0 = prefix "198.51.100.0/24"
+
+let test_chain_propagates_with_prepending () =
+  let net, a, _, c = make_chain () in
+  establish_all net;
+  push net "a" (Bgp.Speaker.originate a p0);
+  pump net;
+  match Bgp.Rib.best (Bgp.Speaker.rib c) p0 with
+  | None -> Alcotest.fail "route did not reach c"
+  | Some r ->
+      Alcotest.(check (list int)) "path is [b; a]" [ 65002; 65001 ]
+        (List.map Bgp.Asn.to_int
+           (Bgp.As_path.to_list (Bgp.Route.attrs r).Bgp.Attrs.as_path));
+      (* next hop rewritten at each eBGP hop: c sees b's address *)
+      Alcotest.check ipv4_t "next hop is b" (ip "10.0.0.2") (Bgp.Route.next_hop r);
+      (* non-transitive attributes stripped on export *)
+      Alcotest.(check (option int)) "no local pref" None
+        (Bgp.Route.attrs r).Bgp.Attrs.local_pref
+
+let test_chain_withdraw_propagates () =
+  let net, a, b, c = make_chain () in
+  establish_all net;
+  push net "a" (Bgp.Speaker.originate a p0);
+  pump net;
+  Alcotest.(check bool) "c has it" true
+    (Option.is_some (Bgp.Rib.best (Bgp.Speaker.rib c) p0));
+  (* a's session to b dies: b flushes and tells c *)
+  push net "a" (Bgp.Speaker.stop a ~peer_id:2);
+  pump net;
+  Alcotest.(check bool) "b flushed" true
+    (Option.is_none (Bgp.Rib.best (Bgp.Speaker.rib b) p0));
+  Alcotest.(check bool) "c flushed transitively" true
+    (Option.is_none (Bgp.Rib.best (Bgp.Speaker.rib c) p0))
+
+let test_late_session_gets_full_table () =
+  let net, a, _, c = make_chain () in
+  (* only the a-b link comes up first; a originates *)
+  push net "a" (Bgp.Speaker.start a ~peer_id:2);
+  push net "b" (Bgp.Speaker.start (speaker net "b") ~peer_id:1);
+  pump net;
+  push net "a" (Bgp.Speaker.originate a p0);
+  pump net;
+  Alcotest.(check bool) "c not yet" true
+    (Option.is_none (Bgp.Rib.best (Bgp.Speaker.rib c) p0));
+  (* now the b-c link establishes: b's session-up dump must deliver it *)
+  push net "b" (Bgp.Speaker.start (speaker net "b") ~peer_id:2);
+  push net "c" (Bgp.Speaker.start c ~peer_id:1);
+  pump net;
+  match Bgp.Rib.best (Bgp.Speaker.rib c) p0 with
+  | None -> Alcotest.fail "full-table dump missing"
+  | Some r ->
+      Alcotest.(check (list int)) "path" [ 65002; 65001 ]
+        (List.map Bgp.Asn.to_int
+           (Bgp.As_path.to_list (Bgp.Route.attrs r).Bgp.Attrs.as_path))
+
+let test_triangle_loops_suppressed () =
+  (* a - b - c - a: the route a originates comes back to a with a's ASN
+     in the path; a must drop it, and propagation must terminate *)
+  let a = mk_speaker 65001 1 and b = mk_speaker 65002 2 and c = mk_speaker 65003 3 in
+  Bgp.Speaker.add_session a (neighbor ~session_id:2 ~asn:65002 ~octet:2)
+    ~policy:Bgp.Policy.accept_all;
+  Bgp.Speaker.add_session a (neighbor ~session_id:3 ~asn:65003 ~octet:3)
+    ~policy:Bgp.Policy.accept_all;
+  Bgp.Speaker.add_session b (neighbor ~session_id:1 ~asn:65001 ~octet:1)
+    ~policy:Bgp.Policy.accept_all;
+  Bgp.Speaker.add_session b (neighbor ~session_id:3 ~asn:65003 ~octet:3)
+    ~policy:Bgp.Policy.accept_all;
+  Bgp.Speaker.add_session c (neighbor ~session_id:1 ~asn:65001 ~octet:1)
+    ~policy:Bgp.Policy.accept_all;
+  Bgp.Speaker.add_session c (neighbor ~session_id:2 ~asn:65002 ~octet:2)
+    ~policy:Bgp.Policy.accept_all;
+  let net =
+    {
+      speakers = [ ("a", a); ("b", b); ("c", c) ];
+      links =
+        [ (("a", 2), ("b", 1)); (("b", 3), ("c", 2)); (("c", 1), ("a", 3)) ];
+      queue = Queue.create ();
+      connected = [];
+    }
+  in
+  establish_all net;
+  push net "a" (Bgp.Speaker.originate a p0);
+  pump net (* termination of this pump IS the loop-suppression check *);
+  (* b and c both know the prefix; a itself never installs a looped copy *)
+  Alcotest.(check bool) "b has it" true
+    (Option.is_some (Bgp.Rib.best (Bgp.Speaker.rib b) p0));
+  Alcotest.(check bool) "c has it" true
+    (Option.is_some (Bgp.Rib.best (Bgp.Speaker.rib c) p0));
+  Alcotest.(check bool) "a rejects the echo" true
+    (Option.is_none (Bgp.Rib.best (Bgp.Speaker.rib a) p0));
+  (* and c picked the direct route from a, not the detour via b *)
+  match Bgp.Rib.best (Bgp.Speaker.rib c) p0 with
+  | Some r -> Alcotest.(check int) "one hop" 1 (Bgp.Route.as_path_length r)
+  | None -> assert false
+
+let suite =
+  [
+    Alcotest.test_case "chain propagates + prepends" `Quick
+      test_chain_propagates_with_prepending;
+    Alcotest.test_case "chain withdraw propagates" `Quick
+      test_chain_withdraw_propagates;
+    Alcotest.test_case "late session full table" `Quick
+      test_late_session_gets_full_table;
+    Alcotest.test_case "triangle loop suppressed" `Quick
+      test_triangle_loops_suppressed;
+  ]

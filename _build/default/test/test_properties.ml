@@ -1,0 +1,225 @@
+(* Cross-module property tests: invariants on randomized inputs over the
+   generated tiny world. *)
+
+module Bgp = Ef_bgp
+module N = Ef_netsim
+module C = Ef_collector
+module Ef = Edge_fabric
+
+let world = lazy (N.Topo_gen.generate N.Topo_gen.small_config)
+
+(* random rate vectors over the world's prefixes *)
+let gen_rates =
+  QCheck.Gen.(
+    let w = Lazy.force world in
+    let prefixes = Array.of_list w.N.Topo_gen.all_prefixes in
+    map
+      (fun pairs ->
+        let tbl = Hashtbl.create 16 in
+        List.iter
+          (fun (i, r) ->
+            let p = prefixes.(i mod Array.length prefixes) in
+            Hashtbl.replace tbl (Bgp.Prefix.to_string p)
+              (p, float_of_int (r + 1) *. 1e7))
+          pairs;
+        Hashtbl.fold (fun _ v acc -> v :: acc) tbl [])
+      (list_size (int_range 1 40) (pair small_nat (int_bound 2000))))
+
+let arb_rates =
+  QCheck.make
+    ~print:(fun rates ->
+      String.concat ";"
+        (List.map
+           (fun (p, r) -> Printf.sprintf "%s=%.0f" (Bgp.Prefix.to_string p) r)
+           rates))
+    gen_rates
+
+let snapshot_of rates =
+  C.Snapshot.of_pop (Lazy.force world).N.Topo_gen.pop ~prefix_rates:rates
+    ~time_s:0
+
+(* --- Projection: traffic conservation --------------------------------- *)
+
+let prop_projection_conserves =
+  QCheck.Test.make ~name:"projection conserves traffic" ~count:100 arb_rates
+    (fun rates ->
+      let proj = Ef.Projection.project (snapshot_of rates) in
+      let placed =
+        List.fold_left
+          (fun acc iface ->
+            acc +. Ef.Projection.load_bps proj ~iface_id:(N.Iface.id iface))
+          0.0 (Ef.Projection.ifaces proj)
+      in
+      let total = List.fold_left (fun acc (_, r) -> acc +. r) 0.0 rates in
+      Float.abs (placed +. Ef.Projection.unroutable_bps proj -. total)
+      < 1.0 +. (1e-9 *. total))
+
+let prop_projection_move_conserves =
+  QCheck.Test.make ~name:"projection move conserves" ~count:100 arb_rates
+    (fun rates ->
+      let snap = snapshot_of rates in
+      let proj = Ef.Projection.project snap in
+      let sum p =
+        List.fold_left
+          (fun acc iface ->
+            acc +. Ef.Projection.load_bps p ~iface_id:(N.Iface.id iface))
+          0.0 (Ef.Projection.ifaces p)
+      in
+      (* move every movable placement to its 2nd choice and re-check *)
+      let moved =
+        List.fold_left
+          (fun proj pl ->
+            match C.Snapshot.routes snap pl.Ef.Projection.placed_prefix with
+            | _ :: alt :: _ -> (
+                match C.Snapshot.iface_of_route snap alt with
+                | Some iface when N.Iface.id iface <> pl.Ef.Projection.iface_id ->
+                    Ef.Projection.move proj pl.Ef.Projection.placed_prefix
+                      ~to_route:alt ~to_iface:(N.Iface.id iface)
+                | Some _ | None -> proj)
+            | _ -> proj)
+          proj (Ef.Projection.placements proj)
+      in
+      Float.abs (sum moved -. sum proj) < 1.0)
+
+(* --- Allocator + Guard -------------------------------------------------- *)
+
+let prop_guard_clamp_respects_budgets =
+  QCheck.Test.make ~name:"guard clamp lands within budgets" ~count:100
+    QCheck.(pair arb_rates (pair (int_range 0 10) (int_bound 100)))
+    (fun (rates, (max_n, frac_pct)) ->
+      let snap = snapshot_of rates in
+      let result = Ef.Allocator.run ~config:Ef.Config.default snap in
+      let config =
+        {
+          Ef.Guard.default with
+          Ef.Guard.max_overrides = Some max_n;
+          max_detour_fraction = Some (float_of_int frac_pct /. 100.0);
+        }
+      in
+      let kept, dropped = Ef.Guard.clamp config snap result.Ef.Allocator.overrides in
+      let count_ok = List.length kept <= max_n in
+      let permutation_ok =
+        List.length kept + List.length dropped
+        = List.length result.Ef.Allocator.overrides
+      in
+      (* fraction budget holds whenever anything was kept *)
+      let total = C.Snapshot.total_rate_bps snap in
+      let kept_frac =
+        if total <= 0.0 then 0.0
+        else
+          List.fold_left
+            (fun acc (o : Ef.Override.t) ->
+              acc +. C.Snapshot.rate_of snap o.Ef.Override.prefix)
+            0.0 kept
+          /. total
+      in
+      count_ok && permutation_ok
+      && (kept = [] || kept_frac <= (float_of_int frac_pct /. 100.0) +. 1e-9))
+
+let prop_allocator_overrides_unique_prefixes =
+  QCheck.Test.make ~name:"allocator overrides are per-prefix unique" ~count:100
+    arb_rates
+    (fun rates ->
+      let result = Ef.Allocator.run ~config:Ef.Config.default (snapshot_of rates) in
+      let keys =
+        List.map
+          (fun (o : Ef.Override.t) -> Bgp.Prefix.to_string o.Ef.Override.prefix)
+          result.Ef.Allocator.overrides
+      in
+      List.length keys = List.length (List.sort_uniq compare keys))
+
+(* --- Hysteresis --------------------------------------------------------- *)
+
+let prop_hysteresis_never_early_release =
+  QCheck.Test.make ~name:"hysteresis holds min_hold" ~count:100
+    QCheck.(pair arb_rates (int_range 1 10))
+    (fun (rates, steps) ->
+      let snap = snapshot_of rates in
+      let result = Ef.Allocator.run ~config:Ef.Config.default snap in
+      QCheck.assume (result.Ef.Allocator.overrides <> []);
+      let config = { Ef.Config.default with Ef.Config.min_hold_s = 10_000 } in
+      let h = Ef.Hysteresis.create config in
+      ignore
+        (Ef.Hysteresis.step h ~time_s:0 ~desired:result.Ef.Allocator.overrides
+           ~preferred:result.Ef.Allocator.before);
+      (* repeatedly ask for release way before maturity *)
+      let ok = ref true in
+      for i = 1 to steps do
+        let r =
+          Ef.Hysteresis.step h ~time_s:(i * 30) ~desired:[]
+            ~preferred:result.Ef.Allocator.before
+        in
+        if r.Ef.Hysteresis.removed <> [] then ok := false
+      done;
+      !ok)
+
+let prop_hysteresis_tracks_when_disabled =
+  QCheck.Test.make ~name:"disabled hysteresis mirrors allocator" ~count:100
+    arb_rates
+    (fun rates ->
+      let snap = snapshot_of rates in
+      let result = Ef.Allocator.run ~config:Ef.Config.default snap in
+      let config =
+        { Ef.Config.default with Ef.Config.min_hold_s = 0; release_margin = 0.0 }
+      in
+      let h = Ef.Hysteresis.create config in
+      let r1 =
+        Ef.Hysteresis.step h ~time_s:0 ~desired:result.Ef.Allocator.overrides
+          ~preferred:result.Ef.Allocator.before
+      in
+      List.length r1.Ef.Hysteresis.active
+      = List.length result.Ef.Allocator.overrides)
+
+(* --- Trace ---------------------------------------------------------------- *)
+
+let prop_trace_roundtrip =
+  QCheck.Test.make ~name:"trace roundtrips random snapshots" ~count:50 arb_rates
+    (fun rates ->
+      let snap = snapshot_of rates in
+      match C.Trace.parse (C.Trace.record snap) with
+      | Error _ -> false
+      | Ok replayed ->
+          C.Snapshot.prefix_count snap = C.Snapshot.prefix_count replayed
+          && List.for_all2
+               (fun (p1, r1) (p2, r2) ->
+                 Bgp.Prefix.equal p1 p2 && Float.abs (r1 -. r2) < 0.01)
+               (C.Snapshot.prefix_rates snap)
+               (C.Snapshot.prefix_rates replayed)
+          && List.for_all
+               (fun (p, _) ->
+                 List.map Bgp.Route.peer_id (C.Snapshot.routes snap p)
+                 = List.map Bgp.Route.peer_id (C.Snapshot.routes replayed p))
+               (C.Snapshot.prefix_rates snap))
+
+(* --- Controller end-to-end ----------------------------------------------- *)
+
+let prop_controller_enforced_within_thresholds =
+  QCheck.Test.make ~name:"controller leaves no fixable overload" ~count:60
+    arb_rates
+    (fun rates ->
+      let snap = snapshot_of rates in
+      let ctrl = Ef.Controller.create ~name:"prop" () in
+      let stats = Ef.Controller.cycle ctrl snap in
+      (* every interface still over threshold after enforcement must be a
+         declared residual (capacity genuinely exhausted) *)
+      let residual_ids =
+        List.map
+          (fun (i, _) -> N.Iface.id i)
+          stats.Ef.Controller.allocator.Ef.Allocator.residual
+      in
+      List.for_all
+        (fun (iface, _) -> List.mem (N.Iface.id iface) residual_ids)
+        stats.Ef.Controller.overloaded_after)
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_projection_conserves;
+      prop_projection_move_conserves;
+      prop_guard_clamp_respects_budgets;
+      prop_allocator_overrides_unique_prefixes;
+      prop_hysteresis_never_early_release;
+      prop_hysteresis_tracks_when_disabled;
+      prop_trace_roundtrip;
+      prop_controller_enforced_within_thresholds;
+    ]

@@ -1,0 +1,177 @@
+(* ef_bgp: RIB behaviour *)
+
+module Bgp = Ef_bgp
+open Helpers
+
+let make_rib () =
+  let rib = Bgp.Rib.create () in
+  let p1 = peer ~kind:Bgp.Peer.Private_peer ~asn:100 1 in
+  let p2 = peer ~kind:Bgp.Peer.Transit ~asn:10 2 in
+  let p3 = peer ~kind:Bgp.Peer.Transit ~asn:11 3 in
+  let policy = Bgp.Policy.default_ingest ~self_asn:(Bgp.Asn.of_int 64500) in
+  Bgp.Rib.add_peer rib p1 ~policy;
+  Bgp.Rib.add_peer rib p2 ~policy;
+  Bgp.Rib.add_peer rib p3 ~policy;
+  rib
+
+let announce rib ~peer_id ~path p =
+  Bgp.Rib.announce rib ~peer_id (prefix p)
+    (attrs ~path ~next_hop:(Printf.sprintf "172.16.0.%d" peer_id) ())
+
+let test_announce_becomes_best () =
+  let rib = make_rib () in
+  let changes = announce rib ~peer_id:2 ~path:[ 10; 100 ] "10.0.0.0/16" in
+  Alcotest.(check int) "one change" 1 (List.length changes);
+  match Bgp.Rib.best rib (prefix "10.0.0.0/16") with
+  | None -> Alcotest.fail "no best"
+  | Some r -> Alcotest.(check int) "via transit" 2 (Bgp.Route.peer_id r)
+
+let test_policy_tier_decides_best () =
+  let rib = make_rib () in
+  ignore (announce rib ~peer_id:2 ~path:[ 10; 100 ] "10.0.0.0/16");
+  (* private peer announces a longer path but wins on the policy tier *)
+  ignore (announce rib ~peer_id:1 ~path:[ 100; 200; 300 ] "10.0.0.0/16");
+  match Bgp.Rib.best rib (prefix "10.0.0.0/16") with
+  | None -> Alcotest.fail "no best"
+  | Some r -> Alcotest.(check int) "private wins" 1 (Bgp.Route.peer_id r)
+
+let test_ranked_order () =
+  let rib = make_rib () in
+  ignore (announce rib ~peer_id:2 ~path:[ 10; 100 ] "10.0.0.0/16");
+  ignore (announce rib ~peer_id:3 ~path:[ 11; 5; 100 ] "10.0.0.0/16");
+  ignore (announce rib ~peer_id:1 ~path:[ 100 ] "10.0.0.0/16");
+  let ranked = Bgp.Rib.ranked rib (prefix "10.0.0.0/16") in
+  Alcotest.(check (list int)) "private, short transit, long transit" [ 1; 2; 3 ]
+    (List.map Bgp.Route.peer_id ranked)
+
+let test_withdraw_promotes_next () =
+  let rib = make_rib () in
+  ignore (announce rib ~peer_id:1 ~path:[ 100 ] "10.0.0.0/16");
+  ignore (announce rib ~peer_id:2 ~path:[ 10; 100 ] "10.0.0.0/16");
+  let changes = Bgp.Rib.withdraw rib ~peer_id:1 (prefix "10.0.0.0/16") in
+  Alcotest.(check int) "change emitted" 1 (List.length changes);
+  (match changes with
+  | [ { Bgp.Rib.old_best = Some old_r; new_best = Some new_r; _ } ] ->
+      Alcotest.(check int) "old was private" 1 (Bgp.Route.peer_id old_r);
+      Alcotest.(check int) "new is transit" 2 (Bgp.Route.peer_id new_r)
+  | _ -> Alcotest.fail "unexpected change shape");
+  match Bgp.Rib.best rib (prefix "10.0.0.0/16") with
+  | Some r -> Alcotest.(check int) "transit now best" 2 (Bgp.Route.peer_id r)
+  | None -> Alcotest.fail "no best after withdraw"
+
+let test_withdraw_absent_is_noop () =
+  let rib = make_rib () in
+  let changes = Bgp.Rib.withdraw rib ~peer_id:1 (prefix "10.0.0.0/16") in
+  Alcotest.(check int) "no change" 0 (List.length changes)
+
+let test_reannounce_same_no_change () =
+  let rib = make_rib () in
+  ignore (announce rib ~peer_id:1 ~path:[ 100 ] "10.0.0.0/16");
+  let changes = announce rib ~peer_id:1 ~path:[ 100 ] "10.0.0.0/16" in
+  Alcotest.(check int) "no best change" 0 (List.length changes)
+
+let test_implicit_withdraw_replaces () =
+  let rib = make_rib () in
+  ignore (announce rib ~peer_id:1 ~path:[ 100 ] "10.0.0.0/16");
+  ignore (announce rib ~peer_id:1 ~path:[ 100; 200 ] "10.0.0.0/16");
+  let ranked = Bgp.Rib.ranked rib (prefix "10.0.0.0/16") in
+  Alcotest.(check int) "one candidate" 1 (List.length ranked);
+  Alcotest.(check int) "new path" 2 (Bgp.Route.as_path_length (List.hd ranked))
+
+let test_rejected_by_policy_not_stored () =
+  let rib = make_rib () in
+  (* path contains our own ASN: the ingest policy rejects it *)
+  let changes = announce rib ~peer_id:2 ~path:[ 10; 64500; 100 ] "10.0.0.0/16" in
+  Alcotest.(check int) "no change" 0 (List.length changes);
+  Alcotest.(check int) "nothing in loc-rib" 0
+    (List.length (Bgp.Rib.candidates rib (prefix "10.0.0.0/16")));
+  (* but the raw route sits in Adj-RIB-In *)
+  Alcotest.(check int) "adj-rib-in has it" 1
+    (List.length (Bgp.Rib.adj_rib_in rib ~peer_id:2))
+
+let test_rejected_announce_removes_previous () =
+  let rib = make_rib () in
+  ignore (announce rib ~peer_id:2 ~path:[ 10; 100 ] "10.0.0.0/16");
+  (* the same peer re-announces with a now-rejected path: candidate must go *)
+  let changes = announce rib ~peer_id:2 ~path:[ 10; 64500; 100 ] "10.0.0.0/16" in
+  Alcotest.(check int) "best-change to none" 1 (List.length changes);
+  Alcotest.(check int) "no candidates" 0
+    (List.length (Bgp.Rib.candidates rib (prefix "10.0.0.0/16")))
+
+let test_drop_peer_flushes () =
+  let rib = make_rib () in
+  ignore (announce rib ~peer_id:1 ~path:[ 100 ] "10.0.0.0/16");
+  ignore (announce rib ~peer_id:1 ~path:[ 100 ] "10.1.0.0/16");
+  ignore (announce rib ~peer_id:2 ~path:[ 10; 100 ] "10.0.0.0/16");
+  let changes = Bgp.Rib.drop_peer rib ~peer_id:1 in
+  Alcotest.(check int) "two best changes" 2 (List.length changes);
+  Alcotest.(check int) "peer's adj-rib-in empty" 0
+    (List.length (Bgp.Rib.adj_rib_in rib ~peer_id:1));
+  Alcotest.(check int) "other peer's route survives" 1
+    (List.length (Bgp.Rib.candidates rib (prefix "10.0.0.0/16")))
+
+let test_lookup_lpm () =
+  let rib = make_rib () in
+  ignore (announce rib ~peer_id:2 ~path:[ 10; 100 ] "10.0.0.0/8");
+  ignore (announce rib ~peer_id:1 ~path:[ 100 ] "10.1.0.0/16");
+  (match Bgp.Rib.lookup rib (ip "10.1.2.3") with
+  | Some (p, r) ->
+      Alcotest.check prefix_t "specific" (prefix "10.1.0.0/16") p;
+      Alcotest.(check int) "via private" 1 (Bgp.Route.peer_id r)
+  | None -> Alcotest.fail "no match");
+  match Bgp.Rib.lookup rib (ip "10.200.0.1") with
+  | Some (p, _) -> Alcotest.check prefix_t "coarse" (prefix "10.0.0.0/8") p
+  | None -> Alcotest.fail "no match"
+
+let test_counts () =
+  let rib = make_rib () in
+  ignore (announce rib ~peer_id:1 ~path:[ 100 ] "10.0.0.0/16");
+  ignore (announce rib ~peer_id:2 ~path:[ 10; 100 ] "10.0.0.0/16");
+  ignore (announce rib ~peer_id:2 ~path:[ 10; 200 ] "10.1.0.0/16");
+  Alcotest.(check int) "prefixes" 2 (Bgp.Rib.prefix_count rib);
+  Alcotest.(check int) "routes" 3 (Bgp.Rib.route_count rib)
+
+let test_unknown_peer_rejected () =
+  let rib = make_rib () in
+  Alcotest.check_raises "unknown peer" (Invalid_argument "Rib: unknown peer id 99")
+    (fun () -> ignore (announce rib ~peer_id:99 ~path:[ 1 ] "10.0.0.0/8"))
+
+let test_duplicate_peer_rejected () =
+  let rib = make_rib () in
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Rib.add_peer: duplicate peer id 1") (fun () ->
+      Bgp.Rib.add_peer rib (peer 1) ~policy:Bgp.Policy.accept_all)
+
+let test_multi_prefix_update () =
+  let rib = make_rib () in
+  let update =
+    {
+      Bgp.Msg.withdrawn = [];
+      attrs = Some (attrs ~path:[ 10; 100 ] ());
+      nlri = [ prefix "10.0.0.0/16"; prefix "10.1.0.0/16"; prefix "10.2.0.0/16" ];
+    }
+  in
+  let changes = Bgp.Rib.apply_update rib ~peer_id:2 update in
+  Alcotest.(check int) "three changes" 3 (List.length changes);
+  Alcotest.(check int) "three prefixes" 3 (Bgp.Rib.prefix_count rib)
+
+let suite =
+  [
+    Alcotest.test_case "announce becomes best" `Quick test_announce_becomes_best;
+    Alcotest.test_case "policy tier decides" `Quick test_policy_tier_decides_best;
+    Alcotest.test_case "ranked order" `Quick test_ranked_order;
+    Alcotest.test_case "withdraw promotes next" `Quick test_withdraw_promotes_next;
+    Alcotest.test_case "withdraw absent noop" `Quick test_withdraw_absent_is_noop;
+    Alcotest.test_case "reannounce same no change" `Quick
+      test_reannounce_same_no_change;
+    Alcotest.test_case "implicit withdraw" `Quick test_implicit_withdraw_replaces;
+    Alcotest.test_case "policy rejection" `Quick test_rejected_by_policy_not_stored;
+    Alcotest.test_case "rejected reannounce removes" `Quick
+      test_rejected_announce_removes_previous;
+    Alcotest.test_case "drop peer flushes" `Quick test_drop_peer_flushes;
+    Alcotest.test_case "lookup lpm" `Quick test_lookup_lpm;
+    Alcotest.test_case "counts" `Quick test_counts;
+    Alcotest.test_case "unknown peer" `Quick test_unknown_peer_rejected;
+    Alcotest.test_case "duplicate peer" `Quick test_duplicate_peer_rejected;
+    Alcotest.test_case "multi-prefix update" `Quick test_multi_prefix_update;
+  ]

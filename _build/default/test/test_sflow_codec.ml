@@ -1,0 +1,170 @@
+(* ef_collector: sFlow v5 wire codec *)
+
+module Bgp = Ef_bgp
+module C = Ef_collector
+module T = Ef_traffic
+open Helpers
+
+let sample ?(seq = 1) ?(rate = 128) dst =
+  {
+    C.Sflow_codec.sample_seq = seq;
+    source_id = 7;
+    sampling_rate = rate;
+    sample_pool = 1000;
+    drops = 0;
+    packet = { C.Sflow_codec.dst = ip dst; frame_length = 1014 };
+  }
+
+let datagram ?(samples = [ sample "10.1.2.3" ]) () =
+  {
+    C.Sflow_codec.agent = ip "192.0.2.1";
+    sub_agent = 0;
+    datagram_seq = 42;
+    uptime_ms = 123000;
+    samples;
+  }
+
+let test_roundtrip () =
+  let d = datagram ~samples:[ sample "10.1.2.3"; sample ~seq:2 "172.16.9.9" ] () in
+  match C.Sflow_codec.decode (C.Sflow_codec.encode d) with
+  | Error e -> Alcotest.failf "decode: %s" (Format.asprintf "%a" C.Sflow_codec.pp_error e)
+  | Ok got ->
+      Alcotest.check ipv4_t "agent" d.C.Sflow_codec.agent got.C.Sflow_codec.agent;
+      Alcotest.(check int) "seq" 42 got.C.Sflow_codec.datagram_seq;
+      Alcotest.(check int) "samples" 2 (List.length got.C.Sflow_codec.samples);
+      List.iter2
+        (fun (a : C.Sflow_codec.flow_sample) (b : C.Sflow_codec.flow_sample) ->
+          Alcotest.check ipv4_t "dst" a.C.Sflow_codec.packet.C.Sflow_codec.dst
+            b.C.Sflow_codec.packet.C.Sflow_codec.dst;
+          Alcotest.(check int) "rate" a.C.Sflow_codec.sampling_rate
+            b.C.Sflow_codec.sampling_rate;
+          Alcotest.(check int) "frame len"
+            a.C.Sflow_codec.packet.C.Sflow_codec.frame_length
+            b.C.Sflow_codec.packet.C.Sflow_codec.frame_length)
+        d.C.Sflow_codec.samples got.C.Sflow_codec.samples
+
+let test_version_pinned () =
+  let wire = Bytes.of_string (C.Sflow_codec.encode (datagram ())) in
+  (* first u32 must be 5 *)
+  Alcotest.(check int) "version" 5 (Char.code (Bytes.get wire 3));
+  Bytes.set wire 3 '\x04';
+  match C.Sflow_codec.decode (Bytes.to_string wire) with
+  | Error (C.Sflow_codec.Bad_version 4) -> ()
+  | _ -> Alcotest.fail "accepted wrong version"
+
+let test_truncated () =
+  let wire = C.Sflow_codec.encode (datagram ()) in
+  match C.Sflow_codec.decode (String.sub wire 0 (String.length wire - 5)) with
+  | Error C.Sflow_codec.Truncated -> ()
+  | _ -> Alcotest.fail "accepted truncated datagram"
+
+let test_ethertype_checked () =
+  let wire = Bytes.of_string (C.Sflow_codec.encode (datagram ())) in
+  (* the ethertype lives 12 bytes into the sampled header; find it by
+     looking for 0x0800 after the fixed 28+8*4-byte prelude — simpler: flip
+     every 0x08 0x00 pair and expect a malformed error *)
+  let flipped = ref false in
+  for i = 0 to Bytes.length wire - 2 do
+    if
+      (not !flipped)
+      && Bytes.get wire i = '\x08'
+      && Bytes.get wire (i + 1) = '\x00'
+      && i > 40
+    then begin
+      Bytes.set wire i '\x86';
+      Bytes.set wire (i + 1) '\xdd' (* ipv6 ethertype *);
+      flipped := true
+    end
+  done;
+  Alcotest.(check bool) "found ethertype" true !flipped;
+  match C.Sflow_codec.decode (Bytes.to_string wire) with
+  | Error (C.Sflow_codec.Malformed _) -> ()
+  | Ok _ -> Alcotest.fail "accepted non-IPv4 frame"
+  | Error e ->
+      Alcotest.failf "wrong error: %s" (Format.asprintf "%a" C.Sflow_codec.pp_error e)
+
+let test_datagrams_of_flows_chunking () =
+  let rng = Ef_util.Rng.create 3 in
+  let flows =
+    (* ~3000 packets at 1:16 -> ~190 hits -> ~19 datagrams *)
+    T.Flow.generate rng ~prefix:(prefix "10.0.0.0/24") ~rate_bps:8e6
+      ~interval_s:30.0 ~max_flows:500
+  in
+  let datagrams =
+    C.Sflow_codec.datagrams_of_flows rng ~agent:(ip "192.0.2.1") ~source_id:3
+      ~sampling_rate:16 ~seq_start:100 flows
+  in
+  Alcotest.(check bool) "several datagrams" true (List.length datagrams > 3);
+  List.iteri
+    (fun i d ->
+      Alcotest.(check int) "sequence increments" (100 + i)
+        d.C.Sflow_codec.datagram_seq;
+      Alcotest.(check bool) "chunked" true
+        (List.length d.C.Sflow_codec.samples
+        <= C.Sflow_codec.max_samples_per_datagram))
+    datagrams;
+  (* every datagram fits a standard MTU *)
+  List.iter
+    (fun d ->
+      Alcotest.(check bool) "under MTU" true
+        (String.length (C.Sflow_codec.encode d) < 1500))
+    datagrams
+
+let test_end_to_end_estimation () =
+  (* flows -> wire -> aggregate -> rate estimate close to the true rate *)
+  let rng = Ef_util.Rng.create 11 in
+  let p = prefix "10.0.0.0/24" in
+  let true_rate = 4e7 in
+  let config = { T.Sflow.sampling_rate = 16; interval_s = 30.0 } in
+  let trie = Bgp.Ptrie.add p () Bgp.Ptrie.empty in
+  let lpm addr = Option.map fst (Bgp.Ptrie.longest_match addr trie) in
+  let estimates = ref [] in
+  for _ = 1 to 15 do
+    let flows =
+      T.Flow.generate rng ~prefix:p ~rate_bps:true_rate ~interval_s:30.0
+        ~max_flows:500
+    in
+    let datagrams =
+      C.Sflow_codec.datagrams_of_flows rng ~agent:(ip "192.0.2.1") ~source_id:1
+        ~sampling_rate:16 ~seq_start:0 flows
+    in
+    (* through the wire *)
+    let decoded =
+      List.map
+        (fun d ->
+          match C.Sflow_codec.decode (C.Sflow_codec.encode d) with
+          | Ok d -> d
+          | Error e ->
+              Alcotest.failf "decode: %s"
+                (Format.asprintf "%a" C.Sflow_codec.pp_error e))
+        datagrams
+    in
+    match C.Sflow_codec.aggregate decoded ~lpm with
+    | [ s ] -> estimates := T.Sflow.estimate_rate_bps config s :: !estimates
+    | [] -> estimates := 0.0 :: !estimates
+    | _ -> Alcotest.fail "unexpected prefixes"
+  done;
+  let mean =
+    List.fold_left ( +. ) 0.0 !estimates /. float_of_int (List.length !estimates)
+  in
+  let err = Float.abs (mean -. true_rate) /. true_rate in
+  if err > 0.1 then Alcotest.failf "estimation error %.3f" err
+
+let test_aggregate_drops_unknown_destinations () =
+  let d = datagram ~samples:[ sample "203.0.113.55" ] () in
+  let trie = Bgp.Ptrie.add (prefix "10.0.0.0/8") () Bgp.Ptrie.empty in
+  let lpm addr = Option.map fst (Bgp.Ptrie.longest_match addr trie) in
+  Alcotest.(check int) "nothing aggregated" 0
+    (List.length (C.Sflow_codec.aggregate [ d ] ~lpm))
+
+let suite =
+  [
+    Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+    Alcotest.test_case "version pinned" `Quick test_version_pinned;
+    Alcotest.test_case "truncated" `Quick test_truncated;
+    Alcotest.test_case "ethertype checked" `Quick test_ethertype_checked;
+    Alcotest.test_case "chunking" `Quick test_datagrams_of_flows_chunking;
+    Alcotest.test_case "end-to-end estimation" `Quick test_end_to_end_estimation;
+    Alcotest.test_case "unknown destinations dropped" `Quick
+      test_aggregate_drops_unknown_destinations;
+  ]

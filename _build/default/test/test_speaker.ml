@@ -1,0 +1,182 @@
+(* ef_bgp: two sans-IO speakers talking over an in-memory wire *)
+
+module Bgp = Ef_bgp
+open Helpers
+
+(* A pair of speakers, each knowing the other as peer id 1. Effects are
+   pumped through an in-memory "network" until quiescent. *)
+type pair = {
+  a : Bgp.Speaker.t;
+  b : Bgp.Speaker.t;
+}
+
+let make_pair () =
+  let a =
+    Bgp.Speaker.create ~asn:(Bgp.Asn.of_int 64500) ~router_id:(ip "10.0.0.1") ()
+  in
+  let b =
+    Bgp.Speaker.create ~asn:(Bgp.Asn.of_int 64501) ~router_id:(ip "10.0.0.2") ()
+  in
+  let peer_b = peer ~kind:Bgp.Peer.Transit ~asn:64501 1 in
+  let peer_a = peer ~kind:Bgp.Peer.Transit ~asn:64500 1 in
+  Bgp.Speaker.add_session a peer_b ~policy:Bgp.Policy.accept_all;
+  Bgp.Speaker.add_session b peer_a ~policy:Bgp.Policy.accept_all;
+  { a; b }
+
+(* A tiny TCP simulation: effects are queued and processed in order; the
+   first Request_connect completes the three-way handshake on both ends
+   (so both sides emit their OPENs into a live connection, as on a real
+   socket pair), and every Write is delivered to the other side. *)
+let pump pair side effects =
+  let queue = Queue.create () in
+  List.iter (fun e -> Queue.push (side, e) queue) effects;
+  let connected = ref false in
+  while not (Queue.is_empty queue) do
+    let side, effect_ = Queue.pop queue in
+    let other = if side = `A then `B else `A in
+    let speaker_of = function
+      | `A -> pair.a
+      | `B -> pair.b
+    in
+    let push s effs = List.iter (fun e -> Queue.push (s, e) queue) effs in
+    match effect_ with
+    | Bgp.Speaker.Write { data; _ } ->
+        push other (Bgp.Speaker.receive_bytes (speaker_of other) ~peer_id:1 data)
+    | Bgp.Speaker.Request_connect _ ->
+        if not !connected then begin
+          connected := true;
+          push side (Bgp.Speaker.tcp_connected (speaker_of side) ~peer_id:1);
+          push other (Bgp.Speaker.tcp_connected (speaker_of other) ~peer_id:1)
+        end
+    | Bgp.Speaker.Drop_connection _ | Bgp.Speaker.Set_timer _
+    | Bgp.Speaker.Clear_timer _ | Bgp.Speaker.Rib_changed _
+    | Bgp.Speaker.Peer_up _ | Bgp.Speaker.Peer_down _ ->
+        ()
+  done
+
+let establish pair =
+  (* both ends are configured active, as real deployments do *)
+  let ea = Bgp.Speaker.start pair.a ~peer_id:1 in
+  let eb = Bgp.Speaker.start pair.b ~peer_id:1 in
+  pump pair `B eb;
+  pump pair `A ea
+
+let test_handshake_establishes_both () =
+  let pair = make_pair () in
+  establish pair;
+  Alcotest.(check (option string)) "a established" (Some "Established")
+    (Option.map Bgp.Fsm.state_to_string (Bgp.Speaker.session_state pair.a ~peer_id:1));
+  Alcotest.(check (option string)) "b established" (Some "Established")
+    (Option.map Bgp.Fsm.state_to_string (Bgp.Speaker.session_state pair.b ~peer_id:1));
+  Alcotest.(check (list int)) "a sees peer" [ 1 ] (Bgp.Speaker.established_peers pair.a)
+
+let test_update_propagates_to_rib () =
+  let pair = make_pair () in
+  establish pair;
+  let update =
+    {
+      Bgp.Msg.withdrawn = [];
+      attrs = Some (attrs ~path:[ 64501; 7 ] ~next_hop:"172.16.0.1" ());
+      nlri = [ prefix "203.0.113.0/24" ];
+    }
+  in
+  (* b originates a route; a's RIB must learn it through the wire *)
+  pump pair `B (Bgp.Speaker.send_update pair.b ~peer_id:1 update);
+  match Bgp.Rib.best (Bgp.Speaker.rib pair.a) (prefix "203.0.113.0/24") with
+  | None -> Alcotest.fail "route did not arrive"
+  | Some r ->
+      Alcotest.(check int) "learned from peer 1" 1 (Bgp.Route.peer_id r);
+      Alcotest.(check int) "path intact" 2 (Bgp.Route.as_path_length r)
+
+let test_withdraw_propagates () =
+  let pair = make_pair () in
+  establish pair;
+  let announce =
+    {
+      Bgp.Msg.withdrawn = [];
+      attrs = Some (attrs ~path:[ 64501; 7 ] ());
+      nlri = [ prefix "203.0.113.0/24" ];
+    }
+  in
+  pump pair `B (Bgp.Speaker.send_update pair.b ~peer_id:1 announce);
+  let withdraw =
+    { Bgp.Msg.withdrawn = [ prefix "203.0.113.0/24" ]; attrs = None; nlri = [] }
+  in
+  pump pair `B (Bgp.Speaker.send_update pair.b ~peer_id:1 withdraw);
+  Alcotest.(check bool) "withdrawn" true
+    (Option.is_none (Bgp.Rib.best (Bgp.Speaker.rib pair.a) (prefix "203.0.113.0/24")))
+
+let test_send_before_established_is_noop () =
+  let pair = make_pair () in
+  let update =
+    {
+      Bgp.Msg.withdrawn = [];
+      attrs = Some (attrs ());
+      nlri = [ prefix "203.0.113.0/24" ];
+    }
+  in
+  Alcotest.(check int) "nothing sent" 0
+    (List.length (Bgp.Speaker.send_update pair.a ~peer_id:1 update))
+
+let test_garbage_bytes_tear_down () =
+  let pair = make_pair () in
+  establish pair;
+  let effects =
+    Bgp.Speaker.receive_bytes pair.a ~peer_id:1 (String.make 19 '\x00')
+  in
+  Alcotest.(check bool) "notification emitted" true
+    (List.exists
+       (function Bgp.Speaker.Write _ -> true | _ -> false)
+       effects);
+  Alcotest.(check (option string)) "a back to idle" (Some "Idle")
+    (Option.map Bgp.Fsm.state_to_string (Bgp.Speaker.session_state pair.a ~peer_id:1))
+
+let test_session_loss_flushes_routes () =
+  let pair = make_pair () in
+  establish pair;
+  let update =
+    {
+      Bgp.Msg.withdrawn = [];
+      attrs = Some (attrs ~path:[ 64501; 7 ] ());
+      nlri = [ prefix "203.0.113.0/24" ];
+    }
+  in
+  pump pair `B (Bgp.Speaker.send_update pair.b ~peer_id:1 update);
+  Alcotest.(check bool) "route present" true
+    (Option.is_some (Bgp.Rib.best (Bgp.Speaker.rib pair.a) (prefix "203.0.113.0/24")));
+  let effects = Bgp.Speaker.tcp_closed pair.a ~peer_id:1 in
+  Alcotest.(check bool) "rib flush reported" true
+    (List.exists
+       (function Bgp.Speaker.Rib_changed _ -> true | _ -> false)
+       effects);
+  Alcotest.(check bool) "route flushed" true
+    (Option.is_none (Bgp.Rib.best (Bgp.Speaker.rib pair.a) (prefix "203.0.113.0/24")))
+
+let test_route_refresh_re_dumps () =
+  let pair = make_pair () in
+  establish pair;
+  (* b originates a prefix, a receives it *)
+  pump pair `B (Bgp.Speaker.originate pair.b (prefix "198.51.100.0/24"));
+  Alcotest.(check bool) "a learned it" true
+    (Option.is_some (Bgp.Rib.best (Bgp.Speaker.rib pair.a) (prefix "198.51.100.0/24")));
+  (* simulate a losing its RIB state out-of-band (e.g. a policy rework):
+     flush and ask b to resend via ROUTE-REFRESH *)
+  ignore (Bgp.Rib.drop_peer (Bgp.Speaker.rib pair.a) ~peer_id:1);
+  Alcotest.(check bool) "flushed" true
+    (Option.is_none (Bgp.Rib.best (Bgp.Speaker.rib pair.a) (prefix "198.51.100.0/24")));
+  pump pair `A (Bgp.Speaker.request_refresh pair.a ~peer_id:1);
+  Alcotest.(check bool) "relearned after refresh" true
+    (Option.is_some (Bgp.Rib.best (Bgp.Speaker.rib pair.a) (prefix "198.51.100.0/24")))
+
+let suite =
+  [
+    Alcotest.test_case "handshake establishes both" `Quick
+      test_handshake_establishes_both;
+    Alcotest.test_case "update propagates" `Quick test_update_propagates_to_rib;
+    Alcotest.test_case "withdraw propagates" `Quick test_withdraw_propagates;
+    Alcotest.test_case "send before established" `Quick
+      test_send_before_established_is_noop;
+    Alcotest.test_case "garbage tears down" `Quick test_garbage_bytes_tear_down;
+    Alcotest.test_case "session loss flushes" `Quick test_session_loss_flushes_routes;
+    Alcotest.test_case "route refresh re-dumps" `Quick test_route_refresh_re_dumps;
+  ]

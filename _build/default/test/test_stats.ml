@@ -1,0 +1,172 @@
+(* ef_stats: Summary, Cdf, Histogram, Table *)
+
+open Ef_stats
+
+let test_summary_empty () =
+  let s = Summary.create () in
+  Alcotest.(check int) "count" 0 (Summary.count s);
+  Alcotest.(check bool) "mean is nan" true (Float.is_nan (Summary.mean s))
+
+let test_summary_basic () =
+  let s = Summary.create () in
+  List.iter (Summary.observe s) [ 1.0; 2.0; 3.0; 4.0 ];
+  Helpers.check_float "mean" 2.5 (Summary.mean s);
+  Helpers.check_float "min" 1.0 (Summary.min s);
+  Helpers.check_float "max" 4.0 (Summary.max s);
+  Helpers.check_float "total" 10.0 (Summary.total s);
+  Helpers.check_float_eps 1e-9 "variance" (5.0 /. 3.0) (Summary.variance s)
+
+let test_summary_merge () =
+  let a = Summary.create () and b = Summary.create () and whole = Summary.create () in
+  let xs = [ 5.0; 1.0; 3.0 ] and ys = [ 2.0; 8.0; 4.0; 6.0 ] in
+  List.iter (Summary.observe a) xs;
+  List.iter (Summary.observe b) ys;
+  List.iter (Summary.observe whole) (xs @ ys);
+  let merged = Summary.merge a b in
+  Alcotest.(check int) "count" (Summary.count whole) (Summary.count merged);
+  Helpers.check_float_eps 1e-9 "mean" (Summary.mean whole) (Summary.mean merged);
+  Helpers.check_float_eps 1e-9 "variance" (Summary.variance whole)
+    (Summary.variance merged);
+  Helpers.check_float "min" (Summary.min whole) (Summary.min merged);
+  Helpers.check_float "max" (Summary.max whole) (Summary.max merged)
+
+let test_cdf_quantiles () =
+  let c = Cdf.of_samples [ 4.0; 1.0; 3.0; 2.0 ] in
+  Helpers.check_float "min" 1.0 (Cdf.quantile c 0.0);
+  Helpers.check_float "max" 4.0 (Cdf.quantile c 1.0);
+  Helpers.check_float "median interpolates" 2.5 (Cdf.median c)
+
+let test_cdf_fraction_below () =
+  let c = Cdf.of_samples [ 1.0; 2.0; 3.0; 4.0; 5.0 ] in
+  Helpers.check_float "below 3" 0.6 (Cdf.fraction_below c 3.0);
+  Helpers.check_float "below 0" 0.0 (Cdf.fraction_below c 0.0);
+  Helpers.check_float "below 10" 1.0 (Cdf.fraction_below c 10.0);
+  Helpers.check_float "at least 4" 0.4 (Cdf.fraction_at_least c 4.0)
+
+let test_cdf_single_sample () =
+  let c = Cdf.of_samples [ 7.0 ] in
+  Helpers.check_float "quantile" 7.0 (Cdf.quantile c 0.3);
+  Helpers.check_float "below" 1.0 (Cdf.fraction_below c 7.0)
+
+let test_cdf_empty_rejected () =
+  Alcotest.check_raises "empty" (Invalid_argument "Cdf.of_array: empty") (fun () ->
+      ignore (Cdf.of_samples []))
+
+let test_cdf_series_monotone () =
+  let c = Cdf.of_samples (List.init 100 (fun i -> float_of_int (i * i))) in
+  let series = Cdf.series c ~points:11 in
+  Alcotest.(check int) "points" 11 (List.length series);
+  let rec check = function
+    | (x1, q1) :: ((x2, q2) :: _ as rest) ->
+        if x2 < x1 || q2 < q1 then Alcotest.fail "series not monotone";
+        check rest
+    | [ _ ] | [] -> ()
+  in
+  check series
+
+let test_histogram_basic () =
+  let h = Histogram.create ~lo:0.0 ~hi:10.0 ~buckets:5 in
+  List.iter (Histogram.observe h) [ 1.0; 3.0; 3.5; 9.9 ];
+  Alcotest.(check int) "count" 4 (Histogram.count h);
+  Helpers.check_float "bucket 0" 1.0
+    (match List.nth (Histogram.buckets h) 0 with _, _, w -> w);
+  Helpers.check_float "bucket 1" 2.0
+    (match List.nth (Histogram.buckets h) 1 with _, _, w -> w);
+  Helpers.check_float "fraction" 0.5 (Histogram.fraction_in h 1)
+
+let test_histogram_overflow () =
+  let h = Histogram.create ~lo:0.0 ~hi:1.0 ~buckets:2 in
+  Histogram.observe h (-1.0);
+  Histogram.observe h 5.0;
+  Histogram.observe h 1.0 (* hi edge goes to overflow *);
+  Helpers.check_float "underflow" 1.0 (Histogram.underflow h);
+  Helpers.check_float "overflow" 2.0 (Histogram.overflow h)
+
+let test_histogram_weighted () =
+  let h = Histogram.create ~lo:0.0 ~hi:10.0 ~buckets:2 in
+  Histogram.observe_weighted h 1.0 10.0;
+  Histogram.observe_weighted h 6.0 30.0;
+  Helpers.check_float "weight" 40.0 (Histogram.total_weight h);
+  Helpers.check_float "fraction" 0.75 (Histogram.fraction_in h 1)
+
+let test_histogram_custom_edges () =
+  let h = Histogram.create_edges [| 0.0; 1.0; 100.0 |] in
+  Histogram.observe h 0.5;
+  Histogram.observe h 50.0;
+  Histogram.observe h 99.0;
+  Helpers.check_float "first" 1.0 (Histogram.fraction_in h 0 *. 3.0);
+  Alcotest.check_raises "bad edges"
+    (Invalid_argument "Histogram.create_edges: edges must increase strictly")
+    (fun () -> ignore (Histogram.create_edges [| 1.0; 1.0 |]))
+
+let test_table_render () =
+  let t = Table.create [ "name"; "value" ] in
+  Table.add_row t [ "alpha"; "1" ];
+  Table.add_row t [ "b"; "22" ];
+  let rendered = Table.render t in
+  Alcotest.(check bool) "has header" true
+    (String.length rendered > 0 && String.sub rendered 0 4 = "name");
+  Alcotest.(check int) "row count" 2 (Table.row_count t)
+
+let test_table_pads_short_rows () =
+  let t = Table.create [ "a"; "b"; "c" ] in
+  Table.add_row t [ "x" ];
+  Alcotest.(check int) "row accepted" 1 (Table.row_count t)
+
+let test_table_rejects_long_rows () =
+  let t = Table.create [ "a" ] in
+  Alcotest.check_raises "too many cells"
+    (Invalid_argument "Table.add_row: more cells than headers") (fun () ->
+      Table.add_row t [ "1"; "2" ])
+
+let test_table_rowf () =
+  let t = Table.create [ "a"; "b" ] in
+  Table.add_rowf t "%d\t%.1f" 42 3.5;
+  Alcotest.(check int) "row added" 1 (Table.row_count t);
+  let rendered = Table.render t in
+  Alcotest.(check bool) "contains 42" true
+    (Helpers.string_contains ~needle:"42" rendered);
+  Alcotest.(check bool) "contains 3.5" true
+    (Helpers.string_contains ~needle:"3.5" rendered)
+
+let qcheck_cdf_quantile_monotone =
+  QCheck.Test.make ~name:"cdf quantile monotone" ~count:200
+    QCheck.(pair (list_of_size Gen.(int_range 1 50) (float_bound_exclusive 1000.0))
+              (pair (float_bound_inclusive 1.0) (float_bound_inclusive 1.0)))
+    (fun (samples, (q1, q2)) ->
+      QCheck.assume (samples <> []);
+      let c = Cdf.of_samples samples in
+      let lo = Float.min q1 q2 and hi = Float.max q1 q2 in
+      Cdf.quantile c lo <= Cdf.quantile c hi +. 1e-9)
+
+let qcheck_summary_mean_bounds =
+  QCheck.Test.make ~name:"summary mean within min/max" ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 100) (float_bound_exclusive 1e6))
+    (fun samples ->
+      QCheck.assume (samples <> []);
+      let s = Summary.create () in
+      List.iter (Summary.observe s) samples;
+      Summary.mean s >= Summary.min s -. 1e-6
+      && Summary.mean s <= Summary.max s +. 1e-6)
+
+let suite =
+  [
+    Alcotest.test_case "summary empty" `Quick test_summary_empty;
+    Alcotest.test_case "summary basic" `Quick test_summary_basic;
+    Alcotest.test_case "summary merge" `Quick test_summary_merge;
+    Alcotest.test_case "cdf quantiles" `Quick test_cdf_quantiles;
+    Alcotest.test_case "cdf fraction below" `Quick test_cdf_fraction_below;
+    Alcotest.test_case "cdf single sample" `Quick test_cdf_single_sample;
+    Alcotest.test_case "cdf empty rejected" `Quick test_cdf_empty_rejected;
+    Alcotest.test_case "cdf series monotone" `Quick test_cdf_series_monotone;
+    Alcotest.test_case "histogram basic" `Quick test_histogram_basic;
+    Alcotest.test_case "histogram overflow" `Quick test_histogram_overflow;
+    Alcotest.test_case "histogram weighted" `Quick test_histogram_weighted;
+    Alcotest.test_case "histogram custom edges" `Quick test_histogram_custom_edges;
+    Alcotest.test_case "table render" `Quick test_table_render;
+    Alcotest.test_case "table pads short rows" `Quick test_table_pads_short_rows;
+    Alcotest.test_case "table rejects long rows" `Quick test_table_rejects_long_rows;
+    Alcotest.test_case "table rowf" `Quick test_table_rowf;
+    QCheck_alcotest.to_alcotest qcheck_cdf_quantile_monotone;
+    QCheck_alcotest.to_alcotest qcheck_summary_mean_bounds;
+  ]

@@ -1,0 +1,145 @@
+(* Integration: a PoP's routing state built purely from wire bytes.
+
+   The generator fills a Pop's RIB directly. Here we rebuild the same
+   state the way a real peering router gets it — one BGP session per
+   neighbor, OPEN/KEEPALIVE handshakes, and every route arriving as an
+   encoded UPDATE — and check the result is identical. Then we tear a
+   session down and check the controller's view reacts like a real
+   router's would. *)
+
+module Bgp = Ef_bgp
+module N = Ef_netsim
+open Helpers
+
+let world = lazy (N.Topo_gen.generate N.Topo_gen.small_config)
+
+(* one sans-IO speaker acting as the PR, with a session per neighbor; the
+   "neighbors" here are synthesized wire-side by encoding messages
+   directly *)
+let build_wire_router () =
+  let w = Lazy.force world in
+  let pop = w.N.Topo_gen.pop in
+  let router =
+    Bgp.Speaker.create ~asn:(N.Pop.asn pop) ~router_id:(ip "10.0.0.1") ()
+  in
+  let policy = Bgp.Policy.default_ingest ~self_asn:(N.Pop.asn pop) in
+  List.iter (fun peer -> Bgp.Speaker.add_session router peer ~policy) (N.Pop.peers pop);
+  (w, pop, router)
+
+(* drive one session to Established by feeding the peer's wire bytes *)
+let establish router (peer : Bgp.Peer.t) =
+  let peer_id = Bgp.Peer.id peer in
+  ignore (Bgp.Speaker.start router ~peer_id);
+  ignore (Bgp.Speaker.tcp_connected router ~peer_id);
+  let open_msg =
+    Bgp.Codec.encode
+      (Bgp.Msg.make_open ~asn:(Bgp.Peer.asn peer) ~bgp_id:peer.Bgp.Peer.router_id ())
+  in
+  ignore (Bgp.Speaker.receive_bytes router ~peer_id open_msg);
+  ignore
+    (Bgp.Speaker.receive_bytes router ~peer_id (Bgp.Codec.encode Bgp.Msg.Keepalive));
+  match Bgp.Speaker.session_state router ~peer_id with
+  | Some Bgp.Fsm.Established -> ()
+  | s ->
+      Alcotest.failf "peer %d stuck in %s" peer_id
+        (match s with
+        | Some st -> Bgp.Fsm.state_to_string st
+        | None -> "?")
+
+let feed_routes pop router =
+  let rib = N.Pop.rib pop in
+  List.iter
+    (fun peer ->
+      let peer_id = Bgp.Peer.id peer in
+      List.iter
+        (fun (prefix, attrs) ->
+          (* strip the local-policy attributes: on the wire the neighbor
+             sends its raw announcement (adj-rib-in is pre-policy) *)
+          let update =
+            Bgp.Msg.Update
+              { Bgp.Msg.withdrawn = []; attrs = Some attrs; nlri = [ prefix ] }
+          in
+          ignore
+            (Bgp.Speaker.receive_bytes router ~peer_id (Bgp.Codec.encode update)))
+        (Bgp.Rib.adj_rib_in rib ~peer_id))
+    (N.Pop.peers pop)
+
+let test_wire_rebuild_matches () =
+  let w, pop, router = build_wire_router () in
+  List.iter (establish router) (N.Pop.peers pop);
+  Alcotest.(check int) "all sessions up"
+    (List.length (N.Pop.peers pop))
+    (List.length (Bgp.Speaker.established_peers router));
+  feed_routes pop router;
+  let original = N.Pop.rib pop and rebuilt = Bgp.Speaker.rib router in
+  Alcotest.(check int) "same prefixes" (Bgp.Rib.prefix_count original)
+    (Bgp.Rib.prefix_count rebuilt);
+  Alcotest.(check int) "same routes" (Bgp.Rib.route_count original)
+    (Bgp.Rib.route_count rebuilt);
+  List.iter
+    (fun p ->
+      let orig_ranked = List.map Bgp.Route.peer_id (Bgp.Rib.ranked original p) in
+      let got_ranked = List.map Bgp.Route.peer_id (Bgp.Rib.ranked rebuilt p) in
+      Alcotest.(check (list int))
+        (Bgp.Prefix.to_string p)
+        orig_ranked got_ranked)
+    w.N.Topo_gen.all_prefixes
+
+let test_wire_session_loss_reroutes () =
+  let w, pop, router = build_wire_router () in
+  List.iter (establish router) (N.Pop.peers pop);
+  feed_routes pop router;
+  (* kill the first private peer's transport *)
+  let victim =
+    List.find
+      (fun p -> Bgp.Peer.kind p = Bgp.Peer.Private_peer)
+      (N.Pop.peers pop)
+  in
+  let affected =
+    List.filter
+      (fun p ->
+        match Bgp.Rib.best (Bgp.Speaker.rib router) p with
+        | Some r -> Bgp.Route.peer_id r = Bgp.Peer.id victim
+        | None -> false)
+      w.N.Topo_gen.all_prefixes
+  in
+  Alcotest.(check bool) "victim carried prefixes" true (affected <> []);
+  let effects = Bgp.Speaker.tcp_closed router ~peer_id:(Bgp.Peer.id victim) in
+  Alcotest.(check bool) "rib change reported" true
+    (List.exists
+       (function Bgp.Speaker.Rib_changed _ -> true | _ -> false)
+       effects);
+  (* every affected prefix fails over to another candidate, never void *)
+  List.iter
+    (fun p ->
+      match Bgp.Rib.best (Bgp.Speaker.rib router) p with
+      | None -> Alcotest.failf "%s lost all routes" (Bgp.Prefix.to_string p)
+      | Some r ->
+          Alcotest.(check bool) "rerouted away" true
+            (Bgp.Route.peer_id r <> Bgp.Peer.id victim))
+    affected
+
+let test_wire_notification_drops_peer_routes () =
+  let _, pop, router = build_wire_router () in
+  List.iter (establish router) (N.Pop.peers pop);
+  feed_routes pop router;
+  let peer = List.hd (N.Pop.peers pop) in
+  let peer_id = Bgp.Peer.id peer in
+  let before = List.length (Bgp.Rib.adj_rib_in (Bgp.Speaker.rib router) ~peer_id) in
+  Alcotest.(check bool) "peer had routes" true (before > 0);
+  ignore
+    (Bgp.Speaker.receive_bytes router ~peer_id
+       (Bgp.Codec.encode (Bgp.Msg.cease ())));
+  Alcotest.(check int) "flushed" 0
+    (List.length (Bgp.Rib.adj_rib_in (Bgp.Speaker.rib router) ~peer_id));
+  Alcotest.(check (option string)) "session idle" (Some "Idle")
+    (Option.map Bgp.Fsm.state_to_string (Bgp.Speaker.session_state router ~peer_id))
+
+let suite =
+  [
+    Alcotest.test_case "wire rebuild matches" `Quick test_wire_rebuild_matches;
+    Alcotest.test_case "wire session loss reroutes" `Quick
+      test_wire_session_loss_reroutes;
+    Alcotest.test_case "wire notification flush" `Quick
+      test_wire_notification_drops_peer_routes;
+  ]
