@@ -143,6 +143,43 @@ let run_micro () =
     micro_tests;
   print_newline ()
 
+(* per-stage attribution of the controller cycle, from the Ef_obs spans:
+   where inside a cycle the time actually goes on the pop-a world *)
+let run_stage_attribution () =
+  let cycles = 50 in
+  print_endline "== E10b: controller cycle stage attribution (Ef_obs spans) ==";
+  let reg = Ef_obs.Registry.create () in
+  let ctrl = Ef.Controller.create ~obs:reg ~name:"bench" () in
+  let snap = Lazy.force pop_a_snap in
+  for _ = 1 to cycles do
+    ignore (Ef.Controller.cycle ctrl snap)
+  done;
+  let total =
+    match Ef_obs.Registry.find reg "controller.cycle" with
+    | Some (Ef_obs.Registry.Span_m h) -> Ef_obs.Histogram.sum h
+    | _ -> 0.0
+  in
+  Printf.printf "  %d cycles on pop-a, %.3f ms/cycle total\n" cycles
+    (1e3 *. total /. float_of_int cycles);
+  List.iter
+    (fun name ->
+      match Ef_obs.Registry.find reg name with
+      | Some (Ef_obs.Registry.Span_m h) ->
+          let sum = Ef_obs.Histogram.sum h in
+          Printf.printf "  %-26s %10.3f ms/cycle  p99 %8.3f ms  %5.1f%%\n" name
+            (1e3 *. sum /. float_of_int cycles)
+            (1e3 *. Ef_obs.Histogram.quantile h 0.99)
+            (if total > 0.0 then 100.0 *. sum /. total else 0.0)
+      | _ -> ())
+    [
+      "controller.allocate";
+      "controller.guard.clamp";
+      "controller.reconcile";
+      "controller.project";
+      "controller.guard.audit";
+    ];
+  print_newline ()
+
 (* ------------------------------------------------------------------ *)
 (* Experiment dispatch                                                 *)
 (* ------------------------------------------------------------------ *)
@@ -192,12 +229,18 @@ let () =
   match selected with
   | [] | [ "all" ] ->
       List.iter (run_one params) experiments;
-      run_micro ()
-  | [ "micro" ] -> run_micro ()
+      run_micro ();
+      run_stage_attribution ()
+  | [ "micro" ] ->
+      run_micro ();
+      run_stage_attribution ()
   | ids ->
       List.iter
         (fun id ->
-          if id = "micro" then run_micro ()
+          if id = "micro" then begin
+            run_micro ();
+            run_stage_attribution ()
+          end
           else
             match List.find_opt (fun (i, _, _) -> i = id) experiments with
             | Some exp -> run_one params exp

@@ -45,6 +45,20 @@ let hour_t =
     & opt int 20
     & info [ "at" ] ~docv:"HOUR" ~doc:"UTC hour of day for the snapshot (0-23).")
 
+(* every command that runs the pipeline reports into the default Ef_obs
+   registry; --metrics dumps it as JSON when the command is done *)
+let metrics_t =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:"Print collected telemetry (spans, counters, gauges) as JSON on exit.")
+
+let print_metrics enabled =
+  if enabled then
+    print_endline
+      (Ef_obs.Json.to_string
+         (Ef_obs.Registry.to_json (Ef_obs.Registry.default ())))
+
 (* --- scenarios --------------------------------------------------------- *)
 
 let scenarios_cmd =
@@ -95,15 +109,10 @@ let world_cmd =
 (* --- cycle -------------------------------------------------------------- *)
 
 let cycle_cmd =
-  let run scenario seed hour verbose =
+  let run scenario seed hour verbose metrics =
     let config =
-      {
-        S.Engine.default_config with
-        S.Engine.start_s = hour * 3600;
-        controller_enabled = false;
-        use_sampling = false;
-        seed;
-      }
+      S.Engine.make_config ~start_s:(hour * 3600) ~controller_enabled:false
+        ~use_sampling:false ~seed ()
     in
     let engine = S.Engine.create ~config scenario in
     ignore (S.Engine.step engine);
@@ -114,48 +123,59 @@ let cycle_cmd =
       (C.Snapshot.prefix_count snapshot)
       (Ef_util.Units.rate_to_string (C.Snapshot.total_rate_bps snapshot));
     Printf.printf "overloaded before: %d   after: %d\n"
-      (List.length stats.Ef.Controller.overloaded_before)
-      (List.length stats.Ef.Controller.overloaded_after);
+      (List.length (Ef.Controller.overloaded_before stats))
+      (List.length (Ef.Controller.overloaded_after stats));
     List.iter
       (fun (iface, util) ->
         Printf.printf "  %-16s %.2f -> %.2f\n" (N.Iface.name iface) util
-          (Ef.Projection.utilization stats.Ef.Controller.enforced iface))
-      stats.Ef.Controller.overloaded_before;
+          (Ef.Projection.utilization (Ef.Controller.enforced stats) iface))
+      (Ef.Controller.overloaded_before stats);
     Printf.printf "overrides: %d (%s detoured, %s of traffic)\n"
-      (List.length stats.Ef.Controller.reconcile.Ef.Hysteresis.active)
-      (Ef_util.Units.rate_to_string stats.Ef.Controller.detoured_bps)
+      (List.length (Ef.Controller.overrides_enforced stats))
+      (Ef_util.Units.rate_to_string (Ef.Controller.detoured_bps stats))
       (Format.asprintf "%a" Ef_util.Units.pp_percent
          (Ef.Controller.detour_fraction stats));
     if verbose then begin
       List.iter
         (fun o -> Format.printf "  %a@." Ef.Override.pp o)
-        stats.Ef.Controller.reconcile.Ef.Hysteresis.active;
+        (Ef.Controller.overrides_enforced stats);
       print_endline "BGP updates:";
       List.iter
         (fun u -> Format.printf "  %a@." Bgp.Msg.pp (Bgp.Msg.Update u))
         (Ef.Controller.bgp_updates ctrl stats)
-    end
+    end;
+    print_metrics metrics
   in
   let verbose_t =
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print each override and update.")
   in
   Cmd.v
     (Cmd.info "cycle" ~doc:"Run one controller cycle on a peak snapshot.")
-    Term.(const run $ scenario_t $ seed_t $ hour_t $ verbose_t)
+    Term.(const run $ scenario_t $ seed_t $ hour_t $ verbose_t $ metrics_t)
 
 (* --- run ----------------------------------------------------------------- *)
 
 let run_cmd =
-  let run scenario seed hours cycle_s no_controller no_sampling =
+  let run scenario seed hours cycle_s no_controller no_sampling obs_metrics journal
+      =
     let config =
-      {
-        S.Engine.default_config with
-        S.Engine.cycle_s;
-        duration_s = hours * 3600;
-        controller_enabled = not no_controller;
-        use_sampling = not no_sampling;
-        seed;
-      }
+      S.Engine.make_config ~cycle_s ~duration_s:(hours * 3600)
+        ~controller_enabled:(not no_controller)
+        ~use_sampling:(not no_sampling) ~seed ()
+    in
+    let journal_oc =
+      match journal with
+      | None -> None
+      | Some path -> (
+          match open_out path with
+          | oc ->
+              Ef_obs.Registry.add_sink
+                (Ef_obs.Registry.default ())
+                (Ef_obs.Registry.channel_sink oc);
+              Some oc
+          | exception Sys_error msg ->
+              Printf.eprintf "efctl: cannot open journal file: %s\n" msg;
+              exit 1)
     in
     let engine = S.Engine.create ~config scenario in
     let metrics = S.Engine.run engine in
@@ -183,13 +203,15 @@ let run_cmd =
       (Ef_util.Units.rate_to_string
          (S.Metrics.total_dropped metrics `Preferred
          /. float_of_int (max 1 (List.length rows))));
-    match S.Metrics.lifetime_cdf metrics with
+    (match S.Metrics.lifetime_cdf metrics with
     | None -> ()
     | Some cdf ->
         Printf.printf "override lifetimes: p50 %.0fs p90 %.0fs (%d releases)\n"
           (Ef_stats.Cdf.quantile cdf 0.5)
           (Ef_stats.Cdf.quantile cdf 0.9)
-          (Ef_stats.Cdf.count cdf)
+          (Ef_stats.Cdf.count cdf));
+    Option.iter close_out journal_oc;
+    print_metrics obs_metrics
   in
   let hours_t =
     Arg.(value & opt int 24 & info [ "hours" ] ~docv:"H" ~doc:"Simulated duration.")
@@ -203,15 +225,22 @@ let run_cmd =
   let no_sampling_t =
     Arg.(value & flag & info [ "no-sampling" ] ~doc:"Give the controller true rates.")
   in
+  let journal_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:"Write the structured event journal (JSON lines) to $(docv).")
+  in
   Cmd.v (Cmd.info "run" ~doc:"Simulate a day and summarise the outcome.")
     Term.(
       const run $ scenario_t $ seed_t $ hours_t $ cycle_t $ no_controller_t
-      $ no_sampling_t)
+      $ no_sampling_t $ metrics_t $ journal_t)
 
 (* --- experiment ----------------------------------------------------------- *)
 
 let experiment_cmd =
-  let run id cycle_s =
+  let run id cycle_s metrics =
     let params = { S.Experiments.default_params with S.Experiments.cycle_s } in
     let table =
       match id with
@@ -233,6 +262,7 @@ let experiment_cmd =
     match table with
     | Some t ->
         Ef_stats.Table.print t;
+        print_metrics metrics;
         `Ok ()
     | None ->
         `Error (false, Printf.sprintf "unknown experiment %S (e1-e9, a1, a3, a4)" id)
@@ -248,7 +278,7 @@ let experiment_cmd =
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate one table/figure of the paper.")
-    Term.(ret (const run $ id_t $ cycle_t))
+    Term.(ret (const run $ id_t $ cycle_t $ metrics_t))
 
 (* --- topo (graphviz export) ----------------------------------------------- *)
 
@@ -307,14 +337,9 @@ let dump_cmd =
 (* --- fleet ------------------------------------------------------------- *)
 
 let fleet_cmd =
-  let run seed hours cycle_s =
+  let run seed hours cycle_s metrics =
     let config =
-      {
-        S.Engine.default_config with
-        S.Engine.cycle_s;
-        duration_s = hours * 3600;
-        seed;
-      }
+      S.Engine.make_config ~cycle_s ~duration_s:(hours * 3600) ~seed ()
     in
     let fleet = S.Fleet.of_paper_pops ~config () in
     Printf.printf "running %d PoPs for %dh (this is %d controller cycles)...\n%!"
@@ -322,7 +347,8 @@ let fleet_cmd =
       hours
       (List.length (S.Fleet.engines fleet) * hours * 3600 / cycle_s);
     let results = S.Fleet.run fleet in
-    Ef_stats.Table.print (S.Fleet.summary_table results)
+    Ef_stats.Table.print (S.Fleet.summary_table results);
+    print_metrics metrics
   in
   let hours_t =
     Arg.(value & opt int 24 & info [ "hours" ] ~docv:"H" ~doc:"Simulated duration.")
@@ -332,21 +358,15 @@ let fleet_cmd =
   in
   Cmd.v
     (Cmd.info "fleet" ~doc:"Run every paper PoP and print the fleet dashboard.")
-    Term.(const run $ seed_t $ hours_t $ cycle_t)
+    Term.(const run $ seed_t $ hours_t $ cycle_t $ metrics_t)
 
 (* --- record / replay ------------------------------------------------------ *)
 
 let record_cmd =
   let run scenario seed hour hours cycle_s out =
     let config =
-      {
-        S.Engine.default_config with
-        S.Engine.cycle_s;
-        duration_s = hours * 3600;
-        start_s = hour * 3600;
-        controller_enabled = false;
-        seed;
-      }
+      S.Engine.make_config ~cycle_s ~duration_s:(hours * 3600)
+        ~start_s:(hour * 3600) ~controller_enabled:false ~seed ()
     in
     let engine = S.Engine.create ~config scenario in
     let snapshots = ref [] in
@@ -375,13 +395,11 @@ let record_cmd =
     Term.(const run $ scenario_t $ seed_t $ hour_t $ hours_t $ cycle_t $ out_t)
 
 let replay_cmd =
-  let run file threshold =
+  let run file threshold metrics =
     match C.Trace.load file with
     | Error msg -> `Error (false, msg)
     | Ok snapshots ->
-        let config =
-          { Ef.Config.default with Ef.Config.overload_threshold = threshold }
-        in
+        let config = Ef.Config.make ~overload_threshold:threshold () in
         let ctrl = Ef.Controller.create ~config ~name:"replay" () in
         Printf.printf "%-9s %-10s %-11s %-9s %-9s %s\n" "time" "prefixes"
           "overloaded" "overrides" "detoured" "residual";
@@ -390,14 +408,15 @@ let replay_cmd =
             let stats = Ef.Controller.cycle ctrl snapshot in
             Printf.printf "%-9s %-10d %-11d %-9d %-9s %d\n"
               (Format.asprintf "%a" Ef_util.Units.pp_time_of_day
-                 stats.Ef.Controller.time_s)
+                 (Ef.Controller.time_s stats))
               (C.Snapshot.prefix_count snapshot)
-              (List.length stats.Ef.Controller.overloaded_before)
-              (List.length stats.Ef.Controller.reconcile.Ef.Hysteresis.active)
+              (List.length (Ef.Controller.overloaded_before stats))
+              (List.length (Ef.Controller.overrides_enforced stats))
               (Format.asprintf "%a" Ef_util.Units.pp_percent
                  (Ef.Controller.detour_fraction stats))
-              (List.length stats.Ef.Controller.allocator.Ef.Allocator.residual))
+              (List.length (Ef.Controller.residual_overloads stats)))
           snapshots;
+        print_metrics metrics;
         `Ok ()
   in
   let file_t =
@@ -411,7 +430,7 @@ let replay_cmd =
   Cmd.v
     (Cmd.info "replay"
        ~doc:"Replay a recorded trace through a (possibly reconfigured) controller.")
-    Term.(ret (const run $ file_t $ threshold_t))
+    Term.(ret (const run $ file_t $ threshold_t $ metrics_t))
 
 let () =
   let doc = "Edge Fabric: egress traffic engineering, reproduced in OCaml" in

@@ -48,14 +48,8 @@ let () =
     }
   in
   let config =
-    {
-      S.Engine.default_config with
-      S.Engine.cycle_s = 60;
-      duration_s = 2 * 3600;
-      start_s = 19 * 3600;
-      seed = 7;
-      events = [ event ];
-    }
+    S.Engine.make_config ~cycle_s:60 ~duration_s:(2 * 3600)
+      ~start_s:(19 * 3600) ~seed:7 ~events:[ event ] ()
   in
   let engine = S.Engine.create ~config scenario in
 

@@ -16,14 +16,8 @@ let scenario = N.Scenario.pop_a
 
 let evening controller =
   let config =
-    {
-      S.Engine.default_config with
-      S.Engine.cycle_s = 120;
-      duration_s = 6 * 3600;
-      start_s = 17 * 3600;
-      controller_enabled = controller;
-      seed = 42;
-    }
+    S.Engine.make_config ~cycle_s:120 ~duration_s:(6 * 3600)
+      ~start_s:(17 * 3600) ~controller_enabled:controller ~seed:42 ()
   in
   let engine = S.Engine.create ~config scenario in
   (S.Engine.run engine, S.Engine.world engine)

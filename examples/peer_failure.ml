@@ -35,15 +35,10 @@ let () =
   let start = 20 * 3600 in
   let down_at = start + 600 and up_at = start + 1800 in
   let config =
-    {
-      S.Engine.default_config with
-      S.Engine.cycle_s = 60;
-      duration_s = 3600;
-      start_s = start;
-      seed = 21;
-      peer_events =
-        [ { S.Engine.event_peer_id = Bgp.Peer.id victim; down_at_s = down_at; up_at_s = up_at } ];
-    }
+    S.Engine.make_config ~cycle_s:60 ~duration_s:3600 ~start_s:start ~seed:21
+      ~peer_events:
+        [ { S.Engine.event_peer_id = Bgp.Peer.id victim; down_at_s = down_at; up_at_s = up_at } ]
+      ()
   in
   let engine = S.Engine.create ~config scenario in
   Printf.printf "%-7s %-14s %-11s %-10s %-9s %s\n" "time" "victim-load"

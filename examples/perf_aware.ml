@@ -19,15 +19,8 @@ let scenario = N.Scenario.pop_a
 
 let () =
   let config =
-    {
-      S.Engine.default_config with
-      S.Engine.cycle_s = 60;
-      duration_s = 3600;
-      start_s = 20 * 3600;
-      use_sampling = false;
-      measure_altpaths = true;
-      seed = 9;
-    }
+    S.Engine.make_config ~cycle_s:60 ~duration_s:3600 ~start_s:(20 * 3600)
+      ~use_sampling:false ~measure_altpaths:true ~seed:9 ()
   in
   let engine = S.Engine.create ~config scenario in
   Printf.printf "Measuring alternate paths for an hour at %s...\n%!"

@@ -62,16 +62,16 @@ let () =
   let stats = Ef.Controller.cycle controller snapshot in
 
   Format.printf "@.Projected BGP-only utilization: pni %.2f@."
-    (Ef.Projection.utilization stats.Ef.Controller.preferred pni);
+    (Ef.Projection.utilization (Ef.Controller.preferred stats) pni);
   Format.printf "After Edge Fabric:               pni %.2f  ixp %.2f  transit %.2f@."
-    (Ef.Projection.utilization stats.Ef.Controller.enforced pni)
-    (Ef.Projection.utilization stats.Ef.Controller.enforced ixp)
-    (Ef.Projection.utilization stats.Ef.Controller.enforced transit);
+    (Ef.Projection.utilization (Ef.Controller.enforced stats) pni)
+    (Ef.Projection.utilization (Ef.Controller.enforced stats) ixp)
+    (Ef.Projection.utilization (Ef.Controller.enforced stats) transit);
 
   Format.printf "@.Overrides:@.";
   List.iter
     (fun o -> Format.printf "  %a@." Ef.Override.pp o)
-    stats.Ef.Controller.reconcile.Ef.Hysteresis.active;
+    (Ef.Controller.overrides_enforced stats);
 
   Format.printf "@.The BGP message that enforces it:@.";
   List.iter

@@ -9,7 +9,9 @@ type t = {
   iface_of_peer : int -> Ef_netsim.Iface.t option;
 }
 
-let assemble ~routes ~iface_of_peer ~ifaces ~prefix_rates ~time_s =
+let assemble ?obs ~routes ~iface_of_peer ~ifaces ~prefix_rates ~time_s () =
+  let obs = match obs with Some r -> r | None -> Ef_obs.Registry.default () in
+  Ef_obs.Span.time ~registry:obs "collector.assemble" @@ fun () ->
   let prefix_rates =
     prefix_rates
     |> List.filter (fun (_, r) -> r > 0.0)
@@ -20,18 +22,22 @@ let assemble ~routes ~iface_of_peer ~ifaces ~prefix_rates ~time_s =
       (fun trie (p, r) -> Bgp.Ptrie.add p r trie)
       Bgp.Ptrie.empty prefix_rates
   in
+  Ef_obs.Counter.inc (Ef_obs.Registry.counter obs "collector.snapshots");
+  Ef_obs.Gauge.set
+    (Ef_obs.Registry.gauge obs "collector.snapshot.prefixes")
+    (float_of_int (List.length prefix_rates));
   { time_s; prefix_rates; rate_trie; routes; ifaces; iface_of_peer }
 
-let of_pop pop ~prefix_rates ~time_s =
+let of_pop ?obs pop ~prefix_rates ~time_s =
   let rib = Ef_netsim.Pop.rib pop in
-  assemble
+  assemble ?obs
     ~routes:(fun p -> Bgp.Rib.ranked rib p)
     ~iface_of_peer:(fun peer_id ->
       match Ef_netsim.Pop.peer pop peer_id with
       | None -> None
       | Some _ -> Some (Ef_netsim.Pop.iface_of_peer pop ~peer_id))
     ~ifaces:(Ef_netsim.Pop.interfaces pop)
-    ~prefix_rates ~time_s
+    ~prefix_rates ~time_s ()
 
 let time_s t = t.time_s
 let prefix_rates t = t.prefix_rates

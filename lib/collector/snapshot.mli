@@ -10,16 +10,23 @@
 type t
 
 val assemble :
+  ?obs:Ef_obs.Registry.t ->
   routes:(Ef_bgp.Prefix.t -> Ef_bgp.Route.t list) ->
   iface_of_peer:(int -> Ef_netsim.Iface.t option) ->
   ifaces:Ef_netsim.Iface.t list ->
   prefix_rates:(Ef_bgp.Prefix.t * float) list ->
   time_s:int ->
+  unit ->
   t
 (** [routes] must return candidates in decision-ranked order (head =
-    BGP-preferred). Rates at or below zero are dropped. *)
+    BGP-preferred). Rates at or below zero are dropped.
+
+    Assembly is instrumented: the [collector.assemble] span and the
+    [collector.snapshots] counter (plus a [collector.snapshot.prefixes]
+    gauge) land in [obs], defaulting to {!Ef_obs.Registry.default}. *)
 
 val of_pop :
+  ?obs:Ef_obs.Registry.t ->
   Ef_netsim.Pop.t ->
   prefix_rates:(Ef_bgp.Prefix.t * float) list ->
   time_s:int ->

@@ -171,7 +171,7 @@ let finish b =
           List.find_opt (fun i -> Ef_netsim.Iface.id i = iface_id) ifaces)
     ~ifaces
     ~prefix_rates:(List.rev b.b_rates)
-    ~time_s:b.b_time
+    ~time_s:b.b_time ()
 
 let parse_ip ~line s =
   match Bgp.Ipv4.of_string_opt s with

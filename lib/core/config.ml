@@ -31,6 +31,37 @@ let default =
     guard = Guard.default;
   }
 
+let make ?(overload_threshold = default.overload_threshold)
+    ?(release_margin = default.release_margin) ?(min_hold_s = default.min_hold_s)
+    ?(order = default.order) ?(iterative = default.iterative)
+    ?(granularity = default.granularity) ?max_overrides_per_cycle
+    ?(override_local_pref = default.override_local_pref)
+    ?(guard = default.guard) () =
+  {
+    overload_threshold;
+    release_margin;
+    min_hold_s;
+    order;
+    iterative;
+    granularity;
+    max_overrides_per_cycle;
+    override_local_pref;
+    guard;
+  }
+
+let with_overload_threshold overload_threshold t = { t with overload_threshold }
+let with_release_margin release_margin t = { t with release_margin }
+let with_min_hold_s min_hold_s t = { t with min_hold_s }
+let with_order order t = { t with order }
+let with_iterative iterative t = { t with iterative }
+let with_granularity granularity t = { t with granularity }
+
+let with_max_overrides_per_cycle max_overrides_per_cycle t =
+  { t with max_overrides_per_cycle }
+
+let with_override_local_pref override_local_pref t = { t with override_local_pref }
+let with_guard guard t = { t with guard }
+
 let release_threshold t = t.overload_threshold -. t.release_margin
 
 let validate t =

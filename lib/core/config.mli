@@ -14,6 +14,13 @@ type granularity =
   | Bgp_prefix      (** detour exactly the announced prefix *)
   | Split_24        (** split into /24s and move only as much as needed *)
 
+(** The configuration record.
+
+    {b Deprecated for construction:} build configurations with {!make}
+    and the [with_*] updaters instead of record literals or record
+    update — new fields are added as the controller grows, and every
+    literal construction breaks when they land. The record stays exposed
+    (reading fields is fine) for the transition. *)
 type t = {
   overload_threshold : float;  (** fraction of capacity, e.g. 0.95 *)
   release_margin : float;      (** release when preferred util < threshold − margin *)
@@ -31,6 +38,37 @@ type t = {
 }
 
 val default : t
+
+val make :
+  ?overload_threshold:float ->
+  ?release_margin:float ->
+  ?min_hold_s:int ->
+  ?order:order ->
+  ?iterative:bool ->
+  ?granularity:granularity ->
+  ?max_overrides_per_cycle:int ->
+  ?override_local_pref:int ->
+  ?guard:Guard.config ->
+  unit ->
+  t
+(** Every omitted field takes its {!default} value
+    ([max_overrides_per_cycle] defaults to unbounded). [make] does not
+    validate — {!Controller.create} runs {!validate} on whatever it is
+    given, and callers can call it directly. *)
+
+(** Functional updaters, argument-last so they chain:
+    [Config.default |> Config.with_min_hold_s 0 |> Config.with_release_margin 0.0] *)
+
+val with_overload_threshold : float -> t -> t
+val with_release_margin : float -> t -> t
+val with_min_hold_s : int -> t -> t
+val with_order : order -> t -> t
+val with_iterative : bool -> t -> t
+val with_granularity : granularity -> t -> t
+val with_max_overrides_per_cycle : int option -> t -> t
+val with_override_local_pref : int -> t -> t
+val with_guard : Guard.config -> t -> t
+
 val release_threshold : t -> float
 (** [overload_threshold -. release_margin]. *)
 

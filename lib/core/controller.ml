@@ -1,5 +1,6 @@
 module Bgp = Ef_bgp
 module Snapshot = Ef_collector.Snapshot
+module Obs = Ef_obs
 
 type cycle_stats = {
   time_s : int;
@@ -19,23 +20,75 @@ let log_src = Logs.Src.create "edge_fabric.controller" ~doc:"Edge Fabric control
 
 module Log = (val Logs.src_log log_src)
 
+(* metric handles, resolved once per controller so a cycle touches only
+   mutable cells and the monotonic clock *)
+type obs_handles = {
+  reg : Obs.Registry.t;
+  sp_cycle : Obs.Histogram.t;
+  sp_allocate : Obs.Histogram.t;
+  sp_guard_clamp : Obs.Histogram.t;
+  sp_reconcile : Obs.Histogram.t;
+  sp_project : Obs.Histogram.t;
+  sp_guard_audit : Obs.Histogram.t;
+  c_cycles : Obs.Counter.t;
+  c_added : Obs.Counter.t;
+  c_removed : Obs.Counter.t;
+  c_retargeted : Obs.Counter.t;
+  c_shed : Obs.Counter.t;
+  c_violations : Obs.Counter.t;
+  c_residual : Obs.Counter.t;
+  g_total_bps : Obs.Gauge.t;
+  g_detoured_bps : Obs.Gauge.t;
+  g_active : Obs.Gauge.t;
+}
+
+let obs_handles reg =
+  {
+    reg;
+    sp_cycle = Obs.Registry.span reg "controller.cycle";
+    sp_allocate = Obs.Registry.span reg "controller.allocate";
+    sp_guard_clamp = Obs.Registry.span reg "controller.guard.clamp";
+    sp_reconcile = Obs.Registry.span reg "controller.reconcile";
+    sp_project = Obs.Registry.span reg "controller.project";
+    sp_guard_audit = Obs.Registry.span reg "controller.guard.audit";
+    c_cycles = Obs.Registry.counter reg "controller.cycles";
+    c_added = Obs.Registry.counter reg "controller.overrides.added";
+    c_removed = Obs.Registry.counter reg "controller.overrides.removed";
+    c_retargeted = Obs.Registry.counter reg "controller.overrides.retargeted";
+    c_shed = Obs.Registry.counter reg "controller.overrides.shed";
+    c_violations = Obs.Registry.counter reg "controller.guard.violations";
+    c_residual = Obs.Registry.counter reg "controller.residual_overloads";
+    g_total_bps = Obs.Registry.gauge reg "controller.total_bps";
+    g_detoured_bps = Obs.Registry.gauge reg "controller.detoured_bps";
+    g_active = Obs.Registry.gauge reg "controller.overrides.active";
+  }
+
 type t = {
   name : string;
   config : Config.t;
   hysteresis : Hysteresis.t;
+  obs : obs_handles;
   mutable cycles : int;
 }
 
-let create ?(config = Config.default) ~name () =
+let create ?(config = Config.default) ?obs ~name () =
   (match Config.validate config with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Controller.create: bad config: " ^ msg));
-  { name; config; hysteresis = Hysteresis.create config; cycles = 0 }
+  let reg = match obs with Some r -> r | None -> Obs.Registry.default () in
+  {
+    name;
+    config;
+    hysteresis = Hysteresis.create config;
+    obs = obs_handles reg;
+    cycles = 0;
+  }
 
 let name t = t.name
 let config t = t.config
 let active_overrides t = Hysteresis.active t.hysteresis
 let cycles_run t = t.cycles
+let obs t = t.obs.reg
 
 let overrides_lookup overrides =
   let trie =
@@ -46,10 +99,17 @@ let overrides_lookup overrides =
   fun prefix -> Bgp.Ptrie.find prefix trie
 
 let cycle t snapshot =
+  let ob = t.obs in
+  Obs.Span.time_h ob.reg ob.sp_cycle @@ fun () ->
   t.cycles <- t.cycles + 1;
-  let alloc = Allocator.run ~config:t.config snapshot in
+  Obs.Counter.inc ob.c_cycles;
+  let alloc =
+    Obs.Span.time_h ob.reg ob.sp_allocate (fun () ->
+        Allocator.run ~config:t.config snapshot)
+  in
   let desired, guard_dropped =
-    Guard.clamp t.config.Config.guard snapshot alloc.Allocator.overrides
+    Obs.Span.time_h ob.reg ob.sp_guard_clamp (fun () ->
+        Guard.clamp t.config.Config.guard snapshot alloc.Allocator.overrides)
   in
   if guard_dropped <> [] then
     Log.warn (fun m ->
@@ -57,34 +117,67 @@ let cycle t snapshot =
           (List.length guard_dropped)
           (List.length alloc.Allocator.overrides));
   let reconcile =
-    Hysteresis.step t.hysteresis ~time_s:(Snapshot.time_s snapshot)
-      ~desired ~preferred:alloc.Allocator.before
+    Obs.Span.time_h ob.reg ob.sp_reconcile (fun () ->
+        Hysteresis.step t.hysteresis ~time_s:(Snapshot.time_s snapshot)
+          ~desired ~preferred:alloc.Allocator.before)
   in
   let enforced =
-    Projection.project
-      ~overrides:(overrides_lookup reconcile.Hysteresis.active)
-      snapshot
+    Obs.Span.time_h ob.reg ob.sp_project (fun () ->
+        Projection.project
+          ~overrides:(overrides_lookup reconcile.Hysteresis.active)
+          snapshot)
   in
   let threshold = t.config.Config.overload_threshold in
   let guard_violations =
-    Guard.audit t.config.Config.guard snapshot reconcile.Hysteresis.active
+    Obs.Span.time_h ob.reg ob.sp_guard_audit (fun () ->
+        Guard.audit t.config.Config.guard snapshot reconcile.Hysteresis.active)
   in
   List.iter
     (fun v -> Log.warn (fun m -> m "%s: %a" t.name Guard.pp_violation v))
     guard_violations;
-  {
-    time_s = Snapshot.time_s snapshot;
-    total_bps = Projection.total_bps enforced;
-    detoured_bps = Projection.overridden_bps enforced;
-    preferred = alloc.Allocator.before;
-    enforced;
-    allocator = alloc;
-    reconcile;
-    guard_dropped;
-    guard_violations;
-    overloaded_before = Projection.overloaded alloc.Allocator.before ~threshold;
-    overloaded_after = Projection.overloaded enforced ~threshold;
-  }
+  let stats =
+    {
+      time_s = Snapshot.time_s snapshot;
+      total_bps = Projection.total_bps enforced;
+      detoured_bps = Projection.overridden_bps enforced;
+      preferred = alloc.Allocator.before;
+      enforced;
+      allocator = alloc;
+      reconcile;
+      guard_dropped;
+      guard_violations;
+      overloaded_before = Projection.overloaded alloc.Allocator.before ~threshold;
+      overloaded_after = Projection.overloaded enforced ~threshold;
+    }
+  in
+  let count l = float_of_int (List.length l) in
+  Obs.Counter.add ob.c_added (count reconcile.Hysteresis.added);
+  Obs.Counter.add ob.c_removed (count reconcile.Hysteresis.removed);
+  Obs.Counter.add ob.c_retargeted (count reconcile.Hysteresis.retargeted);
+  Obs.Counter.add ob.c_shed (count guard_dropped);
+  Obs.Counter.add ob.c_violations (count guard_violations);
+  Obs.Counter.add ob.c_residual (count alloc.Allocator.residual);
+  Obs.Gauge.set ob.g_total_bps stats.total_bps;
+  Obs.Gauge.set ob.g_detoured_bps stats.detoured_bps;
+  Obs.Gauge.set ob.g_active (count reconcile.Hysteresis.active);
+  if Obs.Registry.has_sinks ob.reg then
+    Obs.Registry.emit ob.reg ~name:"controller.cycle"
+      [
+        ("controller", Obs.Json.String t.name);
+        ("time_s", Obs.Json.Int stats.time_s);
+        ("total_bps", Obs.Json.Float stats.total_bps);
+        ("detoured_bps", Obs.Json.Float stats.detoured_bps);
+        ("overrides_active", Obs.Json.Int (List.length reconcile.Hysteresis.active));
+        ("added", Obs.Json.Int (List.length reconcile.Hysteresis.added));
+        ("removed", Obs.Json.Int (List.length reconcile.Hysteresis.removed));
+        ("retargeted", Obs.Json.Int (List.length reconcile.Hysteresis.retargeted));
+        ("shed", Obs.Json.Int (List.length guard_dropped));
+        ("residual", Obs.Json.Int (List.length alloc.Allocator.residual));
+        ("violations", Obs.Json.Int (List.length guard_violations));
+        ("overloaded_before", Obs.Json.Int (List.length stats.overloaded_before));
+        ("overloaded_after", Obs.Json.Int (List.length stats.overloaded_after));
+      ];
+  stats
 
 let bgp_updates t stats =
   let lp = t.config.Config.override_local_pref in
@@ -102,3 +195,63 @@ let bgp_updates t stats =
 
 let detour_fraction stats =
   if stats.total_bps <= 0.0 then 0.0 else stats.detoured_bps /. stats.total_bps
+
+(* --- cycle_stats accessors --------------------------------------------- *)
+
+let time_s stats = stats.time_s
+let total_bps stats = stats.total_bps
+let detoured_bps stats = stats.detoured_bps
+let preferred stats = stats.preferred
+let enforced stats = stats.enforced
+let allocator_result stats = stats.allocator
+let reconcile_result stats = stats.reconcile
+let guard_dropped stats = stats.guard_dropped
+let guard_violations stats = stats.guard_violations
+let overloaded_before stats = stats.overloaded_before
+let overloaded_after stats = stats.overloaded_after
+let overrides_enforced stats = stats.reconcile.Hysteresis.active
+let overrides_added stats = stats.reconcile.Hysteresis.added
+let overrides_removed stats = stats.reconcile.Hysteresis.removed
+let overrides_retargeted stats = stats.reconcile.Hysteresis.retargeted
+let residual_overloads stats = stats.allocator.Allocator.residual
+
+let pp_cycle_stats fmt stats =
+  Format.fprintf fmt
+    "t=%d total=%.3gbps detoured=%.3gbps (%.1f%%) overrides=%d (+%d/-%d/~%d) \
+     shed=%d residual=%d violations=%d overloaded %d->%d"
+    stats.time_s stats.total_bps stats.detoured_bps
+    (100.0 *. detour_fraction stats)
+    (List.length stats.reconcile.Hysteresis.active)
+    (List.length stats.reconcile.Hysteresis.added)
+    (List.length stats.reconcile.Hysteresis.removed)
+    (List.length stats.reconcile.Hysteresis.retargeted)
+    (List.length stats.guard_dropped)
+    (List.length stats.allocator.Allocator.residual)
+    (List.length stats.guard_violations)
+    (List.length stats.overloaded_before)
+    (List.length stats.overloaded_after)
+
+let cycle_stats_to_json stats =
+  Obs.Json.Obj
+    [
+      ("time_s", Obs.Json.Int stats.time_s);
+      ("total_bps", Obs.Json.Float stats.total_bps);
+      ("detoured_bps", Obs.Json.Float stats.detoured_bps);
+      ("detour_fraction", Obs.Json.Float (detour_fraction stats));
+      ( "overrides",
+        Obs.Json.Obj
+          [
+            ("active", Obs.Json.Int (List.length stats.reconcile.Hysteresis.active));
+            ("added", Obs.Json.Int (List.length stats.reconcile.Hysteresis.added));
+            ("removed", Obs.Json.Int (List.length stats.reconcile.Hysteresis.removed));
+            ( "retargeted",
+              Obs.Json.Int (List.length stats.reconcile.Hysteresis.retargeted) );
+            ("shed", Obs.Json.Int (List.length stats.guard_dropped));
+            ( "deferred_releases",
+              Obs.Json.Int stats.reconcile.Hysteresis.deferred_releases );
+          ] );
+      ("residual_overloads", Obs.Json.Int (List.length stats.allocator.Allocator.residual));
+      ("guard_violations", Obs.Json.Int (List.length stats.guard_violations));
+      ("overloaded_before", Obs.Json.Int (List.length stats.overloaded_before));
+      ("overloaded_after", Obs.Json.Int (List.length stats.overloaded_after));
+    ]

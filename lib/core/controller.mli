@@ -10,8 +10,18 @@
 
     The controller holds no routing state of its own beyond the installed
     override set — restart it and the next cycle recomputes everything
-    from the feeds, as the paper's deployment does. *)
+    from the feeds, as the paper's deployment does.
 
+    Every stage is instrumented through {!Ef_obs}: each cycle records the
+    [controller.cycle] span plus one span per stage ([controller.allocate],
+    [controller.guard.clamp], [controller.reconcile], [controller.project],
+    [controller.guard.audit]), bumps the override/guard counters, and —
+    when a journal sink is attached — emits one [controller.cycle] event
+    summarizing the round. *)
+
+(** One cycle's outcome. Use the accessor functions below rather than
+    matching on the record directly: the record will keep growing (it is
+    kept exposed for the transition), and accessors insulate callers. *)
 type cycle_stats = {
   time_s : int;
   total_bps : float;
@@ -30,11 +40,17 @@ type cycle_stats = {
 
 type t
 
-val create : ?config:Config.t -> name:string -> unit -> t
+val create : ?config:Config.t -> ?obs:Ef_obs.Registry.t -> name:string -> unit -> t
+(** [obs] is where the controller's spans, counters and journal events
+    land; defaults to {!Ef_obs.Registry.default}. *)
+
 val name : t -> string
 val config : t -> Config.t
 val active_overrides : t -> Override.t list
 val cycles_run : t -> int
+
+val obs : t -> Ef_obs.Registry.t
+(** The registry this controller reports into. *)
 
 val cycle : t -> Ef_collector.Snapshot.t -> cycle_stats
 
@@ -45,3 +61,39 @@ val bgp_updates : t -> cycle_stats -> Ef_bgp.Msg.update list
 
 val detour_fraction : cycle_stats -> float
 (** detoured_bps / total_bps (0 when idle). *)
+
+(** {2 [cycle_stats] accessors}
+
+    Field-for-field accessors plus the derived lists the drivers actually
+    want. New code should use these (and {!pp_cycle_stats} /
+    {!cycle_stats_to_json}) instead of pattern-matching the record. *)
+
+val time_s : cycle_stats -> int
+val total_bps : cycle_stats -> float
+val detoured_bps : cycle_stats -> float
+val preferred : cycle_stats -> Projection.t
+val enforced : cycle_stats -> Projection.t
+val allocator_result : cycle_stats -> Allocator.result
+val reconcile_result : cycle_stats -> Hysteresis.step_result
+val guard_dropped : cycle_stats -> Override.t list
+val guard_violations : cycle_stats -> Guard.violation list
+val overloaded_before : cycle_stats -> (Ef_netsim.Iface.t * float) list
+val overloaded_after : cycle_stats -> (Ef_netsim.Iface.t * float) list
+
+val overrides_enforced : cycle_stats -> Override.t list
+(** The set enforced after the cycle ([reconcile.active]). *)
+
+val overrides_added : cycle_stats -> Override.t list
+val overrides_removed : cycle_stats -> (Override.t * int) list
+(** With lifetime in seconds. *)
+
+val overrides_retargeted : cycle_stats -> Override.t list
+val residual_overloads : cycle_stats -> (Ef_netsim.Iface.t * float) list
+(** Interfaces the allocator could not relieve ([allocator.residual]). *)
+
+val pp_cycle_stats : Format.formatter -> cycle_stats -> unit
+(** One-line operational summary of a cycle. *)
+
+val cycle_stats_to_json : cycle_stats -> Ef_obs.Json.t
+(** Counts-and-volumes summary (no projections or override details) —
+    the same shape the journal event carries. *)

@@ -1,0 +1,9 @@
+let real_now () = Monotonic_clock.now ()
+let current = ref real_now
+let now_ns () = !current ()
+
+let elapsed_s t0 =
+  Int64.to_float (Int64.sub (now_ns ()) t0) /. 1e9
+
+let set_now_ns f = current := f
+let reset () = current := real_now

@@ -1,0 +1,18 @@
+(** Monotonic time source for span timing.
+
+    The default reads CLOCK_MONOTONIC (via the bechamel clock stub —
+    already a build dependency of the bench suite). Tests that need
+    deterministic durations can install a fake with {!set_now_ns} and
+    restore the real clock with {!reset}. *)
+
+val now_ns : unit -> int64
+(** Nanoseconds on a monotonic clock; only differences are meaningful. *)
+
+val elapsed_s : int64 -> float
+(** [elapsed_s t0] is seconds elapsed since [now_ns] returned [t0]. *)
+
+val set_now_ns : (unit -> int64) -> unit
+(** Replace the clock (tests only). *)
+
+val reset : unit -> unit
+(** Restore the real monotonic clock. *)

@@ -1,0 +1,15 @@
+(** Ef_obs: the telemetry substrate.
+
+    Everything the controller pipeline reports — per-stage latency spans,
+    override/guard counters, projected-load gauges, and the structured
+    event journal — flows through one {!Registry}. See [DESIGN.md]
+    ("Observability: the Ef_obs layer") for how the pipeline is wired. *)
+
+module Json = Json
+module Clock = Clock
+module Registry = Registry
+module Counter = Registry.Counter
+module Gauge = Registry.Gauge
+module Histogram = Registry.Histogram
+module Span = Registry.Span
+module Event = Registry.Event

@@ -1,0 +1,26 @@
+(** A minimal JSON tree and printer.
+
+    Just enough for metric export and the event journal — no parser, no
+    external dependency. Printing is deterministic (object fields keep
+    their given order) so journal lines and [efctl --metrics] output are
+    diffable across runs. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) rendering. Non-finite floats print as [null] —
+    JSON has no representation for them. *)
+
+val pp : Format.formatter -> t -> unit
+(** Same compact rendering, on a formatter. *)
+
+val escape : string -> string
+(** The quoted-and-escaped form of a string literal (used internally;
+    exposed for tests). *)

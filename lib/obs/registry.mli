@@ -1,0 +1,149 @@
+(** The metric registry: named counters, gauges, histograms and span
+    timings, plus a structured event journal with pluggable sinks.
+
+    One registry is one export domain. Library code takes an optional
+    registry and falls back to the process-wide {!default}, so a normal
+    run needs no plumbing (everything lands in one place, which is what
+    [efctl --metrics] prints), while tests create private registries and
+    assert on exact deltas.
+
+    Metric handles are get-or-create by name: the first call registers,
+    later calls return the same handle. Hot paths (the controller cycle)
+    look handles up once at construction time and then touch only a
+    mutable cell per event, so instrumentation cost is a couple of clock
+    reads per stage. *)
+
+module Counter : sig
+  type t
+
+  val inc : t -> unit
+  val add : t -> float -> unit
+  (** Counters are monotonic: [add] raises [Invalid_argument] on a
+      negative delta. *)
+
+  val value : t -> float
+  val name : t -> string
+end
+
+module Gauge : sig
+  type t
+
+  val set : t -> float -> unit
+  val value : t -> float
+  val name : t -> string
+end
+
+module Histogram : sig
+  type t
+
+  val observe : t -> float -> unit
+  val count : t -> int
+  val sum : t -> float
+  val mean : t -> float
+  (** 0 when empty. *)
+
+  val cdf : t -> Ef_stats.Cdf.t option
+  (** All samples so far as an {!Ef_stats.Cdf}; [None] when empty. *)
+
+  val quantile : t -> float -> float
+  (** Via {!cdf}; [nan] when empty. *)
+
+  val max_value : t -> float
+  (** Largest sample; [nan] when empty. *)
+
+  val name : t -> string
+end
+
+module Event : sig
+  type t = {
+    ev_name : string;
+    ev_time_ns : int64;  (** monotonic stamp ({!Clock.now_ns}) *)
+    ev_fields : (string * Json.t) list;
+  }
+
+  val to_json : t -> Json.t
+end
+
+type t
+
+val create : unit -> t
+
+val default : unit -> t
+(** The process-wide registry every un-plumbed call site reports into. *)
+
+(** {2 Metric handles (get-or-create)}
+
+    Each raises [Invalid_argument] if [name] is already registered as a
+    different metric kind. *)
+
+val counter : t -> string -> Counter.t
+val gauge : t -> string -> Gauge.t
+val histogram : t -> string -> Histogram.t
+
+val span : t -> string -> Histogram.t
+(** Like {!histogram} but registered as a span-duration metric (seconds);
+    kept distinct so exports can report timing attribution separately.
+    Usually reached through {!Span.time} rather than directly. *)
+
+(** {2 Introspection} *)
+
+type metric =
+  | Counter_m of Counter.t
+  | Gauge_m of Gauge.t
+  | Histogram_m of Histogram.t
+  | Span_m of Histogram.t
+
+val find : t -> string -> metric option
+val metrics : t -> (string * metric) list
+(** In registration order. *)
+
+val reset : t -> unit
+(** Drop all metrics (sinks stay attached). *)
+
+(** {2 Span timing} *)
+
+module Span : sig
+  val time : ?registry:t -> string -> (unit -> 'a) -> 'a
+  (** Run the thunk, record its monotonic duration (seconds) into the
+      span histogram [name], and return its result. Spans nest: the
+      registry tracks the stack of open spans, and the duration is
+      recorded (and the stack unwound) even when the thunk raises. *)
+
+  val time_h : t -> Histogram.t -> (unit -> 'a) -> 'a
+  (** Same with a pre-fetched handle — the hot-path form. *)
+
+  val depth : t -> int
+  (** Number of currently-open spans (0 outside any span). *)
+
+  val current : t -> string list
+  (** Open span names, innermost first. *)
+end
+
+(** {2 Event journal} *)
+
+type sink = Event.t -> unit
+
+val add_sink : t -> sink -> unit
+val has_sinks : t -> bool
+(** Emitting is a no-op without sinks; call sites building expensive
+    field lists can guard on this. *)
+
+val emit : t -> name:string -> (string * Json.t) list -> unit
+(** Stamp an event with the monotonic clock and hand it to every sink. *)
+
+val memory_sink : unit -> sink * (unit -> Event.t list)
+(** In-memory journal for tests: the second function returns everything
+    emitted so far, in order. *)
+
+val channel_sink : out_channel -> sink
+(** JSON-lines: one compact JSON object per event, flushed per line. *)
+
+(** {2 Export} *)
+
+val to_json : t -> Json.t
+(** [{"counters": {...}, "gauges": {...}, "histograms": {...},
+     "spans": {...}}] — histogram and span entries carry count, mean,
+    p50/p90/p99 and max (spans in seconds). *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable multi-line summary of the same content. *)

@@ -1,5 +1,6 @@
 module Bgp = Ef_bgp
 module Ef = Edge_fabric
+module Obs = Ef_obs
 module Snapshot = Ef_collector.Snapshot
 open Ef_util
 
@@ -44,11 +45,85 @@ let default_config =
     peer_events = [];
   }
 
+let make_config ?(cycle_s = default_config.cycle_s)
+    ?(duration_s = default_config.duration_s) ?(start_s = default_config.start_s)
+    ?(controller_enabled = default_config.controller_enabled)
+    ?(controller_config = default_config.controller_config)
+    ?(use_sampling = default_config.use_sampling)
+    ?(sflow = default_config.sflow)
+    ?(measure_altpaths = default_config.measure_altpaths)
+    ?(measurer_config = default_config.measurer_config)
+    ?(perf_aware = default_config.perf_aware)
+    ?(perf_config = default_config.perf_config) ?(seed = default_config.seed)
+    ?(events = default_config.events)
+    ?(peer_events = default_config.peer_events) () =
+  {
+    cycle_s;
+    duration_s;
+    start_s;
+    controller_enabled;
+    controller_config;
+    use_sampling;
+    sflow;
+    measure_altpaths;
+    measurer_config;
+    perf_aware;
+    perf_config;
+    seed;
+    events;
+    peer_events;
+  }
+
+let with_cycle_s cycle_s c = { c with cycle_s }
+let with_duration_s duration_s c = { c with duration_s }
+let with_start_s start_s c = { c with start_s }
+let with_controller_enabled controller_enabled c = { c with controller_enabled }
+let with_controller_config controller_config c = { c with controller_config }
+let with_use_sampling use_sampling c = { c with use_sampling }
+let with_sflow sflow c = { c with sflow }
+let with_measure_altpaths measure_altpaths c = { c with measure_altpaths }
+let with_measurer_config measurer_config c = { c with measurer_config }
+let with_perf_aware perf_aware c = { c with perf_aware }
+let with_perf_config perf_config c = { c with perf_config }
+let with_seed seed c = { c with seed }
+let with_events events c = { c with events }
+let with_peer_events peer_events c = { c with peer_events }
+
 type placement_state = {
   actual : Ef.Projection.t;
   preferred : Ef.Projection.t;
   active_overrides : Ef.Override.t list;
 }
+
+(* resolved once per engine, same pattern as the controller's handles *)
+type obs_handles = {
+  reg : Obs.Registry.t;
+  sp_step : Obs.Histogram.t;
+  sp_demand : Obs.Histogram.t;
+  sp_estimate : Obs.Histogram.t;
+  sp_controller : Obs.Histogram.t;
+  sp_placement : Obs.Histogram.t;
+  sp_accounting : Obs.Histogram.t;
+  c_steps : Obs.Counter.t;
+  g_offered : Obs.Gauge.t;
+  g_detoured : Obs.Gauge.t;
+  g_dropped : Obs.Gauge.t;
+}
+
+let obs_handles reg =
+  {
+    reg;
+    sp_step = Obs.Registry.span reg "engine.step";
+    sp_demand = Obs.Registry.span reg "engine.demand";
+    sp_estimate = Obs.Registry.span reg "engine.estimate";
+    sp_controller = Obs.Registry.span reg "engine.controller";
+    sp_placement = Obs.Registry.span reg "engine.placement";
+    sp_accounting = Obs.Registry.span reg "engine.accounting";
+    c_steps = Obs.Registry.counter reg "engine.steps";
+    g_offered = Obs.Registry.gauge reg "engine.offered_bps";
+    g_detoured = Obs.Registry.gauge reg "engine.detoured_bps";
+    g_dropped = Obs.Registry.gauge reg "engine.dropped_bps";
+  }
 
 type t = {
   config : config;
@@ -60,6 +135,7 @@ type t = {
   snmp : Ef_collector.Snmp.t;
   measurer : Ef_altpath.Measurer.t option;
   metrics : Metrics.t;
+  obs : obs_handles;
   rng : Rng.t;
   mutable now : int;
   mutable last_state : placement_state option;
@@ -69,7 +145,8 @@ type t = {
   mutable peers_down : int list;
 }
 
-let create ?(config = default_config) scenario =
+let create ?(config = default_config) ?obs scenario =
+  let reg = match obs with Some r -> r | None -> Obs.Registry.default () in
   let world = Ef_netsim.Topo_gen.generate scenario.Ef_netsim.Scenario.topo in
   let demand =
     Ef_traffic.Demand.create ~events:config.events
@@ -92,7 +169,7 @@ let create ?(config = default_config) scenario =
     controller =
       (if config.controller_enabled then
          Some
-           (Ef.Controller.create ~config:config.controller_config
+           (Ef.Controller.create ~config:config.controller_config ~obs:reg
               ~name:(Ef_netsim.Pop.name world.Ef_netsim.Topo_gen.pop)
               ())
        else None);
@@ -107,6 +184,7 @@ let create ?(config = default_config) scenario =
               ~seed:(config.seed * 31) ())
        else None);
     metrics = Metrics.create ();
+    obs = obs_handles reg;
     rng = Rng.create (config.seed * 131);
     now = config.start_s;
     last_state = None;
@@ -117,6 +195,7 @@ let create ?(config = default_config) scenario =
 let config t = t.config
 let world t = t.world
 let metrics t = t.metrics
+let obs t = t.obs.reg
 let demand t = t.demand
 let latency t = t.latency
 let measurer t = t.measurer
@@ -175,7 +254,8 @@ let estimated_rates t ~truth =
   end
 
 let snapshot_of_rates t rates ~time_s =
-  Snapshot.of_pop t.world.Ef_netsim.Topo_gen.pop ~prefix_rates:rates ~time_s
+  Snapshot.of_pop ~obs:t.obs.reg t.world.Ef_netsim.Topo_gen.pop
+    ~prefix_rates:rates ~time_s
 
 let snapshot_now t =
   let truth = true_rates t ~time_s:t.now in
@@ -243,14 +323,21 @@ let detour_levels active_overrides actual =
   |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
 
 let step t =
+  let ob = t.obs in
+  Obs.Span.time_h ob.reg ob.sp_step @@ fun () ->
   let time_s = t.now in
   apply_peer_events t ~time_s;
-  let truth = true_rates t ~time_s in
-  let est = estimated_rates t ~truth in
+  let truth =
+    Obs.Span.time_h ob.reg ob.sp_demand (fun () -> true_rates t ~time_s)
+  in
+  let est =
+    Obs.Span.time_h ob.reg ob.sp_estimate (fun () -> estimated_rates t ~truth)
+  in
   let ctl_snapshot = snapshot_of_rates t est ~time_s in
 
   (* controller round *)
   let active, added, removed, residual =
+    Obs.Span.time_h ob.reg ob.sp_controller @@ fun () ->
     match t.controller with
     | None -> ([], 0, 0, 0)
     | Some ctrl ->
@@ -262,11 +349,11 @@ let step t =
                  Metrics.removed_prefix = o.Ef.Override.prefix;
                  lifetime_s = age;
                })
-             stats.Ef.Controller.reconcile.Ef.Hysteresis.removed);
-        ( stats.Ef.Controller.reconcile.Ef.Hysteresis.active,
-          List.length stats.Ef.Controller.reconcile.Ef.Hysteresis.added,
-          List.length stats.Ef.Controller.reconcile.Ef.Hysteresis.removed,
-          List.length stats.Ef.Controller.allocator.Ef.Allocator.residual )
+             (Ef.Controller.overrides_removed stats));
+        ( Ef.Controller.overrides_enforced stats,
+          List.length (Ef.Controller.overrides_added stats),
+          List.length (Ef.Controller.overrides_removed stats),
+          List.length (Ef.Controller.residual_overloads stats) )
   in
 
   (* performance-aware stage (§7): steer measured-faster prefixes, but
@@ -296,35 +383,42 @@ let step t =
   let active = active @ perf_overrides in
 
   (* ground truth placement under the enforced overrides *)
-  let true_snapshot = snapshot_of_rates t truth ~time_s in
-  let actual =
-    Ef.Projection.project ~overrides:(Ef.Override.lookup active) true_snapshot
+  let true_snapshot, actual, preferred =
+    Obs.Span.time_h ob.reg ob.sp_placement @@ fun () ->
+    let true_snapshot = snapshot_of_rates t truth ~time_s in
+    let actual =
+      Ef.Projection.project ~overrides:(Ef.Override.lookup active) true_snapshot
+    in
+    (true_snapshot, actual, Ef.Projection.project true_snapshot)
   in
-  let preferred = Ef.Projection.project true_snapshot in
   let ifaces = Ef_netsim.Pop.interfaces t.world.Ef_netsim.Topo_gen.pop in
 
-  (* SNMP counters see the actual egress volumes *)
-  List.iter
-    (fun iface ->
-      let id = Ef_netsim.Iface.id iface in
-      Ef_collector.Snmp.account_rate t.snmp ~iface_id:id
-        ~rate_bps:(Ef.Projection.load_bps actual ~iface_id:id)
-        ~interval_s:(float_of_int t.config.cycle_s))
-    ifaces;
-  ignore (Ef_collector.Snmp.poll t.snmp ~interval_s:(float_of_int t.config.cycle_s));
-
-  (* alternate-path measurement sees post-placement congestion *)
-  (match t.measurer with
-  | None -> ()
-  | Some m ->
-      let util_of iface_id =
-        match List.find_opt (fun i -> Ef_netsim.Iface.id i = iface_id) ifaces with
-        | None -> 0.0
-        | Some iface -> Ef.Projection.utilization actual iface
-      in
+  Obs.Span.time_h ob.reg ob.sp_accounting (fun () ->
+      (* SNMP counters see the actual egress volumes *)
+      List.iter
+        (fun iface ->
+          let id = Ef_netsim.Iface.id iface in
+          Ef_collector.Snmp.account_rate t.snmp ~iface_id:id
+            ~rate_bps:(Ef.Projection.load_bps actual ~iface_id:id)
+            ~interval_s:(float_of_int t.config.cycle_s))
+        ifaces;
       ignore
-        (Ef_altpath.Measurer.cycle m true_snapshot ~latency:t.latency
-           ~utilization:util_of));
+        (Ef_collector.Snmp.poll t.snmp ~interval_s:(float_of_int t.config.cycle_s));
+
+      (* alternate-path measurement sees post-placement congestion *)
+      match t.measurer with
+      | None -> ()
+      | Some m ->
+          let util_of iface_id =
+            match
+              List.find_opt (fun i -> Ef_netsim.Iface.id i = iface_id) ifaces
+            with
+            | None -> 0.0
+            | Some iface -> Ef.Projection.utilization actual iface
+          in
+          ignore
+            (Ef_altpath.Measurer.cycle m true_snapshot ~latency:t.latency
+               ~utilization:util_of));
 
   let row =
     {
@@ -345,6 +439,20 @@ let step t =
     }
   in
   Metrics.record t.metrics row;
+  Obs.Counter.inc ob.c_steps;
+  Obs.Gauge.set ob.g_offered row.Metrics.offered_bps;
+  Obs.Gauge.set ob.g_detoured row.Metrics.detoured_bps;
+  Obs.Gauge.set ob.g_dropped row.Metrics.dropped_bps;
+  if Obs.Registry.has_sinks ob.reg then
+    Obs.Registry.emit ob.reg ~name:"engine.step"
+      [
+        ("time_s", Obs.Json.Int time_s);
+        ("offered_bps", Obs.Json.Float row.Metrics.offered_bps);
+        ("detoured_bps", Obs.Json.Float row.Metrics.detoured_bps);
+        ("dropped_bps", Obs.Json.Float row.Metrics.dropped_bps);
+        ("overrides_active", Obs.Json.Int row.Metrics.overrides_active);
+        ("residual_overloads", Obs.Json.Int row.Metrics.residual_overloads);
+      ];
   t.last_state <- Some { actual; preferred; active_overrides = active };
   t.now <- t.now + t.config.cycle_s;
   row

@@ -22,6 +22,12 @@ type peer_event = {
     targeting the dead peer become stale and fall back safely — the
     machinery this exists to exercise. *)
 
+(** The engine configuration.
+
+    {b Deprecated for construction:} build configurations with
+    {!make_config} and the [with_*] updaters rather than record literals
+    or record update — fields keep being added as the simulation grows.
+    The record stays exposed (reading fields is fine). *)
 type config = {
   cycle_s : int;               (** controller period (paper: 30 s) *)
   duration_s : int;
@@ -46,12 +52,60 @@ val default_config : config
 (** One simulated day at 30 s cycles, controller on, sampling on,
     alternate-path measurement off. *)
 
+val make_config :
+  ?cycle_s:int ->
+  ?duration_s:int ->
+  ?start_s:int ->
+  ?controller_enabled:bool ->
+  ?controller_config:Edge_fabric.Config.t ->
+  ?use_sampling:bool ->
+  ?sflow:Ef_traffic.Sflow.config ->
+  ?measure_altpaths:bool ->
+  ?measurer_config:Ef_altpath.Measurer.config ->
+  ?perf_aware:bool ->
+  ?perf_config:Ef_altpath.Perf_policy.config ->
+  ?seed:int ->
+  ?events:Ef_traffic.Demand.event list ->
+  ?peer_events:peer_event list ->
+  unit ->
+  config
+(** Every omitted field takes its {!default_config} value. *)
+
+(** Functional updaters, argument-last so they chain:
+    [Engine.default_config |> Engine.with_duration_s 3600 |> Engine.with_seed 7] *)
+
+val with_cycle_s : int -> config -> config
+val with_duration_s : int -> config -> config
+val with_start_s : int -> config -> config
+val with_controller_enabled : bool -> config -> config
+val with_controller_config : Edge_fabric.Config.t -> config -> config
+val with_use_sampling : bool -> config -> config
+val with_sflow : Ef_traffic.Sflow.config -> config -> config
+val with_measure_altpaths : bool -> config -> config
+val with_measurer_config : Ef_altpath.Measurer.config -> config -> config
+val with_perf_aware : bool -> config -> config
+val with_perf_config : Ef_altpath.Perf_policy.config -> config -> config
+val with_seed : int -> config -> config
+val with_events : Ef_traffic.Demand.event list -> config -> config
+val with_peer_events : peer_event list -> config -> config
+
 type t
 
-val create : ?config:config -> Ef_netsim.Scenario.t -> t
+val create : ?config:config -> ?obs:Ef_obs.Registry.t -> Ef_netsim.Scenario.t -> t
+(** [obs] is shared with the embedded controller and snapshot assembly, so
+    one registry carries the whole pipeline's spans and counters; defaults
+    to {!Ef_obs.Registry.default}. Each {!step} records the [engine.step]
+    span plus one span per stage ([engine.demand], [engine.estimate],
+    [engine.controller], [engine.placement], [engine.accounting]) and
+    updates the [engine.*] counters and gauges. *)
+
 val config : t -> config
 val world : t -> Ef_netsim.Topo_gen.world
 val metrics : t -> Metrics.t
+
+val obs : t -> Ef_obs.Registry.t
+(** The registry this engine (and its controller) reports into. *)
+
 val demand : t -> Ef_traffic.Demand.t
 val latency : t -> Ef_netsim.Latency.t
 val measurer : t -> Ef_altpath.Measurer.t option

@@ -41,15 +41,9 @@ let world_of scenario =
 
 let engine_config ~params ~controller ?(controller_config = Ef.Config.default)
     ?(measure = false) () =
-  {
-    Engine.default_config with
-    Engine.cycle_s = params.cycle_s;
-    duration_s = params.duration_s;
-    controller_enabled = controller;
-    controller_config;
-    measure_altpaths = measure;
-    seed = params.seed;
-  }
+  Engine.make_config ~cycle_s:params.cycle_s ~duration_s:params.duration_s
+    ~controller_enabled:controller ~controller_config ~measure_altpaths:measure
+    ~seed:params.seed ()
 
 let daily_run ?(controller = true) ?controller_config ~params scenario =
   let cfg_tag =
@@ -340,7 +334,7 @@ let e7_override_churn ?(params = default_params) () =
       ]
   in
   let no_hysteresis =
-    { Ef.Config.default with Ef.Config.min_hold_s = 0; release_margin = 0.0 }
+    Ef.Config.make ~min_hold_s:0 ~release_margin:0.0 ()
   in
   let scenario = Scenario.pop_a in
   List.iter
@@ -626,7 +620,7 @@ let a1_single_pass ?(params = default_params) () =
       let snapshot = stressed_snapshot ~scale:3.0 ~params scenario in
       List.iter
         (fun (variant, iterative) ->
-          let config = { Ef.Config.default with Ef.Config.iterative } in
+          let config = Ef.Config.make ~iterative () in
           let result = Ef.Allocator.run ~config snapshot in
           let threshold = Ef.Config.default.Ef.Config.overload_threshold in
           let pushed, max_util =
@@ -663,7 +657,7 @@ let a3_threshold_sweep ?(params = default_params) () =
   List.iter
     (fun threshold ->
       let controller_config =
-        { Ef.Config.default with Ef.Config.overload_threshold = threshold }
+        Ef.Config.make ~overload_threshold:threshold ()
       in
       let metrics = daily_run ~controller:true ~controller_config ~params scenario in
       let peaks = Metrics.peak_utilization metrics `Actual in
@@ -704,7 +698,7 @@ let a4_granularity ?(params = default_params) () =
       let snapshot = stressed_snapshot ~scale ~params scenario in
       List.iter
         (fun (variant, granularity) ->
-          let config = { Ef.Config.default with Ef.Config.granularity } in
+          let config = Ef.Config.make ~granularity () in
           let result = Ef.Allocator.run ~config snapshot in
           let max_util =
             List.fold_left
@@ -763,7 +757,7 @@ let a4_granularity ?(params = default_params) () =
   in
   List.iter
     (fun (variant, granularity) ->
-      let config = { Ef.Config.default with Ef.Config.granularity } in
+      let config = Ef.Config.make ~granularity () in
       let result = Ef.Allocator.run ~config (micro_snapshot ()) in
       let max_util =
         List.fold_left

@@ -1,22 +1,32 @@
 module Scenario = Ef_netsim.Scenario
+module Obs = Ef_obs
 
 type t = {
   engines : (string * Engine.t) list;
 }
 
-let create ?(config = Engine.default_config) scenarios =
+let create ?(config = Engine.default_config) ?obs scenarios =
   {
     engines =
       List.map
-        (fun s -> (s.Scenario.scenario_name, Engine.create ~config s))
+        (fun s -> (s.Scenario.scenario_name, Engine.create ~config ?obs s))
         scenarios;
   }
 
-let of_paper_pops ?config () = create ?config Scenario.paper_pops
+let of_paper_pops ?config ?obs () = create ?config ?obs Scenario.paper_pops
 let engines t = t.engines
 
 let run t =
-  List.map (fun (name, engine) -> (name, Engine.run engine)) t.engines
+  List.map
+    (fun (name, engine) ->
+      let reg = Engine.obs engine in
+      let metrics =
+        Obs.Span.time ~registry:reg "fleet.pop_run" (fun () ->
+            Engine.run engine)
+      in
+      Obs.Counter.inc (Obs.Registry.counter reg "fleet.pops_run");
+      (name, metrics))
+    t.engines
 
 let overloaded_count metrics mode =
   List.length

@@ -7,11 +7,14 @@
 
 type t
 
-val create : ?config:Engine.config -> Ef_netsim.Scenario.t list -> t
+val create :
+  ?config:Engine.config -> ?obs:Ef_obs.Registry.t -> Ef_netsim.Scenario.t list -> t
 (** One engine per scenario, sharing the engine configuration (each world
-    still derives from its own scenario seed). *)
+    still derives from its own scenario seed). When [obs] is given every
+    engine reports into it; {!run} additionally records a [fleet.pop_run]
+    span and bumps [fleet.pops_run] per completed PoP. *)
 
-val of_paper_pops : ?config:Engine.config -> unit -> t
+val of_paper_pops : ?config:Engine.config -> ?obs:Ef_obs.Registry.t -> unit -> t
 
 val engines : t -> (string * Engine.t) list
 

@@ -22,6 +22,7 @@ let () =
       ("trace", Test_trace.suite);
       ("sflow-codec", Test_sflow_codec.suite);
       ("core", Test_core.suite);
+      ("obs", Test_obs.suite);
       ("controller", Test_controller.suite);
       ("guard", Test_guard.suite);
       ("altpath", Test_altpath.suite);

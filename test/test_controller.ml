@@ -129,7 +129,7 @@ let test_hysteresis_retarget_after_hold () =
 let test_hysteresis_disabled_tracks_exactly () =
   let fx = fixture () in
   let free =
-    { Ef.Config.default with Ef.Config.min_hold_s = 0; release_margin = 0.0 }
+    Ef.Config.make ~min_hold_s:0 ~release_margin:0.0 ()
   in
   let h = Ef.Hysteresis.create free in
   let o = override_for fx pfx_a in
@@ -176,7 +176,7 @@ let test_controller_emits_bgp_updates () =
 
 let test_controller_releases_when_demand_drops () =
   let fx = fixture () in
-  let config = { Ef.Config.default with Ef.Config.min_hold_s = 0 } in
+  let config = Ef.Config.make ~min_hold_s:0 () in
   let ctrl = Ef.Controller.create ~config ~name:"test" () in
   ignore (Ef.Controller.cycle ctrl (snapshot fx [ (pfx_a, 8e9); (pfx_b, 4e9) ]));
   Alcotest.(check int) "installed" 1
@@ -217,7 +217,7 @@ let test_controller_bad_config_rejected () =
     (fun () ->
       ignore
         (Ef.Controller.create
-           ~config:{ Ef.Config.default with Ef.Config.override_local_pref = 100 }
+           ~config:(Ef.Config.make ~override_local_pref:100 ())
            ~name:"bad" ()))
 
 let suite =

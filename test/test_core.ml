@@ -69,13 +69,13 @@ let test_config_default_valid () =
 let test_config_rejects_bad () =
   let bad cfg = Ef.Config.validate cfg = Ok () in
   Alcotest.(check bool) "threshold 0" false
-    (bad { Ef.Config.default with Ef.Config.overload_threshold = 0.0 });
+    (bad (Ef.Config.make ~overload_threshold:0.0 ()));
   Alcotest.(check bool) "margin >= threshold" false
-    (bad { Ef.Config.default with Ef.Config.release_margin = 0.95 });
+    (bad (Ef.Config.make ~release_margin:0.95 ()));
   Alcotest.(check bool) "low local pref" false
-    (bad { Ef.Config.default with Ef.Config.override_local_pref = 300 });
+    (bad (Ef.Config.make ~override_local_pref:300 ()));
   Alcotest.(check bool) "negative budget" false
-    (bad { Ef.Config.default with Ef.Config.max_overrides_per_cycle = Some (-1) })
+    (bad (Ef.Config.make ~max_overrides_per_cycle:(-1) ()))
 
 (* --- Projection -------------------------------------------------------- *)
 

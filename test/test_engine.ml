@@ -10,15 +10,8 @@ let tiny = N.Scenario.tiny
 
 let engine_config ?(controller = true) ?(cycle_s = 60) ?(duration_s = 3600)
     ?(use_sampling = true) ?(start_s = 18 * 3600) () =
-  {
-    S.Engine.default_config with
-    S.Engine.cycle_s;
-    duration_s;
-    start_s;
-    controller_enabled = controller;
-    use_sampling;
-    seed = 3;
-  }
+  S.Engine.make_config ~cycle_s ~duration_s ~start_s
+    ~controller_enabled:controller ~use_sampling ~seed:3 ()
 
 (* --- Metrics ----------------------------------------------------------- *)
 

@@ -4,13 +4,11 @@ module N = Ef_netsim
 module S = Ef_sim
 
 let quick_config =
-  {
-    S.Engine.default_config with
-    S.Engine.cycle_s = 300;
-    duration_s = 3600;
-    start_s = 19 * 3600;
-    seed = 5;
-  }
+  S.Engine.default_config
+  |> S.Engine.with_cycle_s 300
+  |> S.Engine.with_duration_s 3600
+  |> S.Engine.with_start_s (19 * 3600)
+  |> S.Engine.with_seed 5
 
 let test_fleet_runs_all () =
   let fleet = S.Fleet.create ~config:quick_config [ N.Scenario.tiny; N.Scenario.pop_d ] in

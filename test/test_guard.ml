@@ -149,10 +149,9 @@ let test_controller_respects_guard () =
   let fx = fixture () in
   (* overload needing ~2.5G of relief, but a guard that allows none *)
   let config =
-    {
-      Ef.Config.default with
-      Ef.Config.guard = { Ef.Guard.default with Ef.Guard.max_overrides = Some 0 };
-    }
+    Ef.Config.make
+      ~guard:{ Ef.Guard.default with Ef.Guard.max_overrides = Some 0 }
+      ()
   in
   let ctrl = Ef.Controller.create ~config ~name:"guarded" () in
   let snap = snapshot fx [ (pfx_a, 8e9); (pfx_b, 4e9) ] in

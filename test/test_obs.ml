@@ -1,0 +1,250 @@
+(* Ef_obs: registry semantics, span timing, journal, engine integration *)
+
+module O = Ef_obs
+module N = Ef_netsim
+module S = Ef_sim
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
+(* --- counters ----------------------------------------------------------- *)
+
+let test_counter_monotonic () =
+  let reg = O.Registry.create () in
+  let c = O.Registry.counter reg "c" in
+  Alcotest.(check (float 0.0)) "starts at zero" 0.0 (O.Counter.value c);
+  O.Counter.inc c;
+  O.Counter.add c 2.5;
+  Alcotest.(check (float 1e-9)) "accumulates" 3.5 (O.Counter.value c);
+  Alcotest.check_raises "negative add rejected"
+    (Invalid_argument "Ef_obs.Counter.add: negative delta -1 on c") (fun () ->
+      O.Counter.add c (-1.0));
+  Alcotest.(check (float 1e-9)) "unchanged after reject" 3.5 (O.Counter.value c)
+
+let test_get_or_create () =
+  let reg = O.Registry.create () in
+  let a = O.Registry.counter reg "x" in
+  let b = O.Registry.counter reg "x" in
+  O.Counter.inc a;
+  O.Counter.inc b;
+  Alcotest.(check (float 0.0)) "same handle" 2.0 (O.Counter.value a);
+  Alcotest.(check bool)
+    "kind mismatch rejected" true
+    (match O.Registry.gauge reg "x" with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_gauge () =
+  let reg = O.Registry.create () in
+  let g = O.Registry.gauge reg "g" in
+  O.Gauge.set g 5.0;
+  O.Gauge.set g 2.0;
+  Alcotest.(check (float 0.0)) "last write wins" 2.0 (O.Gauge.value g)
+
+(* --- histograms --------------------------------------------------------- *)
+
+let test_histogram_quantiles () =
+  let reg = O.Registry.create () in
+  let h = O.Registry.histogram reg "h" in
+  Alcotest.(check int) "empty count" 0 (O.Histogram.count h);
+  Alcotest.(check bool) "empty quantile is nan" true
+    (Float.is_nan (O.Histogram.quantile h 0.5));
+  for i = 1 to 100 do
+    O.Histogram.observe h (float_of_int i)
+  done;
+  Alcotest.(check int) "count" 100 (O.Histogram.count h);
+  Alcotest.(check (float 1e-9)) "sum" 5050.0 (O.Histogram.sum h);
+  Alcotest.(check (float 1e-9)) "mean" 50.5 (O.Histogram.mean h);
+  Alcotest.(check (float 1.0)) "p50" 50.0 (O.Histogram.quantile h 0.5);
+  Alcotest.(check (float 1.0)) "p99" 99.0 (O.Histogram.quantile h 0.99);
+  Alcotest.(check (float 0.0)) "max" 100.0 (O.Histogram.max_value h)
+
+(* --- spans --------------------------------------------------------------- *)
+
+(* a deterministic clock: each read advances one microsecond *)
+let with_fake_clock f =
+  let t = ref 0L in
+  O.Clock.set_now_ns (fun () ->
+      t := Int64.add !t 1_000L;
+      !t);
+  Fun.protect ~finally:O.Clock.reset f
+
+let test_span_nesting () =
+  with_fake_clock @@ fun () ->
+  let reg = O.Registry.create () in
+  Alcotest.(check int) "idle depth" 0 (O.Registry.Span.depth reg);
+  let inner_depth = ref (-1) in
+  let inner_stack = ref [] in
+  O.Registry.Span.time ~registry:reg "outer" (fun () ->
+      O.Registry.Span.time ~registry:reg "inner" (fun () ->
+          inner_depth := O.Registry.Span.depth reg;
+          inner_stack := O.Registry.Span.current reg));
+  Alcotest.(check int) "nested depth" 2 !inner_depth;
+  Alcotest.(check (list string))
+    "innermost first" [ "inner"; "outer" ] !inner_stack;
+  Alcotest.(check int) "unwound" 0 (O.Registry.Span.depth reg);
+  let count name =
+    match O.Registry.find reg name with
+    | Some (O.Registry.Span_m h) -> O.Histogram.count h
+    | _ -> -1
+  in
+  Alcotest.(check int) "outer recorded" 1 (count "outer");
+  Alcotest.(check int) "inner recorded" 1 (count "inner")
+
+let test_span_unwinds_on_exception () =
+  with_fake_clock @@ fun () ->
+  let reg = O.Registry.create () in
+  (try
+     O.Registry.Span.time ~registry:reg "boom" (fun () -> failwith "boom")
+   with Failure _ -> ());
+  Alcotest.(check int) "stack unwound" 0 (O.Registry.Span.depth reg);
+  match O.Registry.find reg "boom" with
+  | Some (O.Registry.Span_m h) ->
+      Alcotest.(check int) "duration still recorded" 1 (O.Histogram.count h)
+  | _ -> Alcotest.fail "span not registered"
+
+let test_span_duration () =
+  with_fake_clock @@ fun () ->
+  let reg = O.Registry.create () in
+  O.Registry.Span.time ~registry:reg "s" (fun () -> ());
+  match O.Registry.find reg "s" with
+  | Some (O.Registry.Span_m h) ->
+      (* fake clock: 1us per read, one read on entry and one on exit *)
+      Alcotest.(check (float 1e-12)) "measured 1us" 1e-6 (O.Histogram.sum h)
+  | _ -> Alcotest.fail "span not registered"
+
+(* --- journal ------------------------------------------------------------- *)
+
+let test_memory_sink () =
+  let reg = O.Registry.create () in
+  Alcotest.(check bool) "no sinks initially" false (O.Registry.has_sinks reg);
+  let sink, drain = O.Registry.memory_sink () in
+  O.Registry.add_sink reg sink;
+  Alcotest.(check bool) "sink attached" true (O.Registry.has_sinks reg);
+  O.Registry.emit reg ~name:"ev" [ ("k", O.Json.Int 1) ];
+  O.Registry.emit reg ~name:"ev2" [];
+  match drain () with
+  | [ e1; e2 ] ->
+      Alcotest.(check string) "order kept" "ev" e1.O.Event.ev_name;
+      Alcotest.(check string) "second" "ev2" e2.O.Event.ev_name;
+      Alcotest.(check bool)
+        "fields survive" true
+        (e1.O.Event.ev_fields = [ ("k", O.Json.Int 1) ])
+  | l -> Alcotest.failf "expected 2 events, got %d" (List.length l)
+
+let test_json_escaping () =
+  Alcotest.(check string)
+    "escapes" {|"a\"b\\c\n"|}
+    (O.Json.to_string (O.Json.String "a\"b\\c\n"));
+  Alcotest.(check string)
+    "non-finite is null" "null"
+    (O.Json.to_string (O.Json.Float Float.nan));
+  Alcotest.(check string)
+    "object" {|{"a":1,"b":[true,null]}|}
+    (O.Json.to_string
+       (O.Json.Obj
+          [
+            ("a", O.Json.Int 1);
+            ("b", O.Json.List [ O.Json.Bool true; O.Json.Null ]);
+          ]))
+
+let test_registry_export () =
+  let reg = O.Registry.create () in
+  O.Counter.inc (O.Registry.counter reg "c");
+  O.Gauge.set (O.Registry.gauge reg "g") 2.0;
+  O.Registry.Span.time ~registry:reg "s" (fun () -> ());
+  let json = O.Json.to_string (O.Registry.to_json reg) in
+  List.iter
+    (fun frag ->
+      Alcotest.(check bool)
+        (Printf.sprintf "export has %s" frag)
+        true
+        (contains json frag))
+    [ {|"counters":{"c":1.0}|}; {|"gauges":{"g":2.0}|}; {|"spans":{"s":|}; {|"p99_s"|} ];
+  O.Registry.reset reg;
+  Alcotest.(check int) "reset drops metrics" 0
+    (List.length (O.Registry.metrics reg))
+
+(* --- engine integration -------------------------------------------------- *)
+
+let test_engine_emits_stages () =
+  let reg = O.Registry.create () in
+  let config =
+    S.Engine.make_config ~cycle_s:60 ~duration_s:60 ~start_s:(18 * 3600)
+      ~seed:3 ()
+  in
+  let engine = S.Engine.create ~config ~obs:reg N.Scenario.tiny in
+  ignore (S.Engine.step engine);
+  let span_count name =
+    match O.Registry.find reg name with
+    | Some (O.Registry.Span_m h) -> O.Histogram.count h
+    | _ -> 0
+  in
+  let counter_value name =
+    match O.Registry.find reg name with
+    | Some (O.Registry.Counter_m c) -> O.Counter.value c
+    | _ -> -1.0
+  in
+  List.iter
+    (fun name ->
+      Alcotest.(check int) (name ^ " recorded once") 1 (span_count name))
+    [
+      "engine.step";
+      "engine.demand";
+      "engine.estimate";
+      "engine.controller";
+      "engine.placement";
+      "engine.accounting";
+      "controller.cycle";
+      "controller.allocate";
+      "controller.guard.clamp";
+      "controller.reconcile";
+      "controller.project";
+      "controller.guard.audit";
+    ];
+  (* of_pop runs once for the controller view and once for ground truth *)
+  Alcotest.(check int) "snapshot assembled twice" 2
+    (span_count "collector.assemble");
+  Alcotest.(check (float 0.0)) "one step" 1.0 (counter_value "engine.steps");
+  Alcotest.(check (float 0.0))
+    "one controller cycle" 1.0
+    (counter_value "controller.cycles");
+  ignore (S.Engine.step engine);
+  Alcotest.(check (float 0.0)) "deltas accumulate" 2.0
+    (counter_value "controller.cycles")
+
+let test_engine_journal () =
+  let reg = O.Registry.create () in
+  let sink, drain = O.Registry.memory_sink () in
+  O.Registry.add_sink reg sink;
+  let config =
+    S.Engine.make_config ~cycle_s:60 ~duration_s:60 ~start_s:(18 * 3600)
+      ~seed:3 ()
+  in
+  let engine = S.Engine.create ~config ~obs:reg N.Scenario.tiny in
+  ignore (S.Engine.step engine);
+  let names = List.map (fun e -> e.O.Event.ev_name) (drain ()) in
+  Alcotest.(check (list string))
+    "one controller event then one engine event"
+    [ "controller.cycle"; "engine.step" ]
+    names
+
+let suite =
+  [
+    Alcotest.test_case "counter monotonicity" `Quick test_counter_monotonic;
+    Alcotest.test_case "get-or-create handles" `Quick test_get_or_create;
+    Alcotest.test_case "gauge" `Quick test_gauge;
+    Alcotest.test_case "histogram quantiles" `Quick test_histogram_quantiles;
+    Alcotest.test_case "span nesting" `Quick test_span_nesting;
+    Alcotest.test_case "span unwinds on exception" `Quick
+      test_span_unwinds_on_exception;
+    Alcotest.test_case "span duration" `Quick test_span_duration;
+    Alcotest.test_case "memory sink" `Quick test_memory_sink;
+    Alcotest.test_case "json escaping" `Quick test_json_escaping;
+    Alcotest.test_case "registry export + reset" `Quick test_registry_export;
+    Alcotest.test_case "engine emits stage spans" `Quick
+      test_engine_emits_stages;
+    Alcotest.test_case "engine journal events" `Quick test_engine_journal;
+  ]

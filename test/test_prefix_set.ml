@@ -103,7 +103,7 @@ let test_allocator_aggregates_children () =
     Test_core.snapshot fx [ (Test_core.pfx_a, 11e9); (bg, 91e9) ]
   in
   let config =
-    { Edge_fabric.Config.default with Edge_fabric.Config.granularity = Edge_fabric.Config.Split_24 }
+    Edge_fabric.Config.make ~granularity:Edge_fabric.Config.Split_24 ()
   in
   let result = Edge_fabric.Allocator.run ~config snap in
   Alcotest.(check bool) "splits happened" true

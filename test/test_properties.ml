@@ -137,7 +137,7 @@ let prop_hysteresis_never_early_release =
       let snap = snapshot_of rates in
       let result = Ef.Allocator.run ~config:Ef.Config.default snap in
       QCheck.assume (result.Ef.Allocator.overrides <> []);
-      let config = { Ef.Config.default with Ef.Config.min_hold_s = 10_000 } in
+      let config = Ef.Config.make ~min_hold_s:10_000 () in
       let h = Ef.Hysteresis.create config in
       ignore
         (Ef.Hysteresis.step h ~time_s:0 ~desired:result.Ef.Allocator.overrides
@@ -160,7 +160,7 @@ let prop_hysteresis_tracks_when_disabled =
       let snap = snapshot_of rates in
       let result = Ef.Allocator.run ~config:Ef.Config.default snap in
       let config =
-        { Ef.Config.default with Ef.Config.min_hold_s = 0; release_margin = 0.0 }
+        Ef.Config.make ~min_hold_s:0 ~release_margin:0.0 ()
       in
       let h = Ef.Hysteresis.create config in
       let r1 =
