@@ -102,6 +102,23 @@ let codec_bench =
       | Ok _ -> ()
       | Error _ -> assert false)
 
+(* the engine polls the injector several times per interface per cycle,
+   so its query cost rides the hot step path *)
+let fault_injector =
+  lazy
+    (match Ef_netsim.Scenario.find_fault_plan "chaos" with
+    | Some plan -> Ef_fault.Injector.create plan
+    | None -> assert false)
+
+let fault_query_bench =
+  Staged.stage (fun () ->
+      let inj = Lazy.force fault_injector in
+      for time_s = 0 to 599 do
+        ignore (Ef_fault.Injector.link_down inj ~iface_id:0 ~time_s);
+        ignore (Ef_fault.Injector.capacity_factor inj ~iface_id:1 ~time_s);
+        ignore (Ef_fault.Injector.bmp_stalled inj ~time_s)
+      done)
+
 let micro_tests =
   [
     Test.make ~name:"allocator/tiny(~40pfx)" (allocator_bench tiny_snap);
@@ -112,6 +129,7 @@ let micro_tests =
     Test.make ~name:"decision-rank/pop-a-all-prefixes" decision_bench;
     Test.make ~name:"ptrie-lpm/1k-lookups" lpm_bench;
     Test.make ~name:"codec/update-50-nlri-roundtrip" codec_bench;
+    Test.make ~name:"fault/injector-600s-queries" fault_query_bench;
   ]
 
 let run_micro () =

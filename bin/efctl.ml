@@ -67,7 +67,14 @@ let scenarios_cmd =
       (fun s ->
         Printf.printf "%-10s %s\n" s.N.Scenario.scenario_name
           s.N.Scenario.description)
-      N.Scenario.all
+      N.Scenario.all;
+    Printf.printf "\ncanned fault plans (for run --faults):\n";
+    List.iter
+      (fun (name, plan) ->
+        Printf.printf "%-14s %d fault(s), seed %d\n" name
+          (List.length plan.Ef_fault.Plan.faults)
+          plan.Ef_fault.Plan.plan_seed)
+      N.Scenario.fault_plans
   in
   Cmd.v (Cmd.info "scenarios" ~doc:"List the built-in worlds.")
     Term.(const run $ const ())
@@ -157,11 +164,29 @@ let cycle_cmd =
 
 let run_cmd =
   let run scenario seed hours cycle_s no_controller no_sampling obs_metrics journal
-      =
+      faults =
+    let fault_plan =
+      match faults with
+      | None -> None
+      | Some name_or_file -> (
+          match N.Scenario.find_fault_plan name_or_file with
+          | Some plan -> Some plan
+          | None -> (
+              match Ef_fault.Plan.load name_or_file with
+              | Ok plan -> Some plan
+              | Error msg ->
+                  Printf.eprintf
+                    "efctl: --faults %s: not a canned plan (%s) and not a \
+                     readable plan file: %s\n"
+                    name_or_file
+                    (String.concat ", " (N.Scenario.fault_plan_names ()))
+                    msg;
+                  exit 1))
+    in
     let config =
       S.Engine.make_config ~cycle_s ~duration_s:(hours * 3600)
         ~controller_enabled:(not no_controller)
-        ~use_sampling:(not no_sampling) ~seed ()
+        ~use_sampling:(not no_sampling) ~seed ?faults:fault_plan ()
     in
     let journal_oc =
       match journal with
@@ -210,6 +235,26 @@ let run_cmd =
           (Ef_stats.Cdf.quantile cdf 0.5)
           (Ef_stats.Cdf.quantile cdf 0.9)
           (Ef_stats.Cdf.count cdf));
+    (match fault_plan with
+    | None -> ()
+    | Some plan ->
+        let reg = Ef_obs.Registry.default () in
+        let count name =
+          int_of_float (Ef_obs.Counter.value (Ef_obs.Registry.counter reg name))
+        in
+        Printf.printf "faults: %d injected (plan seed %d)\n"
+          (List.length plan.Ef_fault.Plan.faults)
+          plan.Ef_fault.Plan.plan_seed;
+        Printf.printf
+          "degraded cycles: %d (stale %d, low-confidence %d)  skipped: %d\n"
+          (count "controller.degraded.cycles")
+          (count "controller.degraded.stale")
+          (count "controller.degraded.low_confidence")
+          (S.Engine.cycles_skipped engine);
+        Printf.printf "bmp session: %d failures, %d retries, %d reconnects\n"
+          (count "collector.session.failures")
+          (count "collector.session.retries")
+          (count "collector.session.reconnects"));
     Option.iter close_out journal_oc;
     print_metrics obs_metrics
   in
@@ -232,10 +277,19 @@ let run_cmd =
       & info [ "journal" ] ~docv:"FILE"
           ~doc:"Write the structured event journal (JSON lines) to $(docv).")
   in
+  let faults_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "faults" ] ~docv:"NAME|FILE"
+          ~doc:
+            "Inject a deterministic fault plan: a canned plan name (see \
+             $(b,scenarios)) or a JSON plan file.")
+  in
   Cmd.v (Cmd.info "run" ~doc:"Simulate a day and summarise the outcome.")
     Term.(
       const run $ scenario_t $ seed_t $ hours_t $ cycle_t $ no_controller_t
-      $ no_sampling_t $ metrics_t $ journal_t)
+      $ no_sampling_t $ metrics_t $ journal_t $ faults_t)
 
 (* --- experiment ----------------------------------------------------------- *)
 

@@ -7,6 +7,8 @@ type t = {
   mutable processed : int;
   mutable ignored : int;
   mutable seen : int list;
+  mutable last_seen_s : int option;
+  session : Retry.t;
 }
 
 let create ?decision ~peer_directory ~policy () =
@@ -17,6 +19,8 @@ let create ?decision ~peer_directory ~policy () =
     processed = 0;
     ignored = 0;
     seen = [];
+    last_seen_s = None;
+    session = Retry.create ();
   }
 
 let register_peer t peer_id =
@@ -29,8 +33,20 @@ let register_peer t peer_id =
         true
   else true
 
+let touch t header =
+  let ts = header.Bmp.timestamp_s in
+  match t.last_seen_s with
+  | Some prev when prev >= ts -> ()
+  | _ -> t.last_seen_s <- Some ts
+
 let feed_msg t msg =
   t.processed <- t.processed + 1;
+  (match msg with
+  | Bmp.Peer_up { header; _ }
+  | Bmp.Peer_down { header; _ }
+  | Bmp.Route_monitoring { header; _ } ->
+      touch t header
+  | Bmp.Initiation _ | Bmp.Termination _ | Bmp.Stats_report _ -> ());
   match msg with
   | Bmp.Initiation _ | Bmp.Termination _ | Bmp.Stats_report _ -> ()
   | Bmp.Peer_up { header; _ } ->
@@ -55,6 +71,13 @@ let rib t = t.rib
 let peers_seen t = List.sort compare t.seen
 let msgs_processed t = t.processed
 let msgs_ignored t = t.ignored
+let last_seen_s t = t.last_seen_s
+let session t = t.session
+
+let stale t ~now_s ~max_age_s =
+  match t.last_seen_s with
+  | None -> true
+  | Some ts -> now_s - ts > max_age_s
 
 let mirror_of_pop pop ~time_s =
   let rib = Ef_netsim.Pop.rib pop in

@@ -33,6 +33,19 @@ val peers_seen : t -> int list
 val msgs_processed : t -> int
 val msgs_ignored : t -> int
 
+val last_seen_s : t -> int option
+(** Latest per-peer header timestamp fed so far — the freshness mark a
+    staleness guard compares against; [None] before any message. *)
+
+val stale : t -> now_s:int -> max_age_s:int -> bool
+(** True when no message has arrived within [max_age_s] of [now_s] — the
+    reconstructed Adj-RIB-In may no longer reflect the router (a stalled
+    or reset session) and should not drive new overrides. *)
+
+val session : t -> Retry.t
+(** The retry-with-backoff state machine for this monitor's transport
+    session; drivers feed it failures/successes as the connection flaps. *)
+
 val mirror_of_pop : Ef_netsim.Pop.t -> time_s:int -> Bmp.msg list
 (** Serialise a PoP's current per-peer routes as the BMP message stream a
     router would emit: one Peer Up plus one Route Monitoring per route.

@@ -1,0 +1,71 @@
+type config = {
+  base_delay_s : int;
+  max_delay_s : int;
+  max_attempts : int;
+}
+
+let default_config = { base_delay_s = 30; max_delay_s = 480; max_attempts = 8 }
+
+type state =
+  | Healthy
+  | Backing_off of { attempt : int; retry_at_s : int }
+  | Gave_up
+
+type t = {
+  config : config;
+  mutable state : state;
+  mutable failures : int;
+  mutable reconnects : int;
+}
+
+let create ?(config = default_config) () =
+  if config.base_delay_s <= 0 then invalid_arg "Retry.create: base_delay_s <= 0";
+  if config.max_attempts <= 0 then invalid_arg "Retry.create: max_attempts <= 0";
+  { config; state = Healthy; failures = 0; reconnects = 0 }
+
+let state t = t.state
+let healthy t = t.state = Healthy
+let failures t = t.failures
+let reconnects t = t.reconnects
+
+(* exponential backoff, capped: base * 2^(attempt-1), attempt counted from 1 *)
+let delay_for config attempt =
+  let exp = min 30 (attempt - 1) in
+  min config.max_delay_s (config.base_delay_s * (1 lsl exp))
+
+let on_failure t ~time_s =
+  t.failures <- t.failures + 1;
+  match t.state with
+  | Gave_up -> ()
+  | Healthy ->
+      t.state <-
+        Backing_off { attempt = 1; retry_at_s = time_s + delay_for t.config 1 }
+  | Backing_off { attempt; _ } ->
+      let attempt = attempt + 1 in
+      if attempt > t.config.max_attempts then t.state <- Gave_up
+      else
+        t.state <-
+          Backing_off { attempt; retry_at_s = time_s + delay_for t.config attempt }
+
+let should_retry t ~time_s =
+  match t.state with
+  | Healthy | Gave_up -> false
+  | Backing_off { retry_at_s; _ } -> time_s >= retry_at_s
+
+let on_success t =
+  (match t.state with Healthy -> () | _ -> t.reconnects <- t.reconnects + 1);
+  t.state <- Healthy
+
+let attempt t =
+  match t.state with
+  | Healthy -> 0
+  | Gave_up -> t.config.max_attempts
+  | Backing_off { attempt; _ } -> attempt
+
+let pp fmt t =
+  match t.state with
+  | Healthy -> Format.fprintf fmt "healthy (%d reconnects)" t.reconnects
+  | Gave_up -> Format.fprintf fmt "gave up after %d failures" t.failures
+  | Backing_off { attempt; retry_at_s } ->
+      Format.fprintf fmt "backing off (attempt %d, retry at t=%d)" attempt
+        retry_at_s

@@ -1,0 +1,57 @@
+(** Bounded retry-with-backoff for collector sessions.
+
+    When a feed session (BMP, sFlow) fails, the collector must not
+    hot-loop reconnecting into a struggling router — it backs off
+    exponentially, and after a bounded number of attempts it gives up and
+    leaves recovery to an operator. The state machine is driven by the
+    caller's clock (simulated seconds here), so it is fully deterministic
+    and testable.
+
+    States: [Healthy] → (failure) → [Backing_off] → (failure ×
+    [max_attempts]) → [Gave_up]. [on_success] from any non-gave-up state
+    returns to [Healthy] and counts a reconnect. *)
+
+type config = {
+  base_delay_s : int;   (** first retry delay *)
+  max_delay_s : int;    (** backoff cap *)
+  max_attempts : int;   (** consecutive failures before giving up *)
+}
+
+val default_config : config
+(** 30 s base, 480 s cap, 8 attempts — a patient production profile. *)
+
+type state =
+  | Healthy
+  | Backing_off of { attempt : int; retry_at_s : int }
+  | Gave_up
+
+type t
+
+val create : ?config:config -> unit -> t
+(** Raises [Invalid_argument] on non-positive base delay or attempts. *)
+
+val state : t -> state
+val healthy : t -> bool
+
+val on_failure : t -> time_s:int -> unit
+(** Record a session failure at [time_s]: schedules the next retry with
+    exponential backoff (base·2ⁿ⁻¹, capped), or moves to [Gave_up] once
+    [max_attempts] consecutive failures have accumulated. *)
+
+val should_retry : t -> time_s:int -> bool
+(** True when backing off and the retry deadline has passed. *)
+
+val on_success : t -> unit
+(** Back to [Healthy]; counted as a reconnect if the session was not
+    already healthy. *)
+
+val attempt : t -> int
+(** Current consecutive-failure count (0 when healthy). *)
+
+val failures : t -> int
+(** Lifetime failure count. *)
+
+val reconnects : t -> int
+(** Lifetime successful recoveries. *)
+
+val pp : Format.formatter -> t -> unit

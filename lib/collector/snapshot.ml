@@ -28,16 +28,21 @@ let assemble ?obs ~routes ~iface_of_peer ~ifaces ~prefix_rates ~time_s () =
     (float_of_int (List.length prefix_rates));
   { time_s; prefix_rates; rate_trie; routes; ifaces; iface_of_peer }
 
-let of_pop ?obs pop ~prefix_rates ~time_s =
+let of_pop ?obs ?ifaces pop ~prefix_rates ~time_s =
   let rib = Ef_netsim.Pop.rib pop in
+  let pop_ifaces =
+    match ifaces with Some l -> l | None -> Ef_netsim.Pop.interfaces pop
+  in
+  let iface_by_id id = List.find_opt (fun i -> Ef_netsim.Iface.id i = id) pop_ifaces in
   assemble ?obs
     ~routes:(fun p -> Bgp.Rib.ranked rib p)
     ~iface_of_peer:(fun peer_id ->
       match Ef_netsim.Pop.peer pop peer_id with
       | None -> None
-      | Some _ -> Some (Ef_netsim.Pop.iface_of_peer pop ~peer_id))
-    ~ifaces:(Ef_netsim.Pop.interfaces pop)
-    ~prefix_rates ~time_s ()
+      | Some _ ->
+          iface_by_id
+            (Ef_netsim.Iface.id (Ef_netsim.Pop.iface_of_peer pop ~peer_id)))
+    ~ifaces:pop_ifaces ~prefix_rates ~time_s ()
 
 let time_s t = t.time_s
 let prefix_rates t = t.prefix_rates

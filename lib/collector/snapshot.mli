@@ -27,12 +27,17 @@ val assemble :
 
 val of_pop :
   ?obs:Ef_obs.Registry.t ->
+  ?ifaces:Ef_netsim.Iface.t list ->
   Ef_netsim.Pop.t ->
   prefix_rates:(Ef_bgp.Prefix.t * float) list ->
   time_s:int ->
   t
 (** Assemble directly from a PoP (simulator fast path — identical content
-    to the BMP-reconstructed view, which tests verify). *)
+    to the BMP-reconstructed view, which tests verify). [ifaces]
+    substitutes the PoP's interface list — the fault injector passes
+    capacity-derated copies so the controller sees degraded links the way
+    SNMP would report them; [iface_of_peer] resolves into the substituted
+    list by id. Defaults to the PoP's own interfaces. *)
 
 val time_s : t -> int
 val prefix_rates : t -> (Ef_bgp.Prefix.t * float) list

@@ -16,6 +16,8 @@ type t = {
   max_overrides_per_cycle : int option;
   override_local_pref : int;
   guard : Guard.config;
+  max_snapshot_age_s : int;
+  min_rate_confidence : float;
 }
 
 let default =
@@ -29,6 +31,8 @@ let default =
     max_overrides_per_cycle = None;
     override_local_pref = 1000;
     guard = Guard.default;
+    max_snapshot_age_s = 90;
+    min_rate_confidence = 0.0;
   }
 
 let make ?(overload_threshold = default.overload_threshold)
@@ -36,7 +40,8 @@ let make ?(overload_threshold = default.overload_threshold)
     ?(order = default.order) ?(iterative = default.iterative)
     ?(granularity = default.granularity) ?max_overrides_per_cycle
     ?(override_local_pref = default.override_local_pref)
-    ?(guard = default.guard) () =
+    ?(guard = default.guard) ?(max_snapshot_age_s = default.max_snapshot_age_s)
+    ?(min_rate_confidence = default.min_rate_confidence) () =
   {
     overload_threshold;
     release_margin;
@@ -47,6 +52,8 @@ let make ?(overload_threshold = default.overload_threshold)
     max_overrides_per_cycle;
     override_local_pref;
     guard;
+    max_snapshot_age_s;
+    min_rate_confidence;
   }
 
 let with_overload_threshold overload_threshold t = { t with overload_threshold }
@@ -61,6 +68,8 @@ let with_max_overrides_per_cycle max_overrides_per_cycle t =
 
 let with_override_local_pref override_local_pref t = { t with override_local_pref }
 let with_guard guard t = { t with guard }
+let with_max_snapshot_age_s max_snapshot_age_s t = { t with max_snapshot_age_s }
+let with_min_rate_confidence min_rate_confidence t = { t with min_rate_confidence }
 
 let release_threshold t = t.overload_threshold -. t.release_margin
 
@@ -74,6 +83,9 @@ let validate t =
     t.override_local_pref
     <= Ef_bgp.Policy.local_pref_for_kind Ef_bgp.Peer.Private_peer
   then Error "override_local_pref must exceed every policy tier"
+  else if t.max_snapshot_age_s <= 0 then Error "max_snapshot_age_s must be positive"
+  else if t.min_rate_confidence < 0.0 || t.min_rate_confidence >= 1.0 then
+    Error "min_rate_confidence must be in [0, 1)"
   else
     match t.max_overrides_per_cycle with
     | Some n when n < 0 -> Error "max_overrides_per_cycle must be non-negative"

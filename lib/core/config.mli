@@ -35,6 +35,13 @@ type t = {
                                    every policy tier *)
   guard : Guard.config;        (** blast-radius budgets applied to the
                                    allocator's output before enforcement *)
+  max_snapshot_age_s : int;    (** degrade (hold last-good overrides) when the
+                                   snapshot is older than this vs the
+                                   controller's clock; see {!Controller.cycle} *)
+  min_rate_confidence : float; (** freeze overrides when the snapshot's total
+                                   rate drops below this fraction of the
+                                   recent moving average (0 disables — the
+                                   default; chaos runs opt in) *)
 }
 
 val default : t
@@ -49,6 +56,8 @@ val make :
   ?max_overrides_per_cycle:int ->
   ?override_local_pref:int ->
   ?guard:Guard.config ->
+  ?max_snapshot_age_s:int ->
+  ?min_rate_confidence:float ->
   unit ->
   t
 (** Every omitted field takes its {!default} value
@@ -68,6 +77,8 @@ val with_granularity : granularity -> t -> t
 val with_max_overrides_per_cycle : int option -> t -> t
 val with_override_local_pref : int -> t -> t
 val with_guard : Guard.config -> t -> t
+val with_max_snapshot_age_s : int -> t -> t
+val with_min_rate_confidence : float -> t -> t
 
 val release_threshold : t -> float
 (** [overload_threshold -. release_margin]. *)

@@ -2,6 +2,21 @@ module Bgp = Ef_bgp
 module Snapshot = Ef_collector.Snapshot
 module Obs = Ef_obs
 
+type degradation =
+  | Stale_snapshot of { age_s : int; limit_s : int }
+  | Low_confidence of { observed_bps : float; expected_bps : float }
+
+let degradation_reason = function
+  | Stale_snapshot _ -> "stale_snapshot"
+  | Low_confidence _ -> "low_confidence"
+
+let pp_degradation fmt = function
+  | Stale_snapshot { age_s; limit_s } ->
+      Format.fprintf fmt "stale snapshot (age %ds > limit %ds)" age_s limit_s
+  | Low_confidence { observed_bps; expected_bps } ->
+      Format.fprintf fmt "low confidence (%.3g bps vs %.3g expected)"
+        observed_bps expected_bps
+
 type cycle_stats = {
   time_s : int;
   total_bps : float;
@@ -14,6 +29,7 @@ type cycle_stats = {
   guard_violations : Guard.violation list;
   overloaded_before : (Ef_netsim.Iface.t * float) list;
   overloaded_after : (Ef_netsim.Iface.t * float) list;
+  degraded : degradation option;
 }
 
 let log_src = Logs.Src.create "edge_fabric.controller" ~doc:"Edge Fabric controller"
@@ -37,9 +53,13 @@ type obs_handles = {
   c_shed : Obs.Counter.t;
   c_violations : Obs.Counter.t;
   c_residual : Obs.Counter.t;
+  c_degraded : Obs.Counter.t;
+  c_degraded_stale : Obs.Counter.t;
+  c_degraded_lowconf : Obs.Counter.t;
   g_total_bps : Obs.Gauge.t;
   g_detoured_bps : Obs.Gauge.t;
   g_active : Obs.Gauge.t;
+  g_snapshot_age : Obs.Gauge.t;
 }
 
 let obs_handles reg =
@@ -58,9 +78,13 @@ let obs_handles reg =
     c_shed = Obs.Registry.counter reg "controller.overrides.shed";
     c_violations = Obs.Registry.counter reg "controller.guard.violations";
     c_residual = Obs.Registry.counter reg "controller.residual_overloads";
+    c_degraded = Obs.Registry.counter reg "controller.degraded.cycles";
+    c_degraded_stale = Obs.Registry.counter reg "controller.degraded.stale";
+    c_degraded_lowconf = Obs.Registry.counter reg "controller.degraded.low_confidence";
     g_total_bps = Obs.Registry.gauge reg "controller.total_bps";
     g_detoured_bps = Obs.Registry.gauge reg "controller.detoured_bps";
     g_active = Obs.Registry.gauge reg "controller.overrides.active";
+    g_snapshot_age = Obs.Registry.gauge reg "controller.snapshot.age_s";
   }
 
 type t = {
@@ -69,6 +93,10 @@ type t = {
   hysteresis : Hysteresis.t;
   obs : obs_handles;
   mutable cycles : int;
+  (* input-confidence tracking: EWMA of total snapshot rate over healthy
+     cycles only, so a feed blackout does not drag the baseline down *)
+  mutable rate_ewma : float;
+  mutable healthy_cycles : int;
 }
 
 let create ?(config = Config.default) ?obs ~name () =
@@ -82,6 +110,8 @@ let create ?(config = Config.default) ?obs ~name () =
     hysteresis = Hysteresis.create config;
     obs = obs_handles reg;
     cycles = 0;
+    rate_ewma = 0.0;
+    healthy_cycles = 0;
   }
 
 let name t = t.name
@@ -98,11 +128,99 @@ let overrides_lookup overrides =
   in
   fun prefix -> Bgp.Ptrie.find prefix trie
 
-let cycle t snapshot =
+(* why the controller refuses to recompute this cycle, if it does *)
+let detect_degradation t ~now_s snapshot =
+  let age_s = now_s - Snapshot.time_s snapshot in
+  if age_s > t.config.Config.max_snapshot_age_s then
+    Some (Stale_snapshot { age_s; limit_s = t.config.Config.max_snapshot_age_s })
+  else if
+    t.config.Config.min_rate_confidence > 0.0
+    && t.healthy_cycles >= 3
+    && t.rate_ewma > 0.0
+    && Snapshot.total_rate_bps snapshot
+       < t.config.Config.min_rate_confidence *. t.rate_ewma
+  then
+    Some
+      (Low_confidence
+         {
+           observed_bps = Snapshot.total_rate_bps snapshot;
+           expected_bps = t.rate_ewma;
+         })
+  else None
+
+(* Fail static: keep the last-good override set enforced, touch nothing.
+   The hysteresis state is left unstepped, so installation times and the
+   release damping pick up exactly where they were once inputs recover. *)
+let degraded_cycle t snapshot ~reason =
+  let ob = t.obs in
+  let active = Hysteresis.active t.hysteresis in
+  let preferred = Projection.project snapshot in
+  let enforced =
+    Projection.project ~overrides:(overrides_lookup active) snapshot
+  in
+  let threshold = t.config.Config.overload_threshold in
+  Obs.Counter.inc ob.c_degraded;
+  (match reason with
+  | Stale_snapshot _ -> Obs.Counter.inc ob.c_degraded_stale
+  | Low_confidence _ -> Obs.Counter.inc ob.c_degraded_lowconf);
+  Log.warn (fun m ->
+      m "%s: degraded cycle, holding %d overrides: %a" t.name
+        (List.length active) pp_degradation reason);
+  if Obs.Registry.has_sinks ob.reg then
+    Obs.Registry.emit ob.reg ~name:"controller.degraded"
+      [
+        ("controller", Obs.Json.String t.name);
+        ("time_s", Obs.Json.Int (Snapshot.time_s snapshot));
+        ("reason", Obs.Json.String (degradation_reason reason));
+        ("overrides_held", Obs.Json.Int (List.length active));
+      ];
+  {
+    time_s = Snapshot.time_s snapshot;
+    total_bps = Projection.total_bps enforced;
+    detoured_bps = Projection.overridden_bps enforced;
+    preferred;
+    enforced;
+    allocator =
+      {
+        Allocator.overrides = [];
+        before = preferred;
+        final = enforced;
+        residual = [];
+        moves_considered = 0;
+        splits = 0;
+      };
+    reconcile =
+      {
+        Hysteresis.active;
+        added = [];
+        removed = [];
+        retargeted = [];
+        kept = active;
+        deferred_releases = 0;
+      };
+    guard_dropped = [];
+    guard_violations = [];
+    overloaded_before = Projection.overloaded preferred ~threshold;
+    overloaded_after = Projection.overloaded enforced ~threshold;
+    degraded = Some reason;
+  }
+
+let cycle ?now_s t snapshot =
   let ob = t.obs in
   Obs.Span.time_h ob.reg ob.sp_cycle @@ fun () ->
   t.cycles <- t.cycles + 1;
   Obs.Counter.inc ob.c_cycles;
+  let now_s = Option.value now_s ~default:(Snapshot.time_s snapshot) in
+  Obs.Gauge.set ob.g_snapshot_age
+    (float_of_int (now_s - Snapshot.time_s snapshot));
+  match detect_degradation t ~now_s snapshot with
+  | Some reason -> degraded_cycle t snapshot ~reason
+  | None ->
+  let total = Snapshot.total_rate_bps snapshot in
+  t.rate_ewma <-
+    (if t.healthy_cycles = 0 then total
+     else (0.7 *. t.rate_ewma) +. (0.3 *. total));
+  t.healthy_cycles <- t.healthy_cycles + 1;
   let alloc =
     Obs.Span.time_h ob.reg ob.sp_allocate (fun () ->
         Allocator.run ~config:t.config snapshot)
@@ -148,6 +266,7 @@ let cycle t snapshot =
       guard_violations;
       overloaded_before = Projection.overloaded alloc.Allocator.before ~threshold;
       overloaded_after = Projection.overloaded enforced ~threshold;
+      degraded = None;
     }
   in
   let count l = float_of_int (List.length l) in
@@ -214,8 +333,12 @@ let overrides_added stats = stats.reconcile.Hysteresis.added
 let overrides_removed stats = stats.reconcile.Hysteresis.removed
 let overrides_retargeted stats = stats.reconcile.Hysteresis.retargeted
 let residual_overloads stats = stats.allocator.Allocator.residual
+let degraded stats = stats.degraded
 
 let pp_cycle_stats fmt stats =
+  (match stats.degraded with
+  | Some reason -> Format.fprintf fmt "DEGRADED(%a) " pp_degradation reason
+  | None -> ());
   Format.fprintf fmt
     "t=%d total=%.3gbps detoured=%.3gbps (%.1f%%) overrides=%d (+%d/-%d/~%d) \
      shed=%d residual=%d violations=%d overloaded %d->%d"
@@ -254,4 +377,8 @@ let cycle_stats_to_json stats =
       ("guard_violations", Obs.Json.Int (List.length stats.guard_violations));
       ("overloaded_before", Obs.Json.Int (List.length stats.overloaded_before));
       ("overloaded_after", Obs.Json.Int (List.length stats.overloaded_after));
+      ( "degraded",
+        match stats.degraded with
+        | None -> Obs.Json.Null
+        | Some reason -> Obs.Json.String (degradation_reason reason) );
     ]

@@ -17,7 +17,38 @@
     [controller.guard.clamp], [controller.reconcile], [controller.project],
     [controller.guard.audit]), bumps the override/guard counters, and —
     when a journal sink is attached — emits one [controller.cycle] event
-    summarizing the round. *)
+    summarizing the round.
+
+    {b Graceful degradation.} The controller fails static: when its
+    inputs cannot be trusted it refuses to recompute and holds the
+    last-good override set instead of oscillating on garbage. Two rungs
+    of the ladder are detected per cycle:
+
+    - {e staleness} — the snapshot is older (vs [now_s]) than
+      [Config.max_snapshot_age_s]: the BMP/sFlow feeds have stalled, so
+      recomputing would act on a RIB that no longer exists;
+    - {e low confidence} — the snapshot's total rate collapsed below
+      [Config.min_rate_confidence] × the recent healthy-cycle average:
+      the feed is losing samples, and the "demand" drop is an artifact.
+
+    A degraded cycle skips the allocator and hysteresis entirely (so hold
+    timers and installation ages are preserved), enforces the existing
+    set, bumps the [controller.degraded.*] counters, and emits a
+    [controller.degraded] journal event. *)
+
+(** Why a cycle refused to recompute and held the last-good override
+    set instead. *)
+type degradation =
+  | Stale_snapshot of { age_s : int; limit_s : int }
+      (** snapshot age exceeded [Config.max_snapshot_age_s] *)
+  | Low_confidence of { observed_bps : float; expected_bps : float }
+      (** snapshot total rate collapsed below
+          [Config.min_rate_confidence] × the healthy-cycle EWMA *)
+
+val degradation_reason : degradation -> string
+(** Stable machine label: ["stale_snapshot"] or ["low_confidence"]. *)
+
+val pp_degradation : Format.formatter -> degradation -> unit
 
 (** One cycle's outcome. Use the accessor functions below rather than
     matching on the record directly: the record will keep growing (it is
@@ -36,6 +67,8 @@ type cycle_stats = {
       (** audit findings on the enforced set (also logged) *)
   overloaded_before : (Ef_netsim.Iface.t * float) list;
   overloaded_after : (Ef_netsim.Iface.t * float) list;
+  degraded : degradation option;
+      (** [Some _] when this cycle failed static (see {!degradation}) *)
 }
 
 type t
@@ -52,7 +85,11 @@ val cycles_run : t -> int
 val obs : t -> Ef_obs.Registry.t
 (** The registry this controller reports into. *)
 
-val cycle : t -> Ef_collector.Snapshot.t -> cycle_stats
+val cycle : ?now_s:int -> t -> Ef_collector.Snapshot.t -> cycle_stats
+(** [now_s] is the controller's own clock, used only for staleness
+    detection against the snapshot's timestamp; it defaults to the
+    snapshot's own time (age 0 — never stale), which preserves the
+    behaviour of callers that always hand the controller a fresh view. *)
 
 val bgp_updates : t -> cycle_stats -> Ef_bgp.Msg.update list
 (** The wire-level enforcement of one cycle: withdrawals for removed
@@ -79,6 +116,9 @@ val guard_dropped : cycle_stats -> Override.t list
 val guard_violations : cycle_stats -> Guard.violation list
 val overloaded_before : cycle_stats -> (Ef_netsim.Iface.t * float) list
 val overloaded_after : cycle_stats -> (Ef_netsim.Iface.t * float) list
+
+val degraded : cycle_stats -> degradation option
+(** [Some _] when the cycle failed static and held the previous set. *)
 
 val overrides_enforced : cycle_stats -> Override.t list
 (** The set enforced after the cycle ([reconcile.active]). *)

@@ -1,0 +1,9 @@
+(** Ef_fault: deterministic fault injection.
+
+    {!Plan} is the declarative, JSON-serialisable chaos DSL; {!Injector}
+    compiles a plan into per-cycle queries the simulation layers poll.
+    See [DESIGN.md] ("Fault injection and graceful degradation") for the
+    fault model and how the controller degrades under each fault. *)
+
+module Plan = Plan
+module Injector = Injector

@@ -1,0 +1,133 @@
+open Ef_util
+
+type expanded = {
+  fault : Plan.fault;
+  windows : (int * int) list;
+      (* active intervals, half-open; literal for most kinds, one per
+         outage for flaps *)
+}
+
+type t = {
+  plan : Plan.t;
+  expanded : expanded list;
+  consumer_rng : Rng.t;
+}
+
+(* flap onsets: start every [period_s] from [from_s], each onset jittered
+   by up to a quarter period so flaps across interfaces do not align *)
+let expand_flap rng ~from_s ~until_s ~period_s ~down_s =
+  let jitter = max 1 (period_s / 4) in
+  let rec loop t acc =
+    if t >= until_s then List.rev acc
+    else
+      let start = t + Rng.int rng jitter in
+      if start >= until_s then List.rev acc
+      else
+        let stop = min until_s (start + down_s) in
+        loop (start + down_s + period_s) ((start, stop) :: acc)
+  in
+  loop from_s []
+
+let expand_fault rng (f : Plan.fault) =
+  let windows =
+    match f with
+    | Plan.Link_flap { from_s; until_s; period_s; down_s; _ } ->
+        expand_flap rng ~from_s ~until_s ~period_s ~down_s
+    | f -> [ Plan.window f ]
+  in
+  { fault = f; windows }
+
+let create plan =
+  (match Plan.validate plan with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Injector.create: invalid plan: " ^ msg));
+  (* one private stream per concern, all derived from the plan seed *)
+  let expansion_rng = Rng.create ((plan.Plan.plan_seed * 2654435761) lxor 0x5f) in
+  {
+    plan;
+    expanded = List.map (expand_fault expansion_rng) plan.Plan.faults;
+    consumer_rng = Rng.create ((plan.Plan.plan_seed * 40503) lxor 0xfa17) ;
+  }
+
+let plan t = t.plan
+let rng t = t.consumer_rng
+
+let in_window time_s (from_s, until_s) = time_s >= from_s && time_s < until_s
+
+let active_in e ~time_s = List.exists (in_window time_s) e.windows
+
+let fold_active t ~time_s f init =
+  List.fold_left
+    (fun acc e -> if active_in e ~time_s then f acc e.fault else acc)
+    init t.expanded
+
+let link_down t ~iface_id ~time_s =
+  fold_active t ~time_s
+    (fun acc fault ->
+      acc
+      ||
+      match fault with
+      | Plan.Link_flap { iface_id = id; _ } -> id = iface_id
+      | _ -> false)
+    false
+
+let capacity_factor t ~iface_id ~time_s =
+  if link_down t ~iface_id ~time_s then 0.0
+  else
+    fold_active t ~time_s
+      (fun acc fault ->
+        match fault with
+        | Plan.Capacity_degradation { iface_id = id; factor; _ } when id = iface_id
+          ->
+            acc *. factor
+        | _ -> acc)
+      1.0
+
+let bmp_stalled t ~time_s =
+  fold_active t ~time_s
+    (fun acc fault ->
+      acc || match fault with Plan.Bmp_stall _ -> true | _ -> false)
+    false
+
+let sflow_drop_fraction t ~time_s =
+  fold_active t ~time_s
+    (fun acc fault ->
+      match fault with
+      | Plan.Sflow_loss { drop_fraction; _ } -> Float.max acc drop_fraction
+      | _ -> acc)
+    0.0
+
+let sflow_burst_multiplier t ~time_s =
+  fold_active t ~time_s
+    (fun acc fault ->
+      match fault with
+      | Plan.Sflow_burst { multiplier; _ } -> acc *. multiplier
+      | _ -> acc)
+    1.0
+
+let cycle_skipped t ~time_s =
+  fold_active t ~time_s
+    (fun acc fault ->
+      acc || match fault with Plan.Cycle_skip _ -> true | _ -> false)
+    false
+
+let cycle_delay_s t ~time_s =
+  fold_active t ~time_s
+    (fun acc fault ->
+      match fault with
+      | Plan.Cycle_delay { delay_s; _ } -> max acc delay_s
+      | _ -> acc)
+    0
+
+let active_labels t ~time_s =
+  fold_active t ~time_s (fun acc fault -> Plan.label fault :: acc) []
+  |> List.sort_uniq compare
+
+let flap_windows t ~iface_id =
+  List.concat_map
+    (fun e ->
+      match e.fault with
+      | Plan.Link_flap { iface_id = id; _ } when id = iface_id -> e.windows
+      | _ -> [])
+    t.expanded
+  |> List.sort compare

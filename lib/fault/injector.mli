@@ -1,0 +1,55 @@
+(** The fault injector: a compiled, queryable {!Plan}.
+
+    [create] deterministically expands the plan — link-flap onsets get
+    seed-derived jitter, everything else is literal windows — so two
+    injectors built from the same plan answer every query identically.
+    The simulation layers (engine, collector session model) poll the
+    injector against simulated time; the injector never calls back into
+    them.
+
+    The injector also carries a consumer RNG ({!rng}) split off the plan
+    seed: probabilistic faults (sFlow sample drops) draw from it so fault
+    randomness never perturbs the workload's own streams. *)
+
+type t
+
+val create : Plan.t -> t
+(** Raises [Invalid_argument] if {!Plan.validate} rejects the plan. *)
+
+val plan : t -> Plan.t
+
+val rng : t -> Ef_util.Rng.t
+(** Seed-derived generator for consumers applying probabilistic faults
+    (sample-drop coin flips). Deterministic given the plan seed and the
+    caller's draw sequence. *)
+
+(** {2 Per-cycle queries} — all pure in [time_s] except noted. *)
+
+val link_down : t -> iface_id:int -> time_s:int -> bool
+(** Inside an expanded flap outage window. *)
+
+val capacity_factor : t -> iface_id:int -> time_s:int -> float
+(** Remaining capacity fraction in [\[0, 1\]]: 0 while the link is down,
+    otherwise the product of active degradations (1.0 = healthy). *)
+
+val bmp_stalled : t -> time_s:int -> bool
+
+val sflow_drop_fraction : t -> time_s:int -> float
+(** Max over active [Sflow_loss] windows; 0 when none. *)
+
+val sflow_burst_multiplier : t -> time_s:int -> float
+(** Product of active [Sflow_burst] windows; 1 when none. *)
+
+val cycle_skipped : t -> time_s:int -> bool
+
+val cycle_delay_s : t -> time_s:int -> int
+(** Max over active [Cycle_delay] windows; 0 when none. *)
+
+val active_labels : t -> time_s:int -> string list
+(** Labels of every fault active at [time_s] (flap faults count as active
+    only inside an actual outage window), sorted, duplicates removed —
+    what the engine stamps into journal events. *)
+
+val flap_windows : t -> iface_id:int -> (int * int) list
+(** The expanded outage windows for an interface (for tests and
+    inspection), in chronological order. *)

@@ -1,0 +1,205 @@
+module Json = Ef_obs.Json
+
+type fault =
+  | Link_flap of {
+      iface_id : int;
+      from_s : int;
+      until_s : int;
+      period_s : int;
+      down_s : int;
+    }
+  | Capacity_degradation of {
+      iface_id : int;
+      from_s : int;
+      until_s : int;
+      factor : float;
+    }
+  | Bmp_stall of { from_s : int; until_s : int }
+  | Sflow_loss of { from_s : int; until_s : int; drop_fraction : float }
+  | Sflow_burst of { from_s : int; until_s : int; multiplier : float }
+  | Cycle_skip of { from_s : int; until_s : int }
+  | Cycle_delay of { from_s : int; until_s : int; delay_s : int }
+
+type t = {
+  plan_seed : int;
+  faults : fault list;
+}
+
+let make ?(seed = 1) faults = { plan_seed = seed; faults }
+let empty = { plan_seed = 1; faults = [] }
+
+let label = function
+  | Link_flap _ -> "link_flap"
+  | Capacity_degradation _ -> "capacity_degradation"
+  | Bmp_stall _ -> "bmp_stall"
+  | Sflow_loss _ -> "sflow_loss"
+  | Sflow_burst _ -> "sflow_burst"
+  | Cycle_skip _ -> "cycle_skip"
+  | Cycle_delay _ -> "cycle_delay"
+
+let window = function
+  | Link_flap { from_s; until_s; _ }
+  | Capacity_degradation { from_s; until_s; _ }
+  | Bmp_stall { from_s; until_s }
+  | Sflow_loss { from_s; until_s; _ }
+  | Sflow_burst { from_s; until_s; _ }
+  | Cycle_skip { from_s; until_s }
+  | Cycle_delay { from_s; until_s; _ } ->
+      (from_s, until_s)
+
+let validate_fault f =
+  let from_s, until_s = window f in
+  if until_s <= from_s then
+    Error (Printf.sprintf "%s: empty window [%d, %d)" (label f) from_s until_s)
+  else
+    match f with
+    | Link_flap { period_s; down_s; _ } ->
+        if period_s <= 0 then Error "link_flap: period_s must be positive"
+        else if down_s <= 0 then Error "link_flap: down_s must be positive"
+        else Ok ()
+    | Capacity_degradation { factor; _ } ->
+        if factor <= 0.0 || factor > 1.0 then
+          Error "capacity_degradation: factor must be in (0, 1]"
+        else Ok ()
+    | Sflow_loss { drop_fraction; _ } ->
+        if drop_fraction < 0.0 || drop_fraction > 1.0 then
+          Error "sflow_loss: drop_fraction must be in [0, 1]"
+        else Ok ()
+    | Sflow_burst { multiplier; _ } ->
+        if multiplier <= 0.0 then Error "sflow_burst: multiplier must be positive"
+        else Ok ()
+    | Cycle_delay { delay_s; _ } ->
+        if delay_s <= 0 then Error "cycle_delay: delay_s must be positive"
+        else Ok ()
+    | Bmp_stall _ | Cycle_skip _ -> Ok ()
+
+let validate t =
+  List.fold_left
+    (fun acc f -> match acc with Error _ -> acc | Ok () -> validate_fault f)
+    (Ok ()) t.faults
+
+let equal a b = a = b
+
+let pp_fault fmt f =
+  let from_s, until_s = window f in
+  Format.fprintf fmt "%s[%d,%d)" (label f) from_s until_s;
+  match f with
+  | Link_flap { iface_id; period_s; down_s; _ } ->
+      Format.fprintf fmt " iface=%d period=%ds down=%ds" iface_id period_s down_s
+  | Capacity_degradation { iface_id; factor; _ } ->
+      Format.fprintf fmt " iface=%d factor=%.2f" iface_id factor
+  | Sflow_loss { drop_fraction; _ } -> Format.fprintf fmt " drop=%.2f" drop_fraction
+  | Sflow_burst { multiplier; _ } -> Format.fprintf fmt " x%.2f" multiplier
+  | Cycle_delay { delay_s; _ } -> Format.fprintf fmt " delay=%ds" delay_s
+  | Bmp_stall _ | Cycle_skip _ -> ()
+
+let pp fmt t =
+  Format.fprintf fmt "plan(seed=%d:" t.plan_seed;
+  List.iter (fun f -> Format.fprintf fmt " %a" pp_fault f) t.faults;
+  Format.fprintf fmt ")"
+
+(* --- JSON ------------------------------------------------------------- *)
+
+let fault_to_json f =
+  let from_s, until_s = window f in
+  let base = [ ("kind", Json.String (label f)) ] in
+  let tail =
+    match f with
+    | Link_flap { iface_id; period_s; down_s; _ } ->
+        [
+          ("iface_id", Json.Int iface_id);
+          ("period_s", Json.Int period_s);
+          ("down_s", Json.Int down_s);
+        ]
+    | Capacity_degradation { iface_id; factor; _ } ->
+        [ ("iface_id", Json.Int iface_id); ("factor", Json.Float factor) ]
+    | Sflow_loss { drop_fraction; _ } ->
+        [ ("drop_fraction", Json.Float drop_fraction) ]
+    | Sflow_burst { multiplier; _ } -> [ ("multiplier", Json.Float multiplier) ]
+    | Cycle_delay { delay_s; _ } -> [ ("delay_s", Json.Int delay_s) ]
+    | Bmp_stall _ | Cycle_skip _ -> []
+  in
+  Json.Obj
+    (base
+    @ [ ("from_s", Json.Int from_s); ("until_s", Json.Int until_s) ]
+    @ tail)
+
+let to_json t =
+  Json.Obj
+    [
+      ("seed", Json.Int t.plan_seed);
+      ("faults", Json.List (List.map fault_to_json t.faults));
+    ]
+
+let ( let* ) = Result.bind
+
+let field name conv j =
+  match Option.bind (Json.member name j) conv with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing or ill-typed field %S" name)
+
+let fault_of_json j =
+  let* kind = field "kind" Json.to_string_opt j in
+  let* from_s = field "from_s" Json.to_int_opt j in
+  let* until_s = field "until_s" Json.to_int_opt j in
+  match kind with
+  | "link_flap" ->
+      let* iface_id = field "iface_id" Json.to_int_opt j in
+      let* period_s = field "period_s" Json.to_int_opt j in
+      let* down_s = field "down_s" Json.to_int_opt j in
+      Ok (Link_flap { iface_id; from_s; until_s; period_s; down_s })
+  | "capacity_degradation" ->
+      let* iface_id = field "iface_id" Json.to_int_opt j in
+      let* factor = field "factor" Json.to_float_opt j in
+      Ok (Capacity_degradation { iface_id; from_s; until_s; factor })
+  | "bmp_stall" -> Ok (Bmp_stall { from_s; until_s })
+  | "sflow_loss" ->
+      let* drop_fraction = field "drop_fraction" Json.to_float_opt j in
+      Ok (Sflow_loss { from_s; until_s; drop_fraction })
+  | "sflow_burst" ->
+      let* multiplier = field "multiplier" Json.to_float_opt j in
+      Ok (Sflow_burst { from_s; until_s; multiplier })
+  | "cycle_skip" -> Ok (Cycle_skip { from_s; until_s })
+  | "cycle_delay" ->
+      let* delay_s = field "delay_s" Json.to_int_opt j in
+      Ok (Cycle_delay { from_s; until_s; delay_s })
+  | k -> Error (Printf.sprintf "unknown fault kind %S" k)
+
+let of_json j =
+  let* seed = field "seed" Json.to_int_opt j in
+  let* faults_json = field "faults" Json.to_list_opt j in
+  let* faults =
+    List.fold_left
+      (fun acc fj ->
+        let* acc = acc in
+        let* f = fault_of_json fj in
+        Ok (f :: acc))
+      (Ok []) faults_json
+  in
+  let t = { plan_seed = seed; faults = List.rev faults } in
+  let* () = validate t in
+  Ok t
+
+let to_string t = Json.to_string (to_json t)
+
+let of_string s =
+  let* j = Json.parse s in
+  of_json j
+
+let save path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (to_string t);
+      output_char oc '\n')
+
+let load path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | contents -> of_string contents
+  | exception Sys_error msg -> Error msg

@@ -1,0 +1,87 @@
+(** Fault plans: the chaos DSL.
+
+    A plan is a seed plus a list of declarative faults scheduled against
+    simulated time. Plans are pure data — they do nothing until an
+    {!Injector} expands them (deterministically, from the seed) and the
+    simulation layers query the injector each cycle. Plans serialise to
+    JSON so canned scenarios can be committed, shipped to
+    [efctl run --faults], and diffed.
+
+    Every fault is active over a half-open window [\[from_s, until_s)] of
+    simulated seconds. The kinds cover the failure modes the paper's
+    deployment defends against: flapping peering links, degraded (shared
+    IXP) port capacity, BMP session resets leaving the controller a stale
+    Adj-RIB-In, sFlow sample loss and bursts, and controller cycles that
+    are skipped or run late. *)
+
+type fault =
+  | Link_flap of {
+      iface_id : int;
+      from_s : int;
+      until_s : int;
+      period_s : int;  (** mean seconds between flap onsets *)
+      down_s : int;    (** seconds each outage lasts *)
+    }
+      (** The interface repeatedly goes down (sessions flushed, capacity 0)
+          and comes back. Onset jitter is drawn from the plan seed. *)
+  | Capacity_degradation of {
+      iface_id : int;
+      from_s : int;
+      until_s : int;
+      factor : float;  (** remaining fraction of capacity, in (0, 1] *)
+    }
+      (** The interface keeps its sessions but loses capacity — the
+          remote-peering / congested-IXP-fabric case. *)
+  | Bmp_stall of { from_s : int; until_s : int }
+      (** The BMP feed stops: the controller's snapshot (routes and rates)
+          freezes at its last-good contents until the session recovers. *)
+  | Sflow_loss of { from_s : int; until_s : int; drop_fraction : float }
+      (** Each sFlow sample is independently dropped with this
+          probability (collector overload, UDP loss). *)
+  | Sflow_burst of { from_s : int; until_s : int; multiplier : float }
+      (** Sampled counts are inflated by this factor (duplicated
+          datagrams, a misconfigured sampling rate). *)
+  | Cycle_skip of { from_s : int; until_s : int }
+      (** The controller does not run at all during the window (crashed
+          or wedged); the last-installed overrides stay enforced. *)
+  | Cycle_delay of { from_s : int; until_s : int; delay_s : int }
+      (** Controller cycles run late: each cycle in the window sees the
+          previous snapshot, so input age grows by [delay_s]. *)
+
+type t = {
+  plan_seed : int;
+  faults : fault list;
+}
+
+val make : ?seed:int -> fault list -> t
+(** [seed] defaults to 1. *)
+
+val empty : t
+
+val label : fault -> string
+(** Short stable tag: ["link_flap"], ["bmp_stall"], ... — the [kind]
+    field of the JSON form and the label journal events carry. *)
+
+val window : fault -> int * int
+(** [(from_s, until_s)] of any fault. *)
+
+val validate : t -> (unit, string) result
+(** Windows must be non-empty, fractions/factors in range, periods and
+    delays positive. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+(** {2 JSON round-trip}
+
+    The wire shape is [{"seed": N, "faults": [{"kind": "...", ...}]}]. *)
+
+val to_json : t -> Ef_obs.Json.t
+val of_json : Ef_obs.Json.t -> (t, string) result
+val to_string : t -> string
+val of_string : string -> (t, string) result
+
+val save : string -> t -> unit
+val load : string -> (t, string) result
+(** File variants of the above; [load] reports I/O problems as [Error]. *)

@@ -132,3 +132,48 @@ let find name =
   List.find_opt (fun s -> String.equal s.scenario_name name) all
 
 let names () = List.map (fun s -> s.scenario_name) all
+
+(* Canned fault plans — named chaos profiles that ride alongside the
+   named worlds. Interface ids are dense from 0 in generation order
+   (transits first, then private peers, then the shared IXP port), so
+   ids 0–2 exist in every scenario above. *)
+
+let fault_plans : (string * Ef_fault.Plan.t) list =
+  [
+    ( "link-flap",
+      Ef_fault.Plan.make ~seed:11
+        [
+          Ef_fault.Plan.Link_flap
+            { iface_id = 0; from_s = 120; until_s = 600; period_s = 90; down_s = 30 };
+        ] );
+    ( "capacity-loss",
+      Ef_fault.Plan.make ~seed:12
+        [
+          Ef_fault.Plan.Capacity_degradation
+            { iface_id = 1; from_s = 60; until_s = 480; factor = 0.4 };
+        ] );
+    ( "bmp-stall",
+      Ef_fault.Plan.make ~seed:13
+        [ Ef_fault.Plan.Bmp_stall { from_s = 150; until_s = 420 } ] );
+    ( "sflow-loss",
+      Ef_fault.Plan.make ~seed:14
+        [
+          Ef_fault.Plan.Sflow_loss
+            { from_s = 90; until_s = 450; drop_fraction = 0.7 };
+        ] );
+    ( "chaos",
+      Ef_fault.Plan.make ~seed:15
+        [
+          Ef_fault.Plan.Link_flap
+            { iface_id = 0; from_s = 60; until_s = 540; period_s = 120; down_s = 45 };
+          Ef_fault.Plan.Capacity_degradation
+            { iface_id = 1; from_s = 180; until_s = 420; factor = 0.5 };
+          Ef_fault.Plan.Bmp_stall { from_s = 240; until_s = 390 };
+          Ef_fault.Plan.Sflow_loss
+            { from_s = 120; until_s = 300; drop_fraction = 0.5 };
+          Ef_fault.Plan.Cycle_delay { from_s = 300; until_s = 450; delay_s = 20 };
+        ] );
+  ]
+
+let find_fault_plan name = List.assoc_opt name fault_plans
+let fault_plan_names () = List.map fst fault_plans

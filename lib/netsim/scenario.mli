@@ -34,3 +34,13 @@ val paper_pops : t list
 
 val find : string -> t option
 val names : unit -> string list
+
+(** {2 Canned fault plans}
+
+    Named chaos profiles to pair with the worlds above — referenced by
+    name from [efctl run --faults] and the fault tests. Interface ids in
+    the plans are valid in every scenario (ids are dense from 0). *)
+
+val fault_plans : (string * Ef_fault.Plan.t) list
+val find_fault_plan : string -> Ef_fault.Plan.t option
+val fault_plan_names : unit -> string list

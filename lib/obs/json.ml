@@ -66,3 +66,209 @@ let to_string j =
   Buffer.contents buf
 
 let pp fmt j = Format.pp_print_string fmt (to_string j)
+
+(* --- parsing ---------------------------------------------------------- *)
+
+exception Parse_error of string
+
+type reader = { src : string; mutable pos : int }
+
+let peek r = if r.pos < String.length r.src then Some r.src.[r.pos] else None
+
+let advance r = r.pos <- r.pos + 1
+
+let fail r msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg r.pos))
+
+let rec skip_ws r =
+  match peek r with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+      advance r;
+      skip_ws r
+  | _ -> ()
+
+let expect r c =
+  match peek r with
+  | Some got when got = c -> advance r
+  | Some got -> fail r (Printf.sprintf "expected %C, found %C" c got)
+  | None -> fail r (Printf.sprintf "expected %C, found end of input" c)
+
+let literal r word value =
+  let n = String.length word in
+  if r.pos + n <= String.length r.src && String.sub r.src r.pos n = word then begin
+    r.pos <- r.pos + n;
+    value
+  end
+  else fail r (Printf.sprintf "invalid literal (expected %s)" word)
+
+(* encode a unicode codepoint as UTF-8 *)
+let add_codepoint buf cp =
+  if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+  else if cp < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+
+let parse_string r =
+  expect r '"';
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek r with
+    | None -> fail r "unterminated string"
+    | Some '"' -> advance r
+    | Some '\\' -> (
+        advance r;
+        match peek r with
+        | None -> fail r "unterminated escape"
+        | Some c ->
+            advance r;
+            (match c with
+            | '"' -> Buffer.add_char buf '"'
+            | '\\' -> Buffer.add_char buf '\\'
+            | '/' -> Buffer.add_char buf '/'
+            | 'b' -> Buffer.add_char buf '\b'
+            | 'f' -> Buffer.add_char buf '\012'
+            | 'n' -> Buffer.add_char buf '\n'
+            | 'r' -> Buffer.add_char buf '\r'
+            | 't' -> Buffer.add_char buf '\t'
+            | 'u' ->
+                if r.pos + 4 > String.length r.src then fail r "bad \\u escape";
+                let hex = String.sub r.src r.pos 4 in
+                let cp =
+                  try int_of_string ("0x" ^ hex)
+                  with _ -> fail r "bad \\u escape"
+                in
+                r.pos <- r.pos + 4;
+                add_codepoint buf cp
+            | c -> fail r (Printf.sprintf "bad escape \\%C" c));
+            loop ())
+    | Some c ->
+        advance r;
+        Buffer.add_char buf c;
+        loop ()
+  in
+  loop ();
+  Buffer.contents buf
+
+let parse_number r =
+  let start = r.pos in
+  let is_float = ref false in
+  let rec loop () =
+    match peek r with
+    | Some ('0' .. '9' | '-' | '+') ->
+        advance r;
+        loop ()
+    | Some ('.' | 'e' | 'E') ->
+        is_float := true;
+        advance r;
+        loop ()
+    | _ -> ()
+  in
+  loop ();
+  let text = String.sub r.src start (r.pos - start) in
+  if !is_float then
+    match float_of_string_opt text with
+    | Some f -> Float f
+    | None -> fail r (Printf.sprintf "bad number %S" text)
+  else
+    match int_of_string_opt text with
+    | Some i -> Int i
+    | None -> (
+        (* integer too large for OCaml's int: keep it as a float *)
+        match float_of_string_opt text with
+        | Some f -> Float f
+        | None -> fail r (Printf.sprintf "bad number %S" text))
+
+let rec parse_value r =
+  skip_ws r;
+  match peek r with
+  | None -> fail r "unexpected end of input"
+  | Some '"' -> String (parse_string r)
+  | Some '{' ->
+      advance r;
+      skip_ws r;
+      if peek r = Some '}' then begin
+        advance r;
+        Obj []
+      end
+      else begin
+        let fields = ref [] in
+        let rec members () =
+          skip_ws r;
+          let key = parse_string r in
+          skip_ws r;
+          expect r ':';
+          let v = parse_value r in
+          fields := (key, v) :: !fields;
+          skip_ws r;
+          match peek r with
+          | Some ',' ->
+              advance r;
+              members ()
+          | Some '}' -> advance r
+          | _ -> fail r "expected ',' or '}'"
+        in
+        members ();
+        Obj (List.rev !fields)
+      end
+  | Some '[' ->
+      advance r;
+      skip_ws r;
+      if peek r = Some ']' then begin
+        advance r;
+        List []
+      end
+      else begin
+        let items = ref [] in
+        let rec elements () =
+          let v = parse_value r in
+          items := v :: !items;
+          skip_ws r;
+          match peek r with
+          | Some ',' ->
+              advance r;
+              elements ()
+          | Some ']' -> advance r
+          | _ -> fail r "expected ',' or ']'"
+        in
+        elements ();
+        List (List.rev !items)
+      end
+  | Some 't' -> literal r "true" (Bool true)
+  | Some 'f' -> literal r "false" (Bool false)
+  | Some 'n' -> literal r "null" Null
+  | Some ('-' | '0' .. '9') -> parse_number r
+  | Some c -> fail r (Printf.sprintf "unexpected character %C" c)
+
+let parse s =
+  let r = { src = s; pos = 0 } in
+  match parse_value r with
+  | v ->
+      skip_ws r;
+      if r.pos < String.length s then
+        Error (Printf.sprintf "trailing garbage at offset %d" r.pos)
+      else Ok v
+  | exception Parse_error msg -> Error msg
+
+(* --- accessors --------------------------------------------------------- *)
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let to_int_opt = function
+  | Int i -> Some i
+  | Float f when Float.is_integer f -> Some (int_of_float f)
+  | _ -> None
+
+let to_float_opt = function
+  | Float f -> Some f
+  | Int i -> Some (float_of_int i)
+  | _ -> None
+
+let to_string_opt = function String s -> Some s | _ -> None
+let to_list_opt = function List l -> Some l | _ -> None

@@ -1,7 +1,7 @@
-(** A minimal JSON tree and printer.
+(** A minimal JSON tree, printer and parser.
 
-    Just enough for metric export and the event journal — no parser, no
-    external dependency. Printing is deterministic (object fields keep
+    Just enough for metric export, the event journal and fault-plan files —
+    no external dependency. Printing is deterministic (object fields keep
     their given order) so journal lines and [efctl --metrics] output are
     diffable across runs. *)
 
@@ -24,3 +24,26 @@ val pp : Format.formatter -> t -> unit
 val escape : string -> string
 (** The quoted-and-escaped form of a string literal (used internally;
     exposed for tests). *)
+
+val parse : string -> (t, string) result
+(** Parse one JSON value (recursive descent, full RFC 8259 value grammar;
+    \uXXXX escapes are decoded to UTF-8). Numbers without a fraction or
+    exponent become {!Int}, everything else {!Float}. Trailing non-space
+    input is an error. *)
+
+(** {2 Accessors}
+
+    Total helpers for picking apart parsed trees without matching. *)
+
+val member : string -> t -> t option
+(** [member key (Obj fields)] is the first binding of [key]; [None] on
+    missing keys and non-objects. *)
+
+val to_int_opt : t -> int option
+(** [Int] directly, or a [Float] that is integral. *)
+
+val to_float_opt : t -> float option
+(** [Float] directly, or any [Int]. *)
+
+val to_string_opt : t -> string option
+val to_list_opt : t -> t list option

@@ -25,6 +25,7 @@ type config = {
   seed : int;
   events : Ef_traffic.Demand.event list;
   peer_events : peer_event list;
+  faults : Ef_fault.Plan.t option;
 }
 
 let default_config =
@@ -43,6 +44,7 @@ let default_config =
     seed = 1;
     events = [];
     peer_events = [];
+    faults = None;
   }
 
 let make_config ?(cycle_s = default_config.cycle_s)
@@ -56,7 +58,7 @@ let make_config ?(cycle_s = default_config.cycle_s)
     ?(perf_aware = default_config.perf_aware)
     ?(perf_config = default_config.perf_config) ?(seed = default_config.seed)
     ?(events = default_config.events)
-    ?(peer_events = default_config.peer_events) () =
+    ?(peer_events = default_config.peer_events) ?faults () =
   {
     cycle_s;
     duration_s;
@@ -72,6 +74,7 @@ let make_config ?(cycle_s = default_config.cycle_s)
     seed;
     events;
     peer_events;
+    faults;
   }
 
 let with_cycle_s cycle_s c = { c with cycle_s }
@@ -88,6 +91,7 @@ let with_perf_config perf_config c = { c with perf_config }
 let with_seed seed c = { c with seed }
 let with_events events c = { c with events }
 let with_peer_events peer_events c = { c with peer_events }
+let with_faults faults c = { c with faults = Some faults }
 
 type placement_state = {
   actual : Ef.Projection.t;
@@ -105,6 +109,10 @@ type obs_handles = {
   sp_placement : Obs.Histogram.t;
   sp_accounting : Obs.Histogram.t;
   c_steps : Obs.Counter.t;
+  c_cycles_skipped : Obs.Counter.t;
+  c_sess_failures : Obs.Counter.t;
+  c_sess_retries : Obs.Counter.t;
+  c_sess_reconnects : Obs.Counter.t;
   g_offered : Obs.Gauge.t;
   g_detoured : Obs.Gauge.t;
   g_dropped : Obs.Gauge.t;
@@ -120,6 +128,10 @@ let obs_handles reg =
     sp_placement = Obs.Registry.span reg "engine.placement";
     sp_accounting = Obs.Registry.span reg "engine.accounting";
     c_steps = Obs.Registry.counter reg "engine.steps";
+    c_cycles_skipped = Obs.Registry.counter reg "engine.cycles_skipped";
+    c_sess_failures = Obs.Registry.counter reg "collector.session.failures";
+    c_sess_retries = Obs.Registry.counter reg "collector.session.retries";
+    c_sess_reconnects = Obs.Registry.counter reg "collector.session.reconnects";
     g_offered = Obs.Registry.gauge reg "engine.offered_bps";
     g_detoured = Obs.Registry.gauge reg "engine.detoured_bps";
     g_dropped = Obs.Registry.gauge reg "engine.dropped_bps";
@@ -143,6 +155,14 @@ type t = {
      peers are currently down *)
   saved_routes : (int, (Bgp.Prefix.t * Bgp.Attrs.t) list) Hashtbl.t;
   mutable peers_down : int list;
+  (* fault-plan injection (Ef_fault): link flaps keep their own saved
+     tables so they compose with scheduled peer_events *)
+  injector : Ef_fault.Injector.t option;
+  flap_saved : (int, (Bgp.Prefix.t * Bgp.Attrs.t) list) Hashtbl.t;
+  mutable flapped_down : int list;
+  mutable last_ctl_snapshot : Snapshot.t option;
+  bmp_session : Ef_collector.Retry.t;
+  mutable cycles_skipped : int;
 }
 
 let create ?(config = default_config) ?obs scenario =
@@ -190,6 +210,12 @@ let create ?(config = default_config) ?obs scenario =
     last_state = None;
     saved_routes = Hashtbl.create 8;
     peers_down = [];
+    injector = Option.map Ef_fault.Injector.create config.faults;
+    flap_saved = Hashtbl.create 8;
+    flapped_down = [];
+    last_ctl_snapshot = None;
+    bmp_session = Ef_collector.Retry.create ();
+    cycles_skipped = 0;
   }
 
 let config t = t.config
@@ -202,6 +228,9 @@ let measurer t = t.measurer
 let controller t = t.controller
 let now_s t = t.now
 let last_state t = t.last_state
+let injector t = t.injector
+let bmp_session t = t.bmp_session
+let cycles_skipped t = t.cycles_skipped
 
 (* apply scheduled session outages/recoveries for the window ending now *)
 let apply_peer_events t ~time_s =
@@ -227,6 +256,64 @@ let apply_peer_events t ~time_s =
       end)
     t.config.peer_events
 
+(* take flapping links up and down: a downed link drops every session on
+   it (routes flushed, exactly like apply_peer_events); when the outage
+   window ends the sessions return and re-announce their saved tables *)
+let apply_link_faults t ~time_s =
+  match t.injector with
+  | None -> ()
+  | Some inj ->
+      let pop = t.world.Ef_netsim.Topo_gen.pop in
+      List.iter
+        (fun iface ->
+          let iface_id = Ef_netsim.Iface.id iface in
+          let down = Ef_fault.Injector.link_down inj ~iface_id ~time_s in
+          List.iter
+            (fun peer ->
+              let pid = Bgp.Peer.id peer in
+              let is_down = List.mem pid t.flapped_down in
+              if down && not is_down then begin
+                if not (Hashtbl.mem t.flap_saved pid) then
+                  Hashtbl.replace t.flap_saved pid
+                    (Bgp.Rib.adj_rib_in (Ef_netsim.Pop.rib pop) ~peer_id:pid);
+                ignore (Ef_netsim.Pop.drop_peer pop ~peer_id:pid);
+                t.flapped_down <- pid :: t.flapped_down
+              end
+              else if (not down) && is_down then begin
+                List.iter
+                  (fun (prefix, attrs) ->
+                    ignore (Ef_netsim.Pop.announce pop ~peer_id:pid prefix attrs))
+                  (Option.value (Hashtbl.find_opt t.flap_saved pid) ~default:[]);
+                Hashtbl.remove t.flap_saved pid;
+                t.flapped_down <- List.filter (fun id -> id <> pid) t.flapped_down
+              end)
+            (Ef_netsim.Pop.peers_on_iface pop ~iface_id))
+        (Ef_netsim.Pop.interfaces pop)
+
+(* interface list as SNMP would report it under the active faults:
+   capacity-derated copies for degraded links, floored at 1 bps so
+   utilization stays well-defined on a fully-down link *)
+let eff_ifaces t ~time_s =
+  let ifaces = Ef_netsim.Pop.interfaces t.world.Ef_netsim.Topo_gen.pop in
+  match t.injector with
+  | None -> ifaces
+  | Some inj ->
+      List.map
+        (fun iface ->
+          let factor =
+            Ef_fault.Injector.capacity_factor inj
+              ~iface_id:(Ef_netsim.Iface.id iface) ~time_s
+          in
+          if factor >= 1.0 then iface
+          else
+            Ef_netsim.Iface.make
+              ~id:(Ef_netsim.Iface.id iface)
+              ~name:(Ef_netsim.Iface.name iface)
+              ~capacity_bps:
+                (Float.max 1.0 (Ef_netsim.Iface.capacity_bps iface *. factor))
+              ~shared:(Ef_netsim.Iface.shared iface))
+        ifaces
+
 let rate_floor = 1_000.0 (* ignore demand under 1 kbps *)
 
 let true_rates t ~time_s =
@@ -236,15 +323,31 @@ let true_rates t ~time_s =
       if rate > rate_floor then Some (prefix, rate) else None)
     t.world.Ef_netsim.Topo_gen.all_prefixes
 
-let estimated_rates t ~truth =
+let estimated_rates t ~truth ~time_s =
   if not t.config.use_sampling then truth
   else begin
+    let drop, burst =
+      match t.injector with
+      | None -> (0.0, 1.0)
+      | Some inj ->
+          ( Ef_fault.Injector.sflow_drop_fraction inj ~time_s,
+            Ef_fault.Injector.sflow_burst_multiplier inj ~time_s )
+    in
     let samples =
       List.map
         (fun (prefix, rate) ->
           Ef_traffic.Sflow.sample_rate t.config.sflow t.rng ~prefix
-            ~rate_bps:rate)
+            ~rate_bps:(rate *. burst))
         truth
+    in
+    (* sample loss draws from the injector's own rng, after the workload
+       sampling above — fault randomness never shifts the workload stream *)
+    let samples =
+      match t.injector with
+      | Some inj when drop > 0.0 ->
+          let frng = Ef_fault.Injector.rng inj in
+          List.filter (fun _ -> Rng.float frng 1.0 >= drop) samples
+      | _ -> samples
     in
     Ef_traffic.Rate_est.observe t.estimator samples;
     Ef_traffic.Rate_est.tick_absent t.estimator;
@@ -253,15 +356,18 @@ let estimated_rates t ~truth =
     |> List.filter (fun (_, r) -> r > rate_floor)
   end
 
-let snapshot_of_rates t rates ~time_s =
-  Snapshot.of_pop ~obs:t.obs.reg t.world.Ef_netsim.Topo_gen.pop
+let snapshot_of_rates ?ifaces t rates ~time_s =
+  Snapshot.of_pop ~obs:t.obs.reg ?ifaces t.world.Ef_netsim.Topo_gen.pop
     ~prefix_rates:rates ~time_s
 
 let snapshot_now t =
-  let truth = true_rates t ~time_s:t.now in
-  snapshot_of_rates t (estimated_rates t ~truth) ~time_s:t.now
+  let time_s = t.now in
+  let truth = true_rates t ~time_s in
+  snapshot_of_rates ~ifaces:(eff_ifaces t ~time_s) t
+    (estimated_rates t ~truth ~time_s)
+    ~time_s
 
-let iface_stats t ~actual ~preferred =
+let iface_stats ~ifaces ~actual ~preferred =
   List.map
     (fun iface ->
       let id = Ef_netsim.Iface.id iface in
@@ -271,7 +377,7 @@ let iface_stats t ~actual ~preferred =
         actual_bps = Ef.Projection.load_bps actual ~iface_id:id;
         preferred_bps = Ef.Projection.load_bps preferred ~iface_id:id;
       })
-    (Ef_netsim.Pop.interfaces t.world.Ef_netsim.Topo_gen.pop)
+    ifaces
 
 let dropped_bps proj ifaces =
   List.fold_left
@@ -283,13 +389,9 @@ let dropped_bps proj ifaces =
     0.0 ifaces
 
 (* traffic-weighted mean RTT of a placement, with congestion *)
-let weighted_rtt t proj =
+let weighted_rtt t proj ~ifaces =
   let util_of iface_id =
-    match
-      List.find_opt
-        (fun i -> Ef_netsim.Iface.id i = iface_id)
-        (Ef_netsim.Pop.interfaces t.world.Ef_netsim.Topo_gen.pop)
-    with
+    match List.find_opt (fun i -> Ef_netsim.Iface.id i = iface_id) ifaces with
     | None -> 0.0
     | Some iface -> Ef.Projection.utilization proj iface
   in
@@ -327,33 +429,80 @@ let step t =
   Obs.Span.time_h ob.reg ob.sp_step @@ fun () ->
   let time_s = t.now in
   apply_peer_events t ~time_s;
+  apply_link_faults t ~time_s;
+  let fault_ifaces = eff_ifaces t ~time_s in
   let truth =
     Obs.Span.time_h ob.reg ob.sp_demand (fun () -> true_rates t ~time_s)
   in
   let est =
-    Obs.Span.time_h ob.reg ob.sp_estimate (fun () -> estimated_rates t ~truth)
+    Obs.Span.time_h ob.reg ob.sp_estimate (fun () ->
+        estimated_rates t ~truth ~time_s)
   in
-  let ctl_snapshot = snapshot_of_rates t est ~time_s in
+  (* collector feed faults: a BMP stall freezes the controller's view at
+     the last snapshot assembled before the stall (its timestamp included,
+     so snapshot age accumulates and the controller's staleness guard can
+     fire); the session retry machine backs off against the stall *)
+  let stalled, skipped, delay_s =
+    match t.injector with
+    | None -> (false, false, 0)
+    | Some inj ->
+        ( Ef_fault.Injector.bmp_stalled inj ~time_s,
+          Ef_fault.Injector.cycle_skipped inj ~time_s,
+          Ef_fault.Injector.cycle_delay_s inj ~time_s )
+  in
+  let fresh_snapshot = snapshot_of_rates ~ifaces:fault_ifaces t est ~time_s in
+  let ctl_snapshot =
+    if stalled then Option.value t.last_ctl_snapshot ~default:fresh_snapshot
+    else begin
+      t.last_ctl_snapshot <- Some fresh_snapshot;
+      fresh_snapshot
+    end
+  in
+  if stalled then begin
+    if Ef_collector.Retry.healthy t.bmp_session then begin
+      Ef_collector.Retry.on_failure t.bmp_session ~time_s;
+      Obs.Counter.inc ob.c_sess_failures
+    end
+    else if Ef_collector.Retry.should_retry t.bmp_session ~time_s then begin
+      Obs.Counter.inc ob.c_sess_retries;
+      Ef_collector.Retry.on_failure t.bmp_session ~time_s;
+      Obs.Counter.inc ob.c_sess_failures
+    end
+  end
+  else if not (Ef_collector.Retry.healthy t.bmp_session) then begin
+    Ef_collector.Retry.on_success t.bmp_session;
+    Obs.Counter.inc ob.c_sess_reconnects
+  end;
 
-  (* controller round *)
-  let active, added, removed, residual =
+  (* controller round — a skipped cycle holds the installed override set
+     untouched; a delayed cycle runs against a view [delay_s] old *)
+  let active, added, removed, residual, ctl_degraded =
     Obs.Span.time_h ob.reg ob.sp_controller @@ fun () ->
     match t.controller with
-    | None -> ([], 0, 0, 0)
+    | None -> ([], 0, 0, 0, None)
     | Some ctrl ->
-        let stats = Ef.Controller.cycle ctrl ctl_snapshot in
-        Metrics.record_removals t.metrics
-          (List.map
-             (fun (o, age) ->
-               {
-                 Metrics.removed_prefix = o.Ef.Override.prefix;
-                 lifetime_s = age;
-               })
-             (Ef.Controller.overrides_removed stats));
-        ( Ef.Controller.overrides_enforced stats,
-          List.length (Ef.Controller.overrides_added stats),
-          List.length (Ef.Controller.overrides_removed stats),
-          List.length (Ef.Controller.residual_overloads stats) )
+        if skipped then begin
+          t.cycles_skipped <- t.cycles_skipped + 1;
+          Obs.Counter.inc ob.c_cycles_skipped;
+          (Ef.Controller.active_overrides ctrl, 0, 0, 0, None)
+        end
+        else begin
+          let now_s = time_s + delay_s in
+          let stats = Ef.Controller.cycle ~now_s ctrl ctl_snapshot in
+          Metrics.record_removals t.metrics
+            (List.map
+               (fun (o, age) ->
+                 {
+                   Metrics.removed_prefix = o.Ef.Override.prefix;
+                   lifetime_s = age;
+                 })
+               (Ef.Controller.overrides_removed stats));
+          ( Ef.Controller.overrides_enforced stats,
+            List.length (Ef.Controller.overrides_added stats),
+            List.length (Ef.Controller.overrides_removed stats),
+            List.length (Ef.Controller.residual_overloads stats),
+            Ef.Controller.degraded stats )
+        end
   in
 
   (* performance-aware stage (§7): steer measured-faster prefixes, but
@@ -391,7 +540,7 @@ let step t =
     in
     (true_snapshot, actual, Ef.Projection.project true_snapshot)
   in
-  let ifaces = Ef_netsim.Pop.interfaces t.world.Ef_netsim.Topo_gen.pop in
+  let ifaces = fault_ifaces in
 
   Obs.Span.time_h ob.reg ob.sp_accounting (fun () ->
       (* SNMP counters see the actual egress volumes *)
@@ -428,11 +577,11 @@ let step t =
       overrides_active = List.length active;
       overrides_added = added;
       overrides_removed = removed;
-      ifaces = iface_stats t ~actual ~preferred;
+      ifaces = iface_stats ~ifaces ~actual ~preferred;
       dropped_bps = dropped_bps actual ifaces;
       dropped_preferred_bps = dropped_bps preferred ifaces;
-      weighted_rtt_ms = weighted_rtt t actual;
-      weighted_rtt_preferred_ms = weighted_rtt t preferred;
+      weighted_rtt_ms = weighted_rtt t actual ~ifaces;
+      weighted_rtt_preferred_ms = weighted_rtt t preferred ~ifaces;
       residual_overloads = residual;
       detour_levels = detour_levels active actual;
       perf_overrides_active = List.length perf_overrides;
@@ -443,8 +592,8 @@ let step t =
   Obs.Gauge.set ob.g_offered row.Metrics.offered_bps;
   Obs.Gauge.set ob.g_detoured row.Metrics.detoured_bps;
   Obs.Gauge.set ob.g_dropped row.Metrics.dropped_bps;
-  if Obs.Registry.has_sinks ob.reg then
-    Obs.Registry.emit ob.reg ~name:"engine.step"
+  if Obs.Registry.has_sinks ob.reg then begin
+    let fields =
       [
         ("time_s", Obs.Json.Int time_s);
         ("offered_bps", Obs.Json.Float row.Metrics.offered_bps);
@@ -452,7 +601,29 @@ let step t =
         ("dropped_bps", Obs.Json.Float row.Metrics.dropped_bps);
         ("overrides_active", Obs.Json.Int row.Metrics.overrides_active);
         ("residual_overloads", Obs.Json.Int row.Metrics.residual_overloads);
-      ];
+      ]
+      @ (match ctl_degraded with
+        | None -> []
+        | Some reason ->
+            [
+              ( "degraded",
+                Obs.Json.String (Ef.Controller.degradation_reason reason) );
+            ])
+      @
+      match t.injector with
+      | None -> []
+      | Some inj -> (
+          match Ef_fault.Injector.active_labels inj ~time_s with
+          | [] -> []
+          | labels ->
+              [
+                ( "faults",
+                  Obs.Json.List (List.map (fun l -> Obs.Json.String l) labels)
+                );
+              ])
+    in
+    Obs.Registry.emit ob.reg ~name:"engine.step" fields
+  end;
   t.last_state <- Some { actual; preferred; active_overrides = active };
   t.now <- t.now + t.config.cycle_s;
   row

@@ -46,6 +46,10 @@ type config = {
   seed : int;
   events : Ef_traffic.Demand.event list;
   peer_events : peer_event list;
+  faults : Ef_fault.Plan.t option;
+      (** deterministic fault plan injected into this run: link flaps,
+          capacity degradations, feed stalls, cycle skips/delays (see
+          {!Ef_fault.Plan}); [None] = healthy run *)
 }
 
 val default_config : config
@@ -67,6 +71,7 @@ val make_config :
   ?seed:int ->
   ?events:Ef_traffic.Demand.event list ->
   ?peer_events:peer_event list ->
+  ?faults:Ef_fault.Plan.t ->
   unit ->
   config
 (** Every omitted field takes its {!default_config} value. *)
@@ -88,6 +93,9 @@ val with_perf_config : Ef_altpath.Perf_policy.config -> config -> config
 val with_seed : int -> config -> config
 val with_events : Ef_traffic.Demand.event list -> config -> config
 val with_peer_events : peer_event list -> config -> config
+
+val with_faults : Ef_fault.Plan.t -> config -> config
+(** Inject a fault plan (wraps it in [Some] for you). *)
 
 type t
 
@@ -111,6 +119,17 @@ val latency : t -> Ef_netsim.Latency.t
 val measurer : t -> Ef_altpath.Measurer.t option
 val controller : t -> Edge_fabric.Controller.t option
 val now_s : t -> int
+
+val injector : t -> Ef_fault.Injector.t option
+(** The compiled fault plan this engine polls, when one was configured. *)
+
+val bmp_session : t -> Ef_collector.Retry.t
+(** The BMP feed's retry state machine — driven by injected stalls; its
+    failure/retry/reconnect counts also land on the
+    [collector.session.*] counters. *)
+
+val cycles_skipped : t -> int
+(** Controller rounds suppressed by an injected [Cycle_skip] so far. *)
 
 val step : t -> Metrics.cycle_row
 (** Run one cycle and advance time. *)

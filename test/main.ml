@@ -27,6 +27,7 @@ let () =
       ("guard", Test_guard.suite);
       ("altpath", Test_altpath.suite);
       ("engine", Test_engine.suite);
+      ("fault", Test_fault.suite);
       ("wire-pop", Test_wire_pop.suite);
       ("fleet", Test_fleet.suite);
       ("properties", Test_properties.suite);

@@ -220,6 +220,136 @@ let test_controller_bad_config_rejected () =
            ~config:(Ef.Config.make ~override_local_pref:100 ())
            ~name:"bad" ()))
 
+(* --- invariants under fault injection ----------------------------------- *)
+
+(* Drive a controller through the canned chaos plan over the generated
+   tiny world, presenting it exactly what the engine would: derated
+   interface lists, stalled (cached) snapshots, delayed clocks. Whatever
+   the faults do, two things must hold after every cycle:
+   - no interface carries enforced load above its guard threshold unless
+     the allocator declared it residual (capacity genuinely exhausted) or
+     the cycle failed static (held overrides are not recomputed);
+   - every prefix that has any candidate route is placed somewhere. *)
+let test_controller_fault_invariants () =
+  let world = N.Topo_gen.generate N.Topo_gen.small_config in
+  let pop = world.N.Topo_gen.pop in
+  let plan =
+    match N.Scenario.find_fault_plan "chaos" with
+    | Some p -> p
+    | None -> Alcotest.fail "canned chaos plan missing"
+  in
+  let inj = Ef_fault.Injector.create plan in
+  let config = Ef.Config.make ~max_snapshot_age_s:60 () in
+  let ctrl = Ef.Controller.create ~config ~name:"fault-inv" () in
+  let rng = Ef_util.Rng.create 42 in
+  let last_snap = ref None in
+  (* a downed link drops every session on it, exactly as the engine's
+     injector wiring does; the outage ending re-announces saved tables *)
+  let flap_saved = Hashtbl.create 8 in
+  let flapped_down = ref [] in
+  let apply_flaps time_s =
+    List.iter
+      (fun iface ->
+        let iface_id = N.Iface.id iface in
+        let down = Ef_fault.Injector.link_down inj ~iface_id ~time_s in
+        List.iter
+          (fun peer ->
+            let pid = Bgp.Peer.id peer in
+            let is_down = List.mem pid !flapped_down in
+            if down && not is_down then begin
+              if not (Hashtbl.mem flap_saved pid) then
+                Hashtbl.replace flap_saved pid
+                  (Bgp.Rib.adj_rib_in (N.Pop.rib pop) ~peer_id:pid);
+              ignore (N.Pop.drop_peer pop ~peer_id:pid);
+              flapped_down := pid :: !flapped_down
+            end
+            else if (not down) && is_down then begin
+              List.iter
+                (fun (prefix, attrs) ->
+                  ignore (N.Pop.announce pop ~peer_id:pid prefix attrs))
+                (Option.value (Hashtbl.find_opt flap_saved pid) ~default:[]);
+              Hashtbl.remove flap_saved pid;
+              flapped_down := List.filter (fun id -> id <> pid) !flapped_down
+            end)
+          (N.Pop.peers_on_iface pop ~iface_id))
+      (N.Pop.interfaces pop)
+  in
+  for cycle = 0 to 19 do
+    let time_s = cycle * 30 in
+    apply_flaps time_s;
+    let ifaces =
+      List.map
+        (fun iface ->
+          let factor =
+            Ef_fault.Injector.capacity_factor inj
+              ~iface_id:(N.Iface.id iface) ~time_s
+          in
+          if factor >= 1.0 then iface
+          else
+            N.Iface.make ~id:(N.Iface.id iface) ~name:(N.Iface.name iface)
+              ~capacity_bps:
+                (Float.max 1.0 (N.Iface.capacity_bps iface *. factor))
+              ~shared:(N.Iface.shared iface))
+        (N.Pop.interfaces pop)
+    in
+    let rates =
+      List.filter_map
+        (fun p ->
+          let w = world.N.Topo_gen.prefix_weight p in
+          let jitter = 0.5 +. Ef_util.Rng.float rng 1.0 in
+          let bps = w *. world.N.Topo_gen.total_peak_bps *. jitter in
+          if bps > 1_000.0 then Some (p, bps) else None)
+        world.N.Topo_gen.all_prefixes
+    in
+    let fresh = C.Snapshot.of_pop ~ifaces pop ~prefix_rates:rates ~time_s in
+    let snap =
+      if Ef_fault.Injector.bmp_stalled inj ~time_s then
+        Option.value !last_snap ~default:fresh
+      else begin
+        last_snap := Some fresh;
+        fresh
+      end
+    in
+    let now_s = time_s + Ef_fault.Injector.cycle_delay_s inj ~time_s in
+    let stats = Ef.Controller.cycle ~now_s ctrl snap in
+    (* 1: the allocator never *assigns* above the configured limit — its
+       final projection exceeds the overload threshold only on interfaces
+       it declared residual (capacity genuinely exhausted). Checked on the
+       allocation itself: the enforced set may lag it transiently because
+       hysteresis holds overrides, which is damping, not over-allocation.
+       Degraded cycles deliberately skip recomputation. *)
+    (if Ef.Controller.degraded stats = None then
+       let residual_ids =
+         List.map
+           (fun (i, _) -> N.Iface.id i)
+           (Ef.Controller.residual_overloads stats)
+       in
+       let final = stats.Ef.Controller.allocator.Ef.Allocator.final in
+       List.iter
+         (fun (iface, util) ->
+           if not (List.mem (N.Iface.id iface) residual_ids) then
+             Alcotest.failf
+               "t=%d: iface %s allocated to %.2f over limit but not declared \
+                residual"
+               time_s (N.Iface.name iface) util)
+         (Ef.Projection.overloaded final
+            ~threshold:(Ef.Config.default.Ef.Config.overload_threshold)));
+    (* 2: every prefix with a candidate route keeps a placement *)
+    let placed =
+      List.fold_left
+        (fun acc pl -> Bgp.Prefix.to_string pl.Ef.Projection.placed_prefix :: acc)
+        []
+        (Ef.Projection.placements stats.Ef.Controller.enforced)
+    in
+    List.iter
+      (fun (p, _) ->
+        if C.Snapshot.routes snap p <> [] then
+          if not (List.mem (Bgp.Prefix.to_string p) placed) then
+            Alcotest.failf "t=%d: prefix %s has routes but no placement" time_s
+              (Bgp.Prefix.to_string p))
+      (C.Snapshot.prefix_rates snap)
+  done
+
 let suite =
   [
     Alcotest.test_case "hysteresis installs new" `Quick test_hysteresis_installs_new;
@@ -239,4 +369,6 @@ let suite =
     Alcotest.test_case "controller stateless restart" `Quick
       test_controller_stateless_across_restart;
     Alcotest.test_case "controller bad config" `Quick test_controller_bad_config_rejected;
+    Alcotest.test_case "controller fault invariants" `Quick
+      test_controller_fault_invariants;
   ]

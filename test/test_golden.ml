@@ -1,8 +1,17 @@
 (* Golden wire images: exact byte-level expectations for the codecs.
 
-   Computed by hand from RFC 4271/7854 — these pin the wire format so a
-   refactor that still round-trips but changes the encoding (field order,
-   widths, flags) is caught. *)
+   Expected bytes live in committed files under test/golden/*.hex (hex,
+   one line per image), originally computed by hand from RFC 4271/7854 —
+   they pin the wire format so a refactor that still round-trips but
+   changes the encoding (field order, widths, flags) is caught.
+
+   On mismatch the failure shows both images and how to regenerate; when
+   a wire-format change is intentional, refresh the files with
+
+     GOLDEN_UPDATE=1 dune exec test/main.exe -- test golden
+
+   from the repository root (running under plain `dune runtest` only
+   rewrites the sandboxed copies). *)
 
 module Bgp = Ef_bgp
 module C = Ef_collector
@@ -11,35 +20,68 @@ open Helpers
 let hex_of_string s =
   String.concat "" (List.map (Printf.sprintf "%02x") (List.map Char.code (List.init (String.length s) (String.get s))))
 
+(* the goldens live in test/golden relative to the repo root and in
+   golden/ relative to the dune test sandbox; find whichever exists *)
+let golden_dir =
+  lazy
+    (List.find_opt
+       (fun d -> Sys.file_exists d && Sys.is_directory d)
+       [ "golden"; "test/golden" ])
+
+let golden_path name =
+  match Lazy.force golden_dir with
+  | Some d -> Filename.concat d (name ^ ".hex")
+  | None -> Alcotest.fail "no golden directory found (golden/ or test/golden/)"
+
+let read_golden name =
+  let path = golden_path name in
+  if not (Sys.file_exists path) then None
+  else begin
+    let ic = open_in_bin path in
+    let contents = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    Some (String.trim contents)
+  end
+
+let regenerate_hint = "GOLDEN_UPDATE=1 dune exec test/main.exe -- test golden"
+
+let check_golden name actual =
+  let hex = hex_of_string actual in
+  if Sys.getenv_opt "GOLDEN_UPDATE" = Some "1" then begin
+    let oc = open_out_bin (golden_path name) in
+    output_string oc (hex ^ "\n");
+    close_out oc
+  end
+  else
+    match read_golden name with
+    | None ->
+        Alcotest.failf "missing golden file %s — create it with:\n  %s"
+          (golden_path name) regenerate_hint
+    | Some expected ->
+        if not (String.equal expected hex) then
+          Alcotest.failf
+            "wire image for %S differs from %s:\n\
+            \  expected: %s\n\
+            \  actual:   %s\n\
+             If this wire-format change is intentional, regenerate with:\n\
+            \  %s"
+            name (golden_path name) expected hex regenerate_hint
+
 let check_hex name expected actual =
   Alcotest.(check string) name expected (hex_of_string actual)
 
-let marker = String.concat "" (List.init 16 (fun _ -> "ff"))
-
 let test_keepalive_bytes () =
   (* 16 x ff, length 0x0013 = 19, type 4 *)
-  check_hex "keepalive" (marker ^ "00" ^ "13" ^ "04")
-    (Bgp.Codec.encode Bgp.Msg.Keepalive)
+  check_golden "keepalive" (Bgp.Codec.encode Bgp.Msg.Keepalive)
 
 let test_open_bytes () =
   (* OPEN: version 4, my_as 64500 = 0xfbf4, hold 90 = 0x005a,
      id 10.0.0.1 = 0a000001, opt params: type 2 (caps) len 6:
-     cap 65 (0x41) len 4: 64500 = 0x0000fbf4.
-     body = 01 + 2 + 2 + 4 + 1 + 8 = 10 + 8? count: version(1) as(2)
-     hold(2) id(4) optlen(1) + params(8) = 18; total 19+18 = 37 = 0x25 *)
+     cap 65 (0x41) len 4: 64500 = 0x0000fbf4. *)
   let msg =
     Bgp.Msg.make_open ~asn:(Bgp.Asn.of_int 64500) ~bgp_id:(ip "10.0.0.1") ()
   in
-  check_hex "open"
-    (marker ^ "0025" ^ "01" (* type OPEN *)
-    ^ "04" (* version *)
-    ^ "fbf4" (* my AS *)
-    ^ "005a" (* hold time *)
-    ^ "0a000001" (* bgp id *)
-    ^ "08" (* opt params len *)
-    ^ "02" ^ "06" (* param: capabilities, 6 bytes *)
-    ^ "41" ^ "04" ^ "0000fbf4" (* 4-octet-AS capability *))
-    (Bgp.Codec.encode msg)
+  check_golden "open" (Bgp.Codec.encode msg)
 
 let test_open_as_trans_bytes () =
   (* a 4-byte ASN puts AS_TRANS (23456 = 0x5ba0) in the 2-byte field *)
@@ -53,43 +95,28 @@ let test_open_as_trans_bytes () =
     (String.sub wire (String.length wire - 4) 4)
 
 let test_update_bytes () =
-  (* UPDATE with no withdrawals, ORIGIN+AS_PATH+NEXT_HOP, one /24.
-     attrs:
+  (* UPDATE with no withdrawals, ORIGIN+AS_PATH+NEXT_HOP, one /24:
        ORIGIN:   40 01 01 00
        AS_PATH:  40 02 06 02 01 0000fbf4   (one SEQ of one 4-byte ASN)
        NEXT_HOP: 40 03 04 0a000001
-     attr bytes = 4 + 9 + 7 = 20 = 0x14
-     nlri: 18 cb 00 71  (203.0.113.0/24)
-     body = 2 (withdrawn len) + 2 (attr len) + 20 + 4 = 28; total 47 = 0x2f *)
+     nlri: 18 cb 00 71  (203.0.113.0/24) *)
   let attrs =
     Bgp.Attrs.make
       ~as_path:(Bgp.As_path.of_list [ Bgp.Asn.of_int 64500 ])
       ~next_hop:(ip "10.0.0.1") ()
   in
   let msg = Bgp.Msg.make_update ~attrs ~nlri:[ prefix "203.0.113.0/24" ] () in
-  check_hex "update"
-    (marker ^ "002f" ^ "02" (* type UPDATE *)
-    ^ "0000" (* withdrawn routes length *)
-    ^ "0014" (* total path attribute length *)
-    ^ "400101" ^ "00" (* ORIGIN IGP *)
-    ^ "400206" ^ "0201" ^ "0000fbf4" (* AS_PATH: SEQ(1): 64500 *)
-    ^ "400304" ^ "0a000001" (* NEXT_HOP *)
-    ^ "18" ^ "cb0071" (* 203.0.113.0/24 *))
-    (Bgp.Codec.encode msg)
+  check_golden "update" (Bgp.Codec.encode msg)
 
 let test_update_withdraw_bytes () =
-  (* withdraw-only UPDATE: withdrawn len 4 (one /24), attr len 0.
-     total 19 + 2 + 4 + 2 = 27 = 0x1b *)
+  (* withdraw-only UPDATE: withdrawn len 4 (one /24), attr len 0 *)
   let msg = Bgp.Msg.make_update ~withdrawn:[ prefix "203.0.113.0/24" ] () in
-  check_hex "withdraw"
-    (marker ^ "001b" ^ "02" ^ "0004" ^ "18cb0071" ^ "0000")
-    (Bgp.Codec.encode msg)
+  check_golden "withdraw" (Bgp.Codec.encode msg)
 
 let test_notification_bytes () =
-  (* NOTIFICATION hold-timer-expired: code 4 subcode 0; total 21 = 0x15 *)
+  (* NOTIFICATION hold-timer-expired: code 4 subcode 0 *)
   let msg = Bgp.Msg.Notification { code = Bgp.Msg.Hold_timer_expired; data = "" } in
-  check_hex "notification" (marker ^ "0015" ^ "03" ^ "04" ^ "00")
-    (Bgp.Codec.encode msg)
+  check_golden "notification" (Bgp.Codec.encode msg)
 
 let test_communities_bytes () =
   (* COMMUNITIES attr: flags c0 (optional transitive), type 08, len 04,
@@ -106,17 +133,14 @@ let test_communities_bytes () =
     (Helpers.string_contains ~needle:"\xc0\x08\x04\xfd\xe8\x03\x8f" wire)
 
 let test_route_refresh_bytes () =
-  (* type 5, afi 1, reserved 0, safi 1; total 23 = 0x17 *)
-  check_hex "route refresh" (marker ^ "0017" ^ "05" ^ "0001" ^ "00" ^ "01")
+  (* type 5, afi 1, reserved 0, safi 1 *)
+  check_golden "route_refresh"
     (Bgp.Codec.encode (Bgp.Msg.Route_refresh { afi = 1; safi = 1 }))
 
 let test_bmp_header_bytes () =
-  (* BMP common header: version 3, length, type 5 (termination) + TLV *)
-  let wire = C.Bmp.encode (C.Bmp.Termination { reason = 1 }) in
-  check_hex "bmp termination"
-    ("03" ^ "0000000c" ^ "05" (* version, length 12, type *)
-    ^ "0001" ^ "0002" ^ "0001" (* TLV type 1, len 2, reason 1 *))
-    wire
+  (* BMP common header: version 3, length 12, type 5 (termination) + TLV
+     (type 1, len 2, reason 1) *)
+  check_golden "bmp_termination" (C.Bmp.encode (C.Bmp.Termination { reason = 1 }))
 
 let test_prefix_padding_bits_masked () =
   (* RFC: trailing bits in the prefix field are irrelevant; decoder must
@@ -127,6 +151,7 @@ let test_prefix_padding_bits_masked () =
   let body_hex = "0000" ^ "0014" ^ attrs_hex ^ "14" ^ "0a01ff" in
   (* /20 = 0x14, bytes 0a 01 f0|0f: 10.1.240+15... 0a01ff has low 4 bits set *)
   let total = 19 + (String.length body_hex / 2) in
+  let marker = String.concat "" (List.init 16 (fun _ -> "ff")) in
   let hex = marker ^ Printf.sprintf "%04x" total ^ "02" ^ body_hex in
   let wire =
     String.init (String.length hex / 2) (fun i ->

@@ -211,8 +211,168 @@ let prop_controller_enforced_within_thresholds =
         (fun (iface, _) -> List.mem (N.Iface.id iface) residual_ids)
         stats.Ef.Controller.overloaded_after)
 
+(* --- wire-codec fuzz ----------------------------------------------------- *)
+
+(* Deterministic Rng-driven fuzz (Ef_util.Rng, fixed seeds): round-trip
+   decode∘encode = id for each codec, and totality — a decoder fed
+   truncated or bit-flipped bytes returns an error, it never raises. *)
+
+let fuzz_cases = 500
+
+let rng_fuzz name f =
+  Alcotest.test_case name `Quick (fun () ->
+      let rng = Ef_util.Rng.create 0xF00D in
+      for case = 1 to fuzz_cases do
+        f rng ~case
+      done)
+
+let gen_ip rng = Bgp.Ipv4.of_int32 (Int32.of_int (Ef_util.Rng.int rng 0x3FFFFFFF))
+
+let gen_prefix rng =
+  Bgp.Prefix.make (gen_ip rng) (Ef_util.Rng.int rng 33)
+
+let gen_attrs rng =
+  let path =
+    List.init
+      (1 + Ef_util.Rng.int rng 5)
+      (fun _ -> Bgp.Asn.of_int (1 + Ef_util.Rng.int rng 100_000))
+  in
+  Bgp.Attrs.make
+    ~origin:(Ef_util.Rng.pick rng [| Bgp.Attrs.Igp; Bgp.Attrs.Egp; Bgp.Attrs.Incomplete |])
+    ~med:(if Ef_util.Rng.bool rng then Some (Ef_util.Rng.int rng 10_000) else None)
+    ~local_pref:
+      (if Ef_util.Rng.bool rng then Some (Ef_util.Rng.int rng 1_000) else None)
+    ~communities:
+      (List.init (Ef_util.Rng.int rng 4) (fun _ ->
+           Bgp.Community.make (Ef_util.Rng.int rng 65_536) (Ef_util.Rng.int rng 65_536)))
+    ~as_path:(Bgp.As_path.of_list path)
+    ~next_hop:(gen_ip rng) ()
+
+let gen_bgp_update rng =
+  let withdrawn = List.init (Ef_util.Rng.int rng 4) (fun _ -> gen_prefix rng) in
+  let nlri = List.init (Ef_util.Rng.int rng 6) (fun _ -> gen_prefix rng) in
+  if nlri = [] then Bgp.Msg.make_update ~withdrawn ()
+  else Bgp.Msg.make_update ~withdrawn ~attrs:(gen_attrs rng) ~nlri ()
+
+(* mutate one random bit of a wire image *)
+let bit_flip rng s =
+  if String.length s = 0 then s
+  else begin
+    let b = Bytes.of_string s in
+    let i = Ef_util.Rng.int rng (Bytes.length b) in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl Ef_util.Rng.int rng 8)));
+    Bytes.to_string b
+  end
+
+let truncate rng s =
+  if String.length s = 0 then s else String.sub s 0 (Ef_util.Rng.int rng (String.length s))
+
+let fuzz_bgp_codec =
+  rng_fuzz "bgp codec fuzz roundtrip (500)" (fun rng ~case ->
+      let msg = gen_bgp_update rng in
+      let wire = Bgp.Codec.encode msg in
+      (match Bgp.Codec.decode wire with
+      | Ok (decoded, consumed) ->
+          if consumed <> String.length wire || not (Bgp.Msg.equal msg decoded)
+          then
+            Alcotest.failf "case %d: roundtrip mismatch for %s" case
+              (Format.asprintf "%a" Bgp.Msg.pp msg)
+      | Error e ->
+          Alcotest.failf "case %d: decode of own encoding failed: %s" case
+            (Bgp.Codec.error_to_string e));
+      (* totality: truncations and bit flips produce Ok/Error, no raise *)
+      (match Bgp.Codec.decode (truncate rng wire) with Ok _ | Error _ -> ());
+      match Bgp.Codec.decode (bit_flip rng wire) with Ok _ | Error _ -> ())
+
+let gen_sflow_datagram rng =
+  let gen_sample () =
+    {
+      C.Sflow_codec.sample_seq = Ef_util.Rng.int rng 1_000_000;
+      source_id = Ef_util.Rng.int rng 1_000;
+      sampling_rate = 1 + Ef_util.Rng.int rng 10_000;
+      sample_pool = Ef_util.Rng.int rng 10_000_000;
+      drops = Ef_util.Rng.int rng 100;
+      packet =
+        {
+          C.Sflow_codec.dst = gen_ip rng;
+          frame_length = 20 + Ef_util.Rng.int rng 65_000;
+        };
+    }
+  in
+  {
+    C.Sflow_codec.agent = gen_ip rng;
+    sub_agent = Ef_util.Rng.int rng 16;
+    datagram_seq = Ef_util.Rng.int rng 1_000_000;
+    uptime_ms = Ef_util.Rng.int rng 1_000_000_000;
+    samples =
+      List.init
+        (Ef_util.Rng.int rng (C.Sflow_codec.max_samples_per_datagram + 1))
+        (fun _ -> gen_sample ());
+  }
+
+let fuzz_sflow_codec =
+  rng_fuzz "sflow codec fuzz roundtrip (500)" (fun rng ~case ->
+      let dg = gen_sflow_datagram rng in
+      let wire = C.Sflow_codec.encode dg in
+      (match C.Sflow_codec.decode wire with
+      | Ok decoded ->
+          if decoded <> dg then Alcotest.failf "case %d: datagram mismatch" case
+      | Error e ->
+          Alcotest.failf "case %d: decode of own encoding failed: %s" case
+            (Format.asprintf "%a" C.Sflow_codec.pp_error e));
+      (match C.Sflow_codec.decode (truncate rng wire) with
+      | Ok _ | Error _ -> ());
+      match C.Sflow_codec.decode (bit_flip rng wire) with Ok _ | Error _ -> ())
+
+let gen_mrt rng =
+  let peers =
+    List.init
+      (1 + Ef_util.Rng.int rng 5)
+      (fun _ ->
+        {
+          Bgp.Mrt.peer_bgp_id = gen_ip rng;
+          peer_addr = gen_ip rng;
+          peer_asn = Bgp.Asn.of_int (1 + Ef_util.Rng.int rng 100_000);
+        })
+  in
+  let n_peers = List.length peers in
+  let records =
+    List.init (Ef_util.Rng.int rng 8) (fun sequence ->
+        {
+          Bgp.Mrt.sequence;
+          rib_prefix = gen_prefix rng;
+          entries =
+            List.init
+              (1 + Ef_util.Rng.int rng 3)
+              (fun _ ->
+                {
+                  Bgp.Mrt.entry_peer_index = Ef_util.Rng.int rng n_peers;
+                  originated_at = Ef_util.Rng.int rng 1_000_000_000;
+                  attrs = gen_attrs rng;
+                });
+        })
+  in
+  { Bgp.Mrt.collector_id = gen_ip rng; view_name = "fuzz"; peers; records }
+
+let fuzz_mrt_codec =
+  rng_fuzz "mrt codec fuzz roundtrip (500)" (fun rng ~case ->
+      let dump = gen_mrt rng in
+      let wire = Bgp.Mrt.encode ~timestamp:0 dump in
+      (match Bgp.Mrt.decode wire with
+      | Ok decoded ->
+          (* compare via re-encoding: byte-identical wire means the decode
+             lost nothing the encoder expresses *)
+          if Bgp.Mrt.encode ~timestamp:0 decoded <> wire then
+            Alcotest.failf "case %d: re-encode differs" case
+      | Error e ->
+          Alcotest.failf "case %d: decode of own encoding failed: %s" case
+            (Format.asprintf "%a" Bgp.Mrt.pp_error e));
+      (match Bgp.Mrt.decode (truncate rng wire) with Ok _ | Error _ -> ());
+      match Bgp.Mrt.decode (bit_flip rng wire) with Ok _ | Error _ -> ())
+
 let suite =
-  List.map QCheck_alcotest.to_alcotest
+  [ fuzz_bgp_codec; fuzz_sflow_codec; fuzz_mrt_codec ]
+  @ List.map QCheck_alcotest.to_alcotest
     [
       prop_projection_conserves;
       prop_projection_move_conserves;
