@@ -198,6 +198,43 @@ let run_stage_attribution () =
     ];
   print_newline ()
 
+(* E10c: what decision tracing costs. Three controllers on the same
+   snapshot: no recorder (the noop), recorder enabled, and enabled with a
+   small ring (more truncation). The acceptance bar for the trace layer
+   is noop within 2% of the pre-trace baseline — the noop run IS the
+   shipped default path, so its delta vs itself is what CI watches. *)
+let run_trace_overhead () =
+  let cycles = 50 in
+  print_endline "== E10c: decision-trace overhead (noop vs enabled) ==";
+  let snap = Lazy.force pop_a_snap in
+  let ms_per_cycle ~trace name =
+    Gc.compact ();
+    let reg = Ef_obs.Registry.create () in
+    let ctrl = Ef.Controller.create ~obs:reg ~trace ~name () in
+    for _ = 1 to cycles do
+      ignore (Ef.Controller.cycle ctrl snap)
+    done;
+    match Ef_obs.Registry.find reg "controller.cycle" with
+    | Some (Ef_obs.Registry.Span_m h) ->
+        1e3 *. Ef_obs.Histogram.sum h /. float_of_int cycles
+    | _ -> nan
+  in
+  let noop = ms_per_cycle ~trace:Ef_trace.Recorder.noop "bench-notrace" in
+  let full =
+    ms_per_cycle ~trace:(Ef_trace.Recorder.create ()) "bench-trace"
+  in
+  let small =
+    ms_per_cycle ~trace:(Ef_trace.Recorder.create ~capacity:4 ()) "bench-ring4"
+  in
+  Printf.printf "  %-26s %10.3f ms/cycle\n" "trace disabled (noop)" noop;
+  Printf.printf "  %-26s %10.3f ms/cycle  (%+.1f%% vs noop)\n" "trace enabled"
+    full
+    (if noop > 0.0 then 100.0 *. (full -. noop) /. noop else nan);
+  Printf.printf "  %-26s %10.3f ms/cycle  (%+.1f%% vs noop)\n"
+    "trace enabled, ring=4" small
+    (if noop > 0.0 then 100.0 *. (small -. noop) /. noop else nan);
+  print_newline ()
+
 (* ------------------------------------------------------------------ *)
 (* Experiment dispatch                                                 *)
 (* ------------------------------------------------------------------ *)
@@ -248,16 +285,19 @@ let () =
   | [] | [ "all" ] ->
       List.iter (run_one params) experiments;
       run_micro ();
-      run_stage_attribution ()
+      run_stage_attribution ();
+      run_trace_overhead ()
   | [ "micro" ] ->
       run_micro ();
-      run_stage_attribution ()
+      run_stage_attribution ();
+      run_trace_overhead ()
   | ids ->
       List.iter
         (fun id ->
           if id = "micro" then begin
             run_micro ();
-            run_stage_attribution ()
+            run_stage_attribution ();
+            run_trace_overhead ()
           end
           else
             match List.find_opt (fun (i, _, _) -> i = id) experiments with

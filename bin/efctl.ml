@@ -6,6 +6,9 @@
      cycle       -s NAME    run one controller cycle at a chosen hour and
                             show its decisions (and the BGP updates)
      run         -s NAME    simulate hours of a day, print the outcome
+     explain     PREFIX     simulate, then reconstruct why the pipeline
+                            placed one prefix where it did
+     top         -s NAME    live terminal view of interfaces + overrides
      experiment  ID         regenerate one paper table/figure            *)
 
 module Bgp = Ef_bgp
@@ -46,18 +49,64 @@ let hour_t =
     & info [ "at" ] ~docv:"HOUR" ~doc:"UTC hour of day for the snapshot (0-23).")
 
 (* every command that runs the pipeline reports into the default Ef_obs
-   registry; --metrics dumps it as JSON when the command is done *)
+   registry; --metrics dumps it (JSON or OpenMetrics) when the command is
+   done *)
 let metrics_t =
   Arg.(
     value & flag
     & info [ "metrics" ]
-        ~doc:"Print collected telemetry (spans, counters, gauges) as JSON on exit.")
+        ~doc:
+          "Print collected telemetry (spans, counters, gauges) on exit, in \
+           the $(b,--metrics-format) format.")
 
-let print_metrics enabled =
-  if enabled then
-    print_endline
-      (Ef_obs.Json.to_string
-         (Ef_obs.Registry.to_json (Ef_obs.Registry.default ())))
+let metrics_format_t =
+  let fmt = Arg.enum [ ("json", `Json); ("prom", `Prom) ] in
+  Arg.(
+    value & opt fmt `Json
+    & info [ "metrics-format" ] ~docv:"FMT"
+        ~doc:
+          "Telemetry export format: $(b,json) (the registry tree) or \
+           $(b,prom) (OpenMetrics text, including trace-derived series \
+           when tracing is on).")
+
+let render_metrics ~format ~trace () =
+  let reg = Ef_obs.Registry.default () in
+  match format with
+  | `Json -> Ef_obs.Json.to_string (Ef_obs.Registry.to_json reg) ^ "\n"
+  | `Prom ->
+      Ef_obs.Prom.of_registry
+        ~extra:(Ef_trace.Export.prom_families trace)
+        reg
+
+let print_metrics ?(format = `Json) ?(trace = Ef_trace.Recorder.noop) enabled =
+  if enabled then print_string (render_metrics ~format ~trace ())
+
+(* --faults NAME|FILE resolution, shared by run / explain / top *)
+let resolve_fault_plan = function
+  | None -> None
+  | Some name_or_file -> (
+      match N.Scenario.find_fault_plan name_or_file with
+      | Some plan -> Some plan
+      | None -> (
+          match Ef_fault.Plan.load name_or_file with
+          | Ok plan -> Some plan
+          | Error msg ->
+              Printf.eprintf
+                "efctl: --faults %s: not a canned plan (%s) and not a \
+                 readable plan file: %s\n"
+                name_or_file
+                (String.concat ", " (N.Scenario.fault_plan_names ()))
+                msg;
+              exit 1))
+
+let faults_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "faults" ] ~docv:"NAME|FILE"
+        ~doc:
+          "Inject a deterministic fault plan: a canned plan name (see \
+           $(b,scenarios)) or a JSON plan file.")
 
 (* --- scenarios --------------------------------------------------------- *)
 
@@ -163,45 +212,43 @@ let cycle_cmd =
 (* --- run ----------------------------------------------------------------- *)
 
 let run_cmd =
-  let run scenario seed hours cycle_s no_controller no_sampling obs_metrics journal
-      faults =
-    let fault_plan =
-      match faults with
-      | None -> None
-      | Some name_or_file -> (
-          match N.Scenario.find_fault_plan name_or_file with
-          | Some plan -> Some plan
-          | None -> (
-              match Ef_fault.Plan.load name_or_file with
-              | Ok plan -> Some plan
-              | Error msg ->
-                  Printf.eprintf
-                    "efctl: --faults %s: not a canned plan (%s) and not a \
-                     readable plan file: %s\n"
-                    name_or_file
-                    (String.concat ", " (N.Scenario.fault_plan_names ()))
-                    msg;
-                  exit 1))
+  let run scenario seed hours cycle_s no_controller no_sampling obs_metrics
+      metrics_format journal faults prom_out trace_out =
+    let fault_plan = resolve_fault_plan faults in
+    (* tracing is paid for only when something will read it: a trace dump,
+       or a prom export (whose ef_trace_* series come from the recorder) *)
+    let trace =
+      match (trace_out, prom_out) with
+      | None, None -> Ef_trace.Recorder.noop
+      | _ -> Ef_trace.Recorder.create ()
     in
     let config =
       S.Engine.make_config ~cycle_s ~duration_s:(hours * 3600)
         ~controller_enabled:(not no_controller)
-        ~use_sampling:(not no_sampling) ~seed ?faults:fault_plan ()
+        ~use_sampling:(not no_sampling) ~seed ?faults:fault_plan ~trace ()
     in
-    let journal_oc =
+    (* [- ] journals to stdout (flushed, never closed); a file is closed
+       even when the run raises, via the Fun.protect below *)
+    let journal_finish =
       match journal with
-      | None -> None
+      | None -> fun () -> ()
+      | Some "-" ->
+          Ef_obs.Registry.add_sink
+            (Ef_obs.Registry.default ())
+            (Ef_obs.Registry.channel_sink stdout);
+          fun () -> flush stdout
       | Some path -> (
           match open_out path with
           | oc ->
               Ef_obs.Registry.add_sink
                 (Ef_obs.Registry.default ())
                 (Ef_obs.Registry.channel_sink oc);
-              Some oc
+              fun () -> close_out oc
           | exception Sys_error msg ->
               Printf.eprintf "efctl: cannot open journal file: %s\n" msg;
               exit 1)
     in
+    Fun.protect ~finally:journal_finish @@ fun () ->
     let engine = S.Engine.create ~config scenario in
     let metrics = S.Engine.run engine in
     let rows = S.Metrics.rows metrics in
@@ -255,8 +302,28 @@ let run_cmd =
           (count "collector.session.failures")
           (count "collector.session.retries")
           (count "collector.session.reconnects"));
-    Option.iter close_out journal_oc;
-    print_metrics obs_metrics
+    (match prom_out with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        output_string oc
+          (Ef_obs.Prom.of_registry
+             ~extra:(Ef_trace.Export.prom_families trace)
+             (Ef_obs.Registry.default ()));
+        close_out oc;
+        Printf.printf "wrote OpenMetrics to %s\n" path);
+    (match trace_out with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        output_string oc
+          (Ef_obs.Json.to_string (Ef_trace.Recorder.to_json trace));
+        output_char oc '\n';
+        close_out oc;
+        Printf.printf "wrote decision trace (%d retained cycles) to %s\n"
+          (List.length (Ef_trace.Recorder.cycles trace))
+          path);
+    print_metrics ~format:metrics_format ~trace obs_metrics
   in
   let hours_t =
     Arg.(value & opt int 24 & info [ "hours" ] ~docv:"H" ~doc:"Simulated duration.")
@@ -275,21 +342,230 @@ let run_cmd =
       value
       & opt (some string) None
       & info [ "journal" ] ~docv:"FILE"
-          ~doc:"Write the structured event journal (JSON lines) to $(docv).")
+          ~doc:
+            "Write the structured event journal (JSON lines) to $(docv); \
+             $(b,-) journals to stdout.")
   in
-  let faults_t =
+  let prom_out_t =
     Arg.(
       value
       & opt (some string) None
-      & info [ "faults" ] ~docv:"NAME|FILE"
+      & info [ "prom-out" ] ~docv:"FILE"
+          ~doc:"Write the telemetry as OpenMetrics text to $(docv) on exit.")
+  in
+  let trace_out_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
           ~doc:
-            "Inject a deterministic fault plan: a canned plan name (see \
-             $(b,scenarios)) or a JSON plan file.")
+            "Enable decision tracing and write the retained trace ring as \
+             JSON to $(docv) on exit.")
   in
   Cmd.v (Cmd.info "run" ~doc:"Simulate a day and summarise the outcome.")
     Term.(
       const run $ scenario_t $ seed_t $ hours_t $ cycle_t $ no_controller_t
-      $ no_sampling_t $ metrics_t $ journal_t $ faults_t)
+      $ no_sampling_t $ metrics_t $ metrics_format_t $ journal_t $ faults_t
+      $ prom_out_t $ trace_out_t)
+
+(* --- explain --------------------------------------------------------------- *)
+
+let explain_cmd =
+  let run prefix_str scenario seed hours cycle_s faults cycle_index ring json =
+    match Bgp.Prefix.of_string_opt prefix_str with
+    | None ->
+        `Error
+          (false, Printf.sprintf "not a prefix: %S (want e.g. 10.1.0.0/16)" prefix_str)
+    | Some prefix -> (
+        let fault_plan = resolve_fault_plan faults in
+        let trace = Ef_trace.Recorder.create ~capacity:ring () in
+        let config =
+          S.Engine.make_config ~cycle_s ~duration_s:(hours * 3600) ~seed
+            ?faults:fault_plan ~trace ()
+        in
+        let engine = S.Engine.create ~config scenario in
+        ignore (S.Engine.run engine);
+        if json then
+          let chosen =
+            match cycle_index with
+            | Some index -> Ef_trace.Recorder.find_cycle trace ~index
+            | None -> (
+                match List.rev (Ef_trace.Recorder.cycles_touching trace prefix) with
+                | c :: _ -> Some c
+                | [] -> None)
+          in
+          match chosen with
+          | Some c ->
+              print_endline
+                (Ef_obs.Json.to_string (Ef_trace.Recorder.cycle_to_json c));
+              `Ok ()
+          | None ->
+              `Error
+                (false,
+                 Format.asprintf "no retained cycle touches %a" Bgp.Prefix.pp
+                   prefix)
+        else
+          match Ef_trace.Explain.explain trace ?cycle:cycle_index prefix with
+          | Ok text ->
+              print_string text;
+              `Ok ()
+          | Error msg -> `Error (false, msg))
+  in
+  let prefix_t =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"PREFIX" ~doc:"Prefix to explain (e.g. 10.1.0.0/16).")
+  in
+  let hours_t =
+    Arg.(value & opt int 1 & info [ "hours" ] ~docv:"H" ~doc:"Simulated duration.")
+  in
+  let cycle_t =
+    Arg.(value & opt int 120 & info [ "cycle" ] ~docv:"SEC" ~doc:"Controller period.")
+  in
+  let cycle_index_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "cycle-index" ] ~docv:"N"
+          ~doc:
+            "Explain controller cycle number $(docv) (1-based) instead of \
+             the most recent cycle that touched the prefix.")
+  in
+  let ring_t =
+    Arg.(
+      value & opt int 64
+      & info [ "ring" ] ~docv:"N" ~doc:"Trace ring capacity (retained cycles).")
+  in
+  let json_t =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Print the selected cycle's raw trace record as JSON.")
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Simulate, then reconstruct the projection -> allocation -> guard \
+          -> override chain for one prefix.")
+    Term.(
+      ret
+        (const run $ prefix_t $ scenario_t $ seed_t $ hours_t $ cycle_t
+       $ faults_t $ cycle_index_t $ ring_t $ json_t))
+
+(* --- top -------------------------------------------------------------------- *)
+
+let top_cmd =
+  let module R = Ef_trace.Recorder in
+  let bar width frac =
+    let frac = Float.max 0.0 (Float.min 1.2 frac) in
+    let n = int_of_float (frac /. 1.2 *. float_of_int width) in
+    String.init width (fun i -> if i < n then '#' else '.')
+  in
+  let render ~scenario_name ~plain (c : R.cycle) =
+    if not plain then print_string "\027[2J\027[H";
+    Printf.printf "efctl top — %s   cycle %d   t=%s%s\n" scenario_name
+      c.R.cy_index
+      (Format.asprintf "%a" Ef_util.Units.pp_time_of_day c.R.cy_time_s)
+      (match c.R.cy_degraded with
+      | None -> ""
+      | Some reason -> Printf.sprintf "   DEGRADED(%s)" reason);
+    Printf.printf "\n%-16s %-9s %6s %6s %6s  utilization\n" "interface"
+      "capacity" "proj" "enf" "act";
+    let util cap bps = if cap <= 0.0 then 0.0 else bps /. cap in
+    let rows =
+      List.sort
+        (fun (a : R.iface_row) b ->
+          compare
+            (util b.R.if_capacity_bps b.R.if_enforced_bps)
+            (util a.R.if_capacity_bps a.R.if_enforced_bps))
+        c.R.cy_ifaces
+    in
+    List.iter
+      (fun (row : R.iface_row) ->
+        let u bps = util row.R.if_capacity_bps bps in
+        Printf.printf "%-16s %-9s %5.0f%% %5.0f%% %6s  [%s]\n" row.R.if_name
+          (Ef_util.Units.rate_to_string row.R.if_capacity_bps)
+          (100.0 *. u row.R.if_projected_bps)
+          (100.0 *. u row.R.if_enforced_bps)
+          (match row.R.if_actual_bps with
+          | None -> "-"
+          | Some bps -> Printf.sprintf "%.0f%%" (100.0 *. u bps))
+          (bar 24 (u row.R.if_enforced_bps)))
+      rows;
+    let hys_count pick =
+      List.length (List.filter (fun e -> pick e.R.hy_disposition) c.R.cy_hys)
+    in
+    Printf.printf
+      "\noverrides: %d active   +%d installed  ~%d retargeted  -%d released  \
+       %d damped\n"
+      (List.length c.R.cy_enforced)
+      (hys_count (function R.Installed -> true | _ -> false))
+      (hys_count (function R.Retargeted _ -> true | _ -> false))
+      (hys_count (function R.Released _ -> true | _ -> false))
+      (hys_count (function
+        | R.Hold_retarget _ | R.Release_deferred _ -> true
+        | _ -> false));
+    let heaviest =
+      List.sort
+        (fun (a : R.enforced) b -> compare b.R.en_rate_bps a.R.en_rate_bps)
+        c.R.cy_enforced
+    in
+    List.iteri
+      (fun i (e : R.enforced) ->
+        if i < 10 then
+          Printf.printf "  %-20s %-9s iface %d -> %d  peer %-4d age %4ds\n"
+            (Bgp.Prefix.to_string e.R.en_prefix)
+            (Ef_util.Units.rate_to_string e.R.en_rate_bps)
+            e.R.en_from_iface e.R.en_to_iface e.R.en_peer_id e.R.en_age_s)
+      heaviest;
+    if List.length heaviest > 10 then
+      Printf.printf "  ... and %d more\n" (List.length heaviest - 10);
+    flush stdout
+  in
+  let run scenario seed hours cycle_s faults delay_ms plain =
+    let fault_plan = resolve_fault_plan faults in
+    let trace = R.create ~capacity:2 () in
+    let config =
+      S.Engine.make_config ~cycle_s ~duration_s:(hours * 3600) ~seed
+        ?faults:fault_plan ~trace ()
+    in
+    let engine = S.Engine.create ~config scenario in
+    let steps = hours * 3600 / cycle_s in
+    for _ = 1 to steps do
+      ignore (S.Engine.step engine);
+      (match R.latest trace with
+      | None -> ()
+      | Some c ->
+          render ~scenario_name:scenario.N.Scenario.scenario_name ~plain c);
+      if delay_ms > 0 then Unix.sleepf (float_of_int delay_ms /. 1000.0)
+    done
+  in
+  let hours_t =
+    Arg.(value & opt int 1 & info [ "hours" ] ~docv:"H" ~doc:"Simulated duration.")
+  in
+  let cycle_t =
+    Arg.(value & opt int 120 & info [ "cycle" ] ~docv:"SEC" ~doc:"Controller period.")
+  in
+  let delay_t =
+    Arg.(
+      value & opt int 100
+      & info [ "delay-ms" ] ~docv:"MS"
+          ~doc:"Wall-clock delay between frames (0 = as fast as possible).")
+  in
+  let plain_t =
+    Arg.(
+      value & flag
+      & info [ "plain" ]
+          ~doc:"No ANSI clear between frames (append frames instead).")
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live terminal view: hottest interfaces, active overrides with \
+          ages, degradation state.")
+    Term.(
+      const run $ scenario_t $ seed_t $ hours_t $ cycle_t $ faults_t $ delay_t
+      $ plain_t)
 
 (* --- experiment ----------------------------------------------------------- *)
 
@@ -491,4 +767,4 @@ let () =
   let info = Cmd.info "efctl" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
-       (Cmd.group info [ scenarios_cmd; world_cmd; cycle_cmd; run_cmd; experiment_cmd; record_cmd; replay_cmd; fleet_cmd; dump_cmd; topo_cmd ]))
+       (Cmd.group info [ scenarios_cmd; world_cmd; cycle_cmd; run_cmd; explain_cmd; top_cmd; experiment_cmd; record_cmd; replay_cmd; fleet_cmd; dump_cmd; topo_cmd ]))

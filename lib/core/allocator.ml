@@ -1,6 +1,7 @@
 module Bgp = Ef_bgp
 module Snapshot = Ef_collector.Snapshot
 module Iface = Ef_netsim.Iface
+module Trace = Ef_trace.Recorder
 
 type result = {
   overrides : Override.t list;
@@ -23,6 +24,7 @@ type state = {
   mutable splits : int;
   split_parent : (Bgp.Prefix.t, Bgp.Prefix.t) Hashtbl.t;
   mutable gave_up : int list; (* iface ids we cannot relieve further *)
+  trace : Trace.t;
 }
 
 let candidates st prefix =
@@ -44,23 +46,56 @@ let headroom st iface_id =
   -. Projection.load_bps view ~iface_id
 
 (* The best detour for one placement: the highest-ranked alternate route
-   on a different interface with room for the whole rate. *)
+   on a different interface with room for the whole rate. Also returns the
+   candidate verdicts (empty unless tracing — the list is only built when
+   the recorder is live, keeping the disabled path allocation-free). *)
 let find_target st (pl : Projection.placement) =
+  let tracing = Trace.enabled st.trace in
+  let verdicts = ref [] in
+  let note level route iface_id verdict =
+    if tracing then
+      verdicts :=
+        {
+          Trace.cand_level = level;
+          cand_peer_id = Bgp.Route.peer_id route;
+          cand_iface_id = iface_id;
+          cand_verdict = verdict;
+        }
+        :: !verdicts
+  in
   let ranked = candidates st pl.Projection.placed_prefix in
   let rec go level = function
     | [] -> None
     | route :: rest -> (
         st.moves <- st.moves + 1;
         match Snapshot.iface_of_route st.snapshot route with
-        | None -> go (level + 1) rest
+        | None ->
+            note level route (-1) Trace.No_iface;
+            go (level + 1) rest
         | Some iface ->
             let iface_id = Iface.id iface in
-            if iface_id = pl.Projection.iface_id then go (level + 1) rest
-            else if headroom st iface_id >= pl.Projection.rate_bps then
-              Some (route, iface_id, level)
-            else go (level + 1) rest)
+            if iface_id = pl.Projection.iface_id then begin
+              note level route iface_id Trace.Same_iface;
+              go (level + 1) rest
+            end
+            else
+              let room = headroom st iface_id in
+              if room >= pl.Projection.rate_bps then begin
+                note level route iface_id Trace.Chosen;
+                Some (route, iface_id, level)
+              end
+              else begin
+                note level route iface_id
+                  (Trace.No_headroom
+                     {
+                       needed_bps = pl.Projection.rate_bps;
+                       headroom_bps = room;
+                     });
+                go (level + 1) rest
+              end)
   in
-  go 0 ranked
+  let target = go 0 ranked in
+  (target, List.rev !verdicts)
 
 let budget_left st =
   match st.config.Config.max_overrides_per_cycle with
@@ -93,6 +128,15 @@ let split_placement st (pl : Projection.placement) =
               ~overridden:false)
         children;
       st.splits <- st.splits + 1;
+      if Trace.enabled st.trace then
+        Trace.record_attempt st.trace
+          {
+            Trace.at_prefix = prefix;
+            at_from_iface = pl.Projection.iface_id;
+            at_rate_bps = pl.Projection.rate_bps;
+            at_candidates = [];
+            at_outcome = Trace.Split { children = List.length children };
+          };
       true
 
 (* One relief attempt on [iface_id]: move one placement (possibly after a
@@ -103,10 +147,25 @@ let relieve_once st iface_id =
     |> List.filter (fun pl -> not pl.Projection.overridden)
     |> order_placements st
   in
+  let record_attempt pl candidates outcome =
+    if Trace.enabled st.trace then
+      Trace.record_attempt st.trace
+        {
+          Trace.at_prefix = pl.Projection.placed_prefix;
+          at_from_iface = iface_id;
+          at_rate_bps = pl.Projection.rate_bps;
+          at_candidates = candidates;
+          at_outcome = outcome;
+        }
+  in
   let try_move pl =
     match find_target st pl with
-    | None -> false
-    | Some (route, to_iface, level) ->
+    | None, candidates ->
+        record_attempt pl candidates Trace.No_target;
+        false
+    | Some (route, to_iface, level), candidates ->
+        record_attempt pl candidates
+          (Trace.Moved { to_iface; peer_id = Bgp.Route.peer_id route; level });
         st.proj <-
           Projection.move st.proj pl.Projection.placed_prefix ~to_route:route
             ~to_iface;
@@ -139,7 +198,7 @@ let relieve_once st iface_id =
           | None -> false
           | Some pl -> split_placement st pl))
 
-let run ~config snapshot =
+let run ~config ?(trace = Trace.noop) snapshot =
   (match Config.validate config with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Allocator.run: bad config: " ^ msg));
@@ -155,6 +214,7 @@ let run ~config snapshot =
       splits = 0;
       split_parent = Hashtbl.create 64;
       gave_up = [];
+      trace;
     }
   in
   (* single-pass (ablation A1) only ever relieves the interfaces that were

@@ -25,7 +25,15 @@ type result = {
   splits : int;                (** /24 splits performed (Split_24 only) *)
 }
 
-val run : config:Config.t -> Ef_collector.Snapshot.t -> result
+val run :
+  config:Config.t ->
+  ?trace:Ef_trace.Recorder.t ->
+  Ef_collector.Snapshot.t ->
+  result
+(** [trace] (default {!Ef_trace.Recorder.noop}) receives one
+    {!Ef_trace.Recorder.attempt} per prefix evaluation — every candidate
+    route examined with its verdict, plus the outcome (moved, stuck, or
+    split). Costs one branch per stage when disabled. *)
 
 val relief_bps : result -> float
 (** Total traffic detoured by the produced overrides. *)

@@ -1,6 +1,7 @@
 module Bgp = Ef_bgp
 module Snapshot = Ef_collector.Snapshot
 module Obs = Ef_obs
+module Trace = Ef_trace.Recorder
 
 type degradation =
   | Stale_snapshot of { age_s : int; limit_s : int }
@@ -92,6 +93,7 @@ type t = {
   config : Config.t;
   hysteresis : Hysteresis.t;
   obs : obs_handles;
+  trace : Trace.t;
   mutable cycles : int;
   (* input-confidence tracking: EWMA of total snapshot rate over healthy
      cycles only, so a feed blackout does not drag the baseline down *)
@@ -99,7 +101,7 @@ type t = {
   mutable healthy_cycles : int;
 }
 
-let create ?(config = Config.default) ?obs ~name () =
+let create ?(config = Config.default) ?obs ?(trace = Trace.noop) ~name () =
   (match Config.validate config with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Controller.create: bad config: " ^ msg));
@@ -109,6 +111,7 @@ let create ?(config = Config.default) ?obs ~name () =
     config;
     hysteresis = Hysteresis.create config;
     obs = obs_handles reg;
+    trace;
     cycles = 0;
     rate_ewma = 0.0;
     healthy_cycles = 0;
@@ -119,6 +122,9 @@ let config t = t.config
 let active_overrides t = Hysteresis.active t.hysteresis
 let cycles_run t = t.cycles
 let obs t = t.obs.reg
+let trace t = t.trace
+
+let override_ages t ~now_s = Hysteresis.ages t.hysteresis ~now_s
 
 let overrides_lookup overrides =
   let trie =
@@ -148,6 +154,56 @@ let detect_degradation t ~now_s snapshot =
          })
   else None
 
+(* Trace tail shared by normal and degraded cycles: the per-interface load
+   table (projected = BGP-preferred, enforced = with the active override
+   set) and every enforced override with the BGP attributes that realize
+   it — then commit the cycle record. *)
+let record_trace_tail t snapshot ~preferred ~enforced ~active =
+  if Trace.enabled t.trace then begin
+    let rows =
+      List.map
+        (fun iface ->
+          let id = Ef_netsim.Iface.id iface in
+          {
+            Trace.if_id = id;
+            if_name = Ef_netsim.Iface.name iface;
+            if_capacity_bps = Ef_netsim.Iface.capacity_bps iface;
+            if_projected_bps = Projection.load_bps preferred ~iface_id:id;
+            if_enforced_bps = Projection.load_bps enforced ~iface_id:id;
+            if_actual_bps = None;
+          })
+        (Snapshot.ifaces snapshot)
+    in
+    Trace.record_ifaces t.trace rows;
+    let now = Snapshot.time_s snapshot in
+    let lp = t.config.Config.override_local_pref in
+    List.iter
+      (fun (o : Override.t) ->
+        let installed =
+          Option.value
+            (Hysteresis.installed_at t.hysteresis o.Override.prefix)
+            ~default:now
+        in
+        let target_attrs = Bgp.Route.attrs o.Override.target in
+        Trace.record_enforced t.trace
+          {
+            Trace.en_prefix = o.Override.prefix;
+            en_from_iface = o.Override.from_iface;
+            en_to_iface = o.Override.to_iface;
+            en_peer_id = Override.target_peer_id o;
+            en_level = o.Override.preference_level;
+            en_rate_bps = o.Override.rate_bps;
+            en_age_s = now - installed;
+            en_local_pref = lp;
+            en_communities =
+              List.map Bgp.Community.to_string
+                (Override.override_community
+                :: target_attrs.Bgp.Attrs.communities);
+          })
+      active
+  end;
+  Trace.end_cycle t.trace
+
 (* Fail static: keep the last-good override set enforced, touch nothing.
    The hysteresis state is left unstepped, so installation times and the
    release damping pick up exactly where they were once inputs recover. *)
@@ -163,6 +219,8 @@ let degraded_cycle t snapshot ~reason =
   (match reason with
   | Stale_snapshot _ -> Obs.Counter.inc ob.c_degraded_stale
   | Low_confidence _ -> Obs.Counter.inc ob.c_degraded_lowconf);
+  Trace.set_degraded t.trace (degradation_reason reason);
+  record_trace_tail t snapshot ~preferred ~enforced ~active;
   Log.warn (fun m ->
       m "%s: degraded cycle, holding %d overrides: %a" t.name
         (List.length active) pp_degradation reason);
@@ -209,6 +267,7 @@ let cycle ?now_s t snapshot =
   let ob = t.obs in
   Obs.Span.time_h ob.reg ob.sp_cycle @@ fun () ->
   t.cycles <- t.cycles + 1;
+  Trace.begin_cycle t.trace ~index:t.cycles ~time_s:(Snapshot.time_s snapshot);
   Obs.Counter.inc ob.c_cycles;
   let now_s = Option.value now_s ~default:(Snapshot.time_s snapshot) in
   Obs.Gauge.set ob.g_snapshot_age
@@ -223,11 +282,12 @@ let cycle ?now_s t snapshot =
   t.healthy_cycles <- t.healthy_cycles + 1;
   let alloc =
     Obs.Span.time_h ob.reg ob.sp_allocate (fun () ->
-        Allocator.run ~config:t.config snapshot)
+        Allocator.run ~config:t.config ~trace:t.trace snapshot)
   in
   let desired, guard_dropped =
     Obs.Span.time_h ob.reg ob.sp_guard_clamp (fun () ->
-        Guard.clamp t.config.Config.guard snapshot alloc.Allocator.overrides)
+        Guard.clamp ~trace:t.trace t.config.Config.guard snapshot
+          alloc.Allocator.overrides)
   in
   if guard_dropped <> [] then
     Log.warn (fun m ->
@@ -236,8 +296,9 @@ let cycle ?now_s t snapshot =
           (List.length alloc.Allocator.overrides));
   let reconcile =
     Obs.Span.time_h ob.reg ob.sp_reconcile (fun () ->
-        Hysteresis.step t.hysteresis ~time_s:(Snapshot.time_s snapshot)
-          ~desired ~preferred:alloc.Allocator.before)
+        Hysteresis.step ~trace:t.trace t.hysteresis
+          ~time_s:(Snapshot.time_s snapshot) ~desired
+          ~preferred:alloc.Allocator.before)
   in
   let enforced =
     Obs.Span.time_h ob.reg ob.sp_project (fun () ->
@@ -269,6 +330,8 @@ let cycle ?now_s t snapshot =
       degraded = None;
     }
   in
+  record_trace_tail t snapshot ~preferred:alloc.Allocator.before ~enforced
+    ~active:reconcile.Hysteresis.active;
   let count l = float_of_int (List.length l) in
   Obs.Counter.add ob.c_added (count reconcile.Hysteresis.added);
   Obs.Counter.add ob.c_removed (count reconcile.Hysteresis.removed);

@@ -73,9 +73,19 @@ type cycle_stats = {
 
 type t
 
-val create : ?config:Config.t -> ?obs:Ef_obs.Registry.t -> name:string -> unit -> t
+val create :
+  ?config:Config.t ->
+  ?obs:Ef_obs.Registry.t ->
+  ?trace:Ef_trace.Recorder.t ->
+  name:string ->
+  unit ->
+  t
 (** [obs] is where the controller's spans, counters and journal events
-    land; defaults to {!Ef_obs.Registry.default}. *)
+    land; defaults to {!Ef_obs.Registry.default}. [trace] (default
+    {!Ef_trace.Recorder.noop}) receives per-prefix decision provenance:
+    one cycle record per {!cycle} call covering the allocator's candidate
+    verdicts, guard drops, hysteresis dispositions, the per-interface
+    load table, and the enforced override set with its BGP attributes. *)
 
 val name : t -> string
 val config : t -> Config.t
@@ -84,6 +94,13 @@ val cycles_run : t -> int
 
 val obs : t -> Ef_obs.Registry.t
 (** The registry this controller reports into. *)
+
+val trace : t -> Ef_trace.Recorder.t
+(** The recorder this controller reports provenance into. *)
+
+val override_ages : t -> now_s:int -> (Override.t * int) list
+(** Installed overrides with their ages in seconds at [now_s], sorted by
+    prefix. *)
 
 val cycle : ?now_s:int -> t -> Ef_collector.Snapshot.t -> cycle_stats
 (** [now_s] is the controller's own clock, used only for staleness

@@ -112,7 +112,7 @@ let audit config snapshot overrides =
   end;
   List.rev !violations
 
-let clamp config snapshot overrides =
+let clamp ?(trace = Ef_trace.Recorder.noop) config snapshot overrides =
   let live, stale = List.partition (target_is_live snapshot) overrides in
   (* shed the least valuable first: ascending decision-time rate *)
   let ascending =
@@ -133,4 +133,16 @@ let clamp config snapshot overrides =
     | _ -> (kept, dropped)
   in
   let kept, shed_list = shed ascending [] in
+  if Ef_trace.Recorder.enabled trace then begin
+    let drop reason (o : Override.t) =
+      Ef_trace.Recorder.record_guard_drop trace
+        {
+          Ef_trace.Recorder.gd_prefix = o.Override.prefix;
+          gd_reason = reason;
+          gd_rate_bps = o.Override.rate_bps;
+        }
+    in
+    List.iter (drop Ef_trace.Recorder.Stale_target) stale;
+    List.iter (drop Ef_trace.Recorder.Budget) shed_list
+  end;
   (kept, stale @ shed_list)

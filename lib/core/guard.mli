@@ -44,10 +44,12 @@ val audit :
 (** All violations of the proposed override set, empty when clean. *)
 
 val clamp :
+  ?trace:Ef_trace.Recorder.t ->
   config ->
   Ef_collector.Snapshot.t ->
   Override.t list ->
   Override.t list * Override.t list
 (** [(kept, dropped)]: stale-target overrides are always dropped; then the
     smallest-rate overrides are shed until the fraction and count budgets
-    hold. [kept @ dropped] is a permutation of the input. *)
+    hold. [kept @ dropped] is a permutation of the input. Each drop is
+    reported to [trace] (default noop) with its reason. *)

@@ -29,12 +29,26 @@ let installed_at t prefix =
 
 let active_count t = Bgp.Ptrie.cardinal t.entries
 
+let ages t ~now_s =
+  Bgp.Ptrie.fold
+    (fun _ e acc -> (e.override, now_s - e.installed_at) :: acc)
+    t.entries []
+  |> List.sort (fun (a, _) (b, _) ->
+         Bgp.Prefix.compare a.Override.prefix b.Override.prefix)
+
 let iface_by_id proj iface_id =
   List.find_opt
     (fun i -> Ef_netsim.Iface.id i = iface_id)
     (Projection.ifaces proj)
 
-let step t ~time_s ~desired ~preferred =
+let step ?(trace = Ef_trace.Recorder.noop) t ~time_s ~desired ~preferred =
+  let module R = Ef_trace.Recorder in
+  let tracing = R.enabled trace in
+  let note prefix disposition =
+    if tracing then
+      R.record_hysteresis trace
+        { R.hy_prefix = prefix; hy_disposition = disposition }
+  in
   let desired_map =
     List.fold_left
       (fun m (o : Override.t) -> Bgp.Ptrie.add o.Override.prefix o m)
@@ -56,15 +70,20 @@ let step t ~time_s ~desired ~preferred =
       match Bgp.Ptrie.find prefix desired_map with
       | Some want when Override.equal want e.override ->
           (* same steering decision: keep the installed one untouched *)
+          note prefix (R.Kept { age_s = age });
           kept := e.override :: !kept;
           next := Bgp.Ptrie.add prefix e !next
       | Some want ->
           if matured then begin
+            note prefix (R.Retargeted { age_s = age });
             retargeted := want :: !retargeted;
             next :=
               Bgp.Ptrie.add prefix { override = want; installed_at = time_s } !next
           end
           else begin
+            note prefix
+              (R.Hold_retarget
+                 { age_s = age; min_hold_s = t.config.Config.min_hold_s });
             kept := e.override :: !kept;
             next := Bgp.Ptrie.add prefix e !next
           end
@@ -75,9 +94,13 @@ let step t ~time_s ~desired ~preferred =
             | None -> 0.0
             | Some iface -> Projection.utilization preferred iface
           in
-          if matured && preferred_util < release_threshold then
+          if matured && preferred_util < release_threshold then begin
+            note prefix (R.Released { age_s = age });
             removed := (e.override, age) :: !removed
+          end
           else begin
+            note prefix
+              (R.Release_deferred { age_s = age; matured; preferred_util });
             incr deferred;
             kept := e.override :: !kept;
             next := Bgp.Ptrie.add prefix e !next
@@ -88,6 +111,7 @@ let step t ~time_s ~desired ~preferred =
   List.iter
     (fun (o : Override.t) ->
       if not (Bgp.Ptrie.mem o.Override.prefix t.entries) then begin
+        note o.Override.prefix R.Installed;
         added := o :: !added;
         next :=
           Bgp.Ptrie.add o.Override.prefix { override = o; installed_at = time_s }

@@ -29,6 +29,7 @@ type t
 val create : Config.t -> t
 
 val step :
+  ?trace:Ef_trace.Recorder.t ->
   t ->
   time_s:int ->
   desired:Override.t list ->
@@ -36,8 +37,15 @@ val step :
   step_result
 (** [preferred] is this cycle's BGP-only projection (no overrides): the
     release condition reads the would-be utilization of each override's
-    relieved interface from it. *)
+    relieved interface from it. Every per-prefix disposition (installed,
+    kept, retargeted, damped, released, deferred) is reported to [trace]
+    (default noop). *)
 
 val active : t -> Override.t list
 val installed_at : t -> Ef_bgp.Prefix.t -> int option
 val active_count : t -> int
+
+val ages : t -> now_s:int -> (Override.t * int) list
+(** Every installed override with its age in seconds at [now_s], sorted
+    by prefix (deterministic) — the raw material for [efctl top] and the
+    override-age metrics. *)

@@ -134,3 +134,6 @@ let overridden_bps t =
 let unroutable_bps t = t.unroutable_bps
 let stale_overrides t = t.stale
 let ifaces t = t.ifaces
+
+let iface_loads t =
+  List.map (fun iface -> (iface, load_bps t ~iface_id:(Ef_netsim.Iface.id iface))) t.ifaces

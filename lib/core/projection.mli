@@ -62,3 +62,7 @@ val overridden_bps : t -> float
 val unroutable_bps : t -> float
 val stale_overrides : t -> Ef_bgp.Prefix.t list
 val ifaces : t -> Ef_netsim.Iface.t list
+
+val iface_loads : t -> (Ef_netsim.Iface.t * float) list
+(** Every interface paired with its projected load, in interface order.
+    The raw material for provenance traces and utilization metrics. *)

@@ -8,6 +8,7 @@
 module Json = Json
 module Clock = Clock
 module Registry = Registry
+module Prom = Prom
 module Counter = Registry.Counter
 module Gauge = Registry.Gauge
 module Histogram = Registry.Histogram

@@ -1,0 +1,147 @@
+type kind = Counter | Gauge | Summary
+
+type sample = {
+  s_suffix : string;
+  s_labels : (string * string) list;
+  s_value : float;
+}
+
+type family = {
+  fam_name : string;
+  fam_help : string;
+  fam_kind : kind;
+  fam_samples : sample list;
+}
+
+let sample ?(suffix = "") ?(labels = []) value =
+  { s_suffix = suffix; s_labels = labels; s_value = value }
+
+let is_name_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = ':'
+
+let sanitize_name name =
+  let sane = String.map (fun c -> if is_name_char c then c else '_') name in
+  if sane = "" then "_"
+  else
+    match sane.[0] with
+    | '0' .. '9' -> "_" ^ sane
+    | _ -> sane
+
+let kind_name = function
+  | Counter -> "counter"
+  | Gauge -> "gauge"
+  | Summary -> "summary"
+
+(* same shortest-roundtrip rule as Json.float_to_string, plus the
+   OpenMetrics spellings for non-finite values *)
+let render_value v =
+  if Float.is_nan v then "NaN"
+  else if v = Float.infinity then "+Inf"
+  else if v = Float.neg_infinity then "-Inf"
+  else if Float.is_integer v && Float.abs v < 1e16 then
+    Printf.sprintf "%.1f" v
+  else
+    let s = Printf.sprintf "%.12g" v in
+    if float_of_string s = v then s else Printf.sprintf "%.17g" v
+
+let escape_label_value s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* HELP text: the format allows everything but newline and backslash
+   escapes; keep it one line *)
+let escape_help s =
+  String.map (fun c -> if c = '\n' then ' ' else c) s
+
+let render_sample buf ~name s =
+  Buffer.add_string buf (name ^ s.s_suffix);
+  (match s.s_labels with
+  | [] -> ()
+  | labels ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf (sanitize_name k);
+          Buffer.add_string buf "=\"";
+          Buffer.add_string buf (escape_label_value v);
+          Buffer.add_char buf '"')
+        labels;
+      Buffer.add_char buf '}');
+  Buffer.add_char buf ' ';
+  Buffer.add_string buf (render_value s.s_value);
+  Buffer.add_char buf '\n'
+
+let render families =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun fam ->
+      let name = sanitize_name fam.fam_name in
+      if fam.fam_help <> "" then begin
+        Buffer.add_string buf
+          (Printf.sprintf "# HELP %s %s\n" name (escape_help fam.fam_help))
+      end;
+      Buffer.add_string buf
+        (Printf.sprintf "# TYPE %s %s\n" name (kind_name fam.fam_kind));
+      List.iter (render_sample buf ~name) fam.fam_samples)
+    families;
+  Buffer.add_string buf "# EOF\n";
+  Buffer.contents buf
+
+let summary_samples h =
+  let q p = Registry.Histogram.quantile h p in
+  [
+    sample ~labels:[ ("quantile", "0.5") ] (q 0.5);
+    sample ~labels:[ ("quantile", "0.9") ] (q 0.9);
+    sample ~labels:[ ("quantile", "0.99") ] (q 0.99);
+    sample ~suffix:"_sum" (Registry.Histogram.sum h);
+    sample ~suffix:"_count" (float_of_int (Registry.Histogram.count h));
+  ]
+
+let families_of_registry reg =
+  List.map
+    (fun (name, metric) ->
+      match metric with
+      | Registry.Counter_m c ->
+          {
+            fam_name = name;
+            fam_help = "";
+            fam_kind = Counter;
+            fam_samples =
+              [ sample ~suffix:"_total" (Registry.Counter.value c) ];
+          }
+      | Registry.Gauge_m g ->
+          {
+            fam_name = name;
+            fam_help = "";
+            fam_kind = Gauge;
+            fam_samples = [ sample (Registry.Gauge.value g) ];
+          }
+      | Registry.Histogram_m h ->
+          {
+            fam_name = name;
+            fam_help = "";
+            fam_kind = Summary;
+            fam_samples = summary_samples h;
+          }
+      | Registry.Span_m h ->
+          {
+            fam_name = name ^ "_seconds";
+            fam_help = "span duration";
+            fam_kind = Summary;
+            fam_samples = summary_samples h;
+          })
+    (Registry.metrics reg)
+
+let of_registry ?(extra = []) reg = render (families_of_registry reg @ extra)

@@ -1,0 +1,47 @@
+(** OpenMetrics / Prometheus text rendering of a {!Registry}.
+
+    One {!family} is one metric family: a [# HELP] line, a [# TYPE] line
+    and one or more samples. {!render} produces the OpenMetrics text
+    exposition format (counters get the mandatory [_total] sample suffix,
+    histograms and spans export as summaries with [quantile] labels, the
+    output is terminated by [# EOF]) — what [efctl run
+    --metrics-format=prom] writes and a Prometheus scrape would ingest.
+
+    Rendering is deterministic: families print in the order given,
+    registry families in registration order, and float formatting uses
+    the same shortest-roundtrip rule as {!Json}. *)
+
+type kind = Counter | Gauge | Summary
+
+type sample = {
+  s_suffix : string;  (** appended to the family name (e.g. ["_total"]) *)
+  s_labels : (string * string) list;
+  s_value : float;
+}
+
+type family = {
+  fam_name : string;  (** full metric name, will be sanitized on render *)
+  fam_help : string;
+  fam_kind : kind;
+  fam_samples : sample list;
+}
+
+val sample : ?suffix:string -> ?labels:(string * string) list -> float -> sample
+
+val sanitize_name : string -> string
+(** Map every character outside [[a-zA-Z0-9_:]] to ['_'] (metric names:
+    ['.'] separators become ['_']), prefixing ['_'] if the first char is
+    invalid. *)
+
+val families_of_registry : Registry.t -> family list
+(** Every registered metric as a family, in registration order: counters
+    and gauges as single-sample families; histograms and spans as
+    summaries carrying p50/p90/p99 [quantile] samples plus [_sum] and
+    [_count] (span families get a [_seconds] name suffix — their samples
+    are durations in seconds). *)
+
+val render : family list -> string
+(** The OpenMetrics text for the given families, ending with [# EOF]. *)
+
+val of_registry : ?extra:family list -> Registry.t -> string
+(** [render (families_of_registry t @ extra)]. *)

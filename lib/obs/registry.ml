@@ -54,7 +54,7 @@ module Histogram = struct
 
   let quantile t q =
     match cdf t with
-    | None -> Float.nan
+    | None -> 0.0 (* empty histogram: clamp, so exports never emit NaN *)
     | Some c -> Ef_stats.Cdf.quantile c q
 
   let max_value t =

@@ -46,7 +46,8 @@ module Histogram : sig
   (** All samples so far as an {!Ef_stats.Cdf}; [None] when empty. *)
 
   val quantile : t -> float -> float
-  (** Via {!cdf}; [nan] when empty. *)
+  (** Via {!cdf}; clamped to [0.] when empty (a [nan] here would leak
+      [null]s into JSON export and unparsable values into OpenMetrics). *)
 
   val max_value : t -> float
   (** Largest sample; [nan] when empty. *)

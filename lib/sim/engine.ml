@@ -26,6 +26,7 @@ type config = {
   events : Ef_traffic.Demand.event list;
   peer_events : peer_event list;
   faults : Ef_fault.Plan.t option;
+  trace : Ef_trace.Recorder.t;
 }
 
 let default_config =
@@ -45,6 +46,7 @@ let default_config =
     events = [];
     peer_events = [];
     faults = None;
+    trace = Ef_trace.Recorder.noop;
   }
 
 let make_config ?(cycle_s = default_config.cycle_s)
@@ -58,7 +60,8 @@ let make_config ?(cycle_s = default_config.cycle_s)
     ?(perf_aware = default_config.perf_aware)
     ?(perf_config = default_config.perf_config) ?(seed = default_config.seed)
     ?(events = default_config.events)
-    ?(peer_events = default_config.peer_events) ?faults () =
+    ?(peer_events = default_config.peer_events) ?faults
+    ?(trace = default_config.trace) () =
   {
     cycle_s;
     duration_s;
@@ -75,6 +78,7 @@ let make_config ?(cycle_s = default_config.cycle_s)
     events;
     peer_events;
     faults;
+    trace;
   }
 
 let with_cycle_s cycle_s c = { c with cycle_s }
@@ -92,6 +96,7 @@ let with_seed seed c = { c with seed }
 let with_events events c = { c with events }
 let with_peer_events peer_events c = { c with peer_events }
 let with_faults faults c = { c with faults = Some faults }
+let with_trace trace c = { c with trace }
 
 type placement_state = {
   actual : Ef.Projection.t;
@@ -190,6 +195,7 @@ let create ?(config = default_config) ?obs scenario =
       (if config.controller_enabled then
          Some
            (Ef.Controller.create ~config:config.controller_config ~obs:reg
+              ~trace:config.trace
               ~name:(Ef_netsim.Pop.name world.Ef_netsim.Topo_gen.pop)
               ())
        else None);
@@ -541,6 +547,21 @@ let step t =
     (true_snapshot, actual, Ef.Projection.project true_snapshot)
   in
   let ifaces = fault_ifaces in
+
+  (* close the provenance loop: the controller committed this step's trace
+     cycle from its estimated view; annotate it with the ground-truth
+     egress the placement actually produced (skipped cycles committed
+     nothing new, so there is nothing to annotate) *)
+  (if
+     Ef_trace.Recorder.enabled t.config.trace
+     && t.controller <> None && not skipped
+   then
+     Ef_trace.Recorder.annotate_actual t.config.trace
+       (List.map
+          (fun iface ->
+            let id = Ef_netsim.Iface.id iface in
+            (id, Ef.Projection.load_bps actual ~iface_id:id))
+          ifaces));
 
   Obs.Span.time_h ob.reg ob.sp_accounting (fun () ->
       (* SNMP counters see the actual egress volumes *)

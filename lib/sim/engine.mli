@@ -50,6 +50,11 @@ type config = {
       (** deterministic fault plan injected into this run: link flaps,
           capacity degradations, feed stalls, cycle skips/delays (see
           {!Ef_fault.Plan}); [None] = healthy run *)
+  trace : Ef_trace.Recorder.t;
+      (** decision-provenance recorder threaded into the embedded
+          controller; each committed cycle is additionally annotated with
+          the ground-truth per-interface egress. Defaults to
+          {!Ef_trace.Recorder.noop} (zero recording cost). *)
 }
 
 val default_config : config
@@ -72,6 +77,7 @@ val make_config :
   ?events:Ef_traffic.Demand.event list ->
   ?peer_events:peer_event list ->
   ?faults:Ef_fault.Plan.t ->
+  ?trace:Ef_trace.Recorder.t ->
   unit ->
   config
 (** Every omitted field takes its {!default_config} value. *)
@@ -96,6 +102,9 @@ val with_peer_events : peer_event list -> config -> config
 
 val with_faults : Ef_fault.Plan.t -> config -> config
 (** Inject a fault plan (wraps it in [Some] for you). *)
+
+val with_trace : Ef_trace.Recorder.t -> config -> config
+(** Attach an enabled decision-trace recorder (see {!Ef_trace.Recorder}). *)
 
 type t
 

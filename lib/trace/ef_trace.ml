@@ -1,0 +1,13 @@
+(** Ef_trace: per-prefix decision provenance.
+
+    The {!Recorder} collects, per controller cycle, a causal record of
+    every prefix the pipeline touched — which candidates the allocator
+    examined and why the losers lost, what the guard shed, how hysteresis
+    damped moves, and the final enforced placements with their BGP
+    attributes — in a bounded ring of recent cycles. {!Explain} renders a
+    prefix's chain for operators ([efctl explain]). See [DESIGN.md]
+    ("Decision provenance: the Ef_trace layer"). *)
+
+module Recorder = Recorder
+module Explain = Explain
+module Export = Export

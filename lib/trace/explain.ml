@@ -1,0 +1,150 @@
+module R = Recorder
+module Prefix = Ef_bgp.Prefix
+
+let pp_bps fmt bps = Ef_util.Units.pp_rate fmt bps
+
+let matches recorded wanted =
+  Prefix.equal recorded wanted || Prefix.subsumes wanted recorded
+
+let iface_label cycle id =
+  match List.find_opt (fun r -> r.R.if_id = id) cycle.R.cy_ifaces with
+  | Some r -> Printf.sprintf "%s (iface %d)" r.R.if_name id
+  | None -> Printf.sprintf "iface %d" id
+
+let pp_candidate cycle fmt (c : R.candidate) =
+  let target =
+    if c.R.cand_iface_id < 0 then Printf.sprintf "peer %d" c.R.cand_peer_id
+    else
+      Printf.sprintf "peer %d via %s" c.R.cand_peer_id
+        (iface_label cycle c.R.cand_iface_id)
+  in
+  match c.R.cand_verdict with
+  | R.Chosen -> Format.fprintf fmt "#%d %s — CHOSEN" c.R.cand_level target
+  | R.Same_iface ->
+      Format.fprintf fmt "#%d %s — rejected: same interface being relieved"
+        c.R.cand_level target
+  | R.No_iface ->
+      Format.fprintf fmt "#%d %s — rejected: no egress interface"
+        c.R.cand_level target
+  | R.No_headroom { needed_bps; headroom_bps } ->
+      Format.fprintf fmt "#%d %s — rejected: needs %a, only %a of headroom"
+        c.R.cand_level target pp_bps needed_bps pp_bps headroom_bps
+
+let pp_attempt cycle fmt (a : R.attempt) =
+  Format.fprintf fmt "  allocator: %a (%a) on overloaded %s@,"
+    Prefix.pp a.R.at_prefix pp_bps a.R.at_rate_bps
+    (iface_label cycle a.R.at_from_iface);
+  List.iter
+    (fun c -> Format.fprintf fmt "    candidate %a@," (pp_candidate cycle) c)
+    a.R.at_candidates;
+  match a.R.at_outcome with
+  | R.Moved { to_iface; peer_id; level } ->
+      Format.fprintf fmt "    => detour to %s (peer %d, preference #%d)@,"
+        (iface_label cycle to_iface) peer_id level
+  | R.No_target ->
+      Format.fprintf fmt "    => stuck: no alternate with room@,"
+  | R.Split { children } ->
+      Format.fprintf fmt "    => split into %d /24 children and retried@,"
+        children
+
+let pp_guard fmt (d : R.guard_drop) =
+  let reason =
+    match d.R.gd_reason with
+    | R.Stale_target -> "its detour route vanished from the RIB"
+    | R.Budget -> "a blast-radius budget was exceeded"
+  in
+  Format.fprintf fmt "  guard: dropped %a (%a) — %s@," Prefix.pp d.R.gd_prefix
+    pp_bps d.R.gd_rate_bps reason
+
+let pp_hys fmt (e : R.hys_entry) =
+  let p = e.R.hy_prefix in
+  match e.R.hy_disposition with
+  | R.Installed -> Format.fprintf fmt "  hysteresis: %a installed@," Prefix.pp p
+  | R.Kept { age_s } ->
+      Format.fprintf fmt "  hysteresis: %a kept unchanged (age %ds)@,"
+        Prefix.pp p age_s
+  | R.Retargeted { age_s } ->
+      Format.fprintf fmt "  hysteresis: %a retargeted after %ds@," Prefix.pp p
+        age_s
+  | R.Hold_retarget { age_s; min_hold_s } ->
+      Format.fprintf fmt
+        "  hysteresis: %a retarget damped — age %ds < min hold %ds@,"
+        Prefix.pp p age_s min_hold_s
+  | R.Released { age_s } ->
+      Format.fprintf fmt "  hysteresis: %a released after %ds@," Prefix.pp p
+        age_s
+  | R.Release_deferred { age_s; matured; preferred_util } ->
+      Format.fprintf fmt
+        "  hysteresis: %a release deferred — age %ds, %s, preferred iface at \
+         %.0f%%@,"
+        Prefix.pp p age_s
+        (if matured then "matured" else "immature")
+        (100.0 *. preferred_util)
+
+let pp_enforced cycle fmt (e : R.enforced) =
+  Format.fprintf fmt
+    "  override: %a (%a) enforced %s -> %s via peer %d (age %ds)@,"
+    Prefix.pp e.R.en_prefix pp_bps e.R.en_rate_bps
+    (iface_label cycle e.R.en_from_iface)
+    (iface_label cycle e.R.en_to_iface)
+    e.R.en_peer_id e.R.en_age_s;
+  Format.fprintf fmt "    announced with LOCAL_PREF %d, communities [%s]@,"
+    e.R.en_local_pref
+    (String.concat " " e.R.en_communities)
+
+let prefix_in_cycle fmt cycle prefix =
+  Format.pp_open_vbox fmt 0;
+  Format.fprintf fmt "cycle %d (t=%a):@," cycle.R.cy_index
+    Ef_util.Units.pp_time_of_day cycle.R.cy_time_s;
+  (match cycle.R.cy_degraded with
+  | Some reason ->
+      Format.fprintf fmt
+        "  DEGRADED (%s): controller held the last-good override set@," reason
+  | None -> ());
+  let attempts =
+    List.filter (fun a -> matches a.R.at_prefix prefix) cycle.R.cy_attempts
+  in
+  let drops =
+    List.filter (fun d -> matches d.R.gd_prefix prefix) cycle.R.cy_guard
+  in
+  let hys =
+    List.filter (fun e -> matches e.R.hy_prefix prefix) cycle.R.cy_hys
+  in
+  let enforced =
+    List.filter (fun e -> matches e.R.en_prefix prefix) cycle.R.cy_enforced
+  in
+  if attempts = [] && drops = [] && hys = [] && enforced = [] then
+    Format.fprintf fmt "  %a: not touched this cycle@," Prefix.pp prefix
+  else begin
+    List.iter (pp_attempt cycle fmt) attempts;
+    List.iter (pp_guard fmt) drops;
+    List.iter (pp_hys fmt) hys;
+    List.iter (pp_enforced cycle fmt) enforced
+  end;
+  Format.pp_close_box fmt ()
+
+let explain t ?cycle prefix =
+  match R.cycles t with
+  | [] -> Error "trace is empty (was tracing enabled?)"
+  | _ -> (
+      let touching = R.cycles_touching t prefix in
+      let chosen =
+        match cycle with
+        | Some index -> R.find_cycle t ~index
+        | None -> (
+            match List.rev touching with c :: _ -> Some c | [] -> None)
+      in
+      match chosen with
+      | Some c -> Ok (Format.asprintf "%a" (fun fmt c -> prefix_in_cycle fmt c prefix) c)
+      | None -> (
+          match cycle with
+          | Some index ->
+              Error
+                (Printf.sprintf "cycle %d is not in the retained trace window"
+                   index)
+          | None ->
+              Error
+                (Format.asprintf
+                   "%a was not touched in any of the %d retained cycle(s)"
+                   Prefix.pp prefix
+                   (List.length (R.cycles t)))))

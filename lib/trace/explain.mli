@@ -1,0 +1,22 @@
+(** Human-readable rendering of a prefix's decision chain.
+
+    [efctl explain PREFIX] is this module: given a recorder ring and a
+    prefix, reconstruct the projection → allocation → guard → hysteresis
+    → override chain for the cycle(s) that touched it and print it the
+    way an operator would want to read it. *)
+
+val prefix_in_cycle :
+  Format.formatter -> Recorder.cycle -> Ef_bgp.Prefix.t -> unit
+(** Render every stage's record of [prefix] (and its /24 children) in one
+    cycle: the relieved interface's projected load, each candidate the
+    allocator examined with its verdict, guard/hysteresis dispositions,
+    and the enforced placement with its BGP attributes. Renders a "not
+    touched" line when the cycle has nothing about the prefix. *)
+
+val explain :
+  Recorder.t -> ?cycle:int -> Ef_bgp.Prefix.t -> (string, string) result
+(** The full [efctl explain] output: the chain for [prefix] in cycle
+    number [cycle] (default: the most recent cycle that touched it).
+    [Error] describes why nothing can be shown (empty ring, unknown
+    cycle, prefix never touched — listing the cycles that did touch
+    it, if any). *)

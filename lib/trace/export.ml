@@ -1,0 +1,104 @@
+module R = Recorder
+module Prom = Ef_obs.Prom
+
+let churn_counts cycles =
+  List.fold_left
+    (fun (installed, retargeted, released) c ->
+      List.fold_left
+        (fun (i, rt, rl) (e : R.hys_entry) ->
+          match e.R.hy_disposition with
+          | R.Installed -> (i + 1, rt, rl)
+          | R.Retargeted _ -> (i, rt + 1, rl)
+          | R.Released _ -> (i, rt, rl + 1)
+          | R.Kept _ | R.Hold_retarget _ | R.Release_deferred _ -> (i, rt, rl))
+        (installed, retargeted, released)
+        c.R.cy_hys)
+    (0, 0, 0) cycles
+
+let utilization_samples c =
+  List.concat_map
+    (fun (row : R.iface_row) ->
+      let util bps =
+        if row.R.if_capacity_bps <= 0.0 then 0.0
+        else bps /. row.R.if_capacity_bps
+      in
+      let view name bps =
+        Prom.sample
+          ~labels:[ ("iface", row.R.if_name); ("view", name) ]
+          (util bps)
+      in
+      view "projected" row.R.if_projected_bps
+      :: view "enforced" row.R.if_enforced_bps
+      ::
+      (match row.R.if_actual_bps with
+      | None -> []
+      | Some bps -> [ view "actual" bps ]))
+    c.R.cy_ifaces
+
+let prom_families t =
+  let cycles = R.cycles t in
+  let occupancy =
+    {
+      Prom.fam_name = "ef_trace_cycles_retained";
+      fam_help = "committed controller cycles in the trace ring";
+      fam_kind = Prom.Gauge;
+      fam_samples = [ Prom.sample (float_of_int (List.length cycles)) ];
+    }
+  in
+  match R.latest t with
+  | None -> [ occupancy ]
+  | Some latest ->
+      let installed, retargeted, released = churn_counts cycles in
+      let churn =
+        {
+          Prom.fam_name = "ef_trace_override_churn";
+          fam_help = "override set changes over the retained trace window";
+          fam_kind = Prom.Gauge;
+          fam_samples =
+            [
+              Prom.sample
+                ~labels:[ ("action", "installed") ]
+                (float_of_int installed);
+              Prom.sample
+                ~labels:[ ("action", "retargeted") ]
+                (float_of_int retargeted);
+              Prom.sample
+                ~labels:[ ("action", "released") ]
+                (float_of_int released);
+            ];
+        }
+      in
+      let ages = List.map (fun e -> e.R.en_age_s) latest.R.cy_enforced in
+      let age_max = List.fold_left max 0 ages in
+      let age_mean =
+        match ages with
+        | [] -> 0.0
+        | _ ->
+            float_of_int (List.fold_left ( + ) 0 ages)
+            /. float_of_int (List.length ages)
+      in
+      let age =
+        {
+          Prom.fam_name = "ef_trace_override_age_seconds";
+          fam_help = "ages of the overrides enforced in the latest cycle";
+          fam_kind = Prom.Gauge;
+          fam_samples =
+            [
+              Prom.sample
+                ~labels:[ ("stat", "max") ]
+                (float_of_int age_max);
+              Prom.sample ~labels:[ ("stat", "mean") ] age_mean;
+            ];
+        }
+      in
+      let utilization =
+        {
+          Prom.fam_name = "ef_trace_iface_utilization";
+          fam_help =
+            "latest-cycle utilization per interface: projected (BGP \
+             preferred), enforced (with overrides), actual (ground truth)";
+          fam_kind = Prom.Gauge;
+          fam_samples = utilization_samples latest;
+        }
+      in
+      [ occupancy; churn; age; utilization ]

@@ -1,0 +1,23 @@
+(** Trace-derived metric families for the OpenMetrics exporter.
+
+    The registry covers what happened; the trace also knows {e why} and
+    {e for how long}. This module distills the retained ring into the
+    operational series the paper's operators watch: override churn over
+    the window, detour ages, and the per-interface projected vs enforced
+    vs actual utilization triangle (the gap between projected and actual
+    is exactly the sampling/staleness error Ef_obs cannot see). *)
+
+val prom_families : Recorder.t -> Ef_obs.Prom.family list
+(** Families derived from the recorder's retained ring:
+
+    - [ef_trace_cycles_retained] — ring occupancy;
+    - [ef_trace_override_churn] — installs/retargets/releases (labelled
+      [action]) summed over the retained window;
+    - [ef_trace_override_age_seconds{stat="max"|"mean"}] — ages of the
+      overrides enforced in the latest cycle;
+    - [ef_trace_iface_utilization{iface, view}] — latest cycle's
+      utilization per interface for [view] = [projected] (BGP-preferred),
+      [enforced] (with overrides) and [actual] (ground truth, when the
+      simulator annotated it).
+
+    Empty ring ⇒ just the occupancy family at 0. *)

@@ -1,0 +1,337 @@
+module Json = Ef_obs.Json
+module Prefix = Ef_bgp.Prefix
+
+type candidate_verdict =
+  | Chosen
+  | Same_iface
+  | No_iface
+  | No_headroom of { needed_bps : float; headroom_bps : float }
+
+type candidate = {
+  cand_level : int;
+  cand_peer_id : int;
+  cand_iface_id : int;
+  cand_verdict : candidate_verdict;
+}
+
+type alloc_outcome =
+  | Moved of { to_iface : int; peer_id : int; level : int }
+  | No_target
+  | Split of { children : int }
+
+type attempt = {
+  at_prefix : Prefix.t;
+  at_from_iface : int;
+  at_rate_bps : float;
+  at_candidates : candidate list;
+  at_outcome : alloc_outcome;
+}
+
+type guard_reason = Stale_target | Budget
+
+type guard_drop = {
+  gd_prefix : Prefix.t;
+  gd_reason : guard_reason;
+  gd_rate_bps : float;
+}
+
+type hys_disposition =
+  | Installed
+  | Kept of { age_s : int }
+  | Retargeted of { age_s : int }
+  | Hold_retarget of { age_s : int; min_hold_s : int }
+  | Released of { age_s : int }
+  | Release_deferred of { age_s : int; matured : bool; preferred_util : float }
+
+type hys_entry = { hy_prefix : Prefix.t; hy_disposition : hys_disposition }
+
+type enforced = {
+  en_prefix : Prefix.t;
+  en_from_iface : int;
+  en_to_iface : int;
+  en_peer_id : int;
+  en_level : int;
+  en_rate_bps : float;
+  en_age_s : int;
+  en_local_pref : int;
+  en_communities : string list;
+}
+
+type iface_row = {
+  if_id : int;
+  if_name : string;
+  if_capacity_bps : float;
+  if_projected_bps : float;
+  if_enforced_bps : float;
+  mutable if_actual_bps : float option;
+}
+
+type cycle = {
+  cy_index : int;
+  cy_time_s : int;
+  mutable cy_degraded : string option;
+  mutable cy_ifaces : iface_row list;
+  mutable cy_attempts : attempt list;
+  mutable cy_guard : guard_drop list;
+  mutable cy_hys : hys_entry list;
+  mutable cy_enforced : enforced list;
+}
+
+type t = {
+  enabled : bool;
+  ring_capacity : int;
+  mutable current : cycle option;
+  (* newest first; committed cycles store their lists in pipeline order *)
+  mutable ring : cycle list;
+  mutable ring_len : int;
+}
+
+let create ?(capacity = 64) () =
+  {
+    enabled = true;
+    ring_capacity = max 1 capacity;
+    current = None;
+    ring = [];
+    ring_len = 0;
+  }
+
+let noop =
+  { enabled = false; ring_capacity = 0; current = None; ring = []; ring_len = 0 }
+
+let enabled t = t.enabled
+let capacity t = t.ring_capacity
+
+(* while a cycle is open its lists accumulate newest-first; commit
+   reverses them into pipeline order *)
+let commit t c =
+  c.cy_attempts <- List.rev c.cy_attempts;
+  c.cy_guard <- List.rev c.cy_guard;
+  c.cy_hys <- List.rev c.cy_hys;
+  c.cy_enforced <- List.rev c.cy_enforced;
+  t.ring <- c :: t.ring;
+  t.ring_len <- t.ring_len + 1;
+  if t.ring_len > t.ring_capacity then begin
+    (* drop the oldest: truncate the newest-first list *)
+    t.ring <- List.filteri (fun i _ -> i < t.ring_capacity) t.ring;
+    t.ring_len <- t.ring_capacity
+  end
+
+let end_cycle t =
+  if t.enabled then
+    match t.current with
+    | None -> ()
+    | Some c ->
+        t.current <- None;
+        commit t c
+
+let begin_cycle t ~index ~time_s =
+  if t.enabled then begin
+    end_cycle t;
+    t.current <-
+      Some
+        {
+          cy_index = index;
+          cy_time_s = time_s;
+          cy_degraded = None;
+          cy_ifaces = [];
+          cy_attempts = [];
+          cy_guard = [];
+          cy_hys = [];
+          cy_enforced = [];
+        }
+  end
+
+let with_current t f =
+  if t.enabled then match t.current with None -> () | Some c -> f c
+
+let set_degraded t reason = with_current t (fun c -> c.cy_degraded <- Some reason)
+
+let record_attempt t a =
+  with_current t (fun c -> c.cy_attempts <- a :: c.cy_attempts)
+
+let record_guard_drop t d =
+  with_current t (fun c -> c.cy_guard <- d :: c.cy_guard)
+
+let record_hysteresis t e =
+  with_current t (fun c -> c.cy_hys <- e :: c.cy_hys)
+
+let record_enforced t e =
+  with_current t (fun c -> c.cy_enforced <- e :: c.cy_enforced)
+
+let record_ifaces t rows = with_current t (fun c -> c.cy_ifaces <- rows)
+
+let annotate_actual t loads =
+  if t.enabled then
+    match t.ring with
+    | [] -> ()
+    | newest :: _ ->
+        List.iter
+          (fun row ->
+            match List.assoc_opt row.if_id loads with
+            | Some bps -> row.if_actual_bps <- Some bps
+            | None -> ())
+          newest.cy_ifaces
+
+let cycles t = List.rev t.ring
+let latest t = match t.ring with [] -> None | c :: _ -> Some c
+
+let find_cycle t ~index =
+  List.find_opt (fun c -> c.cy_index = index) t.ring
+
+let prefix_matches recorded wanted =
+  Prefix.equal recorded wanted
+  || Prefix.subsumes wanted recorded (* /24 child of the asked prefix *)
+
+let touched c prefix =
+  List.exists (fun a -> prefix_matches a.at_prefix prefix) c.cy_attempts
+  || List.exists (fun d -> prefix_matches d.gd_prefix prefix) c.cy_guard
+  || List.exists (fun e -> prefix_matches e.hy_prefix prefix) c.cy_hys
+  || List.exists (fun e -> prefix_matches e.en_prefix prefix) c.cy_enforced
+
+let cycles_touching t prefix =
+  List.filter (fun c -> touched c prefix) (cycles t)
+
+(* --- serialization ----------------------------------------------------- *)
+
+let verdict_to_json = function
+  | Chosen -> Json.Obj [ ("verdict", Json.String "chosen") ]
+  | Same_iface -> Json.Obj [ ("verdict", Json.String "same_iface") ]
+  | No_iface -> Json.Obj [ ("verdict", Json.String "no_iface") ]
+  | No_headroom { needed_bps; headroom_bps } ->
+      Json.Obj
+        [
+          ("verdict", Json.String "no_headroom");
+          ("needed_bps", Json.Float needed_bps);
+          ("headroom_bps", Json.Float headroom_bps);
+        ]
+
+let candidate_to_json c =
+  Json.Obj
+    (("level", Json.Int c.cand_level)
+    :: ("peer_id", Json.Int c.cand_peer_id)
+    :: ("iface_id", Json.Int c.cand_iface_id)
+    ::
+    (match verdict_to_json c.cand_verdict with
+    | Json.Obj fields -> fields
+    | _ -> []))
+
+let outcome_to_json = function
+  | Moved { to_iface; peer_id; level } ->
+      Json.Obj
+        [
+          ("outcome", Json.String "moved");
+          ("to_iface", Json.Int to_iface);
+          ("peer_id", Json.Int peer_id);
+          ("level", Json.Int level);
+        ]
+  | No_target -> Json.Obj [ ("outcome", Json.String "no_target") ]
+  | Split { children } ->
+      Json.Obj
+        [ ("outcome", Json.String "split"); ("children", Json.Int children) ]
+
+let attempt_to_json a =
+  Json.Obj
+    [
+      ("prefix", Json.String (Prefix.to_string a.at_prefix));
+      ("from_iface", Json.Int a.at_from_iface);
+      ("rate_bps", Json.Float a.at_rate_bps);
+      ("candidates", Json.List (List.map candidate_to_json a.at_candidates));
+      ("result", outcome_to_json a.at_outcome);
+    ]
+
+let guard_reason_to_string = function
+  | Stale_target -> "stale_target"
+  | Budget -> "budget"
+
+let guard_drop_to_json d =
+  Json.Obj
+    [
+      ("prefix", Json.String (Prefix.to_string d.gd_prefix));
+      ("reason", Json.String (guard_reason_to_string d.gd_reason));
+      ("rate_bps", Json.Float d.gd_rate_bps);
+    ]
+
+let hys_disposition_to_json = function
+  | Installed -> Json.Obj [ ("action", Json.String "installed") ]
+  | Kept { age_s } ->
+      Json.Obj [ ("action", Json.String "kept"); ("age_s", Json.Int age_s) ]
+  | Retargeted { age_s } ->
+      Json.Obj
+        [ ("action", Json.String "retargeted"); ("age_s", Json.Int age_s) ]
+  | Hold_retarget { age_s; min_hold_s } ->
+      Json.Obj
+        [
+          ("action", Json.String "hold_retarget");
+          ("age_s", Json.Int age_s);
+          ("min_hold_s", Json.Int min_hold_s);
+        ]
+  | Released { age_s } ->
+      Json.Obj [ ("action", Json.String "released"); ("age_s", Json.Int age_s) ]
+  | Release_deferred { age_s; matured; preferred_util } ->
+      Json.Obj
+        [
+          ("action", Json.String "release_deferred");
+          ("age_s", Json.Int age_s);
+          ("matured", Json.Bool matured);
+          ("preferred_util", Json.Float preferred_util);
+        ]
+
+let hys_entry_to_json e =
+  Json.Obj
+    (("prefix", Json.String (Prefix.to_string e.hy_prefix))
+    ::
+    (match hys_disposition_to_json e.hy_disposition with
+    | Json.Obj fields -> fields
+    | _ -> []))
+
+let enforced_to_json e =
+  Json.Obj
+    [
+      ("prefix", Json.String (Prefix.to_string e.en_prefix));
+      ("from_iface", Json.Int e.en_from_iface);
+      ("to_iface", Json.Int e.en_to_iface);
+      ("peer_id", Json.Int e.en_peer_id);
+      ("level", Json.Int e.en_level);
+      ("rate_bps", Json.Float e.en_rate_bps);
+      ("age_s", Json.Int e.en_age_s);
+      ("local_pref", Json.Int e.en_local_pref);
+      ( "communities",
+        Json.List (List.map (fun c -> Json.String c) e.en_communities) );
+    ]
+
+let iface_row_to_json r =
+  Json.Obj
+    [
+      ("id", Json.Int r.if_id);
+      ("name", Json.String r.if_name);
+      ("capacity_bps", Json.Float r.if_capacity_bps);
+      ("projected_bps", Json.Float r.if_projected_bps);
+      ("enforced_bps", Json.Float r.if_enforced_bps);
+      ( "actual_bps",
+        match r.if_actual_bps with
+        | None -> Json.Null
+        | Some bps -> Json.Float bps );
+    ]
+
+let cycle_to_json c =
+  Json.Obj
+    [
+      ("cycle", Json.Int c.cy_index);
+      ("time_s", Json.Int c.cy_time_s);
+      ( "degraded",
+        match c.cy_degraded with
+        | None -> Json.Null
+        | Some r -> Json.String r );
+      ("ifaces", Json.List (List.map iface_row_to_json c.cy_ifaces));
+      ("allocator", Json.List (List.map attempt_to_json c.cy_attempts));
+      ("guard", Json.List (List.map guard_drop_to_json c.cy_guard));
+      ("hysteresis", Json.List (List.map hys_entry_to_json c.cy_hys));
+      ("enforced", Json.List (List.map enforced_to_json c.cy_enforced));
+    ]
+
+let to_json t =
+  Json.Obj
+    [
+      ("capacity", Json.Int t.ring_capacity);
+      ("cycles", Json.List (List.map cycle_to_json (cycles t)));
+    ]

@@ -1,0 +1,169 @@
+(** The decision-trace recorder: per-cycle, per-prefix provenance.
+
+    Every stage of the controller pipeline reports {e why} it did what it
+    did into one recorder: the allocator logs each candidate route it
+    examined for a prefix and why the losers lost, the guard logs which
+    budget shed a proposal, hysteresis logs why a move was damped or a
+    release deferred, and the controller logs the final enforced
+    placements with the BGP attributes that realize them. One controller
+    cycle produces one {!cycle} record; the recorder retains a bounded
+    ring of the most recent cycles.
+
+    The recorder is deliberately dumb data: no clocks, no I/O, no
+    references into live pipeline state — every field is a scalar or a
+    prefix, so serializing the ring is deterministic (same seed + same
+    scenario ⇒ byte-identical {!to_json} output) and a retained cycle
+    never pins a snapshot alive.
+
+    {b Cost when disabled.} {!noop} is a recorder whose [enabled] flag is
+    false; every recording function returns immediately after one branch,
+    and call sites that would allocate (candidate lists, record fields)
+    must guard on {!enabled} first. The controller takes a recorder
+    unconditionally, so the disabled path is a single load-and-branch per
+    stage — measured in the [trace] bench entry. *)
+
+module Prefix = Ef_bgp.Prefix
+
+(** Why one candidate route did (or did not) become the detour target. *)
+type candidate_verdict =
+  | Chosen                    (** first candidate with room — the target *)
+  | Same_iface                (** egresses on the interface being relieved *)
+  | No_iface                  (** peer resolves to no interface in the snapshot *)
+  | No_headroom of { needed_bps : float; headroom_bps : float }
+      (** the whole prefix does not fit below the threshold *)
+
+type candidate = {
+  cand_level : int;           (** decision-process rank (0 = BGP best) *)
+  cand_peer_id : int;
+  cand_iface_id : int;        (** [-1] when the peer has no interface *)
+  cand_verdict : candidate_verdict;
+}
+
+type alloc_outcome =
+  | Moved of { to_iface : int; peer_id : int; level : int }
+  | No_target                 (** every alternate was rejected *)
+  | Split of { children : int }
+      (** split into /24 children instead of moving whole *)
+
+(** One allocator evaluation of one prefix (a prefix revisited across
+    relief iterations gets one attempt per evaluation). *)
+type attempt = {
+  at_prefix : Prefix.t;
+  at_from_iface : int;        (** the overloaded interface being relieved *)
+  at_rate_bps : float;
+  at_candidates : candidate list;  (** in decision order, as examined *)
+  at_outcome : alloc_outcome;
+}
+
+type guard_reason =
+  | Stale_target              (** the detour route vanished from the RIB *)
+  | Budget                    (** shed to satisfy a blast-radius budget *)
+
+type guard_drop = {
+  gd_prefix : Prefix.t;
+  gd_reason : guard_reason;
+  gd_rate_bps : float;
+}
+
+(** What hysteresis decided for one prefix this cycle. *)
+type hys_disposition =
+  | Installed
+  | Kept of { age_s : int }
+  | Retargeted of { age_s : int }
+  | Hold_retarget of { age_s : int; min_hold_s : int }
+      (** retarget wanted but the override has not matured *)
+  | Released of { age_s : int }
+  | Release_deferred of { age_s : int; matured : bool; preferred_util : float }
+      (** release wanted but damped (immature, or preferred interface
+          still above the release threshold) *)
+
+type hys_entry = { hy_prefix : Prefix.t; hy_disposition : hys_disposition }
+
+(** One enforced override with the BGP attributes applied. *)
+type enforced = {
+  en_prefix : Prefix.t;
+  en_from_iface : int;
+  en_to_iface : int;
+  en_peer_id : int;
+  en_level : int;
+  en_rate_bps : float;
+  en_age_s : int;             (** seconds since installation *)
+  en_local_pref : int;
+  en_communities : string list;
+}
+
+type iface_row = {
+  if_id : int;
+  if_name : string;
+  if_capacity_bps : float;
+  if_projected_bps : float;   (** pre-override (BGP-preferred) load *)
+  if_enforced_bps : float;    (** load under the enforced override set *)
+  mutable if_actual_bps : float option;
+      (** ground-truth egress, annotated by the simulator after the fact;
+          [None] outside the simulator *)
+}
+
+type cycle = {
+  cy_index : int;             (** 1-based controller cycle number *)
+  cy_time_s : int;            (** snapshot time *)
+  mutable cy_degraded : string option;
+  mutable cy_ifaces : iface_row list;
+  mutable cy_attempts : attempt list;
+  mutable cy_guard : guard_drop list;
+  mutable cy_hys : hys_entry list;
+  mutable cy_enforced : enforced list;
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** An enabled recorder retaining the last [capacity] (default 64,
+    minimum 1) committed cycles. *)
+
+val noop : t
+(** The disabled recorder: every operation is a no-op, every query is
+    empty. Shared — safe because nothing is ever written through it. *)
+
+val enabled : t -> bool
+val capacity : t -> int
+
+(** {2 Recording} (all no-ops on {!noop})
+
+    A cycle is built between {!begin_cycle} and {!end_cycle}; recording
+    outside an open cycle is ignored. [begin_cycle] commits any cycle
+    left open. *)
+
+val begin_cycle : t -> index:int -> time_s:int -> unit
+val set_degraded : t -> string -> unit
+val record_attempt : t -> attempt -> unit
+val record_guard_drop : t -> guard_drop -> unit
+val record_hysteresis : t -> hys_entry -> unit
+val record_enforced : t -> enforced -> unit
+val record_ifaces : t -> iface_row list -> unit
+val end_cycle : t -> unit
+
+val annotate_actual : t -> (int * float) list -> unit
+(** [(iface_id, actual_bps)] ground truth for the most recently committed
+    cycle — the simulator calls this once the true placement is known. *)
+
+(** {2 Query} *)
+
+val cycles : t -> cycle list
+(** Committed cycles, oldest first. *)
+
+val latest : t -> cycle option
+val find_cycle : t -> index:int -> cycle option
+
+val touched : cycle -> Prefix.t -> bool
+(** Did any stage record anything about this prefix (exact match or a
+    /24 child of it)? *)
+
+val cycles_touching : t -> Prefix.t -> cycle list
+(** Oldest first. *)
+
+(** {2 Serialization} *)
+
+val cycle_to_json : cycle -> Ef_obs.Json.t
+val to_json : t -> Ef_obs.Json.t
+(** The whole retained ring, oldest cycle first. Deterministic: no
+    wall-clock fields, stable field order. *)

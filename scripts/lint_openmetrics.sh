@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Minimal OpenMetrics text-format validator — bash + awk only, no external
+# dependencies, so CI can lint `efctl run --prom-out` output anywhere.
+#
+# Checks:
+#   - file is non-empty and ends with the mandatory `# EOF` marker;
+#   - every `# TYPE` declares a known kind, at most once per family;
+#   - every sample line parses as  name[{labels}] value [timestamp]  with a
+#     legal metric name and a numeric value;
+#   - every sample belongs to a declared family (modulo the conventional
+#     suffixes _total/_sum/_count/_bucket);
+#   - no NaN samples (the exporters clamp empty aggregates to 0, so a NaN
+#     here is a regression even though the spec tolerates it).
+#
+# Usage: lint_openmetrics.sh FILE
+set -euo pipefail
+
+file="${1:?usage: lint_openmetrics.sh FILE}"
+
+fail() { echo "lint_openmetrics: $file: $*" >&2; exit 1; }
+
+[ -s "$file" ] || fail "empty or missing"
+[ "$(tail -n 1 "$file")" = "# EOF" ] || fail "does not end with '# EOF'"
+
+awk '
+function fail(msg) {
+  printf "lint_openmetrics: %s:%d: %s: %s\n", FILENAME, NR, msg, $0 > "/dev/stderr"
+  bad = 1
+}
+/^# EOF$/ { seen_eof = NR; next }
+/^# TYPE / {
+  if (NF != 4) { fail("malformed TYPE line"); next }
+  if (types[$3] != "") fail("duplicate TYPE for family " $3)
+  if ($4 !~ /^(counter|gauge|summary|histogram|info|stateset|unknown)$/)
+    fail("unknown metric kind " $4)
+  types[$3] = $4
+  next
+}
+/^# HELP / { if (NF < 3) fail("malformed HELP line"); next }
+/^#/ { fail("unexpected comment line"); next }
+/^$/ { fail("blank line"); next }
+{
+  line = $0
+  name = line
+  sub(/[{ ].*$/, "", name)
+  if (name !~ /^[a-zA-Z_:][a-zA-Z0-9_:]*$/) { fail("illegal metric name"); next }
+  rest = substr(line, length(name) + 1)
+  if (rest ~ /^\{/) {
+    if (sub(/^\{[^{]*\} /, "", rest) == 0) { fail("malformed label set"); next }
+  } else if (sub(/^ /, "", rest) == 0) { fail("missing value separator"); next }
+  n = split(rest, f, " ")
+  if (n < 1 || n > 2) { fail("expected value [timestamp]"); next }
+  v = f[1]
+  if (v == "NaN") { fail("NaN sample (exporters must clamp)"); next }
+  if (v !~ /^[+-]?(Inf|[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?)$/) {
+    fail("unparsable sample value " v); next
+  }
+  base = name
+  sub(/_(total|sum|count|bucket)$/, "", base)
+  if (types[name] == "" && types[base] == "")
+    fail("sample for undeclared family " name)
+  samples++
+}
+END {
+  if (!seen_eof) { print "lint_openmetrics: missing # EOF" > "/dev/stderr"; bad = 1 }
+  if (samples == 0) { print "lint_openmetrics: no samples" > "/dev/stderr"; bad = 1 }
+  exit bad
+}
+' "$file"
+
+echo "lint_openmetrics: $file: OK"

@@ -24,6 +24,7 @@ let () =
       ("core", Test_core.suite);
       ("obs", Test_obs.suite);
       ("controller", Test_controller.suite);
+      ("provenance", Test_provenance.suite);
       ("guard", Test_guard.suite);
       ("altpath", Test_altpath.suite);
       ("engine", Test_engine.suite);

@@ -49,8 +49,13 @@ let test_histogram_quantiles () =
   let reg = O.Registry.create () in
   let h = O.Registry.histogram reg "h" in
   Alcotest.(check int) "empty count" 0 (O.Histogram.count h);
-  Alcotest.(check bool) "empty quantile is nan" true
-    (Float.is_nan (O.Histogram.quantile h 0.5));
+  (* regression: empty-histogram quantiles are clamped to 0., never nan —
+     a nan here leaks "null" into JSON and an unparsable sample into
+     OpenMetrics *)
+  Alcotest.(check (float 0.0)) "empty p50 clamped" 0.0
+    (O.Histogram.quantile h 0.5);
+  Alcotest.(check (float 0.0)) "empty p99 clamped" 0.0
+    (O.Histogram.quantile h 0.99);
   for i = 1 to 100 do
     O.Histogram.observe h (float_of_int i)
   done;
