@@ -44,6 +44,11 @@ let allocator_bench snap_lazy =
       let snap = Lazy.force snap_lazy in
       ignore (Ef.Allocator.run ~config:Ef.Config.default snap))
 
+let allocator_ref_bench snap_lazy =
+  Staged.stage (fun () ->
+      let snap = Lazy.force snap_lazy in
+      ignore (Ef.Allocator_ref.run ~config:Ef.Config.default snap))
+
 let projection_bench snap_lazy =
   Staged.stage (fun () ->
       let snap = Lazy.force snap_lazy in
@@ -132,34 +137,154 @@ let micro_tests =
     Test.make ~name:"fault/injector-600s-queries" fault_query_bench;
   ]
 
-let run_micro () =
-  print_endline "== E10: controller scale microbenchmarks (Bechamel) ==";
-  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.5) ~kde:None () in
+(* measure one Bechamel case; returns (name, ns/run) *)
+let measure_case ~cfg ~instance ~ols case =
+  let raw = Benchmark.run cfg [ instance ] case in
+  let result = Analyze.one ols instance raw in
+  let ns =
+    match Analyze.OLS.estimates result with
+    | Some [ est ] -> est
+    | Some _ | None -> nan
+  in
+  (Test.Elt.name case, ns)
+
+let print_timing (name, ns) =
+  if ns >= 1e9 then Printf.printf "  %-40s %10.3f s/run\n%!" name (ns /. 1e9)
+  else if ns >= 1e6 then Printf.printf "  %-40s %10.3f ms/run\n%!" name (ns /. 1e6)
+  else if ns >= 1e3 then Printf.printf "  %-40s %10.3f us/run\n%!" name (ns /. 1e3)
+  else Printf.printf "  %-40s %10.0f ns/run\n%!" name ns
+
+let measure_suite ?(fast = false) tests =
+  let quota = if fast then 0.25 else 0.5 in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second quota) ~kde:None () in
   let instance = Instance.monotonic_clock in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
   in
-  List.iter
+  List.concat_map
     (fun test ->
-      List.iter
+      List.map
         (fun case ->
-          let raw = Benchmark.run cfg [ instance ] case in
-          let result = Analyze.one ols instance raw in
-          let ns =
-            match Analyze.OLS.estimates result with
-            | Some [ est ] -> est
-            | Some _ | None -> nan
-          in
-          let name = Test.Elt.name case in
-          if ns >= 1e9 then Printf.printf "  %-40s %10.3f s/run\n%!" name (ns /. 1e9)
-          else if ns >= 1e6 then
-            Printf.printf "  %-40s %10.3f ms/run\n%!" name (ns /. 1e6)
-          else if ns >= 1e3 then
-            Printf.printf "  %-40s %10.3f us/run\n%!" name (ns /. 1e3)
-          else Printf.printf "  %-40s %10.0f ns/run\n%!" name ns)
+          let r = measure_case ~cfg ~instance ~ols case in
+          print_timing r;
+          r)
         (Test.elements test))
-    micro_tests;
-  print_newline ()
+    tests
+
+let run_micro ?fast () =
+  print_endline "== E10: controller scale microbenchmarks (Bechamel) ==";
+  let results = measure_suite ?fast micro_tests in
+  print_newline ();
+  results
+
+(* E10d: one full allocator cycle, optimized implementation vs the frozen
+   pre-PR reference (Ef.Allocator_ref), on the same prepared snapshots.
+   The stress-scenario ratio is the PR's acceptance number. *)
+let e10d_scenarios =
+  [
+    ("tiny", tiny_snap);
+    ("pop-a", pop_a_snap);
+    ("stress", stress_snap);
+  ]
+
+let run_e10d ?fast () =
+  print_endline "== E10d: allocator cycle, optimized vs pre-PR reference ==";
+  let rows =
+    List.map
+      (fun (label, snap) ->
+        let results =
+          measure_suite ?fast
+            [
+              Test.make ~name:("e10d/opt-" ^ label) (allocator_bench snap);
+              Test.make ~name:("e10d/ref-" ^ label) (allocator_ref_bench snap);
+            ]
+        in
+        let ns_of key =
+          match List.assoc_opt (key ^ label) results with
+          | Some ns -> ns
+          | None -> nan
+        in
+        let opt_ns = ns_of "e10d/opt-" and ref_ns = ns_of "e10d/ref-" in
+        let speedup = ref_ns /. opt_ns in
+        Printf.printf "  %-40s %9.2fx speedup\n%!" ("e10d/" ^ label) speedup;
+        (label, ref_ns, opt_ns, speedup))
+      e10d_scenarios
+  in
+  print_newline ();
+  rows
+
+(* BENCH_PR4.json: the machine-readable perf trajectory record *)
+let write_bench_json path ~micro ~e10d =
+  let module J = Ef_obs.Json in
+  let stress_speedup =
+    match List.find_opt (fun (l, _, _, _) -> l = "stress") e10d with
+    | Some (_, _, _, s) -> s
+    | None -> nan
+  in
+  let json =
+    J.Obj
+      [
+        ("schema", J.String "edge-fabric-bench/1");
+        ("pr", J.Int 4);
+        ("source", J.String "bench/main.exe micro");
+        ( "micro",
+          J.List
+            (List.map
+               (fun (name, ns) ->
+                 J.Obj [ ("name", J.String name); ("ns_per_run", J.Float ns) ])
+               micro) );
+        ( "e10d",
+          J.List
+            (List.map
+               (fun (label, ref_ns, opt_ns, speedup) ->
+                 J.Obj
+                   [
+                     ("scenario", J.String label);
+                     ("ref_ns_per_run", J.Float ref_ns);
+                     ("opt_ns_per_run", J.Float opt_ns);
+                     ("speedup", J.Float speedup);
+                   ])
+               e10d) );
+        ( "acceptance",
+          J.Obj
+            [
+              ("stress_speedup", J.Float stress_speedup);
+              ("required_min", J.Float 5.0);
+              ("pass", J.Bool (stress_speedup >= 5.0));
+            ] );
+      ]
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (J.to_string json);
+      output_char oc '\n');
+  Printf.printf "wrote %s (stress speedup %.2fx)\n%!" path stress_speedup
+
+(* `json-check FILE`: exit 0 iff FILE parses as JSON and carries the
+   bench schema — the CI gate against a malformed report *)
+let json_check path =
+  let module J = Ef_obs.Json in
+  let contents =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  match J.parse contents with
+  | Error e ->
+      Printf.eprintf "%s: malformed JSON: %s\n" path e;
+      exit 1
+  | Ok json -> (
+      match Option.bind (J.member "schema" json) J.to_string_opt with
+      | Some "edge-fabric-bench/1" -> Printf.printf "%s: ok\n%!" path
+      | Some other ->
+          Printf.eprintf "%s: unexpected schema %S\n" path other;
+          exit 1
+      | None ->
+          Printf.eprintf "%s: missing \"schema\" field\n" path;
+          exit 1)
 
 (* per-stage attribution of the controller cycle, from the Ef_obs spans:
    where inside a cycle the time actually goes on the pop-a world *)
@@ -276,36 +401,52 @@ let run_one params (id, title, f) =
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
-  let fast = List.mem "fast" args in
-  let params =
-    if fast then { E.default_params with E.cycle_s = 600 } else E.default_params
-  in
-  let selected = List.filter (fun a -> a <> "fast") args in
-  match selected with
-  | [] | [ "all" ] ->
-      List.iter (run_one params) experiments;
-      run_micro ();
-      run_stage_attribution ();
-      run_trace_overhead ()
-  | [ "micro" ] ->
-      run_micro ();
-      run_stage_attribution ();
-      run_trace_overhead ()
-  | ids ->
-      List.iter
-        (fun id ->
-          if id = "micro" then begin
-            run_micro ();
-            run_stage_attribution ();
-            run_trace_overhead ()
-          end
-          else
-            match List.find_opt (fun (i, _, _) -> i = id) experiments with
-            | Some exp -> run_one params exp
-            | None ->
-                Printf.eprintf
-                  "unknown experiment %S (known: %s, micro, all; modifier: fast)\n"
-                  id
-                  (String.concat ", " (List.map (fun (i, _, _) -> i) experiments));
-                exit 1)
-        ids
+  match args with
+  | [ "json-check"; path ] -> json_check path
+  | _ ->
+      let fast = List.mem "fast" args in
+      let json_out =
+        List.find_map
+          (fun a ->
+            if String.length a > 5 && String.sub a 0 5 = "json=" then
+              Some (String.sub a 5 (String.length a - 5))
+            else None)
+          args
+      in
+      let params =
+        if fast then { E.default_params with E.cycle_s = 600 }
+        else E.default_params
+      in
+      let run_micro_suite () =
+        let micro = run_micro ~fast () in
+        let e10d = run_e10d ~fast () in
+        run_stage_attribution ();
+        run_trace_overhead ();
+        Option.iter (fun path -> write_bench_json path ~micro ~e10d) json_out
+      in
+      let selected =
+        List.filter
+          (fun a ->
+            a <> "fast" && not (String.length a > 5 && String.sub a 0 5 = "json="))
+          args
+      in
+      (match selected with
+      | [] | [ "all" ] ->
+          List.iter (run_one params) experiments;
+          run_micro_suite ()
+      | ids ->
+          List.iter
+            (fun id ->
+              if id = "micro" then run_micro_suite ()
+              else
+                match List.find_opt (fun (i, _, _) -> i = id) experiments with
+                | Some exp -> run_one params exp
+                | None ->
+                    Printf.eprintf
+                      "unknown experiment %S (known: %s, micro, all; \
+                       modifiers: fast, json=FILE)\n"
+                      id
+                      (String.concat ", "
+                         (List.map (fun (i, _, _) -> i) experiments));
+                    exit 1)
+            ids)

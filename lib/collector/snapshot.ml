@@ -5,9 +5,21 @@ type t = {
   prefix_rates : (Bgp.Prefix.t * float) list;
   rate_trie : float Bgp.Ptrie.t;
   routes : Bgp.Prefix.t -> Bgp.Route.t list;
+  routes_memo : (Bgp.Prefix.t, Bgp.Route.t list) Hashtbl.t;
   ifaces : Ef_netsim.Iface.t list;
+  iface_index : Ef_netsim.Iface.t option array; (* indexed by iface id *)
   iface_of_peer : int -> Ef_netsim.Iface.t option;
+  total_rate_bps : float;
+  prefix_count : int;
 }
+
+let index_ifaces ifaces =
+  let max_id =
+    List.fold_left (fun acc i -> max acc (Ef_netsim.Iface.id i)) (-1) ifaces
+  in
+  let index = Array.make (max_id + 1) None in
+  List.iter (fun i -> index.(Ef_netsim.Iface.id i) <- Some i) ifaces;
+  index
 
 let assemble ?obs ~routes ~iface_of_peer ~ifaces ~prefix_rates ~time_s () =
   let obs = match obs with Some r -> r | None -> Ef_obs.Registry.default () in
@@ -17,23 +29,37 @@ let assemble ?obs ~routes ~iface_of_peer ~ifaces ~prefix_rates ~time_s () =
     |> List.filter (fun (_, r) -> r > 0.0)
     |> List.sort (fun (_, a) (_, b) -> compare b a)
   in
-  let rate_trie =
+  let rate_trie, total_rate_bps, prefix_count =
     List.fold_left
-      (fun trie (p, r) -> Bgp.Ptrie.add p r trie)
-      Bgp.Ptrie.empty prefix_rates
+      (fun (trie, total, n) (p, r) -> (Bgp.Ptrie.add p r trie, total +. r, n + 1))
+      (Bgp.Ptrie.empty, 0.0, 0) prefix_rates
   in
   Ef_obs.Counter.inc (Ef_obs.Registry.counter obs "collector.snapshots");
   Ef_obs.Gauge.set
     (Ef_obs.Registry.gauge obs "collector.snapshot.prefixes")
-    (float_of_int (List.length prefix_rates));
-  { time_s; prefix_rates; rate_trie; routes; ifaces; iface_of_peer }
+    (float_of_int prefix_count);
+  {
+    time_s;
+    prefix_rates;
+    rate_trie;
+    routes;
+    routes_memo = Hashtbl.create 256;
+    ifaces;
+    iface_index = index_ifaces ifaces;
+    iface_of_peer;
+    total_rate_bps;
+    prefix_count;
+  }
 
 let of_pop ?obs ?ifaces pop ~prefix_rates ~time_s =
   let rib = Ef_netsim.Pop.rib pop in
   let pop_ifaces =
     match ifaces with Some l -> l | None -> Ef_netsim.Pop.interfaces pop
   in
-  let iface_by_id id = List.find_opt (fun i -> Ef_netsim.Iface.id i = id) pop_ifaces in
+  let index = index_ifaces pop_ifaces in
+  let iface_by_id id =
+    if id < 0 || id >= Array.length index then None else index.(id)
+  in
   assemble ?obs
     ~routes:(fun p -> Bgp.Rib.ranked rib p)
     ~iface_of_peer:(fun peer_id ->
@@ -50,19 +76,30 @@ let prefix_rates t = t.prefix_rates
 let rate_of t prefix =
   Option.value (Bgp.Ptrie.find prefix t.rate_trie) ~default:0.0
 
-let routes t prefix = t.routes prefix
+(* Candidate sets are memoized per snapshot: the allocator asks for the
+   same prefix's routes on every relief attempt (and the guard again
+   after that), and re-ranking the Loc-RIB each time dominated the cycle.
+   A snapshot is one coherent view, so first answer wins — this also
+   pins the view against later RIB churn when [routes] closes over a
+   live RIB. *)
+let routes t prefix =
+  match Hashtbl.find_opt t.routes_memo prefix with
+  | Some rs -> rs
+  | None ->
+      let rs = t.routes prefix in
+      Hashtbl.add t.routes_memo prefix rs;
+      rs
 
 let preferred_route t prefix =
-  match t.routes prefix with
-  | [] -> None
-  | r :: _ -> Some r
+  match routes t prefix with [] -> None | r :: _ -> Some r
 
 let ifaces t = t.ifaces
+
+let iface_by_id t id =
+  if id < 0 || id >= Array.length t.iface_index then None else t.iface_index.(id)
+
+let max_iface_id t = Array.length t.iface_index - 1
 let iface_of_peer t ~peer_id = t.iface_of_peer peer_id
-
 let iface_of_route t route = t.iface_of_peer (Bgp.Route.peer_id route)
-
-let total_rate_bps t =
-  List.fold_left (fun acc (_, r) -> acc +. r) 0.0 t.prefix_rates
-
-let prefix_count t = List.length t.prefix_rates
+let total_rate_bps t = t.total_rate_bps
+let prefix_count t = t.prefix_count

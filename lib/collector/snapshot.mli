@@ -44,10 +44,29 @@ val prefix_rates : t -> (Ef_bgp.Prefix.t * float) list
 (** Descending by rate — the order the allocator considers prefixes. *)
 
 val rate_of : t -> Ef_bgp.Prefix.t -> float
+
 val routes : t -> Ef_bgp.Prefix.t -> Ef_bgp.Route.t list
+(** Memoized per snapshot: the first call for a prefix runs the supplied
+    [routes] function, later calls return the cached candidate list. One
+    snapshot therefore ranks each prefix at most once per cycle, however
+    many times the allocator and guard revisit it. *)
+
 val preferred_route : t -> Ef_bgp.Prefix.t -> Ef_bgp.Route.t option
 val ifaces : t -> Ef_netsim.Iface.t list
+
+val iface_by_id : t -> int -> Ef_netsim.Iface.t option
+(** O(1) (array-indexed) lookup by interface id; [None] for ids no
+    interface carries. *)
+
+val max_iface_id : t -> int
+(** Largest interface id in the snapshot; [-1] when there are none.
+    Sizes the allocator's dense per-interface tables. *)
+
 val iface_of_peer : t -> peer_id:int -> Ef_netsim.Iface.t option
 val iface_of_route : t -> Ef_bgp.Route.t -> Ef_netsim.Iface.t option
+
 val total_rate_bps : t -> float
+(** Precomputed at assembly (not re-folded per call). *)
+
 val prefix_count : t -> int
+(** Precomputed at assembly. *)

@@ -1,34 +1,23 @@
+(* The allocator exactly as it was before the indexed-snapshot /
+   incremental-projection overhaul (modulo the shared canonical placement
+   tiebreak, which lives in Projection.compare_placement). See the .mli
+   for why this copy exists; keep its algorithmic shape frozen. *)
+
 module Bgp = Ef_bgp
 module Snapshot = Ef_collector.Snapshot
 module Iface = Ef_netsim.Iface
-module Bitset = Ef_util.Bitset
 module Trace = Ef_trace.Recorder
 
-type result = {
-  overrides : Override.t list;
-  before : Projection.t;
-  final : Projection.t;
-  residual : (Iface.t * float) list;
-  moves_considered : int;
-  splits : int;
-}
-
-(* /24 children inherit the parent's candidate routes; this table lets a
-   child placement find them. *)
 type state = {
   config : Config.t;
   snapshot : Snapshot.t;
-  work : Projection.Working.t; (* mutated in place through the relief loop *)
+  mutable proj : Projection.t;
   decide_proj : Projection.t; (* stale view used when iterative = false *)
   mutable overrides : Override.t list;
-  mutable n_overrides : int; (* running List.length st.overrides *)
   mutable moves : int;
   mutable splits : int;
   split_parent : (Bgp.Prefix.t, Bgp.Prefix.t) Hashtbl.t;
-  gave_up : Bitset.t; (* iface ids we cannot relieve further *)
-  initially_over : Bitset.t; (* overloaded in the original projection *)
-  over : Bitset.t; (* overloaded now, kept current from touched ifaces *)
-  pos_of_iface : int array; (* iface id -> rank in the snapshot's list *)
+  mutable gave_up : int list; (* iface ids we cannot relieve further *)
   trace : Trace.t;
 }
 
@@ -39,62 +28,17 @@ let candidates st prefix =
   Snapshot.routes st.snapshot key
 
 let capacity_of st iface_id =
-  match Snapshot.iface_by_id st.snapshot iface_id with
+  match
+    List.find_opt (fun i -> Iface.id i = iface_id) (Snapshot.ifaces st.snapshot)
+  with
   | Some i -> Iface.capacity_bps i
-  | None -> invalid_arg "Allocator: unknown interface id"
+  | None -> invalid_arg "Allocator_ref: unknown interface id"
 
 let headroom st iface_id =
-  (* room below the threshold on [iface_id], per the view the config says
-     to decide against *)
-  let load =
-    if st.config.Config.iterative then
-      Projection.Working.load_bps st.work ~iface_id
-    else Projection.load_bps st.decide_proj ~iface_id
-  in
-  (capacity_of st iface_id *. st.config.Config.overload_threshold) -. load
+  let view = if st.config.Config.iterative then st.proj else st.decide_proj in
+  (capacity_of st iface_id *. st.config.Config.overload_threshold)
+  -. Projection.load_bps view ~iface_id
 
-(* Membership in [st.over] for one interface, from its current working
-   load. Same predicate as [Projection.overloaded]. *)
-let refresh_over st iface_id =
-  match Snapshot.iface_by_id st.snapshot iface_id with
-  | None -> ()
-  | Some iface ->
-      let u =
-        Projection.Working.load_bps st.work ~iface_id
-        /. Iface.capacity_bps iface
-      in
-      Bitset.set st.over iface_id (u > st.config.Config.overload_threshold)
-
-let refresh_touched st =
-  List.iter (refresh_over st) (Projection.Working.drain_touched st.work)
-
-(* The worst eligible overloaded interface: highest utilization, ties to
-   the earlier interface in snapshot order — exactly the head of the
-   sorted-and-filtered list the loop used to rebuild per iteration, found
-   by scanning only the maintained overload set. *)
-let pick_overloaded st =
-  let best = ref None in
-  Bitset.iter
-    (fun id ->
-      if
-        (not (Bitset.mem st.gave_up id))
-        && (st.config.Config.iterative || Bitset.mem st.initially_over id)
-      then
-        let u =
-          Projection.Working.load_bps st.work ~iface_id:id
-          /. capacity_of st id
-        in
-        match !best with
-        | Some (_, bu, _) when bu > u -> ()
-        | Some (_, bu, bpos) when bu = u && bpos < st.pos_of_iface.(id) -> ()
-        | _ -> best := Some (id, u, st.pos_of_iface.(id)))
-    st.over;
-  match !best with Some (id, _, _) -> Some id | None -> None
-
-(* The best detour for one placement: the highest-ranked alternate route
-   on a different interface with room for the whole rate. Also returns the
-   candidate verdicts (empty unless tracing — the list is only built when
-   the recorder is live, keeping the disabled path allocation-free). *)
 let find_target st (pl : Projection.placement) =
   let tracing = Trace.enabled st.trace in
   let verdicts = ref [] in
@@ -146,14 +90,13 @@ let find_target st (pl : Projection.placement) =
 let budget_left st =
   match st.config.Config.max_overrides_per_cycle with
   | None -> true
-  | Some n -> st.n_overrides < n
+  | Some n -> List.length st.overrides < n
 
 let order_placements st pls =
   match st.config.Config.order with
-  | Config.Largest_first -> pls (* placements_on is already descending *)
+  | Config.Largest_first -> pls
   | Config.Smallest_first -> List.rev pls
 
-(* Split one placement into /24 children carrying equal shares. *)
 let split_placement st (pl : Projection.placement) =
   let prefix = pl.Projection.placed_prefix in
   let parent_key =
@@ -164,13 +107,14 @@ let split_placement st (pl : Projection.placement) =
   | [] | [ _ ] -> false
   | _ ->
       let share = pl.Projection.rate_bps /. float_of_int (List.length children) in
-      Projection.Working.remove_placement st.work prefix;
+      st.proj <- Projection.remove_placement st.proj prefix;
       List.iter
         (fun child ->
           Hashtbl.replace st.split_parent child parent_key;
-          Projection.Working.add_placement st.work ~prefix:child ~rate_bps:share
-            ~route:pl.Projection.route ~iface_id:pl.Projection.iface_id
-            ~overridden:false)
+          st.proj <-
+            Projection.add_placement st.proj ~prefix:child ~rate_bps:share
+              ~route:pl.Projection.route ~iface_id:pl.Projection.iface_id
+              ~overridden:false)
         children;
       st.splits <- st.splits + 1;
       if Trace.enabled st.trace then
@@ -184,11 +128,9 @@ let split_placement st (pl : Projection.placement) =
           };
       true
 
-(* One relief attempt on [iface_id]: move one placement (possibly after a
-   split) or declare the interface stuck. Returns true if progress. *)
 let relieve_once st iface_id =
   let placements =
-    Projection.Working.placements_on st.work ~iface_id
+    Projection.placements_on st.proj ~iface_id
     |> List.filter (fun pl -> not pl.Projection.overridden)
     |> order_placements st
   in
@@ -211,14 +153,14 @@ let relieve_once st iface_id =
     | Some (route, to_iface, level), candidates ->
         record_attempt pl candidates
           (Trace.Moved { to_iface; peer_id = Bgp.Route.peer_id route; level });
-        Projection.Working.move st.work pl.Projection.placed_prefix
-          ~to_route:route ~to_iface;
+        st.proj <-
+          Projection.move st.proj pl.Projection.placed_prefix ~to_route:route
+            ~to_iface;
         st.overrides <-
           Override.make ~prefix:pl.Projection.placed_prefix ~target:route
             ~from_iface:iface_id ~to_iface ~preference_level:level
             ~rate_bps:pl.Projection.rate_bps
           :: st.overrides;
-        st.n_overrides <- st.n_overrides + 1;
         true
   in
   let rec first_movable = function
@@ -231,7 +173,6 @@ let relieve_once st iface_id =
       match st.config.Config.granularity with
       | Config.Bgp_prefix -> false
       | Config.Split_24 -> (
-          (* split the largest splittable placement and retry next round *)
           let splittable =
             List.find_opt
               (fun pl ->
@@ -246,57 +187,42 @@ let relieve_once st iface_id =
 let run ~config ?(trace = Trace.noop) snapshot =
   (match Config.validate config with
   | Ok () -> ()
-  | Error msg -> invalid_arg ("Allocator.run: bad config: " ^ msg));
+  | Error msg -> invalid_arg ("Allocator_ref.run: bad config: " ^ msg));
   let before = Projection.project snapshot in
-  let universe = Snapshot.max_iface_id snapshot + 1 in
-  let pos_of_iface = Array.make universe max_int in
-  List.iteri
-    (fun pos iface -> pos_of_iface.(Iface.id iface) <- pos)
-    (Snapshot.ifaces snapshot);
   let st =
     {
       config;
       snapshot;
-      work = Projection.Working.of_projection before;
+      proj = before;
       decide_proj = before;
       overrides = [];
-      n_overrides = 0;
       moves = 0;
       splits = 0;
       split_parent = Hashtbl.create 64;
-      gave_up = Bitset.create universe;
-      initially_over = Bitset.create universe;
-      over = Bitset.create universe;
-      pos_of_iface;
+      gave_up = [];
       trace;
     }
   in
-  (* single-pass (ablation A1) only ever relieves the interfaces that were
-     overloaded in the original projection: it does not react to overloads
-     its own detours create — that reaction is exactly what the iterative
-     re-projection adds *)
-  List.iter
-    (fun (i, _) ->
-      Bitset.add st.initially_over (Iface.id i);
-      Bitset.add st.over (Iface.id i))
-    (Projection.overloaded before ~threshold:config.Config.overload_threshold);
+  let initially_over =
+    List.map
+      (fun (i, _) -> Iface.id i)
+      (Projection.overloaded before ~threshold:config.Config.overload_threshold)
+  in
   let progress = ref true in
   while !progress && budget_left st do
     progress := false;
-    match pick_overloaded st with
-    | None -> ()
-    | Some iface_id ->
-        if relieve_once st iface_id then begin
-          progress := true;
-          refresh_touched st
-        end
-        else Bitset.add st.gave_up iface_id
+    let over =
+      Projection.overloaded st.proj ~threshold:config.Config.overload_threshold
+      |> List.filter (fun (i, _) ->
+             (not (List.mem (Iface.id i) st.gave_up))
+             && (config.Config.iterative || List.mem (Iface.id i) initially_over))
+    in
+    match over with
+    | [] -> ()
+    | (iface, _) :: _ ->
+        if relieve_once st (Iface.id iface) then progress := true
+        else st.gave_up <- Iface.id iface :: st.gave_up
   done;
-  let final = Projection.Working.seal st.work in
-  (* /24 splitting can move many sibling children to the same target;
-     re-aggregate them into covering CIDR blocks so enforcement announces
-     the minimum number of routes (aggregation only ever merges complete
-     sibling pairs, so children left behind block the merge — safe) *)
   let aggregate_children overrides =
     if Hashtbl.length st.split_parent = 0 then overrides
     else begin
@@ -345,44 +271,11 @@ let run ~config ?(trace = Trace.noop) snapshot =
     end
   in
   {
-    overrides = aggregate_children (List.rev st.overrides);
+    Allocator.overrides = aggregate_children (List.rev st.overrides);
     before;
-    final;
+    final = st.proj;
     residual =
-      Projection.overloaded final ~threshold:config.Config.overload_threshold;
+      Projection.overloaded st.proj ~threshold:config.Config.overload_threshold;
     moves_considered = st.moves;
     splits = st.splits;
   }
-
-let relief_bps (r : result) =
-  List.fold_left (fun acc o -> acc +. o.Override.rate_bps) 0.0 r.overrides
-
-let check_invariants ~config result =
-  let threshold = config.Config.overload_threshold in
-  let errors = ref [] in
-  let err fmt = Format.kasprintf (fun s -> errors := s :: !errors) fmt in
-  (* 1. iterative mode never pushes a previously-fine interface over *)
-  if config.Config.iterative then
-    List.iter
-      (fun iface ->
-        let before_u = Projection.utilization result.before iface in
-        let after_u = Projection.utilization result.final iface in
-        if before_u <= threshold && after_u > threshold +. 1e-9 then
-          err "iface %d pushed over threshold (%.3f -> %.3f)" (Iface.id iface)
-            before_u after_u)
-      (Projection.ifaces result.final);
-  (* 2/3. structural override checks *)
-  List.iter
-    (fun o ->
-      if o.Override.from_iface = o.Override.to_iface then
-        err "override %a detours to its own interface" Override.pp o;
-      if o.Override.rate_bps < 0.0 then err "negative rate in %a" Override.pp o)
-    result.overrides;
-  (* 4. budget *)
-  (match config.Config.max_overrides_per_cycle with
-  | Some n when List.length result.overrides > n ->
-      err "override budget exceeded: %d > %d" (List.length result.overrides) n
-  | Some _ | None -> ());
-  match !errors with
-  | [] -> Ok ()
-  | es -> Error (String.concat "; " es)

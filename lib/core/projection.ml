@@ -93,10 +93,17 @@ let overloaded t ~threshold =
 let placements t =
   Bgp.Ptrie.fold (fun _ pl acc -> pl :: acc) t.placements []
 
+(* Total order: rate descending, then prefix ascending. Rate alone left
+   ties to fold order, which made allocator decisions (and golden traces)
+   depend on trie shape; the prefix tiebreak makes them byte-stable. *)
+let compare_placement a b =
+  let c = compare b.rate_bps a.rate_bps in
+  if c <> 0 then c else Bgp.Prefix.compare a.placed_prefix b.placed_prefix
+
 let placements_on t ~iface_id =
   placements t
   |> List.filter (fun pl -> pl.iface_id = iface_id)
-  |> List.sort (fun a b -> compare b.rate_bps a.rate_bps)
+  |> List.sort compare_placement
 
 let placement_of t prefix = Bgp.Ptrie.find prefix t.placements
 
@@ -137,3 +144,102 @@ let ifaces t = t.ifaces
 
 let iface_loads t =
   List.map (fun iface -> (iface, load_bps t ~iface_id:(Ef_netsim.Iface.id iface))) t.ifaces
+
+(* ---------------------------------------------------------------------- *)
+(* Working view: the allocator's mutable scratch projection.              *)
+(* ---------------------------------------------------------------------- *)
+
+module Working = struct
+  module PSet = Set.Make (struct
+    type nonrec t = placement
+
+    let compare = compare_placement
+  end)
+
+  type proj = t
+
+  type t = {
+    w_ifaces : Ef_netsim.Iface.t list;
+    w_loads : float array; (* updated in place, no per-move copy *)
+    mutable w_placements : placement Bgp.Ptrie.t;
+    w_by_iface : PSet.t array; (* iface id -> placements, (rate desc, prefix) *)
+    w_total : float;
+    w_unroutable : float;
+    w_stale : Bgp.Prefix.t list;
+    mutable w_touched : int list; (* iface ids with load changes, undrained *)
+  }
+
+  let of_projection (p : proj) =
+    let by_iface = Array.make (Array.length p.loads) PSet.empty in
+    Bgp.Ptrie.iter
+      (fun _ pl -> by_iface.(pl.iface_id) <- PSet.add pl by_iface.(pl.iface_id))
+      p.placements;
+    {
+      w_ifaces = p.ifaces;
+      w_loads = Array.copy p.loads;
+      w_placements = p.placements;
+      w_by_iface = by_iface;
+      w_total = p.total_bps;
+      w_unroutable = p.unroutable_bps;
+      w_stale = p.stale;
+      w_touched = [];
+    }
+
+  let seal w : proj =
+    {
+      ifaces = w.w_ifaces;
+      loads = Array.copy w.w_loads;
+      placements = w.w_placements;
+      total_bps = w.w_total;
+      unroutable_bps = w.w_unroutable;
+      stale = w.w_stale;
+    }
+
+  let load_bps w ~iface_id =
+    if iface_id < 0 || iface_id >= Array.length w.w_loads then 0.0
+    else w.w_loads.(iface_id)
+
+  let touch w iface_id = w.w_touched <- iface_id :: w.w_touched
+
+  let drain_touched w =
+    let t = w.w_touched in
+    w.w_touched <- [];
+    t
+
+  let placement_of w prefix = Bgp.Ptrie.find prefix w.w_placements
+
+  let placements_on w ~iface_id =
+    if iface_id < 0 || iface_id >= Array.length w.w_by_iface then []
+    else PSet.elements w.w_by_iface.(iface_id)
+
+  let move w prefix ~to_route ~to_iface =
+    match Bgp.Ptrie.find prefix w.w_placements with
+    | None -> invalid_arg "Projection.Working.move: prefix has no placement"
+    | Some pl ->
+        w.w_loads.(pl.iface_id) <- w.w_loads.(pl.iface_id) -. pl.rate_bps;
+        w.w_loads.(to_iface) <- w.w_loads.(to_iface) +. pl.rate_bps;
+        touch w pl.iface_id;
+        touch w to_iface;
+        let pl' =
+          { pl with route = to_route; iface_id = to_iface; overridden = true }
+        in
+        w.w_by_iface.(pl.iface_id) <- PSet.remove pl w.w_by_iface.(pl.iface_id);
+        w.w_by_iface.(to_iface) <- PSet.add pl' w.w_by_iface.(to_iface);
+        w.w_placements <- Bgp.Ptrie.add prefix pl' w.w_placements
+
+  let add_placement w ~prefix ~rate_bps ~route ~iface_id ~overridden =
+    w.w_loads.(iface_id) <- w.w_loads.(iface_id) +. rate_bps;
+    touch w iface_id;
+    let pl = { placed_prefix = prefix; rate_bps; route; iface_id; overridden } in
+    w.w_by_iface.(iface_id) <- PSet.add pl w.w_by_iface.(iface_id);
+    w.w_placements <- Bgp.Ptrie.add prefix pl w.w_placements
+
+  let remove_placement w prefix =
+    match Bgp.Ptrie.find prefix w.w_placements with
+    | None -> ()
+    | Some pl ->
+        w.w_loads.(pl.iface_id) <- w.w_loads.(pl.iface_id) -. pl.rate_bps;
+        touch w pl.iface_id;
+        w.w_by_iface.(pl.iface_id) <- PSet.remove pl w.w_by_iface.(pl.iface_id);
+        w.w_placements <- Bgp.Ptrie.remove prefix w.w_placements
+end

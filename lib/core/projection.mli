@@ -33,8 +33,13 @@ val overloaded : t -> threshold:float -> (Ef_netsim.Iface.t * float) list
 (** Interfaces whose utilization exceeds [threshold], worst first, with
     their utilization. *)
 
+val compare_placement : placement -> placement -> int
+(** The canonical placement order: rate descending, then prefix
+    ascending. A total order — allocator decisions and golden traces are
+    byte-stable even when rates tie. *)
+
 val placements_on : t -> iface_id:int -> placement list
-(** Descending by rate. *)
+(** In {!compare_placement} order. *)
 
 val placements : t -> placement list
 val placement_of : t -> Ef_bgp.Prefix.t -> placement option
@@ -66,3 +71,56 @@ val ifaces : t -> Ef_netsim.Iface.t list
 val iface_loads : t -> (Ef_netsim.Iface.t * float) list
 (** Every interface paired with its projected load, in interface order.
     The raw material for provenance traces and utilization metrics. *)
+
+(** The allocator's mutable scratch view of a projection.
+
+    The immutable ops above copy the whole load array per move and fold
+    the whole placement trie per [placements_on] — fine for auditing,
+    quadratic for the relief loop. A working view is opened from a sealed
+    projection, mutated in place (O(1) load updates, an O(log n)
+    per-interface placement index kept in {!compare_placement} order),
+    and sealed back into an ordinary immutable {!t} when the cycle's
+    decisions are final, so every downstream consumer ([before]/[final],
+    trace, guard, hysteresis) still sees the unchanged persistent type.
+
+    A working view aliases nothing mutable in its source projection:
+    sealing and the source are both safe to keep using. *)
+module Working : sig
+  type proj := t
+  type t
+
+  val of_projection : proj -> t
+  (** O(placements · log). The source projection is not mutated. *)
+
+  val seal : t -> proj
+  (** Freeze into an immutable projection. The working view may continue
+      to be mutated afterwards; the sealed copy does not alias it. *)
+
+  val load_bps : t -> iface_id:int -> float
+  val placement_of : t -> Ef_bgp.Prefix.t -> placement option
+
+  val placements_on : t -> iface_id:int -> placement list
+  (** In {!compare_placement} order, materialized from the per-interface
+      index: O(k) in that interface's placement count — never a fold of
+      the whole trie. *)
+
+  val move : t -> Ef_bgp.Prefix.t -> to_route:Ef_bgp.Route.t -> to_iface:int -> unit
+  (** In-place re-placement; marks the placement overridden. Raises
+      [Invalid_argument] if the prefix has no placement. *)
+
+  val add_placement :
+    t ->
+    prefix:Ef_bgp.Prefix.t ->
+    rate_bps:float ->
+    route:Ef_bgp.Route.t ->
+    iface_id:int ->
+    overridden:bool ->
+    unit
+
+  val remove_placement : t -> Ef_bgp.Prefix.t -> unit
+
+  val drain_touched : t -> int list
+  (** Interface ids whose load changed since the last drain (most recent
+      first, may repeat). The allocator re-checks only these against the
+      overload threshold instead of rescanning every interface. *)
+end

@@ -1,0 +1,51 @@
+type t = { words : Bytes.t; universe : int; mutable count : int }
+
+let create n =
+  if n < 0 then invalid_arg "Bitset.create: negative capacity";
+  { words = Bytes.make ((n + 7) / 8) '\000'; universe = n; count = 0 }
+
+let capacity t = t.universe
+
+let mem t i =
+  i >= 0 && i < t.universe
+  && Char.code (Bytes.unsafe_get t.words (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let check t i =
+  if i < 0 || i >= t.universe then invalid_arg "Bitset: id outside universe"
+
+let add t i =
+  check t i;
+  if not (mem t i) then begin
+    let b = Char.code (Bytes.unsafe_get t.words (i lsr 3)) in
+    Bytes.unsafe_set t.words (i lsr 3) (Char.chr (b lor (1 lsl (i land 7))));
+    t.count <- t.count + 1
+  end
+
+let remove t i =
+  check t i;
+  if mem t i then begin
+    let b = Char.code (Bytes.unsafe_get t.words (i lsr 3)) in
+    Bytes.unsafe_set t.words (i lsr 3)
+      (Char.chr (b land lnot (1 lsl (i land 7)) land 0xFF));
+    t.count <- t.count - 1
+  end
+
+let set t i v = if v then add t i else remove t i
+let cardinal t = t.count
+let is_empty t = t.count = 0
+
+let iter f t =
+  for i = 0 to t.universe - 1 do
+    if mem t i then f i
+  done
+
+let fold f t init =
+  let acc = ref init in
+  iter (fun i -> acc := f i !acc) t;
+  !acc
+
+let to_list t = List.rev (fold (fun i acc -> i :: acc) t [])
+
+let clear t =
+  Bytes.fill t.words 0 (Bytes.length t.words) '\000';
+  t.count <- 0

@@ -1,0 +1,39 @@
+(** Dense mutable bitsets over small non-negative integers.
+
+    The allocator's per-cycle interface flags (overloaded, gave-up,
+    initially-over) are sets over dense interface ids; a bitset makes
+    membership O(1) and iteration O(universe/word) with zero allocation
+    on the hot path, replacing the [List.mem] scans the loop used to do
+    per move. *)
+
+type t
+
+val create : int -> t
+(** [create n] is the empty set over the universe [0 .. n-1]. [n] may be
+    0 (the empty universe). Raises [Invalid_argument] on negative [n]. *)
+
+val capacity : t -> int
+
+val mem : t -> int -> bool
+(** Out-of-universe ids are simply absent (no exception): the allocator
+    probes with raw interface ids and treats unknown as unset. *)
+
+val add : t -> int -> unit
+(** Raises [Invalid_argument] if the id is outside the universe. *)
+
+val remove : t -> int -> unit
+val set : t -> int -> bool -> unit
+
+val cardinal : t -> int
+val is_empty : t -> bool
+
+val iter : (int -> unit) -> t -> unit
+(** Ascending id order. *)
+
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+(** Ascending id order. *)
+
+val to_list : t -> int list
+(** Ascending. *)
+
+val clear : t -> unit

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Run the controller-scale microbenchmarks (E10/E10b/E10c/E10d) and emit
+# the machine-readable perf record BENCH_PR4.json.
+#
+# Usage: scripts/bench_report.sh [OUTPUT.json] [fast]
+#
+#   OUTPUT.json   where to write the report (default: BENCH_PR4.json)
+#   fast          shorter Bechamel quotas — the CI smoke mode
+#
+# The report carries the E10d acceptance number: full allocator-cycle
+# speedup on the stress scenario, optimized vs the frozen pre-PR
+# reference implementation. Exits non-zero if the benches fail or the
+# emitted file is not well-formed JSON with the expected schema.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_PR4.json}"
+mode="${2:-}"
+
+case "$mode" in
+  "" | fast) ;;
+  *)
+    echo "usage: $0 [OUTPUT.json] [fast]" >&2
+    exit 2
+    ;;
+esac
+
+dune build bench/main.exe
+
+# shellcheck disable=SC2086  # $mode is deliberately word-split ("" or "fast")
+dune exec bench/main.exe -- micro $mode "json=$out"
+
+test -s "$out" || { echo "$out: missing or empty" >&2; exit 1; }
+
+# self-contained JSON validation (no jq/python dependency): the bench
+# binary re-parses the file with the same parser the repo ships
+dune exec bench/main.exe -- json-check "$out"
+
+echo "bench report: $out"

@@ -22,6 +22,7 @@ let () =
       ("trace", Test_trace.suite);
       ("sflow-codec", Test_sflow_codec.suite);
       ("core", Test_core.suite);
+      ("alloc-diff", Test_alloc_diff.suite);
       ("obs", Test_obs.suite);
       ("controller", Test_controller.suite);
       ("provenance", Test_provenance.suite);

@@ -424,6 +424,137 @@ let test_allocator_override_targets_are_candidates () =
            parent_candidates))
     result.Ef.Allocator.overrides
 
+(* --- Working projection (the allocator's mutable scratch view) -------- *)
+
+let working_fixture () =
+  let fx = fixture () in
+  let snap = snapshot fx [ (pfx_a, 4e9); (pfx_b, 3e9); (pfx_c, 2e9) ] in
+  (fx, snap, Ef.Projection.project snap)
+
+let test_working_seal_roundtrip () =
+  let fx, _, proj = working_fixture () in
+  let w = Ef.Projection.Working.of_projection proj in
+  let sealed = Ef.Projection.Working.seal w in
+  List.iter
+    (fun iface ->
+      let id = N.Iface.id iface in
+      Helpers.check_float
+        (Printf.sprintf "load %d" id)
+        (Ef.Projection.load_bps proj ~iface_id:id)
+        (Ef.Projection.load_bps sealed ~iface_id:id))
+    [ fx.iface_private; fx.iface_public; fx.iface_transit ];
+  Helpers.check_float "total" (Ef.Projection.total_bps proj)
+    (Ef.Projection.total_bps sealed);
+  Alcotest.(check int)
+    "placement count"
+    (List.length (Ef.Projection.placements proj))
+    (List.length (Ef.Projection.placements sealed))
+
+let test_working_move_matches_pure () =
+  let fx, snap, proj = working_fixture () in
+  let transit_route =
+    List.find
+      (fun r -> Bgp.Route.peer_kind r = Bgp.Peer.Transit)
+      (C.Snapshot.routes snap pfx_a)
+  in
+  let to_iface = N.Iface.id fx.iface_transit in
+  let pure = Ef.Projection.move proj pfx_a ~to_route:transit_route ~to_iface in
+  let w = Ef.Projection.Working.of_projection proj in
+  Ef.Projection.Working.move w pfx_a ~to_route:transit_route ~to_iface;
+  let sealed = Ef.Projection.Working.seal w in
+  List.iter
+    (fun iface ->
+      let id = N.Iface.id iface in
+      Helpers.check_float
+        (Printf.sprintf "load %d" id)
+        (Ef.Projection.load_bps pure ~iface_id:id)
+        (Ef.Projection.load_bps sealed ~iface_id:id))
+    [ fx.iface_private; fx.iface_public; fx.iface_transit ];
+  (* the index moved the placement between interface buckets *)
+  Alcotest.(check bool) "gone from private" true
+    (List.for_all
+       (fun pl -> not (Bgp.Prefix.equal pl.Ef.Projection.placed_prefix pfx_a))
+       (Ef.Projection.Working.placements_on w
+          ~iface_id:(N.Iface.id fx.iface_private)));
+  (match
+     List.find_opt
+       (fun pl -> Bgp.Prefix.equal pl.Ef.Projection.placed_prefix pfx_a)
+       (Ef.Projection.Working.placements_on w ~iface_id:to_iface)
+   with
+  | None -> Alcotest.fail "pfx_a not on transit bucket"
+  | Some pl ->
+      Alcotest.(check bool) "marked overridden" true pl.Ef.Projection.overridden);
+  (* source projection untouched *)
+  Helpers.check_float "source unchanged" 7e9
+    (Ef.Projection.load_bps proj ~iface_id:(N.Iface.id fx.iface_private))
+
+let test_working_add_remove () =
+  let fx, snap, proj = working_fixture () in
+  let w = Ef.Projection.Working.of_projection proj in
+  let id = N.Iface.id fx.iface_private in
+  let route =
+    match C.Snapshot.preferred_route snap pfx_a with
+    | Some r -> r
+    | None -> Alcotest.fail "no route"
+  in
+  let child = prefix "10.9.0.0/24" in
+  Ef.Projection.Working.add_placement w ~prefix:child ~rate_bps:1e9 ~route
+    ~iface_id:id ~overridden:false;
+  Helpers.check_float "load grew" 8e9
+    (Ef.Projection.Working.load_bps w ~iface_id:id);
+  Alcotest.(check int) "bucket grew" 3
+    (List.length (Ef.Projection.Working.placements_on w ~iface_id:id));
+  Ef.Projection.Working.remove_placement w child;
+  Helpers.check_float "load back" 7e9
+    (Ef.Projection.Working.load_bps w ~iface_id:id);
+  Alcotest.(check int) "bucket back" 2
+    (List.length (Ef.Projection.Working.placements_on w ~iface_id:id));
+  (* removing an absent prefix is a no-op *)
+  Ef.Projection.Working.remove_placement w child;
+  Helpers.check_float "still" 7e9 (Ef.Projection.Working.load_bps w ~iface_id:id)
+
+let test_working_drain_touched () =
+  let fx, snap, proj = working_fixture () in
+  let w = Ef.Projection.Working.of_projection proj in
+  Alcotest.(check (list int)) "clean at open" []
+    (Ef.Projection.Working.drain_touched w);
+  let transit_route =
+    List.find
+      (fun r -> Bgp.Route.peer_kind r = Bgp.Peer.Transit)
+      (C.Snapshot.routes snap pfx_a)
+  in
+  let to_iface = N.Iface.id fx.iface_transit in
+  Ef.Projection.Working.move w pfx_a ~to_route:transit_route ~to_iface;
+  let touched = List.sort_uniq compare (Ef.Projection.Working.drain_touched w) in
+  Alcotest.(check (list int))
+    "both endpoints touched"
+    (List.sort_uniq compare [ N.Iface.id fx.iface_private; to_iface ])
+    touched;
+  Alcotest.(check (list int)) "drained" [] (Ef.Projection.Working.drain_touched w)
+
+let test_placement_order_total () =
+  (* equal rates: the prefix tiebreak makes the order total and stable *)
+  let fx = fixture () in
+  let snap = snapshot fx [ (pfx_a, 3e9); (pfx_b, 3e9) ] in
+  let proj = Ef.Projection.project snap in
+  let id = N.Iface.id fx.iface_private in
+  let order proj =
+    List.map
+      (fun pl -> Bgp.Prefix.to_string pl.Ef.Projection.placed_prefix)
+      (Ef.Projection.placements_on proj ~iface_id:id)
+  in
+  Alcotest.(check (list string))
+    "rate ties break by prefix"
+    [ "10.1.0.0/16"; "10.2.0.0/16" ]
+    (order proj);
+  let w = Ef.Projection.Working.of_projection proj in
+  Alcotest.(check (list string))
+    "working index agrees"
+    (order proj)
+    (List.map
+       (fun pl -> Bgp.Prefix.to_string pl.Ef.Projection.placed_prefix)
+       (Ef.Projection.Working.placements_on w ~iface_id:id))
+
 (* property: on random rate vectors over the generated tiny world, the
    allocator never pushes a previously-fine interface over threshold and
    always leaves relieved interfaces at or below it when it claims no
@@ -493,5 +624,11 @@ let suite =
     Alcotest.test_case "allocator split-24" `Quick test_allocator_split24;
     Alcotest.test_case "allocator targets are candidates" `Quick
       test_allocator_override_targets_are_candidates;
+    Alcotest.test_case "working seal roundtrip" `Quick test_working_seal_roundtrip;
+    Alcotest.test_case "working move matches pure" `Quick
+      test_working_move_matches_pure;
+    Alcotest.test_case "working add/remove" `Quick test_working_add_remove;
+    Alcotest.test_case "working drain touched" `Quick test_working_drain_touched;
+    Alcotest.test_case "placement order is total" `Quick test_placement_order_total;
     QCheck_alcotest.to_alcotest qcheck_allocator_invariants;
   ]

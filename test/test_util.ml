@@ -1,6 +1,46 @@
-(* ef_util: Rng, Zipf, Ewma, Units *)
+(* ef_util: Rng, Zipf, Ewma, Units, Bitset *)
 
 open Ef_util
+
+let test_bitset_basics () =
+  let s = Bitset.create 40 in
+  Alcotest.(check bool) "empty" true (Bitset.is_empty s);
+  Bitset.add s 0;
+  Bitset.add s 9;
+  Bitset.add s 39;
+  Bitset.add s 9;
+  (* idempotent *)
+  Alcotest.(check int) "cardinal" 3 (Bitset.cardinal s);
+  Alcotest.(check (list int)) "ascending" [ 0; 9; 39 ] (Bitset.to_list s);
+  Alcotest.(check bool) "mem" true (Bitset.mem s 9);
+  Alcotest.(check bool) "out of universe absent" false (Bitset.mem s 40);
+  Alcotest.(check bool) "negative absent" false (Bitset.mem s (-1));
+  Bitset.remove s 9;
+  Bitset.remove s 9;
+  Alcotest.(check int) "removed once" 2 (Bitset.cardinal s);
+  Bitset.set s 1 true;
+  Bitset.set s 0 false;
+  Alcotest.(check (list int)) "after set" [ 1; 39 ] (Bitset.to_list s);
+  Bitset.clear s;
+  Alcotest.(check bool) "cleared" true (Bitset.is_empty s)
+
+let test_bitset_bounds () =
+  let s = Bitset.create 8 in
+  Alcotest.check_raises "add out of universe"
+    (Invalid_argument "Bitset: id outside universe") (fun () -> Bitset.add s 8);
+  Alcotest.check_raises "negative capacity"
+    (Invalid_argument "Bitset.create: negative capacity") (fun () ->
+      ignore (Bitset.create (-1)));
+  let empty = Bitset.create 0 in
+  Alcotest.(check bool) "zero universe mem" false (Bitset.mem empty 0)
+
+let test_bitset_iter_fold () =
+  let s = Bitset.create 100 in
+  List.iter (Bitset.add s) [ 3; 14; 15; 92 ];
+  let seen = ref [] in
+  Bitset.iter (fun i -> seen := i :: !seen) s;
+  Alcotest.(check (list int)) "iter ascending" [ 3; 14; 15; 92 ] (List.rev !seen);
+  Alcotest.(check int) "fold sum" 124 (Bitset.fold (fun i acc -> i + acc) s 0)
 
 let test_rng_determinism () =
   let a = Rng.create 42 and b = Rng.create 42 in
@@ -215,6 +255,9 @@ let qcheck_pareto_min =
 
 let suite =
   [
+    Alcotest.test_case "bitset basics" `Quick test_bitset_basics;
+    Alcotest.test_case "bitset bounds" `Quick test_bitset_bounds;
+    Alcotest.test_case "bitset iter/fold" `Quick test_bitset_iter_fold;
     Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
     Alcotest.test_case "rng seeds differ" `Quick test_rng_seeds_differ;
     Alcotest.test_case "rng int bounds" `Quick test_rng_int_bounds;
