@@ -213,11 +213,68 @@ let run_e10d ?fast () =
   print_newline ();
   rows
 
-(* BENCH_PR4.json: the machine-readable perf trajectory record *)
-let write_bench_json path ~micro ~e10d =
+(* E11: fleet wall-clock vs --jobs. Each measurement builds a fresh
+   fleet (engines are single-run) and times Fleet.run on the monotonic
+   clock. Two fleet shapes: the four paper PoPs, and a generated 16-PoP
+   fleet where domain parallelism has enough PoPs to bite. *)
+let e11_jobs = [ 1; 2; 4 ]
+
+let run_e11_fleet ?(fast = false) () =
+  print_endline "== E11: fleet runner wall-clock vs domains (--jobs) ==";
+  let hours = if fast then 2 else 6 in
+  let config =
+    Ef_sim.Engine.make_config ~cycle_s:300 ~duration_s:(hours * 3600) ~seed:11 ()
+  in
+  let fleets =
+    [
+      ("paper-4pop", N.Scenario.paper_pops);
+      ("gen-16pop", N.Scenario.generated_fleet ~n:16 ());
+    ]
+  in
+  let rows =
+    List.concat_map
+      (fun (label, scenarios) ->
+        let time_run jobs =
+          let fleet = Ef_sim.Fleet.create ~config scenarios in
+          let t0 = Ef_obs.Clock.now_ns () in
+          ignore (Ef_sim.Fleet.run ~jobs fleet);
+          Ef_obs.Clock.elapsed_s t0
+        in
+        (* warm one sequential run so world generation costs are paid
+           before any timed run, evenly for every jobs value *)
+        ignore (time_run 1);
+        let base = time_run 1 in
+        List.map
+          (fun jobs ->
+            let s = if jobs = 1 then base else time_run jobs in
+            let speedup = base /. s in
+            Printf.printf "  %-12s jobs=%d  %8.2f s  %6.2fx\n%!" label jobs s
+              speedup;
+            (label, jobs, s, speedup))
+          e11_jobs)
+      fleets
+  in
+  print_newline ();
+  rows
+
+(* BENCH_PR5.json: the machine-readable perf trajectory record.
+
+   The parallel-speedup acceptance only applies where it can physically
+   show up: on a single-core box (this container, some CI shells) every
+   jobs value serializes onto one core, so the gate is keyed on the
+   domain count the runtime reports. *)
+let write_bench_json path ~micro ~e10d ~e11 =
   let module J = Ef_obs.Json in
   let stress_speedup =
     match List.find_opt (fun (l, _, _, _) -> l = "stress") e10d with
+    | Some (_, _, _, s) -> s
+    | None -> nan
+  in
+  let cores = Domain.recommended_domain_count () in
+  let gen16_speedup_j4 =
+    match
+      List.find_opt (fun (l, j, _, _) -> l = "gen-16pop" && j = 4) e11
+    with
     | Some (_, _, _, s) -> s
     | None -> nan
   in
@@ -225,8 +282,9 @@ let write_bench_json path ~micro ~e10d =
     J.Obj
       [
         ("schema", J.String "edge-fabric-bench/1");
-        ("pr", J.Int 4);
+        ("pr", J.Int 5);
         ("source", J.String "bench/main.exe micro");
+        ("cores", J.Int cores);
         ( "micro",
           J.List
             (List.map
@@ -245,12 +303,32 @@ let write_bench_json path ~micro ~e10d =
                      ("speedup", J.Float speedup);
                    ])
                e10d) );
+        ( "e11_fleet",
+          J.List
+            (List.map
+               (fun (label, jobs, seconds, speedup) ->
+                 J.Obj
+                   [
+                     ("fleet", J.String label);
+                     ("jobs", J.Int jobs);
+                     ("wall_s", J.Float seconds);
+                     ("speedup_vs_jobs1", J.Float speedup);
+                   ])
+               e11) );
         ( "acceptance",
           J.Obj
             [
               ("stress_speedup", J.Float stress_speedup);
-              ("required_min", J.Float 5.0);
-              ("pass", J.Bool (stress_speedup >= 5.0));
+              ("stress_required_min", J.Float 5.0);
+              ("gen16_jobs4_speedup", J.Float gen16_speedup_j4);
+              ("gen16_jobs4_required_min", J.Float 2.0);
+              ( "gen16_jobs4_applicable",
+                (* < 4 cores: domains serialize, the 2x bar can't show *)
+                J.Bool (cores >= 4) );
+              ( "pass",
+                J.Bool
+                  (stress_speedup >= 5.0
+                  && (cores < 4 || gen16_speedup_j4 >= 2.0)) );
             ] );
       ]
   in
@@ -260,7 +338,8 @@ let write_bench_json path ~micro ~e10d =
     (fun () ->
       output_string oc (J.to_string json);
       output_char oc '\n');
-  Printf.printf "wrote %s (stress speedup %.2fx)\n%!" path stress_speedup
+  Printf.printf "wrote %s (stress %.2fx, gen16 jobs=4 %.2fx on %d cores)\n%!"
+    path stress_speedup gen16_speedup_j4 cores
 
 (* `json-check FILE`: exit 0 iff FILE parses as JSON and carries the
    bench schema — the CI gate against a malformed report *)
@@ -387,9 +466,9 @@ let experiments : (string * string * (E.run_params -> Ef_stats.Table.t)) list =
     ( "e9",
       "RTT impact of detours at peak (§6)",
       fun p -> E.e9_detour_rtt_impact ~params:p () );
-    ( "e11",
+    ( "e12",
       "performance-aware routing extension (§7)",
-      fun p -> E.e11_perf_aware ~params:p () );
+      fun p -> E.e12_perf_aware ~params:p () );
     ("a1", "iterative vs single-pass allocator", fun p -> E.a1_single_pass ~params:p ());
     ("a3", "overload threshold sweep", fun p -> E.a3_threshold_sweep ~params:p ());
     ("a4", "detour granularity", fun p -> E.a4_granularity ~params:p ());
@@ -422,7 +501,10 @@ let () =
         let e10d = run_e10d ~fast () in
         run_stage_attribution ();
         run_trace_overhead ();
-        Option.iter (fun path -> write_bench_json path ~micro ~e10d) json_out
+        let e11 = run_e11_fleet ~fast () in
+        Option.iter
+          (fun path -> write_bench_json path ~micro ~e10d ~e11)
+          json_out
       in
       let selected =
         List.filter
@@ -438,12 +520,13 @@ let () =
           List.iter
             (fun id ->
               if id = "micro" then run_micro_suite ()
+              else if id = "e11" then ignore (run_e11_fleet ~fast ())
               else
                 match List.find_opt (fun (i, _, _) -> i = id) experiments with
                 | Some exp -> run_one params exp
                 | None ->
                     Printf.eprintf
-                      "unknown experiment %S (known: %s, micro, all; \
+                      "unknown experiment %S (known: %s, e11, micro, all; \
                        modifiers: fast, json=FILE)\n"
                       id
                       (String.concat ", "

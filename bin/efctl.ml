@@ -570,8 +570,10 @@ let top_cmd =
 (* --- experiment ----------------------------------------------------------- *)
 
 let experiment_cmd =
-  let run id cycle_s metrics =
-    let params = { S.Experiments.default_params with S.Experiments.cycle_s } in
+  let run id cycle_s jobs metrics =
+    let params =
+      { S.Experiments.default_params with S.Experiments.cycle_s; jobs }
+    in
     let table =
       match id with
       | "e1" -> Some (S.Experiments.e1_peering ())
@@ -583,7 +585,7 @@ let experiment_cmd =
       | "e7" -> Some (S.Experiments.e7_override_churn ~params ())
       | "e8" -> Some (S.Experiments.e8_altpath_quality ~params ())
       | "e9" -> Some (S.Experiments.e9_detour_rtt_impact ~params ())
-      | "e11" -> Some (S.Experiments.e11_perf_aware ~params ())
+      | "e12" -> Some (S.Experiments.e12_perf_aware ~params ())
       | "a1" -> Some (S.Experiments.a1_single_pass ~params ())
       | "a3" -> Some (S.Experiments.a3_threshold_sweep ~params ())
       | "a4" -> Some (S.Experiments.a4_granularity ~params ())
@@ -595,20 +597,29 @@ let experiment_cmd =
         print_metrics metrics;
         `Ok ()
     | None ->
-        `Error (false, Printf.sprintf "unknown experiment %S (e1-e9, a1, a3, a4)" id)
+        `Error
+          (false, Printf.sprintf "unknown experiment %S (e1-e9, e12, a1, a3, a4)" id)
   in
   let id_t =
     Arg.(
       required
       & pos 0 (some string) None
-      & info [] ~docv:"ID" ~doc:"e1..e9, a1, a3, a4.")
+      & info [] ~docv:"ID" ~doc:"e1..e9, e12, a1, a3, a4.")
   in
   let cycle_t =
     Arg.(value & opt int 120 & info [ "cycle" ] ~docv:"SEC" ~doc:"Controller period.")
   in
+  let jobs_t =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Run the experiment's daily simulations on $(docv) domains. \
+             Results are identical for every value.")
+  in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate one table/figure of the paper.")
-    Term.(ret (const run $ id_t $ cycle_t $ metrics_t))
+    Term.(ret (const run $ id_t $ cycle_t $ jobs_t $ metrics_t))
 
 (* --- topo (graphviz export) ----------------------------------------------- *)
 
@@ -667,7 +678,7 @@ let dump_cmd =
 (* --- fleet ------------------------------------------------------------- *)
 
 let fleet_cmd =
-  let run seed hours cycle_s metrics =
+  let run seed hours cycle_s jobs metrics =
     let config =
       S.Engine.make_config ~cycle_s ~duration_s:(hours * 3600) ~seed ()
     in
@@ -676,7 +687,7 @@ let fleet_cmd =
       (List.length (S.Fleet.engines fleet))
       hours
       (List.length (S.Fleet.engines fleet) * hours * 3600 / cycle_s);
-    let results = S.Fleet.run fleet in
+    let results = S.Fleet.run ~jobs fleet in
     Ef_stats.Table.print (S.Fleet.summary_table results);
     print_metrics metrics
   in
@@ -686,9 +697,17 @@ let fleet_cmd =
   let cycle_t =
     Arg.(value & opt int 300 & info [ "cycle" ] ~docv:"SEC" ~doc:"Controller period.")
   in
+  let jobs_t =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Run PoPs on $(docv) domains in parallel. The dashboard is \
+             byte-identical for every value.")
+  in
   Cmd.v
     (Cmd.info "fleet" ~doc:"Run every paper PoP and print the fleet dashboard.")
-    Term.(const run $ seed_t $ hours_t $ cycle_t $ metrics_t)
+    Term.(const run $ seed_t $ hours_t $ cycle_t $ jobs_t $ metrics_t)
 
 (* --- record / replay ------------------------------------------------------ *)
 

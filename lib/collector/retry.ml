@@ -34,13 +34,18 @@ let delay_for config attempt =
   min config.max_delay_s (config.base_delay_s * (1 lsl exp))
 
 let on_failure t ~time_s =
-  t.failures <- t.failures + 1;
   match t.state with
-  | Gave_up -> ()
+  | Gave_up ->
+      (* the machine has stopped retrying: freeze the counter too, so
+         [failures] (and [pp]) keep reporting what it took to give up
+         instead of drifting while nobody is retrying *)
+      ()
   | Healthy ->
+      t.failures <- t.failures + 1;
       t.state <-
         Backing_off { attempt = 1; retry_at_s = time_s + delay_for t.config 1 }
   | Backing_off { attempt; _ } ->
+      t.failures <- t.failures + 1;
       let attempt = attempt + 1 in
       if attempt > t.config.max_attempts then t.state <- Gave_up
       else

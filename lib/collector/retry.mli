@@ -36,7 +36,9 @@ val healthy : t -> bool
 val on_failure : t -> time_s:int -> unit
 (** Record a session failure at [time_s]: schedules the next retry with
     exponential backoff (base·2ⁿ⁻¹, capped), or moves to [Gave_up] once
-    [max_attempts] consecutive failures have accumulated. *)
+    [max_attempts] consecutive failures have accumulated. A no-op in
+    [Gave_up] — the machine has stopped retrying, so the failure counter
+    freezes at what it took to give up. *)
 
 val should_retry : t -> time_s:int -> bool
 (** True when backing off and the retry deadline has passed. *)
@@ -49,7 +51,7 @@ val attempt : t -> int
 (** Current consecutive-failure count (0 when healthy). *)
 
 val failures : t -> int
-(** Lifetime failure count. *)
+(** Lifetime failure count; frozen once the machine gives up. *)
 
 val reconnects : t -> int
 (** Lifetime successful recoveries. *)

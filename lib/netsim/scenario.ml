@@ -126,6 +126,44 @@ let stress =
   }
 
 let paper_pops = [ pop_a; pop_b; pop_c; pop_d ]
+
+(* A deterministic n-PoP fleet for parallel-runner benches: sizes cycle
+   through small/medium/large profiles and regions cycle through the
+   globe, so the work per PoP is uneven (like production) but every
+   generation of the same [n] is identical. Kept modest — a fleet bench
+   runs each PoP many times. *)
+let generated_fleet ?(n = 16) () =
+  if n < 1 then invalid_arg "Scenario.generated_fleet: n < 1";
+  let regions = Region.all in
+  List.init n (fun i ->
+      let region = List.nth regions (i mod List.length regions) in
+      (* three size tiers, cycling: 0 = small, 1 = medium, 2 = large *)
+      let tier = i mod 3 in
+      let scale = float_of_int (1 + tier) in
+      let name = Printf.sprintf "gen-%02d" i in
+      {
+        scenario_name = name;
+        description =
+          Printf.sprintf "generated fleet PoP %d/%d (%s, tier %d)" (i + 1) n
+            (Region.to_string region) tier;
+        topo =
+          {
+            base with
+            Topo_gen.seed = 7000 + i;
+            pop_name = name;
+            pop_region = region;
+            n_eyeball = 4 + (2 * tier);
+            n_regional = 8 + (6 * tier);
+            n_small = 24 + (16 * tier);
+            n_transits = 2 + (tier / 2);
+            n_private_peers = 3 + (2 * tier);
+            n_public_peers = 6 + (4 * tier);
+            total_peak_gbps = 120.0 *. scale;
+            transit_capacity_gbps = 180.0 *. scale;
+            public_port_gbps = 40.0 *. scale;
+          };
+      })
+
 let all = paper_pops @ [ tiny; stress ]
 
 let find name =

@@ -32,6 +32,12 @@ val all : t list
 val paper_pops : t list
 (** The four PoPs of the evaluation, A–D. *)
 
+val generated_fleet : ?n:int -> unit -> t list
+(** [generated_fleet ~n ()] builds [n] deterministic PoPs ("gen-00" …)
+    with regions and size tiers cycling, for fleet-scale benches — same
+    [n], same worlds, every time. Default [n = 16]. Raises
+    [Invalid_argument] when [n < 1]. *)
+
 val find : string -> t option
 val names : unit -> string list
 

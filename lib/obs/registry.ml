@@ -67,6 +67,11 @@ module Histogram = struct
       !m
     end
 
+  let merge_into ~into src =
+    for i = 0 to src.len - 1 do
+      observe into src.samples.(i)
+    done
+
   let name t = t.h_name
 end
 
@@ -158,6 +163,22 @@ let metrics t =
     (fun name -> (name, Hashtbl.find t.table name))
     t.names_rev
 
+(* Fold [src] into [into], metric by metric in [src]'s registration order,
+   so merging the same registries in the same order always yields the same
+   [into] (names, order and values) — the property the parallel fleet's
+   after-barrier merge relies on. *)
+let merge ~into src =
+  List.iter
+    (fun (name, m) ->
+      match m with
+      | Counter_m c -> Counter.add (counter into name) (Counter.value c)
+      | Gauge_m g ->
+          let dst = gauge into name in
+          Gauge.set dst (Gauge.value dst +. Gauge.value g)
+      | Histogram_m h -> Histogram.merge_into ~into:(histogram into name) h
+      | Span_m h -> Histogram.merge_into ~into:(span into name) h)
+    (metrics src)
+
 let reset t =
   Hashtbl.reset t.table;
   t.names_rev <- [];
@@ -192,6 +213,8 @@ let emit t ~name fields =
         { Event.ev_name = name; ev_time_ns = Clock.now_ns (); ev_fields = fields }
       in
       List.iter (fun sink -> sink ev) sinks
+
+let dispatch t ev = List.iter (fun sink -> sink ev) t.sinks
 
 let memory_sink () =
   let events = ref [] in

@@ -52,6 +52,10 @@ module Histogram : sig
   val max_value : t -> float
   (** Largest sample; [nan] when empty. *)
 
+  val merge_into : into:t -> t -> unit
+  (** Append every sample of the second histogram to [into], in
+      observation order. *)
+
   val name : t -> string
 end
 
@@ -101,6 +105,15 @@ val metrics : t -> (string * metric) list
 val reset : t -> unit
 (** Drop all metrics (sinks stay attached). *)
 
+val merge : into:t -> t -> unit
+(** Fold the second registry's metrics into [into], in the source's
+    registration order: counters add, gauges sum (fleet-totals
+    semantics), histograms and spans append their samples. Metrics
+    missing from [into] are registered. Deterministic: merging equal
+    registries in the same order produces equal targets. The source is
+    left untouched. Raises [Invalid_argument] if a name is registered
+    with different kinds in the two registries. *)
+
 (** {2 Span timing} *)
 
 module Span : sig
@@ -131,6 +144,11 @@ val has_sinks : t -> bool
 
 val emit : t -> name:string -> (string * Json.t) list -> unit
 (** Stamp an event with the monotonic clock and hand it to every sink. *)
+
+val dispatch : t -> Event.t -> unit
+(** Hand an already-stamped event to every sink, keeping its original
+    timestamp — the replay half of buffering another registry's journal
+    (see {!memory_sink}). *)
 
 val memory_sink : unit -> sink * (unit -> Event.t list)
 (** In-memory journal for tests: the second function returns everything

@@ -12,9 +12,11 @@ type run_params = {
   cycle_s : int;
   duration_s : int;
   seed : int;
+  jobs : int;
 }
 
-let default_params = { cycle_s = 120; duration_s = Ef_util.Units.seconds_per_day; seed = 11 }
+let default_params =
+  { cycle_s = 120; duration_s = Ef_util.Units.seconds_per_day; seed = 11; jobs = 1 }
 
 let pct x = Printf.sprintf "%.1f%%" (100.0 *. x)
 let gbps x = Printf.sprintf "%.1f" (Ef_util.Units.to_gbps x)
@@ -45,16 +47,19 @@ let engine_config ~params ~controller ?(controller_config = Ef.Config.default)
     ~controller_enabled:controller ~controller_config ~measure_altpaths:measure
     ~seed:params.seed ()
 
-let daily_run ?(controller = true) ?controller_config ~params scenario =
+(* cache key: everything that determines a run's result — note [jobs] is
+   deliberately absent, results are jobs-invariant *)
+let run_key ~controller ~controller_config ~params scenario =
   let cfg_tag =
     match controller_config with
     | None -> "default"
     | Some c -> Format.asprintf "%a" Ef.Config.pp c
   in
-  let key =
-    Printf.sprintf "%s/ctrl=%b/%d/%d/%d/%s" scenario.Scenario.scenario_name
-      controller params.cycle_s params.duration_s params.seed cfg_tag
-  in
+  Printf.sprintf "%s/ctrl=%b/%d/%d/%d/%s" scenario.Scenario.scenario_name
+    controller params.cycle_s params.duration_s params.seed cfg_tag
+
+let daily_run ?(controller = true) ?controller_config ~params scenario =
+  let key = run_key ~controller ~controller_config ~params scenario in
   match Hashtbl.find_opt run_cache key with
   | Some m -> m
   | None ->
@@ -66,6 +71,52 @@ let daily_run ?(controller = true) ?controller_config ~params scenario =
       let m = Engine.run engine in
       Hashtbl.replace run_cache key m;
       m
+
+(* Fill the run cache for a set of (controller, config, scenario) specs,
+   [params.jobs] at a time. A no-op at jobs <= 1: the sequential path is
+   exactly the lazy daily_run of old. Parallel runs give each engine a
+   private registry (the shared one is unsafe across domains) and fold
+   results and telemetry back on the calling domain in spec order, so
+   cache contents and the default registry are independent of [jobs]. *)
+let prewarm ~params specs =
+  if params.jobs > 1 then begin
+    let seen = Hashtbl.create 8 in
+    let missing =
+      List.filter
+        (fun (controller, controller_config, scenario) ->
+          let key = run_key ~controller ~controller_config ~params scenario in
+          if Hashtbl.mem run_cache key || Hashtbl.mem seen key then false
+          else begin
+            Hashtbl.replace seen key ();
+            true
+          end)
+        specs
+    in
+    if missing <> [] then begin
+      let computed =
+        Ef_util.Pool.with_pool ~jobs:params.jobs (fun pool ->
+            Ef_util.Pool.map pool
+              (fun (controller, controller_config, scenario) ->
+                let reg = Ef_obs.Registry.create () in
+                let engine =
+                  Engine.create ~obs:reg
+                    ~config:
+                      (engine_config ~params ~controller ?controller_config ())
+                    scenario
+                in
+                let m = Engine.run engine in
+                ( run_key ~controller ~controller_config ~params scenario,
+                  m,
+                  reg ))
+              missing)
+      in
+      List.iter
+        (fun (key, m, reg) ->
+          Hashtbl.replace run_cache key m;
+          Ef_obs.Registry.merge ~into:(Ef_obs.Registry.default ()) reg)
+        computed
+    end
+  end
 
 (* ------------------------------------------------------------------ *)
 (* E1: peering characterization (Table 1)                              *)
@@ -210,6 +261,8 @@ let e4_bgp_only_overload ?(params = default_params) () =
         "overflow avg(Gbps)";
       ]
   in
+  prewarm ~params
+    (List.map (fun s -> (false, None, s)) Scenario.paper_pops);
   List.iter
     (fun scenario ->
       let metrics = daily_run ~controller:false ~params scenario in
@@ -251,6 +304,10 @@ let e5_detour_volume ?(params = default_params) () =
         "overflow(Gbps) BGP-only";
       ]
   in
+  prewarm ~params
+    (List.concat_map
+       (fun s -> [ (true, None, s); (false, None, s) ])
+       Scenario.paper_pops);
   List.iter
     (fun scenario ->
       let on = daily_run ~controller:true ~params scenario in
@@ -285,6 +342,8 @@ let e6_detour_levels ?(params = default_params) () =
   let table =
     Table.create [ "pop"; "2nd choice"; "3rd choice"; "4th choice"; "5th+" ]
   in
+  prewarm ~params
+    (List.map (fun s -> (true, None, s)) Scenario.paper_pops);
   List.iter
     (fun scenario ->
       let metrics = daily_run ~controller:true ~params scenario in
@@ -337,6 +396,11 @@ let e7_override_churn ?(params = default_params) () =
     Ef.Config.make ~min_hold_s:0 ~release_margin:0.0 ()
   in
   let scenario = Scenario.pop_a in
+  let variants =
+    [ ("damped", Ef.Config.default); ("no-hysteresis", no_hysteresis) ]
+  in
+  prewarm ~params
+    (List.map (fun (_, cfg) -> (true, Some cfg, scenario)) variants);
   List.iter
     (fun (variant, controller_config) ->
       let metrics = daily_run ~controller:true ~controller_config ~params scenario in
@@ -371,7 +435,7 @@ let e7_override_churn ?(params = default_params) () =
           Printf.sprintf "%.2f" (float_of_int removes /. cycles);
           Printf.sprintf "%.1f" active_mean;
         ])
-    [ ("damped", Ef.Config.default); ("no-hysteresis", no_hysteresis) ];
+    variants;
   table
 
 (* ------------------------------------------------------------------ *)
@@ -521,10 +585,10 @@ let e9_detour_rtt_impact ?(params = default_params) () =
   table
 
 (* ------------------------------------------------------------------ *)
-(* E11: performance-aware routing (§7 extension)                       *)
+(* E12: performance-aware routing (§7 extension)                       *)
 (* ------------------------------------------------------------------ *)
 
-let e11_perf_aware ?(params = default_params) () =
+let e12_perf_aware ?(params = default_params) () =
   let table =
     Table.create
       [
@@ -654,6 +718,11 @@ let a3_threshold_sweep ?(params = default_params) () =
       [ "threshold"; "mean detoured"; "peak-util max"; "ifaces>100%"; "overflow(Gbps)" ]
   in
   let scenario = Scenario.pop_a in
+  let thresholds = [ 0.80; 0.85; 0.90; 0.95; 0.99 ] in
+  prewarm ~params
+    (List.map
+       (fun th -> (true, Some (Ef.Config.make ~overload_threshold:th ()), scenario))
+       thresholds);
   List.iter
     (fun threshold ->
       let controller_config =
@@ -673,7 +742,7 @@ let a3_threshold_sweep ?(params = default_params) () =
             /. float_of_int (max 1 (Metrics.cycle_count metrics))
             /. 1e9);
         ])
-    [ 0.80; 0.85; 0.90; 0.95; 0.99 ];
+    thresholds;
   table
 
 let a4_granularity ?(params = default_params) () =
@@ -800,8 +869,8 @@ let run_all ?(params = default_params) () =
     (e8_altpath_quality ~params ());
   section "E9" "RTT impact of detours at peak (§6)"
     (e9_detour_rtt_impact ~params ());
-  section "E11" "performance-aware routing extension (§7)"
-    (e11_perf_aware ~params ());
+  section "E12" "performance-aware routing extension (§7)"
+    (e12_perf_aware ~params ());
   section "A1" "iterative vs single-pass allocator" (a1_single_pass ~params ());
   section "A3" "overload threshold sweep" (a3_threshold_sweep ~params ());
   section "A4" "detour granularity" (a4_granularity ~params ())

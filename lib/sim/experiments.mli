@@ -14,10 +14,26 @@ type run_params = {
   cycle_s : int;
   duration_s : int;
   seed : int;
+  jobs : int;
+      (** Domains used by {!prewarm} to fill the run cache in parallel.
+          Results are identical for every value; 1 = fully sequential. *)
 }
 
 val default_params : run_params
-(** 120 s cycles over one simulated day. *)
+(** 120 s cycles over one simulated day, [jobs = 1]. *)
+
+val prewarm :
+  params:run_params ->
+  (bool * Edge_fabric.Config.t option * Ef_netsim.Scenario.t) list ->
+  unit
+(** [prewarm ~params specs] fills the daily-run cache for each
+    [(controller, controller_config, scenario)] spec, [params.jobs] runs
+    at a time on separate domains. Pass the {e same} [controller_config]
+    option the later driver will use — [None] and [Some Ef.Config.default]
+    are distinct cache keys. A no-op when [params.jobs <= 1], so the
+    sequential path is untouched. Parallel runs use private telemetry
+    registries, folded into the default registry in spec order after the
+    barrier; cache contents and telemetry are independent of [jobs]. *)
 
 (* -- static characterization ---------------------------------------- *)
 
@@ -59,7 +75,7 @@ val e9_detour_rtt_impact : ?params:run_params -> unit -> Ef_stats.Table.t
 (** §6: RTT change experienced by detoured prefixes at peak (includes the
     congestion relief the detour buys). *)
 
-val e11_perf_aware : ?params:run_params -> unit -> Ef_stats.Table.t
+val e12_perf_aware : ?params:run_params -> unit -> Ef_stats.Table.t
 (** §7 extension: traffic-weighted RTT with the performance-aware stage
     on vs off, and how much traffic it moves. *)
 

@@ -3,30 +3,81 @@ module Obs = Ef_obs
 
 type t = {
   engines : (string * Engine.t) list;
+  regs : (string * Obs.Registry.t) list; (* same order as [engines] *)
+  fleet_obs : Obs.Registry.t;
+  (* journal buffers, attached lazily on the first run that has sinks *)
+  mutable buffers : (unit -> Obs.Event.t list) list option;
 }
 
-let create ?(config = Engine.default_config) ?obs scenarios =
+let create ?(config = Engine.default_config) ?config_of ?obs scenarios =
+  let fleet_obs =
+    match obs with Some r -> r | None -> Obs.Registry.default ()
+  in
+  (* Every engine owns a private registry: engines may run on separate
+     domains, and the shared registry is unsynchronized mutable state.
+     After a run the per-PoP registries are folded into [fleet_obs]. *)
+  let members =
+    List.map
+      (fun s ->
+        let reg = Obs.Registry.create () in
+        let config =
+          match config_of with Some f -> f s | None -> config
+        in
+        (s.Scenario.scenario_name, Engine.create ~config ~obs:reg s, reg))
+      scenarios
+  in
   {
-    engines =
-      List.map
-        (fun s -> (s.Scenario.scenario_name, Engine.create ~config ?obs s))
-        scenarios;
+    engines = List.map (fun (name, engine, _) -> (name, engine)) members;
+    regs = List.map (fun (name, _, reg) -> (name, reg)) members;
+    fleet_obs;
+    buffers = None;
   }
 
-let of_paper_pops ?config ?obs () = create ?config ?obs Scenario.paper_pops
-let engines t = t.engines
+let of_paper_pops ?config ?config_of ?obs () =
+  create ?config ?config_of ?obs Scenario.paper_pops
 
-let run t =
-  List.map
-    (fun (name, engine) ->
-      let reg = Engine.obs engine in
-      let metrics =
-        Obs.Span.time ~registry:reg "fleet.pop_run" (fun () ->
-            Engine.run engine)
-      in
-      Obs.Counter.inc (Obs.Registry.counter reg "fleet.pops_run");
-      (name, metrics))
-    t.engines
+let engines t = t.engines
+let registries t = t.regs
+let registry t = t.fleet_obs
+
+let run ?(jobs = 1) t =
+  (* When the fleet registry journals somewhere, buffer each engine's
+     events privately during the run and replay them into the fleet sinks
+     in engine order after the barrier — the journal is then independent
+     of scheduling, and of [jobs]. *)
+  (if t.buffers = None && Obs.Registry.has_sinks t.fleet_obs then
+     t.buffers <-
+       Some
+         (List.map
+            (fun (_, reg) ->
+              let sink, events = Obs.Registry.memory_sink () in
+              Obs.Registry.add_sink reg sink;
+              events)
+            t.regs));
+  let work ((name, engine), (_, reg)) =
+    let metrics =
+      Obs.Span.time ~registry:reg "fleet.pop_run" (fun () ->
+          Engine.run engine)
+    in
+    Obs.Counter.inc (Obs.Registry.counter reg "fleet.pops_run");
+    (name, metrics)
+  in
+  let members = List.combine t.engines t.regs in
+  let results =
+    if jobs <= 1 then List.map work members
+    else Ef_util.Pool.with_pool ~jobs (fun pool -> Ef_util.Pool.map pool work members)
+  in
+  (* after the barrier, on the calling domain: deterministic fold of the
+     per-PoP telemetry into the fleet view, in engine order *)
+  List.iter (fun (_, reg) -> Obs.Registry.merge ~into:t.fleet_obs reg) t.regs;
+  (match t.buffers with
+  | None -> ()
+  | Some buffers ->
+      List.iter
+        (fun events ->
+          List.iter (Obs.Registry.dispatch t.fleet_obs) (events ()))
+        buffers);
+  results
 
 let overloaded_count metrics mode =
   List.length

@@ -3,24 +3,58 @@
     Edge Fabric runs one controller per PoP with no cross-PoP
     coordination (that independence is a design point of the paper); the
     fleet layer exists for what the operators' dashboards do — running
-    all the PoPs over the same simulated day and aggregating outcomes. *)
+    all the PoPs over the same simulated day and aggregating outcomes.
+
+    That independence also makes the fleet embarrassingly parallel:
+    {!run} can shard the PoPs across OCaml domains ([?jobs]). Each engine
+    owns a private {!Ef_obs.Registry.t} (the process-wide registry is
+    unsynchronized mutable state, unsafe to share across domains); after
+    the barrier the per-PoP registries are folded into the fleet registry
+    with {!Ef_obs.Registry.merge}, in engine order, on the calling
+    domain. Results, merged telemetry and replayed journals are therefore
+    byte-identical for every [jobs] value — parallelism can never change
+    a routing decision (pinned by test). *)
 
 type t
 
 val create :
-  ?config:Engine.config -> ?obs:Ef_obs.Registry.t -> Ef_netsim.Scenario.t list -> t
+  ?config:Engine.config ->
+  ?config_of:(Ef_netsim.Scenario.t -> Engine.config) ->
+  ?obs:Ef_obs.Registry.t ->
+  Ef_netsim.Scenario.t list ->
+  t
 (** One engine per scenario, sharing the engine configuration (each world
-    still derives from its own scenario seed). When [obs] is given every
-    engine reports into it; {!run} additionally records a [fleet.pop_run]
-    span and bumps [fleet.pops_run] per completed PoP. *)
+    still derives from its own scenario seed); [config_of], when given,
+    overrides [config] per scenario — the way to give each engine its own
+    trace recorder, which must not be shared across domains. Every engine
+    reports into a private registry; {!run} merges them into [obs] (the
+    process-wide default when omitted) and additionally records a
+    [fleet.pop_run] span and bumps [fleet.pops_run] per completed PoP. *)
 
-val of_paper_pops : ?config:Engine.config -> ?obs:Ef_obs.Registry.t -> unit -> t
+val of_paper_pops :
+  ?config:Engine.config ->
+  ?config_of:(Ef_netsim.Scenario.t -> Engine.config) ->
+  ?obs:Ef_obs.Registry.t ->
+  unit ->
+  t
 
 val engines : t -> (string * Engine.t) list
 
-val run : t -> (string * Metrics.t) list
-(** Run every PoP to completion (a PoP's day is independent of the
-    others', so order does not matter). *)
+val registries : t -> (string * Ef_obs.Registry.t) list
+(** The per-engine registries, in engine order. *)
+
+val registry : t -> Ef_obs.Registry.t
+(** The fleet registry that {!run} merges into. *)
+
+val run : ?jobs:int -> t -> (string * Metrics.t) list
+(** Run every PoP to completion, [jobs] at a time ([jobs <= 1], the
+    default, is the plain sequential path — no domain is spawned).
+    Results keep scenario order regardless of [jobs]. If the fleet
+    registry has journal sinks when [run] starts, engine events are
+    buffered during the run and replayed into those sinks after the
+    barrier, in engine order, with their original timestamps. [run] is
+    intended to be called once per fleet: a second call would simulate a
+    further day and merge the (cumulative) per-engine telemetry again. *)
 
 type summary = {
   pops : int;

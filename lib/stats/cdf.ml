@@ -2,8 +2,13 @@ type t = { sorted : float array }
 
 let of_array arr =
   if Array.length arr = 0 then invalid_arg "Cdf.of_array: empty";
+  (* NaN is not totally ordered: one NaN sample silently corrupts the
+     sort and every quantile after it, so reject it at the door *)
+  Array.iter
+    (fun x -> if Float.is_nan x then invalid_arg "Cdf.of_array: NaN sample")
+    arr;
   let sorted = Array.copy arr in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   { sorted }
 
 let of_samples l = of_array (Array.of_list l)

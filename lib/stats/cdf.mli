@@ -7,10 +7,13 @@
 type t
 
 val of_samples : float list -> t
-(** Build from raw samples. Raises [Invalid_argument] on the empty list. *)
+(** Build from raw samples. Raises [Invalid_argument] on the empty list
+    or on a NaN sample (NaN is not totally ordered — it would silently
+    corrupt the sort and every quantile after it). *)
 
 val of_array : float array -> t
-(** Build from raw samples (the array is copied before sorting). *)
+(** Build from raw samples (the array is copied before sorting). Same
+    [Invalid_argument] cases as {!of_samples}. *)
 
 val count : t -> int
 val min : t -> float

@@ -29,6 +29,10 @@ let create ~lo ~hi ~buckets =
     (Array.init (buckets + 1) (fun i -> lo +. (float_of_int i *. width)))
 
 let observe_weighted t x w =
+  (* a NaN value fails every edge comparison, so the binary search would
+     silently credit it to the first bucket; a NaN weight poisons totals *)
+  if Float.is_nan x then invalid_arg "Histogram.observe: NaN value";
+  if Float.is_nan w then invalid_arg "Histogram.observe: NaN weight";
   t.count <- t.count + 1;
   let n = Array.length t.weights in
   if x < t.edges.(0) then t.underflow <- t.underflow +. w

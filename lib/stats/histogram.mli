@@ -16,7 +16,9 @@ val create_edges : float array -> t
 val observe : t -> float -> unit
 val observe_weighted : t -> float -> float -> unit
 (** [observe_weighted t x w] adds weight [w] at value [x] (e.g. traffic
-    volume rather than a count). *)
+    volume rather than a count). Both raise [Invalid_argument] on a NaN
+    value or weight (a NaN fails every edge comparison and would be
+    silently credited to the first bucket). *)
 
 val count : t -> int
 val total_weight : t -> float

@@ -11,6 +11,9 @@ let create () =
   { count = 0; mean = 0.0; m2 = 0.0; min = nan; max = nan; total = 0.0 }
 
 let observe t x =
+  (* same hazard as Cdf: a NaN silently poisons mean/m2 and falls through
+     every min/max comparison *)
+  if Float.is_nan x then invalid_arg "Summary.observe: NaN sample";
   t.count <- t.count + 1;
   t.total <- t.total +. x;
   let delta = x -. t.mean in

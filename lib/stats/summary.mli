@@ -6,7 +6,11 @@
 type t
 
 val create : unit -> t
+
 val observe : t -> float -> unit
+(** Raises [Invalid_argument] on NaN (it would silently poison the
+    running mean and fall through every min/max comparison). *)
+
 val count : t -> int
 val mean : t -> float
 (** Mean of the observations; [nan] when empty. *)

@@ -49,9 +49,16 @@ let estimate_bps t prefix =
   | None -> 0.0
   | Some e -> Ewma.value e.ewma
 
+(* rate descending, ties broken by prefix ascending — the same total
+   order as Projection.compare_placement. Sorting by rate alone would
+   leave equal-rate prefixes in Hashtbl fold order, which varies with
+   table history: nondeterministic output in a pipeline that promises
+   canonical order everywhere. *)
 let snapshot t =
   Ptbl.fold (fun p e acc -> (p, Ewma.value e.ewma) :: acc) t.entries []
-  |> List.sort (fun (_, a) (_, b) -> compare b a)
+  |> List.sort (fun (pa, a) (pb, b) ->
+         let c = Float.compare b a in
+         if c <> 0 then c else Bgp.Prefix.compare pa pb)
 
 let tracked t = Ptbl.length t.entries
 

@@ -1,0 +1,118 @@
+type task = unit -> unit
+
+type t = {
+  pool_jobs : int;
+  mutex : Mutex.t;
+  work : Condition.t; (* work queued, or shutdown *)
+  idle : Condition.t; (* a map batch finished draining *)
+  queue : task Queue.t;
+  mutable live : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let jobs t = t.pool_jobs
+
+(* Workers loop forever: sleep until a task (or shutdown) appears, run the
+   task outside the lock, repeat. Tasks never raise — map wraps user code
+   in a result. *)
+let rec worker_loop t =
+  Mutex.lock t.mutex;
+  let rec next () =
+    match Queue.take_opt t.queue with
+    | Some task -> Some task
+    | None ->
+        if not t.live then None
+        else begin
+          Condition.wait t.work t.mutex;
+          next ()
+        end
+  in
+  let task = next () in
+  Mutex.unlock t.mutex;
+  match task with
+  | None -> ()
+  | Some task ->
+      task ();
+      worker_loop t
+
+let create ~jobs =
+  if jobs < 1 || jobs > 128 then
+    invalid_arg (Printf.sprintf "Pool.create: jobs %d not in [1, 128]" jobs);
+  let t =
+    {
+      pool_jobs = jobs;
+      mutex = Mutex.create ();
+      work = Condition.create ();
+      idle = Condition.create ();
+      queue = Queue.create ();
+      live = true;
+      workers = [];
+    }
+  in
+  t.workers <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.live <- false;
+  Condition.broadcast t.work;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join t.workers;
+  t.workers <- []
+
+let with_pool ~jobs f =
+  let t = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let map t f items =
+  if t.pool_jobs <= 1 then List.map f items
+  else begin
+    let arr = Array.of_list items in
+    let n = Array.length arr in
+    if n = 0 then []
+    else begin
+      (* results.(i) is written by exactly one task; the write is
+         published to the caller through the mutex-guarded [remaining]
+         decrement, so no per-slot synchronization is needed *)
+      let results = Array.make n None in
+      let remaining = ref n in
+      let run_one i =
+        let r = try Ok (f arr.(i)) with e -> Error e in
+        results.(i) <- Some r;
+        Mutex.lock t.mutex;
+        decr remaining;
+        if !remaining = 0 then Condition.broadcast t.idle;
+        Mutex.unlock t.mutex
+      in
+      Mutex.lock t.mutex;
+      for i = 0 to n - 1 do
+        Queue.add (fun () -> run_one i) t.queue
+      done;
+      Condition.broadcast t.work;
+      Mutex.unlock t.mutex;
+      (* the calling domain is a lane too: drain the queue alongside the
+         workers, then wait out the stragglers *)
+      let rec drive () =
+        Mutex.lock t.mutex;
+        if !remaining = 0 then Mutex.unlock t.mutex
+        else
+          match Queue.take_opt t.queue with
+          | Some task ->
+              Mutex.unlock t.mutex;
+              task ();
+              drive ()
+          | None ->
+              Condition.wait t.idle t.mutex;
+              Mutex.unlock t.mutex;
+              drive ()
+      in
+      drive ();
+      Array.to_list
+        (Array.map
+           (function
+             | Some (Ok v) -> v
+             | Some (Error e) -> raise e
+             | None -> assert false)
+           results)
+    end
+  end

@@ -1,0 +1,37 @@
+(** A small fixed-size work pool over OCaml 5 domains.
+
+    [create ~jobs] spawns [jobs - 1] worker domains; the caller domain is
+    the remaining lane, so a pool of [jobs] runs at most [jobs] tasks at
+    once without oversubscribing. A pool of size 1 spawns nothing and
+    {!map} degenerates to [List.map] on the calling domain — the
+    sequential path, byte-identical to not having a pool at all.
+
+    Results are collected by submission index: [map pool f items] always
+    returns results in the order of [items], whatever order the workers
+    finished in, so parallelism can never reorder (and therefore never
+    change) a deterministic computation's output.
+
+    The pool is intended for coarse tasks (a whole PoP-day simulation per
+    task); tasks must not themselves call {!map} on the same pool. One
+    [map] may be in flight at a time per pool. *)
+
+type t
+
+val create : jobs:int -> t
+(** Raises [Invalid_argument] if [jobs < 1] or [jobs > 128]. *)
+
+val jobs : t -> int
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** Run [f] on every item, up to [jobs] at a time (the caller works too),
+    and return the results in submission order. If any task raised, the
+    remaining tasks still run to completion, then the exception of the
+    lowest-indexed failed task is re-raised on the calling domain. *)
+
+val shutdown : t -> unit
+(** Join the worker domains. Idempotent; the pool must not be used
+    afterwards. *)
+
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+(** [with_pool ~jobs f] — create, run [f], and shut down even if [f]
+    raises. *)

@@ -1,21 +1,24 @@
 #!/usr/bin/env bash
-# Run the controller-scale microbenchmarks (E10/E10b/E10c/E10d) and emit
-# the machine-readable perf record BENCH_PR4.json.
+# Run the controller-scale microbenchmarks (E10/E10b/E10c/E10d) and the
+# E11 fleet-parallelism bench, then emit the machine-readable perf
+# record BENCH_PR5.json.
 #
 # Usage: scripts/bench_report.sh [OUTPUT.json] [fast]
 #
-#   OUTPUT.json   where to write the report (default: BENCH_PR4.json)
+#   OUTPUT.json   where to write the report (default: BENCH_PR5.json)
 #   fast          shorter Bechamel quotas — the CI smoke mode
 #
-# The report carries the E10d acceptance number: full allocator-cycle
-# speedup on the stress scenario, optimized vs the frozen pre-PR
-# reference implementation. Exits non-zero if the benches fail or the
-# emitted file is not well-formed JSON with the expected schema.
+# The report carries the acceptance numbers: the E10d allocator-cycle
+# speedup on the stress scenario, and the E11 fleet wall-clock speedup
+# at --jobs 4 on the generated 16-PoP fleet (only asserted when the
+# machine has >= 4 cores — domains serialize below that). Exits non-zero
+# if the benches fail or the emitted file is not well-formed JSON with
+# the expected schema.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR4.json}"
+out="${1:-BENCH_PR5.json}"
 mode="${2:-}"
 
 case "$mode" in

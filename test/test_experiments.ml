@@ -33,10 +33,23 @@ let test_cache_stability () =
   let b = Table.render (E.e3_preference_mix ()) in
   Alcotest.(check string) "deterministic" a b
 
+let test_jobs_invariance () =
+  (* the parallel prewarm path must produce the exact table the
+     sequential path does; short day to keep the test quick *)
+  let params cycle_s jobs =
+    { E.default_params with E.cycle_s; duration_s = 2 * 3600; jobs }
+  in
+  E.clear_cache ();
+  let seq = Table.render (E.e4_bgp_only_overload ~params:(params 600 1) ()) in
+  E.clear_cache ();
+  let par = Table.render (E.e4_bgp_only_overload ~params:(params 600 4) ()) in
+  Alcotest.(check string) "e4 identical at jobs=1 and jobs=4" seq par
+
 let suite =
   [
     Alcotest.test_case "e1 shape" `Quick test_e1_shape;
     Alcotest.test_case "e2 shape" `Quick test_e2_shape;
     Alcotest.test_case "e3 shape" `Quick test_e3_shape;
     Alcotest.test_case "cache stability" `Quick test_cache_stability;
+    Alcotest.test_case "jobs invariance" `Slow test_jobs_invariance;
   ]

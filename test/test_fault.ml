@@ -173,6 +173,29 @@ let test_retry_gives_up () =
     (C.Retry.should_retry r ~time_s:100_000);
   Alcotest.(check int) "failures counted" 4 (C.Retry.failures r)
 
+let test_retry_counter_frozen_after_give_up () =
+  (* once Gave_up, further failure reports are no-ops: the counter (and
+     pp) keep showing what it took to give up instead of drifting *)
+  let config = { C.Retry.base_delay_s = 1; max_delay_s = 8; max_attempts = 2 } in
+  let r = C.Retry.create ~config () in
+  for i = 0 to 2 do
+    C.Retry.on_failure r ~time_s:(i * 100)
+  done;
+  Alcotest.(check bool) "gave up" true (C.Retry.state r = C.Retry.Gave_up);
+  let at_give_up = C.Retry.failures r in
+  let pp_at_give_up = Format.asprintf "%a" C.Retry.pp r in
+  C.Retry.on_failure r ~time_s:1_000;
+  C.Retry.on_failure r ~time_s:2_000;
+  Alcotest.(check int) "counter frozen" at_give_up (C.Retry.failures r);
+  Alcotest.(check string) "pp stable" pp_at_give_up
+    (Format.asprintf "%a" C.Retry.pp r);
+  Alcotest.(check bool) "still gave up" true
+    (C.Retry.state r = C.Retry.Gave_up);
+  (* recovery still works from Gave_up *)
+  C.Retry.on_success r;
+  Alcotest.(check bool) "healthy again" true (C.Retry.healthy r);
+  Alcotest.(check int) "reconnect counted" 1 (C.Retry.reconnects r)
+
 (* --- engine: journal determinism ----------------------------------------- *)
 
 (* journals compare on event name + fields only: ev_time_ns is a
@@ -285,6 +308,8 @@ let suite =
     Alcotest.test_case "injector queries" `Quick test_injector_queries;
     Alcotest.test_case "retry backoff" `Quick test_retry_backoff;
     Alcotest.test_case "retry gives up" `Quick test_retry_gives_up;
+    Alcotest.test_case "retry counter frozen after give-up" `Quick
+      test_retry_counter_frozen_after_give_up;
     Alcotest.test_case "journal deterministic" `Quick test_journal_deterministic;
     Alcotest.test_case "journal seed sensitive" `Quick test_journal_seed_sensitive;
     Alcotest.test_case "bmp stall degrades+recovers" `Quick

@@ -34,9 +34,89 @@ let test_fleet_table_has_totals_row () =
   let table = S.Fleet.summary_table (S.Fleet.run fleet) in
   Alcotest.(check int) "pop + FLEET rows" 2 (Ef_stats.Table.row_count table)
 
+(* --- determinism across --jobs: the PR's hard requirement --------------- *)
+
+let det_scenarios =
+  [ N.Scenario.tiny; N.Scenario.pop_d ] @ N.Scenario.generated_fleet ~n:2 ()
+
+(* one full fleet pass: returns every observable surface as strings.
+   Journal events carry wall-clock stamps, so [ev_time_ns] is zeroed
+   before comparison (the PR3 golden-test convention). *)
+let fleet_outputs ~jobs () =
+  let traces =
+    List.map
+      (fun s -> (s.N.Scenario.scenario_name, Ef_trace.Recorder.create ()))
+      det_scenarios
+  in
+  let config_of s =
+    quick_config
+    |> S.Engine.with_trace (List.assoc s.N.Scenario.scenario_name traces)
+  in
+  let obs = Ef_obs.Registry.create () in
+  let sink, flush = Ef_obs.Registry.memory_sink () in
+  Ef_obs.Registry.add_sink obs sink;
+  let fleet = S.Fleet.create ~config:quick_config ~config_of ~obs det_scenarios in
+  let results = S.Fleet.run ~jobs fleet in
+  let table = Ef_stats.Table.render (S.Fleet.summary_table results) in
+  let rows =
+    String.concat "\n"
+      (List.map
+         (fun (pop, m) ->
+           Printf.sprintf "%s:%d:%d" pop (S.Metrics.cycle_count m)
+             (List.length (S.Metrics.rows m)))
+         results)
+  in
+  let journal =
+    String.concat "\n"
+      (List.map
+         (fun ev ->
+           Ef_obs.Json.to_string
+             (Ef_obs.Registry.Event.to_json
+                { ev with Ef_obs.Registry.Event.ev_time_ns = 0L }))
+         (flush ()))
+  in
+  let trace_json =
+    String.concat "\n"
+      (List.map
+         (fun (pop, tr) ->
+           pop ^ ":" ^ Ef_obs.Json.to_string (Ef_trace.Recorder.to_json tr))
+         traces)
+  in
+  (table, rows, journal, trace_json)
+
+let test_fleet_jobs_invariant () =
+  let t1, r1, j1, tr1 = fleet_outputs ~jobs:1 () in
+  let t4, r4, j4, tr4 = fleet_outputs ~jobs:4 () in
+  Alcotest.(check string) "summary table byte-identical" t1 t4;
+  Alcotest.(check string) "metrics rows identical" r1 r4;
+  Alcotest.(check bool) "journal non-empty" true (String.length j1 > 0);
+  Alcotest.(check string) "journal byte-identical (t_ns stripped)" j1 j4;
+  Alcotest.(check bool) "traces non-trivial" true (String.length tr1 > 10);
+  Alcotest.(check string) "trace JSON byte-identical" tr1 tr4
+
+let test_fleet_parallel_merges_registries () =
+  (* private fleet registry: the default one accumulates across tests *)
+  let reg = Ef_obs.Registry.create () in
+  let fleet = S.Fleet.create ~config:quick_config ~obs:reg det_scenarios in
+  let results = S.Fleet.run ~jobs:3 fleet in
+  Alcotest.(check int) "all pops ran" (List.length det_scenarios)
+    (List.length results);
+  Alcotest.(check (float 1e-9)) "pops_run counter merged"
+    (float_of_int (List.length det_scenarios))
+    (Ef_obs.Counter.value (Ef_obs.Registry.counter reg "fleet.pops_run"));
+  match Ef_obs.Registry.find reg "fleet.pop_run" with
+  | Some (Ef_obs.Registry.Span_m h) ->
+      Alcotest.(check int) "one span sample per pop"
+        (List.length det_scenarios) (Ef_obs.Histogram.count h)
+  | _ -> Alcotest.fail "fleet.pop_run span missing after merge"
+
 let suite =
   [
     Alcotest.test_case "fleet runs all" `Slow test_fleet_runs_all;
     Alcotest.test_case "fleet summary" `Slow test_fleet_summary;
     Alcotest.test_case "fleet table" `Slow test_fleet_table_has_totals_row;
+    Alcotest.test_case "fleet jobs-invariant outputs" `Slow
+      test_fleet_jobs_invariant;
+    Alcotest.test_case "fleet parallel registry merge" `Slow
+      test_fleet_parallel_merges_registries;
   ]

@@ -236,6 +236,75 @@ let test_engine_journal () =
     [ "controller.cycle"; "engine.step" ]
     names
 
+(* --- Registry.merge: the fleet fold-back after a parallel run ----------- *)
+
+let test_registry_merge_semantics () =
+  let a = O.Registry.create () and b = O.Registry.create () in
+  O.Counter.add (O.Registry.counter a "pops") 2.0;
+  O.Counter.add (O.Registry.counter b "pops") 3.0;
+  O.Gauge.set (O.Registry.gauge a "offered") 10.0;
+  O.Gauge.set (O.Registry.gauge b "offered") 4.0;
+  let ha = O.Registry.histogram a "util" in
+  O.Histogram.observe ha 0.5;
+  O.Histogram.observe ha 0.7;
+  let hb = O.Registry.histogram b "util" in
+  O.Histogram.observe hb 0.9;
+  (* b also carries a metric a has never seen *)
+  O.Counter.inc (O.Registry.counter b "only-in-b");
+  O.Registry.merge ~into:a b;
+  Alcotest.(check (float 1e-9)) "counters add" 5.0
+    (O.Counter.value (O.Registry.counter a "pops"));
+  Alcotest.(check (float 1e-9)) "gauges sum (fleet totals)" 14.0
+    (O.Gauge.value (O.Registry.gauge a "offered"));
+  Alcotest.(check int) "histogram samples append" 3 (O.Histogram.count ha);
+  Alcotest.(check (float 1e-9)) "fresh name copied" 1.0
+    (O.Counter.value (O.Registry.counter a "only-in-b"));
+  (* source is untouched *)
+  Alcotest.(check (float 1e-9)) "source intact" 3.0
+    (O.Counter.value (O.Registry.counter b "pops"))
+
+let test_registry_merge_deterministic () =
+  (* merging equal sources in the same order yields equal registries —
+     the property Fleet.run's determinism contract leans on *)
+  let mk () =
+    let r = O.Registry.create () in
+    O.Counter.add (O.Registry.counter r "c") 1.5;
+    O.Histogram.observe (O.Registry.histogram r "h") 0.25;
+    r
+  in
+  let into1 = O.Registry.create () and into2 = O.Registry.create () in
+  List.iter (fun src -> O.Registry.merge ~into:into1 src) [ mk (); mk () ];
+  List.iter (fun src -> O.Registry.merge ~into:into2 src) [ mk (); mk () ];
+  Alcotest.(check string) "identical JSON export"
+    (O.Json.to_string (O.Registry.to_json into1))
+    (O.Json.to_string (O.Registry.to_json into2))
+
+let test_registry_merge_kind_collision () =
+  let a = O.Registry.create () and b = O.Registry.create () in
+  O.Counter.inc (O.Registry.counter a "x");
+  O.Gauge.set (O.Registry.gauge b "x") 1.0;
+  (match O.Registry.merge ~into:a b with
+  | () -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ())
+
+let test_registry_dispatch_replays () =
+  let reg = O.Registry.create () in
+  let seen = ref [] in
+  O.Registry.add_sink reg (fun ev -> seen := ev :: !seen);
+  let buffered, _flush = O.Registry.memory_sink () in
+  (* replay pre-stamped events through the sinks, as Fleet.run does with
+     per-engine buffers after the barrier *)
+  let src = O.Registry.create () in
+  O.Registry.add_sink src buffered;
+  O.Registry.emit src ~name:"cycle.start" [ ("pop", O.Json.String "tiny") ];
+  O.Registry.emit src ~name:"cycle.done" [];
+  List.iter (fun ev -> O.Registry.dispatch reg ev) (_flush ());
+  Alcotest.(check int) "both events arrived" 2 (List.length !seen);
+  Alcotest.(check string) "order preserved" "cycle.start"
+    (match List.rev !seen with
+    | ev :: _ -> ev.O.Registry.Event.ev_name
+    | [] -> "")
+
 let suite =
   [
     Alcotest.test_case "counter monotonicity" `Quick test_counter_monotonic;
@@ -252,4 +321,12 @@ let suite =
     Alcotest.test_case "engine emits stage spans" `Quick
       test_engine_emits_stages;
     Alcotest.test_case "engine journal events" `Quick test_engine_journal;
+    Alcotest.test_case "registry merge semantics" `Quick
+      test_registry_merge_semantics;
+    Alcotest.test_case "registry merge deterministic" `Quick
+      test_registry_merge_deterministic;
+    Alcotest.test_case "registry merge kind collision" `Quick
+      test_registry_merge_kind_collision;
+    Alcotest.test_case "registry dispatch replays" `Quick
+      test_registry_dispatch_replays;
   ]

@@ -149,6 +149,30 @@ let qcheck_summary_mean_bounds =
       Summary.mean s >= Summary.min s -. 1e-6
       && Summary.mean s <= Summary.max s +. 1e-6)
 
+(* --- NaN rejection: a NaN poisons sorts, Welford means and bucket
+   search silently, so every ingestion point refuses it loudly -------- *)
+
+let test_nan_rejected_everywhere () =
+  Alcotest.check_raises "cdf of_array"
+    (Invalid_argument "Cdf.of_array: NaN sample") (fun () ->
+      ignore (Cdf.of_array [| 1.0; Float.nan; 2.0 |]));
+  Alcotest.check_raises "cdf of_samples"
+    (Invalid_argument "Cdf.of_array: NaN sample") (fun () ->
+      ignore (Cdf.of_samples [ Float.nan ]));
+  Alcotest.check_raises "summary observe"
+    (Invalid_argument "Summary.observe: NaN sample") (fun () ->
+      Summary.observe (Summary.create ()) Float.nan);
+  let h = Histogram.create ~lo:0.0 ~hi:1.0 ~buckets:4 in
+  Alcotest.check_raises "histogram value"
+    (Invalid_argument "Histogram.observe: NaN value") (fun () ->
+      Histogram.observe h Float.nan);
+  Alcotest.check_raises "histogram weight"
+    (Invalid_argument "Histogram.observe: NaN weight") (fun () ->
+      Histogram.observe_weighted h 0.5 Float.nan);
+  (* infinities are ordered, not poisonous: still accepted *)
+  let cdf = Cdf.of_array [| Float.infinity; 1.0 |] in
+  Alcotest.(check (float 0.0)) "infinity sorts last" Float.infinity (Cdf.max cdf)
+
 let suite =
   [
     Alcotest.test_case "summary empty" `Quick test_summary_empty;
@@ -167,6 +191,8 @@ let suite =
     Alcotest.test_case "table pads short rows" `Quick test_table_pads_short_rows;
     Alcotest.test_case "table rejects long rows" `Quick test_table_rejects_long_rows;
     Alcotest.test_case "table rowf" `Quick test_table_rowf;
+    Alcotest.test_case "nan rejected everywhere" `Quick
+      test_nan_rejected_everywhere;
     QCheck_alcotest.to_alcotest qcheck_cdf_quantile_monotone;
     QCheck_alcotest.to_alcotest qcheck_summary_mean_bounds;
   ]

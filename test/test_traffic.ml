@@ -214,6 +214,22 @@ let test_rate_est_snapshot_sorted () =
   Alcotest.(check bool) "descending" true
     (rates = List.sort (fun a b -> compare b a) rates)
 
+let test_rate_est_snapshot_tie_break () =
+  (* equal rates order by prefix ascending — the same total order as
+     Projection.compare_placement, so a snapshot is one canonical list
+     regardless of hash-table iteration order *)
+  let config = { T.Sflow.sampling_rate = 1; interval_s = 1.0 } in
+  let est = T.Rate_est.create ~alpha:1.0 config in
+  let ps = [ "10.0.2.0/24"; "10.0.0.0/24"; "10.0.1.0/24" ] in
+  T.Rate_est.observe est
+    (List.map
+       (fun p -> { T.Sflow.sample_prefix = prefix p; sampled_packets = 50 })
+       ps);
+  let snap = T.Rate_est.snapshot est in
+  Alcotest.(check (list string)) "ties broken by prefix ascending"
+    [ "10.0.0.0/24"; "10.0.1.0/24"; "10.0.2.0/24" ]
+    (List.map (fun (p, _) -> Format.asprintf "%a" Bgp.Prefix.pp p) snap)
+
 let suite =
   [
     Alcotest.test_case "diurnal range" `Quick test_diurnal_range;
@@ -237,4 +253,6 @@ let suite =
     Alcotest.test_case "rate_est drop below" `Quick test_rate_est_drop_below;
     Alcotest.test_case "rate_est snapshot sorted" `Quick
       test_rate_est_snapshot_sorted;
+    Alcotest.test_case "rate_est snapshot tie-break" `Quick
+      test_rate_est_snapshot_tie_break;
   ]

@@ -253,6 +253,57 @@ let qcheck_pareto_min =
       let rng = Rng.create seed in
       Rng.pareto rng ~alpha:1.3 ~xmin:2.0 >= 2.0)
 
+(* --- Pool: the domain work pool behind Fleet.run ~jobs ------------------ *)
+
+let test_pool_map_order () =
+  (* results come back in submission order, whatever the worker count *)
+  let items = List.init 50 Fun.id in
+  let expect = List.map (fun i -> i * i) items in
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs (fun pool ->
+          Alcotest.(check (list int))
+            (Printf.sprintf "jobs=%d" jobs)
+            expect
+            (Pool.map pool (fun i -> i * i) items)))
+    [ 1; 2; 4; 7 ]
+
+let test_pool_jobs1_is_sequential () =
+  (* size-1 pools never spawn a domain: side effects happen in list
+     order on the calling thread *)
+  let log = ref [] in
+  Pool.with_pool ~jobs:1 (fun pool ->
+      ignore
+        (Pool.map pool
+           (fun i ->
+             log := i :: !log;
+             i)
+           [ 1; 2; 3 ]));
+  Alcotest.(check (list int)) "list order" [ 3; 2; 1 ] !log
+
+let test_pool_exception () =
+  (* an exception in a task surfaces to the caller (lowest submission
+     index wins when several fail), and the pool survives for reuse *)
+  Pool.with_pool ~jobs:4 (fun pool ->
+      (match
+         Pool.map pool
+           (fun i -> if i mod 2 = 1 then failwith (string_of_int i) else i)
+           [ 0; 1; 2; 3 ]
+       with
+      | _ -> Alcotest.fail "expected Failure"
+      | exception Failure msg ->
+          Alcotest.(check string) "first failing index" "1" msg);
+      Alcotest.(check (list int))
+        "pool usable after failure" [ 2; 4 ]
+        (Pool.map pool (fun i -> 2 * i) [ 1; 2 ]))
+
+let test_pool_empty_and_validation () =
+  Pool.with_pool ~jobs:3 (fun pool ->
+      Alcotest.(check (list int)) "empty" [] (Pool.map pool Fun.id []));
+  Alcotest.check_raises "jobs=0 rejected"
+    (Invalid_argument "Pool.create: jobs 0 not in [1, 128]") (fun () ->
+      ignore (Pool.create ~jobs:0))
+
 let suite =
   [
     Alcotest.test_case "bitset basics" `Quick test_bitset_basics;
@@ -286,6 +337,12 @@ let suite =
     Alcotest.test_case "units conversions" `Quick test_units_conversions;
     Alcotest.test_case "units pp_rate" `Quick test_units_pp_rate;
     Alcotest.test_case "units time of day" `Quick test_units_time_of_day;
+    Alcotest.test_case "pool map order" `Quick test_pool_map_order;
+    Alcotest.test_case "pool jobs=1 sequential" `Quick
+      test_pool_jobs1_is_sequential;
+    Alcotest.test_case "pool exception propagation" `Quick test_pool_exception;
+    Alcotest.test_case "pool empty + validation" `Quick
+      test_pool_empty_and_validation;
     QCheck_alcotest.to_alcotest qcheck_int_bounds;
     QCheck_alcotest.to_alcotest qcheck_pareto_min;
   ]
