@@ -108,6 +108,34 @@ let faults_t =
           "Inject a deterministic fault plan: a canned plan name (see \
            $(b,scenarios)) or a JSON plan file.")
 
+(* --policy NAME|FILE resolution: canned program, else JSON file *)
+let resolve_policy = function
+  | None -> None
+  | Some name_or_file -> (
+      match N.Scenario.find_policy name_or_file with
+      | Some prog -> Some prog
+      | None -> (
+          match Ef_policy.Codec.load name_or_file with
+          | Ok prog -> Some prog
+          | Error msg ->
+              Printf.eprintf
+                "efctl: --policy %s: not a canned program (%s) and not a \
+                 readable policy file: %s\n"
+                name_or_file
+                (String.concat ", " (N.Scenario.policy_names ()))
+                msg;
+              exit 1))
+
+let policy_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "policy" ] ~docv:"NAME|FILE"
+        ~doc:
+          "Run under an $(b,Ef_policy) program: a canned program name (see \
+           $(b,scenarios)) or a policy JSON file. Replaces the scenario's \
+           import policy and applies the program's allocator/perf knobs.")
+
 (* --- scenarios --------------------------------------------------------- *)
 
 let scenarios_cmd =
@@ -123,7 +151,15 @@ let scenarios_cmd =
         Printf.printf "%-14s %d fault(s), seed %d\n" name
           (List.length plan.Ef_fault.Plan.faults)
           plan.Ef_fault.Plan.plan_seed)
-      N.Scenario.fault_plans
+      N.Scenario.fault_plans;
+    Printf.printf "\ncanned policy programs (for run --policy):\n";
+    List.iter
+      (fun (name, prog) ->
+        Printf.printf "%-18s default %s\n" name
+          (match prog.Ef_policy.program_default with
+          | Ef_policy.Accept -> "accept"
+          | Ef_policy.Reject -> "reject"))
+      N.Scenario.policies
   in
   Cmd.v (Cmd.info "scenarios" ~doc:"List the built-in worlds.")
     Term.(const run $ const ())
@@ -213,8 +249,9 @@ let cycle_cmd =
 
 let run_cmd =
   let run scenario seed hours cycle_s no_controller no_sampling obs_metrics
-      metrics_format journal faults prom_out trace_out =
+      metrics_format journal faults policy prom_out trace_out =
     let fault_plan = resolve_fault_plan faults in
+    let policy_prog = resolve_policy policy in
     (* tracing is paid for only when something will read it: a trace dump,
        or a prom export (whose ef_trace_* series come from the recorder) *)
     let trace =
@@ -225,7 +262,8 @@ let run_cmd =
     let config =
       S.Engine.make_config ~cycle_s ~duration_s:(hours * 3600)
         ~controller_enabled:(not no_controller)
-        ~use_sampling:(not no_sampling) ~seed ?faults:fault_plan ~trace ()
+        ~use_sampling:(not no_sampling) ~seed ?faults:fault_plan
+        ?policy:policy_prog ~trace ()
     in
     (* [- ] journals to stdout (flushed, never closed); a file is closed
        even when the run raises, via the Fun.protect below *)
@@ -255,6 +293,14 @@ let run_cmd =
     Printf.printf "%s: %d cycles over %dh (controller %s)\n"
       scenario.N.Scenario.scenario_name (List.length rows) hours
       (if no_controller then "off" else "on");
+    (match policy_prog with
+    | None -> ()
+    | Some prog ->
+        Printf.printf "policy: %s (default %s)\n"
+          prog.Ef_policy.program_name
+          (match prog.Ef_policy.program_default with
+          | Ef_policy.Accept -> "accept"
+          | Ef_policy.Reject -> "reject"));
     let peaks mode = S.Metrics.peak_utilization metrics mode in
     let max_util mode =
       List.fold_left (fun acc (_, u) -> Float.max acc u) 0.0 (peaks mode)
@@ -366,7 +412,7 @@ let run_cmd =
     Term.(
       const run $ scenario_t $ seed_t $ hours_t $ cycle_t $ no_controller_t
       $ no_sampling_t $ metrics_t $ metrics_format_t $ journal_t $ faults_t
-      $ prom_out_t $ trace_out_t)
+      $ policy_t $ prom_out_t $ trace_out_t)
 
 (* --- explain --------------------------------------------------------------- *)
 
@@ -781,9 +827,62 @@ let replay_cmd =
        ~doc:"Replay a recorded trace through a (possibly reconfigured) controller.")
     Term.(ret (const run $ file_t $ threshold_t $ metrics_t))
 
+(* efctl policy NAME|FILE: inspect a program — pretty-print it, show its
+   allocator-side denotation in a scenario's world, optionally the
+   compiled route-map, optionally write canonical JSON *)
+let policy_cmd =
+  let run name_or_file scenario compile out =
+    match resolve_policy (Some name_or_file) with
+    | None -> assert false (* resolve_policy exits on failure *)
+    | Some prog ->
+        Format.printf "%a@." Ef_policy.pp_program prog;
+        let world = N.Topo_gen.generate scenario.N.Scenario.topo in
+        let env = N.Topo_gen.policy_env world in
+        let ap = Ef_policy.alloc_params env prog.Ef_policy.program_policy in
+        Format.printf "@[<v 2>allocator/perf knobs in %s:@ %a@]@."
+          scenario.N.Scenario.scenario_name Ef_policy.pp_alloc_params ap;
+        if compile then begin
+          let map = Ef_policy.Compile.program_route_map env prog in
+          Format.printf "@[<v 2>compiled route-map:@ %a@]@." Bgp.Policy.pp map
+        end;
+        (match out with
+        | None -> ()
+        | Some path -> (
+            match Ef_policy.Codec.save path prog with
+            | () -> Printf.printf "wrote policy JSON to %s\n" path
+            | exception Sys_error msg ->
+                Printf.eprintf "efctl: cannot write %s: %s\n" path msg;
+                exit 1));
+        `Ok ()
+  in
+  let name_t =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"NAME|FILE"
+          ~doc:"Canned program name (see $(b,scenarios)) or policy JSON file.")
+  in
+  let compile_t =
+    Arg.(
+      value & flag
+      & info [ "compile" ]
+          ~doc:"Also print the route-map the program compiles to.")
+  in
+  let out_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"Write the program as canonical policy JSON to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "policy"
+       ~doc:"Inspect an Ef_policy program (and what it compiles to).")
+    Term.(ret (const run $ name_t $ scenario_t $ compile_t $ out_t))
+
 let () =
   let doc = "Edge Fabric: egress traffic engineering, reproduced in OCaml" in
   let info = Cmd.info "efctl" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
-       (Cmd.group info [ scenarios_cmd; world_cmd; cycle_cmd; run_cmd; explain_cmd; top_cmd; experiment_cmd; record_cmd; replay_cmd; fleet_cmd; dump_cmd; topo_cmd ]))
+       (Cmd.group info [ scenarios_cmd; world_cmd; cycle_cmd; run_cmd; explain_cmd; top_cmd; experiment_cmd; record_cmd; replay_cmd; fleet_cmd; dump_cmd; topo_cmd; policy_cmd ]))

@@ -19,7 +19,7 @@ let () =
     N.Pop.create ~name:"demo" ~region:N.Region.Na_east
       ~asn:(Bgp.Asn.of_int 64500) ()
   in
-  let policy = Bgp.Policy.default_ingest ~self_asn:(Bgp.Asn.of_int 64500) in
+  let policy = Ef_policy.standard_import_map ~self_asn:(Bgp.Asn.of_int 64500) in
   let pni = N.Pop.add_interface pop ~name:"pni-eyeball" ~capacity_bps:10e9 ~shared:false in
   let ixp = N.Pop.add_interface pop ~name:"ixp-port" ~capacity_bps:10e9 ~shared:true in
   let transit = N.Pop.add_interface pop ~name:"transit" ~capacity_bps:100e9 ~shared:false in

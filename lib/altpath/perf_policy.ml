@@ -18,6 +18,29 @@ type config = {
 let default_config =
   { min_improvement_ms = 10.0; max_suggestions = 50; capacity_guard = 0.85 }
 
+(* the default configuration, as a DSL rule: the perf stage's knobs are
+   part of the same policy language as the import rules, so a program
+   can tune capacity and performance steering together *)
+let default_policy =
+  Ef_policy.params ~name:"perf-defaults"
+    [
+      Ef_policy.Set_min_improvement_ms default_config.min_improvement_ms;
+      Ef_policy.Set_max_suggestions default_config.max_suggestions;
+      Ef_policy.Set_perf_guard default_config.capacity_guard;
+    ]
+
+let config_of_policy ?(base = default_config) env policy =
+  let ap = Ef_policy.alloc_params env policy in
+  {
+    min_improvement_ms =
+      Option.value ap.Ef_policy.ap_min_improvement_ms
+        ~default:base.min_improvement_ms;
+    max_suggestions =
+      Option.value ap.Ef_policy.ap_max_suggestions ~default:base.max_suggestions;
+    capacity_guard =
+      Option.value ap.Ef_policy.ap_perf_guard ~default:base.capacity_guard;
+  }
+
 let take n l = List.filteri (fun i _ -> i < n) l
 
 let suggest ?(config = default_config) store snapshot ~projection =

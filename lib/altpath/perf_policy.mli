@@ -23,6 +23,16 @@ type config = {
 val default_config : config
 (** 10 ms, 50 suggestions, 0.85 guard. *)
 
+val default_policy : Ef_policy.t
+(** {!default_config} expressed as a DSL [params] rule — compose it into
+    an [Ef_policy] program to restate or tune the perf knobs there. *)
+
+val config_of_policy : ?base:config -> Ef_policy.env -> Ef_policy.t -> config
+(** The perf-side denotation of a policy: [base] (default
+    {!default_config}) with any [Set_min_improvement_ms] /
+    [Set_max_suggestions] / [Set_perf_guard] knobs the policy's
+    matching rules set (see {!Ef_policy.alloc_params}). *)
+
 val suggest :
   ?config:config ->
   Path_store.t ->

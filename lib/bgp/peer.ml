@@ -13,6 +13,13 @@ let kind_to_string = function
 let pp_kind fmt k = Format.pp_print_string fmt (kind_to_string k)
 let all_kinds = [ Transit; Private_peer; Public_peer; Route_server ]
 
+let kind_of_string = function
+  | "transit" -> Some Transit
+  | "private" -> Some Private_peer
+  | "public" -> Some Public_peer
+  | "route-server" -> Some Route_server
+  | _ -> None
+
 let kind_rank = function
   | Private_peer -> 0
   | Public_peer -> 1

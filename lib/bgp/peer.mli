@@ -12,6 +12,10 @@ type kind =
   | Route_server   (** multilateral routes via an IXP route server *)
 
 val kind_to_string : kind -> string
+
+val kind_of_string : string -> kind option
+(** Inverse of {!kind_to_string} (used by the policy JSON codec). *)
+
 val pp_kind : Format.formatter -> kind -> unit
 val all_kinds : kind list
 

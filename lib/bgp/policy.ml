@@ -81,11 +81,18 @@ let apply t route =
 let accept_all =
   make ~default:Accept []
 
-let local_pref_for_kind = function
-  | Peer.Private_peer -> 400
-  | Peer.Public_peer -> 350
-  | Peer.Route_server -> 300
-  | Peer.Transit -> 200
+(* The single source of truth for the kind->LOCAL_PREF tiers. Everything
+   else (the default ingest policy, Ef_policy.standard_import, the doc
+   comments) derives from this list so the values cannot drift. *)
+let local_pref_table =
+  [
+    (Peer.Private_peer, 400);
+    (Peer.Public_peer, 350);
+    (Peer.Route_server, 300);
+    (Peer.Transit, 200);
+  ]
+
+let local_pref_for_kind kind = List.assoc kind local_pref_table
 
 (* 65000:1x — ingestion-kind tags; 65000:911 is reserved for controller
    overrides (see Edge_fabric.Override). *)
@@ -94,6 +101,53 @@ let ingest_community = function
   | Peer.Public_peer -> Community.make 65000 11
   | Peer.Route_server -> Community.make 65000 12
   | Peer.Transit -> Community.make 65000 13
+
+let rec pp_matcher fmt = function
+  | Match_any -> Format.pp_print_string fmt "any"
+  | Match_prefix p -> Format.fprintf fmt "prefix<=%a" Prefix.pp p
+  | Match_prefix_exact p -> Format.fprintf fmt "prefix=%a" Prefix.pp p
+  | Match_prefix_len_at_least n -> Format.fprintf fmt "len>=%d" n
+  | Match_community c -> Format.fprintf fmt "community:%a" Community.pp c
+  | Match_peer_kind k -> Format.fprintf fmt "peer-kind:%a" Peer.pp_kind k
+  | Match_peer_asn a -> Format.fprintf fmt "peer-as%a" Asn.pp a
+  | Match_path_contains a -> Format.fprintf fmt "path~as%a" Asn.pp a
+  | Match_all ms ->
+      Format.fprintf fmt "(%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.pp_print_string fmt " & ")
+           pp_matcher)
+        ms
+  | Match_or ms ->
+      Format.fprintf fmt "(%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.pp_print_string fmt " | ")
+           pp_matcher)
+        ms
+  | Match_not m -> Format.fprintf fmt "!%a" pp_matcher m
+
+let pp_action fmt = function
+  | Set_local_pref lp -> Format.fprintf fmt "local-pref=%d" lp
+  | Set_med (Some m) -> Format.fprintf fmt "med=%d" m
+  | Set_med None -> Format.pp_print_string fmt "med=none"
+  | Add_community c -> Format.fprintf fmt "+community:%a" Community.pp c
+  | Remove_community c -> Format.fprintf fmt "-community:%a" Community.pp c
+  | Prepend (a, n) -> Format.fprintf fmt "prepend:as%a*%d" Asn.pp a n
+
+let pp_verdict fmt = function
+  | Accept -> Format.pp_print_string fmt "accept"
+  | Reject -> Format.pp_print_string fmt "reject"
+
+let pp_clause fmt c =
+  Format.fprintf fmt "@[<h>%-28s if %a -> %a%a@]" c.clause_name pp_matcher
+    c.guard pp_verdict c.verdict
+    (fun fmt actions ->
+      List.iter (fun a -> Format.fprintf fmt " %a" pp_action a) actions)
+    c.actions
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>%a@,%-28s -> %a@]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_clause)
+    t.clauses "(default)" pp_verdict t.default
 
 let default_ingest ~self_asn =
   let kind_clause kind =

@@ -39,6 +39,9 @@ type clause = {
 type t
 
 val make : ?default:verdict -> clause list -> t
+  [@@deprecated
+    "construct policies with Ef_policy builders and compile them \
+     (Ef_policy.Compile.route_map); raw clause lists are the legacy path"]
 (** [default] applies when no clause matches; vendors default to deny,
     and so do we. *)
 
@@ -52,17 +55,35 @@ val apply : t -> Route.t -> Route.t option
 
 val accept_all : t
 
-val local_pref_for_kind : Peer.kind -> int
-(** The LOCAL_PREF tier assigned per neighbor kind by the default
-    policy: private 400 > public 350 > route server 300 > transit 200.
+val local_pref_table : (Peer.kind * int) list
+(** The LOCAL_PREF tier per neighbor kind, in preference order (best
+    first) — the {e single} source for these values; the default policy,
+    [Ef_policy.standard_import] and the docs all derive from it.
     (Published Facebook policy prefers peer routes over transit; exact
     values are ours, only the order matters.) *)
+
+val local_pref_for_kind : Peer.kind -> int
+(** Lookup in {!local_pref_table}. *)
 
 val ingest_community : Peer.kind -> Community.t
 (** Community tagged onto routes at ingestion, recording the neighbor
     kind — lets later stages classify routes without re-deriving it. *)
 
 val default_ingest : self_asn:Asn.t -> t
+  [@@deprecated
+    "use Ef_policy.standard_import (compiled via \
+     Ef_policy.standard_import_map); this clause list is the legacy shim"]
 (** The PoP's standard import policy: drop routes containing our own ASN
     (loop prevention), drop martians (length > 24 or default routes from
-    peers), set kind-tier LOCAL_PREF, tag ingest community. *)
+    peers), set kind-tier LOCAL_PREF, tag ingest community. Compiles to
+    the same clauses as [Ef_policy.standard_import] (pinned by test). *)
+
+(** {2 Printers} *)
+
+val pp_matcher : Format.formatter -> matcher -> unit
+val pp_action : Format.formatter -> action -> unit
+val pp_verdict : Format.formatter -> verdict -> unit
+val pp_clause : Format.formatter -> clause -> unit
+
+val pp : Format.formatter -> t -> unit
+(** Route-map listing, one clause per line, default last. *)

@@ -17,6 +17,7 @@ type result = {
    child placement find them. *)
 type state = {
   config : Config.t;
+  thr : float array; (* iface id -> effective overload threshold *)
   snapshot : Snapshot.t;
   work : Projection.Working.t; (* mutated in place through the relief loop *)
   decide_proj : Projection.t; (* stale view used when iterative = false *)
@@ -51,7 +52,7 @@ let headroom st iface_id =
       Projection.Working.load_bps st.work ~iface_id
     else Projection.load_bps st.decide_proj ~iface_id
   in
-  (capacity_of st iface_id *. st.config.Config.overload_threshold) -. load
+  (capacity_of st iface_id *. st.thr.(iface_id)) -. load
 
 (* Membership in [st.over] for one interface, from its current working
    load. Same predicate as [Projection.overloaded]. *)
@@ -63,7 +64,7 @@ let refresh_over st iface_id =
         Projection.Working.load_bps st.work ~iface_id
         /. Iface.capacity_bps iface
       in
-      Bitset.set st.over iface_id (u > st.config.Config.overload_threshold)
+      Bitset.set st.over iface_id (u > st.thr.(iface_id))
 
 let refresh_touched st =
   List.iter (refresh_over st) (Projection.Working.drain_touched st.work)
@@ -253,9 +254,16 @@ let run ~config ?(trace = Trace.noop) snapshot =
   List.iteri
     (fun pos iface -> pos_of_iface.(Iface.id iface) <- pos)
     (Snapshot.ifaces snapshot);
+  (* per-iface thresholds, resolved once into an array so the hot path
+     stays a single load (and is untouched when the list is empty) *)
+  let thr = Array.make universe config.Config.overload_threshold in
+  List.iter
+    (fun (id, th) -> if id >= 0 && id < universe then thr.(id) <- th)
+    config.Config.iface_thresholds;
   let st =
     {
       config;
+      thr;
       snapshot;
       work = Projection.Working.of_projection before;
       decide_proj = before;
@@ -279,7 +287,7 @@ let run ~config ?(trace = Trace.noop) snapshot =
     (fun (i, _) ->
       Bitset.add st.initially_over (Iface.id i);
       Bitset.add st.over (Iface.id i))
-    (Projection.overloaded before ~threshold:config.Config.overload_threshold);
+    (Projection.overloaded_by before ~threshold_of:(fun id -> thr.(id)));
   let progress = ref true in
   while !progress && budget_left st do
     progress := false;
@@ -349,7 +357,7 @@ let run ~config ?(trace = Trace.noop) snapshot =
     before;
     final;
     residual =
-      Projection.overloaded final ~threshold:config.Config.overload_threshold;
+      Projection.overloaded_by final ~threshold_of:(fun id -> thr.(id));
     moves_considered = st.moves;
     splits = st.splits;
   }
@@ -358,13 +366,14 @@ let relief_bps (r : result) =
   List.fold_left (fun acc o -> acc +. o.Override.rate_bps) 0.0 r.overrides
 
 let check_invariants ~config result =
-  let threshold = config.Config.overload_threshold in
   let errors = ref [] in
   let err fmt = Format.kasprintf (fun s -> errors := s :: !errors) fmt in
-  (* 1. iterative mode never pushes a previously-fine interface over *)
+  (* 1. iterative mode never pushes a previously-fine interface over
+     (each interface judged against its own effective threshold) *)
   if config.Config.iterative then
     List.iter
       (fun iface ->
+        let threshold = Config.threshold_for config ~iface_id:(Iface.id iface) in
         let before_u = Projection.utilization result.before iface in
         let after_u = Projection.utilization result.final iface in
         if before_u <= threshold && after_u > threshold +. 1e-9 then

@@ -8,6 +8,7 @@ type granularity =
 
 type t = {
   overload_threshold : float;
+  iface_thresholds : (int * float) list;
   release_margin : float;
   min_hold_s : int;
   order : order;
@@ -23,6 +24,7 @@ type t = {
 let default =
   {
     overload_threshold = 0.95;
+    iface_thresholds = [];
     release_margin = 0.10;
     min_hold_s = 60;
     order = Largest_first;
@@ -36,6 +38,7 @@ let default =
   }
 
 let make ?(overload_threshold = default.overload_threshold)
+    ?(iface_thresholds = default.iface_thresholds)
     ?(release_margin = default.release_margin) ?(min_hold_s = default.min_hold_s)
     ?(order = default.order) ?(iterative = default.iterative)
     ?(granularity = default.granularity) ?max_overrides_per_cycle
@@ -44,6 +47,7 @@ let make ?(overload_threshold = default.overload_threshold)
     ?(min_rate_confidence = default.min_rate_confidence) () =
   {
     overload_threshold;
+    iface_thresholds;
     release_margin;
     min_hold_s;
     order;
@@ -57,6 +61,7 @@ let make ?(overload_threshold = default.overload_threshold)
   }
 
 let with_overload_threshold overload_threshold t = { t with overload_threshold }
+let with_iface_thresholds iface_thresholds t = { t with iface_thresholds }
 let with_release_margin release_margin t = { t with release_margin }
 let with_min_hold_s min_hold_s t = { t with min_hold_s }
 let with_order order t = { t with order }
@@ -73,11 +78,35 @@ let with_min_rate_confidence min_rate_confidence t = { t with min_rate_confidenc
 
 let release_threshold t = t.overload_threshold -. t.release_margin
 
+let threshold_for t ~iface_id =
+  match List.assoc_opt iface_id t.iface_thresholds with
+  | Some th -> th
+  | None -> t.overload_threshold
+
+let release_threshold_for t ~iface_id =
+  threshold_for t ~iface_id -. t.release_margin
+
+let rec ids_unique = function
+  | [] -> true
+  | (id, _) :: rest ->
+      (not (List.mem_assoc id rest)) && ids_unique rest
+
 let validate t =
   if t.overload_threshold <= 0.0 || t.overload_threshold > 1.0 then
     Error "overload_threshold must be in (0, 1]"
-  else if t.release_margin < 0.0 || t.release_margin >= t.overload_threshold then
-    Error "release_margin must be in [0, overload_threshold)"
+  else if
+    List.exists (fun (_, th) -> th <= 0.0 || th > 1.0) t.iface_thresholds
+  then Error "iface_thresholds values must be in (0, 1]"
+  else if List.exists (fun (id, _) -> id < 0) t.iface_thresholds then
+    Error "iface_thresholds ids must be non-negative"
+  else if not (ids_unique t.iface_thresholds) then
+    Error "iface_thresholds ids must be unique"
+  else if
+    t.release_margin < 0.0
+    || List.exists
+         (fun (_, th) -> t.release_margin >= th)
+         ((-1, t.overload_threshold) :: t.iface_thresholds)
+  then Error "release_margin must be in [0, every overload threshold)"
   else if t.min_hold_s < 0 then Error "min_hold_s must be non-negative"
   else if
     t.override_local_pref
@@ -106,4 +135,7 @@ let pp fmt t =
     (release_threshold t)
     t.min_hold_s (order_to_string t.order) t.iterative
     (granularity_to_string t.granularity)
-    t.override_local_pref
+    t.override_local_pref;
+  List.iter
+    (fun (id, th) -> Format.fprintf fmt " if%d=%.2f" id th)
+    t.iface_thresholds

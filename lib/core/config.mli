@@ -23,6 +23,11 @@ type granularity =
     (reading fields is fine) for the transition. *)
 type t = {
   overload_threshold : float;  (** fraction of capacity, e.g. 0.95 *)
+  iface_thresholds : (int * float) list;
+      (** per-interface overrides of [overload_threshold], keyed by iface
+          id — how compiled [Ef_policy] programs tighten e.g. a shared
+          IXP port. Empty (the default) means the global threshold
+          everywhere; ids must be unique. *)
   release_margin : float;      (** release when preferred util < threshold − margin *)
   min_hold_s : int;            (** an override persists at least this long *)
   order : order;
@@ -48,6 +53,7 @@ val default : t
 
 val make :
   ?overload_threshold:float ->
+  ?iface_thresholds:(int * float) list ->
   ?release_margin:float ->
   ?min_hold_s:int ->
   ?order:order ->
@@ -69,6 +75,7 @@ val make :
     [Config.default |> Config.with_min_hold_s 0 |> Config.with_release_margin 0.0] *)
 
 val with_overload_threshold : float -> t -> t
+val with_iface_thresholds : (int * float) list -> t -> t
 val with_release_margin : float -> t -> t
 val with_min_hold_s : int -> t -> t
 val with_order : order -> t -> t
@@ -82,6 +89,13 @@ val with_min_rate_confidence : float -> t -> t
 
 val release_threshold : t -> float
 (** [overload_threshold -. release_margin]. *)
+
+val threshold_for : t -> iface_id:int -> float
+(** The effective overload threshold for one interface:
+    [iface_thresholds] override, else [overload_threshold]. *)
+
+val release_threshold_for : t -> iface_id:int -> float
+(** [threshold_for t ~iface_id -. release_margin]. *)
 
 val validate : t -> (unit, string) result
 (** Sanity checks: thresholds in (0, 1], margin below threshold,

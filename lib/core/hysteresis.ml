@@ -59,7 +59,6 @@ let step ?(trace = Ef_trace.Recorder.noop) t ~time_s ~desired ~preferred =
   let retargeted = ref [] in
   let kept = ref [] in
   let deferred = ref 0 in
-  let release_threshold = Config.release_threshold t.config in
   let next = ref Bgp.Ptrie.empty in
 
   (* pass 1: reconcile what is installed *)
@@ -93,6 +92,12 @@ let step ?(trace = Ef_trace.Recorder.noop) t ~time_s ~desired ~preferred =
             match iface_by_id preferred e.override.Override.from_iface with
             | None -> 0.0
             | Some iface -> Projection.utilization preferred iface
+          in
+          let release_threshold =
+            (* per-iface: release is judged against the threshold of the
+               interface the traffic would return to *)
+            Config.release_threshold_for t.config
+              ~iface_id:e.override.Override.from_iface
           in
           if matured && preferred_util < release_threshold then begin
             note prefix (R.Released { age_s = age });

@@ -83,12 +83,15 @@ let utilization t iface =
   load_bps t ~iface_id:(Ef_netsim.Iface.id iface)
   /. Ef_netsim.Iface.capacity_bps iface
 
-let overloaded t ~threshold =
+let overloaded_by t ~threshold_of =
   t.ifaces
   |> List.filter_map (fun iface ->
          let u = utilization t iface in
-         if u > threshold then Some (iface, u) else None)
+         if u > threshold_of (Ef_netsim.Iface.id iface) then Some (iface, u)
+         else None)
   |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+let overloaded t ~threshold = overloaded_by t ~threshold_of:(fun _ -> threshold)
 
 let placements t =
   Bgp.Ptrie.fold (fun _ pl acc -> pl :: acc) t.placements []

@@ -33,6 +33,12 @@ val overloaded : t -> threshold:float -> (Ef_netsim.Iface.t * float) list
 (** Interfaces whose utilization exceeds [threshold], worst first, with
     their utilization. *)
 
+val overloaded_by :
+  t -> threshold_of:(int -> float) -> (Ef_netsim.Iface.t * float) list
+(** Like {!overloaded} with a per-interface threshold (keyed by iface
+    id) — how per-iface policy thresholds ({!Config.threshold_for})
+    enter the allocator. *)
+
 val compare_placement : placement -> placement -> int
 (** The canonical placement order: rate descending, then prefix
     ascending. A total order — allocator decisions and golden traces are

@@ -125,6 +125,119 @@ let stress =
       };
   }
 
+(* --- DSL-policy scenarios --------------------------------------------
+
+   Two worlds whose import policy is declared as an Ef_policy program
+   instead of the standard tiers: the per-peer-class policies the
+   related work calls for, expressed in the combinator DSL and compiled
+   at generation time. *)
+
+(* Remote-peering IXP (O Peer, Where Art Thou?): many public peers are
+   remote — the short AS path hides a long backhaul detour — so blanket
+   peer-over-transit preference is harmful. Demote public and
+   route-server routes to just above transit so the allocator detours
+   them freely, and tighten the shared port's overload threshold (the
+   same peer-kind predicate selects the routes in the route-map and the
+   IXP port in the allocator). *)
+let remote_peering_policy : Ef_policy.program =
+  let open Ef_policy in
+  let lp kind = List.assoc kind Ef_bgp.Policy.local_pref_table in
+  let tag kind = Add_community (Ef_bgp.Policy.ingest_community kind) in
+  program ~name:"remote-peering"
+    (standard_guards ~self_asn:base.Topo_gen.self_asn
+    <+> rule ~name:"demote-remote-public"
+          (peer_kind Ef_bgp.Peer.Public_peer)
+          [
+            Set_local_pref (lp Ef_bgp.Peer.Transit + 10);
+            tag Ef_bgp.Peer.Public_peer;
+            Set_overload_threshold 0.85;
+          ]
+    <+> rule ~name:"demote-route-server"
+          (peer_kind Ef_bgp.Peer.Route_server)
+          [
+            Set_local_pref (lp Ef_bgp.Peer.Transit + 5);
+            tag Ef_bgp.Peer.Route_server;
+          ]
+    <+> standard_tiers
+    <+> params [ Set_detour_budget 0.3 ])
+
+(* Community-driven steering (fine-grained inbound TE with BGP
+   communities): public peers tag their announcements with
+   prefer/backup signal communities (Topo_gen.community_signaling) and
+   the import policy honors them — preferred routes beat even private
+   peering, backup routes drop below transit. *)
+let community_steering_policy : Ef_policy.program =
+  let open Ef_policy in
+  let lp kind = List.assoc kind Ef_bgp.Policy.local_pref_table in
+  let tag kind = Add_community (Ef_bgp.Policy.ingest_community kind) in
+  program ~name:"community-steering"
+    (standard_guards ~self_asn:base.Topo_gen.self_asn
+    <+> rule ~name:"honor-prefer"
+          (has_community Topo_gen.signal_prefer)
+          [
+            Set_local_pref (lp Ef_bgp.Peer.Private_peer + 20);
+            tag Ef_bgp.Peer.Public_peer;
+          ]
+    <+> rule ~name:"honor-backup"
+          (has_community Topo_gen.signal_backup)
+          [
+            Set_local_pref (lp Ef_bgp.Peer.Transit - 50);
+            tag Ef_bgp.Peer.Public_peer;
+          ]
+    <+> standard_tiers
+    <+> params [ Set_max_overrides 500 ])
+
+let remote_ixp =
+  {
+    scenario_name = "remote-ixp";
+    description =
+      "remote-peering IXP: DSL policy demotes public/RS routes to just above \
+       transit and tightens the shared port";
+    topo =
+      {
+        base with
+        Topo_gen.seed = 1005;
+        pop_name = "pop-remote-ixp";
+        pop_region = Region.Europe;
+        n_eyeball = 14;
+        n_regional = 40;
+        n_small = 100;
+        n_transits = 2;
+        n_private_peers = 6;
+        n_public_peers = 32;
+        total_peak_gbps = 500.0;
+        transit_capacity_gbps = 800.0;
+        public_port_gbps = 150.0;
+        import_policy = Some remote_peering_policy.Ef_policy.program_policy;
+      };
+  }
+
+let community_led =
+  {
+    scenario_name = "community-led";
+    description =
+      "community-driven steering: public peers tag prefer/backup communities \
+       and the DSL policy honors them";
+    topo =
+      {
+        base with
+        Topo_gen.seed = 1006;
+        pop_name = "pop-community";
+        pop_region = Region.Na_west;
+        n_eyeball = 12;
+        n_regional = 36;
+        n_small = 90;
+        n_private_peers = 6;
+        n_public_peers = 28;
+        total_peak_gbps = 450.0;
+        transit_capacity_gbps = 700.0;
+        public_port_gbps = 120.0;
+        community_signaling = true;
+        import_policy = Some community_steering_policy.Ef_policy.program_policy;
+      };
+  }
+
+let policy_scenarios = [ remote_ixp; community_led ]
 let paper_pops = [ pop_a; pop_b; pop_c; pop_d ]
 
 (* A deterministic n-PoP fleet for parallel-runner benches: sizes cycle
@@ -164,7 +277,7 @@ let generated_fleet ?(n = 16) () =
           };
       })
 
-let all = paper_pops @ [ tiny; stress ]
+let all = paper_pops @ [ tiny; stress ] @ policy_scenarios
 
 let find name =
   List.find_opt (fun s -> String.equal s.scenario_name name) all
@@ -215,3 +328,16 @@ let fault_plans : (string * Ef_fault.Plan.t) list =
 
 let find_fault_plan name = List.assoc_opt name fault_plans
 let fault_plan_names () = List.map fst fault_plans
+
+(* Canned policy programs: the DSL programs behind the policy scenarios,
+   addressable by name from efctl and serialized to
+   examples/policies/<name>.json by the codec. *)
+
+let policies : (string * Ef_policy.program) list =
+  [
+    ("remote-peering", remote_peering_policy);
+    ("community-steering", community_steering_policy);
+  ]
+
+let find_policy name = List.assoc_opt name policies
+let policy_names () = List.map fst policies

@@ -28,6 +28,28 @@ val tiny : t
 val stress : t
 (** Thousands of prefixes — input for the scale benchmarks (E10). *)
 
+val remote_ixp : t
+(** Remote-peering IXP world: its import policy is the
+    {!remote_peering_policy} DSL program (public/route-server routes
+    demoted to just above transit, shared port threshold tightened). *)
+
+val community_led : t
+(** Community-driven steering world: public peers tag announcements with
+    the {!Topo_gen.signal_prefer}/{!Topo_gen.signal_backup} communities
+    and {!community_steering_policy} honors them. *)
+
+val policy_scenarios : t list
+(** The two DSL-policy worlds, [remote_ixp; community_led]. *)
+
+val remote_peering_policy : Ef_policy.program
+(** "remote-peering" — guards, public/RS demotion near transit (with a
+    0.85 shared-port overload threshold riding on the same rule),
+    standard tiers, 0.3 detour budget. *)
+
+val community_steering_policy : Ef_policy.program
+(** "community-steering" — guards, honor prefer/backup signal
+    communities, standard tiers, raised override budget. *)
+
 val all : t list
 val paper_pops : t list
 (** The four PoPs of the evaluation, A–D. *)
@@ -50,3 +72,13 @@ val names : unit -> string list
 val fault_plans : (string * Ef_fault.Plan.t) list
 val find_fault_plan : string -> Ef_fault.Plan.t option
 val fault_plan_names : unit -> string list
+
+(** {2 Canned policy programs}
+
+    The DSL programs behind the policy scenarios, referenced by name
+    from [efctl run --policy NAME] (a file path also works) and
+    serialized under [examples/policies/]. *)
+
+val policies : (string * Ef_policy.program) list
+val find_policy : string -> Ef_policy.program option
+val policy_names : unit -> string list

@@ -39,6 +39,8 @@ type config = {
   public_port_gbps : float;
   headroom_lo : float;
   headroom_hi : float;
+  import_policy : Ef_policy.t option;
+  community_signaling : bool;
 }
 
 let default_config =
@@ -61,6 +63,8 @@ let default_config =
     public_port_gbps = 200.0;
     headroom_lo = 0.55;
     headroom_hi = 1.35;
+    import_policy = None;
+    community_signaling = false;
   }
 
 let small_config =
@@ -88,6 +92,26 @@ type world = {
   all_prefixes : Bgp.Prefix.t list;
   total_peak_bps : float;
 }
+
+(* Inbound-TE signal communities attached by public peers when
+   [community_signaling] is on (the convention of community-driven
+   inbound engineering): "prefer" on a peer's own prefixes, "backup" on
+   the customer prefixes it re-announces. Policies match on these. *)
+let signal_prefer = Bgp.Community.make 65010 80
+let signal_backup = Bgp.Community.make 65010 20
+
+(* region name -> origin prefix blocks, for Ef_policy region predicates *)
+let regions_of_ases ases =
+  List.filter_map
+    (fun r ->
+      match
+        List.concat_map
+          (fun a -> if Region.equal a.as_region r then a.as_prefixes else [])
+          ases
+      with
+      | [] -> None
+      | blocks -> Some (Region.to_string r, blocks))
+    Region.all
 
 let standard_port_sizes_gbps = [ 10.; 20.; 40.; 100.; 200.; 400.; 800. ]
 
@@ -247,7 +271,20 @@ let generate config =
     Pop.create ~name:config.pop_name ~region:config.pop_region
       ~asn:config.self_asn ()
   in
-  let policy = Bgp.Policy.default_ingest ~self_asn:config.self_asn in
+  (* the import route-map: the DSL program when the config carries one,
+     else the standard import (same clauses as the legacy default_ingest,
+     pinned by test) — compiled once, against the generated AS universe's
+     region map, before any route is ingested *)
+  let policy =
+    let env =
+      Ef_policy.env ~regions:(regions_of_ases ases) ~self_asn:config.self_asn ()
+    in
+    match config.import_policy with
+    | Some p -> Ef_policy.Compile.route_map env p
+    | None ->
+        Ef_policy.Compile.route_map env
+          (Ef_policy.standard_import ~self_asn:config.self_asn)
+  in
   let next_peer_id = ref 0 in
   let fresh_peer ~name ~asn ~kind =
     let id = !next_peer_id in
@@ -345,13 +382,20 @@ let generate config =
   in
 
   (* 3. announcements ----------------------------------------------------- *)
-  let announce peer prefix path ~med =
+  let announce ?(communities = []) peer prefix path ~med =
     let attrs =
-      Bgp.Attrs.make ~med
+      Bgp.Attrs.make ~med ~communities
         ~as_path:(Bgp.As_path.of_list path)
         ~next_hop:peer.Bgp.Peer.session_addr ()
     in
     ignore (Pop.announce pop ~peer_id:(Bgp.Peer.id peer) prefix attrs)
+  in
+  (* inbound-TE communities on public-peer announcements, when enabled *)
+  let prefer_signal =
+    if config.community_signaling then [ signal_prefer ] else []
+  in
+  let backup_signal =
+    if config.community_signaling then [ signal_backup ] else []
   in
 
   (* transit: full table; synthetic tier-2 fillers lengthen some paths *)
@@ -390,15 +434,20 @@ let generate config =
         ases)
     private_peers;
 
-  (* public peers: same shape over the shared port *)
+  (* public peers: same shape over the shared port; with signaling on,
+     own prefixes carry "prefer" and re-announced customers "backup" *)
   List.iter
     (fun (peer, a) ->
-      List.iter (fun p -> announce peer p [ a.asn ] ~med:None) a.as_prefixes;
+      List.iter
+        (fun p -> announce ~communities:prefer_signal peer p [ a.asn ] ~med:None)
+        a.as_prefixes;
       List.iter
         (fun c ->
           if List.exists (Bgp.Asn.equal a.asn) c.providers then
             List.iter
-              (fun p -> announce peer p [ a.asn; c.asn ] ~med:None)
+              (fun p ->
+                announce ~communities:backup_signal peer p [ a.asn; c.asn ]
+                  ~med:None)
               c.as_prefixes)
         ases)
     public_peers;
@@ -434,3 +483,26 @@ let generate config =
     all_prefixes;
     total_peak_bps = Units.gbps config.total_peak_gbps;
   }
+
+(* The policy evaluation environment of a generated world: region origin
+   blocks from the AS universe, interface facts from the PoP — what the
+   engine needs to compile a policy's allocator side, and what tests use
+   to run the interpreter against the compiled route-maps. *)
+let policy_env (w : world) =
+  let pop_region = Region.to_string (Pop.region w.pop) in
+  let ifaces =
+    List.map
+      (fun iface ->
+        let peers = Pop.peers_on_iface w.pop ~iface_id:(Iface.id iface) in
+        {
+          Ef_policy.if_id = Iface.id iface;
+          if_name = Iface.name iface;
+          if_shared = Iface.shared iface;
+          if_region = pop_region;
+          if_peer_kinds = List.sort_uniq compare (List.map Bgp.Peer.kind peers);
+          if_peer_asns = List.map Bgp.Peer.asn peers;
+        })
+      (Pop.interfaces w.pop)
+  in
+  Ef_policy.env ~regions:(regions_of_ases w.ases) ~ifaces ~self_asn:(Pop.asn w.pop)
+    ()

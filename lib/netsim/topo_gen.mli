@@ -50,6 +50,16 @@ type config = {
   public_port_gbps : float;  (** the shared IXP port *)
   headroom_lo : float;       (** private-port sizing: capacity ≈ peak·U(lo,hi), *)
   headroom_hi : float;       (** then rounded up to a standard port size *)
+  import_policy : Ef_policy.t option;
+      (** the import policy as a DSL program, compiled to the route-map
+          every peer is attached with; [None] (the default) uses
+          [Ef_policy.standard_import] — identical clauses to the legacy
+          default ingest, so existing seeds are unchanged *)
+  community_signaling : bool;
+      (** when true, public peers tag announcements with the inbound-TE
+          communities {!signal_prefer} (own prefixes) / {!signal_backup}
+          (customer prefixes) for community-driven policies to match;
+          default false *)
 }
 
 val default_config : config
@@ -72,7 +82,19 @@ type world = {
 val generate : config -> world
 (** Deterministic in [config.seed]: equal configs give equal worlds. The
     returned PoP's RIB is fully populated (announcements already passed
-    through the default ingest policy). *)
+    through the compiled import policy). *)
+
+val policy_env : world -> Ef_policy.env
+(** The policy evaluation environment of a generated world: the region →
+    origin-blocks map from the AS universe and per-interface facts
+    (shared flag, attached peer kinds/ASNs, PoP region) from the PoP —
+    what compiles a policy's allocator side and runs the interpreter. *)
+
+val signal_prefer : Ef_bgp.Community.t
+(** 65010:80 — "prefer here" inbound-TE tag (see [community_signaling]). *)
+
+val signal_backup : Ef_bgp.Community.t
+(** 65010:20 — "backup path" inbound-TE tag. *)
 
 val standard_port_sizes_gbps : float list
 (** 10/20/40/100/200/400/800 — capacities are rounded up to one of

@@ -1,0 +1,316 @@
+module Bgp = Ef_bgp
+module J = Ef_obs.Json
+
+let ( let* ) = Result.bind
+let err fmt = Format.kasprintf (fun s -> Error s) fmt
+
+let field name json =
+  match J.member name json with
+  | Some v -> Ok v
+  | None -> err "missing field %S in %s" name (J.to_string json)
+
+let string_field name json =
+  let* v = field name json in
+  match J.to_string_opt v with
+  | Some s -> Ok s
+  | None -> err "field %S: expected a string" name
+
+let int_field name json =
+  let* v = field name json in
+  match J.to_int_opt v with
+  | Some n -> Ok n
+  | None -> err "field %S: expected an integer" name
+
+let float_field name json =
+  let* v = field name json in
+  match J.to_float_opt v with
+  | Some f -> Ok f
+  | None -> err "field %S: expected a number" name
+
+let list_field name json =
+  let* v = field name json in
+  match J.to_list_opt v with
+  | Some l -> Ok l
+  | None -> err "field %S: expected a list" name
+
+let map_result f l =
+  List.fold_right
+    (fun x acc ->
+      let* acc = acc in
+      let* y = f x in
+      Ok (y :: acc))
+    l (Ok [])
+
+let prefix_of_string s =
+  match Bgp.Prefix.of_string_opt s with
+  | Some p -> Ok p
+  | None -> err "malformed prefix %S" s
+
+let community_of_string s =
+  match Bgp.Community.of_string s with
+  | c -> Ok c
+  | exception Invalid_argument m -> err "malformed community %S (%s)" s m
+
+(* predicates *)
+
+let rec pred_to_json (p : Dsl.pred) =
+  match p with
+  | Dsl.True -> J.Obj [ ("pred", J.String "any") ]
+  | Dsl.False -> J.Obj [ ("pred", J.String "never") ]
+  | Dsl.Prefix_in ps ->
+      J.Obj
+        [
+          ("pred", J.String "prefix-in");
+          ("prefixes", J.List (List.map (fun p -> J.String (Bgp.Prefix.to_string p)) ps));
+        ]
+  | Dsl.Prefix_exact p ->
+      J.Obj
+        [ ("pred", J.String "prefix-exact"); ("prefix", J.String (Bgp.Prefix.to_string p)) ]
+  | Dsl.Prefix_len_at_least n ->
+      J.Obj [ ("pred", J.String "prefix-len-at-least"); ("len", J.Int n) ]
+  | Dsl.Has_community c ->
+      J.Obj
+        [ ("pred", J.String "community"); ("community", J.String (Bgp.Community.to_string c)) ]
+  | Dsl.Peer_kind k ->
+      J.Obj [ ("pred", J.String "peer-kind"); ("kind", J.String (Bgp.Peer.kind_to_string k)) ]
+  | Dsl.Peer_asn a -> J.Obj [ ("pred", J.String "peer-asn"); ("asn", J.Int (Bgp.Asn.to_int a)) ]
+  | Dsl.Path_contains a ->
+      J.Obj [ ("pred", J.String "path-contains"); ("asn", J.Int (Bgp.Asn.to_int a)) ]
+  | Dsl.In_region r -> J.Obj [ ("pred", J.String "region"); ("region", J.String r) ]
+  | Dsl.Shared_port -> J.Obj [ ("pred", J.String "shared-port") ]
+  | Dsl.And ps -> J.Obj [ ("pred", J.String "all"); ("of", J.List (List.map pred_to_json ps)) ]
+  | Dsl.Or ps ->
+      J.Obj [ ("pred", J.String "any-of"); ("of", J.List (List.map pred_to_json ps)) ]
+  | Dsl.Not p -> J.Obj [ ("pred", J.String "not"); ("of", pred_to_json p) ]
+
+let rec pred_of_json json =
+  let* tag = string_field "pred" json in
+  match tag with
+  | "any" -> Ok Dsl.True
+  | "never" -> Ok Dsl.False
+  | "prefix-in" ->
+      let* l = list_field "prefixes" json in
+      let* ps =
+        map_result
+          (fun j ->
+            match J.to_string_opt j with
+            | Some s -> prefix_of_string s
+            | None -> err "prefix-in: expected prefix strings")
+          l
+      in
+      Ok (Dsl.Prefix_in ps)
+  | "prefix-exact" ->
+      let* s = string_field "prefix" json in
+      let* p = prefix_of_string s in
+      Ok (Dsl.Prefix_exact p)
+  | "prefix-len-at-least" ->
+      let* n = int_field "len" json in
+      Ok (Dsl.Prefix_len_at_least n)
+  | "community" ->
+      let* s = string_field "community" json in
+      let* c = community_of_string s in
+      Ok (Dsl.Has_community c)
+  | "peer-kind" -> (
+      let* s = string_field "kind" json in
+      match Bgp.Peer.kind_of_string s with
+      | Some k -> Ok (Dsl.Peer_kind k)
+      | None -> err "unknown peer kind %S" s)
+  | "peer-asn" ->
+      let* n = int_field "asn" json in
+      Ok (Dsl.Peer_asn (Bgp.Asn.of_int n))
+  | "path-contains" ->
+      let* n = int_field "asn" json in
+      Ok (Dsl.Path_contains (Bgp.Asn.of_int n))
+  | "region" ->
+      let* r = string_field "region" json in
+      Ok (Dsl.In_region r)
+  | "shared-port" -> Ok Dsl.Shared_port
+  | "all" ->
+      let* l = list_field "of" json in
+      let* ps = map_result pred_of_json l in
+      Ok (Dsl.And ps)
+  | "any-of" ->
+      let* l = list_field "of" json in
+      let* ps = map_result pred_of_json l in
+      Ok (Dsl.Or ps)
+  | "not" ->
+      let* j = field "of" json in
+      let* p = pred_of_json j in
+      Ok (Dsl.Not p)
+  | other -> err "unknown predicate %S" other
+
+(* actions *)
+
+let action_to_json (a : Dsl.action) =
+  match a with
+  | Dsl.Set_local_pref n -> J.Obj [ ("act", J.String "local-pref"); ("value", J.Int n) ]
+  | Dsl.Set_med (Some m) -> J.Obj [ ("act", J.String "med"); ("value", J.Int m) ]
+  | Dsl.Set_med None -> J.Obj [ ("act", J.String "med"); ("value", J.Null) ]
+  | Dsl.Add_community c ->
+      J.Obj
+        [ ("act", J.String "add-community"); ("community", J.String (Bgp.Community.to_string c)) ]
+  | Dsl.Remove_community c ->
+      J.Obj
+        [
+          ("act", J.String "remove-community");
+          ("community", J.String (Bgp.Community.to_string c));
+        ]
+  | Dsl.Prepend (a, n) ->
+      J.Obj [ ("act", J.String "prepend"); ("asn", J.Int (Bgp.Asn.to_int a)); ("count", J.Int n) ]
+  | Dsl.Set_overload_threshold v ->
+      J.Obj [ ("act", J.String "overload-threshold"); ("value", J.Float v) ]
+  | Dsl.Set_detour_budget v -> J.Obj [ ("act", J.String "detour-budget"); ("value", J.Float v) ]
+  | Dsl.Set_max_overrides n -> J.Obj [ ("act", J.String "max-overrides"); ("value", J.Int n) ]
+  | Dsl.Set_min_improvement_ms v ->
+      J.Obj [ ("act", J.String "min-improvement-ms"); ("value", J.Float v) ]
+  | Dsl.Set_perf_guard v -> J.Obj [ ("act", J.String "perf-guard"); ("value", J.Float v) ]
+  | Dsl.Set_max_suggestions n ->
+      J.Obj [ ("act", J.String "max-suggestions"); ("value", J.Int n) ]
+
+let action_of_json json =
+  let* tag = string_field "act" json in
+  match tag with
+  | "local-pref" ->
+      let* n = int_field "value" json in
+      Ok (Dsl.Set_local_pref n)
+  | "med" -> (
+      let* v = field "value" json in
+      match v with
+      | J.Null -> Ok (Dsl.Set_med None)
+      | v -> (
+          match J.to_int_opt v with
+          | Some m -> Ok (Dsl.Set_med (Some m))
+          | None -> err "med: expected an integer or null"))
+  | "add-community" ->
+      let* s = string_field "community" json in
+      let* c = community_of_string s in
+      Ok (Dsl.Add_community c)
+  | "remove-community" ->
+      let* s = string_field "community" json in
+      let* c = community_of_string s in
+      Ok (Dsl.Remove_community c)
+  | "prepend" ->
+      let* a = int_field "asn" json in
+      let* n = int_field "count" json in
+      Ok (Dsl.Prepend (Bgp.Asn.of_int a, n))
+  | "overload-threshold" ->
+      let* v = float_field "value" json in
+      Ok (Dsl.Set_overload_threshold v)
+  | "detour-budget" ->
+      let* v = float_field "value" json in
+      Ok (Dsl.Set_detour_budget v)
+  | "max-overrides" ->
+      let* n = int_field "value" json in
+      Ok (Dsl.Set_max_overrides n)
+  | "min-improvement-ms" ->
+      let* v = float_field "value" json in
+      Ok (Dsl.Set_min_improvement_ms v)
+  | "perf-guard" ->
+      let* v = float_field "value" json in
+      Ok (Dsl.Set_perf_guard v)
+  | "max-suggestions" ->
+      let* n = int_field "value" json in
+      Ok (Dsl.Set_max_suggestions n)
+  | other -> err "unknown action %S" other
+
+(* policies *)
+
+let verdict_to_json (v : Dsl.verdict) =
+  J.String (match v with Dsl.Accept -> "accept" | Dsl.Reject -> "reject")
+
+let verdict_of_json = function
+  | J.String "accept" -> Ok Dsl.Accept
+  | J.String "reject" -> Ok Dsl.Reject
+  | j -> err "expected \"accept\" or \"reject\", got %s" (J.to_string j)
+
+(* flatten right-nested chains for readable files *)
+let rec union_spine = function
+  | Dsl.Union (p, q) -> p :: union_spine q
+  | t -> [ t ]
+
+let rec seq_spine = function Dsl.Seq (p, q) -> p :: seq_spine q | t -> [ t ]
+
+let rec policy_to_json (t : Dsl.t) =
+  match t with
+  | Dsl.Rule r ->
+      J.Obj
+        [
+          ("op", J.String "rule");
+          ("name", J.String r.Dsl.rule_name);
+          ("if", pred_to_json r.Dsl.rule_pred);
+          ("then", J.List (List.map action_to_json r.Dsl.rule_actions));
+          ("verdict", verdict_to_json r.Dsl.rule_verdict);
+        ]
+  | Dsl.Union _ as t ->
+      J.Obj
+        [ ("op", J.String "union"); ("of", J.List (List.map policy_to_json (union_spine t))) ]
+  | Dsl.Seq _ as t ->
+      J.Obj [ ("op", J.String "seq"); ("of", J.List (List.map policy_to_json (seq_spine t))) ]
+
+let rec policy_of_json json =
+  let* op = string_field "op" json in
+  match op with
+  | "rule" ->
+      let* name = string_field "name" json in
+      let* pj = field "if" json in
+      let* pred = pred_of_json pj in
+      let* actions_json = list_field "then" json in
+      let* actions = map_result action_of_json actions_json in
+      let* vj = field "verdict" json in
+      let* verdict = verdict_of_json vj in
+      Ok
+        (Dsl.Rule
+           {
+             Dsl.rule_name = name;
+             rule_pred = pred;
+             rule_actions = actions;
+             rule_verdict = verdict;
+           })
+  | "union" | "seq" -> (
+      let* l = list_field "of" json in
+      let* parts = map_result policy_of_json l in
+      let join = if op = "union" then Dsl.( <+> ) else Dsl.( >> ) in
+      match List.rev parts with
+      | [] -> err "%s: empty \"of\" list" op
+      | last :: rev_init -> Ok (List.fold_left (fun acc p -> join p acc) last rev_init))
+  | other -> err "unknown policy op %S" other
+
+(* programs *)
+
+let to_json (p : Dsl.program) =
+  J.Obj
+    [
+      ("name", J.String p.Dsl.program_name);
+      ("default", verdict_to_json p.Dsl.program_default);
+      ("policy", policy_to_json p.Dsl.program_policy);
+    ]
+
+let of_json json =
+  let* name = string_field "name" json in
+  let* vj = field "default" json in
+  let* default = verdict_of_json vj in
+  let* pj = field "policy" json in
+  let* policy = policy_of_json pj in
+  Ok { Dsl.program_name = name; program_default = default; program_policy = policy }
+
+let to_string p = J.to_string (to_json p)
+
+let of_string s =
+  let* json = J.parse s in
+  let* p = of_json json in
+  let* () = Dsl.validate p.Dsl.program_policy in
+  Ok p
+
+let save path p =
+  let oc = open_out path in
+  output_string oc (to_string p);
+  output_char oc '\n';
+  close_out oc
+
+let load path =
+  match open_in path with
+  | exception Sys_error e -> Error e
+  | ic ->
+      let contents = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      of_string contents

@@ -1,0 +1,38 @@
+(** JSON codec for policy programs — the `efctl run --policy FILE`
+    wire format, in the style of [Ef_fault.Plan]'s codec.
+
+    A program file is
+    {v
+    { "name": "remote-peering",
+      "default": "reject",
+      "policy":
+        { "op": "union",
+          "of": [ { "op": "rule", "name": "demote-ixp",
+                    "if":   { "pred": "peer-kind", "kind": "public" },
+                    "then": [ { "act": "local-pref", "value": 210 } ],
+                    "verdict": "accept" },
+                  ... ] } }
+    v}
+    [union]/[seq] nodes flatten right-nested chains on save and rebuild
+    them right-associated on load, so load → save → load is a fixpoint
+    (pinned by test, along with golden files under test/golden/). *)
+
+val pred_to_json : Dsl.pred -> Ef_obs.Json.t
+val pred_of_json : Ef_obs.Json.t -> (Dsl.pred, string) result
+val action_to_json : Dsl.action -> Ef_obs.Json.t
+val action_of_json : Ef_obs.Json.t -> (Dsl.action, string) result
+val policy_to_json : Dsl.t -> Ef_obs.Json.t
+val policy_of_json : Ef_obs.Json.t -> (Dsl.t, string) result
+val to_json : Dsl.program -> Ef_obs.Json.t
+val of_json : Ef_obs.Json.t -> (Dsl.program, string) result
+
+val to_string : Dsl.program -> string
+(** Compact one-line JSON (deterministic field order). *)
+
+val of_string : string -> (Dsl.program, string) result
+(** Parses, then {!Dsl.validate}s. *)
+
+val save : string -> Dsl.program -> unit
+(** Write to a file, with a trailing newline. *)
+
+val load : string -> (Dsl.program, string) result

@@ -1,0 +1,415 @@
+module Bgp = Ef_bgp
+
+type pred =
+  | True
+  | False
+  | Prefix_in of Bgp.Prefix.t list
+  | Prefix_exact of Bgp.Prefix.t
+  | Prefix_len_at_least of int
+  | Has_community of Bgp.Community.t
+  | Peer_kind of Bgp.Peer.kind
+  | Peer_asn of Bgp.Asn.t
+  | Path_contains of Bgp.Asn.t
+  | In_region of string
+  | Shared_port
+  | And of pred list
+  | Or of pred list
+  | Not of pred
+
+type action =
+  | Set_local_pref of int
+  | Set_med of int option
+  | Add_community of Bgp.Community.t
+  | Remove_community of Bgp.Community.t
+  | Prepend of Bgp.Asn.t * int
+  | Set_overload_threshold of float
+  | Set_detour_budget of float
+  | Set_max_overrides of int
+  | Set_min_improvement_ms of float
+  | Set_perf_guard of float
+  | Set_max_suggestions of int
+
+type verdict = Bgp.Policy.verdict = Accept | Reject
+
+type rule = {
+  rule_name : string;
+  rule_pred : pred;
+  rule_actions : action list;
+  rule_verdict : verdict;
+}
+
+type t =
+  | Rule of rule
+  | Union of t * t
+  | Seq of t * t
+
+type program = {
+  program_name : string;
+  program_default : verdict;
+  program_policy : t;
+}
+
+(* builders *)
+
+let rule ?(verdict = Accept) ~name pred actions =
+  Rule
+    { rule_name = name; rule_pred = pred; rule_actions = actions; rule_verdict = verdict }
+
+let deny ~name pred = rule ~verdict:Reject ~name pred []
+let params ?(name = "params") actions = rule ~name True actions
+let ( <+> ) p q = Union (p, q)
+let ( >> ) p q = Seq (p, q)
+
+let union = function
+  | [] -> invalid_arg "Ef_policy.union: empty"
+  | p :: ps -> List.fold_left ( <+> ) p ps
+
+let program ?(default = Reject) ~name policy =
+  { program_name = name; program_default = default; program_policy = policy }
+
+let any = True
+let never = False
+let prefix_in ps = Prefix_in ps
+let prefix_exact p = Prefix_exact p
+let prefix_len_at_least n = Prefix_len_at_least n
+let has_community c = Has_community c
+let peer_kind k = Peer_kind k
+let peer_asn a = Peer_asn a
+let path_contains a = Path_contains a
+let in_region r = In_region r
+let shared_port = Shared_port
+let all_of ps = And ps
+let any_of ps = Or ps
+let not_ p = Not p
+
+(* environment *)
+
+type iface_info = {
+  if_id : int;
+  if_name : string;
+  if_shared : bool;
+  if_region : string;
+  if_peer_kinds : Bgp.Peer.kind list;
+  if_peer_asns : Bgp.Asn.t list;
+}
+
+type env = {
+  env_self_asn : Bgp.Asn.t;
+  env_regions : (string * Bgp.Prefix.t list) list;
+  env_ifaces : iface_info list;
+}
+
+let env ?(regions = []) ?(ifaces = []) ~self_asn () =
+  { env_self_asn = self_asn; env_regions = regions; env_ifaces = ifaces }
+
+let region_blocks env r =
+  match List.assoc_opt r env.env_regions with Some bs -> bs | None -> []
+
+(* route scope.
+
+   These cases must mirror what Compile.lower_pred produces: e.g.
+   [Prefix_in] is "any block subsumes the route's prefix" exactly
+   because it lowers to [Match_or (List.map Match_prefix blocks)]. *)
+
+let rec pred_matches_route env p (r : Bgp.Route.t) =
+  match p with
+  | True -> true
+  | False -> false
+  | Prefix_in blocks ->
+      List.exists (fun b -> Bgp.Prefix.subsumes b (Bgp.Route.prefix r)) blocks
+  | Prefix_exact p -> Bgp.Prefix.equal p (Bgp.Route.prefix r)
+  | Prefix_len_at_least n -> Bgp.Prefix.length (Bgp.Route.prefix r) >= n
+  | Has_community c -> Bgp.Route.has_community c r
+  | Peer_kind k -> Bgp.Route.peer_kind r = k
+  | Peer_asn a -> Bgp.Asn.equal (Bgp.Peer.asn (Bgp.Route.peer r)) a
+  | Path_contains a -> Bgp.As_path.mem a (Bgp.Route.attrs r).Bgp.Attrs.as_path
+  | In_region reg ->
+      List.exists
+        (fun b -> Bgp.Prefix.subsumes b (Bgp.Route.prefix r))
+        (region_blocks env reg)
+  | Shared_port -> false
+  | And ps -> List.for_all (fun p -> pred_matches_route env p r) ps
+  | Or ps -> List.exists (fun p -> pred_matches_route env p r) ps
+  | Not p -> not (pred_matches_route env p r)
+
+(* Parameter actions leave route attributes alone; the attribute subset
+   applies exactly as Ef_bgp.Policy.apply_action would. *)
+let apply_route_action attrs = function
+  | Set_local_pref lp -> Bgp.Attrs.with_local_pref lp attrs
+  | Set_med med -> Bgp.Attrs.with_med med attrs
+  | Add_community c -> Bgp.Attrs.add_community c attrs
+  | Remove_community c -> Bgp.Attrs.remove_community c attrs
+  | Prepend (asn, n) -> Bgp.Attrs.prepend_path asn n attrs
+  | Set_overload_threshold _ | Set_detour_budget _ | Set_max_overrides _
+  | Set_min_improvement_ms _ | Set_perf_guard _ | Set_max_suggestions _ ->
+      attrs
+
+type outcome =
+  | No_match
+  | Accepted of Bgp.Route.t
+  | Rejected
+
+let rec eval env t (r : Bgp.Route.t) =
+  match t with
+  | Rule rl ->
+      if pred_matches_route env rl.rule_pred r then
+        match rl.rule_verdict with
+        | Reject -> Rejected
+        | Accept ->
+            let attrs =
+              List.fold_left apply_route_action (Bgp.Route.attrs r) rl.rule_actions
+            in
+            Accepted (Bgp.Route.with_attrs attrs r)
+      else No_match
+  | Union (p, q) -> ( match eval env p r with No_match -> eval env q r | o -> o)
+  | Seq (p, q) -> (
+      match eval env p r with
+      | Rejected -> Rejected
+      | No_match -> eval env q r
+      | Accepted r' -> (
+          match eval env q r' with No_match -> Accepted r' | o -> o))
+
+let apply ?(default = Reject) env t r =
+  match eval env t r with
+  | Accepted r' -> Some r'
+  | Rejected -> None
+  | No_match -> ( match default with Accept -> Some r | Reject -> None)
+
+(* iface and global scope *)
+
+let rec pred_matches_iface env p (i : iface_info) =
+  match p with
+  | True -> true
+  | False -> false
+  | Peer_kind k -> List.mem k i.if_peer_kinds
+  | Peer_asn a -> List.exists (Bgp.Asn.equal a) i.if_peer_asns
+  | In_region r -> String.equal r i.if_region
+  | Shared_port -> i.if_shared
+  | Prefix_in _ | Prefix_exact _ | Prefix_len_at_least _ | Has_community _
+  | Path_contains _ ->
+      false
+  | And ps -> List.for_all (fun p -> pred_matches_iface env p i) ps
+  | Or ps -> List.exists (fun p -> pred_matches_iface env p i) ps
+  | Not p -> not (pred_matches_iface env p i)
+
+(* global scope: only predicates with no atomic constraint match *)
+let rec pred_matches_global = function
+  | True -> true
+  | False -> false
+  | Prefix_in _ | Prefix_exact _ | Prefix_len_at_least _ | Has_community _
+  | Peer_kind _ | Peer_asn _ | Path_contains _ | In_region _ | Shared_port ->
+      false
+  | And ps -> List.for_all pred_matches_global ps
+  | Or ps -> List.exists pred_matches_global ps
+  | Not p -> not (pred_matches_global p)
+
+(* the last matching action within one rule wins *)
+let knob_value proj actions =
+  List.fold_left
+    (fun acc a -> match proj a with Some _ as v -> v | None -> acc)
+    None actions
+
+(* first rule (priority order; Seq: right side runs later so it wins)
+   that matches the subject and sets the knob *)
+let rec first_param matches proj = function
+  | Rule r ->
+      if r.rule_verdict = Accept && matches r.rule_pred then
+        knob_value proj r.rule_actions
+      else None
+  | Union (p, q) -> (
+      match first_param matches proj p with
+      | Some _ as v -> v
+      | None -> first_param matches proj q)
+  | Seq (p, q) -> (
+      match first_param matches proj q with
+      | Some _ as v -> v
+      | None -> first_param matches proj p)
+
+let knob_threshold = function Set_overload_threshold v -> Some v | _ -> None
+let knob_detour = function Set_detour_budget v -> Some v | _ -> None
+let knob_max_overrides = function Set_max_overrides v -> Some v | _ -> None
+
+let knob_min_improvement = function
+  | Set_min_improvement_ms v -> Some v
+  | _ -> None
+
+let knob_perf_guard = function Set_perf_guard v -> Some v | _ -> None
+let knob_max_suggestions = function Set_max_suggestions v -> Some v | _ -> None
+
+let iface_threshold env t i =
+  first_param (fun p -> pred_matches_iface env p i) knob_threshold t
+
+type alloc_params = {
+  ap_overload_threshold : float option;
+  ap_iface_thresholds : (int * float) list;
+  ap_detour_budget : float option;
+  ap_max_overrides : int option;
+  ap_min_improvement_ms : float option;
+  ap_perf_guard : float option;
+  ap_max_suggestions : int option;
+}
+
+let alloc_params env t =
+  let glob proj = first_param pred_matches_global proj t in
+  let global_threshold = glob knob_threshold in
+  let iface_thresholds =
+    List.filter_map
+      (fun i ->
+        match iface_threshold env t i with
+        | Some v when global_threshold <> Some v -> Some (i.if_id, v)
+        | _ -> None)
+      env.env_ifaces
+  in
+  {
+    ap_overload_threshold = global_threshold;
+    ap_iface_thresholds = iface_thresholds;
+    ap_detour_budget = glob knob_detour;
+    ap_max_overrides = glob knob_max_overrides;
+    ap_min_improvement_ms = glob knob_min_improvement;
+    ap_perf_guard = glob knob_perf_guard;
+    ap_max_suggestions = glob knob_max_suggestions;
+  }
+
+(* the standard import policy, derived from Policy.local_pref_table *)
+
+let standard_guards ~self_asn =
+  deny ~name:"deny-own-asn" (Path_contains self_asn)
+  <+> deny ~name:"deny-too-specific" (Prefix_len_at_least 25)
+  <+> deny ~name:"deny-default-route" (Prefix_exact Bgp.Prefix.default)
+
+let standard_tiers =
+  union
+    (List.map
+       (fun kind ->
+         rule
+           ~name:("ingest-" ^ Bgp.Peer.kind_to_string kind)
+           (Peer_kind kind)
+           [
+             Set_local_pref (List.assoc kind Bgp.Policy.local_pref_table);
+             Add_community (Bgp.Policy.ingest_community kind);
+           ])
+       Bgp.Peer.all_kinds)
+
+let standard_import ~self_asn = standard_guards ~self_asn <+> standard_tiers
+
+(* validation *)
+
+let validate t =
+  let err fmt = Format.kasprintf (fun s -> Error s) fmt in
+  let check_action name = function
+    | Set_overload_threshold v when not (v > 0. && v <= 1.) ->
+        err "rule %S: overload threshold %g outside (0, 1]" name v
+    | Set_detour_budget v when not (v >= 0. && v <= 1.) ->
+        err "rule %S: detour budget %g outside [0, 1]" name v
+    | Set_perf_guard v when not (v > 0. && v <= 1.) ->
+        err "rule %S: perf guard %g outside (0, 1]" name v
+    | Set_max_overrides n when n < 0 ->
+        err "rule %S: negative max-overrides %d" name n
+    | Set_max_suggestions n when n < 0 ->
+        err "rule %S: negative max-suggestions %d" name n
+    | Set_min_improvement_ms v when not (v >= 0.) ->
+        err "rule %S: negative min-improvement %g" name v
+    | Set_local_pref n when n < 0 -> err "rule %S: negative local-pref %d" name n
+    | Prepend (_, n) when n < 0 -> err "rule %S: negative prepend count %d" name n
+    | _ -> Ok ()
+  in
+  let rec go = function
+    | Rule r ->
+        if String.length r.rule_name = 0 then err "rule with empty name"
+        else
+          List.fold_left
+            (fun acc a -> match acc with Error _ -> acc | Ok () -> check_action r.rule_name a)
+            (Ok ()) r.rule_actions
+    | Union (p, q) | Seq (p, q) -> ( match go p with Error _ as e -> e | Ok () -> go q)
+  in
+  go t
+
+(* equality and printing *)
+
+let equal (a : t) (b : t) = a = b
+let equal_program (a : program) (b : program) = a = b
+
+let rec pp_pred fmt = function
+  | True -> Format.pp_print_string fmt "any"
+  | False -> Format.pp_print_string fmt "never"
+  | Prefix_in ps ->
+      Format.fprintf fmt "prefix-in(%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ",")
+           Bgp.Prefix.pp)
+        ps
+  | Prefix_exact p -> Format.fprintf fmt "prefix=%a" Bgp.Prefix.pp p
+  | Prefix_len_at_least n -> Format.fprintf fmt "len>=%d" n
+  | Has_community c -> Format.fprintf fmt "community:%a" Bgp.Community.pp c
+  | Peer_kind k -> Format.fprintf fmt "peer-kind:%a" Bgp.Peer.pp_kind k
+  | Peer_asn a -> Format.fprintf fmt "peer-as%a" Bgp.Asn.pp a
+  | Path_contains a -> Format.fprintf fmt "path~as%a" Bgp.Asn.pp a
+  | In_region r -> Format.fprintf fmt "region:%s" r
+  | Shared_port -> Format.pp_print_string fmt "shared-port"
+  | And ps ->
+      Format.fprintf fmt "(%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.pp_print_string fmt " & ")
+           pp_pred)
+        ps
+  | Or ps ->
+      Format.fprintf fmt "(%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.pp_print_string fmt " | ")
+           pp_pred)
+        ps
+  | Not p -> Format.fprintf fmt "!%a" pp_pred p
+
+let pp_action fmt = function
+  | Set_local_pref lp -> Format.fprintf fmt "local-pref=%d" lp
+  | Set_med (Some m) -> Format.fprintf fmt "med=%d" m
+  | Set_med None -> Format.pp_print_string fmt "med=none"
+  | Add_community c -> Format.fprintf fmt "+community:%a" Bgp.Community.pp c
+  | Remove_community c -> Format.fprintf fmt "-community:%a" Bgp.Community.pp c
+  | Prepend (a, n) -> Format.fprintf fmt "prepend:as%a*%d" Bgp.Asn.pp a n
+  | Set_overload_threshold v -> Format.fprintf fmt "overload-threshold=%g" v
+  | Set_detour_budget v -> Format.fprintf fmt "detour-budget=%g" v
+  | Set_max_overrides n -> Format.fprintf fmt "max-overrides=%d" n
+  | Set_min_improvement_ms v -> Format.fprintf fmt "min-improvement=%gms" v
+  | Set_perf_guard v -> Format.fprintf fmt "perf-guard=%g" v
+  | Set_max_suggestions n -> Format.fprintf fmt "max-suggestions=%d" n
+
+let pp_verdict fmt = function
+  | Accept -> Format.pp_print_string fmt "accept"
+  | Reject -> Format.pp_print_string fmt "reject"
+
+let rec pp fmt = function
+  | Rule r ->
+      Format.fprintf fmt "@[<h>rule %-24s if %a -> %a%a@]" r.rule_name pp_pred
+        r.rule_pred pp_verdict r.rule_verdict
+        (fun fmt actions ->
+          List.iter (fun a -> Format.fprintf fmt " %a" pp_action a) actions)
+        r.rule_actions
+  | Union (p, q) -> Format.fprintf fmt "@[<v>%a@,%a@]" pp p pp q
+  | Seq (p, q) -> Format.fprintf fmt "@[<v>%a@,>>@,%a@]" pp p pp q
+
+let pp_program fmt p =
+  Format.fprintf fmt "@[<v>policy %S (default %a)@,%a@]" p.program_name
+    pp_verdict p.program_default pp p.program_policy
+
+let pp_alloc_params fmt a =
+  let opt pp_v fmt = function
+    | None -> Format.pp_print_string fmt "-"
+    | Some v -> pp_v fmt v
+  in
+  let f = Format.pp_print_float and i = Format.pp_print_int in
+  Format.fprintf fmt
+    "@[<v>overload-threshold: %a@,iface-thresholds: %a@,detour-budget: \
+     %a@,max-overrides: %a@,min-improvement-ms: %a@,perf-guard: \
+     %a@,max-suggestions: %a@]"
+    (opt f) a.ap_overload_threshold
+    (fun fmt -> function
+      | [] -> Format.pp_print_string fmt "-"
+      | l ->
+          Format.pp_print_list
+            ~pp_sep:(fun fmt () -> Format.pp_print_string fmt " ")
+            (fun fmt (id, v) -> Format.fprintf fmt "if%d=%g" id v)
+            fmt l)
+    a.ap_iface_thresholds (opt f) a.ap_detour_budget (opt i) a.ap_max_overrides
+    (opt f) a.ap_min_improvement_ms (opt f) a.ap_perf_guard (opt i)
+    a.ap_max_suggestions

@@ -1,0 +1,27 @@
+(** Ef_policy: a compositional egress-policy DSL.
+
+    Policies are typed combinator trees — predicates over prefix set /
+    community / peer kind / region / AS path, actions setting LOCAL_PREF
+    / prepends / allocator thresholds / detour budgets — composed with
+    [<+>] (union, first-match-wins) and [>>] (sequencing). Two backends
+    consume the same tree and are pinned to agree byte-for-byte:
+
+    - {!Dsl.eval} / {!Dsl.alloc_params}: the direct interpreter, the
+      executable specification;
+    - {!Compile.route_map}: the compiler to flat [Ef_bgp.Policy]
+      route-maps and per-iface allocator parameters, so the simulator's
+      hot path never executes DSL trees.
+
+    {!Codec} gives policies a JSON file format (`efctl run --policy`).
+
+    The DSL's combinators are in the NetCore / Frenetic tradition; the
+    policies they express are Edge Fabric's (kind-tier LOCAL_PREF,
+    ingest tagging) plus the per-peer-class refinements the related
+    work calls for — remote-peering demotion (O Peer, Where Art Thou?)
+    and community-driven steering. *)
+
+include Dsl
+module Compile = Compile
+module Codec = Codec
+
+let standard_import_map = Compile.standard_import_map

@@ -22,6 +22,7 @@ type config = {
   measurer_config : Ef_altpath.Measurer.config;
   perf_aware : bool;
   perf_config : Ef_altpath.Perf_policy.config;
+  policy : Ef_policy.program option;
   seed : int;
   events : Ef_traffic.Demand.event list;
   peer_events : peer_event list;
@@ -42,6 +43,7 @@ let default_config =
     measurer_config = Ef_altpath.Measurer.default_config;
     perf_aware = false;
     perf_config = Ef_altpath.Perf_policy.default_config;
+    policy = None;
     seed = 1;
     events = [];
     peer_events = [];
@@ -58,8 +60,8 @@ let make_config ?(cycle_s = default_config.cycle_s)
     ?(measure_altpaths = default_config.measure_altpaths)
     ?(measurer_config = default_config.measurer_config)
     ?(perf_aware = default_config.perf_aware)
-    ?(perf_config = default_config.perf_config) ?(seed = default_config.seed)
-    ?(events = default_config.events)
+    ?(perf_config = default_config.perf_config) ?policy
+    ?(seed = default_config.seed) ?(events = default_config.events)
     ?(peer_events = default_config.peer_events) ?faults
     ?(trace = default_config.trace) () =
   {
@@ -74,6 +76,7 @@ let make_config ?(cycle_s = default_config.cycle_s)
     measurer_config;
     perf_aware;
     perf_config;
+    policy;
     seed;
     events;
     peer_events;
@@ -92,6 +95,7 @@ let with_measure_altpaths measure_altpaths c = { c with measure_altpaths }
 let with_measurer_config measurer_config c = { c with measurer_config }
 let with_perf_aware perf_aware c = { c with perf_aware }
 let with_perf_config perf_config c = { c with perf_config }
+let with_policy policy c = { c with policy = Some policy }
 let with_seed seed c = { c with seed }
 let with_events events c = { c with events }
 let with_peer_events peer_events c = { c with peer_events }
@@ -170,9 +174,60 @@ type t = {
   mutable cycles_skipped : int;
 }
 
+(* merge a policy's allocator-side denotation into the run's controller
+   and perf configuration — the knob half of the compiled program (the
+   route-map half was applied at world generation) *)
+let apply_policy_params env policy config =
+  let ap = Ef_policy.alloc_params env policy in
+  let ctl = config.controller_config in
+  let ctl =
+    match ap.Ef_policy.ap_overload_threshold with
+    | None -> ctl
+    | Some v -> Ef.Config.with_overload_threshold v ctl
+  in
+  let ctl =
+    match ap.Ef_policy.ap_iface_thresholds with
+    | [] -> ctl
+    | l -> Ef.Config.with_iface_thresholds l ctl
+  in
+  let guard = ctl.Ef.Config.guard in
+  let guard =
+    match ap.Ef_policy.ap_detour_budget with
+    | None -> guard
+    | Some v -> { guard with Ef.Guard.max_detour_fraction = Some v }
+  in
+  let guard =
+    match ap.Ef_policy.ap_max_overrides with
+    | None -> guard
+    | Some v -> { guard with Ef.Guard.max_overrides = Some v }
+  in
+  let ctl = Ef.Config.with_guard guard ctl in
+  let perf =
+    Ef_altpath.Perf_policy.config_of_policy ~base:config.perf_config env policy
+  in
+  { config with controller_config = ctl; perf_config = perf }
+
 let create ?(config = default_config) ?obs scenario =
   let reg = match obs with Some r -> r | None -> Obs.Registry.default () in
-  let world = Ef_netsim.Topo_gen.generate scenario.Ef_netsim.Scenario.topo in
+  (* a policy given in the engine config wins over the scenario's own
+     declaration; either way the world is generated under the compiled
+     route-map and the knob side lands on this run's configs *)
+  let topo =
+    match config.policy with
+    | None -> scenario.Ef_netsim.Scenario.topo
+    | Some p ->
+        {
+          scenario.Ef_netsim.Scenario.topo with
+          Ef_netsim.Topo_gen.import_policy = Some p.Ef_policy.program_policy;
+        }
+  in
+  let world = Ef_netsim.Topo_gen.generate topo in
+  let config =
+    match topo.Ef_netsim.Topo_gen.import_policy with
+    | None -> config
+    | Some pol ->
+        apply_policy_params (Ef_netsim.Topo_gen.policy_env world) pol config
+  in
   let demand =
     Ef_traffic.Demand.create ~events:config.events
       ~prefix_weight:world.Ef_netsim.Topo_gen.prefix_weight

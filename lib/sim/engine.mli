@@ -43,6 +43,14 @@ type config = {
           routes (the paper's §7 extension); requires
           [measure_altpaths]. Capacity overrides always win conflicts. *)
   perf_config : Ef_altpath.Perf_policy.config;
+  policy : Ef_policy.program option;
+      (** DSL policy program for this run (e.g. loaded by
+          [efctl run --policy]). Wins over the scenario's own
+          [import_policy]: the program's rule tree replaces the import
+          route-map at world generation, and its parameter actions are
+          merged into [controller_config] / [perf_config] by
+          {!apply_policy_params}. [None] keeps whatever the scenario
+          declares (whose knob side is still applied). *)
   seed : int;
   events : Ef_traffic.Demand.event list;
   peer_events : peer_event list;
@@ -73,6 +81,7 @@ val make_config :
   ?measurer_config:Ef_altpath.Measurer.config ->
   ?perf_aware:bool ->
   ?perf_config:Ef_altpath.Perf_policy.config ->
+  ?policy:Ef_policy.program ->
   ?seed:int ->
   ?events:Ef_traffic.Demand.event list ->
   ?peer_events:peer_event list ->
@@ -96,6 +105,10 @@ val with_measure_altpaths : bool -> config -> config
 val with_measurer_config : Ef_altpath.Measurer.config -> config -> config
 val with_perf_aware : bool -> config -> config
 val with_perf_config : Ef_altpath.Perf_policy.config -> config -> config
+
+val with_policy : Ef_policy.program -> config -> config
+(** Attach a DSL policy program (wraps it in [Some] for you). *)
+
 val with_seed : int -> config -> config
 val with_events : Ef_traffic.Demand.event list -> config -> config
 val with_peer_events : peer_event list -> config -> config
@@ -105,6 +118,15 @@ val with_faults : Ef_fault.Plan.t -> config -> config
 
 val with_trace : Ef_trace.Recorder.t -> config -> config
 (** Attach an enabled decision-trace recorder (see {!Ef_trace.Recorder}). *)
+
+val apply_policy_params : Ef_policy.env -> Ef_policy.t -> config -> config
+(** Merge a policy's allocator-side denotation
+    ({!Ef_policy.alloc_params}) into [controller_config] (overload
+    thresholds, per-iface thresholds, guard budgets) and [perf_config]
+    (improvement floor, suggestion cap, capacity guard). {!create} does
+    this automatically for the effective policy of the run; exposed so
+    tests and drivers can pin the equivalence against hand-written
+    configs. *)
 
 type t
 

@@ -795,7 +795,9 @@ let a4_granularity ?(params = default_params) () =
       Pop.create ~name:"frag" ~region:Ef_netsim.Region.Na_east
         ~asn:(Bgp.Asn.of_int 64500) ()
     in
-    let policy = Bgp.Policy.default_ingest ~self_asn:(Bgp.Asn.of_int 64500) in
+    let policy =
+      Ef_policy.standard_import_map ~self_asn:(Bgp.Asn.of_int 64500)
+    in
     let pni = Pop.add_interface pop ~name:"pni" ~capacity_bps:10e9 ~shared:false in
     let ixp = Pop.add_interface pop ~name:"ixp" ~capacity_bps:10e9 ~shared:true in
     let tr = Pop.add_interface pop ~name:"transit" ~capacity_bps:10e9 ~shared:false in

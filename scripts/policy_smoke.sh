@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# policy-smoke: every shipped policy JSON must parse, validate and
+# compile to a route-map, and running a scenario under the file-loaded
+# program (efctl run --policy FILE) must produce byte-identical engine
+# output to the scenario's own in-tree declaration of the same program —
+# codec → compiler → engine is one path, however the program arrives.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+EFCTL="dune exec bin/efctl.exe --"
+shopt -s nullglob
+files=(examples/policies/*.json)
+if [ ${#files[@]} -eq 0 ]; then
+  echo "policy-smoke: no policy files under examples/policies/" >&2
+  exit 1
+fi
+
+for f in "${files[@]}"; do
+  echo "== compile $f"
+  $EFCTL policy "$f" -s tiny --compile > /dev/null
+done
+
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+
+run_diff() {
+  scenario=$1
+  file=$2
+  echo "== $scenario vs --policy $file"
+  $EFCTL run -s "$scenario" --hours 2 --cycle 120 > "$tmpdir/$scenario-base.txt"
+  $EFCTL run -s "$scenario" --hours 2 --cycle 120 --policy "$file" \
+    > "$tmpdir/$scenario-file.txt"
+  # the --policy run prints one extra header line naming the program
+  grep -v '^policy: ' "$tmpdir/$scenario-file.txt" > "$tmpdir/$scenario-file-stripped.txt"
+  diff "$tmpdir/$scenario-file-stripped.txt" "$tmpdir/$scenario-base.txt"
+  test -s "$tmpdir/$scenario-base.txt"
+}
+
+run_diff remote-ixp examples/policies/remote-peering.json
+run_diff community-led examples/policies/community-steering.json
+
+echo "policy-smoke OK"

@@ -32,6 +32,7 @@ let () =
       ("fault", Test_fault.suite);
       ("wire-pop", Test_wire_pop.suite);
       ("fleet", Test_fleet.suite);
+      ("policy", Test_policy.suite);
       ("properties", Test_properties.suite);
       ("experiments", Test_experiments.suite);
     ]

@@ -99,7 +99,7 @@ let test_monitor_mirror_roundtrip () =
   let monitor =
     C.Monitor.create
       ~peer_directory:(fun id -> N.Pop.peer pop id)
-      ~policy:(Bgp.Policy.default_ingest ~self_asn:(N.Pop.asn pop))
+      ~policy:(Ef_policy.standard_import_map ~self_asn:(N.Pop.asn pop))
       ()
   in
   (match C.Monitor.feed_bytes monitor wire with

@@ -28,7 +28,7 @@ let fixture () =
   let pop =
     N.Pop.create ~name:"fix" ~region:N.Region.Na_east ~asn:(Bgp.Asn.of_int 64500) ()
   in
-  let policy = Bgp.Policy.default_ingest ~self_asn:(Bgp.Asn.of_int 64500) in
+  let policy = Ef_policy.standard_import_map ~self_asn:(Bgp.Asn.of_int 64500) in
   let iface_private =
     N.Pop.add_interface pop ~name:"pni" ~capacity_bps:10e9 ~shared:false
   in

@@ -1,4 +1,9 @@
-(* ef_bgp: Decision process and Policy engine *)
+(* ef_bgp: Decision process and Policy engine.
+
+   This file exercises the clause-level Ef_bgp.Policy layer directly —
+   it is the compiled target of Ef_policy programs, and its first-match
+   semantics must stay pinned independently of the DSL. *)
+[@@@alert "-deprecated"]
 
 module Bgp = Ef_bgp
 open Helpers

@@ -8,7 +8,7 @@ let make_rib () =
   let p1 = peer ~kind:Bgp.Peer.Private_peer ~asn:100 1 in
   let p2 = peer ~kind:Bgp.Peer.Transit ~asn:10 2 in
   let p3 = peer ~kind:Bgp.Peer.Transit ~asn:11 3 in
-  let policy = Bgp.Policy.default_ingest ~self_asn:(Bgp.Asn.of_int 64500) in
+  let policy = Ef_policy.standard_import_map ~self_asn:(Bgp.Asn.of_int 64500) in
   Bgp.Rib.add_peer rib p1 ~policy;
   Bgp.Rib.add_peer rib p2 ~policy;
   Bgp.Rib.add_peer rib p3 ~policy;

@@ -1,4 +1,8 @@
-(* ef_bgp: the IXP route server *)
+(* ef_bgp: the IXP route server.
+
+   Export policies here are built at the clause level on purpose: the
+   route server is a consumer of the compiled representation. *)
+[@@@alert "-deprecated"]
 
 module Bgp = Ef_bgp
 open Helpers

@@ -22,7 +22,7 @@ let build_wire_router () =
   let router =
     Bgp.Speaker.create ~asn:(N.Pop.asn pop) ~router_id:(ip "10.0.0.1") ()
   in
-  let policy = Bgp.Policy.default_ingest ~self_asn:(N.Pop.asn pop) in
+  let policy = Ef_policy.standard_import_map ~self_asn:(N.Pop.asn pop) in
   List.iter (fun peer -> Bgp.Speaker.add_session router peer ~policy) (N.Pop.peers pop);
   (w, pop, router)
 
