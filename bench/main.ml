@@ -25,15 +25,7 @@ open Bechamel
 open Toolkit
 
 (* worlds and snapshots prepared once, outside the timed region *)
-let snapshot_of scenario =
-  let world = N.Topo_gen.generate scenario.N.Scenario.topo in
-  let rates =
-    List.map
-      (fun p ->
-        (p, world.N.Topo_gen.prefix_weight p *. world.N.Topo_gen.total_peak_bps))
-      world.N.Topo_gen.all_prefixes
-  in
-  C.Snapshot.of_pop world.N.Topo_gen.pop ~prefix_rates:rates ~time_s:(20 * 3600)
+let snapshot_of scenario = Gen.snapshot_of_scenario ~time_s:(20 * 3600) scenario
 
 let tiny_snap = lazy (snapshot_of N.Scenario.tiny)
 let pop_a_snap = lazy (snapshot_of N.Scenario.pop_a)
@@ -341,6 +333,97 @@ let write_bench_json path ~micro ~e10d ~e11 =
   Printf.printf "wrote %s (stress %.2fx, gen16 jobs=4 %.2fx on %d cores)\n%!"
     path stress_speedup gen16_speedup_j4 cores
 
+(* ------------------------------------------------------------------ *)
+(* E13: dfz end-to-end incremental cycles (BENCH_PR7.json)             *)
+(* ------------------------------------------------------------------ *)
+
+(* Full mode runs the million-prefix world; fast mode (the CI smoke)
+   the 50k variant. Differential verification re-assembles every
+   snapshot and replays the whole world through a cold pipeline, so it
+   always runs at smoke scale — at 1M the reference side alone would
+   take minutes per cycle. In fast mode the main run verifies inline;
+   in full mode a separate smoke-scale run carries the identity bit. *)
+let run_e13_dfz ~fast () =
+  let module D = Ef_sim.Dfz_run in
+  let scale, dfz_cfg, cycles =
+    if fast then ("dfz-smoke", N.Scenario.dfz_smoke, 10)
+    else ("dfz", N.Scenario.dfz, 30)
+  in
+  Printf.printf "== E13: dfz end-to-end cycles (%s) ==\n%!" scale;
+  let report = D.run ~config:(D.config ~cycles ~verify:fast ()) dfz_cfg in
+  Format.printf "%a@." D.pp_report report;
+  let verify_report =
+    if fast then report
+    else begin
+      Printf.printf "-- differential verification (dfz-smoke) --\n%!";
+      let r =
+        D.run ~config:(D.config ~cycles:10 ~verify:true ()) N.Scenario.dfz_smoke
+      in
+      Format.printf "%a@." D.pp_report r;
+      r
+    end
+  in
+  (scale, report, verify_report)
+
+(* BENCH_PR7.json: the e13 acceptance record. The p99 bar is stated
+   over steady-state churn, so cycle 0 — which assembles the table from
+   nothing — is excluded from the acceptance percentile (both figures
+   are reported). *)
+let write_bench_pr7_json path ~dfz:(scale, report, verify_report) =
+  let module D = Ef_sim.Dfz_run in
+  let module J = Ef_obs.Json in
+  let steady =
+    let n = Array.length report.D.cycle_seconds in
+    if n <= 1 then report
+    else
+      { report with D.cycle_seconds = Array.sub report.D.cycle_seconds 1 (n - 1) }
+  in
+  let steady_p99 = D.p99_s steady in
+  let identical =
+    verify_report.D.verified_cycles > 0 && verify_report.D.mismatches = []
+  in
+  let hits_expected = report.D.cycles_run - 1 in
+  let pass =
+    steady_p99 < 1.0 && identical
+    && report.D.incremental_hits = hits_expected
+  in
+  let json =
+    J.Obj
+      [
+        ("schema", J.String "edge-fabric-bench/1");
+        ("pr", J.Int 7);
+        ("source", J.String "bench/main.exe e13");
+        ("experiment", J.String "e13-dfz");
+        ("scale", J.String scale);
+        ("dfz", D.report_to_json report);
+        ("verify", D.report_to_json verify_report);
+        ( "acceptance",
+          J.Obj
+            [
+              ("steady_p99_s", J.Float steady_p99);
+              ("steady_p99_required_max_s", J.Float 1.0);
+              ( "steady_note",
+                J.String
+                  "cycle 0 assembles the table cold; the steady-state churn \
+                   bar applies from cycle 1" );
+              ("full_scale", J.Bool (scale = "dfz"));
+              ("incremental_identical", J.Bool identical);
+              ("verified_cycles", J.Int verify_report.D.verified_cycles);
+              ("incremental_hits", J.Int report.D.incremental_hits);
+              ("incremental_hits_expected", J.Int hits_expected);
+              ("pass", J.Bool pass);
+            ] );
+      ]
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (J.to_string json);
+      output_char oc '\n');
+  Printf.printf "wrote %s (%s: steady p99 %.3fs, identical=%b, hits %d/%d)\n%!"
+    path scale steady_p99 identical report.D.incremental_hits hits_expected
+
 (* `json-check FILE`: exit 0 iff FILE parses as JSON and carries the
    bench schema — the CI gate against a malformed report *)
 let json_check path =
@@ -521,13 +604,16 @@ let () =
             (fun id ->
               if id = "micro" then run_micro_suite ()
               else if id = "e11" then ignore (run_e11_fleet ~fast ())
+              else if id = "e13" then
+                let dfz = run_e13_dfz ~fast () in
+                Option.iter (fun path -> write_bench_pr7_json path ~dfz) json_out
               else
                 match List.find_opt (fun (i, _, _) -> i = id) experiments with
                 | Some exp -> run_one params exp
                 | None ->
                     Printf.eprintf
-                      "unknown experiment %S (known: %s, e11, micro, all; \
-                       modifiers: fast, json=FILE)\n"
+                      "unknown experiment %S (known: %s, e11, e13, micro, \
+                       all; modifiers: fast, json=FILE)\n"
                       id
                       (String.concat ", "
                          (List.map (fun (i, _, _) -> i) experiments));

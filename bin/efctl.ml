@@ -145,6 +145,14 @@ let scenarios_cmd =
         Printf.printf "%-10s %s\n" s.N.Scenario.scenario_name
           s.N.Scenario.description)
       N.Scenario.all;
+    Printf.printf
+      "\ndfz worlds (for run -s; support --verify-incremental):\n";
+    List.iter
+      (fun (name, cfg) ->
+        Printf.printf "%-10s %d prefixes, %.1f%% churn/cycle\n" name
+          cfg.N.Dfz.n_prefixes
+          (100.0 *. cfg.N.Dfz.churn_fraction))
+      N.Scenario.dfz_scenarios;
     Printf.printf "\ncanned fault plans (for run --faults):\n";
     List.iter
       (fun (name, plan) ->
@@ -247,9 +255,58 @@ let cycle_cmd =
 
 (* --- run ----------------------------------------------------------------- *)
 
+(* run's world argument also accepts the DFZ-class names (full-table
+   worlds that bypass the engine and run through the sim's dfz driver). *)
+type run_world =
+  | Topo_world of N.Scenario.t
+  | Dfz_world of string * N.Dfz.config
+
+let run_world_arg =
+  let parse name =
+    match N.Scenario.find name with
+    | Some s -> Ok (Topo_world s)
+    | None -> (
+        match N.Scenario.find_dfz name with
+        | Some cfg -> Ok (Dfz_world (name, cfg))
+        | None ->
+            Error
+              (`Msg
+                 (Printf.sprintf "unknown scenario %S (known: %s)" name
+                    (String.concat ", "
+                       (N.Scenario.names () @ N.Scenario.dfz_names ())))))
+  in
+  let print fmt = function
+    | Topo_world s -> Format.pp_print_string fmt s.N.Scenario.scenario_name
+    | Dfz_world (name, _) -> Format.pp_print_string fmt name
+  in
+  Arg.conv (parse, print)
+
+let run_world_t =
+  Arg.(
+    value
+    & opt run_world_arg (Topo_world N.Scenario.pop_a)
+    & info [ "s"; "scenario" ] ~docv:"NAME"
+        ~doc:
+          "World to use (see $(b,scenarios)); also accepts the DFZ-class \
+           worlds $(b,dfz) and $(b,dfz-smoke).")
+
+let print_dfz_report name report =
+  Printf.printf "%s: %s\n" name
+    (Format.asprintf "%a" S.Dfz_run.pp_report report);
+  if report.S.Dfz_run.mismatches <> [] then begin
+    List.iter
+      (fun m -> Printf.eprintf "  mismatch: %s\n" m)
+      report.S.Dfz_run.mismatches;
+    Printf.eprintf
+      "efctl: incremental and cold pipelines disagree (%d cycles verified)\n"
+      report.S.Dfz_run.verified_cycles;
+    exit 1
+  end
+
 let run_cmd =
-  let run scenario seed hours cycle_s no_controller no_sampling obs_metrics
-      metrics_format journal faults policy prom_out trace_out =
+  let run world seed hours cycle_s no_controller no_sampling obs_metrics
+      metrics_format journal faults policy prom_out trace_out mrt
+      verify_incremental =
     let fault_plan = resolve_fault_plan faults in
     let policy_prog = resolve_policy policy in
     (* tracing is paid for only when something will read it: a trace dump,
@@ -287,6 +344,55 @@ let run_cmd =
               exit 1)
     in
     Fun.protect ~finally:journal_finish @@ fun () ->
+    let n_cycles = max 1 (hours * 3600 / cycle_s) in
+    match (mrt, world) with
+    | Some dump_path, _ -> (
+        (* --mrt: seed the table from a TABLE_DUMP_V2 dump instead of a
+           generated world; rates are synthesized (Zipf over the dump's
+           prefixes) and drift through the incremental snapshot chain *)
+        let rc = S.Dfz_run.config ~cycles:n_cycles ~cycle_s () in
+        let dump =
+          match Bgp.Mrt.load dump_path with
+          | Ok d -> d
+          | Error e ->
+              Printf.eprintf "efctl: %s: %s\n" dump_path
+                (Format.asprintf "%a" Bgp.Mrt.pp_error e);
+              exit 1
+        in
+        if verify_incremental then
+          Printf.eprintf
+            "efctl: note: --verify-incremental applies to dfz worlds only\n";
+        match
+          S.Dfz_run.run_mrt
+            ~obs:(Ef_obs.Registry.default ())
+            ~config:rc ~seed dump
+        with
+        | Error e ->
+            Printf.eprintf "efctl: %s: %s\n" dump_path
+              (Format.asprintf "%a" Bgp.Mrt.pp_error e);
+            exit 1
+        | Ok report ->
+            print_dfz_report dump_path report;
+            print_metrics ~format:metrics_format obs_metrics)
+    | None, Dfz_world (name, dfz_cfg) ->
+        let dfz_cfg = { dfz_cfg with N.Dfz.seed } in
+        let rc =
+          S.Dfz_run.config ~cycles:n_cycles ~cycle_s
+            ~verify:verify_incremental ()
+        in
+        let report =
+          S.Dfz_run.run ~obs:(Ef_obs.Registry.default ()) ~config:rc dfz_cfg
+        in
+        print_dfz_report name report;
+        if verify_incremental then
+          Printf.printf
+            "verified %d cycles against the cold pipeline: identical\n"
+            report.S.Dfz_run.verified_cycles;
+        print_metrics ~format:metrics_format obs_metrics
+    | None, Topo_world scenario ->
+    if verify_incremental then
+      Printf.eprintf
+        "efctl: note: --verify-incremental applies to dfz worlds only\n";
     let engine = S.Engine.create ~config scenario in
     let metrics = S.Engine.run engine in
     let rows = S.Metrics.rows metrics in
@@ -408,11 +514,30 @@ let run_cmd =
             "Enable decision tracing and write the retained trace ring as \
              JSON to $(docv) on exit.")
   in
+  let mrt_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "mrt" ] ~docv:"DUMP"
+          ~doc:
+            "Seed the routing table from an MRT TABLE_DUMP_V2 file (e.g. a \
+             RouteViews RIB archive) instead of a generated world; demand \
+             is synthesized Zipf-skewed over the dump's prefixes.")
+  in
+  let verify_incremental_t =
+    Arg.(
+      value & flag
+      & info [ "verify-incremental" ]
+          ~doc:
+            "DFZ worlds only: replay the identical world through the cold \
+             (non-incremental) pipeline in lockstep and fail unless every \
+             cycle's outputs match exactly.")
+  in
   Cmd.v (Cmd.info "run" ~doc:"Simulate a day and summarise the outcome.")
     Term.(
-      const run $ scenario_t $ seed_t $ hours_t $ cycle_t $ no_controller_t
+      const run $ run_world_t $ seed_t $ hours_t $ cycle_t $ no_controller_t
       $ no_sampling_t $ metrics_t $ metrics_format_t $ journal_t $ faults_t
-      $ policy_t $ prom_out_t $ trace_out_t)
+      $ policy_t $ prom_out_t $ trace_out_t $ mrt_t $ verify_incremental_t)
 
 (* --- explain --------------------------------------------------------------- *)
 

@@ -255,6 +255,41 @@ let of_rib ?(timestamp = 0) ~collector_id rib =
   in
   { collector_id; view_name = "edge-fabric"; peers; records }
 
+let to_rib ?decision t =
+  let rib = Rib.create ?decision () in
+  let n_peers = List.length t.peers in
+  List.iteri
+    (fun i (pe : peer_entry) ->
+      let peer =
+        Peer.make ~id:i
+          ~name:(Printf.sprintf "mrt-peer-%d" i)
+          ~asn:pe.peer_asn
+            (* a full-table collector feed carries the whole DFZ; transit
+               is the only kind whose ingest policy accepts all of it *)
+          ~kind:Peer.Transit ~router_id:pe.peer_bgp_id
+          ~session_addr:pe.peer_addr
+      in
+      Rib.add_peer rib peer ~policy:Policy.accept_all)
+    t.peers;
+  try
+    List.iter
+      (fun (r : rib_record) ->
+        List.iter
+          (fun (e : rib_entry) ->
+            if e.entry_peer_index < 0 || e.entry_peer_index >= n_peers then
+              raise
+                (Fail
+                   (Malformed
+                      (Printf.sprintf "rib entry references peer index %d of %d"
+                         e.entry_peer_index n_peers)));
+            ignore
+              (Rib.announce rib ~peer_id:e.entry_peer_index r.rib_prefix
+                 e.attrs))
+          r.entries)
+      t.records;
+    Ok rib
+  with Fail e -> Error e
+
 let save path ~timestamp t =
   let oc = open_out_bin path in
   Fun.protect

@@ -53,5 +53,15 @@ val of_rib : ?timestamp:int -> collector_id:Ipv4.t -> Rib.t -> t
 (** Snapshot a RIB: every registered neighbor becomes a peer-table entry
     and every prefix's candidates become RIB entries (decision order). *)
 
+val to_rib : ?decision:Decision.config -> t -> (Rib.t, error) result
+(** Rebuild a {!Rib} from a dump: each peer-table entry becomes a
+    registered transit neighbor (accept-all ingest — a collector feed is
+    a full table by construction) with its original ASN, router id, and
+    session address; every RIB entry is announced through the normal
+    decision process, so {!Rib.ranked} orders candidates exactly as a
+    live session replay would. Inverse of {!of_rib} up to peer
+    ids/names. Fails with [Malformed] when an entry references a peer
+    index outside the peer table. *)
+
 val save : string -> timestamp:int -> t -> unit
 val load : string -> (t, error) result

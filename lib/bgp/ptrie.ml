@@ -1,120 +1,211 @@
+(* Compressed big-endian patricia trie over packed integer keys.
+
+   A prefix packs into one non-negative int: [(network lsl 6) lor length]
+   (38 bits, comfortably inside OCaml's 63-bit int). Because prefixes are
+   normalized (Prefix.make masks the host bits), ascending packed-key
+   order is exactly the old uncompressed trie's DFS order — parent before
+   children, left before right — so [fold]/[to_list]/[covered] keep their
+   documented "ascending prefix order" byte-for-byte.
+
+   One node per *binding* plus one branch per key divergence (instead of
+   one node per bit of depth): a million-entry RIB costs ~2M small blocks
+   rather than ~24M, and [find] walks the key's distinguishing bits only. *)
+
 type 'a t =
-  | Leaf
-  | Node of { value : 'a option; left : 'a t; right : 'a t }
+  | Empty
+  | Leaf of { key : int; p : Prefix.t; v : 'a }
+  | Branch of { pre : int; bit : int; l : 'a t; r : 'a t }
+      (* [pre]: the bits all keys below share, above [bit]; [bit]: the
+         single branching bit (a power of two); [l]: keys with the bit
+         clear, [r]: set. *)
 
-let empty = Leaf
+let key_of p =
+  (Int32.to_int (Ipv4.to_int32 (Prefix.network p)) land 0xFFFFFFFF) lsl 6
+  lor Prefix.length p
 
-let is_empty = function
-  | Leaf -> true
-  | Node _ -> false
+let key_of_parts addr len =
+  ((Int32.to_int (Ipv4.to_int32 addr) land 0xFFFFFFFF) lsl 6) lor len
 
-let node value left right =
-  match (value, left, right) with
-  | None, Leaf, Leaf -> Leaf
-  | _ -> Node { value; left; right }
+let empty = Empty
 
-(* Navigation follows the prefix's bits from the most significant; a
-   binding lives at depth [Prefix.length]. *)
+let is_empty = function Empty -> true | Leaf _ | Branch _ -> false
 
-let rec add_at depth p v t =
+(* highest set bit of [x] (x > 0), by smearing *)
+let highest_bit x =
+  let x = x lor (x lsr 1) in
+  let x = x lor (x lsr 2) in
+  let x = x lor (x lsr 4) in
+  let x = x lor (x lsr 8) in
+  let x = x lor (x lsr 16) in
+  let x = x lor (x lsr 32) in
+  x - (x lsr 1)
+
+let zero_bit k bit = k land bit = 0
+
+(* keep only the bits of [k] strictly above [bit] *)
+let mask k bit = k land lnot ((bit lsl 1) - 1)
+let match_prefix k pre bit = mask k bit = pre
+
+let join k0 t0 k1 t1 =
+  let bit = highest_bit (k0 lxor k1) in
+  let pre = mask k0 bit in
+  if zero_bit k0 bit then Branch { pre; bit; l = t0; r = t1 }
+  else Branch { pre; bit; l = t1; r = t0 }
+
+let branch pre bit l r =
+  match (l, r) with Empty, t | t, Empty -> t | _ -> Branch { pre; bit; l; r }
+
+let rec add_key k p v t =
   match t with
-  | Leaf ->
-      if depth = Prefix.length p then Node { value = Some v; left = Leaf; right = Leaf }
-      else if Ipv4.bit (Prefix.network p) depth then
-        Node { value = None; left = Leaf; right = add_at (depth + 1) p v Leaf }
-      else Node { value = None; left = add_at (depth + 1) p v Leaf; right = Leaf }
-  | Node { value; left; right } ->
-      if depth = Prefix.length p then Node { value = Some v; left; right }
-      else if Ipv4.bit (Prefix.network p) depth then
-        Node { value; left; right = add_at (depth + 1) p v right }
-      else Node { value; left = add_at (depth + 1) p v left; right }
+  | Empty -> Leaf { key = k; p; v }
+  | Leaf { key; _ } ->
+      if key = k then Leaf { key = k; p; v }
+      else join k (Leaf { key = k; p; v }) key t
+  | Branch { pre; bit; l; r } ->
+      if match_prefix k pre bit then
+        if zero_bit k bit then Branch { pre; bit; l = add_key k p v l; r }
+        else Branch { pre; bit; l; r = add_key k p v r }
+      else join k (Leaf { key = k; p; v }) pre t
 
-let add p v t = add_at 0 p v t
+let add p v t = add_key (key_of p) p v t
 
-let rec remove_at depth p t =
+let rec remove_key k t =
   match t with
-  | Leaf -> Leaf
-  | Node { value; left; right } ->
-      if depth = Prefix.length p then node None left right
-      else if Ipv4.bit (Prefix.network p) depth then
-        node value left (remove_at (depth + 1) p right)
-      else node value (remove_at (depth + 1) p left) right
+  | Empty -> Empty
+  | Leaf { key; _ } -> if key = k then Empty else t
+  | Branch { pre; bit; l; r } ->
+      if match_prefix k pre bit then
+        if zero_bit k bit then branch pre bit (remove_key k l) r
+        else branch pre bit l (remove_key k r)
+      else t
 
-let remove p t = remove_at 0 p t
+let remove p t = remove_key (key_of p) t
 
-let rec find_at depth p t =
+let rec find_key k t =
   match t with
-  | Leaf -> None
-  | Node { value; left; right } ->
-      if depth = Prefix.length p then value
-      else if Ipv4.bit (Prefix.network p) depth then find_at (depth + 1) p right
-      else find_at (depth + 1) p left
+  | Empty -> None
+  | Leaf { key; v; _ } -> if key = k then Some v else None
+  | Branch { bit; l; r; _ } ->
+      if zero_bit k bit then find_key k l else find_key k r
 
-let find p t = find_at 0 p t
+let find p t = find_key (key_of p) t
 let mem p t = Option.is_some (find p t)
 
 let update p f t =
-  match f (find p t) with
-  | None -> remove p t
-  | Some v -> add p v t
+  match f (find p t) with None -> remove p t | Some v -> add p v t
 
-let rec matches_at depth addr t acc =
-  match t with
-  | Leaf -> acc
-  | Node { value; left; right } ->
-      let acc =
-        match value with
-        | None -> acc
-        | Some v -> (Prefix.make addr depth, v) :: acc
-      in
-      if depth = 32 then acc
-      else if Ipv4.bit addr depth then matches_at (depth + 1) addr right acc
-      else matches_at (depth + 1) addr left acc
-
-let matches addr t = matches_at 0 addr t []
+(* All containing prefixes of [addr]: one exact probe per length. The
+   compressed trie has no per-depth spine to ride, but 33 short walks
+   is still microseconds, and [find_key] allocates nothing. *)
+let matches addr t =
+  let acc = ref [] in
+  for len = 0 to 32 do
+    let k = key_of_parts (Ipv4.apply_mask addr len) len in
+    match find_key k t with
+    | None -> ()
+    | Some v -> acc := (Prefix.make addr len, v) :: !acc
+  done;
+  !acc
 
 let longest_match addr t =
-  match matches addr t with
-  | [] -> None
-  | best :: _ -> Some best
+  let rec go len =
+    if len < 0 then None
+    else
+      let k = key_of_parts (Ipv4.apply_mask addr len) len in
+      match find_key k t with
+      | Some v -> Some (Prefix.make addr len, v)
+      | None -> go (len - 1)
+  in
+  go 32
 
-let rec fold_at depth bits f t acc =
+let rec fold f t acc =
   match t with
-  | Leaf -> acc
-  | Node { value; left; right } ->
-      let acc =
-        match value with
-        | None -> acc
-        | Some v -> f (Prefix.make (Ipv4.of_int32 bits) depth) v acc
-      in
-      let acc = fold_at (depth + 1) bits f left acc in
-      if depth = 32 then acc
-      else
-        let hi = Int32.logor bits (Int32.shift_left 1l (31 - depth)) in
-        fold_at (depth + 1) hi f right acc
+  | Empty -> acc
+  | Leaf { p; v; _ } -> f p v acc
+  | Branch { l; r; _ } -> fold f r (fold f l acc)
 
-let fold f t acc = fold_at 0 0l f t acc
 let iter f t = fold (fun p v () -> f p v) t ()
 let cardinal t = fold (fun _ _ n -> n + 1) t 0
 
 let rec map f = function
-  | Leaf -> Leaf
-  | Node { value; left; right } ->
-      Node { value = Option.map f value; left = map f left; right = map f right }
+  | Empty -> Empty
+  | Leaf { key; p; v } -> Leaf { key; p; v = f v }
+  | Branch { pre; bit; l; r } -> Branch { pre; bit; l = map f l; r = map f r }
 
-let filter pred t =
-  fold (fun p v acc -> if pred p v then acc else remove p acc) t t
+let rec filter pred = function
+  | Empty -> Empty
+  | Leaf { p; v; _ } as t -> if pred p v then t else Empty
+  | Branch { pre; bit; l; r } -> branch pre bit (filter pred l) (filter pred r)
 
 let to_list t = List.rev (fold (fun p v acc -> (p, v) :: acc) t [])
 let of_list l = List.fold_left (fun t (p, v) -> add p v t) empty l
 let keys t = List.map fst (to_list t)
 
+(* Subsumed bindings occupy the contiguous key range
+   [net lsl 6, (net + 2^(32-len)) lsl 6) — prune whole branches whose
+   span misses it. [go t acc] prepends t's in-range bindings (ascending)
+   onto [acc]. *)
 let covered p t =
-  fold
-    (fun q v acc -> if Prefix.subsumes p q then (q, v) :: acc else acc)
-    t []
-  |> List.rev
+  let net = Int32.to_int (Ipv4.to_int32 (Prefix.network p)) land 0xFFFFFFFF in
+  let lo = net lsl 6 in
+  let hi = (net + (1 lsl (32 - Prefix.length p))) lsl 6 in
+  let rec go t acc =
+    match t with
+    | Empty -> acc
+    | Leaf { key; p = q; v } ->
+        if key >= lo && key < hi && Prefix.subsumes p q then (q, v) :: acc
+        else acc
+    | Branch { pre; bit; l; r } ->
+        let span_hi = pre lor ((bit lsl 1) - 1) in
+        if span_hi < lo || pre >= hi then acc else go l (go r acc)
+  in
+  go t []
 
-let union f a b = fold (fun p v acc ->
-    update p (function None -> Some v | Some w -> Some (f w v)) acc)
+let union f a b =
+  fold
+    (fun p v acc ->
+      update p (function None -> Some v | Some w -> Some (f w v)) acc)
     b a
+
+(* Merge walk over two tries, calling back only where the bindings
+   differ; physically-equal subtrees are skipped without descent, so the
+   cost is proportional to the *difference* when the tries share
+   structure (as consecutive delta snapshots do). *)
+let fold2 ~eq f t1 t2 acc =
+  let left t acc = fold (fun p v acc -> f p (Some v) None acc) t acc in
+  let right t acc = fold (fun p v acc -> f p None (Some v) acc) t acc in
+  let rec go t1 t2 acc =
+    if t1 == t2 then acc
+    else
+      match (t1, t2) with
+      | Empty, t -> right t acc
+      | t, Empty -> left t acc
+      | Leaf { key = k1; p; v }, Leaf { key = k2; p = p2; v = v2 } ->
+          if k1 = k2 then if eq v v2 then acc else f p (Some v) (Some v2) acc
+          else f p (Some v) None (f p2 None (Some v2) acc)
+      | Leaf { key; p; v }, (Branch _ as t) ->
+          let acc =
+            match find_key key t with
+            | Some v2 -> if eq v v2 then acc else f p (Some v) (Some v2) acc
+            | None -> f p (Some v) None acc
+          in
+          right (remove_key key t) acc
+      | (Branch _ as t), Leaf { key; p; v } ->
+          let acc =
+            match find_key key t with
+            | Some v1 -> if eq v1 v then acc else f p (Some v1) (Some v) acc
+            | None -> f p None (Some v) acc
+          in
+          left (remove_key key t) acc
+      | ( Branch { pre = p1; bit = m1; l = l1; r = r1 },
+          Branch { pre = p2; bit = m2; l = l2; r = r2 } ) ->
+          if m1 = m2 && p1 = p2 then go r1 r2 (go l1 l2 acc)
+          else if m1 > m2 && match_prefix p2 p1 m1 then
+            if zero_bit p2 m1 then left r1 (go l1 t2 acc)
+            else go r1 t2 (left l1 acc)
+          else if m2 > m1 && match_prefix p1 p2 m2 then
+            if zero_bit p1 m2 then right r2 (go t1 l2 acc)
+            else go t1 r2 (right l2 acc)
+          else right t2 (left t1 acc)
+  in
+  go t1 t2 acc

@@ -1,10 +1,15 @@
-(** Binary tries keyed by IPv4 prefix.
+(** Compressed patricia tries keyed by IPv4 prefix.
 
     The routing tables (Adj-RIB-In, Loc-RIB, traffic maps) all need exact
     prefix lookup plus longest-prefix match; this persistent trie provides
-    both in O(prefix length). Persistence keeps RIB snapshots for the
-    collector free: the controller can hold an old version while the
-    speaker keeps updating. *)
+    both. Internally each prefix packs into one int
+    ([(network lsl 6) lor length]) and the trie is a big-endian patricia
+    tree over those keys: one node per binding plus one per divergence,
+    so million-entry RIBs fit in a couple of machine words per route and
+    lookups touch only the distinguishing bits. Persistence keeps RIB
+    snapshots for the collector free — the controller can hold an old
+    version while the speaker keeps updating — and lets delta snapshots
+    share all unchanged structure with their parent. *)
 
 type 'a t
 
@@ -47,3 +52,17 @@ val of_list : (Prefix.t * 'a) list -> 'a t
 val keys : 'a t -> Prefix.t list
 val union : ('a -> 'a -> 'a) -> 'a t -> 'a t -> 'a t
 (** [union f a b] keeps all bindings, resolving duplicates with [f]. *)
+
+val fold2 :
+  eq:('a -> 'a -> bool) ->
+  (Prefix.t -> 'a option -> 'a option -> 'acc -> 'acc) ->
+  'a t ->
+  'a t ->
+  'acc ->
+  'acc
+(** [fold2 ~eq f a b acc] folds over every prefix whose binding differs
+    between [a] and [b] — present only in [a] ([f p (Some v) None]),
+    only in [b] ([f p None (Some v)]), or in both with [eq] false.
+    Physically-equal subtrees are pruned without descent, so on two
+    snapshots that share structure the cost is proportional to the
+    difference, not the size. Visit order is unspecified. *)

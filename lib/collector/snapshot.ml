@@ -1,17 +1,45 @@
 module Bgp = Ef_bgp
 
+(* Rated prefixes in the canonical consideration order: rate descending,
+   prefix ascending. A total order (no ties), so every consumer that
+   iterates rates — projection, allocator, trace — sees one byte-stable
+   sequence however the snapshot was built (fresh assembly or a chain of
+   patches). *)
+module RSet = Set.Make (struct
+  type t = Bgp.Prefix.t * float
+
+  let compare (pa, ra) (pb, rb) =
+    let c = Float.compare rb ra in
+    if c <> 0 then c else Bgp.Prefix.compare pa pb
+end)
+
+type change = {
+  ch_prefix : Bgp.Prefix.t;
+  ch_old_rate : float option;
+  ch_new_rate : float option;
+  ch_routes : bool;
+}
+
+type diff = { changes : change list; linked : bool }
+
 type t = {
   time_s : int;
-  prefix_rates : (Bgp.Prefix.t * float) list;
+  prefix_rates : (Bgp.Prefix.t * float) list Lazy.t;
+  rate_set : RSet.t;
   rate_trie : float Bgp.Ptrie.t;
   routes : Bgp.Prefix.t -> Bgp.Route.t list;
   routes_memo : (Bgp.Prefix.t, Bgp.Route.t list) Hashtbl.t;
   ifaces : Ef_netsim.Iface.t list;
   iface_index : Ef_netsim.Iface.t option array; (* indexed by iface id *)
-  iface_of_peer : int -> Ef_netsim.Iface.t option;
+  iface_id_of_peer : int -> int option;
   total_rate_bps : float;
   prefix_count : int;
+  stamp : int; (* unique per snapshot; parent links are by stamp *)
+  parent : (int * change list) option; (* parent stamp + recorded dirty set *)
 }
+
+let stamps = Atomic.make 0
+let next_stamp () = Atomic.fetch_and_add stamps 1
 
 let index_ifaces ifaces =
   let max_id =
@@ -21,13 +49,20 @@ let index_ifaces ifaces =
   List.iter (fun i -> index.(Ef_netsim.Iface.id i) <- Some i) ifaces;
   index
 
+let compare_rated (pa, ra) (pb, rb) =
+  let c = Float.compare rb ra in
+  if c <> 0 then c else Bgp.Prefix.compare pa pb
+
 let assemble ?obs ~routes ~iface_of_peer ~ifaces ~prefix_rates ~time_s () =
   let obs = match obs with Some r -> r | None -> Ef_obs.Registry.default () in
   Ef_obs.Span.time ~registry:obs "collector.assemble" @@ fun () ->
   let prefix_rates =
     prefix_rates
     |> List.filter (fun (_, r) -> r > 0.0)
-    |> List.sort (fun (_, a) (_, b) -> compare b a)
+    |> List.sort compare_rated
+  in
+  let rate_set =
+    List.fold_left (fun s pr -> RSet.add pr s) RSet.empty prefix_rates
   in
   let rate_trie, total_rate_bps, prefix_count =
     List.fold_left
@@ -40,15 +75,19 @@ let assemble ?obs ~routes ~iface_of_peer ~ifaces ~prefix_rates ~time_s () =
     (float_of_int prefix_count);
   {
     time_s;
-    prefix_rates;
+    prefix_rates = Lazy.from_val prefix_rates;
+    rate_set;
     rate_trie;
     routes;
     routes_memo = Hashtbl.create 256;
     ifaces;
     iface_index = index_ifaces ifaces;
-    iface_of_peer;
+    iface_id_of_peer =
+      (fun peer_id -> Option.map Ef_netsim.Iface.id (iface_of_peer peer_id));
     total_rate_bps;
     prefix_count;
+    stamp = next_stamp ();
+    parent = None;
   }
 
 let of_pop ?obs ?ifaces pop ~prefix_rates ~time_s =
@@ -70,8 +109,128 @@ let of_pop ?obs ?ifaces pop ~prefix_rates ~time_s =
             (Ef_netsim.Iface.id (Ef_netsim.Pop.iface_of_peer pop ~peer_id)))
     ~ifaces:pop_ifaces ~prefix_rates ~time_s ()
 
+(* Delta construction: [prev] with some rates replaced and some prefixes'
+   candidate routes invalidated. All unchanged structure — the rate trie,
+   the rated set, every clean prefix's entry — is shared with [prev]
+   (persistent structures), so a 1%-churn patch over a million prefixes
+   allocates proportionally to the churn, not the table.
+
+   The one O(n) pass left is the total: it is re-folded over the rated
+   set in canonical order, which is the exact float-addition sequence a
+   fresh [assemble] of the same content performs — so a patched snapshot
+   is byte-identical to an assembled one, not merely close. *)
+let patch ?obs ~prev ?routes ?ifaces ?(routes_changed = []) ~rate_updates
+    ~time_s () =
+  let obs = match obs with Some r -> r | None -> Ef_obs.Registry.default () in
+  Ef_obs.Span.time ~registry:obs "collector.patch" @@ fun () ->
+  let rate_set = ref prev.rate_set in
+  let rate_trie = ref prev.rate_trie in
+  let count = ref prev.prefix_count in
+  let changes = ref [] in
+  let changed = Hashtbl.create (List.length rate_updates + 8) in
+  List.iter
+    (fun (p, rate) ->
+      let old = Bgp.Ptrie.find p !rate_trie in
+      let fresh = if rate > 0.0 then Some rate else None in
+      if old <> fresh && not (Hashtbl.mem changed p) then begin
+        (match old with
+        | Some r ->
+            rate_set := RSet.remove (p, r) !rate_set;
+            decr count
+        | None -> ());
+        (match fresh with
+        | Some r ->
+            rate_set := RSet.add (p, r) !rate_set;
+            rate_trie := Bgp.Ptrie.add p r !rate_trie;
+            incr count
+        | None -> rate_trie := Bgp.Ptrie.remove p !rate_trie);
+        Hashtbl.replace changed p ();
+        changes :=
+          { ch_prefix = p; ch_old_rate = old; ch_new_rate = fresh;
+            ch_routes = false }
+          :: !changes
+      end)
+    rate_updates;
+  let changes =
+    List.fold_left
+      (fun acc p ->
+        if Hashtbl.mem changed p then
+          (* already rate-dirty: flip the routes flag on its record *)
+          List.map
+            (fun c ->
+              if Bgp.Prefix.equal c.ch_prefix p then { c with ch_routes = true }
+              else c)
+            acc
+        else begin
+          Hashtbl.replace changed p ();
+          let r = Bgp.Ptrie.find p !rate_trie in
+          { ch_prefix = p; ch_old_rate = r; ch_new_rate = r; ch_routes = true }
+          :: acc
+        end)
+      (List.rev !changes) routes_changed
+  in
+  let rate_set = !rate_set in
+  let total =
+    let acc = [| 0.0 |] in
+    RSet.iter (fun (_, r) -> acc.(0) <- acc.(0) +. r) rate_set;
+    acc.(0)
+  in
+  let ifaces, iface_index =
+    match ifaces with
+    | None -> (prev.ifaces, prev.iface_index)
+    | Some l -> (l, index_ifaces l)
+  in
+  Ef_obs.Counter.inc (Ef_obs.Registry.counter obs "collector.patches");
+  {
+    time_s;
+    prefix_rates = lazy (RSet.elements rate_set);
+    rate_set;
+    rate_trie = !rate_trie;
+    routes = Option.value routes ~default:prev.routes;
+    routes_memo = Hashtbl.create 256;
+    ifaces;
+    iface_index;
+    iface_id_of_peer = prev.iface_id_of_peer;
+    total_rate_bps = total;
+    prefix_count = !count;
+    stamp = next_stamp ();
+    parent = Some (prev.stamp, changes);
+  }
+
+let linked prev next =
+  prev == next
+  ||
+  match next.parent with
+  | Some (stamp, _) -> stamp = prev.stamp
+  | None -> false
+
+let diff prev next =
+  if prev == next then { changes = []; linked = true }
+  else
+    match next.parent with
+    | Some (stamp, changes) when stamp = prev.stamp -> { changes; linked = true }
+    | _ ->
+        (* Unlinked pair: recover the exact rate difference by merge-walking
+           the two tries (physical sharing prunes common structure). Route
+           changes are unknowable from the outside, so every changed prefix
+           is conservatively flagged and [linked] is false — consumers that
+           need route stability for *clean* prefixes must fall back to a
+           full recompute. *)
+        let changes =
+          Bgp.Ptrie.fold2
+            ~eq:(fun (a : float) b -> a = b)
+            (fun p o n acc ->
+              { ch_prefix = p; ch_old_rate = o; ch_new_rate = n;
+                ch_routes = true }
+              :: acc)
+            prev.rate_trie next.rate_trie []
+        in
+        { changes; linked = false }
+
 let time_s t = t.time_s
-let prefix_rates t = t.prefix_rates
+let prefix_rates t = Lazy.force t.prefix_rates
+
+let iter_rates t f = RSet.iter (fun (p, r) -> f p r) t.rate_set
 
 let rate_of t prefix =
   Option.value (Bgp.Ptrie.find prefix t.rate_trie) ~default:0.0
@@ -99,7 +258,12 @@ let iface_by_id t id =
   if id < 0 || id >= Array.length t.iface_index then None else t.iface_index.(id)
 
 let max_iface_id t = Array.length t.iface_index - 1
-let iface_of_peer t ~peer_id = t.iface_of_peer peer_id
-let iface_of_route t route = t.iface_of_peer (Bgp.Route.peer_id route)
+
+let iface_of_peer t ~peer_id =
+  match t.iface_id_of_peer peer_id with
+  | None -> None
+  | Some id -> iface_by_id t id
+
+let iface_of_route t route = iface_of_peer t ~peer_id:(Bgp.Route.peer_id route)
 let total_rate_bps t = t.total_rate_bps
 let prefix_count t = t.prefix_count

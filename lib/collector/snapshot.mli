@@ -9,6 +9,26 @@
 
 type t
 
+type change = {
+  ch_prefix : Ef_bgp.Prefix.t;
+  ch_old_rate : float option;  (** rate in the older snapshot, if rated *)
+  ch_new_rate : float option;  (** rate in the newer snapshot, if rated *)
+  ch_routes : bool;  (** candidate routes may differ between the two *)
+}
+(** One dirty prefix in a snapshot-to-snapshot delta. *)
+
+type diff = {
+  changes : change list;
+  linked : bool;
+      (** [true] when the delta was recorded by {!patch} (exact, including
+          route invalidations); [false] when reconstructed from two
+          unrelated snapshots, where rate changes are exact but route
+          changes are unknowable and conservatively flagged on every
+          changed prefix. Clean prefixes of an unlinked pair may still
+          have changed routes — incremental consumers must treat
+          [linked = false] as "recompute from scratch". *)
+}
+
 val assemble :
   ?obs:Ef_obs.Registry.t ->
   routes:(Ef_bgp.Prefix.t -> Ef_bgp.Route.t list) ->
@@ -39,9 +59,56 @@ val of_pop :
     SNMP would report them; [iface_of_peer] resolves into the substituted
     list by id. Defaults to the PoP's own interfaces. *)
 
+val patch :
+  ?obs:Ef_obs.Registry.t ->
+  prev:t ->
+  ?routes:(Ef_bgp.Prefix.t -> Ef_bgp.Route.t list) ->
+  ?ifaces:Ef_netsim.Iface.t list ->
+  ?routes_changed:Ef_bgp.Prefix.t list ->
+  rate_updates:(Ef_bgp.Prefix.t * float) list ->
+  time_s:int ->
+  unit ->
+  t
+(** Delta construction: [prev] with the given absolute rates applied
+    (a rate at or below zero, or NaN, withdraws the prefix; a no-op
+    update — same rate, not in [routes_changed] — is dropped from the
+    recorded delta) and the [routes_changed] prefixes' candidate lists
+    invalidated. All unchanged structure is shared with [prev], so cost
+    is proportional to the churn plus one O(n) float re-fold for the
+    total. The result is byte-identical to a fresh {!assemble} of the
+    same content, and remembers its delta so {!diff} [prev] the-result
+    is exact and [linked].
+
+    [routes] must agree with [prev]'s closure on every prefix outside
+    [routes_changed] (clean prefixes keep their meaning); omitting it
+    reuses [prev]'s closure (whose memo is per-snapshot, so invalidated
+    prefixes are re-asked). [ifaces] substitutes the interface list the
+    way {!of_pop}'s [ifaces] does — peer resolution is by stable
+    interface id, so derated copies are picked up. *)
+
+val linked : t -> t -> bool
+(** [linked prev next]: [next] is [prev] itself or was built from it by
+    {!patch} — i.e. {!diff} would be exact and cheap. O(1); incremental
+    consumers use it to decide warm vs cold without paying the
+    merge-walk an unlinked {!diff} performs. *)
+
+val diff : t -> t -> diff
+(** [diff prev next]: the prefixes whose rates or candidate routes
+    differ. When [next] was built by {!patch} from [prev] this returns
+    the recorded delta ([linked = true]); otherwise it merge-walks the
+    two rate tries — cost proportional to the structural difference —
+    and conservatively flags routes on every changed prefix
+    ([linked = false]). *)
+
 val time_s : t -> int
 val prefix_rates : t -> (Ef_bgp.Prefix.t * float) list
-(** Descending by rate — the order the allocator considers prefixes. *)
+(** Descending by rate, prefix-ascending within a rate tie — the order
+    the allocator considers prefixes. Materialized lazily on patched
+    snapshots; prefer {!iter_rates} on the million-prefix path. *)
+
+val iter_rates : t -> (Ef_bgp.Prefix.t -> float -> unit) -> unit
+(** Iterate rated prefixes in the {!prefix_rates} order without
+    materializing the list. *)
 
 val rate_of : t -> Ef_bgp.Prefix.t -> float
 

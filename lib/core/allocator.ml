@@ -149,10 +149,17 @@ let budget_left st =
   | None -> true
   | Some n -> st.n_overrides < n
 
-let order_placements st pls =
+(* Lazy, in the config's visiting order: the relief loop usually stops at
+   the first movable placement, so on a dfz-scale interface (hundreds of
+   thousands of placements) materializing the ordered list per attempt
+   would dominate the cycle. The sequence walks the persistent set as of
+   the call, so a successful move (which replaces the set) never
+   invalidates it. *)
+let ordered_placements st iface_id =
   match st.config.Config.order with
-  | Config.Largest_first -> pls (* placements_on is already descending *)
-  | Config.Smallest_first -> List.rev pls
+  | Config.Largest_first -> Projection.Working.placements_seq st.work ~iface_id
+  | Config.Smallest_first ->
+      Projection.Working.placements_rev_seq st.work ~iface_id
 
 (* Split one placement into /24 children carrying equal shares. *)
 let split_placement st (pl : Projection.placement) =
@@ -189,9 +196,8 @@ let split_placement st (pl : Projection.placement) =
    split) or declare the interface stuck. Returns true if progress. *)
 let relieve_once st iface_id =
   let placements =
-    Projection.Working.placements_on st.work ~iface_id
-    |> List.filter (fun pl -> not pl.Projection.overridden)
-    |> order_placements st
+    ordered_placements st iface_id
+    |> Seq.filter (fun pl -> not pl.Projection.overridden)
   in
   let record_attempt pl candidates outcome =
     if Trace.enabled st.trace then
@@ -222,33 +228,62 @@ let relieve_once st iface_id =
         st.n_overrides <- st.n_overrides + 1;
         true
   in
-  let rec first_movable = function
-    | [] -> None
-    | pl :: rest -> if try_move pl then Some pl else first_movable rest
+  let rec first_movable seq =
+    match seq () with
+    | Seq.Nil -> false
+    | Seq.Cons (pl, rest) -> try_move pl || first_movable rest
   in
-  match first_movable placements with
-  | Some _ -> true
-  | None -> (
-      match st.config.Config.granularity with
-      | Config.Bgp_prefix -> false
-      | Config.Split_24 -> (
-          (* split the largest splittable placement and retry next round *)
-          let splittable =
-            List.find_opt
-              (fun pl ->
-                Bgp.Prefix.length pl.Projection.placed_prefix < 24
-                && List.length (candidates st pl.Projection.placed_prefix) > 1)
-              placements
-          in
-          match splittable with
-          | None -> false
-          | Some pl -> split_placement st pl))
+  if first_movable placements then true
+  else
+    match st.config.Config.granularity with
+    | Config.Bgp_prefix -> false
+    | Config.Split_24 -> (
+        (* split the first splittable placement (in visiting order) and
+           retry next round; failed moves above mutated nothing, so the
+           captured sequence is still the current population *)
+        let splittable =
+          Seq.find
+            (fun pl ->
+              Bgp.Prefix.length pl.Projection.placed_prefix < 24
+              && List.length (candidates st pl.Projection.placed_prefix) > 1)
+            placements
+        in
+        match splittable with
+        | None -> false
+        | Some pl -> split_placement st pl)
 
-let run ~config ?(trace = Trace.noop) snapshot =
-  (match Config.validate config with
-  | Ok () -> ()
-  | Error msg -> invalid_arg ("Allocator.run: bad config: " ^ msg));
-  let before = Projection.project snapshot in
+type warm = {
+  warm_image : Projection.Working.t;
+      (* the pre-relief working view of [warm_snapshot]: BGP-preferred
+         placement, no allocator moves applied. Never mutated — each use
+         copies it first. *)
+  warm_snapshot : Snapshot.t;
+}
+
+(* Warm start is only sound when the interface-id universe is unchanged:
+   an appearing/disappearing interface re-routes prefixes that are not in
+   the dirty set. Capacity-only changes are fine (placement ignores
+   capacity; thresholds are re-derived every run). *)
+let same_iface_ids a b =
+  let ids s =
+    List.sort compare (List.map Iface.id (Snapshot.ifaces s))
+  in
+  ids a = ids b
+
+let warm_valid ?warm snapshot =
+  match warm with
+  | Some w ->
+      Snapshot.linked w.warm_snapshot snapshot
+      && same_iface_ids w.warm_snapshot snapshot
+  | None -> false
+
+let warm_snapshot w = w.warm_snapshot
+let preferred_image w = Projection.Working.copy w.warm_image
+
+(* The relief loop proper, from a pre-relief projection: pure in
+   (before, work, snapshot, config), so reaching the same pre-relief image
+   incrementally or from scratch yields byte-identical results. *)
+let run_core ~config ~trace ~before ~work snapshot =
   let universe = Snapshot.max_iface_id snapshot + 1 in
   let pos_of_iface = Array.make universe max_int in
   List.iteri
@@ -265,7 +300,7 @@ let run ~config ?(trace = Trace.noop) snapshot =
       config;
       thr;
       snapshot;
-      work = Projection.Working.of_projection before;
+      work;
       decide_proj = before;
       overrides = [];
       n_overrides = 0;
@@ -361,6 +396,47 @@ let run ~config ?(trace = Trace.noop) snapshot =
     moves_considered = st.moves;
     splits = st.splits;
   }
+
+let validate_config config =
+  match Config.validate config with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Allocator.run: bad config: " ^ msg)
+
+let run ~config ?(trace = Trace.noop) snapshot =
+  validate_config config;
+  let before = Projection.project snapshot in
+  let work = Projection.Working.of_projection before in
+  run_core ~config ~trace ~before ~work snapshot
+
+let run_warm ~config ?(trace = Trace.noop) ?warm snapshot =
+  validate_config config;
+  let warm_base =
+    match warm with
+    | Some w when warm_valid ~warm:w snapshot ->
+        Some (w, Snapshot.diff w.warm_snapshot snapshot)
+    | Some _ | None -> None
+  in
+  let before, work =
+    match warm_base with
+    | Some (w, d) ->
+        (* advance last cycle's pre-relief image over the dirty set; no
+           overrides at this stage — the before-projection is always the
+           BGP-preferred placement *)
+        let img = Projection.Working.copy w.warm_image in
+        Projection.Working.apply_dirty img ~snapshot ~dirty:d.Snapshot.changes ();
+        ignore (Projection.Working.drain_touched img);
+        (Projection.Working.seal img, img)
+    | None ->
+        let before = Projection.project snapshot in
+        (before, Projection.Working.of_projection before)
+  in
+  (* retain the pre-relief image before the relief loop mutates it *)
+  let next_warm = { warm_image = Projection.Working.copy work; warm_snapshot = snapshot } in
+  let result = run_core ~config ~trace ~before ~work snapshot in
+  (result, next_warm)
+
+let warm_of_result (r : result) snapshot =
+  { warm_image = Projection.Working.of_projection r.before; warm_snapshot = snapshot }
 
 let relief_bps (r : result) =
   List.fold_left (fun acc o -> acc +. o.Override.rate_bps) 0.0 r.overrides

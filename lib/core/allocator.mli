@@ -35,6 +35,52 @@ val run :
     route examined with its verdict, plus the outcome (moved, stuck, or
     split). Costs one branch per stage when disabled. *)
 
+type warm
+(** Last cycle's pre-relief working image: the BGP-preferred placement of
+    its snapshot before any allocator move. Holding one lets the next
+    cycle skip the O(n) projection and re-place only the prefixes the
+    snapshot delta touched. *)
+
+val run_warm :
+  config:Config.t ->
+  ?trace:Ef_trace.Recorder.t ->
+  ?warm:warm ->
+  Ef_collector.Snapshot.t ->
+  result * warm
+(** {!run}, incrementally. When [warm] is given, the new snapshot is
+    [linked] to the warm snapshot (built from it by {!Snapshot.patch}),
+    and the interface-id set is unchanged, the pre-relief projection is
+    advanced over the dirty prefixes instead of recomputed — and because
+    the relief loop is a pure function of the pre-relief image, the
+    result is byte-identical to a cold {!run}, floats included. Any other
+    case (no warm, unlinked snapshots, interface set changed) silently
+    falls back to the cold path, so correctness never depends on the
+    caller's cadence. The returned [warm] seeds the next cycle either
+    way. The allocator remains stateless in its *decisions*: overrides
+    are recomputed from scratch every cycle; only the projection work is
+    reused. *)
+
+val warm_of_result : result -> Ef_collector.Snapshot.t -> warm
+(** Rebuild a warm state from a cold {!run}'s result and the snapshot it
+    ran on — how a caller that sometimes runs cold (e.g. after a
+    degraded cycle) re-enters the incremental regime. *)
+
+val warm_valid : ?warm:warm -> Ef_collector.Snapshot.t -> bool
+(** Whether {!run_warm} would take the incremental path for this
+    snapshot: a warm state is present, the snapshot is delta-linked to
+    its snapshot, and the interface-id set is unchanged. *)
+
+val warm_snapshot : warm -> Ef_collector.Snapshot.t
+(** The snapshot the warm image projects. *)
+
+val preferred_image : warm -> Projection.Working.t
+(** A private copy of the warm state's pre-relief image — the
+    BGP-preferred placement of {!warm_snapshot} with no allocator move
+    applied. Because {!run_warm} hands back the warm state for the very
+    snapshot it just ran, the controller derives the cycle's {e enforced}
+    projection from this copy by re-placing only the override prefixes —
+    O(overrides), never O(table). *)
+
 val relief_bps : result -> float
 (** Total traffic detoured by the produced overrides. *)
 

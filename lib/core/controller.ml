@@ -99,6 +99,11 @@ type t = {
      cycles only, so a feed blackout does not drag the baseline down *)
   mutable rate_ewma : float;
   mutable healthy_cycles : int;
+  (* incremental state — advisory: any cycle may drop it (degraded
+     inputs, unlinked snapshot, interface-set change) and fall back to
+     the stateless cold path with identical results *)
+  mutable alloc_warm : Allocator.warm option;
+  mutable incr_hits : int;
 }
 
 let create ?(config = Config.default) ?obs ?(trace = Trace.noop) ~name () =
@@ -115,12 +120,15 @@ let create ?(config = Config.default) ?obs ?(trace = Trace.noop) ~name () =
     cycles = 0;
     rate_ewma = 0.0;
     healthy_cycles = 0;
+    alloc_warm = None;
+    incr_hits = 0;
   }
 
 let name t = t.name
 let config t = t.config
 let active_overrides t = Hysteresis.active t.hysteresis
 let cycles_run t = t.cycles
+let incremental_hits t = t.incr_hits
 let obs t = t.obs.reg
 let trace t = t.trace
 
@@ -209,6 +217,9 @@ let record_trace_tail t snapshot ~preferred ~enforced ~active =
    release damping pick up exactly where they were once inputs recover. *)
 let degraded_cycle t snapshot ~reason =
   let ob = t.obs in
+  (* fail static all the way: degraded inputs invalidate the incremental
+     cache too — the next healthy cycle re-enters cold and re-seeds it *)
+  t.alloc_warm <- None;
   let active = Hysteresis.active t.hysteresis in
   let preferred = Projection.project snapshot in
   let enforced =
@@ -282,7 +293,17 @@ let cycle ?now_s t snapshot =
   t.healthy_cycles <- t.healthy_cycles + 1;
   let alloc =
     Obs.Span.time_h ob.reg ob.sp_allocate (fun () ->
-        Allocator.run ~config:t.config ~trace:t.trace snapshot)
+        if t.config.Config.incremental then begin
+          if Allocator.warm_valid ?warm:t.alloc_warm snapshot then
+            t.incr_hits <- t.incr_hits + 1;
+          let result, warm =
+            Allocator.run_warm ~config:t.config ~trace:t.trace
+              ?warm:t.alloc_warm snapshot
+          in
+          t.alloc_warm <- Some warm;
+          result
+        end
+        else Allocator.run ~config:t.config ~trace:t.trace snapshot)
   in
   let desired, guard_dropped =
     Obs.Span.time_h ob.reg ob.sp_guard_clamp (fun () ->
@@ -302,14 +323,38 @@ let cycle ?now_s t snapshot =
   in
   let enforced =
     Obs.Span.time_h ob.reg ob.sp_project (fun () ->
-        Projection.project
-          ~overrides:(overrides_lookup reconcile.Hysteresis.active)
-          snapshot)
+        let lookup = overrides_lookup reconcile.Hysteresis.active in
+        match t.alloc_warm with
+        | Some w when Allocator.warm_snapshot w == snapshot ->
+            (* the allocator just handed back the pre-relief preferred
+               image of this very snapshot; the enforced projection is
+               that image with only the active override prefixes
+               re-decided — O(overrides), never O(table). Byte-identical
+               to a cold [project ~overrides]: clean prefixes place the
+               same either way, and the integer load accounting makes the
+               aggregates order-independent. *)
+            let img = Allocator.preferred_image w in
+            let dirty =
+              List.map
+                (fun (o : Override.t) ->
+                  let p = o.Override.prefix in
+                  let r = Snapshot.rate_of snapshot p in
+                  let r = if r > 0.0 then Some r else None in
+                  { Snapshot.ch_prefix = p; ch_old_rate = r; ch_new_rate = r;
+                    ch_routes = false })
+                reconcile.Hysteresis.active
+            in
+            Projection.Working.apply_dirty img ~snapshot ~overrides:lookup
+              ~dirty ();
+            ignore (Projection.Working.drain_touched img);
+            Projection.Working.seal img
+        | Some _ | None -> Projection.project ~overrides:lookup snapshot)
   in
   let threshold = t.config.Config.overload_threshold in
   let guard_violations =
     Obs.Span.time_h ob.reg ob.sp_guard_audit (fun () ->
-        Guard.audit t.config.Config.guard snapshot reconcile.Hysteresis.active)
+        Guard.audit ~enforced t.config.Config.guard snapshot
+          reconcile.Hysteresis.active)
   in
   List.iter
     (fun v -> Log.warn (fun m -> m "%s: %a" t.name Guard.pp_violation v))

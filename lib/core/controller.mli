@@ -92,6 +92,14 @@ val config : t -> Config.t
 val active_overrides : t -> Override.t list
 val cycles_run : t -> int
 
+val incremental_hits : t -> int
+(** How many cycles advanced the enforced projection incrementally
+    instead of recomputing it — nonzero only when [Config.incremental]
+    is on and consecutive snapshots were delta-linked
+    ({!Ef_collector.Snapshot.patch}). Results are byte-identical either
+    way; this counter exists so scale tests can assert the fast path
+    actually engaged. *)
+
 val obs : t -> Ef_obs.Registry.t
 (** The registry this controller reports into. *)
 

@@ -75,7 +75,7 @@ let detour_fraction snapshot overrides =
     List.fold_left (fun acc o -> acc +. detoured_rate snapshot o) 0.0 overrides
     /. total
 
-let audit config snapshot overrides =
+let audit ?enforced config snapshot overrides =
   let violations = ref [] in
   let add v = violations := v :: !violations in
   (match config.max_detour_fraction with
@@ -93,8 +93,13 @@ let audit config snapshot overrides =
       if not (target_is_live snapshot o) then add (Stale_target o.Override.prefix))
     overrides;
   if config.check_targets then begin
+    (* callers that already hold the enforced projection of exactly this
+       override set pass it in; recomputing it here is O(table) *)
     let enforced =
-      Projection.project ~overrides:(Override.lookup overrides) snapshot
+      match enforced with
+      | Some p -> p
+      | None ->
+          Projection.project ~overrides:(Override.lookup overrides) snapshot
     in
     (* only blame interfaces that actually receive detours *)
     let targets =

@@ -40,8 +40,15 @@ type violation =
 val pp_violation : Format.formatter -> violation -> unit
 
 val audit :
-  config -> Ef_collector.Snapshot.t -> Override.t list -> violation list
-(** All violations of the proposed override set, empty when clean. *)
+  ?enforced:Projection.t ->
+  config ->
+  Ef_collector.Snapshot.t ->
+  Override.t list ->
+  violation list
+(** All violations of the proposed override set, empty when clean.
+    [enforced] must be the projection of the snapshot under exactly
+    [overrides]; when given, the target-load check reads it instead of
+    reprojecting the whole table. *)
 
 val clamp :
   ?trace:Ef_trace.Recorder.t ->

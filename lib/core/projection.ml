@@ -9,75 +9,113 @@ type placement = {
   overridden : bool;
 }
 
+(* Unroutable prefixes with their rates, in the snapshot's consideration
+   order (rate desc, prefix asc). Kept as a set so the incremental path
+   can retract/re-add one prefix and re-fold the remainder in exactly the
+   float-addition sequence a cold [project] performs. *)
+module RSet = Set.Make (struct
+  type t = Bgp.Prefix.t * float
+
+  let compare (pa, ra) (pb, rb) =
+    let c = Float.compare rb ra in
+    if c <> 0 then c else Bgp.Prefix.compare pa pb
+end)
+
+(* Interface loads and the overridden-traffic aggregate accumulate in
+   integer millibps. Integer addition is associative, so adding and
+   subtracting single placements — the incremental path — lands on
+   exactly the value a cold fold over the same set computes, in any
+   order; float accumulation would make the result depend on insertion
+   history. Milli-resolution keeps quantization (≤ 1 mbps per placement)
+   far below anything a threshold can see; int64 gives ~9 Pbps of range. *)
+let mbps_of_bps r = Int64.of_float (r *. 1000.0)
+let bps_of_mbps m = Int64.to_float m /. 1000.0
+
 type t = {
   ifaces : Ef_netsim.Iface.t list;
-  loads : float array; (* indexed by iface id *)
+  loads : int64 array; (* indexed by iface id, millibps *)
   placements : placement Bgp.Ptrie.t;
   total_bps : float;
+  overridden_m : int64; (* millibps on overridden placements *)
   unroutable_bps : float;
-  stale : Bgp.Prefix.t list;
+  unplaced : RSet.t;
+  stale : Bgp.Prefix.t list; (* ascending prefix order *)
 }
 
 let max_iface_id ifaces =
   List.fold_left (fun acc i -> max acc (Ef_netsim.Iface.id i)) (-1) ifaces
 
+(* Decide one prefix's route exactly the way the full pass does: honour an
+   override only if that neighbor still offers a candidate; a stale
+   override falls back to the preferred route and is reported. Shared by
+   the cold pass and [Working.apply_dirty] so the two paths cannot
+   diverge. *)
+let choose_route ~overrides ~candidates prefix =
+  match overrides prefix with
+  | Some want -> (
+      let still_valid =
+        List.find_opt
+          (fun r -> Bgp.Route.peer_id r = Bgp.Route.peer_id want)
+          candidates
+      in
+      match still_valid with
+      | Some r -> (Some r, true, false)
+      | None -> (
+          match candidates with
+          | [] -> (None, false, true)
+          | r :: _ -> (Some r, false, true)))
+  | None -> (
+      match candidates with [] -> (None, false, false) | r :: _ -> (Some r, false, false))
+
 let project ?(overrides = fun _ -> None) snapshot =
   let ifaces = Snapshot.ifaces snapshot in
-  let loads = Array.make (max_iface_id ifaces + 1) 0.0 in
+  let loads = Array.make (max_iface_id ifaces + 1) 0L in
   let placements = ref Bgp.Ptrie.empty in
-  let total = ref 0.0 in
-  let unroutable = ref 0.0 in
-  let stale = ref [] in
-  List.iter
-    (fun (prefix, rate) ->
-      total := !total +. rate;
+  let overridden_m = ref 0L in
+  let unplaced = ref RSet.empty in
+  let stale = ref Bgp.Ptrie.empty in
+  Snapshot.iter_rates snapshot (fun prefix rate ->
       let candidates = Snapshot.routes snapshot prefix in
-      let route, overridden =
-        match overrides prefix with
-        | Some want -> (
-            (* honour only if the route is still offered by that neighbor *)
-            let still_valid =
-              List.find_opt
-                (fun r -> Bgp.Route.peer_id r = Bgp.Route.peer_id want)
-                candidates
-            in
-            match still_valid with
-            | Some r -> (Some r, true)
-            | None ->
-                stale := prefix :: !stale;
-                (match candidates with
-                | [] -> (None, false)
-                | r :: _ -> (Some r, false)))
-        | None -> (
-            match candidates with
-            | [] -> (None, false)
-            | r :: _ -> (Some r, false))
+      let route, overridden, is_stale = choose_route ~overrides ~candidates prefix in
+      if is_stale then stale := Bgp.Ptrie.add prefix () !stale;
+      let placed =
+        match route with
+        | None -> None
+        | Some route -> (
+            match Snapshot.iface_of_route snapshot route with
+            | None -> None
+            | Some iface -> Some (route, Ef_netsim.Iface.id iface))
       in
-      match route with
-      | None -> unroutable := !unroutable +. rate
-      | Some route -> (
-          match Snapshot.iface_of_route snapshot route with
-          | None -> unroutable := !unroutable +. rate
-          | Some iface ->
-              let iface_id = Ef_netsim.Iface.id iface in
-              loads.(iface_id) <- loads.(iface_id) +. rate;
-              placements :=
-                Bgp.Ptrie.add prefix
-                  { placed_prefix = prefix; rate_bps = rate; route; iface_id; overridden }
-                  !placements))
-    (Snapshot.prefix_rates snapshot);
+      match placed with
+      | None -> unplaced := RSet.add (prefix, rate) !unplaced
+      | Some (route, iface_id) ->
+          let m = mbps_of_bps rate in
+          loads.(iface_id) <- Int64.add loads.(iface_id) m;
+          if overridden then overridden_m := Int64.add !overridden_m m;
+          placements :=
+            Bgp.Ptrie.add prefix
+              { placed_prefix = prefix; rate_bps = rate; route; iface_id; overridden }
+              !placements);
+  (* aggregates the incremental path must reproduce bit-for-bit are taken
+     from canonical folds, not the iteration above: total is the
+     snapshot's own (rate desc, prefix asc) fold, unroutable folds the
+     unplaced set in its order *)
+  let unroutable = [| 0.0 |] in
+  RSet.iter (fun (_, r) -> unroutable.(0) <- unroutable.(0) +. r) !unplaced;
   {
     ifaces;
     loads;
     placements = !placements;
-    total_bps = !total;
-    unroutable_bps = !unroutable;
-    stale = !stale;
+    total_bps = Snapshot.total_rate_bps snapshot;
+    overridden_m = !overridden_m;
+    unroutable_bps = unroutable.(0);
+    unplaced = !unplaced;
+    stale = Bgp.Ptrie.keys !stale;
   }
 
 let load_bps t ~iface_id =
   if iface_id < 0 || iface_id >= Array.length t.loads then 0.0
-  else t.loads.(iface_id)
+  else bps_of_mbps t.loads.(iface_id)
 
 let utilization t iface =
   load_bps t ~iface_id:(Ef_netsim.Iface.id iface)
@@ -100,7 +138,7 @@ let placements t =
    ties to fold order, which made allocator decisions (and golden traces)
    depend on trie shape; the prefix tiebreak makes them byte-stable. *)
 let compare_placement a b =
-  let c = compare b.rate_bps a.rate_bps in
+  let c = Float.compare b.rate_bps a.rate_bps in
   if c <> 0 then c else Bgp.Prefix.compare a.placed_prefix b.placed_prefix
 
 let placements_on t ~iface_id =
@@ -115,32 +153,39 @@ let move t prefix ~to_route ~to_iface =
   | None -> invalid_arg "Projection.move: prefix has no placement"
   | Some pl ->
       let loads = Array.copy t.loads in
-      loads.(pl.iface_id) <- loads.(pl.iface_id) -. pl.rate_bps;
-      loads.(to_iface) <- loads.(to_iface) +. pl.rate_bps;
+      let m = mbps_of_bps pl.rate_bps in
+      loads.(pl.iface_id) <- Int64.sub loads.(pl.iface_id) m;
+      loads.(to_iface) <- Int64.add loads.(to_iface) m;
+      let overridden_m =
+        if pl.overridden then t.overridden_m else Int64.add t.overridden_m m
+      in
       let pl' = { pl with route = to_route; iface_id = to_iface; overridden = true } in
-      { t with loads; placements = Bgp.Ptrie.add prefix pl' t.placements }
+      { t with loads; overridden_m; placements = Bgp.Ptrie.add prefix pl' t.placements }
 
 let add_placement t ~prefix ~rate_bps ~route ~iface_id ~overridden =
   let loads = Array.copy t.loads in
-  loads.(iface_id) <- loads.(iface_id) +. rate_bps;
+  let m = mbps_of_bps rate_bps in
+  loads.(iface_id) <- Int64.add loads.(iface_id) m;
+  let overridden_m =
+    if overridden then Int64.add t.overridden_m m else t.overridden_m
+  in
   let pl = { placed_prefix = prefix; rate_bps; route; iface_id; overridden } in
-  { t with loads; placements = Bgp.Ptrie.add prefix pl t.placements }
+  { t with loads; overridden_m; placements = Bgp.Ptrie.add prefix pl t.placements }
 
 let remove_placement t prefix =
   match Bgp.Ptrie.find prefix t.placements with
   | None -> t
   | Some pl ->
       let loads = Array.copy t.loads in
-      loads.(pl.iface_id) <- loads.(pl.iface_id) -. pl.rate_bps;
-      { t with loads; placements = Bgp.Ptrie.remove prefix t.placements }
+      let m = mbps_of_bps pl.rate_bps in
+      loads.(pl.iface_id) <- Int64.sub loads.(pl.iface_id) m;
+      let overridden_m =
+        if pl.overridden then Int64.sub t.overridden_m m else t.overridden_m
+      in
+      { t with loads; overridden_m; placements = Bgp.Ptrie.remove prefix t.placements }
 
 let total_bps t = t.total_bps
-
-let overridden_bps t =
-  Bgp.Ptrie.fold
-    (fun _ pl acc -> if pl.overridden then acc +. pl.rate_bps else acc)
-    t.placements 0.0
-
+let overridden_bps t = bps_of_mbps t.overridden_m
 let unroutable_bps t = t.unroutable_bps
 let stale_overrides t = t.stale
 let ifaces t = t.ifaces
@@ -162,13 +207,15 @@ module Working = struct
   type proj = t
 
   type t = {
-    w_ifaces : Ef_netsim.Iface.t list;
-    w_loads : float array; (* updated in place, no per-move copy *)
+    mutable w_ifaces : Ef_netsim.Iface.t list;
+    w_loads : int64 array; (* millibps, updated in place *)
     mutable w_placements : placement Bgp.Ptrie.t;
     w_by_iface : PSet.t array; (* iface id -> placements, (rate desc, prefix) *)
-    w_total : float;
-    w_unroutable : float;
-    w_stale : Bgp.Prefix.t list;
+    mutable w_total : float;
+    mutable w_overridden : int64;
+    mutable w_unroutable : float;
+    mutable w_unplaced : RSet.t;
+    mutable w_stale : unit Bgp.Ptrie.t;
     mutable w_touched : int list; (* iface ids with load changes, undrained *)
   }
 
@@ -183,8 +230,24 @@ module Working = struct
       w_placements = p.placements;
       w_by_iface = by_iface;
       w_total = p.total_bps;
+      w_overridden = p.overridden_m;
       w_unroutable = p.unroutable_bps;
-      w_stale = p.stale;
+      w_unplaced = p.unplaced;
+      w_stale = Bgp.Ptrie.of_list (List.map (fun p -> (p, ())) p.stale);
+      w_touched = [];
+    }
+
+  let copy w =
+    {
+      w_ifaces = w.w_ifaces;
+      w_loads = Array.copy w.w_loads;
+      w_placements = w.w_placements;
+      w_by_iface = Array.copy w.w_by_iface;
+      w_total = w.w_total;
+      w_overridden = w.w_overridden;
+      w_unroutable = w.w_unroutable;
+      w_unplaced = w.w_unplaced;
+      w_stale = w.w_stale;
       w_touched = [];
     }
 
@@ -194,13 +257,15 @@ module Working = struct
       loads = Array.copy w.w_loads;
       placements = w.w_placements;
       total_bps = w.w_total;
+      overridden_m = w.w_overridden;
       unroutable_bps = w.w_unroutable;
-      stale = w.w_stale;
+      unplaced = w.w_unplaced;
+      stale = Bgp.Ptrie.keys w.w_stale;
     }
 
   let load_bps w ~iface_id =
     if iface_id < 0 || iface_id >= Array.length w.w_loads then 0.0
-    else w.w_loads.(iface_id)
+    else bps_of_mbps w.w_loads.(iface_id)
 
   let touch w iface_id = w.w_touched <- iface_id :: w.w_touched
 
@@ -215,12 +280,22 @@ module Working = struct
     if iface_id < 0 || iface_id >= Array.length w.w_by_iface then []
     else PSet.elements w.w_by_iface.(iface_id)
 
+  let placements_seq w ~iface_id =
+    if iface_id < 0 || iface_id >= Array.length w.w_by_iface then Seq.empty
+    else PSet.to_seq w.w_by_iface.(iface_id)
+
+  let placements_rev_seq w ~iface_id =
+    if iface_id < 0 || iface_id >= Array.length w.w_by_iface then Seq.empty
+    else PSet.to_rev_seq w.w_by_iface.(iface_id)
+
   let move w prefix ~to_route ~to_iface =
     match Bgp.Ptrie.find prefix w.w_placements with
     | None -> invalid_arg "Projection.Working.move: prefix has no placement"
     | Some pl ->
-        w.w_loads.(pl.iface_id) <- w.w_loads.(pl.iface_id) -. pl.rate_bps;
-        w.w_loads.(to_iface) <- w.w_loads.(to_iface) +. pl.rate_bps;
+        let m = mbps_of_bps pl.rate_bps in
+        w.w_loads.(pl.iface_id) <- Int64.sub w.w_loads.(pl.iface_id) m;
+        w.w_loads.(to_iface) <- Int64.add w.w_loads.(to_iface) m;
+        if not pl.overridden then w.w_overridden <- Int64.add w.w_overridden m;
         touch w pl.iface_id;
         touch w to_iface;
         let pl' =
@@ -231,7 +306,9 @@ module Working = struct
         w.w_placements <- Bgp.Ptrie.add prefix pl' w.w_placements
 
   let add_placement w ~prefix ~rate_bps ~route ~iface_id ~overridden =
-    w.w_loads.(iface_id) <- w.w_loads.(iface_id) +. rate_bps;
+    let m = mbps_of_bps rate_bps in
+    w.w_loads.(iface_id) <- Int64.add w.w_loads.(iface_id) m;
+    if overridden then w.w_overridden <- Int64.add w.w_overridden m;
     touch w iface_id;
     let pl = { placed_prefix = prefix; rate_bps; route; iface_id; overridden } in
     w.w_by_iface.(iface_id) <- PSet.add pl w.w_by_iface.(iface_id);
@@ -241,8 +318,61 @@ module Working = struct
     match Bgp.Ptrie.find prefix w.w_placements with
     | None -> ()
     | Some pl ->
-        w.w_loads.(pl.iface_id) <- w.w_loads.(pl.iface_id) -. pl.rate_bps;
+        let m = mbps_of_bps pl.rate_bps in
+        w.w_loads.(pl.iface_id) <- Int64.sub w.w_loads.(pl.iface_id) m;
+        if pl.overridden then w.w_overridden <- Int64.sub w.w_overridden m;
         touch w pl.iface_id;
         w.w_by_iface.(pl.iface_id) <- PSet.remove pl w.w_by_iface.(pl.iface_id);
         w.w_placements <- Bgp.Ptrie.remove prefix w.w_placements
+
+  let apply_dirty w ~snapshot ?(overrides = fun _ -> None) ~dirty () =
+    (* Retract every dirty prefix from wherever it currently sits —
+       placed, unroutable, or stale. Loads move by the placement's exact
+       integer contribution, so no re-summation is ever needed. *)
+    List.iter
+      (fun (ch : Snapshot.change) ->
+        let prefix = ch.Snapshot.ch_prefix in
+        (match Bgp.Ptrie.find prefix w.w_placements with
+        | Some _ -> remove_placement w prefix
+        | None -> (
+            match ch.Snapshot.ch_old_rate with
+            | Some r -> w.w_unplaced <- RSet.remove (prefix, r) w.w_unplaced
+            | None -> ()));
+        w.w_stale <- Bgp.Ptrie.remove prefix w.w_stale)
+      dirty;
+    (* Re-place the ones still rated, with the cold pass's decision rule. *)
+    List.iter
+      (fun (ch : Snapshot.change) ->
+        match ch.Snapshot.ch_new_rate with
+        | None -> ()
+        | Some rate -> (
+            let prefix = ch.Snapshot.ch_prefix in
+            let candidates = Snapshot.routes snapshot prefix in
+            let route, overridden, is_stale =
+              choose_route ~overrides ~candidates prefix
+            in
+            if is_stale then w.w_stale <- Bgp.Ptrie.add prefix () w.w_stale;
+            let placed =
+              match route with
+              | None -> None
+              | Some route -> (
+                  match Snapshot.iface_of_route snapshot route with
+                  | None -> None
+                  | Some iface -> Some (route, Ef_netsim.Iface.id iface))
+            in
+            match placed with
+            | None -> w.w_unplaced <- RSet.add (prefix, rate) w.w_unplaced
+            | Some (route, iface_id) ->
+                add_placement w ~prefix ~rate_bps:rate ~route ~iface_id
+                  ~overridden))
+      dirty;
+    (* Aggregates the integer bookkeeping doesn't cover: total is the
+       snapshot's canonical fold (the same float the cold pass takes),
+       unroutable re-folds the unplaced set in its (rate desc, prefix)
+       order — the cold pass's fold of the same set. *)
+    w.w_total <- Snapshot.total_rate_bps snapshot;
+    let unroutable = [| 0.0 |] in
+    RSet.iter (fun (_, r) -> unroutable.(0) <- unroutable.(0) +. r) w.w_unplaced;
+    w.w_unroutable <- unroutable.(0);
+    w.w_ifaces <- Snapshot.ifaces snapshot
 end

@@ -27,6 +27,11 @@ val project :
     counted in {!unroutable_bps}. *)
 
 val load_bps : t -> iface_id:int -> float
+(** Per-interface load. Accumulated internally in integer millibps
+    (order-independent, so a projection advanced placement-by-placement
+    reports bit-identical loads to one rebuilt from scratch); quantization
+    is ≤ 1 millibit/s per placement. *)
+
 val utilization : t -> Ef_netsim.Iface.t -> float
 
 val overloaded : t -> threshold:float -> (Ef_netsim.Iface.t * float) list
@@ -71,7 +76,11 @@ val remove_placement : t -> Ef_bgp.Prefix.t -> t
 val total_bps : t -> float
 val overridden_bps : t -> float
 val unroutable_bps : t -> float
+
 val stale_overrides : t -> Ef_bgp.Prefix.t list
+(** Ascending prefix order — canonical, so cold and incremental cycles
+    report byte-identical lists. *)
+
 val ifaces : t -> Ef_netsim.Iface.t list
 
 val iface_loads : t -> (Ef_netsim.Iface.t * float) list
@@ -98,6 +107,12 @@ module Working : sig
   val of_projection : proj -> t
   (** O(placements · log). The source projection is not mutated. *)
 
+  val copy : t -> t
+  (** O(interfaces) snapshot of a working view: load and index arrays are
+      duplicated, everything persistent is shared. The copy and the
+      original can then be mutated independently — this is how a cycle's
+      pre-relief image is retained as the next cycle's warm-start base. *)
+
   val seal : t -> proj
   (** Freeze into an immutable projection. The working view may continue
       to be mutated afterwards; the sealed copy does not alias it. *)
@@ -109,6 +124,19 @@ module Working : sig
   (** In {!compare_placement} order, materialized from the per-interface
       index: O(k) in that interface's placement count — never a fold of
       the whole trie. *)
+
+  val placements_seq : t -> iface_id:int -> placement Seq.t
+  (** {!placements_on} without materializing the list — the relief loop
+      usually stops after a handful of placements, so on a 100k-placement
+      interface the lazy walk is the difference between O(moves·log) and
+      O(interface population) per relief step. The sequence is immutable
+      (it walks the set as of the call); mutating the working view does
+      not invalidate an already-obtained sequence. *)
+
+  val placements_rev_seq : t -> iface_id:int -> placement Seq.t
+  (** {!placements_seq} in reverse {!compare_placement} order (smallest
+      rate first) — the lazy form of the allocator's smallest-first
+      visiting order. *)
 
   val move : t -> Ef_bgp.Prefix.t -> to_route:Ef_bgp.Route.t -> to_iface:int -> unit
   (** In-place re-placement; marks the placement overridden. Raises
@@ -124,6 +152,31 @@ module Working : sig
     unit
 
   val remove_placement : t -> Ef_bgp.Prefix.t -> unit
+
+  val apply_dirty :
+    t ->
+    snapshot:Ef_collector.Snapshot.t ->
+    ?overrides:(Ef_bgp.Prefix.t -> Ef_bgp.Route.t option) ->
+    dirty:Ef_collector.Snapshot.change list ->
+    unit ->
+    unit
+  (** Advance a pre-relief working image to a new snapshot by re-placing
+      only the dirty prefixes: each is retracted from wherever it sits
+      (placement, unroutable pool, stale list) and re-decided with the
+      cold pass's rule under [overrides]. Interface loads move by each
+      placement's exact integer contribution (associative, so no
+      re-summation is needed); the total is taken from the snapshot's
+      canonical fold and the unroutable sum re-folds the unplaced set in
+      its canonical order — every float is the one a full {!project} of
+      [snapshot] would produce, so sealing the result is byte-identical
+      to a cold projection, not merely close. Cost is O(dirty · log n),
+      independent of table size.
+
+      Preconditions (the callers' warm-validity checks): [snapshot] has
+      the same interface-id set as the image's source; clean prefixes'
+      candidate routes and the override assignment for clean prefixes are
+      unchanged. Capacity-only interface changes are fine — the new
+      interface list is adopted. *)
 
   val drain_touched : t -> int list
   (** Interface ids whose load changed since the last drain (most recent

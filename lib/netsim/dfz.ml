@@ -1,0 +1,208 @@
+module Bgp = Ef_bgp
+module Rng = Ef_util.Rng
+module Zipf = Ef_util.Zipf
+
+type config = {
+  n_prefixes : int;
+  n_ifaces : int;
+  zipf_s : float;
+  total_bps : float;
+  churn_fraction : float;
+  route_churn_fraction : float;
+  withdraw_fraction : float;
+  seed : int;
+}
+
+let config ?(n_ifaces = 6) ?(zipf_s = 1.0) ?(total_bps = 400e9)
+    ?(churn_fraction = 0.01) ?(route_churn_fraction = 0.3)
+    ?(withdraw_fraction = 0.05) ?(seed = 7) ~n_prefixes () =
+  if n_prefixes <= 0 then invalid_arg "Dfz.config: n_prefixes must be positive";
+  if n_ifaces < 2 || n_ifaces > 64 then
+    invalid_arg "Dfz.config: n_ifaces must be in [2, 64]";
+  {
+    n_prefixes;
+    n_ifaces;
+    zipf_s;
+    total_bps;
+    churn_fraction;
+    route_churn_fraction;
+    withdraw_fraction;
+    seed;
+  }
+
+type churn_event = {
+  rate_updates : (Bgp.Prefix.t * float) list;
+  routes_changed : Bgp.Prefix.t list;
+}
+
+type t = {
+  cfg : config;
+  prefixes : Bgp.Prefix.t array; (* index -> /24, shared across snapshots *)
+  base_rates : float array; (* the Zipf assignment churn perturbs around *)
+  rates : float array; (* current absolute rates; 0.0 = withdrawn *)
+  epochs : int array; (* bumped per prefix on route churn *)
+  ifaces_arr : Iface.t array;
+  ifaces : Iface.t list;
+  peers : Bgp.Peer.t array; (* one per interface; peer id = iface id *)
+  attrs : Bgp.Attrs.t array; (* per peer, prebuilt *)
+}
+
+(* splitmix64 finalizer: all candidate sets and churn schedules derive
+   from pure hashes of (seed, index, epoch/cycle), so a replay — or a
+   cold reference driver — regenerates the identical world without
+   sharing mutable state with the incremental one. *)
+let mix x =
+  let open Int64 in
+  let x = of_int x in
+  let x = mul (logxor x (shift_right_logical x 30)) 0xbf58476d1ce4e5b9L in
+  let x = mul (logxor x (shift_right_logical x 27)) 0x94d049bb133111ebL in
+  let x = logxor x (shift_right_logical x 31) in
+  Stdlib.( land ) (to_int x) Stdlib.max_int
+
+let hash3 a b c = mix (a lxor mix (b lxor mix c))
+
+(* /24s carved from 1.0.0.0 upward: index <-> prefix is arithmetic, no
+   table. A million prefixes span 1.0.0.0 .. 17.0.0.0. *)
+let base_addr = 0x01000000
+
+let prefix_of_index_raw i =
+  Bgp.Prefix.make
+    (Bgp.Ipv4.of_int32 (Int32.of_int (base_addr + (i * 256))))
+    24
+
+let index_of_prefix t p =
+  if Bgp.Prefix.length p <> 24 then None
+  else
+    let net =
+      Int32.to_int (Bgp.Ipv4.to_int32 (Bgp.Prefix.network p)) land 0xFFFFFFFF
+    in
+    let i = (net - base_addr) asr 8 in
+    if i >= 0 && i < t.cfg.n_prefixes && net land 0xFF = 0 then Some i
+    else None
+
+let create cfg =
+  let prefixes = Array.init cfg.n_prefixes prefix_of_index_raw in
+  (* Zipf mass over a seeded rank permutation: rates are skewed, but the
+     heavy hitters are scattered across the address plan *)
+  let zipf = Zipf.create ~n:cfg.n_prefixes ~s:cfg.zipf_s in
+  let probs = Zipf.weights zipf in
+  let perm = Array.init cfg.n_prefixes Fun.id in
+  Rng.shuffle (Rng.create (hash3 cfg.seed 0x2A 0)) perm;
+  let base_rates =
+    Array.init cfg.n_prefixes (fun i -> cfg.total_bps *. probs.(perm.(i)))
+  in
+  (* one interface short on capacity, the rest with headroom: every cycle
+     projects ~1/n of the traffic onto each interface, so the allocator
+     always has relief work and always has somewhere to put it *)
+  let fair = cfg.total_bps /. float_of_int cfg.n_ifaces in
+  let ifaces_arr =
+    Array.init cfg.n_ifaces (fun i ->
+        Iface.make ~id:i
+          ~name:(Printf.sprintf "dfz-if%d" i)
+          ~capacity_bps:(if i = 0 then 0.8 *. fair else 1.4 *. fair)
+          ~shared:false)
+  in
+  let peers =
+    Array.init cfg.n_ifaces (fun i ->
+        Bgp.Peer.make ~id:i
+          ~name:(Printf.sprintf "dfz-transit%d" i)
+          ~asn:(Bgp.Asn.of_int (64600 + i))
+          ~kind:Bgp.Peer.Transit
+          ~router_id:(Bgp.Ipv4.of_int32 (Int32.of_int (0x0A000000 + (i * 256) + 1)))
+          ~session_addr:
+            (Bgp.Ipv4.of_int32 (Int32.of_int (0x0A000000 + (i * 256) + 2))))
+  in
+  let attrs =
+    Array.map
+      (fun p ->
+        Bgp.Attrs.make
+          ~as_path:(Bgp.As_path.origin_of_list [ Bgp.Peer.asn p; Bgp.Asn.of_int 15169 ])
+          ~next_hop:p.Bgp.Peer.session_addr ())
+      peers
+  in
+  {
+    cfg;
+    prefixes;
+    base_rates;
+    rates = Array.copy base_rates;
+    epochs = Array.make cfg.n_prefixes 0;
+    ifaces_arr;
+    ifaces = Array.to_list ifaces_arr;
+    peers;
+    attrs;
+  }
+
+let cfg t = t.cfg
+let ifaces t = t.ifaces
+let prefix_of_index t i = t.prefixes.(i)
+
+let iface_of_peer t peer_id =
+  if peer_id >= 0 && peer_id < Array.length t.ifaces_arr then
+    Some t.ifaces_arr.(peer_id)
+  else None
+
+(* 2–3 distinct candidate interfaces per prefix, ranked, derived from
+   hash(seed, index, epoch): bumping the epoch is a route add/withdraw —
+   the candidate set (and its ranking) changes, every other prefix's is
+   untouched. *)
+let candidate_ifaces t i =
+  let n = t.cfg.n_ifaces in
+  let h = hash3 t.cfg.seed i t.epochs.(i) in
+  let start = (h lsr 2) mod n in
+  let stride = 1 + ((h lsr 20) mod (n - 1)) in
+  let third = h land 1 = 1 && 2 * stride mod n <> 0 in
+  if third then
+    [ start; (start + stride) mod n; (start + (2 * stride)) mod n ]
+  else [ start; (start + stride) mod n ]
+
+let routes_ix t i =
+  let prefix = t.prefixes.(i) in
+  List.map
+    (fun iface_id ->
+      Bgp.Route.make ~prefix ~attrs:t.attrs.(iface_id) ~peer:t.peers.(iface_id))
+    (candidate_ifaces t i)
+
+let routes t p =
+  match index_of_prefix t p with None -> [] | Some i -> routes_ix t i
+
+let current_rates t =
+  let acc = ref [] in
+  for i = t.cfg.n_prefixes - 1 downto 0 do
+    if t.rates.(i) > 0.0 then acc := (t.prefixes.(i), t.rates.(i)) :: !acc
+  done;
+  !acc
+
+let total_rate t = Array.fold_left ( +. ) 0.0 t.rates
+
+(* One cycle of steady-state churn. The schedule is a pure function of
+   (seed, cycle); the mutated arrays only cache its cumulative effect.
+   Each touched prefix gets exactly one event per cycle, so the returned
+   delta composes cleanly with Snapshot.patch. *)
+let churn t ~cycle =
+  let cfg = t.cfg in
+  let rng = Rng.create (hash3 cfg.seed 0x5EED cycle) in
+  let n_events =
+    max 1 (int_of_float (cfg.churn_fraction *. float_of_int cfg.n_prefixes))
+  in
+  let touched = Hashtbl.create (2 * n_events) in
+  let rate_updates = ref [] in
+  let routes_changed = ref [] in
+  for _ = 1 to n_events do
+    let i = Rng.int rng cfg.n_prefixes in
+    if not (Hashtbl.mem touched i) then begin
+      Hashtbl.replace touched i ();
+      if Rng.chance rng cfg.route_churn_fraction then begin
+        t.epochs.(i) <- t.epochs.(i) + 1;
+        routes_changed := t.prefixes.(i) :: !routes_changed
+      end
+      else begin
+        let r =
+          if Rng.chance rng cfg.withdraw_fraction then 0.0
+          else t.base_rates.(i) *. (0.5 +. Rng.float rng 1.0)
+        in
+        t.rates.(i) <- r;
+        rate_updates := (t.prefixes.(i), r) :: !rate_updates
+      end
+    end
+  done;
+  { rate_updates = !rate_updates; routes_changed = !routes_changed }

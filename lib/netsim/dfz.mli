@@ -1,0 +1,91 @@
+(** The DFZ workload: a full default-free-zone routing table in one PoP.
+
+    The paper's PoPs carry complete transit tables — 700k–1M routes — on
+    a handful of egress interfaces. This generator produces that shape
+    synthetically: ~1M /24 prefixes carved from a flat address plan,
+    Zipf-skewed demand (a few prefixes carry most of the traffic, per the
+    CDN measurements the demand model is grounded in), 2–3 ranked
+    candidate routes per prefix over 4–8 transit interfaces, and
+    steady-state churn (rate drift, withdraw/re-announce, route
+    add/withdraw) at a configurable fraction per cycle.
+
+    Everything is a pure function of [(seed, index, epoch)] hashes: two
+    generators with the same config produce identical worlds and
+    identical churn schedules, which is what lets the differential
+    harness replay one world through the incremental and the cold
+    pipeline and demand byte-identical output. The generator deliberately
+    bypasses {!Pop}/{!Ef_bgp.Rib} — at a million prefixes the RIB
+    machinery is the thing under test elsewhere ({!Ef_bgp.Mrt.to_rib}
+    imports real dumps through it); here candidates come from a closure
+    so snapshot assembly, not table construction, dominates. *)
+
+type config = {
+  n_prefixes : int;
+  n_ifaces : int;  (** transit interfaces, ids [0..n-1]; 2–64 *)
+  zipf_s : float;  (** demand skew exponent, ~0.8–1.2 *)
+  total_bps : float;  (** total offered traffic *)
+  churn_fraction : float;  (** prefixes touched per churn cycle *)
+  route_churn_fraction : float;
+      (** of touched prefixes, the share whose candidate routes change
+          (the rest get rate events) *)
+  withdraw_fraction : float;
+      (** of rate events, the share that withdraw the prefix (rate 0);
+          later churn on the same prefix re-announces it *)
+  seed : int;
+}
+
+val config :
+  ?n_ifaces:int ->
+  ?zipf_s:float ->
+  ?total_bps:float ->
+  ?churn_fraction:float ->
+  ?route_churn_fraction:float ->
+  ?withdraw_fraction:float ->
+  ?seed:int ->
+  n_prefixes:int ->
+  unit ->
+  config
+(** Defaults: 6 interfaces, [s = 1.0], 400 Gbps, 1% churn per cycle of
+    which 30% route events, 5% of rate events withdraw, seed 7. One
+    interface is provisioned at 0.8× its fair share (the rest at 1.4×),
+    so every cycle has genuine relief work with feasible targets. *)
+
+type t
+(** Mutable generator state: current rates and per-prefix route epochs.
+    One [t] drives one simulated world forward; create two with the same
+    config to replay the same world twice. *)
+
+type churn_event = {
+  rate_updates : (Ef_bgp.Prefix.t * float) list;
+      (** absolute new rates; 0.0 withdraws *)
+  routes_changed : Ef_bgp.Prefix.t list;
+      (** prefixes whose candidate set changed (epoch bumped) *)
+}
+
+val create : config -> t
+val cfg : t -> config
+
+val ifaces : t -> Iface.t list
+val iface_of_peer : t -> int -> Iface.t option
+(** Peer ids coincide with interface ids (one synthetic transit neighbor
+    per interface). *)
+
+val routes : t -> Ef_bgp.Prefix.t -> Ef_bgp.Route.t list
+(** Ranked candidates (head = preferred) per the prefix's current route
+    epoch; [[]] for prefixes outside the generator's address plan.
+    Deterministic: equal epochs give structurally equal lists. *)
+
+val current_rates : t -> (Ef_bgp.Prefix.t * float) list
+(** Full materialization of the current demand (withdrawn prefixes
+    omitted) — the cold path's snapshot-assembly input. *)
+
+val total_rate : t -> float
+
+val churn : t -> cycle:int -> churn_event
+(** Advance one cycle: mutate rates/epochs per the (seed, cycle)-hashed
+    schedule and return exactly the delta applied — at most one event
+    per prefix per cycle, so the result feeds
+    {!Ef_collector.Snapshot.patch} (via the sim driver) directly. *)
+
+val prefix_of_index : t -> int -> Ef_bgp.Prefix.t
+val index_of_prefix : t -> Ef_bgp.Prefix.t -> int option

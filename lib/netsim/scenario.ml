@@ -279,6 +279,16 @@ let generated_fleet ?(n = 16) () =
 
 let all = paper_pops @ [ tiny; stress ] @ policy_scenarios
 
+(* DFZ-class worlds live outside the Topo_gen/Pop machinery (a million
+   prefixes bypass RIB construction; see Dfz) — named here so the CLI and
+   benches share one definition of each scale. *)
+let dfz = Dfz.config ~n_prefixes:1_000_000 ()
+let dfz_smoke = Dfz.config ~n_prefixes:50_000 ()
+
+let dfz_scenarios = [ ("dfz", dfz); ("dfz-smoke", dfz_smoke) ]
+let find_dfz name = List.assoc_opt name dfz_scenarios
+let dfz_names () = List.map fst dfz_scenarios
+
 let find name =
   List.find_opt (fun s -> String.equal s.scenario_name name) all
 

@@ -1,0 +1,290 @@
+module Snapshot = Ef_collector.Snapshot
+module Controller = Edge_fabric.Controller
+module Config = Edge_fabric.Config
+module Projection = Edge_fabric.Projection
+module Dfz = Ef_netsim.Dfz
+module Clock = Ef_obs.Clock
+module Json = Ef_obs.Json
+
+type config = {
+  cycles : int;
+  cycle_s : int;
+  verify : bool;
+  controller : Config.t;
+}
+
+let config ?(cycles = 30) ?(cycle_s = 30) ?(verify = false)
+    ?(controller = Config.default) () =
+  if cycles < 1 then invalid_arg "Dfz_run.config: cycles must be positive";
+  if cycle_s < 1 then invalid_arg "Dfz_run.config: cycle_s must be positive";
+  { cycles; cycle_s; verify; controller }
+
+type report = {
+  prefix_count : int;
+  cycles_run : int;
+  incremental_hits : int;
+  dirty_total : int;
+  cycle_seconds : float array;
+  verified_cycles : int;
+  mismatches : string list;
+}
+
+(* nearest-rank percentile over the recorded wall times *)
+let percentile times q =
+  let n = Array.length times in
+  if n = 0 then 0.0
+  else begin
+    let sorted = Array.copy times in
+    Array.sort Float.compare sorted;
+    let rank = int_of_float (ceil (q *. float_of_int n)) in
+    sorted.(max 0 (min (n - 1) (rank - 1)))
+  end
+
+let p50_s r = percentile r.cycle_seconds 0.50
+let p99_s r = percentile r.cycle_seconds 0.99
+let max_s r = Array.fold_left Float.max 0.0 r.cycle_seconds
+
+let mean_s r =
+  let n = Array.length r.cycle_seconds in
+  if n = 0 then 0.0
+  else Array.fold_left ( +. ) 0.0 r.cycle_seconds /. float_of_int n
+
+(* --- differential check against the cold pipeline --------------------
+
+   The reference side replays an identical generator (same config, pure
+   hash schedules) but assembles every snapshot from scratch — unlinked
+   snapshots plus [incremental = false] force the cold path end to end.
+   Equality is exact, floats included: the incremental path is built to
+   reproduce the cold path's accumulation order, not approximate it. *)
+
+let check_cycle ~cycle ~stats ~ref_stats =
+  let buf = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> buf := s :: !buf) fmt in
+  let say what = fail "cycle %d: %s differ" cycle what in
+  if Controller.overrides_enforced stats <> Controller.overrides_enforced ref_stats
+  then say "enforced overrides";
+  if Controller.total_bps stats <> Controller.total_bps ref_stats then
+    say "total_bps";
+  if Controller.detoured_bps stats <> Controller.detoured_bps ref_stats then
+    say "detoured_bps";
+  if Controller.residual_overloads stats <> Controller.residual_overloads ref_stats
+  then say "residual overloads";
+  let enf = Controller.enforced stats
+  and ref_enf = Controller.enforced ref_stats in
+  if Projection.stale_overrides enf <> Projection.stale_overrides ref_enf then
+    say "stale overrides";
+  List.iter
+    (fun iface ->
+      let id = Ef_netsim.Iface.id iface in
+      let a = Projection.load_bps enf ~iface_id:id
+      and b = Projection.load_bps ref_enf ~iface_id:id in
+      if a <> b then
+        fail "cycle %d: enforced load on iface %d: %.17g <> %.17g" cycle id a b)
+    (Projection.ifaces enf);
+  List.rev !buf
+
+let snapshot_of_gen ?obs gen ~time_s =
+  Snapshot.assemble ?obs
+    ~routes:(Dfz.routes gen)
+    ~iface_of_peer:(Dfz.iface_of_peer gen)
+    ~ifaces:(Dfz.ifaces gen)
+    ~prefix_rates:(Dfz.current_rates gen)
+    ~time_s ()
+
+let run ?obs ?(config = config ()) dfz_cfg =
+  let gen = Dfz.create dfz_cfg in
+  let ctl = Controller.create ~config:config.controller ?obs ~name:"dfz" () in
+  (* the cold twin: own generator, own controller, no shared state *)
+  let reference =
+    if config.verify then
+      Some
+        ( Dfz.create dfz_cfg,
+          Controller.create
+            ~config:(Config.with_incremental false config.controller)
+            ~name:"dfz-ref" () )
+    else None
+  in
+  let times = Array.make config.cycles 0.0 in
+  let dirty_total = ref 0 in
+  let verified = ref 0 in
+  let mismatches = ref [] in
+  let snap = ref (snapshot_of_gen ?obs gen ~time_s:0) in
+  for cycle = 0 to config.cycles - 1 do
+    let t0 = Clock.now_ns () in
+    if cycle > 0 then begin
+      (* advance the world and thread the delta through the snapshot
+         chain — this, not just the controller call, is the end-to-end
+         incremental cycle the acceptance clock covers *)
+      let ev = Dfz.churn gen ~cycle in
+      dirty_total :=
+        !dirty_total
+        + List.length ev.Dfz.rate_updates
+        + List.length ev.Dfz.routes_changed;
+      snap :=
+        Snapshot.patch ?obs ~prev:!snap
+          ~routes_changed:ev.Dfz.routes_changed
+          ~rate_updates:ev.Dfz.rate_updates
+          ~time_s:(cycle * config.cycle_s) ()
+    end;
+    let stats = Controller.cycle ctl !snap in
+    times.(cycle) <- Clock.elapsed_s t0;
+    (match reference with
+    | None -> ()
+    | Some (ref_gen, ref_ctl) ->
+        if cycle > 0 then ignore (Dfz.churn ref_gen ~cycle : Dfz.churn_event);
+        let ref_snap =
+          snapshot_of_gen ref_gen ~time_s:(cycle * config.cycle_s)
+        in
+        let ref_stats = Controller.cycle ref_ctl ref_snap in
+        incr verified;
+        mismatches := !mismatches @ check_cycle ~cycle ~stats ~ref_stats)
+  done;
+  {
+    prefix_count = Snapshot.prefix_count !snap;
+    cycles_run = config.cycles;
+    incremental_hits = Controller.incremental_hits ctl;
+    dirty_total = !dirty_total;
+    cycle_seconds = times;
+    verified_cycles = !verified;
+    mismatches = !mismatches;
+  }
+
+let report_to_json r =
+  Json.Obj
+    [
+      ("prefix_count", Json.Int r.prefix_count);
+      ("cycles_run", Json.Int r.cycles_run);
+      ("incremental_hits", Json.Int r.incremental_hits);
+      ("dirty_total", Json.Int r.dirty_total);
+      ("p50_s", Json.Float (p50_s r));
+      ("p99_s", Json.Float (p99_s r));
+      ("max_s", Json.Float (max_s r));
+      ("mean_s", Json.Float (mean_s r));
+      ("verified_cycles", Json.Int r.verified_cycles);
+      ("mismatches", Json.List (List.map (fun m -> Json.String m) r.mismatches));
+    ]
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "dfz: %d prefixes, %d cycles (%d incremental), %d dirty events, p50 %.3fs \
+     p99 %.3fs max %.3fs%s"
+    r.prefix_count r.cycles_run r.incremental_hits r.dirty_total (p50_s r)
+    (p99_s r) (max_s r)
+    (if r.verified_cycles = 0 then ""
+     else
+       Printf.sprintf ", verified %d cycles (%d mismatches)" r.verified_cycles
+         (List.length r.mismatches))
+
+(* --- MRT-seeded runs --------------------------------------------------
+
+   A RouteViews dump carries routes but no demand and no capacities, so
+   both are synthesized: Zipf rates over the dump's prefixes (rank
+   permutation seeded like Dfz's) and one interface per dump peer sized
+   so the busiest interface needs relief. Cycles then drift rates
+   deterministically through the patch chain — the dump seeds the RIB,
+   the incremental machinery does the rest. *)
+
+type mrt_world = {
+  mrt_rib : Ef_bgp.Rib.t;
+  mrt_prefixes : Ef_bgp.Prefix.t array;
+  mrt_base_rates : float array;
+  mrt_ifaces : Ef_netsim.Iface.t array;
+}
+
+let mrt_world ?(total_bps = 40e9) ?(zipf_s = 1.0) ?(seed = 7) dump =
+  match Ef_bgp.Mrt.to_rib dump with
+  | Error e -> Error e
+  | Ok rib ->
+      let prefixes =
+        Ef_bgp.Rib.fold (fun p _ acc -> p :: acc) rib []
+        |> List.rev |> Array.of_list
+      in
+      let n = Array.length prefixes in
+      if n = 0 then Error (Ef_bgp.Mrt.Malformed "dump has no routed prefixes")
+      else begin
+        let zipf = Ef_util.Zipf.create ~n ~s:zipf_s in
+        let probs = Ef_util.Zipf.weights zipf in
+        let perm = Array.init n Fun.id in
+        Ef_util.Rng.shuffle (Ef_util.Rng.create (seed lxor 0x317)) perm;
+        let base_rates =
+          Array.init n (fun i -> total_bps *. probs.(perm.(i)))
+        in
+        let peer_ids = Ef_bgp.Rib.peer_ids rib in
+        let n_ifaces = max 1 (List.length peer_ids) in
+        let fair = total_bps /. float_of_int n_ifaces in
+        let ifaces =
+          Array.of_list
+            (List.mapi
+               (fun i peer_id ->
+                 Ef_netsim.Iface.make ~id:peer_id
+                   ~name:(Printf.sprintf "mrt-if%d" peer_id)
+                   ~capacity_bps:(if i = 0 then 0.8 *. fair else 1.4 *. fair)
+                   ~shared:false)
+               peer_ids)
+        in
+        Ok { mrt_rib = rib; mrt_prefixes = prefixes; mrt_base_rates = base_rates; mrt_ifaces = ifaces }
+      end
+
+let mrt_snapshot ?obs w ~rates ~time_s =
+  let prefix_rates = ref [] in
+  for i = Array.length w.mrt_prefixes - 1 downto 0 do
+    if rates.(i) > 0.0 then
+      prefix_rates := (w.mrt_prefixes.(i), rates.(i)) :: !prefix_rates
+  done;
+  let by_id = Hashtbl.create (Array.length w.mrt_ifaces) in
+  Array.iter
+    (fun ifc -> Hashtbl.replace by_id (Ef_netsim.Iface.id ifc) ifc)
+    w.mrt_ifaces;
+  Snapshot.assemble ?obs
+    ~routes:(Ef_bgp.Rib.ranked w.mrt_rib)
+    ~iface_of_peer:(Hashtbl.find_opt by_id)
+    ~ifaces:(Array.to_list w.mrt_ifaces)
+    ~prefix_rates:!prefix_rates ~time_s ()
+
+let run_mrt ?obs ?(config = config ()) ?total_bps ?zipf_s ?(seed = 7) dump =
+  match mrt_world ?total_bps ?zipf_s ~seed dump with
+  | Error e -> Error e
+  | Ok w ->
+      let n = Array.length w.mrt_prefixes in
+      let rates = Array.copy w.mrt_base_rates in
+      let ctl =
+        Controller.create ~config:config.controller ?obs ~name:"mrt" ()
+      in
+      let times = Array.make config.cycles 0.0 in
+      let dirty_total = ref 0 in
+      let snap = ref (mrt_snapshot ?obs w ~rates ~time_s:0) in
+      for cycle = 0 to config.cycles - 1 do
+        let t0 = Clock.now_ns () in
+        if cycle > 0 then begin
+          (* ~1% of prefixes drift per cycle, deterministic in (seed, cycle) *)
+          let rng = Ef_util.Rng.create ((seed * 0x9E37) lxor cycle) in
+          let n_events = max 1 (n / 100) in
+          let touched = Hashtbl.create (2 * n_events) in
+          let updates = ref [] in
+          for _ = 1 to n_events do
+            let i = Ef_util.Rng.int rng n in
+            if not (Hashtbl.mem touched i) then begin
+              Hashtbl.replace touched i ();
+              let r = w.mrt_base_rates.(i) *. (0.5 +. Ef_util.Rng.float rng 1.0) in
+              rates.(i) <- r;
+              updates := (w.mrt_prefixes.(i), r) :: !updates
+            end
+          done;
+          dirty_total := !dirty_total + List.length !updates;
+          snap :=
+            Snapshot.patch ?obs ~prev:!snap ~rate_updates:!updates
+              ~time_s:(cycle * config.cycle_s) ()
+        end;
+        ignore (Controller.cycle ctl !snap : Controller.cycle_stats);
+        times.(cycle) <- Clock.elapsed_s t0
+      done;
+      Ok
+        {
+          prefix_count = n;
+          cycles_run = config.cycles;
+          incremental_hits = Controller.incremental_hits ctl;
+          dirty_total = !dirty_total;
+          cycle_seconds = times;
+          verified_cycles = 0;
+          mismatches = [];
+        }

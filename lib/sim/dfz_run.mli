@@ -1,0 +1,88 @@
+(** The DFZ driver: end-to-end incremental controller cycles at
+    full-table scale.
+
+    Where {!Engine} simulates a PoP minute by minute (traffic model,
+    faults, BGP churn through the RIB), this driver runs the scale
+    experiment (e13): a {!Ef_netsim.Dfz} world of up to a million
+    prefixes, advanced cycle by cycle through the
+    {!Ef_collector.Snapshot.patch} delta chain so the controller's
+    warm-start paths carry the load. Per-cycle wall time covers churn
+    generation + snapshot patch + the full controller cycle — the
+    end-to-end figure the acceptance bar (p99 < 1 s at 1M prefixes,
+    steady-state churn) is stated over.
+
+    In [verify] mode a second generator replays the identical world
+    (the schedules are pure hashes of the config) through a cold
+    controller — [incremental = false], every snapshot assembled from
+    scratch — and each cycle's enforced overrides, loads, residuals and
+    stale lists are compared for exact equality, floats included. *)
+
+type config = {
+  cycles : int;
+  cycle_s : int;  (** simulated seconds per cycle (the paper's 30) *)
+  verify : bool;  (** lockstep cold-pipeline differential check *)
+  controller : Edge_fabric.Config.t;
+}
+
+val config :
+  ?cycles:int ->
+  ?cycle_s:int ->
+  ?verify:bool ->
+  ?controller:Edge_fabric.Config.t ->
+  unit ->
+  config
+(** Defaults: 30 cycles of 30 s, no verification, default controller
+    config (incremental on). Verification re-assembles every snapshot
+    from scratch on the reference side — meant for smoke scale, not for
+    the million-prefix run. *)
+
+type report = {
+  prefix_count : int;  (** rated prefixes in the final snapshot *)
+  cycles_run : int;
+  incremental_hits : int;
+      (** cycles the controller advanced incrementally; [cycles_run - 1]
+          when the warm path engaged every patched cycle *)
+  dirty_total : int;  (** churn events applied across all cycles *)
+  cycle_seconds : float array;  (** per-cycle wall time, in cycle order *)
+  verified_cycles : int;
+  mismatches : string list;
+      (** human-readable differences found by verification; empty means
+          the incremental path matched the cold path exactly *)
+}
+
+val p50_s : report -> float
+val p99_s : report -> float
+(** Nearest-rank percentiles over [cycle_seconds]. *)
+
+val max_s : report -> float
+val mean_s : report -> float
+
+val run :
+  ?obs:Ef_obs.Registry.t -> ?config:config -> Ef_netsim.Dfz.config -> report
+(** Generate the world, run the cycles, time them. [obs] receives the
+    collector/controller spans and counters of the incremental side
+    (the reference side reports nowhere). *)
+
+val report_to_json : report -> Ef_obs.Json.t
+(** Summary object (percentiles, counters, mismatch strings) — embedded
+    by the bench harness and [efctl]. *)
+
+val pp_report : Format.formatter -> report -> unit
+
+val run_mrt :
+  ?obs:Ef_obs.Registry.t ->
+  ?config:config ->
+  ?total_bps:float ->
+  ?zipf_s:float ->
+  ?seed:int ->
+  Ef_bgp.Mrt.t ->
+  (report, Ef_bgp.Mrt.error) result
+(** Seed the world from an MRT TABLE_DUMP_V2 dump instead of the
+    synthetic generator: the dump rebuilds a {!Ef_bgp.Rib}
+    ({!Ef_bgp.Mrt.to_rib}), demand is synthesized Zipf-skewed over the
+    dump's prefixes ([total_bps], default 40 Gbps, permuted by [seed]),
+    and one interface per dump peer is sized so the busiest needs
+    relief. Cycles drift ~1% of rates deterministically through the
+    patch chain. [verify] is ignored (no second world to replay).
+    Errors are the dump's: decode/peer-table problems, or [Malformed]
+    when the dump routes no prefixes. *)

@@ -1,30 +1,35 @@
 #!/usr/bin/env bash
-# Run the controller-scale microbenchmarks (E10/E10b/E10c/E10d) and the
-# E11 fleet-parallelism bench, then emit the machine-readable perf
-# record BENCH_PR5.json.
+# Run the controller-scale microbenchmarks (E10/E10b/E10c/E10d), the
+# E11 fleet-parallelism bench, and the E13 dfz scale run, then emit the
+# machine-readable perf records BENCH_PR5.json and BENCH_PR7.json.
 #
-# Usage: scripts/bench_report.sh [OUTPUT.json] [fast]
+# Usage: scripts/bench_report.sh [OUTPUT.json] [fast] [PR7_OUTPUT.json]
 #
-#   OUTPUT.json   where to write the report (default: BENCH_PR5.json)
-#   fast          shorter Bechamel quotas — the CI smoke mode
+#   OUTPUT.json       where to write the micro/fleet report
+#                     (default: BENCH_PR5.json)
+#   fast              shorter quotas + smoke-scale dfz — the CI mode
+#   PR7_OUTPUT.json   where to write the e13 dfz report
+#                     (default: BENCH_PR7.json)
 #
-# The report carries the acceptance numbers: the E10d allocator-cycle
-# speedup on the stress scenario, and the E11 fleet wall-clock speedup
-# at --jobs 4 on the generated 16-PoP fleet (only asserted when the
-# machine has >= 4 cores — domains serialize below that). Exits non-zero
-# if the benches fail or the emitted file is not well-formed JSON with
-# the expected schema.
+# BENCH_PR5.json carries the E10d allocator-cycle speedup and the E11
+# fleet wall-clock speedup acceptance numbers (the fleet bar is only
+# asserted on >= 4 cores — domains serialize below that). BENCH_PR7.json
+# carries the e13 acceptance: steady-state full-cycle p99 < 1 s on the
+# dfz world (1M prefixes; 50k in fast mode) and the incremental = cold
+# differential-verification bit. Exits non-zero if the benches fail or
+# an emitted file is not well-formed JSON with the expected schema.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 out="${1:-BENCH_PR5.json}"
 mode="${2:-}"
+pr7_out="${3:-BENCH_PR7.json}"
 
 case "$mode" in
   "" | fast) ;;
   *)
-    echo "usage: $0 [OUTPUT.json] [fast]" >&2
+    echo "usage: $0 [OUTPUT.json] [fast] [PR7_OUTPUT.json]" >&2
     exit 2
     ;;
 esac
@@ -36,8 +41,14 @@ dune exec bench/main.exe -- micro $mode "json=$out"
 
 test -s "$out" || { echo "$out: missing or empty" >&2; exit 1; }
 
-# self-contained JSON validation (no jq/python dependency): the bench
-# binary re-parses the file with the same parser the repo ships
-dune exec bench/main.exe -- json-check "$out"
+# shellcheck disable=SC2086
+dune exec bench/main.exe -- e13 $mode "json=$pr7_out"
 
-echo "bench report: $out"
+test -s "$pr7_out" || { echo "$pr7_out: missing or empty" >&2; exit 1; }
+
+# self-contained JSON validation (no jq/python dependency): the bench
+# binary re-parses the files with the same parser the repo ships
+dune exec bench/main.exe -- json-check "$out"
+dune exec bench/main.exe -- json-check "$pr7_out"
+
+echo "bench reports: $out $pr7_out"

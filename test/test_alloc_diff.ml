@@ -16,16 +16,8 @@ let override_list : Ef.Override.t list Alcotest.testable =
     (Fmt.Dump.list Ef.Override.pp)
     (fun a b -> a = b)
 
-let snapshot_of_world ?(rate_factor = 1.0) (world : N.Topo_gen.world) =
-  let rates =
-    List.map
-      (fun p ->
-        ( p,
-          world.N.Topo_gen.prefix_weight p
-          *. world.N.Topo_gen.total_peak_bps *. rate_factor ))
-      world.N.Topo_gen.all_prefixes
-  in
-  C.Snapshot.of_pop world.N.Topo_gen.pop ~prefix_rates:rates ~time_s:0
+let snapshot_of_world ?rate_factor world =
+  Gen.snapshot_of_world ?rate_factor world
 
 (* every config axis the relief loop branches on *)
 let configs =

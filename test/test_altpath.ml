@@ -76,14 +76,7 @@ let test_path_store_clear () =
 
 let world = lazy (N.Topo_gen.generate N.Topo_gen.small_config)
 
-let snapshot_of_world () =
-  let w = Lazy.force world in
-  let rates =
-    List.map
-      (fun p -> (p, w.N.Topo_gen.prefix_weight p *. w.N.Topo_gen.total_peak_bps))
-      w.N.Topo_gen.all_prefixes
-  in
-  C.Snapshot.of_pop w.N.Topo_gen.pop ~prefix_rates:rates ~time_s:0
+let snapshot_of_world () = Gen.snapshot_of_world (Lazy.force world)
 
 let latency_of_world () =
   let w = Lazy.force world in

@@ -1,0 +1,186 @@
+(* ef_netsim.Dfz + ef_sim.Dfz_run: the internet-scale world generator
+   and its end-to-end driver, at smoke scale. The full-table run lives
+   in the bench (e13); here the same machinery is pinned small:
+   generator determinism (replayability is what makes the driver's
+   differential verification meaningful), demand shape, the lockstep
+   verify mode itself, and the MRT-seeded path. *)
+
+module Bgp = Ef_bgp
+module N = Ef_netsim
+module D = Ef_sim.Dfz_run
+
+let small n = N.Dfz.config ~n_prefixes:n ()
+
+(* --- generator determinism -------------------------------------------- *)
+
+let test_dfz_replay_identical () =
+  let a = N.Dfz.create (small 2_000) and b = N.Dfz.create (small 2_000) in
+  Alcotest.(check bool) "initial rates equal" true
+    (N.Dfz.current_rates a = N.Dfz.current_rates b);
+  for cycle = 1 to 5 do
+    let ea = N.Dfz.churn a ~cycle and eb = N.Dfz.churn b ~cycle in
+    Alcotest.(check bool)
+      (Printf.sprintf "cycle %d churn equal" cycle)
+      true
+      (ea.N.Dfz.rate_updates = eb.N.Dfz.rate_updates
+      && ea.N.Dfz.routes_changed = eb.N.Dfz.routes_changed)
+  done;
+  Alcotest.(check bool) "post-churn rates equal" true
+    (N.Dfz.current_rates a = N.Dfz.current_rates b);
+  (* routes are a pure function of (config, epoch) *)
+  List.iter
+    (fun (p, _) ->
+      Alcotest.(check bool) "routes equal" true
+        (N.Dfz.routes a p = N.Dfz.routes b p))
+    (N.Dfz.current_rates a)
+
+let test_dfz_seed_changes_world () =
+  let a = N.Dfz.create (small 2_000) in
+  let b = N.Dfz.create { (small 2_000) with N.Dfz.seed = 99 } in
+  Alcotest.(check bool) "different seeds differ" false
+    (N.Dfz.current_rates a = N.Dfz.current_rates b)
+
+(* --- demand shape ------------------------------------------------------ *)
+
+let test_dfz_demand_shape () =
+  let cfg = small 5_000 in
+  let t = N.Dfz.create cfg in
+  let rates = N.Dfz.current_rates t in
+  Alcotest.(check int) "every prefix rated" cfg.N.Dfz.n_prefixes
+    (List.length rates);
+  let total = List.fold_left (fun acc (_, r) -> acc +. r) 0.0 rates in
+  Alcotest.(check bool) "mass conservation" true
+    (Float.abs (total -. cfg.N.Dfz.total_bps)
+    < 1e-6 *. cfg.N.Dfz.total_bps);
+  Alcotest.(check bool) "all rates positive" true
+    (List.for_all (fun (_, r) -> r > 0.0) rates);
+  (* Zipf skew: the heaviest prefix dwarfs the median one *)
+  let sorted =
+    List.sort (fun (_, a) (_, b) -> Float.compare b a) rates |> Array.of_list
+  in
+  let _, top = sorted.(0) and _, median = sorted.(Array.length sorted / 2) in
+  Alcotest.(check bool) "zipf head dominance" true (top > 100.0 *. median)
+
+let test_dfz_churn_bounded () =
+  let cfg = small 5_000 in
+  let t = N.Dfz.create cfg in
+  for cycle = 1 to 5 do
+    let e = N.Dfz.churn t ~cycle in
+    let touched =
+      List.length e.N.Dfz.rate_updates + List.length e.N.Dfz.routes_changed
+    in
+    (* ~churn_fraction of the table, with generous slack for the hashed
+       per-prefix draws *)
+    Alcotest.(check bool)
+      (Printf.sprintf "cycle %d churn bounded" cycle)
+      true
+      (touched > 0
+      && float_of_int touched
+         < 4.0 *. cfg.N.Dfz.churn_fraction *. float_of_int cfg.N.Dfz.n_prefixes
+      )
+  done
+
+(* --- the driver's differential verify mode ----------------------------- *)
+
+let test_driver_verified_identical () =
+  let report =
+    D.run
+      ~obs:(Ef_obs.Registry.create ())
+      ~config:(D.config ~cycles:8 ~verify:true ())
+      (small 2_000)
+  in
+  (* a handful of prefixes may be withdrawn by churn at the end *)
+  Alcotest.(check bool) "prefixes" true
+    (report.D.prefix_count > 1_900 && report.D.prefix_count <= 2_000);
+  Alcotest.(check int) "cycles" 8 report.D.cycles_run;
+  Alcotest.(check int) "verified every cycle" 8 report.D.verified_cycles;
+  Alcotest.(check (list string)) "no mismatches" [] report.D.mismatches;
+  Alcotest.(check int) "warm path engaged every patched cycle" 7
+    report.D.incremental_hits;
+  Alcotest.(check bool) "churn flowed" true (report.D.dirty_total > 0);
+  Alcotest.(check bool) "percentiles ordered" true
+    (D.p50_s report <= D.p99_s report && D.p99_s report <= D.max_s report)
+
+let test_report_json_shape () =
+  let report =
+    D.run
+      ~obs:(Ef_obs.Registry.create ())
+      ~config:(D.config ~cycles:3 ())
+      (small 1_000)
+  in
+  let json = D.report_to_json report in
+  let module J = Ef_obs.Json in
+  Alcotest.(check bool) "prefix_count" true
+    (match Option.bind (J.member "prefix_count" json) J.to_int_opt with
+    | Some n -> n > 900 && n <= 1_000
+    | None -> false);
+  Alcotest.(check (option int)) "cycles_run" (Some 3)
+    (Option.bind (J.member "cycles_run" json) J.to_int_opt);
+  Alcotest.(check bool) "round-trips through the parser" true
+    (match J.parse (J.to_string json) with Ok _ -> true | Error _ -> false)
+
+(* --- the MRT-seeded path ----------------------------------------------- *)
+
+let mrt_of_small_world () =
+  let w = Gen.world 11 in
+  let rib = N.Pop.rib w.N.Topo_gen.pop in
+  Bgp.Mrt.of_rib ~timestamp:1700000000
+    ~collector_id:(Bgp.Ipv4.of_string "192.0.2.1")
+    rib
+
+let test_run_mrt_smoke () =
+  let mrt = mrt_of_small_world () in
+  match
+    D.run_mrt
+      ~obs:(Ef_obs.Registry.create ())
+      ~config:(D.config ~cycles:6 ())
+      ~seed:3 mrt
+  with
+  | Error e -> Alcotest.failf "run_mrt: %a" Bgp.Mrt.pp_error e
+  | Ok report ->
+      Alcotest.(check bool) "prefixes from the dump" true
+        (report.D.prefix_count > 0);
+      Alcotest.(check int) "cycles" 6 report.D.cycles_run;
+      Alcotest.(check int) "incremental after the first" 5
+        report.D.incremental_hits
+
+let test_run_mrt_deterministic () =
+  let mrt = mrt_of_small_world () in
+  let go () =
+    match
+      D.run_mrt
+        ~obs:(Ef_obs.Registry.create ())
+        ~config:(D.config ~cycles:4 ())
+        ~seed:5 mrt
+    with
+    | Ok r -> (r.D.prefix_count, r.D.dirty_total, r.D.incremental_hits)
+    | Error e -> Alcotest.failf "run_mrt: %a" Bgp.Mrt.pp_error e
+  in
+  Alcotest.(check bool) "same dump, same seed, same run" true (go () = go ())
+
+let test_run_mrt_rejects_empty () =
+  let mrt = mrt_of_small_world () in
+  let empty = { mrt with Bgp.Mrt.records = [] } in
+  match D.run_mrt ~obs:(Ef_obs.Registry.create ()) empty with
+  | Error (Bgp.Mrt.Malformed _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %a" Bgp.Mrt.pp_error e
+  | Ok _ -> Alcotest.fail "empty dump accepted"
+
+let suite =
+  [
+    Alcotest.test_case "generator replays identically" `Quick
+      test_dfz_replay_identical;
+    Alcotest.test_case "seed changes the world" `Quick
+      test_dfz_seed_changes_world;
+    Alcotest.test_case "demand: mass, positivity, zipf skew" `Quick
+      test_dfz_demand_shape;
+    Alcotest.test_case "churn volume bounded" `Quick test_dfz_churn_bounded;
+    Alcotest.test_case "driver verify: incremental = cold" `Quick
+      test_driver_verified_identical;
+    Alcotest.test_case "report json shape" `Quick test_report_json_shape;
+    Alcotest.test_case "run_mrt smoke" `Quick test_run_mrt_smoke;
+    Alcotest.test_case "run_mrt deterministic" `Quick
+      test_run_mrt_deterministic;
+    Alcotest.test_case "run_mrt rejects dump with no prefixes" `Quick
+      test_run_mrt_rejects_empty;
+  ]

@@ -163,6 +163,81 @@ let test_prefix_padding_bits_masked () =
   | Ok _ -> Alcotest.fail "wrong message shape"
   | Error e -> Alcotest.failf "decode: %s" (Bgp.Codec.error_to_string e)
 
+(* an MRT TABLE_DUMP_V2 image built entirely by hand: one peer-index
+   record (collector, view, two peers) and two RIB_IPV4_UNICAST records.
+   Pins the dump framing so recorded archives stay readable across
+   refactors; regenerate with GOLDEN_UPDATE=1 if the format changes on
+   purpose. *)
+let golden_mrt =
+  {
+    Bgp.Mrt.collector_id = ip "192.0.2.1";
+    view_name = "edge-fabric";
+    peers =
+      [
+        {
+          Bgp.Mrt.peer_bgp_id = ip "10.0.0.1";
+          peer_addr = ip "172.16.0.1";
+          peer_asn = Bgp.Asn.of_int 64500;
+        };
+        {
+          Bgp.Mrt.peer_bgp_id = ip "10.0.0.2";
+          peer_addr = ip "172.16.0.2";
+          peer_asn = Bgp.Asn.of_int 65001;
+        };
+      ];
+    records =
+      [
+        {
+          Bgp.Mrt.sequence = 0;
+          rib_prefix = prefix "10.1.0.0/16";
+          entries =
+            [
+              {
+                Bgp.Mrt.entry_peer_index = 0;
+                originated_at = 1700000000;
+                attrs = attrs ~path:[ 64500; 7 ] ();
+              };
+              {
+                Bgp.Mrt.entry_peer_index = 1;
+                originated_at = 1700000000;
+                attrs = attrs ~path:[ 65001; 8; 7 ] ~med:(Some 10) ();
+              };
+            ];
+        };
+        {
+          Bgp.Mrt.sequence = 1;
+          rib_prefix = prefix "10.2.0.0/24";
+          entries =
+            [
+              {
+                Bgp.Mrt.entry_peer_index = 1;
+                originated_at = 1700000100;
+                attrs = attrs ~path:[ 65001; 9 ] ();
+              };
+            ];
+        };
+      ];
+  }
+
+let test_mrt_dump_bytes () =
+  check_golden "mrt_table_dump" (Bgp.Mrt.encode ~timestamp:1700000000 golden_mrt)
+
+(* the pinned image must also round-trip: decode it back and rebuild a
+   RIB — the import side of the archive format *)
+let test_mrt_dump_roundtrip () =
+  let wire = Bgp.Mrt.encode ~timestamp:1700000000 golden_mrt in
+  match Bgp.Mrt.decode wire with
+  | Error e -> Alcotest.failf "decode: %a" Bgp.Mrt.pp_error e
+  | Ok got -> (
+      Alcotest.(check string) "re-encode byte-identical"
+        (hex_of_string wire)
+        (hex_of_string (Bgp.Mrt.encode ~timestamp:1700000000 got));
+      match Bgp.Mrt.to_rib got with
+      | Error e -> Alcotest.failf "to_rib: %a" Bgp.Mrt.pp_error e
+      | Ok rib ->
+          Alcotest.(check int) "prefixes" 2 (Bgp.Rib.prefix_count rib);
+          Alcotest.(check int) "routes" 3 (Bgp.Rib.route_count rib))
+
 let suite =
   [
     Alcotest.test_case "keepalive bytes" `Quick test_keepalive_bytes;
@@ -176,4 +251,7 @@ let suite =
     Alcotest.test_case "bmp header bytes" `Quick test_bmp_header_bytes;
     Alcotest.test_case "prefix padding masked" `Quick
       test_prefix_padding_bits_masked;
+    Alcotest.test_case "mrt table dump bytes" `Quick test_mrt_dump_bytes;
+    Alcotest.test_case "mrt table dump roundtrip" `Quick
+      test_mrt_dump_roundtrip;
   ]

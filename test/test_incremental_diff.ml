@@ -1,0 +1,223 @@
+(* The end-to-end incremental pin (e13's correctness half at unit
+   scale): a controller with [Config.incremental] on, fed a
+   {!Snapshot.patch} delta chain, must match — byte for byte — a cold
+   controller recomputing every cycle from freshly assembled snapshots
+   of the same content. 100+ seeded worlds × churn sequences covering
+   rate shifts, prefix withdraw/re-announce, candidate-route
+   invalidation and Ef_fault capacity derates; compared per cycle on
+   enforced overrides, totals, residuals, stale lists and per-interface
+   loads, and at the end on full provenance-trace bytes. *)
+
+module Bgp = Ef_bgp
+module N = Ef_netsim
+module C = Ef_collector
+module Ef = Edge_fabric
+module Trace = Ef_trace.Recorder
+module Rng = Ef_util.Rng
+
+let trace_bytes tr = Ef_obs.Json.to_string (Trace.to_json tr)
+
+let override_list : Ef.Override.t list Alcotest.testable =
+  Alcotest.testable (Fmt.Dump.list Ef.Override.pp) (fun a b -> a = b)
+
+let loads_of proj ifaces =
+  List.map
+    (fun i ->
+      (N.Iface.id i, Ef.Projection.load_bps proj ~iface_id:(N.Iface.id i)))
+    ifaces
+
+let iface_floats l = List.map (fun (i, u) -> (N.Iface.id i, u)) l
+
+(* the config axes the incremental machinery interacts with: the
+   allocator visiting order shapes the pre-relief image's consumption,
+   split-24 adds synthetic placements the enforced derivation must not
+   trip on, and a tight budget keeps overrides churning cycle to cycle *)
+let configs =
+  [|
+    ("default", Ef.Config.default);
+    ("smallest-first", Ef.Config.(default |> with_order Smallest_first));
+    ( "split-24",
+      Ef.Config.(
+        default |> with_granularity Split_24 |> with_overload_threshold 0.85)
+    );
+    ("budget-2", Ef.Config.(default |> with_max_overrides_per_cycle (Some 2)));
+  |]
+
+(* One seeded world driven [cycles] controller cycles in lockstep: the
+   incremental side advances a Snapshot.patch delta chain; the reference
+   side reassembles every snapshot from scratch and runs with
+   incremental recomputation disabled. *)
+let run_lockstep ~seed ~cycles =
+  let cycle_s = 30 in
+  let cfg_name, config = configs.(seed mod Array.length configs) in
+  let w = Gen.world (2000 + seed) in
+  let pop = w.N.Topo_gen.pop in
+  let rib = N.Pop.rib pop in
+  (* fault plan: one interface loses capacity over the middle cycles, so
+     the warm path crosses capacity-only interface changes *)
+  let iface_ids = List.map N.Iface.id (N.Pop.interfaces pop) in
+  let derated_id = List.nth iface_ids (seed mod List.length iface_ids) in
+  let inj =
+    Ef_fault.Injector.create
+      (Ef_fault.Plan.make ~seed:(seed lxor 0xFA)
+         [
+           Ef_fault.Plan.Capacity_degradation
+             {
+               iface_id = derated_id;
+               from_s = 2 * cycle_s;
+               until_s = (cycles - 1) * cycle_s;
+               factor = 0.5 +. (0.1 *. float_of_int (seed mod 4));
+             };
+         ])
+  in
+  let ifaces_at time_s =
+    Gen.derate_ifaces (N.Pop.interfaces pop) ~factor_of:(fun iface_id ->
+        Ef_fault.Injector.capacity_factor inj ~iface_id ~time_s)
+  in
+  (* route churn: prefixes whose current best announcement is withdrawn.
+     Toggled per cycle; both sides see the same closure, the patch chain
+     learns of a toggle only through [routes_changed]. *)
+  let best_gone : (Bgp.Prefix.t, unit) Hashtbl.t = Hashtbl.create 8 in
+  let routes p =
+    let rs = Bgp.Rib.ranked rib p in
+    if Hashtbl.mem best_gone p then match rs with [] -> [] | _ :: tl -> tl
+    else rs
+  in
+  let iface_of_peer ifaces peer_id =
+    match N.Pop.peer pop peer_id with
+    | None -> None
+    | Some _ ->
+        let id = N.Iface.id (N.Pop.iface_of_peer pop ~peer_id) in
+        List.find_opt (fun i -> N.Iface.id i = id) ifaces
+  in
+  (* demand model shared by both sides: absolute rates, absent = withdrawn *)
+  let base =
+    Array.of_list
+      (Gen.rates_of_world
+         ~rate_factor:(0.85 +. (0.1 *. float_of_int (seed mod 4)))
+         w)
+  in
+  let model : (Bgp.Prefix.t, float) Hashtbl.t = Hashtbl.create 64 in
+  Array.iter (fun (p, r) -> Hashtbl.replace model p r) base;
+  let assemble time_s =
+    let ifaces = ifaces_at time_s in
+    C.Snapshot.assemble
+      ~obs:(Ef_obs.Registry.create ())
+      ~routes
+      ~iface_of_peer:(iface_of_peer ifaces)
+      ~ifaces
+      ~prefix_rates:(Hashtbl.fold (fun p r acc -> (p, r) :: acc) model [])
+      ~time_s ()
+  in
+  let tr_incr = Trace.create () and tr_cold = Trace.create () in
+  let incr =
+    Ef.Controller.create ~config
+      ~obs:(Ef_obs.Registry.create ())
+      ~trace:tr_incr ~name:"pin" ()
+  in
+  let cold =
+    Ef.Controller.create
+      ~config:(Ef.Config.with_incremental false config)
+      ~obs:(Ef_obs.Registry.create ())
+      ~trace:tr_cold ~name:"pin" ()
+  in
+  let snap = ref (assemble 0) in
+  for cycle = 0 to cycles - 1 do
+    let time_s = cycle * cycle_s in
+    if cycle > 0 then begin
+      (* deterministic churn: rate scales, withdraw/re-announce, and
+         best-route toggles — a pure function of (seed, cycle) *)
+      let rng = Rng.create ((seed * 0x9E37) lxor cycle) in
+      let n = Array.length base in
+      let touched = Hashtbl.create 16 in
+      let k = 1 + Rng.int rng (max 1 (n / 6)) in
+      for _ = 1 to k do
+        let i = Rng.int rng n in
+        let p, base_r = base.(i) in
+        if not (Hashtbl.mem touched p) then
+          let r =
+            if Rng.chance rng 0.15 then 0.0 (* withdraw *)
+            else base_r *. (0.5 +. Rng.float rng 1.0)
+          in
+          Hashtbl.replace touched p r
+      done;
+      let routes_changed = ref [] in
+      for _ = 1 to Rng.int rng 3 do
+        let p, _ = base.(Rng.int rng n) in
+        if not (List.exists (Bgp.Prefix.equal p) !routes_changed) then begin
+          if Hashtbl.mem best_gone p then Hashtbl.remove best_gone p
+          else Hashtbl.replace best_gone p ();
+          routes_changed := p :: !routes_changed
+        end
+      done;
+      let rate_updates =
+        Hashtbl.fold (fun p r acc -> (p, r) :: acc) touched []
+      in
+      List.iter
+        (fun (p, r) ->
+          if r <= 0.0 then Hashtbl.remove model p
+          else Hashtbl.replace model p r)
+        rate_updates;
+      snap :=
+        C.Snapshot.patch
+          ~obs:(Ef_obs.Registry.create ())
+          ~prev:!snap ~routes ~ifaces:(ifaces_at time_s)
+          ~routes_changed:!routes_changed ~rate_updates ~time_s ()
+    end;
+    let s_incr = Ef.Controller.cycle incr !snap in
+    let s_cold = Ef.Controller.cycle cold (assemble time_s) in
+    let ctx = Printf.sprintf "seed %d (%s) cycle %d" seed cfg_name cycle in
+    Alcotest.check override_list (ctx ^ ": enforced overrides")
+      (Ef.Controller.overrides_enforced s_cold)
+      (Ef.Controller.overrides_enforced s_incr);
+    Alcotest.(check (float 0.0))
+      (ctx ^ ": total_bps")
+      (Ef.Controller.total_bps s_cold)
+      (Ef.Controller.total_bps s_incr);
+    Alcotest.(check (float 0.0))
+      (ctx ^ ": detoured_bps")
+      (Ef.Controller.detoured_bps s_cold)
+      (Ef.Controller.detoured_bps s_incr);
+    Alcotest.(check (list (pair int (float 0.0))))
+      (ctx ^ ": residual overloads")
+      (iface_floats (Ef.Controller.residual_overloads s_cold))
+      (iface_floats (Ef.Controller.residual_overloads s_incr));
+    Alcotest.(check (list Helpers.prefix_t))
+      (ctx ^ ": stale overrides")
+      (Ef.Projection.stale_overrides (Ef.Controller.enforced s_cold))
+      (Ef.Projection.stale_overrides (Ef.Controller.enforced s_incr));
+    let ifaces = C.Snapshot.ifaces !snap in
+    Alcotest.(check (list (pair int (float 0.0))))
+      (ctx ^ ": enforced loads")
+      (loads_of (Ef.Controller.enforced s_cold) ifaces)
+      (loads_of (Ef.Controller.enforced s_incr) ifaces)
+  done;
+  Alcotest.(check int)
+    (Printf.sprintf "seed %d (%s): warm path engaged every patched cycle"
+       seed cfg_name)
+    (cycles - 1)
+    (Ef.Controller.incremental_hits incr);
+  Alcotest.(check int)
+    (Printf.sprintf "seed %d (%s): cold reference never warm" seed cfg_name)
+    0
+    (Ef.Controller.incremental_hits cold);
+  Alcotest.(check string)
+    (Printf.sprintf "seed %d (%s): trace bytes" seed cfg_name)
+    (trace_bytes tr_cold) (trace_bytes tr_incr)
+
+let test_lockstep_seeded_worlds () =
+  for seed = 0 to 99 do
+    run_lockstep ~seed ~cycles:5
+  done
+
+(* a longer single sequence so hysteresis ages, guard budgets and
+   override retirement all cross cycle boundaries on the warm path *)
+let test_lockstep_long_sequence () = run_lockstep ~seed:7 ~cycles:16
+
+let suite =
+  [
+    Alcotest.test_case "incremental = cold on 100 seeded churn sequences"
+      `Quick test_lockstep_seeded_worlds;
+    Alcotest.test_case "incremental = cold on a long sequence" `Quick
+      test_lockstep_long_sequence;
+  ]

@@ -88,6 +88,34 @@ let test_missing_peer_table () =
   | Error (Bgp.Mrt.Malformed _) -> ()
   | _ -> Alcotest.fail "accepted dump without PEER_INDEX_TABLE"
 
+(* an entry referencing a peer index beyond the peer table decodes (the
+   wire is self-consistent) but must be rejected when rebuilding a RIB *)
+let test_bad_peer_index_rejected () =
+  let _, _, mrt = dump () in
+  let n_peers = List.length mrt.Bgp.Mrt.peers in
+  let corrupt =
+    {
+      mrt with
+      Bgp.Mrt.records =
+        List.map
+          (fun (r : Bgp.Mrt.rib_record) ->
+            {
+              r with
+              Bgp.Mrt.entries =
+                List.map
+                  (fun (e : Bgp.Mrt.rib_entry) ->
+                    { e with Bgp.Mrt.entry_peer_index = n_peers + 3 })
+                  r.Bgp.Mrt.entries;
+            })
+          mrt.Bgp.Mrt.records;
+    }
+  in
+  match Bgp.Mrt.to_rib corrupt with
+  | Error (Bgp.Mrt.Malformed _) -> ()
+  | Error e ->
+      Alcotest.failf "wrong error: %s" (Format.asprintf "%a" Bgp.Mrt.pp_error e)
+  | Ok _ -> Alcotest.fail "accepted out-of-range peer index"
+
 let test_save_load () =
   let path = Filename.temp_file "ef_mrt" ".mrt" in
   Fun.protect
@@ -129,6 +157,8 @@ let suite =
     Alcotest.test_case "header layout" `Quick test_header_layout;
     Alcotest.test_case "truncation detected" `Quick test_truncation_detected;
     Alcotest.test_case "missing peer table" `Quick test_missing_peer_table;
+    Alcotest.test_case "bad peer index rejected" `Quick
+      test_bad_peer_index_rejected;
     Alcotest.test_case "save/load" `Quick test_save_load;
     Alcotest.test_case "best paths recoverable" `Quick test_best_paths_recoverable;
   ]

@@ -211,6 +211,158 @@ let prop_controller_enforced_within_thresholds =
         (fun (iface, _) -> List.mem (N.Iface.id iface) residual_ids)
         stats.Ef.Controller.overloaded_after)
 
+(* --- Zipf demand weights ------------------------------------------------- *)
+
+let arb_zipf =
+  QCheck.make
+    ~print:(fun (n, s) -> Printf.sprintf "n=%d s=%.3f" n s)
+    QCheck.Gen.(
+      pair (int_range 1 500)
+        (map (fun x -> 0.5 +. (float_of_int x /. 100.0)) (int_range 0 100)))
+
+let prop_zipf_mass =
+  QCheck.Test.make ~name:"zipf probabilities conserve mass" ~count:100 arb_zipf
+    (fun (n, s) ->
+      let z = Ef_util.Zipf.create ~n ~s in
+      let sum = Array.fold_left ( +. ) 0.0 (Ef_util.Zipf.weights z) in
+      Float.abs (sum -. 1.0) < 1e-9
+      && Float.abs (Ef_util.Zipf.top_share z n -. 1.0) < 1e-9)
+
+let prop_zipf_rank_order =
+  QCheck.Test.make ~name:"zipf weights non-increasing in rank" ~count:100
+    arb_zipf
+    (fun (n, s) ->
+      let z = Ef_util.Zipf.create ~n ~s in
+      let ok = ref true in
+      for rank = 1 to n - 1 do
+        if
+          Ef_util.Zipf.probability z rank
+          < Ef_util.Zipf.probability z (rank + 1)
+        then ok := false
+      done;
+      !ok && Array.for_all (fun w -> w > 0.0) (Ef_util.Zipf.weights z))
+
+let prop_zipf_sample_deterministic =
+  QCheck.Test.make ~name:"zipf sampling deterministic per seed" ~count:50
+    (QCheck.pair arb_zipf QCheck.small_nat)
+    (fun ((n, s), seed) ->
+      let z = Ef_util.Zipf.create ~n ~s in
+      let draw () =
+        let rng = Ef_util.Rng.create seed in
+        List.init 50 (fun _ -> Ef_util.Zipf.sample z rng)
+      in
+      let a = draw () and b = draw () in
+      a = b && List.for_all (fun r -> r >= 1 && r <= n) a)
+
+(* --- Snapshot.diff ------------------------------------------------------- *)
+
+let sorted_rates snap =
+  List.sort
+    (fun (a, _) (b, _) -> Bgp.Prefix.compare a b)
+    (C.Snapshot.prefix_rates snap)
+
+let apply_diff ~prev ~time_s (d : C.Snapshot.diff) =
+  C.Snapshot.patch ~prev
+    ~routes_changed:
+      (List.filter_map
+         (fun (c : C.Snapshot.change) ->
+           if c.C.Snapshot.ch_routes then Some c.C.Snapshot.ch_prefix else None)
+         d.C.Snapshot.changes)
+    ~rate_updates:
+      (List.map
+         (fun (c : C.Snapshot.change) ->
+           ( c.C.Snapshot.ch_prefix,
+             Option.value c.C.Snapshot.ch_new_rate ~default:0.0 ))
+         d.C.Snapshot.changes)
+    ~time_s ()
+
+(* diff of a patched pair is the exact recorded delta: linked, and
+   re-applying it to [prev] reproduces [next]'s content bit for bit *)
+let prop_diff_patch_roundtrip =
+  QCheck.Test.make ~name:"diff (patch) re-applies to identity" ~count:100
+    (QCheck.pair arb_rates arb_rates)
+    (fun (rates1, rates2) ->
+      let prev = snapshot_of rates1 in
+      let updates =
+        List.mapi
+          (fun i (p, r) -> if i mod 3 = 0 then (p, 0.0) else (p, r))
+          rates2
+      in
+      let next =
+        C.Snapshot.patch ~prev ~rate_updates:updates ~time_s:30 ()
+      in
+      let d = C.Snapshot.diff prev next in
+      let reapplied = apply_diff ~prev ~time_s:30 d in
+      d.C.Snapshot.linked
+      && sorted_rates reapplied = sorted_rates next
+      && C.Snapshot.total_rate_bps reapplied
+         = C.Snapshot.total_rate_bps next)
+
+let prop_diff_empty =
+  QCheck.Test.make ~name:"empty diff on identical content" ~count:100 arb_rates
+    (fun rates ->
+      let snap = snapshot_of rates in
+      let self = C.Snapshot.diff snap snap in
+      let noop = C.Snapshot.patch ~prev:snap ~rate_updates:[] ~time_s:30 () in
+      let d = C.Snapshot.diff snap noop in
+      self.C.Snapshot.changes = []
+      && self.C.Snapshot.linked
+      && d.C.Snapshot.changes = []
+      && d.C.Snapshot.linked)
+
+(* unlinked fuzzed pairs: the merge-walk finds exactly the prefixes whose
+   rates differ, flags routes conservatively, and applying the result
+   still reconstructs the target's rate content *)
+let prop_diff_unlinked_fuzzed =
+  QCheck.Test.make ~name:"diff (unlinked) exact on rates" ~count:100
+    (QCheck.pair arb_rates arb_rates)
+    (fun (rates1, rates2) ->
+      let a = snapshot_of rates1 and b = snapshot_of rates2 in
+      let d = C.Snapshot.diff a b in
+      let tbl rates =
+        let t = Hashtbl.create 16 in
+        List.iter (fun (p, r) -> Hashtbl.replace t (Bgp.Prefix.to_string p) (p, r)) rates;
+        t
+      in
+      let ta = tbl rates1 and tb = tbl rates2 in
+      let expected = Hashtbl.create 16 in
+      Hashtbl.iter
+        (fun k (p, r) ->
+          match Hashtbl.find_opt tb k with
+          | Some (_, r') when r' = r -> ()
+          | _ -> Hashtbl.replace expected k p)
+        ta;
+      Hashtbl.iter
+        (fun k (p, _) ->
+          if not (Hashtbl.mem ta k) then Hashtbl.replace expected k p)
+        tb;
+      let sort_prefixes l = List.sort Bgp.Prefix.compare l in
+      let got =
+        sort_prefixes
+          (List.map
+             (fun (c : C.Snapshot.change) -> c.C.Snapshot.ch_prefix)
+             d.C.Snapshot.changes)
+      in
+      let want =
+        sort_prefixes (Hashtbl.fold (fun _ p acc -> p :: acc) expected [])
+      in
+      let rates_ok =
+        List.for_all
+          (fun (c : C.Snapshot.change) ->
+            let k = Bgp.Prefix.to_string c.C.Snapshot.ch_prefix in
+            let old_r =
+              Option.map snd (Hashtbl.find_opt ta k)
+            and new_r = Option.map snd (Hashtbl.find_opt tb k) in
+            c.C.Snapshot.ch_old_rate = old_r
+            && c.C.Snapshot.ch_new_rate = new_r
+            && c.C.Snapshot.ch_routes)
+          d.C.Snapshot.changes
+      in
+      let reapplied = apply_diff ~prev:a ~time_s:0 d in
+      (not d.C.Snapshot.linked)
+      && got = want && rates_ok
+      && sorted_rates reapplied = sorted_rates b)
+
 (* --- wire-codec fuzz ----------------------------------------------------- *)
 
 (* Deterministic Rng-driven fuzz (Ef_util.Rng, fixed seeds): round-trip
@@ -382,4 +534,10 @@ let suite =
       prop_hysteresis_tracks_when_disabled;
       prop_trace_roundtrip;
       prop_controller_enforced_within_thresholds;
+      prop_zipf_mass;
+      prop_zipf_rank_order;
+      prop_zipf_sample_deterministic;
+      prop_diff_patch_roundtrip;
+      prop_diff_empty;
+      prop_diff_unlinked_fuzzed;
     ]
