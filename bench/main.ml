@@ -523,6 +523,106 @@ let run_trace_overhead () =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* E14: health/profiling overhead (BENCH_PR8.json)                     *)
+(* ------------------------------------------------------------------ *)
+
+(* What continuous self-profiling costs. Two controllers on the stress
+   snapshot: the shipped default (no profile hook, noop tracker) and the
+   fully enabled health stack (profiler attached to the registry, so
+   every span pays the hook dispatch, plus the tracker fed once per
+   cycle). Wall time is measured around the cycle loop — not from the
+   spans, which would exclude their own hook cost — and each config takes
+   the minimum over [reps] fresh runs, so scheduler noise cannot fail the
+   gate. The acceptance bar: enabled within 2% of noop. *)
+let run_e14_health ?(fast = false) () =
+  let cycles = 30 and reps = if fast then 3 else 5 in
+  print_endline "== E14: health/profiling overhead (noop vs enabled) ==";
+  let snap = Lazy.force stress_snap in
+  let ms_per_cycle ~enabled name =
+    let best = ref infinity in
+    for _ = 1 to reps do
+      Gc.compact ();
+      let reg = Ef_obs.Registry.create () in
+      let health =
+        if enabled then begin
+          let p = Ef_health.Profiler.create () in
+          Ef_health.Profiler.attach p reg;
+          Ef_health.Tracker.create ~profiler:p ~obs:reg ()
+        end
+        else Ef_health.Tracker.noop
+      in
+      let ctrl = Ef.Controller.create ~obs:reg ~name () in
+      let t0 = Ef_obs.Clock.now_ns () in
+      for cycle = 1 to cycles do
+        let c0 = Ef_obs.Clock.now_ns () in
+        let stats = Ef.Controller.cycle ctrl snap in
+        if Ef_health.Tracker.enabled health then
+          ignore
+            (Ef_health.Tracker.observe_cycle health
+               {
+                 Ef_health.Tracker.time_s = 30 * cycle;
+                 duration_s = Ef_obs.Clock.elapsed_s c0;
+                 degraded = Ef.Controller.degraded stats <> None;
+                 skipped = false;
+                 stale = false;
+                 violations = List.length (Ef.Controller.guard_violations stats);
+                 residual = List.length (Ef.Controller.residual_overloads stats);
+               })
+      done;
+      let ms = 1e3 *. Ef_obs.Clock.elapsed_s t0 /. float_of_int cycles in
+      if ms < !best then best := ms
+    done;
+    !best
+  in
+  let noop = ms_per_cycle ~enabled:false "bench-health-noop" in
+  let enabled = ms_per_cycle ~enabled:true "bench-health-on" in
+  let overhead_pct =
+    if noop > 0.0 then 100.0 *. (enabled -. noop) /. noop else nan
+  in
+  Printf.printf "  %-26s %10.3f ms/cycle\n" "health disabled (noop)" noop;
+  Printf.printf "  %-26s %10.3f ms/cycle  (%+.2f%% vs noop)\n"
+    "profiler + tracker" enabled overhead_pct;
+  print_newline ();
+  (noop, enabled, overhead_pct)
+
+let write_bench_pr8_json path ~e14:(noop_ms, enabled_ms, overhead_pct) =
+  let module J = Ef_obs.Json in
+  let pass = overhead_pct <= 2.0 in
+  let json =
+    J.Obj
+      [
+        ("schema", J.String "edge-fabric-bench/1");
+        ("pr", J.Int 8);
+        ("source", J.String "bench/main.exe e14");
+        ("experiment", J.String "e14-health-overhead");
+        ("scenario", J.String "stress");
+        ("cycles", J.Int 30);
+        ("noop_ms_per_cycle", J.Float noop_ms);
+        ("enabled_ms_per_cycle", J.Float enabled_ms);
+        ( "acceptance",
+          J.Obj
+            [
+              ("overhead_pct", J.Float overhead_pct);
+              ("overhead_required_max_pct", J.Float 2.0);
+              ( "note",
+                J.String
+                  "min-of-reps wall time per controller cycle on the stress \
+                   snapshot; enabled = profiler hook on every span + GC \
+                   counters + tracker fed per cycle" );
+              ("pass", J.Bool pass);
+            ] );
+      ]
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (J.to_string json);
+      output_char oc '\n');
+  Printf.printf "wrote %s (overhead %+.2f%%, pass=%b)\n%!" path overhead_pct
+    pass
+
+(* ------------------------------------------------------------------ *)
 (* Experiment dispatch                                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -607,13 +707,16 @@ let () =
               else if id = "e13" then
                 let dfz = run_e13_dfz ~fast () in
                 Option.iter (fun path -> write_bench_pr7_json path ~dfz) json_out
+              else if id = "e14" then
+                let e14 = run_e14_health ~fast () in
+                Option.iter (fun path -> write_bench_pr8_json path ~e14) json_out
               else
                 match List.find_opt (fun (i, _, _) -> i = id) experiments with
                 | Some exp -> run_one params exp
                 | None ->
                     Printf.eprintf
-                      "unknown experiment %S (known: %s, e11, e13, micro, \
-                       all; modifiers: fast, json=FILE)\n"
+                      "unknown experiment %S (known: %s, e11, e13, e14, \
+                       micro, all; modifiers: fast, json=FILE)\n"
                       id
                       (String.concat ", "
                          (List.map (fun (i, _, _) -> i) experiments));

@@ -48,16 +48,37 @@ let hour_t =
     & opt int 20
     & info [ "at" ] ~docv:"HOUR" ~doc:"UTC hour of day for the snapshot (0-23).")
 
+(* --- export sinks ------------------------------------------------------ *)
+
+(* Every exporting flag (--metrics, --journal, --prom-out, --trace-out,
+   --alerts-out, --profile-out) resolves its FILE argument the same way:
+   "-" is stdout (flushed, never closed), anything else is opened for
+   writing and closed even when the writer raises. *)
+let open_sink ~flag = function
+  | "-" -> (stdout, fun () -> flush stdout)
+  | path -> (
+      match open_out path with
+      | oc -> (oc, fun () -> close_out oc)
+      | exception Sys_error msg ->
+          Printf.eprintf "efctl: %s %s: %s\n" flag path msg;
+          exit 1)
+
+let write_sink ~flag path write =
+  let oc, finish = open_sink ~flag path in
+  Fun.protect ~finally:finish (fun () -> write oc)
+
 (* every command that runs the pipeline reports into the default Ef_obs
    registry; --metrics dumps it (JSON or OpenMetrics) when the command is
    done *)
 let metrics_t =
   Arg.(
-    value & flag
-    & info [ "metrics" ]
+    value
+    & opt ~vopt:(Some "-") (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
         ~doc:
-          "Print collected telemetry (spans, counters, gauges) on exit, in \
-           the $(b,--metrics-format) format.")
+          "Write collected telemetry (spans, counters, gauges) on exit, in \
+           the $(b,--metrics-format) format, to $(docv) (default $(b,-), \
+           stdout).")
 
 let metrics_format_t =
   let fmt = Arg.enum [ ("json", `Json); ("prom", `Prom) ] in
@@ -69,17 +90,23 @@ let metrics_format_t =
            $(b,prom) (OpenMetrics text, including trace-derived series \
            when tracing is on).")
 
-let render_metrics ~format ~trace () =
+let render_metrics ~format ~trace ~health () =
   let reg = Ef_obs.Registry.default () in
   match format with
   | `Json -> Ef_obs.Json.to_string (Ef_obs.Registry.to_json reg) ^ "\n"
   | `Prom ->
       Ef_obs.Prom.of_registry
-        ~extra:(Ef_trace.Export.prom_families trace)
+        ~extra:
+          (Ef_trace.Export.prom_families trace
+          @ Ef_health.Tracker.prom_families health)
         reg
 
-let print_metrics ?(format = `Json) ?(trace = Ef_trace.Recorder.noop) enabled =
-  if enabled then print_string (render_metrics ~format ~trace ())
+let print_metrics ?(format = `Json) ?(trace = Ef_trace.Recorder.noop)
+    ?(health = Ef_health.Tracker.noop) = function
+  | None -> ()
+  | Some path ->
+      write_sink ~flag:"--metrics" path (fun oc ->
+          output_string oc (render_metrics ~format ~trace ~health ()))
 
 (* --faults NAME|FILE resolution, shared by run / explain / top *)
 let resolve_fault_plan = function
@@ -305,8 +332,8 @@ let print_dfz_report name report =
 
 let run_cmd =
   let run world seed hours cycle_s no_controller no_sampling obs_metrics
-      metrics_format journal faults policy prom_out trace_out mrt
-      verify_incremental =
+      metrics_format journal faults policy prom_out trace_out profile_out
+      alerts alerts_out slo_deadline mrt verify_incremental =
     let fault_plan = resolve_fault_plan faults in
     let policy_prog = resolve_policy policy in
     (* tracing is paid for only when something will read it: a trace dump,
@@ -316,32 +343,94 @@ let run_cmd =
       | None, None -> Ef_trace.Recorder.noop
       | _ -> Ef_trace.Recorder.create ()
     in
+    (* likewise the profiler: enabled only when a Chrome trace will be
+       written, and attached to the default registry so every span the
+       pipeline already times lands in the buffer *)
+    let profiler =
+      match profile_out with
+      | None -> Ef_health.Profiler.noop
+      | Some _ ->
+          let p = Ef_health.Profiler.create () in
+          Ef_health.Profiler.attach p (Ef_obs.Registry.default ());
+          p
+    in
+    let health =
+      if alerts || alerts_out <> None then
+        Ef_health.Tracker.create
+          ~slo:
+            {
+              Ef_health.Slo.default_config with
+              Ef_health.Slo.deadline_s = slo_deadline;
+            }
+          ~profiler
+          ~obs:(Ef_obs.Registry.default ())
+          ()
+      else Ef_health.Tracker.noop
+    in
     let config =
       S.Engine.make_config ~cycle_s ~duration_s:(hours * 3600)
         ~controller_enabled:(not no_controller)
         ~use_sampling:(not no_sampling) ~seed ?faults:fault_plan
-        ?policy:policy_prog ~trace ()
+        ?policy:policy_prog ~trace ~health ()
+    in
+    (* the common export tail: every world class (engine, dfz, mrt) gets
+       the same exporters, each through the shared sink helper *)
+    let export_results () =
+      (if alerts then Format.printf "%a@." Ef_health.Tracker.pp_summary health);
+      (match alerts_out with
+      | None -> ()
+      | Some path ->
+          write_sink ~flag:"--alerts-out" path (fun oc ->
+              List.iter
+                (fun f ->
+                  output_string oc
+                    (Ef_obs.Json.to_string (Ef_health.Alert.firing_to_json f));
+                  output_char oc '\n')
+                (Ef_health.Tracker.firings health)));
+      (match profile_out with
+      | None -> ()
+      | Some path ->
+          write_sink ~flag:"--profile-out" path (fun oc ->
+              Ef_health.Profiler.write_chrome profiler oc);
+          if path <> "-" then
+            Printf.printf "wrote Chrome trace (%d events) to %s\n"
+              (Ef_health.Profiler.length profiler)
+              path);
+      (match prom_out with
+      | None -> ()
+      | Some path ->
+          write_sink ~flag:"--prom-out" path (fun oc ->
+              output_string oc
+                (Ef_obs.Prom.of_registry
+                   ~extra:
+                     (Ef_trace.Export.prom_families trace
+                     @ Ef_health.Tracker.prom_families health)
+                   (Ef_obs.Registry.default ())));
+          if path <> "-" then Printf.printf "wrote OpenMetrics to %s\n" path);
+      (match trace_out with
+      | None -> ()
+      | Some path ->
+          write_sink ~flag:"--trace-out" path (fun oc ->
+              output_string oc
+                (Ef_obs.Json.to_string (Ef_trace.Recorder.to_json trace));
+              output_char oc '\n');
+          if path <> "-" then
+            Printf.printf "wrote decision trace (%d retained cycles) to %s\n"
+              (List.length (Ef_trace.Recorder.cycles trace))
+              path);
+      print_metrics ~format:metrics_format ~trace ~health obs_metrics
     in
     (* [- ] journals to stdout (flushed, never closed); a file is closed
-       even when the run raises, via the Fun.protect below *)
+       even when the run raises *)
     let journal_finish =
       match journal with
       | None -> fun () -> ()
-      | Some "-" ->
+      | Some path ->
+          let oc, finish = open_sink ~flag:"--journal" path in
           Ef_obs.Registry.add_sink
             (Ef_obs.Registry.default ())
-            (Ef_obs.Registry.channel_sink stdout);
-          fun () -> flush stdout
-      | Some path -> (
-          match open_out path with
-          | oc ->
-              Ef_obs.Registry.add_sink
-                (Ef_obs.Registry.default ())
-                (Ef_obs.Registry.channel_sink oc);
-              fun () -> close_out oc
-          | exception Sys_error msg ->
-              Printf.eprintf "efctl: cannot open journal file: %s\n" msg;
-              exit 1)
+            (Ef_obs.Registry.channel_sink oc);
+          finish
     in
     Fun.protect ~finally:journal_finish @@ fun () ->
     let n_cycles = max 1 (hours * 3600 / cycle_s) in
@@ -365,7 +454,7 @@ let run_cmd =
         match
           S.Dfz_run.run_mrt
             ~obs:(Ef_obs.Registry.default ())
-            ~config:rc ~seed dump
+            ~health ~config:rc ~seed dump
         with
         | Error e ->
             Printf.eprintf "efctl: %s: %s\n" dump_path
@@ -373,7 +462,7 @@ let run_cmd =
             exit 1
         | Ok report ->
             print_dfz_report dump_path report;
-            print_metrics ~format:metrics_format obs_metrics)
+            export_results ())
     | None, Dfz_world (name, dfz_cfg) ->
         let dfz_cfg = { dfz_cfg with N.Dfz.seed } in
         let rc =
@@ -381,14 +470,16 @@ let run_cmd =
             ~verify:verify_incremental ()
         in
         let report =
-          S.Dfz_run.run ~obs:(Ef_obs.Registry.default ()) ~config:rc dfz_cfg
+          S.Dfz_run.run
+            ~obs:(Ef_obs.Registry.default ())
+            ~health ~config:rc dfz_cfg
         in
         print_dfz_report name report;
         if verify_incremental then
           Printf.printf
             "verified %d cycles against the cold pipeline: identical\n"
             report.S.Dfz_run.verified_cycles;
-        print_metrics ~format:metrics_format obs_metrics
+        export_results ()
     | None, Topo_world scenario ->
     if verify_incremental then
       Printf.eprintf
@@ -454,28 +545,7 @@ let run_cmd =
           (count "collector.session.failures")
           (count "collector.session.retries")
           (count "collector.session.reconnects"));
-    (match prom_out with
-    | None -> ()
-    | Some path ->
-        let oc = open_out path in
-        output_string oc
-          (Ef_obs.Prom.of_registry
-             ~extra:(Ef_trace.Export.prom_families trace)
-             (Ef_obs.Registry.default ()));
-        close_out oc;
-        Printf.printf "wrote OpenMetrics to %s\n" path);
-    (match trace_out with
-    | None -> ()
-    | Some path ->
-        let oc = open_out path in
-        output_string oc
-          (Ef_obs.Json.to_string (Ef_trace.Recorder.to_json trace));
-        output_char oc '\n';
-        close_out oc;
-        Printf.printf "wrote decision trace (%d retained cycles) to %s\n"
-          (List.length (Ef_trace.Recorder.cycles trace))
-          path);
-    print_metrics ~format:metrics_format ~trace obs_metrics
+    export_results ()
   in
   let hours_t =
     Arg.(value & opt int 24 & info [ "hours" ] ~docv:"H" ~doc:"Simulated duration.")
@@ -514,6 +584,45 @@ let run_cmd =
             "Enable decision tracing and write the retained trace ring as \
              JSON to $(docv) on exit.")
   in
+  let profile_out_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "profile-out" ] ~docv:"FILE"
+          ~doc:
+            "Enable the self-profiler and write the run as Chrome \
+             trace-event JSON (open in chrome://tracing or Perfetto) to \
+             $(docv) on exit: per-stage and per-domain spans plus per-cycle \
+             GC counters.")
+  in
+  let alerts_t =
+    Arg.(
+      value & flag
+      & info [ "alerts" ]
+          ~doc:
+            "Track health (SLO state machine + alert rules) during the run \
+             and print the health summary — state transitions and alert \
+             firings — on exit.")
+  in
+  let alerts_out_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "alerts-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the alert firings as JSON lines to $(docv); implies \
+             health tracking. Firings are deterministic: two identical \
+             seeded runs produce byte-identical files.")
+  in
+  let slo_deadline_t =
+    Arg.(
+      value & opt float 1.0
+      & info [ "slo-deadline" ] ~docv:"SEC"
+          ~doc:
+            "Cycle wall-time budget for the SLO tracker (default 1.0, the \
+             paper-scale acceptance bar); cycles over budget count as \
+             overruns and feed the burn rate.")
+  in
   let mrt_t =
     Arg.(
       value
@@ -537,7 +646,79 @@ let run_cmd =
     Term.(
       const run $ run_world_t $ seed_t $ hours_t $ cycle_t $ no_controller_t
       $ no_sampling_t $ metrics_t $ metrics_format_t $ journal_t $ faults_t
-      $ policy_t $ prom_out_t $ trace_out_t $ mrt_t $ verify_incremental_t)
+      $ policy_t $ prom_out_t $ trace_out_t $ profile_out_t $ alerts_t
+      $ alerts_out_t $ slo_deadline_t $ mrt_t $ verify_incremental_t)
+
+(* --- health ---------------------------------------------------------------- *)
+
+let health_cmd =
+  let run world seed hours cycle_s faults slo_deadline json =
+    let fault_plan = resolve_fault_plan faults in
+    let health =
+      Ef_health.Tracker.create
+        ~slo:
+          {
+            Ef_health.Slo.default_config with
+            Ef_health.Slo.deadline_s = slo_deadline;
+          }
+        ~obs:(Ef_obs.Registry.default ())
+        ()
+    in
+    let n_cycles = max 1 (hours * 3600 / cycle_s) in
+    (match world with
+    | Dfz_world (name, dfz_cfg) ->
+        if fault_plan <> None then
+          Printf.eprintf "efctl: note: --faults applies to engine worlds only\n";
+        let dfz_cfg = { dfz_cfg with N.Dfz.seed } in
+        let rc = S.Dfz_run.config ~cycles:n_cycles ~cycle_s () in
+        let report =
+          S.Dfz_run.run
+            ~obs:(Ef_obs.Registry.default ())
+            ~health ~config:rc dfz_cfg
+        in
+        if not json then
+          Printf.printf "%s: %s\n" name
+            (Format.asprintf "%a" S.Dfz_run.pp_report report)
+    | Topo_world scenario ->
+        let config =
+          S.Engine.make_config ~cycle_s ~duration_s:(hours * 3600) ~seed
+            ?faults:fault_plan ~health ()
+        in
+        let engine = S.Engine.create ~config scenario in
+        ignore (S.Engine.run engine : S.Metrics.t));
+    if json then
+      print_endline
+        (Ef_obs.Json.to_string (Ef_health.Tracker.summary_json health))
+    else Format.printf "%a@." Ef_health.Tracker.pp_summary health;
+    (* systemctl-style exit status: 0 Healthy, 1 Degraded, 2 Broken *)
+    exit (Ef_health.Slo.state_rank (Ef_health.Tracker.state health))
+  in
+  let hours_t =
+    Arg.(value & opt int 1 & info [ "hours" ] ~docv:"H" ~doc:"Simulated duration.")
+  in
+  let cycle_t =
+    Arg.(value & opt int 120 & info [ "cycle" ] ~docv:"SEC" ~doc:"Controller period.")
+  in
+  let slo_deadline_t =
+    Arg.(
+      value & opt float 1.0
+      & info [ "slo-deadline" ] ~docv:"SEC"
+          ~doc:"Cycle wall-time budget for the SLO tracker.")
+  in
+  let json_t =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Print the health summary as JSON instead of text.")
+  in
+  Cmd.v
+    (Cmd.info "health"
+       ~doc:
+         "Run a world under the health tracker and report its SLO state, \
+          state transitions and alert firings. Exit status mirrors the \
+          final state: 0 healthy, 1 degraded, 2 broken.")
+    Term.(
+      const run $ run_world_t $ seed_t $ hours_t $ cycle_t $ faults_t
+      $ slo_deadline_t $ json_t)
 
 (* --- explain --------------------------------------------------------------- *)
 
@@ -632,7 +813,7 @@ let top_cmd =
     let n = int_of_float (frac /. 1.2 *. float_of_int width) in
     String.init width (fun i -> if i < n then '#' else '.')
   in
-  let render ~scenario_name ~plain (c : R.cycle) =
+  let render ~scenario_name ~plain ~health (c : R.cycle) =
     if not plain then print_string "\027[2J\027[H";
     Printf.printf "efctl top — %s   cycle %d   t=%s%s\n" scenario_name
       c.R.cy_index
@@ -691,14 +872,27 @@ let top_cmd =
       heaviest;
     if List.length heaviest > 10 then
       Printf.printf "  ... and %d more\n" (List.length heaviest - 10);
+    (* health strip: SLO state + the most recent alert firings *)
+    Printf.printf "\nhealth: %s   burn %.2f   alerts fired: %d\n"
+      (Ef_health.Slo.state_to_string (Ef_health.Tracker.state health))
+      (Ef_health.Slo.burn_rate (Ef_health.Tracker.slo_exn health))
+      (List.length (Ef_health.Tracker.firings health));
+    let firings = Ef_health.Tracker.firings health in
+    let n = List.length firings in
+    List.iteri
+      (fun i f ->
+        if i >= n - 5 then
+          Format.printf "  %a@." Ef_health.Alert.pp_firing f)
+      firings;
     flush stdout
   in
   let run scenario seed hours cycle_s faults delay_ms plain =
     let fault_plan = resolve_fault_plan faults in
     let trace = R.create ~capacity:2 () in
+    let health = Ef_health.Tracker.create () in
     let config =
       S.Engine.make_config ~cycle_s ~duration_s:(hours * 3600) ~seed
-        ?faults:fault_plan ~trace ()
+        ?faults:fault_plan ~trace ~health ()
     in
     let engine = S.Engine.create ~config scenario in
     let steps = hours * 3600 / cycle_s in
@@ -707,7 +901,8 @@ let top_cmd =
       (match R.latest trace with
       | None -> ()
       | Some c ->
-          render ~scenario_name:scenario.N.Scenario.scenario_name ~plain c);
+          render ~scenario_name:scenario.N.Scenario.scenario_name ~plain
+            ~health c);
       if delay_ms > 0 then Unix.sleepf (float_of_int delay_ms /. 1000.0)
     done
   in
@@ -849,17 +1044,32 @@ let dump_cmd =
 (* --- fleet ------------------------------------------------------------- *)
 
 let fleet_cmd =
-  let run seed hours cycle_s jobs metrics =
+  let run seed hours cycle_s jobs metrics profile_out =
     let config =
       S.Engine.make_config ~cycle_s ~duration_s:(hours * 3600) ~seed ()
     in
-    let fleet = S.Fleet.of_paper_pops ~config () in
+    let profiler =
+      match profile_out with
+      | None -> Ef_health.Profiler.noop
+      | Some _ -> Ef_health.Profiler.create ()
+    in
+    let fleet = S.Fleet.of_paper_pops ~config ~profiler () in
     Printf.printf "running %d PoPs for %dh (this is %d controller cycles)...\n%!"
       (List.length (S.Fleet.engines fleet))
       hours
       (List.length (S.Fleet.engines fleet) * hours * 3600 / cycle_s);
     let results = S.Fleet.run ~jobs fleet in
     Ef_stats.Table.print (S.Fleet.summary_table results);
+    (match profile_out with
+    | None -> ()
+    | Some path ->
+        write_sink ~flag:"--profile-out" path (fun oc ->
+            Ef_health.Profiler.write_chrome profiler oc);
+        if path <> "-" then
+          Printf.printf "wrote Chrome trace (%d events, %d domains) to %s\n"
+            (Ef_health.Profiler.length profiler)
+            (List.length (Ef_health.Profiler.tids profiler))
+            path);
     print_metrics metrics
   in
   let hours_t =
@@ -876,9 +1086,21 @@ let fleet_cmd =
             "Run PoPs on $(docv) domains in parallel. The dashboard is \
              byte-identical for every value.")
   in
+  let profile_out_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "profile-out" ] ~docv:"FILE"
+          ~doc:
+            "Profile the run and write Chrome trace-event JSON to $(docv): \
+             one row per domain, every engine/controller stage span, pool \
+             tasks tagged by lane, and the post-barrier merge.")
+  in
   Cmd.v
     (Cmd.info "fleet" ~doc:"Run every paper PoP and print the fleet dashboard.")
-    Term.(const run $ seed_t $ hours_t $ cycle_t $ jobs_t $ metrics_t)
+    Term.(
+      const run $ seed_t $ hours_t $ cycle_t $ jobs_t $ metrics_t
+      $ profile_out_t)
 
 (* --- record / replay ------------------------------------------------------ *)
 
@@ -1010,4 +1232,4 @@ let () =
   let info = Cmd.info "efctl" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
-       (Cmd.group info [ scenarios_cmd; world_cmd; cycle_cmd; run_cmd; explain_cmd; top_cmd; experiment_cmd; record_cmd; replay_cmd; fleet_cmd; dump_cmd; topo_cmd; policy_cmd ]))
+       (Cmd.group info [ scenarios_cmd; world_cmd; cycle_cmd; run_cmd; health_cmd; explain_cmd; top_cmd; experiment_cmd; record_cmd; replay_cmd; fleet_cmd; dump_cmd; topo_cmd; policy_cmd ]))

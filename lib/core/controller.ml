@@ -61,6 +61,10 @@ type obs_handles = {
   g_detoured_bps : Obs.Gauge.t;
   g_active : Obs.Gauge.t;
   g_snapshot_age : Obs.Gauge.t;
+  h_gc_minor : Obs.Histogram.t;
+  h_gc_major : Obs.Histogram.t;
+  h_gc_promoted : Obs.Histogram.t;
+  c_gc_compactions : Obs.Counter.t;
 }
 
 let obs_handles reg =
@@ -86,6 +90,10 @@ let obs_handles reg =
     g_detoured_bps = Obs.Registry.gauge reg "controller.detoured_bps";
     g_active = Obs.Registry.gauge reg "controller.overrides.active";
     g_snapshot_age = Obs.Registry.gauge reg "controller.snapshot.age_s";
+    h_gc_minor = Obs.Registry.histogram reg "controller.gc.minor_words";
+    h_gc_major = Obs.Registry.histogram reg "controller.gc.major_words";
+    h_gc_promoted = Obs.Registry.histogram reg "controller.gc.promoted_words";
+    c_gc_compactions = Obs.Registry.counter reg "controller.gc.compactions";
   }
 
 type t = {
@@ -274,9 +282,35 @@ let degraded_cycle t snapshot ~reason =
     degraded = Some reason;
   }
 
+(* Per-cycle allocation/GC attribution: quick_stat deltas across the
+   cycle body land in the gc histograms, and — when a profiler is
+   attached to the registry — as a counter track in the Chrome trace. *)
+let record_gc ob (gc0 : Gc.stat) =
+  let gc1 = Gc.quick_stat () in
+  let minor = gc1.Gc.minor_words -. gc0.Gc.minor_words in
+  let major = gc1.Gc.major_words -. gc0.Gc.major_words in
+  let promoted = gc1.Gc.promoted_words -. gc0.Gc.promoted_words in
+  let compactions = gc1.Gc.compactions - gc0.Gc.compactions in
+  Obs.Histogram.observe ob.h_gc_minor minor;
+  Obs.Histogram.observe ob.h_gc_major major;
+  Obs.Histogram.observe ob.h_gc_promoted promoted;
+  if compactions > 0 then
+    Obs.Counter.add ob.c_gc_compactions (float_of_int compactions);
+  match Obs.Registry.profile_hook ob.reg with
+  | None -> ()
+  | Some hook ->
+      hook.Obs.Registry.on_counter "gc"
+        [
+          ("minor_words", minor);
+          ("major_words", major);
+          ("promoted_words", promoted);
+          ("compactions", float_of_int compactions);
+        ]
+
 let cycle ?now_s t snapshot =
   let ob = t.obs in
   Obs.Span.time_h ob.reg ob.sp_cycle @@ fun () ->
+  let gc0 = Gc.quick_stat () in
   t.cycles <- t.cycles + 1;
   Trace.begin_cycle t.trace ~index:t.cycles ~time_s:(Snapshot.time_s snapshot);
   Obs.Counter.inc ob.c_cycles;
@@ -284,7 +318,10 @@ let cycle ?now_s t snapshot =
   Obs.Gauge.set ob.g_snapshot_age
     (float_of_int (now_s - Snapshot.time_s snapshot));
   match detect_degradation t ~now_s snapshot with
-  | Some reason -> degraded_cycle t snapshot ~reason
+  | Some reason ->
+      let stats = degraded_cycle t snapshot ~reason in
+      record_gc ob gc0;
+      stats
   | None ->
   let total = Snapshot.total_rate_bps snapshot in
   t.rate_ewma <-
@@ -404,6 +441,7 @@ let cycle ?now_s t snapshot =
         ("overloaded_before", Obs.Json.Int (List.length stats.overloaded_before));
         ("overloaded_after", Obs.Json.Int (List.length stats.overloaded_after));
       ];
+  record_gc ob gc0;
   stats
 
 let bgp_updates t stats =

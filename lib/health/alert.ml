@@ -1,0 +1,263 @@
+type severity = Info | Warn | Page
+
+let severity_to_string = function
+  | Info -> "info"
+  | Warn -> "warn"
+  | Page -> "page"
+
+let pp_severity fmt s = Format.pp_print_string fmt (severity_to_string s)
+
+type cmp = Gt | Ge | Lt | Le | Eq
+
+type value =
+  | Const of float
+  | Duration_s
+  | Burn_rate
+  | Overrun_fraction
+  | Violations
+  | Residual
+  | Metric of string
+  | Delta of string
+
+type pred =
+  | Cmp of cmp * value * value
+  | State_at_least of Slo.state
+  | Degraded_input
+  | Stale_input
+  | Skipped_cycle
+  | All of pred list
+  | Any of pred list
+  | Not of pred
+  | For_last of int * pred
+
+type rule = {
+  r_name : string;
+  r_severity : severity;
+  r_help : string;
+  r_pred : pred;
+}
+
+let rule ?(help = "") ~name severity pred =
+  { r_name = name; r_severity = severity; r_help = help; r_pred = pred }
+
+type ctx = {
+  cx_cycle : int;
+  cx_time_s : int;
+  cx_duration_s : float;
+  cx_state : Slo.state;
+  cx_burn_rate : float;
+  cx_overrun_fraction : float;
+  cx_violations : int;
+  cx_residual : int;
+  cx_degraded : bool;
+  cx_stale : bool;
+  cx_skipped : bool;
+  cx_metric : string -> float option;
+}
+
+type firing = {
+  f_rule : string;
+  f_severity : severity;
+  f_cycle : int;
+  f_time_s : int;
+  f_detail : string;
+}
+
+(* Whether a predicate reads the wall clock (duration / burn / overrun
+   fraction). Firing details for such rules may cite clock-derived
+   numbers; details for purely input-driven rules must not, so that the
+   alert journal of a seeded run is byte-identical across repeats. *)
+let rec mentions_clock = function
+  | Cmp (_, a, b) ->
+      let value_clock = function
+        | Duration_s | Burn_rate | Overrun_fraction -> true
+        | Const _ | Violations | Residual | Metric _ | Delta _ -> false
+      in
+      value_clock a || value_clock b
+  | State_at_least _ -> false
+  | Degraded_input | Stale_input | Skipped_cycle -> false
+  | All ps | Any ps -> List.exists mentions_clock ps
+  | Not p | For_last (_, p) -> mentions_clock p
+
+(* Compile a predicate to a closure over per-node mutable state (Delta
+   last-values, For_last streaks). Boolean connectives evaluate all
+   children — no short-circuiting — so every Delta/For_last node advances
+   exactly once per cycle regardless of sibling outcomes. *)
+let compile_pred pred =
+  let rec value = function
+    | Const f -> fun _ -> f
+    | Duration_s -> fun cx -> cx.cx_duration_s
+    | Burn_rate -> fun cx -> cx.cx_burn_rate
+    | Overrun_fraction -> fun cx -> cx.cx_overrun_fraction
+    | Violations -> fun cx -> float_of_int cx.cx_violations
+    | Residual -> fun cx -> float_of_int cx.cx_residual
+    | Metric name ->
+        fun cx -> ( match cx.cx_metric name with Some v -> v | None -> 0.0)
+    | Delta name ->
+        let last = ref 0.0 in
+        fun cx ->
+          let cur =
+            match cx.cx_metric name with Some v -> v | None -> 0.0
+          in
+          let d = cur -. !last in
+          last := cur;
+          if d > 0.0 then d else 0.0
+  and pred_c = function
+    | Cmp (op, a, b) ->
+        let va = value a and vb = value b in
+        let f =
+          match op with
+          | Gt -> ( > )
+          | Ge -> ( >= )
+          | Lt -> ( < )
+          | Le -> ( <= )
+          | Eq -> ( = )
+        in
+        fun cx -> f (va cx) (vb cx)
+    | State_at_least s ->
+        fun cx -> Slo.state_rank cx.cx_state >= Slo.state_rank s
+    | Degraded_input -> fun cx -> cx.cx_degraded
+    | Stale_input -> fun cx -> cx.cx_stale
+    | Skipped_cycle -> fun cx -> cx.cx_skipped
+    | All ps ->
+        let cs = List.map pred_c ps in
+        fun cx -> List.fold_left (fun acc c -> c cx && acc) true cs
+    | Any ps ->
+        let cs = List.map pred_c ps in
+        fun cx -> List.fold_left (fun acc c -> c cx || acc) false cs
+    | Not p ->
+        let c = pred_c p in
+        fun cx -> not (c cx)
+    | For_last (n, p) ->
+        let c = pred_c p in
+        let streak = ref 0 in
+        fun cx ->
+          streak := (if c cx then !streak + 1 else 0);
+          !streak >= n
+  in
+  pred_c pred
+
+type compiled = {
+  cr_rule : rule;
+  cr_eval : ctx -> bool;
+  cr_clock : bool;
+  mutable cr_active : bool;
+  mutable cr_fired : int;
+}
+
+type t = { rules : compiled list; mutable firings_rev : firing list }
+
+let create rules =
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun r ->
+      if Hashtbl.mem seen r.r_name then
+        invalid_arg
+          (Printf.sprintf "Ef_health.Alert: duplicate rule name %s" r.r_name);
+      Hashtbl.add seen r.r_name ())
+    rules;
+  {
+    rules =
+      List.map
+        (fun r ->
+          {
+            cr_rule = r;
+            cr_eval = compile_pred r.r_pred;
+            cr_clock = mentions_clock r.r_pred;
+            cr_active = false;
+            cr_fired = 0;
+          })
+        rules;
+    firings_rev = [];
+  }
+
+let detail ~clock cx =
+  if clock then
+    Printf.sprintf
+      "state=%s dur=%.6fs burn=%.3f overrun_frac=%.4f violations=%d residual=%d"
+      (Slo.state_to_string cx.cx_state)
+      cx.cx_duration_s cx.cx_burn_rate cx.cx_overrun_fraction cx.cx_violations
+      cx.cx_residual
+  else
+    Printf.sprintf
+      "state=%s violations=%d residual=%d degraded=%b stale=%b skipped=%b"
+      (Slo.state_to_string cx.cx_state)
+      cx.cx_violations cx.cx_residual cx.cx_degraded cx.cx_stale cx.cx_skipped
+
+(* Edge-triggered: a rule fires on the cycle its predicate becomes true
+   and stays silent while it remains true; it re-arms when the predicate
+   clears. Rules are evaluated in declaration order every cycle (even
+   already-active ones) so stateful nodes advance deterministically. *)
+let step t cx =
+  let fired =
+    List.filter_map
+      (fun c ->
+        let now = c.cr_eval cx in
+        let fresh = now && not c.cr_active in
+        c.cr_active <- now;
+        if fresh then begin
+          c.cr_fired <- c.cr_fired + 1;
+          Some
+            {
+              f_rule = c.cr_rule.r_name;
+              f_severity = c.cr_rule.r_severity;
+              f_cycle = cx.cx_cycle;
+              f_time_s = cx.cx_time_s;
+              f_detail = detail ~clock:c.cr_clock cx;
+            }
+        end
+        else None)
+      t.rules
+  in
+  t.firings_rev <- List.rev_append fired t.firings_rev;
+  fired
+
+let firings t = List.rev t.firings_rev
+let rules t = List.map (fun c -> c.cr_rule) t.rules
+let fired_counts t = List.map (fun c -> (c.cr_rule, c.cr_fired)) t.rules
+let active t = List.filter_map (fun c -> if c.cr_active then Some c.cr_rule else None) t.rules
+
+let firing_to_json f =
+  Ef_obs.Json.Obj
+    [
+      ("rule", Ef_obs.Json.String f.f_rule);
+      ("severity", Ef_obs.Json.String (severity_to_string f.f_severity));
+      ("cycle", Ef_obs.Json.Int f.f_cycle);
+      ("time_s", Ef_obs.Json.Int f.f_time_s);
+      ("detail", Ef_obs.Json.String f.f_detail);
+    ]
+
+let pp_firing fmt f =
+  Format.fprintf fmt "[%s] cycle %d t=%ds %s: %s"
+    (severity_to_string f.f_severity)
+    f.f_cycle f.f_time_s f.f_rule f.f_detail
+
+let default_rules ?(deadline_s = Slo.default_config.deadline_s) () =
+  [
+    rule ~name:"cycle_deadline_overrun" Warn
+      ~help:"a controller cycle exceeded its wall-time budget"
+      (Cmp (Gt, Duration_s, Const deadline_s));
+    rule ~name:"slo_burn_elevated" Warn
+      ~help:"the rolling window is consuming the full error budget"
+      (Cmp (Ge, Burn_rate, Const 1.0));
+    rule ~name:"health_degraded" Warn
+      ~help:"health state machine left Healthy"
+      (State_at_least Slo.Degraded);
+    rule ~name:"health_broken" Page
+      ~help:"health state machine reached Broken"
+      (State_at_least Slo.Broken);
+    rule ~name:"guard_violation" Page
+      ~help:"the safety guard rejected or clamped controller output"
+      (Cmp (Gt, Violations, Const 0.0));
+    rule ~name:"stale_inputs" Warn
+      ~help:"collector retry/staleness machinery reports unhealthy inputs"
+      Stale_input;
+    rule ~name:"degraded_cycle" Info
+      ~help:"the controller ran its degradation ladder this cycle"
+      Degraded_input;
+    rule ~name:"cycle_skipped" Info ~help:"a controller cycle was skipped"
+      Skipped_cycle;
+    rule ~name:"residual_demand" Warn
+      ~help:"demand left unplaced for 3 consecutive cycles"
+      (For_last (3, Cmp (Gt, Residual, Const 0.0)));
+  ]

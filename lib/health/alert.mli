@@ -1,0 +1,109 @@
+(** Deterministic alerting: a small rule DSL evaluated once per cycle.
+
+    A {!rule} is a named, severity-tagged {!pred} over the cycle context
+    (SLO state, burn rate, impairment flags, registry metrics). Firings
+    are edge-triggered — a rule fires when its predicate becomes true,
+    stays silent while it holds, and re-arms when it clears — and are
+    pure functions of the observation sequence: with seeded scenarios and
+    an injected clock, the firing journal is byte-identical across runs.
+    Rules whose predicates never read the wall clock get details built
+    only from deterministic inputs, so their firings are byte-stable even
+    under the real clock. *)
+
+type severity = Info | Warn | Page
+
+val severity_to_string : severity -> string
+val pp_severity : Format.formatter -> severity -> unit
+
+type cmp = Gt | Ge | Lt | Le | Eq
+
+(** Numeric operands. [Metric name] reads the current value of a registry
+    metric through the context (0 when absent; histograms read as their
+    mean). [Delta name] is the increase of that metric since the previous
+    cycle (clamped at 0 — counter semantics). *)
+type value =
+  | Const of float
+  | Duration_s
+  | Burn_rate
+  | Overrun_fraction
+  | Violations
+  | Residual
+  | Metric of string
+  | Delta of string
+
+(** Predicates. Connectives evaluate all children every cycle (no
+    short-circuiting) so stateful nodes ([Delta], [For_last]) advance
+    deterministically. [For_last (n, p)] holds once [p] has held for the
+    last [n] consecutive cycles. *)
+type pred =
+  | Cmp of cmp * value * value
+  | State_at_least of Slo.state
+  | Degraded_input
+  | Stale_input
+  | Skipped_cycle
+  | All of pred list
+  | Any of pred list
+  | Not of pred
+  | For_last of int * pred
+
+type rule = {
+  r_name : string;
+  r_severity : severity;
+  r_help : string;
+  r_pred : pred;
+}
+
+val rule : ?help:string -> name:string -> severity -> pred -> rule
+
+val default_rules : ?deadline_s:float -> unit -> rule list
+(** The shipped ruleset: deadline overrun and SLO burn (Warn), health
+    state Degraded (Warn) / Broken (Page), guard violations (Page), stale
+    inputs (Warn), degraded / skipped cycles (Info), and residual demand
+    persisting 3 cycles (Warn). *)
+
+(** The per-cycle evaluation context, assembled by [Tracker]. *)
+type ctx = {
+  cx_cycle : int;  (** 1-based cycle index *)
+  cx_time_s : int;  (** simulation time *)
+  cx_duration_s : float;
+  cx_state : Slo.state;
+  cx_burn_rate : float;
+  cx_overrun_fraction : float;
+  cx_violations : int;
+  cx_residual : int;
+  cx_degraded : bool;
+  cx_stale : bool;
+  cx_skipped : bool;
+  cx_metric : string -> float option;
+}
+
+type firing = {
+  f_rule : string;
+  f_severity : severity;
+  f_cycle : int;
+  f_time_s : int;
+  f_detail : string;
+}
+
+type t
+
+val create : rule list -> t
+(** Raises [Invalid_argument] on duplicate rule names. *)
+
+val step : t -> ctx -> firing list
+(** Evaluate every rule against this cycle; returns the fresh firings, in
+    rule declaration order. *)
+
+val firings : t -> firing list
+(** All firings so far, in order. *)
+
+val rules : t -> rule list
+val fired_counts : t -> (rule * int) list
+val active : t -> rule list
+(** Rules whose predicate held on the most recent cycle. *)
+
+val firing_to_json : firing -> Ef_obs.Json.t
+(** Deterministic: carries rule, severity, cycle, sim time and detail —
+    never a wall-clock stamp. *)
+
+val pp_firing : Format.formatter -> firing -> unit

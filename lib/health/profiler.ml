@@ -1,0 +1,234 @@
+module Clock = Ef_obs.Clock
+module Json = Ef_obs.Json
+
+type event =
+  | Span of {
+      sp_name : string;
+      sp_tid : int;
+      sp_lane : int option;
+      sp_t0 : int64;
+      sp_t1 : int64;
+    }
+  | Count of {
+      co_name : string;
+      co_tid : int;
+      co_t : int64;
+      co_series : (string * float) list;
+    }
+
+type t = {
+  prof_enabled : bool;
+  capacity : int;
+  lock : Mutex.t;
+  mutable events : event array;
+  mutable len : int;
+  mutable n_dropped : int;
+  origin_ns : int64;
+}
+
+let dummy = Count { co_name = ""; co_tid = 0; co_t = 0L; co_series = [] }
+
+let noop =
+  {
+    prof_enabled = false;
+    capacity = 0;
+    lock = Mutex.create ();
+    events = [||];
+    len = 0;
+    n_dropped = 0;
+    origin_ns = 0L;
+  }
+
+let create ?(capacity = 1_000_000) () =
+  {
+    prof_enabled = true;
+    capacity;
+    lock = Mutex.create ();
+    events = Array.make 1024 dummy;
+    len = 0;
+    n_dropped = 0;
+    origin_ns = Clock.now_ns ();
+  }
+
+let enabled t = t.prof_enabled
+
+let push t ev =
+  if t.prof_enabled then begin
+    Mutex.lock t.lock;
+    if t.len >= t.capacity then t.n_dropped <- t.n_dropped + 1
+    else begin
+      if t.len = Array.length t.events then begin
+        let bigger = Array.make (min t.capacity (2 * t.len)) dummy in
+        Array.blit t.events 0 bigger 0 t.len;
+        t.events <- bigger
+      end;
+      t.events.(t.len) <- ev;
+      t.len <- t.len + 1
+    end;
+    Mutex.unlock t.lock
+  end
+
+let tid () = (Domain.self () :> int)
+
+let record_span ?lane t ~name t0 t1 =
+  push t (Span { sp_name = name; sp_tid = tid (); sp_lane = lane; sp_t0 = t0; sp_t1 = t1 })
+
+let span ?lane t ~name f =
+  if not t.prof_enabled then f ()
+  else begin
+    let t0 = Clock.now_ns () in
+    Fun.protect
+      ~finally:(fun () -> record_span ?lane t ~name t0 (Clock.now_ns ()))
+      f
+  end
+
+let counter t ~name series =
+  push t
+    (Count { co_name = name; co_tid = tid (); co_t = Clock.now_ns (); co_series = series })
+
+let hook t : Ef_obs.Registry.profile_hook =
+  {
+    on_span = (fun name t0 t1 -> record_span t ~name t0 t1);
+    on_counter = (fun name series -> counter t ~name series);
+  }
+
+let attach t reg =
+  if t.prof_enabled then Ef_obs.Registry.set_profile_hook reg (Some (hook t))
+
+let length t = t.len
+let dropped t = t.n_dropped
+
+let snapshot t =
+  Mutex.lock t.lock;
+  let evs = Array.sub t.events 0 t.len in
+  Mutex.unlock t.lock;
+  evs
+
+let span_count t ~name =
+  Array.fold_left
+    (fun acc -> function
+      | Span s when s.sp_name = name -> acc + 1
+      | _ -> acc)
+    0 (snapshot t)
+
+let counter_count t ~name =
+  Array.fold_left
+    (fun acc -> function
+      | Count c when c.co_name = name -> acc + 1
+      | _ -> acc)
+    0 (snapshot t)
+
+let span_seconds t ~name =
+  Array.fold_left
+    (fun acc -> function
+      | Span s when s.sp_name = name ->
+          acc +. (Int64.to_float (Int64.sub s.sp_t1 s.sp_t0) /. 1e9)
+      | _ -> acc)
+    0.0 (snapshot t)
+
+let fold_assoc add key value acc =
+  match List.assoc_opt key acc with
+  | None -> (key, value) :: acc
+  | Some prior -> (key, add prior value) :: List.remove_assoc key acc
+
+let tids t =
+  let ids =
+    Array.fold_left
+      (fun acc ev ->
+        let id = match ev with Span s -> s.sp_tid | Count c -> c.co_tid in
+        if List.mem id acc then acc else id :: acc)
+      [] (snapshot t)
+  in
+  List.sort compare ids
+
+let lane_busy_s t =
+  let acc =
+    Array.fold_left
+      (fun acc -> function
+        | Span { sp_lane = Some lane; sp_t0; sp_t1; _ } ->
+            fold_assoc ( +. ) lane
+              (Int64.to_float (Int64.sub sp_t1 sp_t0) /. 1e9)
+              acc
+        | _ -> acc)
+      [] (snapshot t)
+  in
+  List.sort (fun (a, _) (b, _) -> compare a b) acc
+
+(* Chrome trace-event ("catapult") export: one complete ("X") event per
+   span, one counter ("C") event per GC/series sample, plus process and
+   thread metadata. Written one event per line so a line-oriented linter
+   can check it without a JSON parser; the whole file is still one valid
+   JSON object loadable by chrome://tracing or Perfetto. *)
+
+let us_of ~origin ns = Int64.to_float (Int64.sub ns origin) /. 1e3
+
+let event_json ~origin ev =
+  match ev with
+  | Span s ->
+      let args =
+        match s.sp_lane with
+        | None -> []
+        | Some lane -> [ ("args", Json.Obj [ ("lane", Json.Int lane) ]) ]
+      in
+      Json.Obj
+        ([
+           ("name", Json.String s.sp_name);
+           ("cat", Json.String "span");
+           ("ph", Json.String "X");
+           ("ts", Json.Float (us_of ~origin s.sp_t0));
+           ("dur", Json.Float (us_of ~origin:s.sp_t0 s.sp_t1));
+           ("pid", Json.Int 1);
+           ("tid", Json.Int s.sp_tid);
+         ]
+        @ args)
+  | Count c ->
+      Json.Obj
+        [
+          ("name", Json.String c.co_name);
+          ("cat", Json.String "counter");
+          ("ph", Json.String "C");
+          ("ts", Json.Float (us_of ~origin c.co_t));
+          ("pid", Json.Int 1);
+          ("tid", Json.Int c.co_tid);
+          ( "args",
+            Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) c.co_series) );
+        ]
+
+let metadata_json ~name ~tid args_name =
+  Json.Obj
+    [
+      ("name", Json.String name);
+      ("ph", Json.String "M");
+      ("pid", Json.Int 1);
+      ("tid", Json.Int tid);
+      ("args", Json.Obj [ ("name", Json.String args_name) ]);
+    ]
+
+let emit_chrome t put =
+  let origin = t.origin_ns in
+  let first = ref true in
+  let line json =
+    if !first then first := false else put ",";
+    put (Json.to_string json);
+    put "\n"
+  in
+  put "{\"traceEvents\":[\n";
+  line (metadata_json ~name:"process_name" ~tid:0 "edge-fabric");
+  List.iter
+    (fun id ->
+      line
+        (metadata_json ~name:"thread_name" ~tid:id
+           (Printf.sprintf "domain-%d" id)))
+    (tids t);
+  Array.iter (fun ev -> line (event_json ~origin ev)) (snapshot t);
+  put
+    (Printf.sprintf
+       "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped_events\":%d}}\n"
+       t.n_dropped)
+
+let write_chrome t oc = emit_chrome t (output_string oc)
+
+let chrome_string t =
+  let buf = Buffer.create 4096 in
+  emit_chrome t (Buffer.add_string buf);
+  Buffer.contents buf

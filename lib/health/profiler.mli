@@ -1,0 +1,77 @@
+(** Low-overhead span/counter profiler with Chrome trace-event export.
+
+    A profiler is a mutex-guarded in-memory event buffer. It taps every
+    already-instrumented [Ef_obs] span via {!attach} (the registry's
+    profile hook), accepts manual spans for code that bypasses the
+    registry (pool tasks, fleet merge), and records counter series (per
+    cycle GC deltas). Events carry the recording domain's id as the
+    Chrome [tid], so a parallel fleet run opens in [chrome://tracing] /
+    Perfetto with one row per domain.
+
+    The disabled profiler ({!noop}) is a first-class value whose [span]
+    runs the thunk directly and whose recorders are no-ops — the shipped
+    default, so production paths pay one boolean test when profiling is
+    off. When the buffer reaches its capacity further events are counted
+    in {!dropped} rather than grown without bound. *)
+
+type t
+
+val noop : t
+(** The disabled profiler: records nothing, {!span} just runs the thunk. *)
+
+val create : ?capacity:int -> unit -> t
+(** An enabled profiler. [capacity] bounds the event buffer (default
+    1e6 events); overflow increments {!dropped}. The creation instant is
+    the trace's time origin. *)
+
+val enabled : t -> bool
+
+val attach : t -> Ef_obs.Registry.t -> unit
+(** Install this profiler as [reg]'s profile hook, so every span timed
+    through the registry (and every [on_counter] push) lands here. No-op
+    for {!noop}. *)
+
+val hook : t -> Ef_obs.Registry.profile_hook
+(** The raw hook, for call sites managing registries directly. *)
+
+val span : ?lane:int -> t -> name:string -> (unit -> 'a) -> 'a
+(** Time the thunk as a complete event. [lane] tags pool-lane
+    attribution (shows up in the event's [args] and {!lane_busy_s}). *)
+
+val record_span : ?lane:int -> t -> name:string -> int64 -> int64 -> unit
+(** Record a span from raw monotonic stamps (ns). *)
+
+val counter : t -> name:string -> (string * float) list -> unit
+(** Record a counter sample (Chrome ["C"] event), stamped now. *)
+
+(** {2 Introspection} *)
+
+val length : t -> int
+(** Events currently buffered. *)
+
+val dropped : t -> int
+(** Events discarded after the buffer hit capacity. *)
+
+val span_count : t -> name:string -> int
+val counter_count : t -> name:string -> int
+
+val span_seconds : t -> name:string -> float
+(** Total recorded duration of all spans with this name. *)
+
+val tids : t -> int list
+(** Distinct domain ids seen, ascending. *)
+
+val lane_busy_s : t -> (int * float) list
+(** Per-pool-lane total busy seconds (spans recorded with [?lane]),
+    ascending by lane. *)
+
+(** {2 Chrome trace-event export} *)
+
+val write_chrome : t -> out_channel -> unit
+(** The whole buffer as one Chrome trace-event JSON object
+    ([{"traceEvents": [...], ...}]): "X" complete events for spans, "C"
+    counter events for series, "M" metadata naming the process and one
+    thread per domain. One event per line, so line-oriented tooling
+    (scripts/lint_chrome_trace.sh) can validate it. *)
+
+val chrome_string : t -> string

@@ -85,15 +85,23 @@ let render_sample buf ~name s =
 
 let render families =
   let buf = Buffer.create 4096 in
+  (* distinct metric names can sanitize to the same exposition name
+     ("a.b" and "a_b" both become "a_b"); a family name may only be
+     declared once per exposition, so later collisions keep their samples
+     but reuse the first declaration (first kind wins) *)
+  let declared = Hashtbl.create 16 in
   List.iter
     (fun fam ->
       let name = sanitize_name fam.fam_name in
-      if fam.fam_help <> "" then begin
+      if not (Hashtbl.mem declared name) then begin
+        Hashtbl.add declared name ();
+        if fam.fam_help <> "" then begin
+          Buffer.add_string buf
+            (Printf.sprintf "# HELP %s %s\n" name (escape_help fam.fam_help))
+        end;
         Buffer.add_string buf
-          (Printf.sprintf "# HELP %s %s\n" name (escape_help fam.fam_help))
+          (Printf.sprintf "# TYPE %s %s\n" name (kind_name fam.fam_kind))
       end;
-      Buffer.add_string buf
-        (Printf.sprintf "# TYPE %s %s\n" name (kind_name fam.fam_kind));
       List.iter (render_sample buf ~name) fam.fam_samples)
     families;
   Buffer.add_string buf "# EOF\n";

@@ -41,7 +41,10 @@ val families_of_registry : Registry.t -> family list
     are durations in seconds). *)
 
 val render : family list -> string
-(** The OpenMetrics text for the given families, ending with [# EOF]. *)
+(** The OpenMetrics text for the given families, ending with [# EOF].
+    Distinct family names that sanitize to the same exposition name are
+    merged under one declaration (the first family's HELP/TYPE wins, all
+    samples render) so the output never declares a name twice. *)
 
 val of_registry : ?extra:family list -> Registry.t -> string
 (** [render (families_of_registry t @ extra)]. *)

@@ -29,10 +29,21 @@ module Histogram = struct
     mutable samples : float array;
     mutable len : int;
     mutable h_sum : float;
+    mutable h_seen : int;
+        (* total observations ever, including samples the merge reservoir
+           discarded; [count]/[sum]/[mean] stay exact even after drops *)
   }
 
+  let merge_cap = 65_536
+
   let create name =
-    { h_name = name; samples = Array.make 16 0.0; len = 0; h_sum = 0.0 }
+    {
+      h_name = name;
+      samples = Array.make 16 0.0;
+      len = 0;
+      h_sum = 0.0;
+      h_seen = 0;
+    }
 
   let observe t x =
     if t.len = Array.length t.samples then begin
@@ -42,11 +53,14 @@ module Histogram = struct
     end;
     t.samples.(t.len) <- x;
     t.len <- t.len + 1;
-    t.h_sum <- t.h_sum +. x
+    t.h_sum <- t.h_sum +. x;
+    t.h_seen <- t.h_seen + 1
 
-  let count t = t.len
+  let count t = t.h_seen
+  let retained t = t.len
+  let dropped t = t.h_seen - t.len
   let sum t = t.h_sum
-  let mean t = if t.len = 0 then 0.0 else t.h_sum /. float_of_int t.len
+  let mean t = if t.h_seen = 0 then 0.0 else t.h_sum /. float_of_int t.h_seen
 
   let cdf t =
     if t.len = 0 then None
@@ -67,10 +81,47 @@ module Histogram = struct
       !m
     end
 
+  (* splitmix64 finalizer: the mix that turns the observation counter into
+     the reservoir draw must be stateless so replaying the same merge
+     sequence replaces the same slots *)
+  let mix64 z =
+    let open Int64 in
+    let z = mul (logxor z (shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+    let z = mul (logxor z (shift_right_logical z 27)) 0x94d049bb133111ebL in
+    logxor z (shift_right_logical z 31)
+
+  (* Fleet joins merge one histogram per engine per metric; unbounded
+     appending made the merged sample arrays grow with cycles x engines.
+     Beyond [merge_cap] retained samples, each incoming sample runs a
+     deterministic reservoir step (algorithm R with the hash of the
+     observation counter as the draw): it survives with probability
+     cap/seen, displacing the slot the draw names, so retained samples
+     stay a uniform sample of everything observed. count/sum/mean remain
+     exact; quantiles become estimates over the reservoir. *)
   let merge_into ~into src =
+    let retained_sum = ref 0.0 in
     for i = 0 to src.len - 1 do
-      observe into src.samples.(i)
-    done
+      let x = src.samples.(i) in
+      retained_sum := !retained_sum +. x;
+      if into.len < merge_cap then observe into x
+      else begin
+        into.h_seen <- into.h_seen + 1;
+        into.h_sum <- into.h_sum +. x;
+        let draw =
+          Int64.rem
+            (Int64.logand (mix64 (Int64.of_int into.h_seen)) Int64.max_int)
+            (Int64.of_int into.h_seen)
+        in
+        let slot = Int64.to_int draw in
+        if slot < merge_cap then into.samples.(slot) <- x
+      end
+    done;
+    (* samples the source itself had already dropped stay dropped, but the
+       totals must carry over so count/sum stay additive across joins
+       (the sum residue is exactly 0.0 when the source never dropped:
+       [retained_sum] replays the same left-to-right additions) *)
+    into.h_seen <- into.h_seen + (src.h_seen - src.len);
+    into.h_sum <- into.h_sum +. (src.h_sum -. !retained_sum)
 
   let name t = t.h_name
 end
@@ -97,15 +148,30 @@ type metric =
 
 type sink = Event.t -> unit
 
+type profile_hook = {
+  on_span : string -> int64 -> int64 -> unit;
+  on_counter : string -> (string * float) list -> unit;
+}
+
 type t = {
   table : (string, metric) Hashtbl.t;
   mutable names_rev : string list;
   mutable sinks : sink list;
   mutable span_stack : string list;
+  mutable profile : profile_hook option;
 }
 
 let create () =
-  { table = Hashtbl.create 32; names_rev = []; sinks = []; span_stack = [] }
+  {
+    table = Hashtbl.create 32;
+    names_rev = [];
+    sinks = [];
+    span_stack = [];
+    profile = None;
+  }
+
+let set_profile_hook t hook = t.profile <- hook
+let profile_hook t = t.profile
 
 let default_registry = lazy (create ())
 let default () = Lazy.force default_registry
@@ -168,6 +234,12 @@ let metrics t =
    [into] (names, order and values) — the property the parallel fleet's
    after-barrier merge relies on. *)
 let merge ~into src =
+  let dropped_before = ref 0 and dropped_after = ref 0 in
+  let merge_h dst h =
+    dropped_before := !dropped_before + Histogram.dropped dst;
+    Histogram.merge_into ~into:dst h;
+    dropped_after := !dropped_after + Histogram.dropped dst
+  in
   List.iter
     (fun (name, m) ->
       match m with
@@ -175,9 +247,16 @@ let merge ~into src =
       | Gauge_m g ->
           let dst = gauge into name in
           Gauge.set dst (Gauge.value dst +. Gauge.value g)
-      | Histogram_m h -> Histogram.merge_into ~into:(histogram into name) h
-      | Span_m h -> Histogram.merge_into ~into:(span into name) h)
-    (metrics src)
+      | Histogram_m h -> merge_h (histogram into name) h
+      | Span_m h -> merge_h (span into name) h)
+    (metrics src);
+  (* surface reservoir pressure: operators watching the merged registry can
+     see how many samples this merge discarded without diffing histograms *)
+  let newly_dropped = !dropped_after - !dropped_before in
+  if newly_dropped > 0 then
+    Counter.add
+      (counter into "obs.merge.dropped_samples")
+      (float_of_int newly_dropped)
 
 let reset t =
   Hashtbl.reset t.table;
@@ -191,6 +270,9 @@ module Span = struct
     Fun.protect
       ~finally:(fun () ->
         Histogram.observe h (Clock.elapsed_s t0);
+        (match t.profile with
+        | None -> ()
+        | Some hook -> hook.on_span (Histogram.name h) t0 (Clock.now_ns ()));
         t.span_stack <- List.tl t.span_stack)
       f
 

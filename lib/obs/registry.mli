@@ -37,24 +37,49 @@ module Histogram : sig
   type t
 
   val observe : t -> float -> unit
+
   val count : t -> int
+  (** Total observations ever, including samples discarded by the merge
+      reservoir (see {!merge_into}) — exact even after drops. *)
+
+  val retained : t -> int
+  (** Samples currently held (what {!cdf}/{!quantile} are computed over).
+      Equal to {!count} until a merge crosses {!merge_cap}. *)
+
+  val dropped : t -> int
+  (** [count - retained]: samples the merge reservoir discarded. *)
+
   val sum : t -> float
   val mean : t -> float
-  (** 0 when empty. *)
+  (** 0 when empty. Both exact over all observations, including dropped
+      ones. *)
 
   val cdf : t -> Ef_stats.Cdf.t option
-  (** All samples so far as an {!Ef_stats.Cdf}; [None] when empty. *)
+  (** Retained samples so far as an {!Ef_stats.Cdf}; [None] when empty. *)
 
   val quantile : t -> float -> float
   (** Via {!cdf}; clamped to [0.] when empty (a [nan] here would leak
-      [null]s into JSON export and unparsable values into OpenMetrics). *)
+      [null]s into JSON export and unparsable values into OpenMetrics).
+      Once a merge has dropped samples this is an estimate over a uniform
+      reservoir of the full stream. *)
 
   val max_value : t -> float
-  (** Largest sample; [nan] when empty. *)
+  (** Largest retained sample; [nan] when empty. *)
+
+  val merge_cap : int
+  (** Retained-sample bound applied by {!merge_into} (65536). Direct
+      {!observe} is never capped — only cross-registry merges are, since
+      fleet joins are where sample arrays grew without bound. *)
 
   val merge_into : into:t -> t -> unit
-  (** Append every sample of the second histogram to [into], in
-      observation order. *)
+  (** Append the second histogram's retained samples to [into], in
+      observation order, up to {!merge_cap} retained samples; beyond the
+      cap each incoming sample runs a deterministic reservoir step
+      (algorithm R keyed on a hash of the observation counter), keeping
+      the retained set a uniform sample of everything observed.
+      {!count}/{!sum}/{!mean} stay exact; {!dropped} reports the
+      discard total. Deterministic: the same merge sequence yields the
+      same retained samples. *)
 
   val name : t -> string
 end
@@ -108,11 +133,14 @@ val reset : t -> unit
 val merge : into:t -> t -> unit
 (** Fold the second registry's metrics into [into], in the source's
     registration order: counters add, gauges sum (fleet-totals
-    semantics), histograms and spans append their samples. Metrics
-    missing from [into] are registered. Deterministic: merging equal
-    registries in the same order produces equal targets. The source is
-    left untouched. Raises [Invalid_argument] if a name is registered
-    with different kinds in the two registries. *)
+    semantics), histograms and spans append their samples (bounded by
+    {!Histogram.merge_cap} with reservoir downsampling; any samples
+    discarded by this call are added to the [obs.merge.dropped_samples]
+    counter in [into]). Metrics missing from [into] are registered.
+    Deterministic: merging equal registries in the same order produces
+    equal targets. The source is left untouched. Raises
+    [Invalid_argument] if a name is registered with different kinds in
+    the two registries. *)
 
 (** {2 Span timing} *)
 
@@ -132,6 +160,25 @@ module Span : sig
   val current : t -> string list
   (** Open span names, innermost first. *)
 end
+
+(** {2 Profiling hook}
+
+    A registry can carry at most one profile hook; when set, every
+    {!Span.time}/{!Span.time_h} completion also reports the span name and
+    its raw monotonic start/end stamps (ns) to [on_span], and
+    instrumented call sites may push named counter series (e.g. per-cycle
+    GC deltas) through [on_counter]. This is how [Ef_health.Profiler]
+    taps every already-instrumented stage without re-instrumenting call
+    sites; cost when unset is one option match per span. *)
+
+type profile_hook = {
+  on_span : string -> int64 -> int64 -> unit;  (** name, t0_ns, t1_ns *)
+  on_counter : string -> (string * float) list -> unit;
+      (** series name, labeled values *)
+}
+
+val set_profile_hook : t -> profile_hook option -> unit
+val profile_hook : t -> profile_hook option
 
 (** {2 Event journal} *)
 

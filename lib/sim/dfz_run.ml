@@ -91,7 +91,26 @@ let snapshot_of_gen ?obs gen ~time_s =
     ~prefix_rates:(Dfz.current_rates gen)
     ~time_s ()
 
-let run ?obs ?(config = config ()) dfz_cfg =
+(* One health observation per timed cycle: the dfz driver has no fault
+   injection or feed retry machinery, so staleness/skips are always
+   false here — the tracker still sees deadline overruns, guard
+   violations and residual overloads. *)
+let observe_health health ~cycle ~cycle_s ~duration_s
+    (stats : Controller.cycle_stats) =
+  if Ef_health.Tracker.enabled health then
+    ignore
+      (Ef_health.Tracker.observe_cycle health
+         {
+           Ef_health.Tracker.time_s = cycle * cycle_s;
+           duration_s;
+           degraded = Controller.degraded stats <> None;
+           skipped = false;
+           stale = false;
+           violations = List.length (Controller.guard_violations stats);
+           residual = List.length (Controller.residual_overloads stats);
+         })
+
+let run ?obs ?(health = Ef_health.Tracker.noop) ?(config = config ()) dfz_cfg =
   let gen = Dfz.create dfz_cfg in
   let ctl = Controller.create ~config:config.controller ?obs ~name:"dfz" () in
   (* the cold twin: own generator, own controller, no shared state *)
@@ -128,6 +147,8 @@ let run ?obs ?(config = config ()) dfz_cfg =
     end;
     let stats = Controller.cycle ctl !snap in
     times.(cycle) <- Clock.elapsed_s t0;
+    observe_health health ~cycle ~cycle_s:config.cycle_s
+      ~duration_s:times.(cycle) stats;
     (match reference with
     | None -> ()
     | Some (ref_gen, ref_ctl) ->
@@ -241,7 +262,8 @@ let mrt_snapshot ?obs w ~rates ~time_s =
     ~ifaces:(Array.to_list w.mrt_ifaces)
     ~prefix_rates:!prefix_rates ~time_s ()
 
-let run_mrt ?obs ?(config = config ()) ?total_bps ?zipf_s ?(seed = 7) dump =
+let run_mrt ?obs ?(health = Ef_health.Tracker.noop) ?(config = config ())
+    ?total_bps ?zipf_s ?(seed = 7) dump =
   match mrt_world ?total_bps ?zipf_s ~seed dump with
   | Error e -> Error e
   | Ok w ->
@@ -275,8 +297,10 @@ let run_mrt ?obs ?(config = config ()) ?total_bps ?zipf_s ?(seed = 7) dump =
             Snapshot.patch ?obs ~prev:!snap ~rate_updates:!updates
               ~time_s:(cycle * config.cycle_s) ()
         end;
-        ignore (Controller.cycle ctl !snap : Controller.cycle_stats);
-        times.(cycle) <- Clock.elapsed_s t0
+        let stats = Controller.cycle ctl !snap in
+        times.(cycle) <- Clock.elapsed_s t0;
+        observe_health health ~cycle ~cycle_s:config.cycle_s
+          ~duration_s:times.(cycle) stats
       done;
       Ok
         {

@@ -58,10 +58,17 @@ val max_s : report -> float
 val mean_s : report -> float
 
 val run :
-  ?obs:Ef_obs.Registry.t -> ?config:config -> Ef_netsim.Dfz.config -> report
+  ?obs:Ef_obs.Registry.t ->
+  ?health:Ef_health.Tracker.t ->
+  ?config:config ->
+  Ef_netsim.Dfz.config ->
+  report
 (** Generate the world, run the cycles, time them. [obs] receives the
     collector/controller spans and counters of the incremental side
-    (the reference side reports nowhere). *)
+    (the reference side reports nowhere). [health] (default
+    {!Ef_health.Tracker.noop}) is fed once per cycle with the end-to-end
+    wall time — churn + patch + controller — so the SLO deadline is
+    judged over the same figure the acceptance bar uses. *)
 
 val report_to_json : report -> Ef_obs.Json.t
 (** Summary object (percentiles, counters, mismatch strings) — embedded
@@ -71,6 +78,7 @@ val pp_report : Format.formatter -> report -> unit
 
 val run_mrt :
   ?obs:Ef_obs.Registry.t ->
+  ?health:Ef_health.Tracker.t ->
   ?config:config ->
   ?total_bps:float ->
   ?zipf_s:float ->

@@ -28,6 +28,7 @@ type config = {
   peer_events : peer_event list;
   faults : Ef_fault.Plan.t option;
   trace : Ef_trace.Recorder.t;
+  health : Ef_health.Tracker.t;
 }
 
 let default_config =
@@ -49,6 +50,7 @@ let default_config =
     peer_events = [];
     faults = None;
     trace = Ef_trace.Recorder.noop;
+    health = Ef_health.Tracker.noop;
   }
 
 let make_config ?(cycle_s = default_config.cycle_s)
@@ -63,7 +65,7 @@ let make_config ?(cycle_s = default_config.cycle_s)
     ?(perf_config = default_config.perf_config) ?policy
     ?(seed = default_config.seed) ?(events = default_config.events)
     ?(peer_events = default_config.peer_events) ?faults
-    ?(trace = default_config.trace) () =
+    ?(trace = default_config.trace) ?(health = default_config.health) () =
   {
     cycle_s;
     duration_s;
@@ -82,6 +84,7 @@ let make_config ?(cycle_s = default_config.cycle_s)
     peer_events;
     faults;
     trace;
+    health;
   }
 
 let with_cycle_s cycle_s c = { c with cycle_s }
@@ -101,6 +104,7 @@ let with_events events c = { c with events }
 let with_peer_events peer_events c = { c with peer_events }
 let with_faults faults c = { c with faults = Some faults }
 let with_trace trace c = { c with trace }
+let with_health health c = { c with health }
 
 type placement_state = {
   actual : Ef.Projection.t;
@@ -537,15 +541,16 @@ let step t =
 
   (* controller round — a skipped cycle holds the installed override set
      untouched; a delayed cycle runs against a view [delay_s] old *)
-  let active, added, removed, residual, ctl_degraded =
+  let ctl_t0 = Obs.Clock.now_ns () in
+  let active, added, removed, residual, ctl_violations, ctl_degraded =
     Obs.Span.time_h ob.reg ob.sp_controller @@ fun () ->
     match t.controller with
-    | None -> ([], 0, 0, 0, None)
+    | None -> ([], 0, 0, 0, 0, None)
     | Some ctrl ->
         if skipped then begin
           t.cycles_skipped <- t.cycles_skipped + 1;
           Obs.Counter.inc ob.c_cycles_skipped;
-          (Ef.Controller.active_overrides ctrl, 0, 0, 0, None)
+          (Ef.Controller.active_overrides ctrl, 0, 0, 0, 0, None)
         end
         else begin
           let now_s = time_s + delay_s in
@@ -562,9 +567,25 @@ let step t =
             List.length (Ef.Controller.overrides_added stats),
             List.length (Ef.Controller.overrides_removed stats),
             List.length (Ef.Controller.residual_overloads stats),
+            List.length (Ef.Controller.guard_violations stats),
             Ef.Controller.degraded stats )
         end
   in
+  (* health tracking: one observation per controller round, fed with the
+     round's wall time and the deterministic impairment signals *)
+  (if Ef_health.Tracker.enabled t.config.health && t.controller <> None then
+     let duration_s = Obs.Clock.elapsed_s ctl_t0 in
+     ignore
+       (Ef_health.Tracker.observe_cycle t.config.health
+          {
+            Ef_health.Tracker.time_s;
+            duration_s;
+            degraded = ctl_degraded <> None;
+            skipped;
+            stale = not (Ef_collector.Retry.healthy t.bmp_session);
+            violations = ctl_violations;
+            residual;
+          }));
 
   (* performance-aware stage (§7): steer measured-faster prefixes, but
      never fight a capacity override and never breach the capacity guard *)

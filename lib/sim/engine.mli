@@ -63,6 +63,12 @@ type config = {
           controller; each committed cycle is additionally annotated with
           the ground-truth per-interface egress. Defaults to
           {!Ef_trace.Recorder.noop} (zero recording cost). *)
+  health : Ef_health.Tracker.t;
+      (** health tracker fed once per controller round with the round's
+          wall time, degradation/skip/staleness flags, guard violations
+          and residual overloads — drives the SLO state machine and the
+          alert rules. Defaults to {!Ef_health.Tracker.noop} (one boolean
+          test per step). *)
 }
 
 val default_config : config
@@ -87,6 +93,7 @@ val make_config :
   ?peer_events:peer_event list ->
   ?faults:Ef_fault.Plan.t ->
   ?trace:Ef_trace.Recorder.t ->
+  ?health:Ef_health.Tracker.t ->
   unit ->
   config
 (** Every omitted field takes its {!default_config} value. *)
@@ -118,6 +125,9 @@ val with_faults : Ef_fault.Plan.t -> config -> config
 
 val with_trace : Ef_trace.Recorder.t -> config -> config
 (** Attach an enabled decision-trace recorder (see {!Ef_trace.Recorder}). *)
+
+val with_health : Ef_health.Tracker.t -> config -> config
+(** Attach an active health tracker (see {!Ef_health.Tracker}). *)
 
 val apply_policy_params : Ef_policy.env -> Ef_policy.t -> config -> config
 (** Merge a policy's allocator-side denotation

@@ -5,36 +5,44 @@ type t = {
   engines : (string * Engine.t) list;
   regs : (string * Obs.Registry.t) list; (* same order as [engines] *)
   fleet_obs : Obs.Registry.t;
+  profiler : Ef_health.Profiler.t;
   (* journal buffers, attached lazily on the first run that has sinks *)
   mutable buffers : (unit -> Obs.Event.t list) list option;
 }
 
-let create ?(config = Engine.default_config) ?config_of ?obs scenarios =
+let create ?(config = Engine.default_config) ?config_of ?obs
+    ?(profiler = Ef_health.Profiler.noop) scenarios =
   let fleet_obs =
     match obs with Some r -> r | None -> Obs.Registry.default ()
   in
   (* Every engine owns a private registry: engines may run on separate
      domains, and the shared registry is unsynchronized mutable state.
-     After a run the per-PoP registries are folded into [fleet_obs]. *)
+     After a run the per-PoP registries are folded into [fleet_obs]. An
+     enabled profiler taps every per-engine registry (its event buffer is
+     mutex-guarded, so cross-domain recording is safe) plus the fleet
+     registry itself for the post-barrier merge span. *)
   let members =
     List.map
       (fun s ->
         let reg = Obs.Registry.create () in
+        Ef_health.Profiler.attach profiler reg;
         let config =
           match config_of with Some f -> f s | None -> config
         in
         (s.Scenario.scenario_name, Engine.create ~config ~obs:reg s, reg))
       scenarios
   in
+  Ef_health.Profiler.attach profiler fleet_obs;
   {
     engines = List.map (fun (name, engine, _) -> (name, engine)) members;
     regs = List.map (fun (name, _, reg) -> (name, reg)) members;
     fleet_obs;
+    profiler;
     buffers = None;
   }
 
-let of_paper_pops ?config ?config_of ?obs () =
-  create ?config ?config_of ?obs Scenario.paper_pops
+let of_paper_pops ?config ?config_of ?obs ?profiler () =
+  create ?config ?config_of ?obs ?profiler Scenario.paper_pops
 
 let engines t = t.engines
 let registries t = t.regs
@@ -65,11 +73,21 @@ let run ?(jobs = 1) t =
   let members = List.combine t.engines t.regs in
   let results =
     if jobs <= 1 then List.map work members
-    else Ef_util.Pool.with_pool ~jobs (fun pool -> Ef_util.Pool.map pool work members)
+    else begin
+      (* per-lane attribution: each pool task runs inside a profiler span
+         tagged with its executing lane, so the trace shows which domain
+         ran which PoP and how busy each lane was *)
+      let wrap ~lane task =
+        Ef_health.Profiler.span ~lane t.profiler ~name:"pool.task" task
+      in
+      Ef_util.Pool.with_pool ~wrap ~jobs (fun pool ->
+          Ef_util.Pool.map pool work members)
+    end
   in
   (* after the barrier, on the calling domain: deterministic fold of the
      per-PoP telemetry into the fleet view, in engine order *)
-  List.iter (fun (_, reg) -> Obs.Registry.merge ~into:t.fleet_obs reg) t.regs;
+  Ef_health.Profiler.span t.profiler ~name:"fleet.merge" (fun () ->
+      List.iter (fun (_, reg) -> Obs.Registry.merge ~into:t.fleet_obs reg) t.regs);
   (match t.buffers with
   | None -> ()
   | Some buffers ->
@@ -77,6 +95,14 @@ let run ?(jobs = 1) t =
         (fun events ->
           List.iter (Obs.Registry.dispatch t.fleet_obs) (events ()))
         buffers);
+  (* lane busy-time summary lands in the fleet registry as gauges, so the
+     multicore cost attribution survives into --metrics/--prom-out *)
+  List.iter
+    (fun (lane, busy_s) ->
+      Obs.Gauge.set
+        (Obs.Registry.gauge t.fleet_obs (Printf.sprintf "pool.lane%d.busy_s" lane))
+        busy_s)
+    (Ef_health.Profiler.lane_busy_s t.profiler);
   results
 
 let overloaded_count metrics mode =

@@ -21,6 +21,7 @@ val create :
   ?config:Engine.config ->
   ?config_of:(Ef_netsim.Scenario.t -> Engine.config) ->
   ?obs:Ef_obs.Registry.t ->
+  ?profiler:Ef_health.Profiler.t ->
   Ef_netsim.Scenario.t list ->
   t
 (** One engine per scenario, sharing the engine configuration (each world
@@ -29,12 +30,18 @@ val create :
     trace recorder, which must not be shared across domains. Every engine
     reports into a private registry; {!run} merges them into [obs] (the
     process-wide default when omitted) and additionally records a
-    [fleet.pop_run] span and bumps [fleet.pops_run] per completed PoP. *)
+    [fleet.pop_run] span and bumps [fleet.pops_run] per completed PoP.
+    An enabled [profiler] (default {!Ef_health.Profiler.noop}) is
+    attached to every per-engine registry and the fleet registry, so a
+    parallel run exports a Chrome trace with one row per domain: every
+    engine/controller stage span, each pool task tagged with its lane,
+    and the post-barrier [fleet.merge]. *)
 
 val of_paper_pops :
   ?config:Engine.config ->
   ?config_of:(Ef_netsim.Scenario.t -> Engine.config) ->
   ?obs:Ef_obs.Registry.t ->
+  ?profiler:Ef_health.Profiler.t ->
   unit ->
   t
 
@@ -54,7 +61,9 @@ val run : ?jobs:int -> t -> (string * Metrics.t) list
     buffered during the run and replayed into those sinks after the
     barrier, in engine order, with their original timestamps. [run] is
     intended to be called once per fleet: a second call would simulate a
-    further day and merge the (cumulative) per-engine telemetry again. *)
+    further day and merge the (cumulative) per-engine telemetry again.
+    With an enabled profiler, per-lane busy seconds also land in the
+    fleet registry as [pool.laneN.busy_s] gauges after the barrier. *)
 
 type summary = {
   pops : int;

@@ -1,7 +1,9 @@
 type task = unit -> unit
+type wrap = lane:int -> task -> unit
 
 type t = {
   pool_jobs : int;
+  wrap : wrap;
   mutex : Mutex.t;
   work : Condition.t; (* work queued, or shutdown *)
   idle : Condition.t; (* a map batch finished draining *)
@@ -14,8 +16,9 @@ let jobs t = t.pool_jobs
 
 (* Workers loop forever: sleep until a task (or shutdown) appears, run the
    task outside the lock, repeat. Tasks never raise — map wraps user code
-   in a result. *)
-let rec worker_loop t =
+   in a result. [lane] identifies the executing lane (0 = the caller,
+   1..jobs-1 = spawned workers) for the wrap hook's attribution. *)
+let rec worker_loop t ~lane =
   Mutex.lock t.mutex;
   let rec next () =
     match Queue.take_opt t.queue with
@@ -32,15 +35,16 @@ let rec worker_loop t =
   match task with
   | None -> ()
   | Some task ->
-      task ();
-      worker_loop t
+      t.wrap ~lane task;
+      worker_loop t ~lane
 
-let create ~jobs =
+let create ?(wrap = fun ~lane:_ task -> task ()) ~jobs () =
   if jobs < 1 || jobs > 128 then
     invalid_arg (Printf.sprintf "Pool.create: jobs %d not in [1, 128]" jobs);
   let t =
     {
       pool_jobs = jobs;
+      wrap;
       mutex = Mutex.create ();
       work = Condition.create ();
       idle = Condition.create ();
@@ -49,7 +53,9 @@ let create ~jobs =
       workers = [];
     }
   in
-  t.workers <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t.workers <-
+    List.init (jobs - 1) (fun i ->
+        Domain.spawn (fun () -> worker_loop t ~lane:(i + 1)));
   t
 
 let shutdown t =
@@ -60,12 +66,21 @@ let shutdown t =
   List.iter Domain.join t.workers;
   t.workers <- []
 
-let with_pool ~jobs f =
-  let t = create ~jobs in
+let with_pool ?wrap ~jobs f =
+  let t = create ?wrap ~jobs () in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
 
 let map t f items =
-  if t.pool_jobs <= 1 then List.map f items
+  if t.pool_jobs <= 1 then
+    List.map
+      (fun item ->
+        let r = ref None in
+        t.wrap ~lane:0 (fun () -> r := Some (f item));
+        match !r with
+        | Some v -> v
+        | None ->
+            invalid_arg "Pool.map: wrap hook did not run its task")
+      items
   else begin
     let arr = Array.of_list items in
     let n = Array.length arr in
@@ -99,7 +114,7 @@ let map t f items =
           match Queue.take_opt t.queue with
           | Some task ->
               Mutex.unlock t.mutex;
-              task ();
+              t.wrap ~lane:0 task;
               drive ()
           | None ->
               Condition.wait t.idle t.mutex;

@@ -17,7 +17,15 @@
 
 type t
 
-val create : jobs:int -> t
+type wrap = lane:int -> (unit -> unit) -> unit
+(** Execution hook: called for every task with the lane that runs it
+    (0 = the calling domain, 1..jobs-1 = spawned workers) and the task
+    itself, which it must run exactly once (before returning). The hook
+    is how callers attribute per-domain/per-lane time (e.g. wrap each
+    task in a profiler span) without this module depending on the
+    telemetry stack. The default just runs the task. *)
+
+val create : ?wrap:wrap -> jobs:int -> unit -> t
 (** Raises [Invalid_argument] if [jobs < 1] or [jobs > 128]. *)
 
 val jobs : t -> int
@@ -32,6 +40,6 @@ val shutdown : t -> unit
 (** Join the worker domains. Idempotent; the pool must not be used
     afterwards. *)
 
-val with_pool : jobs:int -> (t -> 'a) -> 'a
+val with_pool : ?wrap:wrap -> jobs:int -> (t -> 'a) -> 'a
 (** [with_pool ~jobs f] — create, run [f], and shut down even if [f]
     raises. *)

@@ -1,23 +1,29 @@
 #!/usr/bin/env bash
 # Run the controller-scale microbenchmarks (E10/E10b/E10c/E10d), the
-# E11 fleet-parallelism bench, and the E13 dfz scale run, then emit the
-# machine-readable perf records BENCH_PR5.json and BENCH_PR7.json.
+# E11 fleet-parallelism bench, the E13 dfz scale run and the E14
+# health-overhead gate, then emit the machine-readable perf records
+# BENCH_PR5.json, BENCH_PR7.json and BENCH_PR8.json.
 #
-# Usage: scripts/bench_report.sh [OUTPUT.json] [fast] [PR7_OUTPUT.json]
+# Usage: scripts/bench_report.sh [OUTPUT.json] [fast] [PR7_OUTPUT.json] [PR8_OUTPUT.json]
 #
 #   OUTPUT.json       where to write the micro/fleet report
 #                     (default: BENCH_PR5.json)
 #   fast              shorter quotas + smoke-scale dfz — the CI mode
 #   PR7_OUTPUT.json   where to write the e13 dfz report
 #                     (default: BENCH_PR7.json)
+#   PR8_OUTPUT.json   where to write the e14 health-overhead report
+#                     (default: BENCH_PR8.json)
 #
 # BENCH_PR5.json carries the E10d allocator-cycle speedup and the E11
 # fleet wall-clock speedup acceptance numbers (the fleet bar is only
 # asserted on >= 4 cores — domains serialize below that). BENCH_PR7.json
 # carries the e13 acceptance: steady-state full-cycle p99 < 1 s on the
 # dfz world (1M prefixes; 50k in fast mode) and the incremental = cold
-# differential-verification bit. Exits non-zero if the benches fail or
-# an emitted file is not well-formed JSON with the expected schema.
+# differential-verification bit. BENCH_PR8.json carries the e14
+# acceptance: the fully enabled Ef_health stack (profiler hook on every
+# span + SLO/alert tracker) within 2% of the noop path on the stress
+# snapshot. Exits non-zero if the benches fail or an emitted file is not
+# well-formed JSON with the expected schema.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -25,11 +31,12 @@ cd "$(dirname "$0")/.."
 out="${1:-BENCH_PR5.json}"
 mode="${2:-}"
 pr7_out="${3:-BENCH_PR7.json}"
+pr8_out="${4:-BENCH_PR8.json}"
 
 case "$mode" in
   "" | fast) ;;
   *)
-    echo "usage: $0 [OUTPUT.json] [fast] [PR7_OUTPUT.json]" >&2
+    echo "usage: $0 [OUTPUT.json] [fast] [PR7_OUTPUT.json] [PR8_OUTPUT.json]" >&2
     exit 2
     ;;
 esac
@@ -46,9 +53,15 @@ dune exec bench/main.exe -- e13 $mode "json=$pr7_out"
 
 test -s "$pr7_out" || { echo "$pr7_out: missing or empty" >&2; exit 1; }
 
+# shellcheck disable=SC2086
+dune exec bench/main.exe -- e14 $mode "json=$pr8_out"
+
+test -s "$pr8_out" || { echo "$pr8_out: missing or empty" >&2; exit 1; }
+
 # self-contained JSON validation (no jq/python dependency): the bench
 # binary re-parses the files with the same parser the repo ships
 dune exec bench/main.exe -- json-check "$out"
 dune exec bench/main.exe -- json-check "$pr7_out"
+dune exec bench/main.exe -- json-check "$pr8_out"
 
-echo "bench reports: $out $pr7_out"
+echo "bench reports: $out $pr7_out $pr8_out"

@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Minimal Chrome trace-event (catapult) JSON validator — bash + awk only,
+# no external dependencies, so CI can lint `efctl run --profile-out` and
+# `efctl fleet --profile-out` output anywhere.
+#
+# The exporter writes JSON Object Format, one event per line:
+#
+#   {"traceEvents":[
+#   {"name":...,"ph":"M",...}
+#   ,{"name":...,"ph":"X",...}
+#   ],"displayTimeUnit":"ms","otherData":{"dropped_events":N}}
+#
+# Checks:
+#   - header/footer lines are exactly the expected envelope;
+#   - every event line is a single {...} object (optionally ,-prefixed)
+#     with "name", "ph" and "pid" fields;
+#   - every phase is one chrome://tracing understands: M (metadata),
+#     X (complete span) or C (counter);
+#   - at least one X span and at least one C counter event are present —
+#     a trace with neither profiled no work and is a regression;
+#   - the footer reports the dropped-event count as a number.
+#
+# Usage: lint_chrome_trace.sh FILE
+set -euo pipefail
+
+file="${1:?usage: lint_chrome_trace.sh FILE}"
+
+fail() { echo "lint_chrome_trace: $file: $*" >&2; exit 1; }
+
+[ -s "$file" ] || fail "empty or missing"
+[ "$(head -n 1 "$file")" = '{"traceEvents":[' ] || fail "bad header line"
+tail -n 1 "$file" | grep -Eq \
+  '^\],"displayTimeUnit":"ms","otherData":\{"dropped_events":[0-9]+\}\}$' \
+  || fail "bad footer line"
+
+awk '
+function fail(msg) {
+  printf "lint_chrome_trace: %s:%d: %s: %s\n", FILENAME, NR, msg, $0 > "/dev/stderr"
+  bad = 1
+}
+NR == 1 { next }                # header, checked above
+/^\],/ { seen_footer = 1; next }
+seen_footer { fail("content after footer"); next }
+{
+  line = $0
+  sub(/^,/, "", line)
+  if (line !~ /^\{.*\}$/) { fail("event line is not a JSON object"); next }
+  if (line !~ /"name":"/) { fail("event missing \"name\""); next }
+  if (line !~ /"pid":[0-9]+/) { fail("event missing numeric \"pid\""); next }
+  if (match(line, /"ph":"[A-Za-z]"/) == 0) { fail("event missing \"ph\""); next }
+  ph = substr(line, RSTART + 6, 1)
+  if (ph !~ /^[MXC]$/) { fail("unexpected phase " ph); next }
+  phases[ph]++
+  if (ph == "X" && line !~ /"dur":[0-9]/) { fail("X event missing \"dur\""); next }
+  if (ph != "M" && line !~ /"ts":[0-9]/) { fail("event missing \"ts\""); next }
+  events++
+}
+END {
+  if (!seen_footer) { print "lint_chrome_trace: missing footer" > "/dev/stderr"; bad = 1 }
+  if (phases["X"] == 0) { print "lint_chrome_trace: no X (span) events" > "/dev/stderr"; bad = 1 }
+  if (phases["C"] == 0) { print "lint_chrome_trace: no C (counter) events" > "/dev/stderr"; bad = 1 }
+  printf "lint_chrome_trace: %d events (M=%d X=%d C=%d)\n", \
+    events, phases["M"], phases["X"], phases["C"]
+  exit bad
+}
+' "$file"
+
+echo "lint_chrome_trace: $file: OK"

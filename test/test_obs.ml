@@ -287,6 +287,63 @@ let test_registry_merge_kind_collision () =
   | () -> Alcotest.fail "expected Invalid_argument"
   | exception Invalid_argument _ -> ())
 
+(* regression: histogram append across merges is bounded. Beyond
+   Histogram.merge_cap retained samples the merge reservoir-downsamples
+   deterministically, count/sum/mean stay exact over everything ever
+   observed, and the shortfall is surfaced on the
+   obs.merge.dropped_samples counter in the target. *)
+let test_registry_merge_histogram_cap () =
+  let cap = O.Histogram.merge_cap in
+  let mk n base =
+    let r = O.Registry.create () in
+    let h = O.Registry.histogram r "h" in
+    for i = 1 to n do
+      O.Histogram.observe h (base +. float_of_int i)
+    done;
+    r
+  in
+  let into = O.Registry.create () in
+  let n = (cap / 2) + 1000 in
+  O.Registry.merge ~into (mk n 0.0);
+  O.Registry.merge ~into (mk n 1000000.0);
+  let h = O.Registry.histogram into "h" in
+  Alcotest.(check int) "count is exact" (2 * n) (O.Histogram.count h);
+  Alcotest.(check int) "retention capped" cap (O.Histogram.retained h);
+  Alcotest.(check int) "drops accounted" ((2 * n) - cap)
+    (O.Histogram.dropped h);
+  let exact_sum =
+    let tri n = float_of_int (n * (n + 1) / 2) in
+    tri n +. (tri n +. (1000000.0 *. float_of_int n))
+  in
+  Alcotest.(check (float 1.0)) "sum stays exact" exact_sum (O.Histogram.sum h);
+  Alcotest.(check (float 1e-9)) "dropped counter mirrors it"
+    (float_of_int ((2 * n) - cap))
+    (O.Counter.value (O.Registry.counter into "obs.merge.dropped_samples"));
+  (* and the downsampling is deterministic: same sources, same order,
+     byte-identical export *)
+  let redo () =
+    let into = O.Registry.create () in
+    O.Registry.merge ~into (mk n 0.0);
+    O.Registry.merge ~into (mk n 1000000.0);
+    O.Json.to_string (O.Registry.to_json into)
+  in
+  Alcotest.(check string) "reservoir deterministic" (redo ()) (redo ())
+
+(* below the cap, merge still appends every sample and the dropped
+   counter never appears — the pre-cap behavior is unchanged *)
+let test_registry_merge_no_spurious_drops () =
+  let into = O.Registry.create () and src = O.Registry.create () in
+  let h = O.Registry.histogram src "h" in
+  for i = 1 to 1000 do
+    O.Histogram.observe h (float_of_int i)
+  done;
+  O.Registry.merge ~into src;
+  let hm = O.Registry.histogram into "h" in
+  Alcotest.(check int) "all retained" 1000 (O.Histogram.retained hm);
+  Alcotest.(check int) "no drops" 0 (O.Histogram.dropped hm);
+  Alcotest.(check bool) "no dropped-samples counter registered" true
+    (O.Registry.find into "obs.merge.dropped_samples" = None)
+
 let test_registry_dispatch_replays () =
   let reg = O.Registry.create () in
   let seen = ref [] in
@@ -304,6 +361,155 @@ let test_registry_dispatch_replays () =
     (match List.rev !seen with
     | ev :: _ -> ev.O.Registry.Event.ev_name
     | [] -> "")
+
+(* --- Prom rendering edge cases ------------------------------------------ *)
+
+(* every escapable character in a label value: backslash first (so the
+   others aren't double-escaped), then quote and newline *)
+let test_prom_label_escaping () =
+  let fam =
+    {
+      O.Prom.fam_name = "m";
+      fam_help = "h";
+      fam_kind = O.Prom.Gauge;
+      fam_samples =
+        [ O.Prom.sample ~labels:[ ("l", "a\\b\"c\nd") ] 1.0 ];
+    }
+  in
+  let out = O.Prom.render [ fam ] in
+  Alcotest.(check bool) "backslash, quote, newline escaped" true
+    (contains out "m{l=\"a\\\\b\\\"c\\nd\"} 1.0\n")
+
+(* distinct family names that sanitize to the same exposition name merge
+   under one declaration: HELP/TYPE once (first wins), every sample kept —
+   never a duplicate TYPE line, which trips OpenMetrics linting *)
+let test_prom_sanitize_collision () =
+  let fam name help v =
+    {
+      O.Prom.fam_name = name;
+      fam_help = help;
+      fam_kind = O.Prom.Gauge;
+      fam_samples = [ O.Prom.sample ~labels:[ ("src", name) ] v ];
+    }
+  in
+  let out =
+    O.Prom.render [ fam "health.state" "dotted" 1.0; fam "health_state" "underscored" 2.0 ]
+  in
+  let count_needle needle =
+    let n = String.length needle and h = String.length out in
+    let rec go i acc =
+      if i + n > h then acc
+      else go (i + 1) (if String.sub out i n = needle then acc + 1 else acc)
+    in
+    go 0 0
+  in
+  Alcotest.(check int) "one TYPE declaration" 1
+    (count_needle "# TYPE health_state gauge");
+  Alcotest.(check int) "one HELP declaration" 1 (count_needle "# HELP health_state");
+  Alcotest.(check bool) "first HELP wins" true (contains out "dotted");
+  Alcotest.(check bool) "both samples render" true
+    (contains out "health_state{src=\"health.state\"} 1.0\n"
+    && contains out "health_state{src=\"health_state\"} 2.0\n")
+
+(* fuzz: arbitrary metric/label names and values never produce output
+   that breaks the line discipline — every non-comment, non-blank line is
+   `name{labels} value` on exactly one line with a sane name *)
+let prom_fuzz =
+  let arb =
+    QCheck.(
+      pair (pair printable_string printable_string)
+        (pair (list (pair printable_string printable_string)) float))
+  in
+  QCheck.Test.make ~name:"prom render survives arbitrary names and labels"
+    ~count:200 arb
+    (fun ((name, help), (labels, value)) ->
+      let fam =
+        {
+          O.Prom.fam_name = name;
+          fam_help = help;
+          fam_kind = O.Prom.Counter;
+          fam_samples = [ O.Prom.sample ~suffix:"_total" ~labels value ];
+        }
+      in
+      let out = O.Prom.render [ fam ] in
+      let ok_name_char c =
+        (c >= 'a' && c <= 'z')
+        || (c >= 'A' && c <= 'Z')
+        || (c >= '0' && c <= '9')
+        || c = '_' || c = ':'
+      in
+      String.split_on_char '\n' out
+      |> List.for_all (fun line ->
+             line = ""
+             || String.length line >= 1
+                && (line.[0] = '#'
+                   || ok_name_char line.[0]
+                      && (not (String.contains line '\r'))
+                      && String.contains line ' ')))
+
+(* golden: the full exposition of a fixed registry + extra families is
+   pinned byte for byte; regenerate with
+   GOLDEN_UPDATE=1 dune exec test/main.exe -- test obs *)
+let test_prom_golden () =
+  let reg = O.Registry.create () in
+  O.Counter.add (O.Registry.counter reg "engine.steps") 42.0;
+  O.Gauge.set (O.Registry.gauge reg "offered.bps") 1.5e9;
+  let h = O.Registry.histogram reg "cycle.wall_s" in
+  List.iter (O.Histogram.observe h) [ 0.25; 0.5; 0.125 ];
+  ignore (O.Registry.histogram reg "empty.hist");
+  O.Histogram.observe (O.Registry.span reg "controller.cycle") 0.033;
+  let extra =
+    [
+      {
+        O.Prom.fam_name = "health_state";
+        fam_help = "controller health state (1 = current)";
+        fam_kind = O.Prom.Gauge;
+        fam_samples =
+          [
+            O.Prom.sample ~labels:[ ("state", "healthy") ] 1.0;
+            O.Prom.sample ~labels:[ ("state", "degraded") ] 0.0;
+          ];
+      };
+      {
+        O.Prom.fam_name = "alerts_fired";
+        fam_help = "alert firings with \"quoted\\escaped\nnewline\" labels";
+        fam_kind = O.Prom.Counter;
+        fam_samples =
+          [
+            O.Prom.sample ~suffix:"_total"
+              ~labels:[ ("rule", "guard\\violation\n\"p99\"") ]
+              3.0;
+          ];
+      };
+    ]
+  in
+  let out = O.Prom.of_registry ~extra reg in
+  let path =
+    let candidates = [ "golden/metrics.prom"; "test/golden/metrics.prom" ] in
+    match List.find_opt (fun p -> Sys.file_exists (Filename.dirname p)) candidates with
+    | Some p -> p
+    | None -> Alcotest.fail "no golden directory found"
+  in
+  if Sys.getenv_opt "GOLDEN_UPDATE" = Some "1" then begin
+    let oc = open_out_bin path in
+    output_string oc out;
+    close_out oc
+  end
+  else if not (Sys.file_exists path) then
+    Alcotest.failf
+      "missing golden file %s — create it with GOLDEN_UPDATE=1 dune exec \
+       test/main.exe -- test obs"
+      path
+  else begin
+    let ic = open_in_bin path in
+    let expected = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    if not (String.equal expected out) then
+      Alcotest.failf
+        "OpenMetrics exposition differs from %s; if intentional, regenerate \
+         with GOLDEN_UPDATE=1 dune exec test/main.exe -- test obs"
+        path
+  end
 
 let suite =
   [
@@ -327,6 +533,15 @@ let suite =
       test_registry_merge_deterministic;
     Alcotest.test_case "registry merge kind collision" `Quick
       test_registry_merge_kind_collision;
+    Alcotest.test_case "registry merge histogram cap (reservoir)" `Quick
+      test_registry_merge_histogram_cap;
+    Alcotest.test_case "registry merge below cap unchanged" `Quick
+      test_registry_merge_no_spurious_drops;
     Alcotest.test_case "registry dispatch replays" `Quick
       test_registry_dispatch_replays;
+    Alcotest.test_case "prom label escaping" `Quick test_prom_label_escaping;
+    Alcotest.test_case "prom sanitize collision dedupe" `Quick
+      test_prom_sanitize_collision;
+    Alcotest.test_case "prom exposition golden" `Quick test_prom_golden;
   ]
+  @ List.map QCheck_alcotest.to_alcotest [ prom_fuzz ]

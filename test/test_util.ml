@@ -302,7 +302,7 @@ let test_pool_empty_and_validation () =
       Alcotest.(check (list int)) "empty" [] (Pool.map pool Fun.id []));
   Alcotest.check_raises "jobs=0 rejected"
     (Invalid_argument "Pool.create: jobs 0 not in [1, 128]") (fun () ->
-      ignore (Pool.create ~jobs:0))
+      ignore (Pool.create ~jobs:0 ()))
 
 let suite =
   [
