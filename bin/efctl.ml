@@ -333,7 +333,7 @@ let print_dfz_report name report =
 let run_cmd =
   let run world seed hours cycle_s no_controller no_sampling obs_metrics
       metrics_format journal faults policy prom_out trace_out profile_out
-      alerts alerts_out slo_deadline mrt verify_incremental =
+      alerts alerts_out slo_deadline mrt verify_incremental shards =
     let fault_plan = resolve_fault_plan faults in
     let policy_prog = resolve_policy policy in
     (* tracing is paid for only when something will read it: a trace dump,
@@ -373,6 +373,16 @@ let run_cmd =
         ~use_sampling:(not no_sampling) ~seed ?faults:fault_plan
         ?policy:policy_prog ~trace ~health ()
     in
+    (* --shards: applied after make_config so it composes with a policy's
+       allocator overrides; shards=1 leaves the config untouched *)
+    let config =
+      if shards = 1 then config
+      else
+        S.Engine.with_controller_config
+          (Ef.Config.with_shards shards config.S.Engine.controller_config)
+          config
+    in
+    let sharded_controller () = Ef.Config.with_shards shards Ef.Config.default in
     (* the common export tail: every world class (engine, dfz, mrt) gets
        the same exporters, each through the shared sink helper *)
     let export_results () =
@@ -439,7 +449,10 @@ let run_cmd =
         (* --mrt: seed the table from a TABLE_DUMP_V2 dump instead of a
            generated world; rates are synthesized (Zipf over the dump's
            prefixes) and drift through the incremental snapshot chain *)
-        let rc = S.Dfz_run.config ~cycles:n_cycles ~cycle_s () in
+        let rc =
+          S.Dfz_run.config ~cycles:n_cycles ~cycle_s
+            ~controller:(sharded_controller ()) ()
+        in
         let dump =
           match Bgp.Mrt.load dump_path with
           | Ok d -> d
@@ -467,7 +480,8 @@ let run_cmd =
         let dfz_cfg = { dfz_cfg with N.Dfz.seed } in
         let rc =
           S.Dfz_run.config ~cycles:n_cycles ~cycle_s
-            ~verify:verify_incremental ()
+            ~verify:verify_incremental
+            ~controller:(sharded_controller ()) ()
         in
         let report =
           S.Dfz_run.run
@@ -642,12 +656,23 @@ let run_cmd =
              (non-incremental) pipeline in lockstep and fail unless every \
              cycle's outputs match exactly.")
   in
+  let shards_t =
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "Shard each controller cycle's projection/allocation across \
+             $(docv) domains (and the cold DFZ table build, for dfz/mrt \
+             worlds). Outputs are byte-identical at any shard count; use \
+             with up to the machine's core count.")
+  in
   Cmd.v (Cmd.info "run" ~doc:"Simulate a day and summarise the outcome.")
     Term.(
       const run $ run_world_t $ seed_t $ hours_t $ cycle_t $ no_controller_t
       $ no_sampling_t $ metrics_t $ metrics_format_t $ journal_t $ faults_t
       $ policy_t $ prom_out_t $ trace_out_t $ profile_out_t $ alerts_t
-      $ alerts_out_t $ slo_deadline_t $ mrt_t $ verify_incremental_t)
+      $ alerts_out_t $ slo_deadline_t $ mrt_t $ verify_incremental_t
+      $ shards_t)
 
 (* --- health ---------------------------------------------------------------- *)
 

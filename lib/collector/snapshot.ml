@@ -53,21 +53,129 @@ let compare_rated (pa, ra) (pb, rb) =
   let c = Float.compare rb ra in
   if c <> 0 then c else Bgp.Prefix.compare pa pb
 
-let assemble ?obs ~routes ~iface_of_peer ~ifaces ~prefix_rates ~time_s () =
+(* --- parallel table build ---------------------------------------------
+
+   The cold 1M-prefix assemble is dominated by the sort and the
+   set/trie folds, all of which shard cleanly: chunks of the input are
+   filtered + sorted per domain and merged pairwise (stable, left-first
+   on ties — but compare_rated ties are structurally equal pairs, so tie
+   order cannot be observed); then contiguous ranges of the *sorted*
+   order build RSet / Ptrie shards that union cheaply, because a
+   contiguous range is a separated interval in the set's comparator and
+   the trie is canonical (same bindings ⇒ same structure, whatever the
+   insertion order). Duplicated prefixes keep their serial last-add-wins
+   semantics: chunk tries are unioned left to right with the right side
+   winning, which is the same winner as the serial fold over the sorted
+   list. The float total is re-folded serially over the merged array —
+   the exact addition sequence the serial path performs. *)
+
+let par_threshold = 8192
+
+let merge_rated a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 then b
+  else if lb = 0 then a
+  else begin
+    let out = Array.make (la + lb) a.(0) in
+    let i = ref 0 and j = ref 0 in
+    for k = 0 to la + lb - 1 do
+      if !i < la && (!j >= lb || compare_rated a.(!i) b.(!j) <= 0) then begin
+        out.(k) <- a.(!i);
+        incr i
+      end
+      else begin
+        out.(k) <- b.(!j);
+        incr j
+      end
+    done;
+    out
+  end
+
+let rec merge_runs = function
+  | [] -> [||]
+  | [ a ] -> a
+  | runs ->
+      let rec pair = function
+        | a :: b :: rest -> merge_rated a b :: pair rest
+        | tail -> tail
+      in
+      merge_runs (pair runs)
+
+let chunk_ranges = Ef_util.Pool.chunk_ranges
+
+let assemble ?obs ?pool ~routes ~iface_of_peer ~ifaces ~prefix_rates ~time_s ()
+    =
   let obs = match obs with Some r -> r | None -> Ef_obs.Registry.default () in
   Ef_obs.Span.time ~registry:obs "collector.assemble" @@ fun () ->
-  let prefix_rates =
-    prefix_rates
-    |> List.filter (fun (_, r) -> r > 0.0)
-    |> List.sort compare_rated
+  let pool =
+    match pool with
+    | Some p
+      when Ef_util.Pool.jobs p > 1
+           && (not (Ef_util.Pool.in_task ()))
+           && List.length prefix_rates >= par_threshold ->
+        Some p
+    | _ -> None
   in
-  let rate_set =
-    List.fold_left (fun s pr -> RSet.add pr s) RSet.empty prefix_rates
-  in
-  let rate_trie, total_rate_bps, prefix_count =
-    List.fold_left
-      (fun (trie, total, n) (p, r) -> (Bgp.Ptrie.add p r trie, total +. r, n + 1))
-      (Bgp.Ptrie.empty, 0.0, 0) prefix_rates
+  let prefix_rates, rate_set, rate_trie, total_rate_bps, prefix_count =
+    match pool with
+    | None ->
+        let prefix_rates =
+          prefix_rates
+          |> List.filter (fun (_, r) -> r > 0.0)
+          |> List.sort compare_rated
+        in
+        let rate_set =
+          List.fold_left (fun s pr -> RSet.add pr s) RSet.empty prefix_rates
+        in
+        let rate_trie, total, count =
+          List.fold_left
+            (fun (trie, total, n) (p, r) ->
+              (Bgp.Ptrie.add p r trie, total +. r, n + 1))
+            (Bgp.Ptrie.empty, 0.0, 0) prefix_rates
+        in
+        (prefix_rates, rate_set, rate_trie, total, count)
+    | Some pool ->
+        let raw = Array.of_list prefix_rates in
+        let n = Array.length raw in
+        let k = Ef_util.Pool.jobs pool in
+        let runs =
+          Ef_util.Pool.map pool
+            (fun (lo, hi) ->
+              let kept = ref [] in
+              for i = hi - 1 downto lo do
+                let (_, r) as pr = raw.(i) in
+                if r > 0.0 then kept := pr :: !kept
+              done;
+              let a = Array.of_list !kept in
+              Array.sort compare_rated a;
+              a)
+            (chunk_ranges ~n ~k)
+        in
+        let sorted = merge_runs runs in
+        let m = Array.length sorted in
+        let parts =
+          Ef_util.Pool.map pool
+            (fun (lo, hi) ->
+              let set = ref RSet.empty and trie = ref Bgp.Ptrie.empty in
+              for i = lo to hi - 1 do
+                let (p, r) as pr = sorted.(i) in
+                set := RSet.add pr !set;
+                trie := Bgp.Ptrie.add p r !trie
+              done;
+              (!set, !trie))
+            (chunk_ranges ~n:m ~k)
+        in
+        let rate_set =
+          List.fold_left (fun acc (s, _) -> RSet.union acc s) RSet.empty parts
+        in
+        let rate_trie =
+          List.fold_left
+            (fun acc (_, t) -> Bgp.Ptrie.union (fun _ b -> b) acc t)
+            Bgp.Ptrie.empty parts
+        in
+        let total = ref 0.0 in
+        Array.iter (fun (_, r) -> total := !total +. r) sorted;
+        (Array.to_list sorted, rate_set, rate_trie, !total, m)
   in
   Ef_obs.Counter.inc (Ef_obs.Registry.counter obs "collector.snapshots");
   Ef_obs.Gauge.set
@@ -248,6 +356,19 @@ let routes t prefix =
       let rs = t.routes prefix in
       Hashtbl.add t.routes_memo prefix rs;
       rs
+
+(* The memo Hashtbl is not safe for concurrent mutation, so sharded
+   consumers rank through the raw closure on the worker domains and the
+   coordinating domain primes the memo with their answers afterwards —
+   same cache content as if [routes] had been called serially. *)
+let routes_uncached t prefix =
+  match Hashtbl.find_opt t.routes_memo prefix with
+  | Some rs -> rs
+  | None -> t.routes prefix
+
+let prime_route t prefix rs =
+  if not (Hashtbl.mem t.routes_memo prefix) then
+    Hashtbl.add t.routes_memo prefix rs
 
 let preferred_route t prefix =
   match routes t prefix with [] -> None | r :: _ -> Some r

@@ -31,6 +31,7 @@ type diff = {
 
 val assemble :
   ?obs:Ef_obs.Registry.t ->
+  ?pool:Ef_util.Pool.t ->
   routes:(Ef_bgp.Prefix.t -> Ef_bgp.Route.t list) ->
   iface_of_peer:(int -> Ef_netsim.Iface.t option) ->
   ifaces:Ef_netsim.Iface.t list ->
@@ -40,6 +41,12 @@ val assemble :
   t
 (** [routes] must return candidates in decision-ranked order (head =
     BGP-preferred). Rates at or below zero are dropped.
+
+    [pool] shards the table build (filter/sort/set/trie) across the
+    pool's domains — a pure throughput knob: the result is byte-identical
+    to the serial build at any pool size (tables below a few thousand
+    prefixes, a 1-lane pool, or a call from inside a pool task silently
+    take the serial path).
 
     Assembly is instrumented: the [collector.assemble] span and the
     [collector.snapshots] counter (plus a [collector.snapshot.prefixes]
@@ -117,6 +124,17 @@ val routes : t -> Ef_bgp.Prefix.t -> Ef_bgp.Route.t list
     [routes] function, later calls return the cached candidate list. One
     snapshot therefore ranks each prefix at most once per cycle, however
     many times the allocator and guard revisit it. *)
+
+val routes_uncached : t -> Ef_bgp.Prefix.t -> Ef_bgp.Route.t list
+(** Like {!routes} but never writes the memo: a hit is answered from the
+    cache, a miss runs the closure without recording the answer. Safe to
+    call concurrently from several domains (sharded projection ranks
+    through this on workers, then {!prime_route}s the memo serially). *)
+
+val prime_route : t -> Ef_bgp.Prefix.t -> Ef_bgp.Route.t list -> unit
+(** Seed the memo with a candidate list obtained via {!routes_uncached};
+    first answer wins, exactly as {!routes} would have cached it. Not
+    thread-safe — call from one domain only. *)
 
 val preferred_route : t -> Ef_bgp.Prefix.t -> Ef_bgp.Route.t option
 val ifaces : t -> Ef_netsim.Iface.t list

@@ -404,8 +404,9 @@ let validate_config config =
 
 let run ~config ?(trace = Trace.noop) snapshot =
   validate_config config;
-  let before = Projection.project snapshot in
-  let work = Projection.Working.of_projection before in
+  let shards = config.Config.shards in
+  let before = Projection.project ~shards snapshot in
+  let work = Projection.Working.of_projection ~shards before in
   run_core ~config ~trace ~before ~work snapshot
 
 let run_warm ~config ?(trace = Trace.noop) ?warm snapshot =
@@ -427,8 +428,9 @@ let run_warm ~config ?(trace = Trace.noop) ?warm snapshot =
         ignore (Projection.Working.drain_touched img);
         (Projection.Working.seal img, img)
     | None ->
-        let before = Projection.project snapshot in
-        (before, Projection.Working.of_projection before)
+        let shards = config.Config.shards in
+        let before = Projection.project ~shards snapshot in
+        (before, Projection.Working.of_projection ~shards before)
   in
   (* retain the pre-relief image before the relief loop mutates it *)
   let next_warm = { warm_image = Projection.Working.copy work; warm_snapshot = snapshot } in

@@ -67,7 +67,7 @@ let choose_route ~overrides ~candidates prefix =
   | None -> (
       match candidates with [] -> (None, false, false) | r :: _ -> (Some r, false, false))
 
-let project ?(overrides = fun _ -> None) snapshot =
+let project_seq ~overrides snapshot =
   let ifaces = Snapshot.ifaces snapshot in
   let loads = Array.make (max_iface_id ifaces + 1) 0L in
   let placements = ref Bgp.Ptrie.empty in
@@ -112,6 +112,118 @@ let project ?(overrides = fun _ -> None) snapshot =
     unplaced = !unplaced;
     stale = Bgp.Ptrie.keys !stale;
   }
+
+(* --- intra-engine sharding --------------------------------------------
+
+   The cold pass is embarrassingly parallel over prefixes: each shard
+   takes a contiguous range of the snapshot's canonical (rate desc,
+   prefix asc) sequence into private scratch — a per-shard int64 loads
+   array, placement/stale tries, an unplaced sub-set — and the merge is
+   deterministic by construction:
+
+   - loads and overridden_m accumulate in integer millibps, and integer
+     addition is associative/commutative, so per-shard partial sums add
+     to exactly the serial fold's value;
+   - the placement/stale tries have canonical structure (same bindings ⇒
+     same shape), so unioning disjoint-range shard tries left to right
+     (right side winning a duplicated prefix, which is the serial fold's
+     last-add-wins) rebuilds the serial trie exactly;
+   - unplaced shard sets cover separated ranges of one total order, so
+     their union has the serial content, and unroutable_bps re-folds
+     that set in its canonical iteration order — the serial pass's exact
+     float-addition sequence;
+   - total_bps is the snapshot's own precomputed fold either way.
+
+   Candidate ranking goes through [Snapshot.routes_uncached] on the
+   workers (the memo Hashtbl is not safe for concurrent writes) and the
+   answers are primed into the memo serially afterwards, so the relief
+   loop and guard see the hits the serial pass would have left behind.
+   [overrides] runs on worker domains when sharded — it must be pure. *)
+
+let shard_pool ~shards =
+  if shards <= 1 || Ef_util.Pool.in_task () then None
+  else Some (Ef_util.Pool.global ~jobs:shards ())
+
+let project_sharded ~overrides ~pool snapshot =
+  let rated = Array.of_list (Snapshot.prefix_rates snapshot) in
+  let n = Array.length rated in
+  let ifaces = Snapshot.ifaces snapshot in
+  let width = max_iface_id ifaces + 1 in
+  let parts =
+    Ef_util.Pool.map pool
+      (fun (lo, hi) ->
+        let loads = Array.make width 0L in
+        let overridden_m = ref 0L in
+        let placements = ref Bgp.Ptrie.empty in
+        let unplaced = ref RSet.empty in
+        let stale = ref Bgp.Ptrie.empty in
+        let routed = Array.make (hi - lo) [] in
+        for i = lo to hi - 1 do
+          let prefix, rate = rated.(i) in
+          let candidates = Snapshot.routes_uncached snapshot prefix in
+          routed.(i - lo) <- candidates;
+          let route, overridden, is_stale =
+            choose_route ~overrides ~candidates prefix
+          in
+          if is_stale then stale := Bgp.Ptrie.add prefix () !stale;
+          let placed =
+            match route with
+            | None -> None
+            | Some route -> (
+                match Snapshot.iface_of_route snapshot route with
+                | None -> None
+                | Some iface -> Some (route, Ef_netsim.Iface.id iface))
+          in
+          match placed with
+          | None -> unplaced := RSet.add (prefix, rate) !unplaced
+          | Some (route, iface_id) ->
+              let m = mbps_of_bps rate in
+              loads.(iface_id) <- Int64.add loads.(iface_id) m;
+              if overridden then overridden_m := Int64.add !overridden_m m;
+              placements :=
+                Bgp.Ptrie.add prefix
+                  { placed_prefix = prefix; rate_bps = rate; route; iface_id;
+                    overridden }
+                  !placements
+        done;
+        (lo, loads, !overridden_m, !placements, !unplaced, !stale, routed))
+      (Ef_util.Pool.chunk_ranges ~n ~k:(Ef_util.Pool.jobs pool))
+  in
+  let loads = Array.make width 0L in
+  let overridden_m = ref 0L in
+  let placements = ref Bgp.Ptrie.empty in
+  let unplaced = ref RSet.empty in
+  let stale = ref Bgp.Ptrie.empty in
+  List.iter
+    (fun (lo, l, om, pl, un, stl, routed) ->
+      for id = 0 to width - 1 do
+        loads.(id) <- Int64.add loads.(id) l.(id)
+      done;
+      overridden_m := Int64.add !overridden_m om;
+      placements := Bgp.Ptrie.union (fun _ b -> b) !placements pl;
+      unplaced := RSet.union !unplaced un;
+      stale := Bgp.Ptrie.union (fun _ b -> b) !stale stl;
+      Array.iteri
+        (fun j rs -> Snapshot.prime_route snapshot (fst rated.(lo + j)) rs)
+        routed)
+    parts;
+  let unroutable = [| 0.0 |] in
+  RSet.iter (fun (_, r) -> unroutable.(0) <- unroutable.(0) +. r) !unplaced;
+  {
+    ifaces;
+    loads;
+    placements = !placements;
+    total_bps = Snapshot.total_rate_bps snapshot;
+    overridden_m = !overridden_m;
+    unroutable_bps = unroutable.(0);
+    unplaced = !unplaced;
+    stale = Bgp.Ptrie.keys !stale;
+  }
+
+let project ?(overrides = fun _ -> None) ?(shards = 1) snapshot =
+  match shard_pool ~shards with
+  | None -> project_seq ~overrides snapshot
+  | Some pool -> project_sharded ~overrides ~pool snapshot
 
 let load_bps t ~iface_id =
   if iface_id < 0 || iface_id >= Array.length t.loads then 0.0
@@ -219,11 +331,48 @@ module Working = struct
     mutable w_touched : int list; (* iface ids with load changes, undrained *)
   }
 
-  let of_projection (p : proj) =
-    let by_iface = Array.make (Array.length p.loads) PSet.empty in
-    Bgp.Ptrie.iter
-      (fun _ pl -> by_iface.(pl.iface_id) <- PSet.add pl by_iface.(pl.iface_id))
-      p.placements;
+  (* The per-iface placement index is the expensive part of the build
+     (one PSet.add per placement). Shards index contiguous chunks of the
+     placement sequence into private per-iface set arrays, merged per
+     iface with PSet.union — sets are content-determined, so every
+     observable (elements, to_seq, fold) matches the serial build. *)
+  let of_projection ?(shards = 1) (p : proj) =
+    let width = Array.length p.loads in
+    let by_iface =
+      match shard_pool ~shards with
+      | None ->
+          let by = Array.make width PSet.empty in
+          Bgp.Ptrie.iter
+            (fun _ pl -> by.(pl.iface_id) <- PSet.add pl by.(pl.iface_id))
+            p.placements;
+          by
+      | Some pool ->
+          let pls =
+            Array.of_list
+              (Bgp.Ptrie.fold (fun _ pl acc -> pl :: acc) p.placements [])
+          in
+          let n = Array.length pls in
+          let parts =
+            Ef_util.Pool.map pool
+              (fun (lo, hi) ->
+                let by = Array.make width PSet.empty in
+                for i = lo to hi - 1 do
+                  let pl = pls.(i) in
+                  by.(pl.iface_id) <- PSet.add pl by.(pl.iface_id)
+                done;
+                by)
+              (Ef_util.Pool.chunk_ranges ~n ~k:(Ef_util.Pool.jobs pool))
+          in
+          let by = Array.make width PSet.empty in
+          List.iter
+            (fun part ->
+              for id = 0 to width - 1 do
+                if not (PSet.is_empty part.(id)) then
+                  by.(id) <- PSet.union by.(id) part.(id)
+              done)
+            parts;
+          by
+    in
     {
       w_ifaces = p.ifaces;
       w_loads = Array.copy p.loads;

@@ -18,13 +18,23 @@ type t
 
 val project :
   ?overrides:(Ef_bgp.Prefix.t -> Ef_bgp.Route.t option) ->
+  ?shards:int ->
   Ef_collector.Snapshot.t ->
   t
 (** Place every rated prefix. An override route is honoured only when it
     is still among the prefix's candidates (same neighbor) — a stale
     override falls back to the preferred route and is reported via
     {!stale_overrides}. Prefixes with no route at all are dropped and
-    counted in {!unroutable_bps}. *)
+    counted in {!unroutable_bps}.
+
+    [shards > 1] partitions the prefix sequence across that many domains
+    of the process-wide {!Ef_util.Pool} with per-shard scratch, merged
+    deterministically — the result is byte-identical to [shards = 1] at
+    any count (integer load sums are associative; tries and sets are
+    content-canonical; every float fold runs in the serial pass's exact
+    order). When sharded, [overrides] runs on worker domains and must be
+    a pure function. Calls from inside a pool task fall back to the
+    sequential pass. *)
 
 val load_bps : t -> iface_id:int -> float
 (** Per-interface load. Accumulated internally in integer millibps
@@ -104,8 +114,11 @@ module Working : sig
   type proj := t
   type t
 
-  val of_projection : proj -> t
-  (** O(placements · log). The source projection is not mutated. *)
+  val of_projection : ?shards:int -> proj -> t
+  (** O(placements · log). The source projection is not mutated.
+      [shards > 1] builds the per-interface placement index on that many
+      domains (merged per interface by set union — observably identical
+      to the sequential build; see {!Projection.project} on sharding). *)
 
   val copy : t -> t
   (** O(interfaces) snapshot of a working view: load and index arrays are

@@ -71,29 +71,33 @@ let run ?(jobs = 1) t =
     (name, metrics)
   in
   let members = List.combine t.engines t.regs in
+  (* the process-wide pool: worker domains spawn on the first parallel
+     run and persist across runs (and bench iterations) — repeated
+     Fleet.runs stop paying a domain spawn/join each *)
+  let pool = if jobs <= 1 then None else Some (Ef_util.Pool.global ~jobs ()) in
   let results =
-    if jobs <= 1 then List.map work members
-    else begin
-      (* per-lane attribution: each pool task runs inside a profiler span
-         tagged with its executing lane, so the trace shows which domain
-         ran which PoP and how busy each lane was *)
-      let wrap ~lane task =
-        Ef_health.Profiler.span ~lane t.profiler ~name:"pool.task" task
-      in
-      Ef_util.Pool.with_pool ~wrap ~jobs (fun pool ->
-          Ef_util.Pool.map pool work members)
-    end
+    match pool with
+    | None -> List.map work members
+    | Some pool ->
+        (* per-lane attribution: each pool task runs inside a profiler span
+           tagged with its executing lane, so the trace shows which domain
+           ran which PoP and how busy each lane was. The wrap is per-call —
+           the shared pool carries no per-fleet state *)
+        let wrap ~lane task =
+          Ef_health.Profiler.span ~lane t.profiler ~name:"pool.task" task
+        in
+        Ef_util.Pool.map ~wrap pool work members
   in
-  (* after the barrier, on the calling domain: deterministic fold of the
-     per-PoP telemetry into the fleet view, in engine order *)
+  (* after the barrier: deterministic fold of the per-PoP telemetry into
+     the fleet view — pairwise tree reduction in engine order, so the
+     merge itself parallelizes while staying independent of [jobs] *)
   Ef_health.Profiler.span t.profiler ~name:"fleet.merge" (fun () ->
-      List.iter (fun (_, reg) -> Obs.Registry.merge ~into:t.fleet_obs reg) t.regs);
+      Obs.Registry.merge_tree ?pool ~into:t.fleet_obs (List.map snd t.regs));
   (match t.buffers with
   | None -> ()
   | Some buffers ->
       List.iter
-        (fun events ->
-          List.iter (Obs.Registry.dispatch t.fleet_obs) (events ()))
+        (fun events -> Obs.Registry.dispatch_all t.fleet_obs (events ()))
         buffers);
   (* lane busy-time summary lands in the fleet registry as gauges, so the
      multicore cost attribution survives into --metrics/--prom-out *)

@@ -1,13 +1,46 @@
 type task = unit -> unit
 type wrap = lane:int -> task -> unit
 
+type gc_tune = { minor_heap_words : int; space_overhead : int }
+
+(* A worker domain's default minor heap (256k words) thrashes under the
+   allocation pressure of projection/allocation tasks: most of a task's
+   garbage is short-lived scratch that a bigger nursery reclaims for
+   free, and a higher space_overhead keeps the shared major GC from
+   stealing slices mid-task. ~32 MB of nursery per domain is cheap next
+   to a million-prefix table. *)
+let default_gc_tune = { minor_heap_words = 1 lsl 22; space_overhead = 200 }
+
+let apply_gc_tune tune =
+  let g = Gc.get () in
+  Gc.set
+    {
+      g with
+      Gc.minor_heap_size = tune.minor_heap_words;
+      space_overhead = tune.space_overhead;
+    }
+
+(* Tasks running inside a map must never drive another map: every lane of
+   the inner map could be parked inside the outer one, and the two would
+   deadlock waiting for each other. The flag travels with the domain —
+   workers set it for life at birth, the caller sets it only while it is
+   executing tasks — and [map_lane] checks it to degrade gracefully to
+   sequential execution instead. *)
+let in_task_key = Domain.DLS.new_key (fun () -> false)
+let in_task () = Domain.DLS.get in_task_key
+
+(* queued tasks carry their own wrap (it can differ per [map] call), so
+   the worker just needs to tell them which lane is running them *)
+type lane_task = int -> unit
+
 type t = {
   pool_jobs : int;
   wrap : wrap;
+  gc : gc_tune option;
   mutex : Mutex.t;
   work : Condition.t; (* work queued, or shutdown *)
   idle : Condition.t; (* a map batch finished draining *)
-  queue : task Queue.t;
+  queue : lane_task Queue.t;
   mutable live : bool;
   mutable workers : unit Domain.t list;
 }
@@ -35,16 +68,18 @@ let rec worker_loop t ~lane =
   match task with
   | None -> ()
   | Some task ->
-      t.wrap ~lane task;
+      task lane;
       worker_loop t ~lane
 
-let create ?(wrap = fun ~lane:_ task -> task ()) ~jobs () =
+let create ?(gc = Some default_gc_tune) ?(wrap = fun ~lane:_ task -> task ())
+    ~jobs () =
   if jobs < 1 || jobs > 128 then
     invalid_arg (Printf.sprintf "Pool.create: jobs %d not in [1, 128]" jobs);
   let t =
     {
       pool_jobs = jobs;
       wrap;
+      gc;
       mutex = Mutex.create ();
       work = Condition.create ();
       idle = Condition.create ();
@@ -55,7 +90,12 @@ let create ?(wrap = fun ~lane:_ task -> task ()) ~jobs () =
   in
   t.workers <-
     List.init (jobs - 1) (fun i ->
-        Domain.spawn (fun () -> worker_loop t ~lane:(i + 1)));
+        Domain.spawn (fun () ->
+            (* per-domain tuning at worker birth: each domain owns its
+               minor heap, so the resize applies to this worker alone *)
+            Option.iter apply_gc_tune t.gc;
+            Domain.DLS.set in_task_key true;
+            worker_loop t ~lane:(i + 1)));
   t
 
 let shutdown t =
@@ -70,16 +110,21 @@ let with_pool ?wrap ~jobs f =
   let t = create ?wrap ~jobs () in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
 
-let map t f items =
-  if t.pool_jobs <= 1 then
+let map_lane ?wrap t f items =
+  let wrap = Option.value wrap ~default:t.wrap in
+  if in_task () then
+    (* nested call from inside some pool task: run sequentially on this
+       lane, without the wrap hook (the enclosing task is already inside
+       its own wrap span) *)
+    List.map (fun item -> f ~lane:0 item) items
+  else if t.pool_jobs <= 1 then
     List.map
       (fun item ->
         let r = ref None in
-        t.wrap ~lane:0 (fun () -> r := Some (f item));
+        wrap ~lane:0 (fun () -> r := Some (f ~lane:0 item));
         match !r with
         | Some v -> v
-        | None ->
-            invalid_arg "Pool.map: wrap hook did not run its task")
+        | None -> invalid_arg "Pool.map: wrap hook did not run its task")
       items
   else begin
     let arr = Array.of_list items in
@@ -91,8 +136,8 @@ let map t f items =
          decrement, so no per-slot synchronization is needed *)
       let results = Array.make n None in
       let remaining = ref n in
-      let run_one i =
-        let r = try Ok (f arr.(i)) with e -> Error e in
+      let run_one lane i =
+        let r = try Ok (f ~lane arr.(i)) with e -> Error e in
         results.(i) <- Some r;
         Mutex.lock t.mutex;
         decr remaining;
@@ -101,7 +146,7 @@ let map t f items =
       in
       Mutex.lock t.mutex;
       for i = 0 to n - 1 do
-        Queue.add (fun () -> run_one i) t.queue
+        Queue.add (fun lane -> wrap ~lane (fun () -> run_one lane i)) t.queue
       done;
       Condition.broadcast t.work;
       Mutex.unlock t.mutex;
@@ -114,7 +159,10 @@ let map t f items =
           match Queue.take_opt t.queue with
           | Some task ->
               Mutex.unlock t.mutex;
-              t.wrap ~lane:0 task;
+              Domain.DLS.set in_task_key true;
+              Fun.protect
+                ~finally:(fun () -> Domain.DLS.set in_task_key false)
+                (fun () -> task 0);
               drive ()
           | None ->
               Condition.wait t.idle t.mutex;
@@ -131,3 +179,53 @@ let map t f items =
            results)
     end
   end
+
+let map ?wrap t f items = map_lane ?wrap t (fun ~lane:_ item -> f item) items
+
+(* [k] contiguous [lo, hi) ranges covering [0, n), sizes within one of
+   each other — the canonical way shard tasks partition an index space *)
+let chunk_ranges ~n ~k =
+  let k = max 1 (min k n) in
+  let base = n / k and extra = n mod k in
+  let rec go i lo acc =
+    if i >= k then List.rev acc
+    else
+      let len = base + if i < extra then 1 else 0 in
+      go (i + 1) (lo + len) ((lo, lo + len) :: acc)
+  in
+  go 0 0 []
+
+(* --- the process-wide shared pool ------------------------------------ *)
+
+(* One long-lived pool reused across Fleet.run calls, controller shards
+   and bench iterations: domains spawn once per size, not per call. The
+   cell is guarded so the size-change path (shutdown + respawn) is safe
+   even if two entry points race, but the intended discipline is
+   main-domain use — code running inside a pool task checks {!in_task}
+   and never reaches here. *)
+let global_mutex = Mutex.create ()
+let global_cell = ref None
+
+let global ?gc ~jobs () =
+  Mutex.lock global_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock global_mutex)
+    (fun () ->
+      match !global_cell with
+      | Some t when t.pool_jobs = jobs && t.live -> t
+      | prev ->
+          (match prev with Some t -> shutdown t | None -> ());
+          let t = create ?gc ~jobs () in
+          global_cell := Some t;
+          t)
+
+let shutdown_global () =
+  Mutex.lock global_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock global_mutex)
+    (fun () ->
+      match !global_cell with
+      | None -> ()
+      | Some t ->
+          shutdown t;
+          global_cell := None)

@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # Run the controller-scale microbenchmarks (E10/E10b/E10c/E10d), the
-# E11 fleet-parallelism bench, the E13 dfz scale run and the E14
-# health-overhead gate, then emit the machine-readable perf records
-# BENCH_PR5.json, BENCH_PR7.json and BENCH_PR8.json.
+# E11 fleet-parallelism bench, the E13 dfz scale run, the E14
+# health-overhead gate and the E15 multicore-sharding curves, then emit
+# the machine-readable perf records BENCH_PR5.json, BENCH_PR7.json,
+# BENCH_PR8.json and BENCH_PR9.json.
 #
-# Usage: scripts/bench_report.sh [OUTPUT.json] [fast] [PR7_OUTPUT.json] [PR8_OUTPUT.json]
+# Usage: scripts/bench_report.sh [OUTPUT.json] [fast] [PR7_OUTPUT.json] [PR8_OUTPUT.json] [PR9_OUTPUT.json]
 #
 #   OUTPUT.json       where to write the micro/fleet report
 #                     (default: BENCH_PR5.json)
@@ -13,6 +14,8 @@
 #                     (default: BENCH_PR7.json)
 #   PR8_OUTPUT.json   where to write the e14 health-overhead report
 #                     (default: BENCH_PR8.json)
+#   PR9_OUTPUT.json   where to write the e15 multicore report
+#                     (default: BENCH_PR9.json)
 #
 # BENCH_PR5.json carries the E10d allocator-cycle speedup and the E11
 # fleet wall-clock speedup acceptance numbers (the fleet bar is only
@@ -22,8 +25,12 @@
 # differential-verification bit. BENCH_PR8.json carries the e14
 # acceptance: the fully enabled Ef_health stack (profiler hook on every
 # span + SLO/alert tracker) within 2% of the noop path on the stress
-# snapshot. Exits non-zero if the benches fail or an emitted file is not
-# well-formed JSON with the expected schema.
+# snapshot. BENCH_PR9.json carries the e15 acceptance: the fleet
+# speedup-vs-jobs and dfz cold-build speedup-vs-shards curves, with an
+# explicit three-valued verdict (pass/fail/skipped). A "skipped" verdict
+# is only honest on a machine without the cores: on a >= 4-core runner
+# this script refuses it. Exits non-zero if the benches fail or an
+# emitted file is not well-formed JSON with the expected schema.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -32,11 +39,12 @@ out="${1:-BENCH_PR5.json}"
 mode="${2:-}"
 pr7_out="${3:-BENCH_PR7.json}"
 pr8_out="${4:-BENCH_PR8.json}"
+pr9_out="${5:-BENCH_PR9.json}"
 
 case "$mode" in
   "" | fast) ;;
   *)
-    echo "usage: $0 [OUTPUT.json] [fast] [PR7_OUTPUT.json] [PR8_OUTPUT.json]" >&2
+    echo "usage: $0 [OUTPUT.json] [fast] [PR7_OUTPUT.json] [PR8_OUTPUT.json] [PR9_OUTPUT.json]" >&2
     exit 2
     ;;
 esac
@@ -58,10 +66,35 @@ dune exec bench/main.exe -- e14 $mode "json=$pr8_out"
 
 test -s "$pr8_out" || { echo "$pr8_out: missing or empty" >&2; exit 1; }
 
+# shellcheck disable=SC2086
+dune exec bench/main.exe -- e15 $mode "json=$pr9_out"
+
+test -s "$pr9_out" || { echo "$pr9_out: missing or empty" >&2; exit 1; }
+
 # self-contained JSON validation (no jq/python dependency): the bench
 # binary re-parses the files with the same parser the repo ships
 dune exec bench/main.exe -- json-check "$out"
 dune exec bench/main.exe -- json-check "$pr7_out"
 dune exec bench/main.exe -- json-check "$pr8_out"
+dune exec bench/main.exe -- json-check "$pr9_out"
 
-echo "bench reports: $out $pr7_out $pr8_out"
+# the speedup-vs-domains curves, re-read from the emitted record (the
+# serializer is compact and field-ordered, so a sed render is exact)
+render_curve() { # file key
+  grep -o "{\"$2\":[0-9]*,\"wall_s\":[0-9.eE+-]*,\"speedup\":[0-9.eE+-]*}" "$1" |
+    sed -E "s/\{\"$2\":([0-9]+),\"wall_s\":([0-9.eE+-]+),\"speedup\":([0-9.eE+-]+)\}/    $2=\1  wall \2 s  speedup \3x/"
+}
+echo "e15 fleet curve (gen-16pop, persistent pool):"
+render_curve "$pr9_out" jobs
+echo "e15 dfz cold-build curve:"
+render_curve "$pr9_out" shards
+
+# honesty gate: "skipped" means "too few cores to judge the speedup".
+# On a runner that does have >= 4 cores, a skipped multicore verdict is
+# a bench bug (or a config mistake), not an acceptable outcome.
+if [ "$(nproc)" -ge 4 ] && grep -q '"status":"skipped"' "$pr9_out"; then
+  echo "$pr9_out: multicore gate reported \"skipped\" on a $(nproc)-core runner" >&2
+  exit 1
+fi
+
+echo "bench reports: $out $pr7_out $pr8_out $pr9_out"

@@ -101,6 +101,81 @@ let test_driver_verified_identical () =
   Alcotest.(check bool) "percentiles ordered" true
     (D.p50_s report <= D.p99_s report && D.p99_s report <= D.max_s report)
 
+(* the driver's verify mode with the incremental side sharded: the cold
+   reference pipeline stays serial, so this pins the sharded cycles
+   (and the pooled cold build) against the serial pipeline end to end *)
+let test_driver_sharded_verified_identical () =
+  let report =
+    D.run
+      ~obs:(Ef_obs.Registry.create ())
+      ~config:
+        (D.config ~cycles:6 ~verify:true
+           ~controller:
+             (Edge_fabric.Config.with_shards 4 Edge_fabric.Config.default)
+           ())
+      (small 2_000)
+  in
+  Alcotest.(check int) "verified every cycle" 6 report.D.verified_cycles;
+  Alcotest.(check (list string)) "no mismatches" [] report.D.mismatches;
+  Alcotest.(check int) "warm path engaged every patched cycle" 5
+    report.D.incremental_hits
+
+(* the parallel cold table build: sharded Snapshot.assemble over a
+   world big enough to cross the parallel threshold (8192 rated
+   prefixes) must equal the serial build in every observable *)
+let test_sharded_assemble_identical () =
+  let cfg = small 10_000 in
+  let serial = D.snapshot_of_gen (N.Dfz.create cfg) ~time_s:0 in
+  Ef_util.Pool.with_pool ~jobs:4 (fun pool ->
+      let sharded = D.snapshot_of_gen ~pool (N.Dfz.create cfg) ~time_s:0 in
+      let module C = Ef_collector in
+      Alcotest.(check int)
+        "prefix_count"
+        (C.Snapshot.prefix_count serial)
+        (C.Snapshot.prefix_count sharded);
+      Alcotest.(check (float 0.0))
+        "total_rate_bps"
+        (C.Snapshot.total_rate_bps serial)
+        (C.Snapshot.total_rate_bps sharded);
+      Alcotest.(check bool)
+        "prefix_rates identical" true
+        (C.Snapshot.prefix_rates serial = C.Snapshot.prefix_rates sharded);
+      (* rate_of must agree on every prefix (exercises the rate trie) *)
+      List.iter
+        (fun (p, r) ->
+          Alcotest.(check (float 0.0))
+            (Format.asprintf "rate_of %a" Bgp.Prefix.pp p)
+            r
+            (C.Snapshot.rate_of sharded p))
+        (C.Snapshot.prefix_rates serial))
+
+(* satellite pin: the headline percentiles are steady-state — cycle 0's
+   cold build is excluded, reported separately as cold_s *)
+let test_percentiles_exclude_cold () =
+  let report cycle_seconds =
+    {
+      D.prefix_count = 0;
+      cycles_run = Array.length cycle_seconds;
+      incremental_hits = 0;
+      dirty_total = 0;
+      cycle_seconds;
+      verified_cycles = 0;
+      mismatches = [];
+    }
+  in
+  let r = report [| 10.0; 0.2; 0.1; 0.3 |] in
+  Alcotest.(check (float 0.0)) "cold_s is cycle 0" 10.0 (D.cold_s r);
+  Alcotest.(check (float 0.0)) "p99 excludes cold" 0.3 (D.p99_s r);
+  Alcotest.(check (float 0.0)) "steady_p99_s alias" (D.p99_s r)
+    (D.steady_p99_s r);
+  Alcotest.(check (float 0.0)) "max excludes cold" 0.3 (D.max_s r);
+  Alcotest.(check (float 1e-9)) "mean excludes cold" 0.2 (D.mean_s r);
+  (* a single-cycle run has no steady state: fall back to the full
+     (one-cycle) distribution rather than reporting zeros *)
+  let one = report [| 5.0 |] in
+  Alcotest.(check (float 0.0)) "one-cycle cold" 5.0 (D.cold_s one);
+  Alcotest.(check (float 0.0)) "one-cycle p99 falls back" 5.0 (D.p99_s one)
+
 let test_report_json_shape () =
   let report =
     D.run
@@ -116,6 +191,9 @@ let test_report_json_shape () =
     | None -> false);
   Alcotest.(check (option int)) "cycles_run" (Some 3)
     (Option.bind (J.member "cycles_run" json) J.to_int_opt);
+  Alcotest.(check bool) "cold_s present" true (J.member "cold_s" json <> None);
+  Alcotest.(check bool) "steady_p99_s present" true
+    (J.member "steady_p99_s" json <> None);
   Alcotest.(check bool) "round-trips through the parser" true
     (match J.parse (J.to_string json) with Ok _ -> true | Error _ -> false)
 
@@ -177,6 +255,12 @@ let suite =
     Alcotest.test_case "churn volume bounded" `Quick test_dfz_churn_bounded;
     Alcotest.test_case "driver verify: incremental = cold" `Quick
       test_driver_verified_identical;
+    Alcotest.test_case "driver verify: sharded = serial cold" `Quick
+      test_driver_sharded_verified_identical;
+    Alcotest.test_case "sharded assemble = serial assemble" `Quick
+      test_sharded_assemble_identical;
+    Alcotest.test_case "percentiles exclude the cold cycle" `Quick
+      test_percentiles_exclude_cold;
     Alcotest.test_case "report json shape" `Quick test_report_json_shape;
     Alcotest.test_case "run_mrt smoke" `Quick test_run_mrt_smoke;
     Alcotest.test_case "run_mrt deterministic" `Quick

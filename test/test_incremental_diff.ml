@@ -47,7 +47,7 @@ let configs =
    incremental side advances a Snapshot.patch delta chain; the reference
    side reassembles every snapshot from scratch and runs with
    incremental recomputation disabled. *)
-let run_lockstep ~seed ~cycles =
+let run_lockstep ?(shards = 1) ~seed ~cycles () =
   let cycle_s = 30 in
   let cfg_name, config = configs.(seed mod Array.length configs) in
   let w = Gen.world (2000 + seed) in
@@ -110,8 +110,12 @@ let run_lockstep ~seed ~cycles =
       ~time_s ()
   in
   let tr_incr = Trace.create () and tr_cold = Trace.create () in
+  (* [shards] applies to the incremental side only: the cold reference
+     stays serial, so at shards > 1 the pin also proves the sharded
+     fan-out equals the serial pipeline byte for byte *)
   let incr =
-    Ef.Controller.create ~config
+    Ef.Controller.create
+      ~config:(Ef.Config.with_shards shards config)
       ~obs:(Ef_obs.Registry.create ())
       ~trace:tr_incr ~name:"pin" ()
   in
@@ -207,12 +211,20 @@ let run_lockstep ~seed ~cycles =
 
 let test_lockstep_seeded_worlds () =
   for seed = 0 to 99 do
-    run_lockstep ~seed ~cycles:5
+    run_lockstep ~seed ~cycles:5 ()
   done
 
 (* a longer single sequence so hysteresis ages, guard budgets and
    override retirement all cross cycle boundaries on the warm path *)
-let test_lockstep_long_sequence () = run_lockstep ~seed:7 ~cycles:16
+let test_lockstep_long_sequence () = run_lockstep ~seed:7 ~cycles:16 ()
+
+(* the sharded controller against the serial cold reference: every
+   observable must still match byte for byte when projection and
+   working-set construction fan out across 2 and 4 domains *)
+let test_lockstep_sharded () =
+  List.iter
+    (fun (seed, shards) -> run_lockstep ~shards ~seed ~cycles:6 ())
+    [ (3, 2); (11, 4); (42, 4) ]
 
 let suite =
   [
@@ -220,4 +232,6 @@ let suite =
       `Quick test_lockstep_seeded_worlds;
     Alcotest.test_case "incremental = cold on a long sequence" `Quick
       test_lockstep_long_sequence;
+    Alcotest.test_case "sharded incremental = serial cold" `Quick
+      test_lockstep_sharded;
   ]

@@ -304,6 +304,92 @@ let test_pool_empty_and_validation () =
     (Invalid_argument "Pool.create: jobs 0 not in [1, 128]") (fun () ->
       ignore (Pool.create ~jobs:0 ()))
 
+let test_pool_persistent_reuse () =
+  (* the workers spawn once at create and survive across maps: repeated
+     runs on one pool keep answering (this is the persistent-runtime
+     contract Fleet.run and the bench loops rely on) *)
+  let pool = Pool.create ~jobs:4 () in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+      for round = 1 to 5 do
+        let items = List.init 20 (fun i -> i + round) in
+        Alcotest.(check (list int))
+          (Printf.sprintf "round %d" round)
+          (List.map (fun i -> i * 3) items)
+          (Pool.map pool (fun i -> i * 3) items)
+      done)
+
+let test_pool_map_lane () =
+  (* every task reports a lane in [0, jobs); results stay in submission
+     order regardless of which lane ran them *)
+  Pool.with_pool ~jobs:3 (fun pool ->
+      let results =
+        Pool.map_lane pool
+          (fun ~lane i ->
+            Alcotest.(check bool)
+              "lane in range" true
+              (lane >= 0 && lane < 3);
+            i * 10)
+          (List.init 30 Fun.id)
+      in
+      Alcotest.(check (list int))
+        "order" (List.init 30 (fun i -> i * 10)) results)
+
+let test_pool_nested_map_no_deadlock () =
+  (* a map issued from inside a pool task must not wait on the pool's
+     own lanes (they are all busy) — it degrades to sequential *)
+  Pool.with_pool ~jobs:2 (fun pool ->
+      let outer =
+        Pool.map pool
+          (fun i ->
+            let inner = Pool.map pool (fun j -> j + i) [ 1; 2; 3 ] in
+            List.fold_left ( + ) 0 inner)
+          [ 10; 20; 30; 40 ]
+      in
+      Alcotest.(check (list int)) "nested totals" [ 36; 66; 96; 126 ] outer)
+
+let test_pool_global_reuse_and_resize () =
+  (* same jobs value: the process-wide pool is returned as-is; a new
+     jobs value replaces it (old workers shut down) *)
+  Pool.shutdown_global ();
+  let a = Pool.global ~jobs:2 () in
+  let b = Pool.global ~jobs:2 () in
+  Alcotest.(check bool) "same pool reused" true (a == b);
+  Alcotest.(check int) "jobs" 2 (Pool.jobs a);
+  let c = Pool.global ~jobs:3 () in
+  Alcotest.(check bool) "resized pool is fresh" true (not (a == c));
+  Alcotest.(check int) "resized jobs" 3 (Pool.jobs c);
+  Alcotest.(check (list int))
+    "resized pool works" [ 2; 4; 6 ]
+    (Pool.map c (fun i -> 2 * i) [ 1; 2; 3 ]);
+  Pool.shutdown_global ()
+
+let test_pool_chunk_ranges () =
+  (* contiguous cover of [0, n), sizes within one of each other *)
+  List.iter
+    (fun (n, k) ->
+      let ranges = Pool.chunk_ranges ~n ~k in
+      let covered = ref 0 in
+      let min_w = ref max_int and max_w = ref 0 in
+      List.iter
+        (fun (lo, hi) ->
+          Alcotest.(check int)
+            (Printf.sprintf "contiguous n=%d k=%d" n k)
+            !covered lo;
+          covered := hi;
+          let w = hi - lo in
+          if w < !min_w then min_w := w;
+          if w > !max_w then max_w := w)
+        ranges;
+      Alcotest.(check int) (Printf.sprintf "covers n=%d k=%d" n k) n !covered;
+      if n > 0 then
+        Alcotest.(check bool)
+          (Printf.sprintf "balanced n=%d k=%d" n k)
+          true
+          (!max_w - !min_w <= 1))
+    [ (10, 3); (7, 7); (3, 8); (1, 4); (100, 1); (0, 4) ]
+
 let suite =
   [
     Alcotest.test_case "bitset basics" `Quick test_bitset_basics;
@@ -343,6 +429,13 @@ let suite =
     Alcotest.test_case "pool exception propagation" `Quick test_pool_exception;
     Alcotest.test_case "pool empty + validation" `Quick
       test_pool_empty_and_validation;
+    Alcotest.test_case "pool persistent reuse" `Quick test_pool_persistent_reuse;
+    Alcotest.test_case "pool map_lane" `Quick test_pool_map_lane;
+    Alcotest.test_case "pool nested map no deadlock" `Quick
+      test_pool_nested_map_no_deadlock;
+    Alcotest.test_case "pool global reuse + resize" `Quick
+      test_pool_global_reuse_and_resize;
+    Alcotest.test_case "pool chunk_ranges" `Quick test_pool_chunk_ranges;
     QCheck_alcotest.to_alcotest qcheck_int_bounds;
     QCheck_alcotest.to_alcotest qcheck_pareto_min;
   ]
