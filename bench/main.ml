@@ -425,6 +425,147 @@ let write_bench_pr7_json path ~dfz:(scale, report, verify_report) =
   Printf.printf "wrote %s (%s: steady p99 %.3fs, identical=%b, hits %d/%d)\n%!"
     path scale steady_p99 identical report.D.incremental_hits hits_expected
 
+(* ------------------------------------------------------------------ *)
+(* E16: flap cycles on the warm path vs forced-cold (BENCH_PR10.json)  *)
+(* ------------------------------------------------------------------ *)
+
+(* The dfz world under the canned dfz-flap plan: iface 1 flaps (whole
+   interface disappears and returns), iface 2 is derated. Two runs over
+   the identical world: one on the warm path, one with incremental off —
+   the 11-second stall this PR removes is the second run's flap-cycle
+   latency. 300 s cycles cover the plan's windows in 12 cycles.
+   Verification always runs at smoke scale (as in e13). *)
+let run_e16_flap ~fast () =
+  let module D = Ef_sim.Dfz_run in
+  let scale, dfz_cfg =
+    if fast then ("dfz-smoke", N.Scenario.dfz_smoke) else ("dfz", N.Scenario.dfz)
+  in
+  let cycles = 12 and cycle_s = 300 in
+  let faults =
+    match N.Scenario.find_fault_plan "dfz-flap" with
+    | Some p -> p
+    | None -> failwith "canned plan dfz-flap missing"
+  in
+  (* the full-scale cold side re-projects the whole table every cycle;
+     shard it like efctl --shards would so the comparison is against the
+     cold path at its best, not a strawman *)
+  let shards = if fast then 1 else Stdlib.min 8 (Domain.recommended_domain_count ()) in
+  let controller = Ef.Config.with_shards shards Ef.Config.default in
+  Printf.printf "== E16: dfz flap cycles, warm vs forced-cold (%s) ==\n%!" scale;
+  let warm =
+    D.run
+      ~config:(D.config ~cycles ~cycle_s ~verify:fast ~faults ~controller ())
+      dfz_cfg
+  in
+  Format.printf "warm:   %a@." D.pp_report warm;
+  let cold =
+    D.run
+      ~config:
+        (D.config ~cycles ~cycle_s ~faults
+           ~controller:(Ef.Config.with_incremental false controller)
+           ())
+      dfz_cfg
+  in
+  Format.printf "cold:   %a@." D.pp_report cold;
+  let flap = warm.D.iface_event_cycles in
+  let times_at r cs = List.map (fun c -> r.D.cycle_seconds.(c)) cs in
+  List.iter
+    (fun c ->
+      Printf.printf "  flap cycle %2d: warm %.3fs  forced-cold %.3fs\n%!" c
+        warm.D.cycle_seconds.(c) cold.D.cycle_seconds.(c))
+    flap;
+  let verify_report =
+    if fast then warm
+    else begin
+      Printf.printf "-- differential verification (dfz-smoke) --\n%!";
+      let r =
+        D.run
+          ~config:(D.config ~cycles ~cycle_s ~verify:true ~faults ())
+          N.Scenario.dfz_smoke
+      in
+      Format.printf "%a@." D.pp_report r;
+      r
+    end
+  in
+  (scale, warm, cold, verify_report, times_at)
+
+let write_bench_pr10_json path
+    ~e16:(scale, warm, cold, verify_report, times_at) =
+  let module D = Ef_sim.Dfz_run in
+  let module J = Ef_obs.Json in
+  let p99 times =
+    match times with
+    | [] -> 0.0
+    | _ ->
+        let a = Array.of_list times in
+        Array.sort Float.compare a;
+        let n = Array.length a in
+        a.(max 0 (min (n - 1) (int_of_float (ceil (0.99 *. float_of_int n)) - 1)))
+  in
+  let mean = function
+    | [] -> 0.0
+    | ts -> List.fold_left ( +. ) 0.0 ts /. float_of_int (List.length ts)
+  in
+  let flap = warm.D.iface_event_cycles in
+  let warm_flap = times_at warm flap and cold_flap = times_at cold flap in
+  let flap_p99 = p99 warm_flap in
+  let speedup =
+    if mean warm_flap > 0.0 then mean cold_flap /. mean warm_flap else 0.0
+  in
+  let identical =
+    verify_report.D.verified_cycles > 0 && verify_report.D.mismatches = []
+  in
+  let hits_expected = warm.D.cycles_run - 1 in
+  let pass =
+    identical && flap <> []
+    && warm.D.incremental_hits = hits_expected
+    && flap_p99 < 1.0
+  in
+  let json =
+    J.Obj
+      [
+        ("schema", J.String "edge-fabric-bench/1");
+        ("pr", J.Int 10);
+        ("source", J.String "bench/main.exe e16");
+        ("experiment", J.String "e16-iface-churn");
+        ("scale", J.String scale);
+        ("warm", D.report_to_json warm);
+        ("forced_cold", D.report_to_json cold);
+        ("verify", D.report_to_json verify_report);
+        ( "acceptance",
+          J.Obj
+            [
+              ("flap_cycles", J.Int (List.length flap));
+              ("flap_p99_s", J.Float flap_p99);
+              ("flap_p99_required_max_s", J.Float 1.0);
+              ("forced_cold_flap_p99_s", J.Float (p99 cold_flap));
+              ("flap_speedup_vs_cold", J.Float speedup);
+              ("incremental_identical", J.Bool identical);
+              ("verified_cycles", J.Int verify_report.D.verified_cycles);
+              ("incremental_hits", J.Int warm.D.incremental_hits);
+              ("incremental_hits_expected", J.Int hits_expected);
+              ( "note",
+                J.String
+                  "flap percentiles are over the cycles whose snapshot delta \
+                   carried interface-set changes; the warm run must never \
+                   fall back to cold on them" );
+              ("pass", J.Bool pass);
+            ] );
+      ]
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (J.to_string json);
+      output_char oc '\n');
+  Printf.printf
+    "wrote %s (%s: flap p99 %.3fs vs cold %.3fs, %.1fx, identical=%b, hits \
+     %d/%d)\n\
+     %!"
+    path scale flap_p99 (p99 cold_flap) speedup identical
+    warm.D.incremental_hits hits_expected
+
 (* `json-check FILE`: exit 0 iff FILE parses as JSON and carries the
    bench schema — the CI gate against a malformed report *)
 let json_check path =
@@ -894,13 +1035,16 @@ let () =
               else if id = "e15" then
                 let e15 = run_e15_multicore ~fast () in
                 Option.iter (fun path -> write_bench_pr9_json path ~e15) json_out
+              else if id = "e16" then
+                let e16 = run_e16_flap ~fast () in
+                Option.iter (fun path -> write_bench_pr10_json path ~e16) json_out
               else
                 match List.find_opt (fun (i, _, _) -> i = id) experiments with
                 | Some exp -> run_one params exp
                 | None ->
                     Printf.eprintf
                       "unknown experiment %S (known: %s, e11, e13, e14, e15, \
-                       micro, all; modifiers: fast, json=FILE)\n"
+                       e16, micro, all; modifiers: fast, json=FILE)\n"
                       id
                       (String.concat ", "
                          (List.map (fun (i, _, _) -> i) experiments));

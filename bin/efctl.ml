@@ -480,7 +480,7 @@ let run_cmd =
         let dfz_cfg = { dfz_cfg with N.Dfz.seed } in
         let rc =
           S.Dfz_run.config ~cycles:n_cycles ~cycle_s
-            ~verify:verify_incremental
+            ~verify:verify_incremental ?faults:fault_plan
             ~controller:(sharded_controller ()) ()
         in
         let report =
@@ -489,6 +489,15 @@ let run_cmd =
             ~health ~config:rc dfz_cfg
         in
         print_dfz_report name report;
+        (match report.S.Dfz_run.iface_event_cycles with
+        | [] -> ()
+        | evs ->
+            Printf.printf
+              "interface churn in %d cycles; warm path held on %d of %d \
+               patched cycles\n"
+              (List.length evs)
+              report.S.Dfz_run.incremental_hits
+              (report.S.Dfz_run.cycles_run - 1));
         if verify_incremental then
           Printf.printf
             "verified %d cycles against the cold pipeline: identical\n"
@@ -692,10 +701,10 @@ let health_cmd =
     let n_cycles = max 1 (hours * 3600 / cycle_s) in
     (match world with
     | Dfz_world (name, dfz_cfg) ->
-        if fault_plan <> None then
-          Printf.eprintf "efctl: note: --faults applies to engine worlds only\n";
         let dfz_cfg = { dfz_cfg with N.Dfz.seed } in
-        let rc = S.Dfz_run.config ~cycles:n_cycles ~cycle_s () in
+        let rc =
+          S.Dfz_run.config ~cycles:n_cycles ~cycle_s ?faults:fault_plan ()
+        in
         let report =
           S.Dfz_run.run
             ~obs:(Ef_obs.Registry.default ())

@@ -20,7 +20,17 @@ type change = {
   ch_routes : bool;
 }
 
-type diff = { changes : change list; linked : bool }
+type iface_change = {
+  ic_id : int;
+  ic_old_capacity : float option;
+  ic_new_capacity : float option;
+}
+
+type diff = {
+  changes : change list;
+  iface_changes : iface_change list;
+  linked : bool;
+}
 
 type t = {
   time_s : int;
@@ -35,7 +45,8 @@ type t = {
   total_rate_bps : float;
   prefix_count : int;
   stamp : int; (* unique per snapshot; parent links are by stamp *)
-  parent : (int * change list) option; (* parent stamp + recorded dirty set *)
+  parent : (int * change list * iface_change list) option;
+      (* parent stamp + recorded dirty set + recorded iface delta *)
 }
 
 let stamps = Atomic.make 0
@@ -52,6 +63,25 @@ let index_ifaces ifaces =
 let compare_rated (pa, ra) (pb, rb) =
   let c = Float.compare rb ra in
   if c <> 0 then c else Bgp.Prefix.compare pa pb
+
+(* Interface-set delta between two indexes, ascending id order (the one
+   deterministic order both sides of a diff agree on). Identity is
+   (id, capacity): a re-made interface with the same id and capacity is
+   not a change — placement resolves by id and thresholds re-derive from
+   capacity every run, so nothing downstream can observe it. *)
+let iface_delta prev_index next_index =
+  let cap a i =
+    if i >= Array.length a then None
+    else Option.map Ef_netsim.Iface.capacity_bps a.(i)
+  in
+  let width = max (Array.length prev_index) (Array.length next_index) in
+  let acc = ref [] in
+  for id = width - 1 downto 0 do
+    let o = cap prev_index id and n = cap next_index id in
+    if o <> n then
+      acc := { ic_id = id; ic_old_capacity = o; ic_new_capacity = n } :: !acc
+  done;
+  !acc
 
 (* --- parallel table build ---------------------------------------------
 
@@ -283,10 +313,15 @@ let patch ?obs ~prev ?routes ?ifaces ?(routes_changed = []) ~rate_updates
     RSet.iter (fun (_, r) -> acc.(0) <- acc.(0) +. r) rate_set;
     acc.(0)
   in
-  let ifaces, iface_index =
+  (* the iface delta is recorded content-based, not identity-based: a
+     caller re-passing an equal interface list records no change, so a
+     derate-aware caller can pass [ifaces] every cycle without cost *)
+  let ifaces, iface_index, iface_changes =
     match ifaces with
-    | None -> (prev.ifaces, prev.iface_index)
-    | Some l -> (l, index_ifaces l)
+    | None -> (prev.ifaces, prev.iface_index, [])
+    | Some l ->
+        let index = index_ifaces l in
+        (l, index, iface_delta prev.iface_index index)
   in
   Ef_obs.Counter.inc (Ef_obs.Registry.counter obs "collector.patches");
   {
@@ -302,28 +337,30 @@ let patch ?obs ~prev ?routes ?ifaces ?(routes_changed = []) ~rate_updates
     total_rate_bps = total;
     prefix_count = !count;
     stamp = next_stamp ();
-    parent = Some (prev.stamp, changes);
+    parent = Some (prev.stamp, changes, iface_changes);
   }
 
 let linked prev next =
   prev == next
   ||
   match next.parent with
-  | Some (stamp, _) -> stamp = prev.stamp
+  | Some (stamp, _, _) -> stamp = prev.stamp
   | None -> false
 
 let diff prev next =
-  if prev == next then { changes = []; linked = true }
+  if prev == next then { changes = []; iface_changes = []; linked = true }
   else
     match next.parent with
-    | Some (stamp, changes) when stamp = prev.stamp -> { changes; linked = true }
+    | Some (stamp, changes, iface_changes) when stamp = prev.stamp ->
+        { changes; iface_changes; linked = true }
     | _ ->
         (* Unlinked pair: recover the exact rate difference by merge-walking
            the two tries (physical sharing prunes common structure). Route
            changes are unknowable from the outside, so every changed prefix
            is conservatively flagged and [linked] is false — consumers that
            need route stability for *clean* prefixes must fall back to a
-           full recompute. *)
+           full recompute. The iface delta, by contrast, is exact either
+           way: both indexes are at hand. *)
         let changes =
           Bgp.Ptrie.fold2
             ~eq:(fun (a : float) b -> a = b)
@@ -333,7 +370,11 @@ let diff prev next =
               :: acc)
             prev.rate_trie next.rate_trie []
         in
-        { changes; linked = false }
+        {
+          changes;
+          iface_changes = iface_delta prev.iface_index next.iface_index;
+          linked = false;
+        }
 
 let time_s t = t.time_s
 let prefix_rates t = Lazy.force t.prefix_rates

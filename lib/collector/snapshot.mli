@@ -17,8 +17,26 @@ type change = {
 }
 (** One dirty prefix in a snapshot-to-snapshot delta. *)
 
+type iface_change = {
+  ic_id : int;  (** the interface id the change is about *)
+  ic_old_capacity : float option;
+      (** capacity in the older snapshot; [None] = the id carried no
+          interface there (the change is an addition) *)
+  ic_new_capacity : float option;
+      (** capacity in the newer snapshot; [None] = removed *)
+}
+(** One interface-set difference in a snapshot-to-snapshot delta.
+    Identity is [(id, capacity)]: an interface re-made with the same id
+    and capacity is not a change (placement resolves by id; thresholds
+    re-derive from capacity every allocator run), so a caller may pass
+    a freshly built but equal interface list to {!patch} every cycle
+    without recording spurious deltas. *)
+
 type diff = {
   changes : change list;
+  iface_changes : iface_change list;
+      (** interface-set delta, ascending id order. Exact whether or not
+          the pair is [linked] — both interface indexes are at hand. *)
   linked : bool;
       (** [true] when the delta was recorded by {!patch} (exact, including
           route invalidations); [false] when reconstructed from two
@@ -91,7 +109,11 @@ val patch :
     reuses [prev]'s closure (whose memo is per-snapshot, so invalidated
     prefixes are re-asked). [ifaces] substitutes the interface list the
     way {!of_pop}'s [ifaces] does — peer resolution is by stable
-    interface id, so derated copies are picked up. *)
+    interface id, so derated copies are picked up. Added, removed and
+    capacity-changed interfaces are recorded as the delta's
+    {!iface_change} list (content-based: re-passing an equal list
+    records nothing), which is what lets the allocator's warm path
+    survive interface-set churn instead of recomputing cold. *)
 
 val linked : t -> t -> bool
 (** [linked prev next]: [next] is [prev] itself or was built from it by

@@ -4,6 +4,11 @@ module Iface = Ef_netsim.Iface
 module Bitset = Ef_util.Bitset
 module Trace = Ef_trace.Recorder
 
+let log_src =
+  Logs.Src.create "edge_fabric.allocator" ~doc:"Edge Fabric allocator"
+
+module Log = (val Logs.src_log log_src)
+
 type result = {
   overrides : Override.t list;
   before : Projection.t;
@@ -258,23 +263,34 @@ type warm = {
          placement, no allocator moves applied. Never mutated — each use
          copies it first. *)
   warm_snapshot : Snapshot.t;
+  warm_key : int list;
+      (* [warm_snapshot]'s interface ids, sorted — computed once per warm
+         record, never re-sorted on the healthy-cycle hot path *)
 }
 
-(* Warm start is only sound when the interface-id universe is unchanged:
-   an appearing/disappearing interface re-routes prefixes that are not in
-   the dirty set. Capacity-only changes are fine (placement ignores
-   capacity; thresholds are re-derived every run). *)
-let same_iface_ids a b =
-  let ids s =
-    List.sort compare (List.map Iface.id (Snapshot.ifaces s))
-  in
-  ids a = ids b
+let iface_key s = List.sort compare (List.map Iface.id (Snapshot.ifaces s))
 
+(* Set equality between the warm snapshot's interface ids and [snapshot]'s,
+   cheap enough for every healthy cycle: short-circuit on max id, physical
+   list identity (the no-[~ifaces] patch case) and list length before ever
+   comparing against the cached key — the warm side's sort never reruns.
+   (The old implementation allocated and sorted both full lists per cycle.) *)
+let same_iface_ids w snapshot =
+  Snapshot.max_iface_id w.warm_snapshot = Snapshot.max_iface_id snapshot
+  && (Snapshot.ifaces w.warm_snapshot == Snapshot.ifaces snapshot
+     || List.compare_lengths (Snapshot.ifaces w.warm_snapshot)
+          (Snapshot.ifaces snapshot)
+        = 0
+        && w.warm_key = iface_key snapshot)
+
+(* Warm start needs only the delta link: a linked snapshot's recorded
+   iface_changes are exact, and [run_warm] patches the image over them
+   (removals re-place their placements, additions re-decide the unplaced
+   pool) before the regular dirty pass — an interface add/remove is an
+   incremental event now, not a cold restart. *)
 let warm_valid ?warm snapshot =
   match warm with
-  | Some w ->
-      Snapshot.linked w.warm_snapshot snapshot
-      && same_iface_ids w.warm_snapshot snapshot
+  | Some w -> Snapshot.linked w.warm_snapshot snapshot
   | None -> false
 
 let warm_snapshot w = w.warm_snapshot
@@ -283,17 +299,32 @@ let preferred_image w = Projection.Working.copy w.warm_image
 (* The relief loop proper, from a pre-relief projection: pure in
    (before, work, snapshot, config), so reaching the same pre-relief image
    incrementally or from scratch yields byte-identical results. *)
-let run_core ~config ~trace ~before ~work snapshot =
+let run_core ?obs ~config ~trace ~before ~work snapshot =
   let universe = Snapshot.max_iface_id snapshot + 1 in
   let pos_of_iface = Array.make universe max_int in
   List.iteri
     (fun pos iface -> pos_of_iface.(Iface.id iface) <- pos)
     (Snapshot.ifaces snapshot);
   (* per-iface thresholds, resolved once into an array so the hot path
-     stays a single load (and is untouched when the list is empty) *)
+     stays a single load (and is untouched when the list is empty). An
+     entry whose id falls outside the snapshot's interface universe is a
+     misconfiguration the operator should see, not a silent drop. *)
   let thr = Array.make universe config.Config.overload_threshold in
   List.iter
-    (fun (id, th) -> if id >= 0 && id < universe then thr.(id) <- th)
+    (fun (id, th) ->
+      if id >= 0 && id < universe then thr.(id) <- th
+      else begin
+        Log.warn (fun m ->
+            m
+              "iface_thresholds entry for interface %d (%.3f) ignored: id \
+               outside the snapshot's interface universe [0, %d)"
+              id th universe);
+        let reg =
+          match obs with Some r -> r | None -> Ef_obs.Registry.default ()
+        in
+        Ef_obs.Counter.inc
+          (Ef_obs.Registry.counter reg "allocator.iface_thresholds.dropped")
+      end)
     config.Config.iface_thresholds;
   let st =
     {
@@ -402,14 +433,14 @@ let validate_config config =
   | Ok () -> ()
   | Error msg -> invalid_arg ("Allocator.run: bad config: " ^ msg)
 
-let run ~config ?(trace = Trace.noop) snapshot =
+let run ?obs ~config ?(trace = Trace.noop) snapshot =
   validate_config config;
   let shards = config.Config.shards in
   let before = Projection.project ~shards snapshot in
   let work = Projection.Working.of_projection ~shards before in
-  run_core ~config ~trace ~before ~work snapshot
+  run_core ?obs ~config ~trace ~before ~work snapshot
 
-let run_warm ~config ?(trace = Trace.noop) ?warm snapshot =
+let run_warm ?obs ~config ?(trace = Trace.noop) ?warm snapshot =
   validate_config config;
   let warm_base =
     match warm with
@@ -417,28 +448,49 @@ let run_warm ~config ?(trace = Trace.noop) ?warm snapshot =
         Some (w, Snapshot.diff w.warm_snapshot snapshot)
     | Some _ | None -> None
   in
-  let before, work =
+  let before, work, key =
     match warm_base with
     | Some (w, d) ->
-        (* advance last cycle's pre-relief image over the dirty set; no
+        (* advance last cycle's pre-relief image: first over the recorded
+           interface-set delta (O(affected), nothing when the set only
+           lost/kept capacity), then over the dirty prefix set. Two
+           sequential passes, not one merged list — a prefix both
+           re-placed by the iface pass and rate-churned must be retracted
+           and re-placed twice, or its load would double-count. No
            overrides at this stage — the before-projection is always the
-           BGP-preferred placement *)
+           BGP-preferred placement. *)
         let img = Projection.Working.copy w.warm_image in
+        let set_unchanged = same_iface_ids w snapshot in
+        if not set_unchanged then
+          Projection.Working.apply_iface_delta img ~snapshot
+            ~delta:d.Snapshot.iface_changes ();
         Projection.Working.apply_dirty img ~snapshot ~dirty:d.Snapshot.changes ();
         ignore (Projection.Working.drain_touched img);
-        (Projection.Working.seal img, img)
+        let key = if set_unchanged then w.warm_key else iface_key snapshot in
+        (Projection.Working.seal img, img, key)
     | None ->
         let shards = config.Config.shards in
         let before = Projection.project ~shards snapshot in
-        (before, Projection.Working.of_projection ~shards before)
+        (before, Projection.Working.of_projection ~shards before,
+         iface_key snapshot)
   in
   (* retain the pre-relief image before the relief loop mutates it *)
-  let next_warm = { warm_image = Projection.Working.copy work; warm_snapshot = snapshot } in
-  let result = run_core ~config ~trace ~before ~work snapshot in
+  let next_warm =
+    {
+      warm_image = Projection.Working.copy work;
+      warm_snapshot = snapshot;
+      warm_key = key;
+    }
+  in
+  let result = run_core ?obs ~config ~trace ~before ~work snapshot in
   (result, next_warm)
 
 let warm_of_result (r : result) snapshot =
-  { warm_image = Projection.Working.of_projection r.before; warm_snapshot = snapshot }
+  {
+    warm_image = Projection.Working.of_projection r.before;
+    warm_snapshot = snapshot;
+    warm_key = iface_key snapshot;
+  }
 
 let relief_bps (r : result) =
   List.fold_left (fun acc o -> acc +. o.Override.rate_bps) 0.0 r.overrides

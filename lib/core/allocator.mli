@@ -26,6 +26,7 @@ type result = {
 }
 
 val run :
+  ?obs:Ef_obs.Registry.t ->
   config:Config.t ->
   ?trace:Ef_trace.Recorder.t ->
   Ef_collector.Snapshot.t ->
@@ -33,7 +34,13 @@ val run :
 (** [trace] (default {!Ef_trace.Recorder.noop}) receives one
     {!Ef_trace.Recorder.attempt} per prefix evaluation — every candidate
     route examined with its verdict, plus the outcome (moved, stuck, or
-    split). Costs one branch per stage when disabled. *)
+    split). Costs one branch per stage when disabled.
+
+    [obs] (default {!Ef_obs.Registry.default}) receives the allocator's
+    misconfiguration counters — currently
+    [allocator.iface_thresholds.dropped], bumped (with a log warning)
+    for each {!Config.iface_thresholds} entry whose id lies outside the
+    snapshot's interface universe and would otherwise vanish silently. *)
 
 type warm
 (** Last cycle's pre-relief working image: the BGP-preferred placement of
@@ -42,23 +49,27 @@ type warm
     snapshot delta touched. *)
 
 val run_warm :
+  ?obs:Ef_obs.Registry.t ->
   config:Config.t ->
   ?trace:Ef_trace.Recorder.t ->
   ?warm:warm ->
   Ef_collector.Snapshot.t ->
   result * warm
-(** {!run}, incrementally. When [warm] is given, the new snapshot is
+(** {!run}, incrementally. When [warm] is given and the new snapshot is
     [linked] to the warm snapshot (built from it by {!Snapshot.patch}),
-    and the interface-id set is unchanged, the pre-relief projection is
-    advanced over the dirty prefixes instead of recomputed — and because
-    the relief loop is a pure function of the pre-relief image, the
-    result is byte-identical to a cold {!run}, floats included. Any other
-    case (no warm, unlinked snapshots, interface set changed) silently
-    falls back to the cold path, so correctness never depends on the
-    caller's cadence. The returned [warm] seeds the next cycle either
-    way. The allocator remains stateless in its *decisions*: overrides
-    are recomputed from scratch every cycle; only the projection work is
-    reused. *)
+    the pre-relief projection is advanced instead of recomputed: first
+    over the delta's recorded interface-set changes (a removed interface
+    re-places exactly its placements, an added one re-decides the
+    unplaced pool, a capacity change costs nothing —
+    {!Projection.Working.apply_iface_delta}), then over the dirty
+    prefixes — and because the relief loop is a pure function of the
+    pre-relief image, the result is byte-identical to a cold {!run},
+    floats included, interface churn or not. Any other case (no warm,
+    unlinked snapshots) silently falls back to the cold path, so
+    correctness never depends on the caller's cadence. The returned
+    [warm] seeds the next cycle either way. The allocator remains
+    stateless in its *decisions*: overrides are recomputed from scratch
+    every cycle; only the projection work is reused. *)
 
 val warm_of_result : result -> Ef_collector.Snapshot.t -> warm
 (** Rebuild a warm state from a cold {!run}'s result and the snapshot it
@@ -67,8 +78,10 @@ val warm_of_result : result -> Ef_collector.Snapshot.t -> warm
 
 val warm_valid : ?warm:warm -> Ef_collector.Snapshot.t -> bool
 (** Whether {!run_warm} would take the incremental path for this
-    snapshot: a warm state is present, the snapshot is delta-linked to
-    its snapshot, and the interface-id set is unchanged. *)
+    snapshot: a warm state is present and the snapshot is delta-linked
+    to its snapshot. Interface-set changes no longer invalidate the warm
+    state — a linked delta records them exactly and {!run_warm} patches
+    the image over them in O(affected). O(1). *)
 
 val warm_snapshot : warm -> Ef_collector.Snapshot.t
 (** The snapshot the warm image projects. *)

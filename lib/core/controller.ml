@@ -57,6 +57,7 @@ type obs_handles = {
   c_degraded : Obs.Counter.t;
   c_degraded_stale : Obs.Counter.t;
   c_degraded_lowconf : Obs.Counter.t;
+  c_iface_patches : Obs.Counter.t;
   g_total_bps : Obs.Gauge.t;
   g_detoured_bps : Obs.Gauge.t;
   g_active : Obs.Gauge.t;
@@ -86,6 +87,8 @@ let obs_handles reg =
     c_degraded = Obs.Registry.counter reg "controller.degraded.cycles";
     c_degraded_stale = Obs.Registry.counter reg "controller.degraded.stale";
     c_degraded_lowconf = Obs.Registry.counter reg "controller.degraded.low_confidence";
+    c_iface_patches =
+      Obs.Registry.counter reg "controller.incremental.iface_patches";
     g_total_bps = Obs.Registry.gauge reg "controller.total_bps";
     g_detoured_bps = Obs.Registry.gauge reg "controller.detoured_bps";
     g_active = Obs.Registry.gauge reg "controller.overrides.active";
@@ -108,8 +111,9 @@ type t = {
   mutable rate_ewma : float;
   mutable healthy_cycles : int;
   (* incremental state — advisory: any cycle may drop it (degraded
-     inputs, unlinked snapshot, interface-set change) and fall back to
-     the stateless cold path with identical results *)
+     inputs, unlinked snapshot) and fall back to the stateless cold path
+     with identical results. Interface-set changes ride the warm path:
+     a linked delta records them and the allocator patches the image. *)
   mutable alloc_warm : Allocator.warm option;
   mutable incr_hits : int;
 }
@@ -332,16 +336,27 @@ let cycle ?now_s t snapshot =
   let alloc =
     Obs.Span.time_h ob.reg ob.sp_allocate (fun () ->
         if t.config.Config.incremental then begin
-          if Allocator.warm_valid ?warm:t.alloc_warm snapshot then
-            t.incr_hits <- t.incr_hits + 1;
+          (if Allocator.warm_valid ?warm:t.alloc_warm snapshot then begin
+             t.incr_hits <- t.incr_hits + 1;
+             (* flap visibility: count warm cycles that also crossed an
+                interface-set change — linked diffs are O(1), so this is
+                a lookup of the recorded delta, not a recomputation *)
+             match t.alloc_warm with
+             | Some w
+               when (Snapshot.diff (Allocator.warm_snapshot w) snapshot)
+                      .Snapshot.iface_changes
+                    <> [] ->
+                 Obs.Counter.inc ob.c_iface_patches
+             | Some _ | None -> ()
+           end);
           let result, warm =
-            Allocator.run_warm ~config:t.config ~trace:t.trace
+            Allocator.run_warm ~obs:ob.reg ~config:t.config ~trace:t.trace
               ?warm:t.alloc_warm snapshot
           in
           t.alloc_warm <- Some warm;
           result
         end
-        else Allocator.run ~config:t.config ~trace:t.trace snapshot)
+        else Allocator.run ~obs:ob.reg ~config:t.config ~trace:t.trace snapshot)
   in
   let desired, guard_dropped =
     Obs.Span.time_h ob.reg ob.sp_guard_clamp (fun () ->

@@ -320,9 +320,11 @@ module Working = struct
 
   type t = {
     mutable w_ifaces : Ef_netsim.Iface.t list;
-    w_loads : int64 array; (* millibps, updated in place *)
+    mutable w_loads : int64 array; (* millibps, updated in place *)
     mutable w_placements : placement Bgp.Ptrie.t;
-    w_by_iface : PSet.t array; (* iface id -> placements, (rate desc, prefix) *)
+    mutable w_by_iface : PSet.t array;
+        (* iface id -> placements, (rate desc, prefix); replaced (with
+           w_loads) only when an added interface grows the id universe *)
     mutable w_total : float;
     mutable w_overridden : int64;
     mutable w_unroutable : float;
@@ -524,4 +526,82 @@ module Working = struct
     RSet.iter (fun (_, r) -> unroutable.(0) <- unroutable.(0) +. r) w.w_unplaced;
     w.w_unroutable <- unroutable.(0);
     w.w_ifaces <- Snapshot.ifaces snapshot
+
+  (* --- interface-set deltas -------------------------------------------
+
+     The affected set of an interface change is exact, not heuristic,
+     because [choose_route] follows only the head candidate (or a
+     still-valid override) and a placement whose interface does not
+     resolve goes unplaced rather than falling through to the next
+     candidate:
+
+     - a REMOVED interface can only change prefixes currently placed on
+       it (their chosen route stops resolving) — found in O(affected)
+       via the per-iface placement index;
+     - an ADDED interface can only change prefixes currently unplaced
+       (a placed prefix's chosen route and its resolution are
+       untouched) — the unplaced pool is re-decided;
+     - a CAPACITY-only change affects nothing here: placement ignores
+       capacity, and thresholds re-derive from the snapshot every
+       allocator run.
+
+     Each op builds synthetic dirty records carrying the image's own
+     rates (rate churn arrives separately through the regular dirty
+     list) and delegates to [apply_dirty], so the decision rule is the
+     cold pass's by construction and the result stays byte-identical. *)
+
+  let ensure_width w width =
+    if width > Array.length w.w_loads then begin
+      let loads = Array.make width 0L in
+      Array.blit w.w_loads 0 loads 0 (Array.length w.w_loads);
+      let by = Array.make width PSet.empty in
+      Array.blit w.w_by_iface 0 by 0 (Array.length w.w_by_iface);
+      w.w_loads <- loads;
+      w.w_by_iface <- by
+    end
+
+  let change_of ~prefix ~rate =
+    {
+      Snapshot.ch_prefix = prefix;
+      ch_old_rate = Some rate;
+      ch_new_rate = Some rate;
+      ch_routes = false;
+    }
+
+  let remove_iface w ~snapshot ?overrides ~iface_id () =
+    ensure_width w (Snapshot.max_iface_id snapshot + 1);
+    let dirty =
+      if iface_id < 0 || iface_id >= Array.length w.w_by_iface then []
+      else
+        PSet.fold
+          (fun pl acc ->
+            change_of ~prefix:pl.placed_prefix ~rate:pl.rate_bps :: acc)
+          w.w_by_iface.(iface_id) []
+    in
+    apply_dirty w ~snapshot ?overrides ~dirty ()
+
+  let add_iface w ~snapshot ?overrides ~iface_id:_ () =
+    ensure_width w (Snapshot.max_iface_id snapshot + 1);
+    let dirty =
+      RSet.fold
+        (fun (prefix, rate) acc -> change_of ~prefix ~rate :: acc)
+        w.w_unplaced []
+    in
+    apply_dirty w ~snapshot ?overrides ~dirty ()
+
+  let apply_iface_delta w ~snapshot ?overrides ~delta () =
+    ensure_width w (Snapshot.max_iface_id snapshot + 1);
+    let added = ref false in
+    List.iter
+      (fun (ic : Snapshot.iface_change) ->
+        match (ic.Snapshot.ic_old_capacity, ic.Snapshot.ic_new_capacity) with
+        | Some _, None ->
+            remove_iface w ~snapshot ?overrides ~iface_id:ic.Snapshot.ic_id ()
+        | None, Some _ -> added := true
+        | Some _, Some _ | None, None -> ())
+      delta;
+    (* one unplaced-pool pass covers every added interface (and is
+       idempotent for prefixes the removals just unplaced: re-deciding
+       with the same inputs retracts and re-adds the same set entry) *)
+    if !added then add_iface w ~snapshot ?overrides ~iface_id:(-1) ()
 end

@@ -186,10 +186,56 @@ module Working : sig
       independent of table size.
 
       Preconditions (the callers' warm-validity checks): [snapshot] has
-      the same interface-id set as the image's source; clean prefixes'
-      candidate routes and the override assignment for clean prefixes are
-      unchanged. Capacity-only interface changes are fine — the new
-      interface list is adopted. *)
+      the same interface-id set as the image's source — apply an
+      interface-set delta first ({!apply_iface_delta}) when it does not;
+      clean prefixes' candidate routes and the override assignment for
+      clean prefixes are unchanged. Capacity-only interface changes are
+      fine — the new interface list is adopted. *)
+
+  val remove_iface :
+    t ->
+    snapshot:Ef_collector.Snapshot.t ->
+    ?overrides:(Ef_bgp.Prefix.t -> Ef_bgp.Route.t option) ->
+    iface_id:int ->
+    unit ->
+    unit
+  (** Re-decide exactly the prefixes placed on [iface_id] against
+      [snapshot] (which must no longer carry the interface) — O(affected
+      · log n) via the per-iface placement index, never O(table). The
+      affected set is exact because placement follows only the head
+      candidate (or a still-valid override) and an unresolvable route
+      leaves a prefix unplaced: no other prefix's decision can change
+      when an interface disappears. *)
+
+  val add_iface :
+    t ->
+    snapshot:Ef_collector.Snapshot.t ->
+    ?overrides:(Ef_bgp.Prefix.t -> Ef_bgp.Route.t option) ->
+    iface_id:int ->
+    unit ->
+    unit
+  (** Re-decide the unplaced pool against [snapshot] (which now carries
+      the interface) — the only prefixes whose decision an appearing
+      interface can change, since a placed prefix's chosen route and its
+      resolution are untouched. O(unplaced · log n). [iface_id] is
+      documentation; one call re-decides for however many interfaces
+      appeared. *)
+
+  val apply_iface_delta :
+    t ->
+    snapshot:Ef_collector.Snapshot.t ->
+    ?overrides:(Ef_bgp.Prefix.t -> Ef_bgp.Route.t option) ->
+    delta:Ef_collector.Snapshot.iface_change list ->
+    unit ->
+    unit
+  (** Apply a recorded {!Ef_collector.Snapshot.iface_change} list:
+      removals re-place their placements, additions re-decide the
+      unplaced pool once, capacity-only entries do nothing (placement
+      ignores capacity; thresholds re-derive each run). Grows the
+      internal per-interface arrays when an addition extends the id
+      universe. Sealing afterwards is byte-identical to a cold
+      {!Projection.project} of [snapshot] — same decision rule, integer
+      load moves, canonical aggregate folds. *)
 
   val drain_touched : t -> int list
   (** Interface ids whose load changed since the last drain (most recent

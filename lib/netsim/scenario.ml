@@ -322,6 +322,25 @@ let fault_plans : (string * Ef_fault.Plan.t) list =
           Ef_fault.Plan.Sflow_loss
             { from_s = 90; until_s = 450; drop_fraction = 0.7 };
         ] );
+    (* Sized for the dfz driver's 30 s cycles: a 600 s flap period with
+       300 s outages downs iface 1 for runs of consecutive cycles and
+       brings it back, plus a capacity derate on iface 2 — interface-set
+       adds, removes and capacity changes all exercised in one plan.
+       Works on engine worlds too (ids 1–2 exist everywhere). *)
+    ( "dfz-flap",
+      Ef_fault.Plan.make ~seed:16
+        [
+          Ef_fault.Plan.Link_flap
+            {
+              iface_id = 1;
+              from_s = 300;
+              until_s = 3000;
+              period_s = 600;
+              down_s = 300;
+            };
+          Ef_fault.Plan.Capacity_degradation
+            { iface_id = 2; from_s = 600; until_s = 2400; factor = 0.6 };
+        ] );
     ( "chaos",
       Ef_fault.Plan.make ~seed:15
         [

@@ -10,20 +10,22 @@ type config = {
   cycles : int;
   cycle_s : int;
   verify : bool;
+  faults : Ef_fault.Plan.t option;
   controller : Config.t;
 }
 
-let config ?(cycles = 30) ?(cycle_s = 30) ?(verify = false)
+let config ?(cycles = 30) ?(cycle_s = 30) ?(verify = false) ?faults
     ?(controller = Config.default) () =
   if cycles < 1 then invalid_arg "Dfz_run.config: cycles must be positive";
   if cycle_s < 1 then invalid_arg "Dfz_run.config: cycle_s must be positive";
-  { cycles; cycle_s; verify; controller }
+  { cycles; cycle_s; verify; faults; controller }
 
 type report = {
   prefix_count : int;
   cycles_run : int;
   incremental_hits : int;
   dirty_total : int;
+  iface_event_cycles : int list;
   cycle_seconds : float array;
   verified_cycles : int;
   mismatches : string list;
@@ -96,13 +98,36 @@ let check_cycle ~cycle ~stats ~ref_stats =
     (Projection.ifaces enf);
   List.rev !buf
 
-let snapshot_of_gen ?obs ?pool gen ~time_s =
+let snapshot_of_gen ?obs ?pool ?ifaces gen ~time_s =
   Snapshot.assemble ?obs ?pool
     ~routes:(Dfz.routes gen)
     ~iface_of_peer:(Dfz.iface_of_peer gen)
-    ~ifaces:(Dfz.ifaces gen)
+    ~ifaces:(Option.value ifaces ~default:(Dfz.ifaces gen))
     ~prefix_rates:(Dfz.current_rates gen)
     ~time_s ()
+
+(* The interface set the fault plan leaves standing at [time_s]: downed
+   links disappear (their sessions are flushed, so the warm path must
+   re-place every prefix that egressed there), degraded links keep their
+   id with a scaled capacity. Both the incremental and the reference
+   side derive their list from the same injector — queries are pure in
+   [time_s], so the two worlds see byte-identical interface sets. *)
+let faulted_ifaces inj ifaces ~time_s =
+  List.filter_map
+    (fun ifc ->
+      let id = Ef_netsim.Iface.id ifc in
+      if Ef_fault.Injector.link_down inj ~iface_id:id ~time_s then None
+      else
+        let f = Ef_fault.Injector.capacity_factor inj ~iface_id:id ~time_s in
+        if f >= 1.0 then Some ifc
+        else
+          Some
+            (Ef_netsim.Iface.make ~id
+               ~name:(Ef_netsim.Iface.name ifc)
+               ~capacity_bps:
+                 (Float.max 1.0 (f *. Ef_netsim.Iface.capacity_bps ifc))
+               ~shared:(Ef_netsim.Iface.shared ifc)))
+    ifaces
 
 (* the cold table build shards across the same pool the controller's
    [shards] knob uses; a 1-shard config (or a call from inside a pool
@@ -144,13 +169,25 @@ let run ?obs ?(health = Ef_health.Tracker.noop) ?(config = config ()) dfz_cfg =
             ~name:"dfz-ref" () )
     else None
   in
+  let injector = Option.map Ef_fault.Injector.create config.faults in
+  (* [None] when no plan: patch then reuses the parent's interface set
+     for free instead of re-diffing an identical list every cycle *)
+  let ifaces_at ~time_s =
+    match injector with
+    | None -> None
+    | Some inj -> Some (faulted_ifaces inj (Dfz.ifaces gen) ~time_s)
+  in
   let times = Array.make config.cycles 0.0 in
   let dirty_total = ref 0 in
+  let iface_event_cycles = ref [] in
   let verified = ref 0 in
   let mismatches = ref [] in
   let pool = shard_pool config.controller in
-  let snap = ref (snapshot_of_gen ?obs ?pool gen ~time_s:0) in
+  let snap =
+    ref (snapshot_of_gen ?obs ?pool ?ifaces:(ifaces_at ~time_s:0) gen ~time_s:0)
+  in
   for cycle = 0 to config.cycles - 1 do
+    let time_s = cycle * config.cycle_s in
     let t0 = Clock.now_ns () in
     if cycle > 0 then begin
       (* advance the world and thread the delta through the snapshot
@@ -161,11 +198,16 @@ let run ?obs ?(health = Ef_health.Tracker.noop) ?(config = config ()) dfz_cfg =
         !dirty_total
         + List.length ev.Dfz.rate_updates
         + List.length ev.Dfz.routes_changed;
+      let prev = !snap in
       snap :=
-        Snapshot.patch ?obs ~prev:!snap
+        Snapshot.patch ?obs ~prev
+          ?ifaces:(ifaces_at ~time_s)
           ~routes_changed:ev.Dfz.routes_changed
           ~rate_updates:ev.Dfz.rate_updates
-          ~time_s:(cycle * config.cycle_s) ()
+          ~time_s ();
+      (* linked diff is O(1): the patch recorded its own delta *)
+      if (Snapshot.diff prev !snap).Snapshot.iface_changes <> [] then
+        iface_event_cycles := cycle :: !iface_event_cycles
     end;
     let stats = Controller.cycle ctl !snap in
     times.(cycle) <- Clock.elapsed_s t0;
@@ -175,9 +217,12 @@ let run ?obs ?(health = Ef_health.Tracker.noop) ?(config = config ()) dfz_cfg =
     | None -> ()
     | Some (ref_gen, ref_ctl) ->
         if cycle > 0 then ignore (Dfz.churn ref_gen ~cycle : Dfz.churn_event);
-        let ref_snap =
-          snapshot_of_gen ref_gen ~time_s:(cycle * config.cycle_s)
+        let ref_ifaces =
+          match injector with
+          | None -> None
+          | Some inj -> Some (faulted_ifaces inj (Dfz.ifaces ref_gen) ~time_s)
         in
+        let ref_snap = snapshot_of_gen ?ifaces:ref_ifaces ref_gen ~time_s in
         let ref_stats = Controller.cycle ref_ctl ref_snap in
         incr verified;
         mismatches := !mismatches @ check_cycle ~cycle ~stats ~ref_stats)
@@ -187,6 +232,7 @@ let run ?obs ?(health = Ef_health.Tracker.noop) ?(config = config ()) dfz_cfg =
     cycles_run = config.cycles;
     incremental_hits = Controller.incremental_hits ctl;
     dirty_total = !dirty_total;
+    iface_event_cycles = List.rev !iface_event_cycles;
     cycle_seconds = times;
     verified_cycles = !verified;
     mismatches = !mismatches;
@@ -199,6 +245,8 @@ let report_to_json r =
       ("cycles_run", Json.Int r.cycles_run);
       ("incremental_hits", Json.Int r.incremental_hits);
       ("dirty_total", Json.Int r.dirty_total);
+      ( "iface_event_cycles",
+        Json.List (List.map (fun c -> Json.Int c) r.iface_event_cycles) );
       ("cold_s", Json.Float (cold_s r));
       ("p50_s", Json.Float (p50_s r));
       ("p99_s", Json.Float (p99_s r));
@@ -211,10 +259,13 @@ let report_to_json r =
 
 let pp_report ppf r =
   Format.fprintf ppf
-    "dfz: %d prefixes, %d cycles (%d incremental), %d dirty events, cold \
+    "dfz: %d prefixes, %d cycles (%d incremental), %d dirty events%s, cold \
      %.3fs, steady p50 %.3fs p99 %.3fs max %.3fs%s"
-    r.prefix_count r.cycles_run r.incremental_hits r.dirty_total (cold_s r)
-    (p50_s r) (p99_s r) (max_s r)
+    r.prefix_count r.cycles_run r.incremental_hits r.dirty_total
+    (match List.length r.iface_event_cycles with
+    | 0 -> ""
+    | n -> Printf.sprintf ", %d iface-churn cycles" n)
+    (cold_s r) (p50_s r) (p99_s r) (max_s r)
     (if r.verified_cycles = 0 then ""
      else
        Printf.sprintf ", verified %d cycles (%d mismatches)" r.verified_cycles
@@ -255,7 +306,13 @@ let mrt_world ?(total_bps = 40e9) ?(zipf_s = 1.0) ?(seed = 7) dump =
           Array.init n (fun i -> total_bps *. probs.(perm.(i)))
         in
         let peer_ids = Ef_bgp.Rib.peer_ids rib in
-        let n_ifaces = max 1 (List.length peer_ids) in
+        (* a dump with routes but no resolvable peers would otherwise
+           produce an all-unroutable world that runs "successfully" —
+           the old [max 1 n] here hid exactly that case *)
+        match peer_ids with
+        | [] -> Error (Ef_bgp.Mrt.Malformed "dump has no usable peer interfaces")
+        | _ :: _ ->
+        let n_ifaces = List.length peer_ids in
         let fair = total_bps /. float_of_int n_ifaces in
         let ifaces =
           Array.of_list
@@ -332,6 +389,7 @@ let run_mrt ?obs ?(health = Ef_health.Tracker.noop) ?(config = config ())
           cycles_run = config.cycles;
           incremental_hits = Controller.incremental_hits ctl;
           dirty_total = !dirty_total;
+          iface_event_cycles = [];
           cycle_seconds = times;
           verified_cycles = 0;
           mismatches = [];

@@ -21,6 +21,12 @@ type config = {
   cycles : int;
   cycle_s : int;  (** simulated seconds per cycle (the paper's 30) *)
   verify : bool;  (** lockstep cold-pipeline differential check *)
+  faults : Ef_fault.Plan.t option;
+      (** link-flap / capacity faults applied to the interface set: a
+          downed link is removed from each cycle's snapshot (and comes
+          back when the outage window ends), a degraded one keeps its id
+          at scaled capacity. Threaded through {!Ef_collector.Snapshot.patch}'s
+          [ifaces] so flap cycles stay on the warm path. *)
   controller : Edge_fabric.Config.t;
 }
 
@@ -28,13 +34,16 @@ val config :
   ?cycles:int ->
   ?cycle_s:int ->
   ?verify:bool ->
+  ?faults:Ef_fault.Plan.t ->
   ?controller:Edge_fabric.Config.t ->
   unit ->
   config
-(** Defaults: 30 cycles of 30 s, no verification, default controller
-    config (incremental on). Verification re-assembles every snapshot
-    from scratch on the reference side — meant for smoke scale, not for
-    the million-prefix run. *)
+(** Defaults: 30 cycles of 30 s, no verification, no faults, default
+    controller config (incremental on). Verification re-assembles every
+    snapshot from scratch on the reference side — meant for smoke scale,
+    not for the million-prefix run. Under [faults], both sides query one
+    injector (pure in simulated time), so the differential check also
+    pins the interface-churn warm path byte-for-byte. *)
 
 type report = {
   prefix_count : int;  (** rated prefixes in the final snapshot *)
@@ -43,6 +52,10 @@ type report = {
       (** cycles the controller advanced incrementally; [cycles_run - 1]
           when the warm path engaged every patched cycle *)
   dirty_total : int;  (** churn events applied across all cycles *)
+  iface_event_cycles : int list;
+      (** cycles whose snapshot delta carried interface-set changes
+          (ascending) — the flap-affected cycles a bench separates from
+          quiet ones. Empty when [config.faults] is [None]. *)
   cycle_seconds : float array;  (** per-cycle wall time, in cycle order *)
   verified_cycles : int;
   mismatches : string list;
@@ -73,12 +86,15 @@ val mean_s : report -> float
 val snapshot_of_gen :
   ?obs:Ef_obs.Registry.t ->
   ?pool:Ef_util.Pool.t ->
+  ?ifaces:Ef_netsim.Iface.t list ->
   Ef_netsim.Dfz.t ->
   time_s:int ->
   Ef_collector.Snapshot.t
 (** Assemble a snapshot of the generator's current state — the cold
     table build. [pool] shards it ({!Ef_collector.Snapshot.assemble});
-    the bench harness times this directly. *)
+    the bench harness times this directly. [ifaces] substitutes the
+    interface list (default the generator's own) — how a fault-derated
+    or flap-filtered set enters a cold reference build. *)
 
 val run :
   ?obs:Ef_obs.Registry.t ->
@@ -117,5 +133,7 @@ val run_mrt :
     and one interface per dump peer is sized so the busiest needs
     relief. Cycles drift ~1% of rates deterministically through the
     patch chain. [verify] is ignored (no second world to replay).
-    Errors are the dump's: decode/peer-table problems, or [Malformed]
-    when the dump routes no prefixes. *)
+    [faults] is likewise ignored. Errors are the dump's: decode/peer-table
+    problems, or [Malformed] when the dump routes no prefixes or
+    resolves no usable peer interfaces (the latter previously produced a
+    silently all-unroutable world). *)

@@ -1,11 +1,12 @@
 #!/usr/bin/env bash
 # Run the controller-scale microbenchmarks (E10/E10b/E10c/E10d), the
 # E11 fleet-parallelism bench, the E13 dfz scale run, the E14
-# health-overhead gate and the E15 multicore-sharding curves, then emit
-# the machine-readable perf records BENCH_PR5.json, BENCH_PR7.json,
-# BENCH_PR8.json and BENCH_PR9.json.
+# health-overhead gate, the E15 multicore-sharding curves and the E16
+# interface-churn (link-flap) warm-path bench, then emit the
+# machine-readable perf records BENCH_PR5.json, BENCH_PR7.json,
+# BENCH_PR8.json, BENCH_PR9.json and BENCH_PR10.json.
 #
-# Usage: scripts/bench_report.sh [OUTPUT.json] [fast] [PR7_OUTPUT.json] [PR8_OUTPUT.json] [PR9_OUTPUT.json]
+# Usage: scripts/bench_report.sh [OUTPUT.json] [fast] [PR7_OUTPUT.json] [PR8_OUTPUT.json] [PR9_OUTPUT.json] [PR10_OUTPUT.json]
 #
 #   OUTPUT.json       where to write the micro/fleet report
 #                     (default: BENCH_PR5.json)
@@ -16,6 +17,8 @@
 #                     (default: BENCH_PR8.json)
 #   PR9_OUTPUT.json   where to write the e15 multicore report
 #                     (default: BENCH_PR9.json)
+#   PR10_OUTPUT.json  where to write the e16 iface-churn report
+#                     (default: BENCH_PR10.json)
 #
 # BENCH_PR5.json carries the E10d allocator-cycle speedup and the E11
 # fleet wall-clock speedup acceptance numbers (the fleet bar is only
@@ -29,7 +32,11 @@
 # speedup-vs-jobs and dfz cold-build speedup-vs-shards curves, with an
 # explicit three-valued verdict (pass/fail/skipped). A "skipped" verdict
 # is only honest on a machine without the cores: on a >= 4-core runner
-# this script refuses it. Exits non-zero if the benches fail or an
+# this script refuses it. BENCH_PR10.json carries the e16 acceptance:
+# under the canned dfz-flap plan the warm path holds on every patched
+# cycle (interface churn never forces a cold recompute), flap-cycle p99
+# stays under the 1 s bar, and the run is byte-identical to the cold
+# reference, with the warm-vs-forced-cold speedup recorded. Exits non-zero if the benches fail or an
 # emitted file is not well-formed JSON with the expected schema.
 set -euo pipefail
 
@@ -40,11 +47,12 @@ mode="${2:-}"
 pr7_out="${3:-BENCH_PR7.json}"
 pr8_out="${4:-BENCH_PR8.json}"
 pr9_out="${5:-BENCH_PR9.json}"
+pr10_out="${6:-BENCH_PR10.json}"
 
 case "$mode" in
   "" | fast) ;;
   *)
-    echo "usage: $0 [OUTPUT.json] [fast] [PR7_OUTPUT.json] [PR8_OUTPUT.json] [PR9_OUTPUT.json]" >&2
+    echo "usage: $0 [OUTPUT.json] [fast] [PR7_OUTPUT.json] [PR8_OUTPUT.json] [PR9_OUTPUT.json] [PR10_OUTPUT.json]" >&2
     exit 2
     ;;
 esac
@@ -71,12 +79,18 @@ dune exec bench/main.exe -- e15 $mode "json=$pr9_out"
 
 test -s "$pr9_out" || { echo "$pr9_out: missing or empty" >&2; exit 1; }
 
+# shellcheck disable=SC2086
+dune exec bench/main.exe -- e16 $mode "json=$pr10_out"
+
+test -s "$pr10_out" || { echo "$pr10_out: missing or empty" >&2; exit 1; }
+
 # self-contained JSON validation (no jq/python dependency): the bench
 # binary re-parses the files with the same parser the repo ships
 dune exec bench/main.exe -- json-check "$out"
 dune exec bench/main.exe -- json-check "$pr7_out"
 dune exec bench/main.exe -- json-check "$pr8_out"
 dune exec bench/main.exe -- json-check "$pr9_out"
+dune exec bench/main.exe -- json-check "$pr10_out"
 
 # the speedup-vs-domains curves, re-read from the emitted record (the
 # serializer is compact and field-ordered, so a sed render is exact)
@@ -97,4 +111,4 @@ if [ "$(nproc)" -ge 4 ] && grep -q '"status":"skipped"' "$pr9_out"; then
   exit 1
 fi
 
-echo "bench reports: $out $pr7_out $pr8_out $pr9_out"
+echo "bench reports: $out $pr7_out $pr8_out $pr9_out $pr10_out"

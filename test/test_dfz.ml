@@ -120,6 +120,36 @@ let test_driver_sharded_verified_identical () =
   Alcotest.(check int) "warm path engaged every patched cycle" 5
     report.D.incremental_hits
 
+(* the tentpole pin at dfz scale: under the canned dfz-flap plan the
+   snapshot chain carries interface removals, re-additions and capacity
+   derates — the warm path must hold on every patched cycle (no cold
+   fallback) and stay byte-identical to the cold reference pipeline *)
+let test_driver_flap_verified_identical () =
+  let faults =
+    match N.Scenario.find_fault_plan "dfz-flap" with
+    | Some p -> p
+    | None -> Alcotest.fail "canned plan dfz-flap missing"
+  in
+  let report =
+    D.run
+      ~obs:(Ef_obs.Registry.create ())
+      ~config:(D.config ~cycles:8 ~cycle_s:300 ~verify:true ~faults ())
+      (small 2_000)
+  in
+  Alcotest.(check int) "verified every cycle" 8 report.D.verified_cycles;
+  Alcotest.(check (list string)) "no mismatches" [] report.D.mismatches;
+  Alcotest.(check int) "warm path survived the interface churn" 7
+    report.D.incremental_hits;
+  Alcotest.(check bool) "interface churn actually happened" true
+    (report.D.iface_event_cycles <> []);
+  List.iter
+    (fun c ->
+      Alcotest.(check bool)
+        (Printf.sprintf "iface event cycle %d in range" c)
+        true
+        (c >= 1 && c < 8))
+    report.D.iface_event_cycles
+
 (* the parallel cold table build: sharded Snapshot.assemble over a
    world big enough to cross the parallel threshold (8192 rated
    prefixes) must equal the serial build in every observable *)
@@ -158,6 +188,7 @@ let test_percentiles_exclude_cold () =
       cycles_run = Array.length cycle_seconds;
       incremental_hits = 0;
       dirty_total = 0;
+      iface_event_cycles = [];
       cycle_seconds;
       verified_cycles = 0;
       mismatches = [];
@@ -257,6 +288,8 @@ let suite =
       test_driver_verified_identical;
     Alcotest.test_case "driver verify: sharded = serial cold" `Quick
       test_driver_sharded_verified_identical;
+    Alcotest.test_case "driver verify: flap cycles stay warm and identical"
+      `Quick test_driver_flap_verified_identical;
     Alcotest.test_case "sharded assemble = serial assemble" `Quick
       test_sharded_assemble_identical;
     Alcotest.test_case "percentiles exclude the cold cycle" `Quick

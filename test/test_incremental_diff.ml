@@ -47,31 +47,51 @@ let configs =
    incremental side advances a Snapshot.patch delta chain; the reference
    side reassembles every snapshot from scratch and runs with
    incremental recomputation disabled. *)
-let run_lockstep ?(shards = 1) ~seed ~cycles () =
+let run_lockstep ?(shards = 1) ?(flap = false) ~seed ~cycles () =
   let cycle_s = 30 in
   let cfg_name, config = configs.(seed mod Array.length configs) in
   let w = Gen.world (2000 + seed) in
   let pop = w.N.Topo_gen.pop in
   let rib = N.Pop.rib pop in
   (* fault plan: one interface loses capacity over the middle cycles, so
-     the warm path crosses capacity-only interface changes *)
+     the warm path crosses capacity-only interface changes; with [flap]
+     a second interface goes fully down and comes back repeatedly, so it
+     also crosses interface removals and re-additions *)
   let iface_ids = List.map N.Iface.id (N.Pop.interfaces pop) in
   let derated_id = List.nth iface_ids (seed mod List.length iface_ids) in
+  let flap_id = List.nth iface_ids ((seed + 1) mod List.length iface_ids) in
   let inj =
     Ef_fault.Injector.create
       (Ef_fault.Plan.make ~seed:(seed lxor 0xFA)
-         [
-           Ef_fault.Plan.Capacity_degradation
-             {
-               iface_id = derated_id;
-               from_s = 2 * cycle_s;
-               until_s = (cycles - 1) * cycle_s;
-               factor = 0.5 +. (0.1 *. float_of_int (seed mod 4));
-             };
-         ])
+         (Ef_fault.Plan.Capacity_degradation
+            {
+              iface_id = derated_id;
+              from_s = 2 * cycle_s;
+              until_s = (cycles - 1) * cycle_s;
+              factor = 0.5 +. (0.1 *. float_of_int (seed mod 4));
+            }
+         ::
+         (if flap then
+            [
+              Ef_fault.Plan.Link_flap
+                {
+                  iface_id = flap_id;
+                  from_s = 2 * cycle_s;
+                  until_s = (cycles - 1) * cycle_s;
+                  period_s = 4 * cycle_s;
+                  down_s = 2 * cycle_s;
+                };
+            ]
+          else [])))
   in
   let ifaces_at time_s =
-    Gen.derate_ifaces (N.Pop.interfaces pop) ~factor_of:(fun iface_id ->
+    let live =
+      List.filter
+        (fun i ->
+          not (Ef_fault.Injector.link_down inj ~iface_id:(N.Iface.id i) ~time_s))
+        (N.Pop.interfaces pop)
+    in
+    Gen.derate_ifaces live ~factor_of:(fun iface_id ->
         Ef_fault.Injector.capacity_factor inj ~iface_id ~time_s)
   in
   (* route churn: prefixes whose current best announcement is withdrawn.
@@ -126,8 +146,15 @@ let run_lockstep ?(shards = 1) ~seed ~cycles () =
       ~trace:tr_cold ~name:"pin" ()
   in
   let snap = ref (assemble 0) in
+  let down_cycles = ref 0 and up_after_down = ref 0 in
   for cycle = 0 to cycles - 1 do
     let time_s = cycle * cycle_s in
+    (if flap then
+       let here =
+         List.exists (fun i -> N.Iface.id i = flap_id) (ifaces_at time_s)
+       in
+       if not here then Stdlib.incr down_cycles
+       else if !down_cycles > 0 then Stdlib.incr up_after_down);
     if cycle > 0 then begin
       (* deterministic churn: rate scales, withdraw/re-announce, and
          best-route toggles — a pure function of (seed, cycle) *)
@@ -205,6 +232,16 @@ let run_lockstep ?(shards = 1) ~seed ~cycles () =
     (Printf.sprintf "seed %d (%s): cold reference never warm" seed cfg_name)
     0
     (Ef.Controller.incremental_hits cold);
+  if flap then begin
+    (* the plan must actually have exercised removal and re-addition —
+       otherwise the case silently degrades to the capacity-only pin *)
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d (%s): flap removed the interface" seed cfg_name)
+      true (!down_cycles > 0);
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d (%s): flap re-added the interface" seed cfg_name)
+      true (!up_after_down > 0)
+  end;
   Alcotest.(check string)
     (Printf.sprintf "seed %d (%s): trace bytes" seed cfg_name)
     (trace_bytes tr_cold) (trace_bytes tr_incr)
@@ -217,6 +254,17 @@ let test_lockstep_seeded_worlds () =
 (* a longer single sequence so hysteresis ages, guard budgets and
    override retirement all cross cycle boundaries on the warm path *)
 let test_lockstep_long_sequence () = run_lockstep ~seed:7 ~cycles:16 ()
+
+(* interface-set churn on the warm path: a link flaps down and back up
+   across a 16-cycle sequence, so the delta chain carries removals and
+   re-additions — the incremental side must keep engaging every patched
+   cycle (never fall back to cold) and still match the cold reference
+   down to trace bytes. A handful of seeds rotates the flapped interface
+   and the allocator config axes. *)
+let test_lockstep_flap_sequence () =
+  List.iter
+    (fun seed -> run_lockstep ~flap:true ~seed ~cycles:16 ())
+    [ 0; 1; 2; 3; 7 ]
 
 (* the sharded controller against the serial cold reference: every
    observable must still match byte for byte when projection and
@@ -232,6 +280,8 @@ let suite =
       `Quick test_lockstep_seeded_worlds;
     Alcotest.test_case "incremental = cold on a long sequence" `Quick
       test_lockstep_long_sequence;
+    Alcotest.test_case "incremental = cold across link flaps" `Quick
+      test_lockstep_flap_sequence;
     Alcotest.test_case "sharded incremental = serial cold" `Quick
       test_lockstep_sharded;
   ]

@@ -363,6 +363,106 @@ let prop_diff_unlinked_fuzzed =
       && got = want && rates_ok
       && sorted_rates reapplied = sorted_rates b)
 
+(* interface-set deltas: a patch that substitutes the interface list
+   records exactly the added, removed and capacity-changed ids (ascending,
+   content-based), the unlinked merge-walk reconstructs the same delta
+   from the two indexes, and applying the recorded delta to [prev]'s
+   interface set reproduces [next]'s *)
+let prop_diff_iface_roundtrip =
+  QCheck.Test.make ~name:"diff (patch) records iface delta exactly" ~count:100
+    (QCheck.pair arb_rates QCheck.small_nat)
+    (fun (rates, seed) ->
+      let prev = snapshot_of rates in
+      let base = C.Snapshot.ifaces prev in
+      let rng = Ef_util.Rng.create (seed + 1) in
+      let kept =
+        List.filter_map
+          (fun ifc ->
+            match Ef_util.Rng.int rng 4 with
+            | 0 -> None (* removed *)
+            | 1 ->
+                (* derated: same id, halved capacity *)
+                Some
+                  (N.Iface.make ~id:(N.Iface.id ifc) ~name:(N.Iface.name ifc)
+                     ~capacity_bps:(0.5 *. N.Iface.capacity_bps ifc)
+                     ~shared:(N.Iface.shared ifc))
+            | _ -> Some ifc)
+          base
+      in
+      let fresh_id =
+        1 + List.fold_left (fun m i -> max m (N.Iface.id i)) (-1) base
+      in
+      let mutated =
+        if Ef_util.Rng.int rng 2 = 0 then
+          kept
+          @ [
+              N.Iface.make ~id:fresh_id ~name:"added" ~capacity_bps:5e9
+                ~shared:false;
+            ]
+        else kept
+      in
+      let next =
+        C.Snapshot.patch ~prev ~ifaces:mutated ~rate_updates:[] ~time_s:30 ()
+      in
+      let d = C.Snapshot.diff prev next in
+      let cap l id =
+        List.find_opt (fun i -> N.Iface.id i = id) l
+        |> Option.map N.Iface.capacity_bps
+      in
+      let expected =
+        List.filter_map
+          (fun id ->
+            let o = cap base id and n = cap mutated id in
+            if o = n then None
+            else
+              Some
+                {
+                  C.Snapshot.ic_id = id;
+                  ic_old_capacity = o;
+                  ic_new_capacity = n;
+                })
+          (List.sort_uniq compare (List.map N.Iface.id (base @ mutated)))
+      in
+      (* an unlinked pair over the same content must reconstruct the same
+         delta from the two interface indexes *)
+      let cold =
+        C.Snapshot.of_pop (Lazy.force world).N.Topo_gen.pop ~ifaces:mutated
+          ~prefix_rates:rates ~time_s:30
+      in
+      let d_unlinked = C.Snapshot.diff prev cold in
+      (* the recorded delta applied to prev's set reproduces next's set *)
+      let reapplied =
+        List.filter_map
+          (fun ifc ->
+            match
+              List.find_opt
+                (fun (c : C.Snapshot.iface_change) ->
+                  c.C.Snapshot.ic_id = N.Iface.id ifc)
+                d.C.Snapshot.iface_changes
+            with
+            | None -> Some (N.Iface.id ifc, N.Iface.capacity_bps ifc)
+            | Some { C.Snapshot.ic_new_capacity = None; _ } -> None
+            | Some { C.Snapshot.ic_new_capacity = Some c; _ } ->
+                Some (N.Iface.id ifc, c))
+          base
+        @ List.filter_map
+            (fun (c : C.Snapshot.iface_change) ->
+              match (c.C.Snapshot.ic_old_capacity, c.C.Snapshot.ic_new_capacity) with
+              | None, Some cap -> Some (c.C.Snapshot.ic_id, cap)
+              | _ -> None)
+            d.C.Snapshot.iface_changes
+      in
+      let set l = List.sort compare l in
+      d.C.Snapshot.linked
+      && d.C.Snapshot.iface_changes = expected
+      && (not d_unlinked.C.Snapshot.linked)
+      && d_unlinked.C.Snapshot.iface_changes = expected
+      && set reapplied
+         = set
+             (List.map
+                (fun i -> (N.Iface.id i, N.Iface.capacity_bps i))
+                (C.Snapshot.ifaces next)))
+
 (* --- wire-codec fuzz ----------------------------------------------------- *)
 
 (* Deterministic Rng-driven fuzz (Ef_util.Rng, fixed seeds): round-trip
@@ -540,4 +640,5 @@ let suite =
       prop_diff_patch_roundtrip;
       prop_diff_empty;
       prop_diff_unlinked_fuzzed;
+      prop_diff_iface_roundtrip;
     ]
